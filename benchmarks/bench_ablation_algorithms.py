@@ -1,0 +1,139 @@
+"""A2 — ablation: all join algorithms across all workload families.
+
+The paper's stated future work is "to implement these ideas to see how
+they compare".  This grid runs every implementation (Algorithm 2, the LW
+and arity-2 specialists where the shape allows, the Generic Join /
+Leapfrog extensions, and the binary baseline) over each instance family
+and reports wall-clock times; outputs are cross-checked for equality.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hash_join import chain_hash_join
+from repro.core.arity_two import ArityTwoJoin
+from repro.core.generic_join import generic_join
+from repro.core.leapfrog import leapfrog_join
+from repro.core.lw import lw_join
+from repro.core.nprr import nprr_join
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import generators, instances, queries
+
+from benchmarks.conftest import record_table
+
+NA = "-"
+
+
+def _run_family(label, query, allow_lw, allow_a2, rows):
+    results = {}
+    times = {}
+    times["nprr"] = timed(lambda: nprr_join(query))
+    results["nprr"] = times["nprr"].result
+    times["generic"] = timed(lambda: generic_join(query))
+    results["generic"] = times["generic"].result
+    times["leapfrog"] = timed(lambda: leapfrog_join(query))
+    results["leapfrog"] = times["leapfrog"].result
+    if allow_lw:
+        times["lw"] = timed(lambda: lw_join(query))
+        results["lw"] = times["lw"].result
+    if allow_a2:
+        times["arity2"] = timed(lambda: ArityTwoJoin(query).execute())
+        results["arity2"] = times["arity2"].result
+    times["hash"] = timed(lambda: chain_hash_join(query)[0])
+    results["hash"] = times["hash"].result
+
+    baseline = results["nprr"]
+    for name, result in results.items():
+        assert result.equivalent(baseline), f"{name} disagrees on {label}"
+
+    def cell(name):
+        return f"{times[name].seconds:.4f}" if name in times else NA
+
+    rows.append(
+        (
+            label,
+            len(baseline),
+            cell("nprr"),
+            cell("lw"),
+            cell("arity2"),
+            cell("generic"),
+            cell("leapfrog"),
+            cell("hash"),
+        )
+    )
+
+
+def test_a2_algorithm_grid(benchmark):
+    rows = []
+    _run_family(
+        "Ex2.2 triangle N=1000",
+        instances.triangle_hard_instance(1000),
+        allow_lw=True,
+        allow_a2=True,
+        rows=rows,
+    )
+    _run_family(
+        "random triangle N=1500",
+        generators.random_instance(queries.triangle(), 1500, 60, seed=4),
+        allow_lw=True,
+        allow_a2=True,
+        rows=rows,
+    )
+    _run_family(
+        "LW n=4 grid side=8",
+        instances.grid_instance(queries.lw_query(4), 8),
+        allow_lw=True,
+        allow_a2=False,
+        rows=rows,
+    )
+    _run_family(
+        "Lemma6.1 n=3 N=500",
+        instances.lw_hard_instance(3, 500),
+        allow_lw=True,
+        allow_a2=False,
+        rows=rows,
+    )
+    _run_family(
+        "hard cycle C5 N=400",
+        instances.cycle_hard_instance(5, 400),
+        allow_lw=False,
+        allow_a2=True,
+        rows=rows,
+    )
+    _run_family(
+        "figure-2 query",
+        generators.random_instance(queries.paper_figure2(), 300, 6, seed=5),
+        allow_lw=False,
+        allow_a2=False,
+        rows=rows,
+    )
+    _run_family(
+        "tripartite hub graph",
+        generators.tripartite_triangle_instance(800, 3000, seed=6, hub=True),
+        allow_lw=True,
+        allow_a2=True,
+        rows=rows,
+    )
+    record_table(
+        format_table(
+            (
+                "workload",
+                "|J|",
+                "nprr s",
+                "lw s",
+                "arity2 s",
+                "generic s",
+                "leapfrog s",
+                "hash s",
+            ),
+            rows,
+            title="A2: every algorithm across every instance family (outputs cross-checked)",
+        )
+    )
+    benchmark.pedantic(
+        lambda: nprr_join(
+            generators.random_instance(queries.triangle(), 1500, 60, seed=4)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,113 @@
+"""A1 — ablation: how the fractional cover choice steers Algorithm 2.
+
+Section 5.1's second ingredient is the per-tuple size comparison, whose
+thresholds come from the cover.  The cover never changes the *output*
+(any valid cover is correct) but it changes the case-a/case-b decisions
+and hence the work done.  This ablation runs NPRR under the LP-optimal,
+uniform-LW, and all-ones covers and reports work counters and times.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.nprr import NPRRJoin
+from repro.hypergraph.covers import FractionalCover
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import generators, instances, queries
+
+from benchmarks.conftest import record_table
+
+
+def _covers_for(query):
+    h = query.hypergraph
+    return (
+        ("lp-optimal", None),
+        ("uniform 1/(n-1)", FractionalCover.loomis_whitney(h))
+        if h.is_lw_instance()
+        else ("uniform 1/2", FractionalCover.uniform(h, Fraction(1, 2))),
+        ("all-ones", FractionalCover.all_ones(h)),
+    )
+
+
+def test_a1_cover_ablation(benchmark):
+    rows = []
+    workloads = (
+        ("Ex2.2 N=1200", instances.triangle_hard_instance(1200)),
+        ("Lemma6.1 n=3 N=600", instances.lw_hard_instance(3, 600)),
+        (
+            "random triangle",
+            generators.random_instance(queries.triangle(), 800, 40, seed=1),
+        ),
+        (
+            "skewed triangle",
+            generators.random_instance(
+                queries.triangle(), 800, 60, seed=2, skew=1.3
+            ),
+        ),
+    )
+    baseline_outputs = {}
+    for label, query in workloads:
+        for cover_name, cover in _covers_for(query):
+            executor = NPRRJoin(query, cover=cover)
+            run = timed(executor.execute)
+            stats = executor.stats
+            key = label
+            if key in baseline_outputs:
+                assert run.result.equivalent(baseline_outputs[key])
+            else:
+                baseline_outputs[key] = run.result
+            rows.append(
+                (
+                    label,
+                    cover_name,
+                    len(run.result),
+                    stats.case_a,
+                    stats.case_b,
+                    stats.tuples_emitted,
+                    f"{run.seconds:.4f}",
+                )
+            )
+    record_table(
+        format_table(
+            ("workload", "cover", "|J|", "case a", "case b", "emitted", "time s"),
+            rows,
+            title="A1: Algorithm 2 under different fractional covers (same output)",
+        )
+    )
+    benchmark.pedantic(
+        lambda: NPRRJoin(instances.triangle_hard_instance(1200)).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_a1_comparison_mode_ablation(benchmark):
+    """Exact-integer vs float log-space case tests: identical output,
+    comparable cost at these scales."""
+    rows = []
+    query = generators.random_instance(queries.triangle(), 800, 40, seed=3)
+    baseline = None
+    for mode in ("exact", "float"):
+        executor = NPRRJoin(query, comparison=mode)
+        run = timed(executor.execute)
+        if baseline is None:
+            baseline = run.result
+        else:
+            assert run.result.equivalent(baseline)
+        rows.append(
+            (mode, len(run.result), executor.stats.comparisons, f"{run.seconds:.4f}")
+        )
+    record_table(
+        format_table(
+            ("comparison mode", "|J|", "comparisons", "time s"),
+            rows,
+            title="A1: exact vs float size-comparison modes",
+        )
+    )
+    benchmark.pedantic(
+        lambda: NPRRJoin(query, comparison="float").execute(),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,117 @@
+"""E10 — the acyclic boundary (related work [29, 35]).
+
+The paper positions worst-case optimal joins against the classical result
+that *acyclic* queries already admit output-optimal evaluation
+(Yannakakis).  This benchmark maps that boundary:
+
+* on acyclic chains, Yannakakis and Algorithm 2 are both output-linear
+  while an unreduced binary chain can blow up on dangling tuples;
+* on the cyclic families (triangle, LW), Yannakakis is inapplicable —
+  exactly the gap Algorithms 1-2 close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hash_join import chain_hash_join
+from repro.baselines.yannakakis import is_acyclic, yannakakis_join
+from repro.core.nprr import nprr_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import instances, queries
+
+from benchmarks.conftest import record_table
+
+
+def dangling_chain_instance(n: int) -> JoinQuery:
+    """A 3-hop chain where almost every tuple is dangling: R x S is
+    Theta(N^2) but the full join has a single tuple."""
+    r_rows = [(i, 0) for i in range(n)]
+    s_rows = [(0, j) for j in range(n)]
+    u_rows = [(0, 0)]
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), r_rows),
+            Relation("S", ("B", "C"), s_rows),
+            Relation("U", ("C", "D"), u_rows),
+        ]
+    )
+
+
+def test_e10_dangling_chain(benchmark):
+    rows = []
+    for n in (200, 400, 800):
+        query = dangling_chain_instance(n)
+        yan = timed(lambda q=query: yannakakis_join(q))
+        nprr = timed(lambda q=query: nprr_join(q))
+        hash_run = timed(lambda q=query: chain_hash_join(q, order=("R", "S", "U")))
+        _out, stats = hash_run.result
+        assert yan.result.equivalent(nprr.result)
+        assert len(yan.result) == n  # (i, 0, 0, 0) for every i
+        rows.append(
+            (
+                n,
+                len(yan.result),
+                f"{yan.seconds:.4f}",
+                f"{nprr.seconds:.4f}",
+                f"{hash_run.seconds:.4f}",
+                stats.max_intermediate,
+            )
+        )
+    record_table(
+        format_table(
+            (
+                "N",
+                "|J|",
+                "yannakakis s",
+                "nprr s",
+                "hash R-S-U s",
+                "hash peak interm",
+            ),
+            rows,
+            title=(
+                "E10: dangling chain - semijoin reduction and Algorithm 2 "
+                "dodge the N^2 wedge a bad binary order materializes"
+            ),
+        )
+    )
+    # The bad order materializes N^2 tuples; both optimal algorithms don't.
+    assert rows[-1][-1] == 800 * 800
+
+    benchmark.pedantic(
+        lambda: yannakakis_join(dangling_chain_instance(800)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e10_cyclic_boundary(benchmark):
+    rows = []
+    for label, query in (
+        ("triangle (Ex 2.2)", instances.triangle_hard_instance(100)),
+        ("LW n=4", instances.lw_hard_instance(4, 100)),
+        ("path k=3", dangling_chain_instance(100)),
+    ):
+        acyclic = is_acyclic(query.hypergraph)
+        if acyclic:
+            status = "Yannakakis applies"
+            yannakakis_join(query)
+        else:
+            status = "cyclic: WCOJ territory"
+            with pytest.raises(QueryError):
+                yannakakis_join(query)
+        rows.append((label, acyclic, status))
+    record_table(
+        format_table(
+            ("query", "alpha-acyclic", "status"),
+            rows,
+            title="E10: the acyclicity boundary (GYO reduction)",
+        )
+    )
+    benchmark.pedantic(
+        lambda: is_acyclic(queries.lw_query(5)), rounds=5, iterations=1
+    )

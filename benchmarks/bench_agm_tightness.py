@@ -1,0 +1,243 @@
+"""E5 — Sections 2-3: AGM bound validity, tightness, and the geometry.
+
+Paper claims reproduced here:
+
+* inequality (2) holds on arbitrary instances (output <= bound for the
+  LP-optimal cover) and is *achieved* on product instances — the
+  tightness half of AGM's theorem;
+* Lemma 3.2's transformation never worsens the bound (and often improves
+  it) while preserving the join;
+* the discrete LW / BT inequalities (Theorems 3.1/3.4) hold on point sets,
+  with equality on boxes — and joining the projections is the paper's
+  *algorithmic proof*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.baselines.naive import naive_join
+from repro.core.nprr import NPRRJoin, nprr_join
+from repro.core.query import JoinQuery
+from repro.hypergraph.agm import agm_log_bound, optimal_fractional_cover
+from repro.hypergraph.covers import FractionalCover, tighten_cover
+from repro.hypergraph.inequalities import verify_lw
+from repro.utils.tables import format_table
+from repro.workloads import generators, instances, queries
+
+from benchmarks.conftest import record_table
+
+
+def test_e5_tightness_on_grids(benchmark):
+    rows = []
+    for name, hypergraph, side in (
+        ("triangle", queries.triangle(), 24),
+        ("LW n=3", queries.lw_query(3), 24),
+        ("LW n=4", queries.lw_query(4), 8),
+        ("LW n=5", queries.lw_query(5), 4),
+    ):
+        query = instances.grid_instance(hypergraph, side)
+        cover = optimal_fractional_cover(query.hypergraph, query.sizes())
+        bound = math.exp(
+            agm_log_bound(query.hypergraph, query.sizes(), cover)
+        )
+        output = len(nprr_join(query))
+        rows.append(
+            (name, side, query.sizes()[query.edge_ids[0]], output, f"{bound:.0f}")
+        )
+        assert output == round(bound)  # tight, as AGM's theorem promises
+    record_table(
+        format_table(
+            ("query", "side", "N_e", "|J|", "AGM bound"),
+            rows,
+            title="E5: AGM bound achieved exactly on product (grid) instances",
+        )
+    )
+    benchmark.pedantic(
+        lambda: nprr_join(instances.grid_instance(queries.triangle(), 24)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e5_bound_validity_random(benchmark):
+    rows = []
+    for seed in range(6):
+        query = generators.random_instance(
+            queries.triangle(), 300, 24, seed=seed
+        )
+        cover = optimal_fractional_cover(query.hypergraph, query.sizes())
+        bound = math.exp(
+            agm_log_bound(query.hypergraph, query.sizes(), cover)
+        )
+        output = len(nprr_join(query))
+        assert output <= bound + 1e-6
+        rows.append((seed, output, f"{bound:.0f}", f"{output / bound:.3f}"))
+    record_table(
+        format_table(
+            ("seed", "|J|", "AGM bound", "fill ratio"),
+            rows,
+            title="E5: inequality (2) on random triangle instances",
+        )
+    )
+    benchmark.pedantic(
+        lambda: nprr_join(
+            generators.random_instance(queries.triangle(), 300, 24, seed=0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e5_lemma_32_improvement(benchmark):
+    rows = []
+    for builder, label in (
+        (queries.triangle, "triangle"),
+        (lambda: queries.lw_query(4), "LW n=4"),
+        (queries.paper_figure2, "figure 2"),
+    ):
+        hypergraph = builder()
+        query = generators.random_instance(hypergraph, 60, 5, seed=2)
+        cover = FractionalCover.all_ones(hypergraph)
+        relations = dict(query.relations)
+        before = sum(
+            float(cover.get(eid)) * math.log(max(1, len(relations[eid])))
+            for eid in hypergraph.edges
+        )
+        new_h, new_cover, new_rels = tighten_cover(
+            hypergraph, cover, relations
+        )
+        after = sum(
+            float(new_cover.get(eid)) * math.log(max(1, len(new_rels[eid])))
+            for eid in new_h.edges
+        )
+        assert new_cover.is_tight(new_h)
+        assert after <= before + 1e-9
+        original = naive_join(query)
+        transformed = naive_join(
+            JoinQuery([new_rels[eid].with_name(eid) for eid in new_h.edges])
+        )
+        assert original.equivalent(transformed)
+        rows.append(
+            (label, f"{math.exp(before):.0f}", f"{math.exp(after):.0f}")
+        )
+    record_table(
+        format_table(
+            ("query", "bound before", "bound after tightening"),
+            rows,
+            title="E5 (Lemma 3.2): tightening preserves the join, never worsens the bound",
+        )
+    )
+    benchmark.pedantic(
+        lambda: tighten_cover(
+            queries.paper_figure2(),
+            FractionalCover.all_ones(queries.paper_figure2()),
+            dict(
+                generators.random_instance(
+                    queries.paper_figure2(), 60, 5, seed=2
+                ).relations
+            ),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e5_dual_certificates(benchmark):
+    """Strong duality in action: the packing LP's optimum certifies the
+    worst case, and the product instance it induces realizes it."""
+    from repro.hypergraph.duality import (
+        optimal_vertex_packing,
+        packing_lower_bound,
+        tight_instance,
+    )
+
+    rows = []
+    for name, hypergraph, sizes in (
+        ("triangle", queries.triangle(), {"R": 64, "S": 64, "T": 64}),
+        (
+            "LW n=4",
+            queries.lw_query(4),
+            {f"R{i}": 64 for i in range(1, 5)},
+        ),
+        (
+            "skewed triangle",
+            queries.triangle(),
+            {"R": 400, "S": 100, "T": 100},
+        ),
+    ):
+        cover = optimal_fractional_cover(hypergraph, sizes)
+        upper = math.exp(agm_log_bound(hypergraph, sizes, cover))
+        packing = optimal_vertex_packing(hypergraph, sizes)
+        lower = packing_lower_bound(packing)
+        witness = tight_instance(hypergraph, sizes)
+        realized = len(nprr_join(witness))
+        rows.append(
+            (
+                name,
+                f"{upper:.0f}",
+                f"{lower:.0f}",
+                realized,
+                f"{realized / upper:.3f}",
+            )
+        )
+        assert abs(upper - lower) <= 1e-6 * upper  # strong duality
+        assert realized <= upper + 1e-6
+        assert realized >= 0.2 * upper  # rounding keeps it near-tight
+    record_table(
+        format_table(
+            (
+                "query",
+                "AGM bound (primal)",
+                "packing certificate (dual)",
+                "witness |J|",
+                "fill",
+            ),
+            rows,
+            title="E5: dual packing certificates and their product witnesses",
+        )
+    )
+    benchmark.pedantic(
+        lambda: tight_instance(
+            queries.triangle(), {"R": 64, "S": 64, "T": 64}
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e5_lw_inequality_point_sets(benchmark):
+    rows = []
+    rng = random.Random(0)
+    for kind in ("random", "box", "diagonal"):
+        if kind == "random":
+            points = {
+                (rng.randrange(8), rng.randrange(8), rng.randrange(8))
+                for _ in range(200)
+            }
+        elif kind == "box":
+            points = {
+                (a, b, c) for a in range(6) for b in range(5) for c in range(4)
+            }
+        else:
+            points = {(i, i, i) for i in range(50)}
+        check = verify_lw(points)
+        assert check.holds
+        rows.append(
+            (kind, len(points), f"{check.ratio:.3f}", check.tight)
+        )
+    record_table(
+        format_table(
+            ("point set", "|S|", "rhs/lhs ratio", "tight"),
+            rows,
+            title="E5 (Thm 3.4): discrete Loomis-Whitney inequality on point sets",
+        )
+    )
+    benchmark.pedantic(
+        lambda: verify_lw(
+            {(i % 10, i % 7, i % 5) for i in range(400)}
+        ),
+        rounds=3,
+        iterations=1,
+    )

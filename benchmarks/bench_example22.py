@@ -1,0 +1,126 @@
+"""E1 — Example 2.2 / Section 1: the motivating Omega(N^2) vs O(N) gap.
+
+Paper claim: on the instance family ``I_N`` (triangle query,
+``R = S = T = {(0,j)} cup {(j,0)}``), every binary-join plan and AGM's
+join-project algorithm take ``Omega(N^2)`` time, while the AGM bound is
+``N^{3/2}`` and Algorithms 1 / 2 run in ``O(N)`` (Lemma 6.2's analysis
+gives ``O(n^2 N)``).
+
+Reproduced shape: the baselines' *materialized work* (intermediate tuple
+counts — deterministic, machine-independent) grows quadratically with N
+while the WCOJ executors' work counters grow linearly; wall-clock times
+show the same split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hash_join import chain_hash_join
+from repro.baselines.join_project import agm_join_project
+from repro.core.generic_join import generic_join
+from repro.core.leapfrog import leapfrog_join
+from repro.core.lw import LWJoin, lw_join
+from repro.core.nprr import NPRRJoin
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import instances
+
+from benchmarks.conftest import record_table
+
+SWEEP = (400, 800, 1600)
+
+
+def test_e1_shape_table(benchmark):
+    rows = []
+    work = {}
+    for n in SWEEP:
+        query = instances.triangle_hard_instance(n)
+
+        executor = NPRRJoin(query)
+        t_nprr = timed(executor.execute).seconds
+        nprr_work = (
+            executor.stats.comparisons + executor.stats.tuples_emitted
+        )
+
+        t_lw = timed(lambda q=query: lw_join(q)).seconds
+        t_gj = timed(lambda q=query: generic_join(q)).seconds
+        t_lf = timed(lambda q=query: leapfrog_join(q)).seconds
+
+        hash_result = timed(lambda q=query: chain_hash_join(q))
+        _out, hash_stats = hash_result.result
+        jp_result = timed(lambda q=query: agm_join_project(q))
+        _out2, jp_stats = jp_result.result
+
+        bound = n**1.5
+        work[n] = (nprr_work, hash_stats.max_intermediate)
+        rows.append(
+            (
+                n,
+                f"{bound:.0f}",
+                f"{t_nprr:.4f}",
+                f"{t_lw:.4f}",
+                f"{t_gj:.4f}",
+                f"{t_lf:.4f}",
+                f"{hash_result.seconds:.4f}",
+                f"{jp_result.seconds:.4f}",
+                nprr_work,
+                hash_stats.max_intermediate,
+                jp_stats.max_intermediate,
+            )
+        )
+    record_table(
+        format_table(
+            (
+                "N",
+                "AGM bound",
+                "nprr s",
+                "lw s",
+                "generic s",
+                "leapfrog s",
+                "hash s",
+                "joinproj s",
+                "nprr work",
+                "hash interm",
+                "jp interm",
+            ),
+            rows,
+            title=(
+                "E1 (Example 2.2): triangle hard instance - WCOJ linear vs "
+                "binary/join-project quadratic"
+            ),
+        )
+    )
+
+    # Deterministic shape assertions: quadratic vs linear work growth.
+    n_small, n_large = SWEEP[0], SWEEP[-1]
+    factor = n_large // n_small
+    nprr_small, hash_small = work[n_small]
+    nprr_large, hash_large = work[n_large]
+    assert hash_small == n_small**2 // 4 + n_small // 2
+    assert hash_large == n_large**2 // 4 + n_large // 2
+    assert hash_large / hash_small > factor**1.8  # quadratic growth
+    assert nprr_large / max(1, nprr_small) < factor * 2  # linear growth
+
+    benchmark.pedantic(
+        lambda: NPRRJoin(instances.triangle_hard_instance(SWEEP[-1])).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,runner",
+    [
+        ("nprr", lambda q: NPRRJoin(q).execute()),
+        ("lw", lw_join),
+        ("generic", generic_join),
+        ("leapfrog", leapfrog_join),
+        ("hash", lambda q: chain_hash_join(q)[0]),
+        ("join_project", lambda q: agm_join_project(q)[0]),
+    ],
+)
+def test_e1_algorithms(benchmark, name, runner):
+    query = instances.triangle_hard_instance(800)
+    result = benchmark.pedantic(lambda: runner(query), rounds=3, iterations=1)
+    assert result.is_empty()

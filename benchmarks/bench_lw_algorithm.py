@@ -1,0 +1,113 @@
+"""E2 — Theorem 4.1: Algorithm 1 runs linearly in the LW bound.
+
+Paper claim: for an LW instance on ``n`` attributes, Algorithm 1 computes
+the join in ``O(n^2 (prod_e N_e)^{1/(n-1)} + n^2 sum_e N_e)`` — the LW
+bound is also achieved by the grid instances, so output size, bound, and
+run time all line up.
+
+Reproduced shape: on AGM-tight grids, ``|J|`` equals the bound exactly;
+run time divided by (bound + input) stays flat as the instance grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lw import LWJoin
+from repro.core.nprr import NPRRJoin
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import generators, instances, queries
+
+from benchmarks.conftest import record_table
+
+
+def test_e2_grid_tightness_table(benchmark):
+    rows = []
+    normalized = []
+    for n, side in ((3, 8), (3, 16), (3, 32), (4, 4), (4, 8), (5, 4)):
+        query = instances.grid_instance(queries.lw_query(n), side)
+        executor = LWJoin(query)
+        measured = timed(executor.execute)
+        bound = executor.bound()
+        output = len(measured.result)
+        unit_cost = measured.seconds / (bound + query.total_input_size())
+        normalized.append(unit_cost)
+        rows.append(
+            (
+                n,
+                side,
+                query.sizes()[query.edge_ids[0]],
+                output,
+                f"{bound:.0f}",
+                f"{measured.seconds:.4f}",
+                f"{unit_cost * 1e6:.2f}",
+            )
+        )
+        assert output == side**n  # tight: |J| == bound
+        assert abs(bound - side**n) < 1e-6 * side**n
+    record_table(
+        format_table(
+            ("n", "side", "N_e", "|J|", "LW bound", "time s", "us/(bound+input)"),
+            rows,
+            title="E2 (Thm 4.1): Algorithm 1 on AGM-tight LW grids - output equals bound",
+        )
+    )
+    # Linearity in the bound: normalized cost varies by < 10x across sizes.
+    assert max(normalized) / min(normalized) < 10
+
+    benchmark.pedantic(
+        lambda: LWJoin(
+            instances.grid_instance(queries.lw_query(3), 32)
+        ).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e2_random_lw_within_bound(benchmark):
+    rows = []
+    for n in (3, 4, 5):
+        for seed in (0, 1):
+            query = generators.random_instance(
+                queries.lw_query(n), 400, 12, seed=seed
+            )
+            executor = LWJoin(query)
+            measured = timed(executor.execute)
+            bound = executor.bound()
+            assert len(measured.result) <= bound + 1e-9
+            rows.append(
+                (
+                    n,
+                    seed,
+                    query.total_input_size(),
+                    len(measured.result),
+                    f"{bound:.0f}",
+                    f"{measured.seconds:.4f}",
+                )
+            )
+    record_table(
+        format_table(
+            ("n", "seed", "sum N_e", "|J|", "LW bound", "time s"),
+            rows,
+            title="E2 (Thm 4.1): random LW instances stay within the bound",
+        )
+    )
+    benchmark.pedantic(
+        lambda: LWJoin(
+            generators.random_instance(queries.lw_query(4), 400, 12, seed=0)
+        ).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e2_lw_vs_nprr_consistency(benchmark):
+    """Algorithms 1 and 2 agree tuple-for-tuple on LW instances."""
+    query = generators.random_instance(queries.lw_query(4), 300, 10, seed=5)
+    lw_out = LWJoin(query).execute()
+    nprr_out = NPRRJoin(query).execute()
+    assert lw_out.equivalent(nprr_out)
+    benchmark.pedantic(
+        lambda: LWJoin(query).execute(), rounds=3, iterations=1
+    )

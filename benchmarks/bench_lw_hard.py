@@ -1,0 +1,111 @@
+"""E3 — Lemmas 6.1 and 6.2: the "simple relation" separation.
+
+Paper claims: on the Lemma 6.1 instances (relations holding every tuple
+with at most one non-zero coordinate), *any* join-project plan — which
+subsumes every binary-join plan and AGM's algorithm — needs
+``Omega(N^2/n^2)`` time, because some step must join two simple relations
+with incomparable attribute sets; Algorithm 2 runs in ``O(n^2 N)``
+(Lemma 6.2).
+
+Reproduced shape: the join-project baseline's peak intermediate grows
+quadratically in N while NPRR's work counters grow linearly; the ratio is
+the paper's Omega(N) gap (for constant n).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.join_project import agm_join_project
+from repro.baselines.plans import best_binary_plan
+from repro.core.nprr import NPRRJoin
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import instances
+
+from benchmarks.conftest import record_table
+
+
+def test_e3_gap_table(benchmark):
+    rows = []
+    series = {}
+    for n in (3, 4):
+        for size in (200, 400, 800):
+            query = instances.lw_hard_instance(n, size)
+            realized = query.sizes()[query.edge_ids[0]]
+
+            executor = NPRRJoin(query)
+            nprr_time = timed(executor.execute).seconds
+            nprr_work = (
+                executor.stats.comparisons + executor.stats.tuples_emitted
+            )
+
+            jp = timed(lambda q=query: agm_join_project(q))
+            _out, jp_stats = jp.result
+
+            series[(n, size)] = (nprr_work, jp_stats.max_intermediate)
+            rows.append(
+                (
+                    n,
+                    size,
+                    realized,
+                    f"{nprr_time:.4f}",
+                    nprr_work,
+                    f"{jp.seconds:.4f}",
+                    jp_stats.max_intermediate,
+                    f"{jp_stats.max_intermediate / max(1, nprr_work):.1f}x",
+                )
+            )
+    record_table(
+        format_table(
+            (
+                "n",
+                "N req",
+                "N realized",
+                "nprr s",
+                "nprr work",
+                "joinproj s",
+                "jp peak interm",
+                "work gap",
+            ),
+            rows,
+            title=(
+                "E3 (Lemmas 6.1/6.2): simple-relation instances - "
+                "join-project quadratic, Algorithm 2 linear"
+            ),
+        )
+    )
+
+    for n in (3, 4):
+        nprr_small, jp_small = series[(n, 200)]
+        nprr_large, jp_large = series[(n, 800)]
+        assert jp_large / jp_small > 3.0**2 / 2  # ~quadratic in N
+        assert nprr_large / max(1, nprr_small) < 8  # ~linear in N
+        # Lemma 6.1's floor: Omega(N^2/n^2) intermediate tuples.
+        m = (800 - 1) // (n - 1)
+        assert jp_large >= (1 + m) ** 2 / 4
+
+    benchmark.pedantic(
+        lambda: NPRRJoin(instances.lw_hard_instance(3, 800)).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e3_best_binary_plan_also_quadratic(benchmark):
+    """Even the best of all 3 binary plans pays the quadratic toll."""
+    size = 300
+    query = instances.lw_hard_instance(3, size)
+    m = (size - 1) // 2
+    _plan, _result, stats = best_binary_plan(query)
+    assert stats.max_intermediate >= (1 + m) ** 2
+    record_table(
+        format_table(
+            ("N", "best plan peak intermediate", "Lemma 6.1 floor"),
+            [(size, stats.max_intermediate, (1 + m) ** 2)],
+            title="E3: best binary plan on the Lemma 6.1 instance (n=3)",
+        )
+    )
+    benchmark.pedantic(
+        lambda: best_binary_plan(query), rounds=1, iterations=1
+    )

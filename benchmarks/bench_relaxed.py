@@ -1,0 +1,101 @@
+"""E7 — Section 7.2 / Theorem 7.6: relaxed joins and the tight instance.
+
+Paper claims reproduced:
+
+* Algorithm 6 evaluates ``q_r`` within ``sum_{S in C*} LPOpt(S)``;
+* on the singletons-plus-full-edge instance the bound is met exactly:
+  ``|q_r| = N + N^n`` with ``C* = {{e_{n+1}}, {e_1..e_n}}`` (at ``r = n``;
+  for ``0 < r < n`` Definition 7.4 gives ``N^n`` — see the note in
+  EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.core.relaxed import RelaxedJoin, relaxed_join_reference
+from repro.utils.tables import format_table
+from repro.utils.timing import timed
+from repro.workloads import generators, instances, queries
+
+from benchmarks.conftest import record_table
+
+
+def test_e7_lower_bound_instance(benchmark):
+    rows = []
+    n = 3
+    for size in (4, 8, 12, 16):
+        query = instances.relaxed_lower_bound_instance(n, size)
+        join = RelaxedJoin(query, n)
+        run = timed(join.execute)
+        bound = join.bound()
+        expected = size + size**n
+        assert len(run.result) == expected
+        assert abs(bound - expected) < 1e-4 * expected
+        supports = sorted(
+            "{" + ",".join(sorted(support)) + "}"
+            for _s, support, _c in join.representatives
+        )
+        rows.append(
+            (
+                size,
+                len(run.result),
+                f"{bound:.1f}",
+                expected,
+                f"{run.seconds:.4f}",
+                " ".join(supports),
+            )
+        )
+    record_table(
+        format_table(
+            ("N", "|q_r|", "Thm 7.6 bound", "N + N^n", "time s", "C* supports"),
+            rows,
+            title=(
+                "E7 (Thm 7.6): relaxed-join lower-bound instance (n=3, r=n) - "
+                "bound met exactly"
+            ),
+        )
+    )
+    benchmark.pedantic(
+        lambda: RelaxedJoin(
+            instances.relaxed_lower_bound_instance(3, 16), 3
+        ).execute(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e7_random_relaxed_within_bound(benchmark):
+    rows = []
+    for seed in range(4):
+        query = generators.random_instance(
+            queries.triangle(), 60, 8, seed=seed
+        )
+        for r in (1, 2):
+            join = RelaxedJoin(query, r)
+            run = timed(join.execute)
+            bound = join.bound()
+            assert len(run.result) <= bound + 1e-6
+            reference = relaxed_join_reference(query, r)
+            assert run.result.equivalent(reference)
+            rows.append(
+                (
+                    seed,
+                    r,
+                    len(run.result),
+                    f"{bound:.0f}",
+                    f"{run.seconds:.4f}",
+                )
+            )
+    record_table(
+        format_table(
+            ("seed", "r", "|q_r|", "bound", "time s"),
+            rows,
+            title="E7: Algorithm 6 on random triangles (verified against Definition 7.4)",
+        )
+    )
+    benchmark.pedantic(
+        lambda: RelaxedJoin(
+            generators.random_instance(queries.triangle(), 60, 8, seed=0), 1
+        ).execute(),
+        rounds=3,
+        iterations=1,
+    )

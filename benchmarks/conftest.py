@@ -1,0 +1,33 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every experiment module (one per DESIGN.md experiment id) measures its
+sweep with :mod:`repro.utils.timing`, renders an ASCII table of the series
+the paper's claim is about, and registers it via :func:`record_table`.
+The tables are printed in the terminal summary (outside pytest's capture,
+so they appear under ``--benchmark-only``) and appended to
+``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_TABLES: list[str] = []
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def record_table(text: str) -> None:
+    """Register an experiment table for the end-of-run summary."""
+    _TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for table in _TABLES:
+        terminalreporter.write_line(table)
+        terminalreporter.write_line("")
+    RESULTS_PATH.write_text("\n\n".join(_TABLES) + "\n")
+    terminalreporter.write_line(f"(tables saved to {RESULTS_PATH})")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cardinality estimation with guaranteed bounds (the paper's motivation).
+
+Classical optimizers estimate join sizes under independence assumptions
+and can be wrong by orders of magnitude in either direction [Ioannidis &
+Christodoulakis].  AGM bounds are different: they are *certified upper
+bounds* — never exceeded, tight in the worst case — and the paper's
+introduction pitches them as "previously unknown, nontrivial methods to
+estimate the cardinality of a query result".
+
+This example sizes a triangle query three ways (cross product, integral
+cover, fractional cover), shows the per-sub-query bound table an optimizer
+would consume, and demonstrates the dual *packing certificate* that proves
+the fractional bound cannot be improved.
+
+Run:  python examples/cardinality_estimation.py
+"""
+
+from repro import JoinQuery, nprr_join
+from repro.core.estimates import (
+    agm_estimate,
+    estimate_report,
+    subquery_estimates,
+)
+from repro.hypergraph.duality import (
+    optimal_vertex_packing,
+    packing_lower_bound,
+    tight_instance,
+)
+from repro.workloads import instances
+
+
+def main() -> None:
+    n = 100
+    query = instances.triangle_hard_instance(n)
+    print("Example 2.2 instance, N =", n)
+    print()
+    print(estimate_report(query))
+
+    true_size = len(nprr_join(query))
+    print(f"\ntrue output size: {true_size} (the bound is worst-case, and")
+    print("this instance's pairwise joins are the worst case — see below)")
+
+    print("\nper-sub-query AGM bounds (what a cost-based optimizer sees):")
+    for subset, estimate in sorted(
+        subquery_estimates(query).items(), key=lambda kv: sorted(kv[0])
+    ):
+        sub = JoinQuery([query.relation(eid) for eid in sorted(subset)])
+        actual = len(nprr_join(sub))
+        print(
+            f"  {{{', '.join(sorted(subset))}}}:"
+            f" bound {estimate.bound:10.1f}   actual {actual}"
+        )
+    print(
+        "\nNote the shape: every *pairwise* bound is N^2 and nearly met"
+        f" (actual {n*n//4 + n//2}), while the full-query bound drops to"
+        f" N^1.5 = {n**1.5:.0f} — join order cannot avoid the quadratic"
+        " wedge, but a worst-case optimal join never builds it."
+    )
+
+    # The dual certificate: a fractional vertex packing whose value equals
+    # the AGM bound, plus the product instance that realizes it.
+    sizes = query.sizes()
+    packing = optimal_vertex_packing(query.hypergraph, sizes)
+    print(
+        f"\ndual packing certificate: y = "
+        f"{{{', '.join(f'{v}={w}' for v, w in packing.items())}}}"
+        f"\ncertified worst case: {packing_lower_bound(packing):.1f} tuples"
+    )
+    witness = tight_instance(query.hypergraph, sizes)
+    realized = len(nprr_join(witness))
+    print(
+        f"witness instance (same relation sizes): join has {realized} "
+        f"tuples — the bound {agm_estimate(query).bound:.1f} is not "
+        "pessimism, it is achievable."
+    )
+
+
+if __name__ == "__main__":
+    main()

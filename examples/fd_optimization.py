@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Functional dependencies as a query optimizer (Section 7.3).
+
+A star-schema-style query joins a user table against k attribute tables
+and a shared fact table.  Because the user id *functionally determines*
+each attribute, the FD-aware algorithm collapses the bound from N^k to
+N^2 and avoids the catastrophic ordering that materializes N^k tuples.
+
+Run:  python examples/fd_optimization.py
+"""
+
+import time
+
+from repro import FunctionalDependency, fd_aware_bound, fd_aware_join
+from repro.core.fd import closure, expand_query
+from repro.workloads import instances
+
+
+def main() -> None:
+    k, n = 4, 40
+    query, fds = instances.fd_fanout_instance(k, n)
+    print(
+        f"query: join_i R_i(A, B_i) * join_i S_i(B_i, C)   (k={k}, N={n})"
+    )
+    print("declared FDs:", ", ".join(str(fd) for fd in fds))
+
+    # The closure of R_1's attributes pulls in every B_i.
+    print(
+        "\nclosure of {A} under the FDs:",
+        sorted(closure({"A"}, fds)),
+    )
+
+    unaware, aware = fd_aware_bound(query, fds)
+    print(
+        f"\nAGM bound without FDs : {unaware:,.0f}   (= N^{k})"
+        f"\nAGM bound with FDs    : {aware:,.0f}   (= N^2)"
+        f"\nimprovement           : {unaware / aware:,.0f}x"
+    )
+
+    expanded = expand_query(query, fds)
+    print("\nexpanded relation schemas:")
+    for eid in expanded.edge_ids:
+        print(f"  {eid}: {expanded.relation(eid).attributes}")
+
+    start = time.perf_counter()
+    result = fd_aware_join(query, fds)
+    aware_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    # The trap the paper warns about: joining the S side first
+    # materializes the N^k half-join.
+    half = query.relation("S1")
+    for i in range(2, k + 1):
+        half = half.natural_join(query.relation(f"S{i}"))
+    trap_time = time.perf_counter() - start
+
+    print(
+        f"\nFD-aware join : {aware_time:.3f}s for {len(result)} tuples"
+        f"\nwrong ordering: {trap_time:.3f}s just to build the "
+        f"{len(half):,}-tuple half-join (= N^{k}) before any pruning"
+    )
+
+
+if __name__ == "__main__":
+    main()

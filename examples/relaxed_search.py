@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Approximate matching with relaxed joins (Section 7.2).
+
+A natural join is an AND across every relation; a *relaxed* join q_r keeps
+tuples that satisfy all but r of the constraints — the paper's relaxation
+of joins (Definition 7.4), useful when strict matching is too brittle
+(the Koudas et al. scenario the conclusion cites).
+
+The demo models apartment hunting: candidate (city, budget-band, size)
+combinations constrained by three preference relations.  With r = 0 the
+requirements are unsatisfiable together; r = 1 surfaces near-misses, and
+Theorem 7.6's bound tells us in advance how many near-misses are possible.
+
+Run:  python examples/relaxed_search.py
+"""
+
+from repro import JoinQuery, Relation, RelaxedJoin
+from repro.core.relaxed import minimal_candidate_sets
+
+
+def main() -> None:
+    # Preferences as relations over (City, Price, Rooms):
+    commute = Relation(  # cities with acceptable commute per price band
+        "Commute",
+        ("City", "Price"),
+        [
+            ("downtown", "high"),
+            ("midtown", "mid"),
+            ("suburb", "low"),
+        ],
+    )
+    space = Relation(  # how many rooms each price band buys
+        "Space",
+        ("Price", "Rooms"),
+        [
+            ("low", 3),
+            ("mid", 2),
+            ("high", 1),
+        ],
+    )
+    schools = Relation(  # school quality constraint on city+rooms
+        "Schools",
+        ("City", "Rooms"),
+        [
+            ("suburb", 2),
+            ("midtown", 1),
+            ("downtown", 3),
+        ],
+    )
+
+    query = JoinQuery([commute, space, schools])
+    print("preference relations:")
+    for rel in query.relations.values():
+        print(f"  {rel.name}: {sorted(rel.tuples)}")
+
+    for r in (0, 1, 2):
+        relaxed = RelaxedJoin(query, r)
+        result = relaxed.execute()
+        print(
+            f"\nq_{r} — satisfy at least {len(query) - r} of "
+            f"{len(query)} constraints "
+            f"(Theorem 7.6 bound: {relaxed.bound():.0f} tuples):"
+        )
+        if result.is_empty():
+            print("  no matches")
+        for row in sorted(result.tuples, key=repr):
+            assignment = dict(zip(result.attributes, row))
+            satisfied = [
+                rel.name
+                for rel in query.relations.values()
+                if tuple(assignment[a] for a in rel.attributes) in rel.tuples
+            ]
+            print(
+                f"  {assignment}  satisfies {len(satisfied)}: "
+                f"{', '.join(satisfied)}"
+            )
+
+    print("\nminimal candidate relation-sets for r = 1 (the paper's C-hat):")
+    for subset in minimal_candidate_sets(query, 1):
+        print(f"  {{{', '.join(sorted(subset))}}}")
+
+
+if __name__ == "__main__":
+    main()

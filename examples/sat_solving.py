@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""SAT solving with a join algorithm (Section 7.1's reduction, run forward).
+
+The paper proves joins cannot be *instance* optimal by reducing
+3-UniqueSAT to join evaluation: clause -> relation of its 7 satisfying
+assignments, formula satisfiable iff the join is non-empty.  Here we run
+the reduction constructively: Algorithm 2 enumerates all models of a CNF,
+worst-case optimally with respect to the clause relations' AGM bound.
+
+The demo solves the pigeonhole-style and graph-coloring formulas and
+cross-checks against brute force.
+
+Run:  python examples/sat_solving.py
+"""
+
+import itertools
+import time
+
+from repro.core.sat import (
+    count_models,
+    formula_to_query,
+    formula_variables,
+    satisfying_assignments,
+)
+from repro import output_bound
+
+
+def graph_coloring_cnf(edges, colors=2):
+    """2-coloring of a graph as CNF over one boolean per vertex."""
+    clauses = []
+    for u, v in edges:
+        # not (x_u == x_v):  (x_u or x_v) and (not x_u or not x_v)
+        clauses.append((u, v))
+        clauses.append((-u, -v))
+    return clauses
+
+
+def brute_force(clauses):
+    variables = formula_variables(clauses)
+    models = 0
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any((assignment[abs(l)] == 1) == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            models += 1
+    return models
+
+
+def main() -> None:
+    # An even cycle is 2-colorable (2 ways); an odd cycle is not.
+    even_cycle = [(i, i % 6 + 1) for i in range(1, 7)]
+    odd_cycle = [(i, i % 5 + 1) for i in range(1, 6)]
+
+    for name, edges in (("C6 (even)", even_cycle), ("C5 (odd)", odd_cycle)):
+        clauses = graph_coloring_cnf(edges)
+        start = time.perf_counter()
+        models = count_models(clauses)
+        elapsed = time.perf_counter() - start
+        expected = brute_force(clauses)
+        assert models == expected
+        verdict = "2-colorable" if models else "NOT 2-colorable"
+        print(
+            f"{name}: {models} colorings ({verdict})  "
+            f"[join: {elapsed*1e3:.1f} ms, brute force agrees]"
+        )
+
+    # A random-ish 3-CNF: enumerate every model through the join and show
+    # the AGM bound on the clause relations.
+    clauses = [
+        (1, 2, -3),
+        (-1, 3, 4),
+        (2, -4, 5),
+        (-2, -5, 6),
+        (3, -6, -1),
+        (4, 5, -6),
+    ]
+    query = formula_to_query(clauses)
+    bound = output_bound(query)
+    start = time.perf_counter()
+    sat = satisfying_assignments(clauses)
+    elapsed = time.perf_counter() - start
+    assert len(sat) == brute_force(clauses)
+    print(
+        f"\n3-CNF with {len(clauses)} clauses over "
+        f"{len(formula_variables(clauses))} variables:"
+        f"\n  AGM bound on models : {bound:.1f}"
+        f"\n  models found        : {len(sat)}  ({elapsed*1e3:.1f} ms)"
+    )
+    print("  first few models:")
+    for row in sorted(sat.tuples)[:4]:
+        print(
+            "   ",
+            ", ".join(f"{a}={v}" for a, v in zip(sat.attributes, row)),
+        )
+    print(
+        "\n(Section 7.1 uses exactly this reduction to show no join "
+        "algorithm can be poly(|q|, |q(I)|, |I|) unless NP = RP.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Triangle listing in social graphs: the paper's flagship application.
+
+The introduction's query (1) is exactly triangle enumeration, and Section 8
+notes the equivalence with listing triangles of a tripartite graph in
+O(N^{3/2}) [Alon-Yuster-Zwick].  This example builds a scale-free-ish
+"who-follows-whom" graph with a celebrity hub — the skew that wrecks
+binary join plans — and compares:
+
+* the best classical binary plan (materializes a quadratic wedge set),
+* Example 4.2's heavy/light triangle join,
+* Algorithm 2 / Generic Join / Leapfrog Triejoin.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import random
+import time
+
+from repro import JoinQuery, Relation, generic_join, leapfrog_join, nprr_join, triangle_join
+from repro.baselines.plans import best_binary_plan
+
+
+def build_social_graph(users: int, follows_per_user: int, seed: int = 42):
+    """A directed follower graph with one celebrity everyone follows."""
+    rng = random.Random(seed)
+    edges = set()
+    celebrity = 0
+    for user in range(1, users):
+        edges.add((user, celebrity))          # everyone follows user 0
+        for _ in range(follows_per_user):
+            other = rng.randrange(users)
+            if other != user:
+                edges.add((user, other))
+    # The celebrity follows a few people back.
+    for _ in range(follows_per_user):
+        edges.add((celebrity, rng.randrange(1, users)))
+    return edges
+
+
+def main() -> None:
+    users = 1500
+    edges = build_social_graph(users, follows_per_user=4)
+    print(f"social graph: {users} users, {len(edges)} follow edges")
+
+    # A triangle of mutual follow-chains: A follows B follows C follows A.
+    # Encode the single edge set three times with rotated attribute names.
+    query = JoinQuery(
+        [
+            Relation("R", ("A", "B"), edges),
+            Relation("S", ("B", "C"), edges),
+            Relation("T", ("C", "A"), edges),
+        ]
+    )
+
+    algorithms = {
+        "NPRR (Algorithm 2)": lambda: nprr_join(query),
+        "Generic Join": lambda: generic_join(query),
+        "Leapfrog Triejoin": lambda: leapfrog_join(query),
+        "Example 4.2 heavy/light": lambda: triangle_join(
+            query.relation("R"), query.relation("S"), query.relation("T")
+        ),
+    }
+    outputs = {}
+    print("\nworst-case optimal algorithms:")
+    for name, runner in algorithms.items():
+        start = time.perf_counter()
+        out = runner()
+        elapsed = time.perf_counter() - start
+        outputs[name] = out
+        print(f"  {name:26s} {elapsed:7.3f}s   {len(out)} directed triangles")
+
+    first = next(iter(outputs.values()))
+    assert all(out.equivalent(first) for out in outputs.values())
+
+    print("\nbest binary join plan (tries all 3 plan shapes):")
+    start = time.perf_counter()
+    plan, result, stats = best_binary_plan(query)
+    elapsed = time.perf_counter() - start
+    assert result.equivalent(first)
+    print(
+        f"  plan {plan}: {elapsed:.3f}s, peak intermediate "
+        f"{stats.max_intermediate} tuples"
+        f"\n  (the celebrity hub forces a quadratic wedge materialization;"
+        f"\n   the WCOJ algorithms never build it)"
+    )
+
+
+if __name__ == "__main__":
+    main()

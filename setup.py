@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (`pip install -e .`) on environments
+without the `wheel` package; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro: worst-case optimal join algorithms (Ngo-Porat-Re-Rudra, PODS'12).
+
+A complete reproduction of "Worst-case Optimal Join Algorithms": the AGM
+fractional-cover machinery, Algorithm 1 (Loomis-Whitney instances),
+Algorithm 2 (all join queries), the Section 6 lower-bound instance
+families, and every Section 7 extension (arity-2 queries, relaxed joins,
+full conjunctive queries, functional dependencies), plus the classical
+baselines the paper compares against and two successor WCOJ algorithms
+(Generic Join, Leapfrog Triejoin) as cross-checking extensions.
+
+Quickstart::
+
+    from repro import Relation, join, output_bound
+
+    r = Relation("R", ("A", "B"), [(0, 1), (1, 2)])
+    s = Relation("S", ("B", "C"), [(1, 5), (2, 6)])
+    t = Relation("T", ("A", "C"), [(0, 5), (1, 6)])
+    print(join([r, s, t]))          # worst-case optimal triangle join
+    print(output_bound([r, s, t]))  # the AGM bound 2^(3/2)
+"""
+
+from repro.api import ALGORITHMS, join, output_bound
+from repro.core import (
+    ArityTwoJoin,
+    Atom,
+    ConjunctiveQuery,
+    Const,
+    FunctionalDependency,
+    GenericJoin,
+    JoinQuery,
+    LWJoin,
+    LeapfrogTriejoin,
+    NPRRJoin,
+    QPTree,
+    RelaxedJoin,
+    Var,
+    arity_two_join,
+    fd_aware_bound,
+    fd_aware_join,
+    generic_join,
+    leapfrog_join,
+    lw_join,
+    nprr_join,
+    relaxed_join,
+    triangle_join,
+)
+from repro.errors import (
+    CoverError,
+    DatabaseError,
+    FunctionalDependencyError,
+    LinearProgramError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.hypergraph import (
+    FractionalCover,
+    Hypergraph,
+    agm_bound,
+    best_agm_bound,
+    lw_hypergraph,
+    optimal_fractional_cover,
+    tighten_cover,
+    verify_bt,
+    verify_lw,
+)
+from repro.relations import Database, Relation, TrieIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ArityTwoJoin",
+    "Atom",
+    "ConjunctiveQuery",
+    "Const",
+    "CoverError",
+    "Database",
+    "DatabaseError",
+    "FractionalCover",
+    "FunctionalDependency",
+    "FunctionalDependencyError",
+    "GenericJoin",
+    "Hypergraph",
+    "JoinQuery",
+    "LWJoin",
+    "LeapfrogTriejoin",
+    "LinearProgramError",
+    "NPRRJoin",
+    "QPTree",
+    "QueryError",
+    "Relation",
+    "RelaxedJoin",
+    "ReproError",
+    "SchemaError",
+    "TrieIndex",
+    "Var",
+    "agm_bound",
+    "arity_two_join",
+    "best_agm_bound",
+    "fd_aware_bound",
+    "fd_aware_join",
+    "generic_join",
+    "join",
+    "leapfrog_join",
+    "lw_hypergraph",
+    "lw_join",
+    "nprr_join",
+    "optimal_fractional_cover",
+    "output_bound",
+    "relaxed_join",
+    "tighten_cover",
+    "triangle_join",
+    "verify_bt",
+    "verify_lw",
+]

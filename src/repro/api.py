@@ -1,0 +1,90 @@
+"""The front door: one function to join relations with any algorithm.
+
+>>> from repro import Relation, join
+>>> r = Relation("R", ("A", "B"), [(1, 2), (2, 3)])
+>>> s = Relation("S", ("B", "C"), [(2, 9), (3, 7)])
+>>> t = Relation("T", ("A", "C"), [(1, 9), (2, 7)])
+>>> sorted(join([r, s, t]).tuples)
+[(1, 2, 9), (2, 3, 7)]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.arity_two import ArityTwoJoin
+from repro.core.generic_join import GenericJoin
+from repro.core.leapfrog import LeapfrogTriejoin
+from repro.core.lw import LWJoin
+from repro.core.nprr import NPRRJoin
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.agm import best_agm_bound
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation
+
+#: Algorithms selectable by name in :func:`join`.
+ALGORITHMS = ("nprr", "lw", "generic", "leapfrog", "arity2", "auto")
+
+
+def join(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    name: str = "J",
+) -> Relation:
+    """Compute the natural join of ``relations``, worst-case optimally.
+
+    Parameters
+    ----------
+    relations:
+        The relations to join (or an existing :class:`JoinQuery`).
+    algorithm:
+        * ``"nprr"`` — Algorithm 2 (works for every query);
+        * ``"lw"`` — Algorithm 1 (Loomis-Whitney instances only);
+        * ``"generic"`` / ``"leapfrog"`` — the extension WCOJ algorithms;
+        * ``"arity2"`` — Theorem 7.3's algorithm (arity <= 2 only);
+        * ``"auto"`` — pick a specialist when the query shape allows,
+          otherwise Algorithm 2.
+    cover:
+        Optional fractional edge cover (defaults to the LP optimum).  Only
+        consulted by the cover-driven algorithms (``nprr``, ``arity2``).
+    """
+    query = (
+        relations
+        if isinstance(relations, JoinQuery)
+        else JoinQuery(list(relations))
+    )
+    if algorithm == "auto":
+        if query.is_lw_instance() and cover is None:
+            algorithm = "lw"
+        elif query.hypergraph.is_graph() and cover is None:
+            algorithm = "arity2"
+        else:
+            algorithm = "nprr"
+    if algorithm == "nprr":
+        return NPRRJoin(query, cover=cover).execute(name)
+    if algorithm == "lw":
+        return LWJoin(query).execute(name)
+    if algorithm == "generic":
+        return GenericJoin(query).execute(name)
+    if algorithm == "leapfrog":
+        return LeapfrogTriejoin(query).execute(name)
+    if algorithm == "arity2":
+        return ArityTwoJoin(query, cover=cover).execute(name)
+    raise QueryError(
+        f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+    )
+
+
+def output_bound(
+    relations: Sequence[Relation] | JoinQuery,
+) -> float:
+    """The tightest AGM bound for the query given its relation sizes."""
+    query = (
+        relations
+        if isinstance(relations, JoinQuery)
+        else JoinQuery(list(relations))
+    )
+    _cover, bound = best_agm_bound(query.hypergraph, query.sizes())
+    return bound

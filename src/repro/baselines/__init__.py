@@ -1,0 +1,48 @@
+"""Baselines: the algorithms the paper's lower bounds quantify over."""
+
+from repro.baselines.hash_join import ChainStatistics, chain_hash_join, hash_join
+from repro.baselines.join_project import (
+    JoinProjectStatistics,
+    agm_join_project,
+)
+from repro.baselines.naive import naive_join
+from repro.baselines.plans import (
+    PlanNode,
+    best_binary_plan,
+    enumerate_plans,
+    execute_plan,
+    greedy_plan,
+    join_plan,
+    leaf,
+    left_deep_plan,
+)
+from repro.baselines.sort_merge import chain_sort_merge, sort_merge_join
+from repro.baselines.yannakakis import (
+    JoinTree,
+    gyo_reduction,
+    is_acyclic,
+    yannakakis_join,
+)
+
+__all__ = [
+    "JoinTree",
+    "gyo_reduction",
+    "is_acyclic",
+    "yannakakis_join",
+    "ChainStatistics",
+    "JoinProjectStatistics",
+    "PlanNode",
+    "agm_join_project",
+    "best_binary_plan",
+    "chain_hash_join",
+    "chain_sort_merge",
+    "enumerate_plans",
+    "execute_plan",
+    "greedy_plan",
+    "hash_join",
+    "join_plan",
+    "leaf",
+    "left_deep_plan",
+    "naive_join",
+    "sort_merge_join",
+]

@@ -1,0 +1,73 @@
+"""AGM's join-project algorithm: the ``O(|q|^2 N^{1+sum x_e})`` baseline.
+
+Atserias, Grohe, and Marx accompany their bound with an algorithm built
+from joins *and projections*: fix an attribute order ``v_1 .. v_n`` and
+maintain ``L_i = join_e pi_{e cap V_i}(R_e)`` for the growing prefixes
+``V_i = {v_1..v_i}``, computing ``L_i`` from ``L_{i-1}`` by joining the
+projections of the relations containing ``v_i``.  Every ``L_i`` is bounded
+by the AGM bound ``U`` of the projected instance, but one join step can
+cost up to ``U * N_max`` — which is exactly the paper's point in Section 6:
+on Example 2.2 and the Lemma 6.1 instances this algorithm runs in
+``Omega(N^2)`` while Algorithms 1 and 2 run in ``O(N)``.
+
+Join-project plans subsume join-only plans, so this implementation doubles
+as the generic "any join-project plan" adversary of Lemma 6.1 (whose lower
+bound applies to all of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+
+
+@dataclass
+class JoinProjectStatistics:
+    """Work counters: sizes of every materialized intermediate."""
+
+    intermediate_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def max_intermediate(self) -> int:
+        return max(self.intermediate_sizes, default=0)
+
+    @property
+    def total_intermediate(self) -> int:
+        return sum(self.intermediate_sizes)
+
+
+def agm_join_project(
+    query: JoinQuery,
+    attribute_order: Sequence[str] | None = None,
+    name: str = "J",
+) -> tuple[Relation, JoinProjectStatistics]:
+    """Run AGM's join-project plan; returns (result, statistics)."""
+    order = (
+        tuple(attribute_order)
+        if attribute_order is not None
+        else query.attributes
+    )
+    if set(order) != set(query.attributes) or len(order) != len(
+        query.attributes
+    ):
+        raise QueryError(
+            f"attribute order {order!r} is not a permutation of "
+            f"{query.attributes!r}"
+        )
+    stats = JoinProjectStatistics()
+    # L_0 holds the single empty tuple.
+    level = Relation("L0", (), [()])
+    for i, attribute in enumerate(order, start=1):
+        prefix = set(order[:i])
+        for eid in query.edge_ids:
+            relation = query.relation(eid)
+            if attribute not in relation.attribute_set:
+                continue
+            visible = [a for a in relation.attributes if a in prefix]
+            level = level.natural_join(relation.project(visible))
+            stats.intermediate_sizes.append(len(level))
+    return level.reorder(query.attributes).with_name(name), stats

@@ -1,0 +1,53 @@
+"""The definitional join: the test oracle every algorithm is checked against.
+
+Section 2 defines the output as
+
+    q(I) = { t in D^{A(q)} : t_{A_i} in R_i for each i }.
+
+:func:`naive_join` evaluates that definition literally, enumerating the
+product of per-attribute candidate domains and filtering by membership in
+every relation.  (The candidate domain of an attribute is the intersection
+of its projections across the relations containing it — a tuple outside
+that set fails the membership test anyway, so this is still the
+definition, just without provably-dead candidates.)
+
+Exponential in the number of attributes; use only on small oracle inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.query import JoinQuery
+from repro.relations.relation import Relation
+
+
+def naive_join(query: JoinQuery, name: str = "J") -> Relation:
+    """Evaluate the join by definition (exponential; test oracle only)."""
+    attributes = query.attributes
+    domains: list[set] = []
+    for attribute in attributes:
+        domain: set | None = None
+        for relation in query.relations.values():
+            if attribute not in relation.attribute_set:
+                continue
+            values = {
+                row[relation.position(attribute)] for row in relation.tuples
+            }
+            domain = values if domain is None else domain & values
+        assert domain is not None  # every attribute is in some relation
+        domains.append(domain)
+
+    checks = []
+    for relation in query.relations.values():
+        cols = tuple(attributes.index(a) for a in relation.attributes)
+        checks.append((cols, relation.tuples))
+
+    rows = []
+    for candidate in itertools.product(*[sorted(d, key=repr) for d in domains]):
+        if all(
+            tuple(candidate[i] for i in cols) in members
+            for cols, members in checks
+        ):
+            rows.append(candidate)
+    return Relation(name, attributes, rows)

@@ -1,0 +1,174 @@
+"""Binary join plans: trees of pairwise joins, enumerated and measured.
+
+Section 6's lower bounds quantify over *every* join-only (and join-project)
+plan, so the benchmarks must compare against the best plan available, not a
+strawman.  This module provides:
+
+* :class:`PlanNode` — bushy binary plan trees over the query's relations;
+* :func:`enumerate_plans` — every binary plan (all tree shapes times all
+  leaf assignments) for small ``m``;
+* :func:`execute_plan` — materialize a plan with hash joins, recording
+  every intermediate size;
+* :func:`best_binary_plan` — execute all plans and return the one with the
+  smallest total intermediate work (the fairest possible baseline);
+* :func:`greedy_plan` — the classical smallest-result-first heuristic for
+  larger ``m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.baselines.hash_join import ChainStatistics
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+
+#: Hard cap for exhaustive plan enumeration (numbers explode factorially).
+MAX_EXHAUSTIVE_RELATIONS = 6
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """A bushy binary plan: a leaf (relation) or an inner join of two."""
+
+    edge_id: str | None = None
+    left: "PlanNode | None" = None
+    right: "PlanNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.edge_id is not None
+
+    def leaves(self) -> list[str]:
+        if self.is_leaf:
+            return [self.edge_id]  # type: ignore[list-item]
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return str(self.edge_id)
+        return f"({self.left} ⋈ {self.right})"
+
+
+def leaf(edge_id: str) -> PlanNode:
+    """A leaf plan scanning one relation."""
+    return PlanNode(edge_id=edge_id)
+
+
+def join_plan(left: PlanNode, right: PlanNode) -> PlanNode:
+    """An inner plan joining two subplans."""
+    return PlanNode(left=left, right=right)
+
+
+def left_deep_plan(order: Sequence[str]) -> PlanNode:
+    """The left-deep plan joining relations in the given order."""
+    plan = leaf(order[0])
+    for eid in order[1:]:
+        plan = join_plan(plan, leaf(eid))
+    return plan
+
+
+def enumerate_plans(edge_ids: Sequence[str]) -> list[PlanNode]:
+    """Every bushy binary plan over the given relations.
+
+    Counts grow as ``(2m-3)!!`` — guarded by
+    :data:`MAX_EXHAUSTIVE_RELATIONS`.
+    """
+    ids = list(edge_ids)
+    if len(ids) > MAX_EXHAUSTIVE_RELATIONS:
+        raise QueryError(
+            f"refusing to enumerate plans over {len(ids)} relations "
+            f"(cap {MAX_EXHAUSTIVE_RELATIONS}); use greedy_plan instead"
+        )
+
+    def build(subset: tuple[str, ...]) -> list[PlanNode]:
+        if len(subset) == 1:
+            return [leaf(subset[0])]
+        plans = []
+        # Split into non-empty (left, right); avoid mirrored duplicates by
+        # keeping the first element on the left.
+        rest = subset[1:]
+        for mask in range(1 << len(rest)):
+            left_ids = (subset[0],) + tuple(
+                rest[i] for i in range(len(rest)) if mask >> i & 1
+            )
+            right_ids = tuple(
+                rest[i] for i in range(len(rest)) if not (mask >> i & 1)
+            )
+            if not right_ids:
+                continue
+            for lp in build(left_ids):
+                for rp in build(right_ids):
+                    plans.append(join_plan(lp, rp))
+        return plans
+
+    return build(tuple(ids))
+
+
+def execute_plan(
+    query: JoinQuery, plan: PlanNode, name: str = "J"
+) -> tuple[Relation, ChainStatistics]:
+    """Materialize a plan bottom-up with hash joins, recording every
+    intermediate result size."""
+    if sorted(plan.leaves()) != sorted(query.edge_ids):
+        raise QueryError(
+            f"plan leaves {sorted(plan.leaves())} do not match the query's "
+            f"relations {sorted(query.edge_ids)}"
+        )
+    stats = ChainStatistics()
+
+    def run(node: PlanNode) -> Relation:
+        if node.is_leaf:
+            return query.relation(node.edge_id)  # type: ignore[arg-type]
+        assert node.left is not None and node.right is not None
+        result = run(node.left).natural_join(run(node.right))
+        stats.intermediate_sizes.append(len(result))
+        return result
+
+    result = run(plan)
+    return result.reorder(query.attributes).with_name(name), stats
+
+
+def best_binary_plan(
+    query: JoinQuery,
+) -> tuple[PlanNode, Relation, ChainStatistics]:
+    """Execute *every* binary plan; return the cheapest by total
+    intermediate tuples.  This is the strongest possible join-only
+    adversary for the Section 6 benchmarks."""
+    best: tuple[PlanNode, Relation, ChainStatistics] | None = None
+    for plan in enumerate_plans(query.edge_ids):
+        result, stats = execute_plan(query, plan)
+        if best is None or stats.total_intermediate < best[2].total_intermediate:
+            best = (plan, result, stats)
+    assert best is not None
+    return best
+
+
+def greedy_plan(query: JoinQuery) -> PlanNode:
+    """Smallest-actual-result-first greedy plan (classical optimizer
+    heuristic, using true sizes rather than estimates)."""
+    pieces: list[tuple[PlanNode, Relation]] = [
+        (leaf(eid), query.relation(eid)) for eid in query.edge_ids
+    ]
+    while len(pieces) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_size = None
+        best_result = None
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                candidate = pieces[i][1].natural_join(pieces[j][1])
+                if best_size is None or len(candidate) < best_size:
+                    best_size = len(candidate)
+                    best_pair = (i, j)
+                    best_result = candidate
+        assert best_pair is not None and best_result is not None
+        i, j = best_pair
+        merged = (join_plan(pieces[i][0], pieces[j][0]), best_result)
+        pieces = [
+            piece for k, piece in enumerate(pieces) if k not in (i, j)
+        ]
+        pieces.append(merged)
+    return pieces[0][0]

@@ -1,0 +1,154 @@
+"""Acyclic queries: GYO reduction and Yannakakis' algorithm.
+
+The paper's related work notes that "in the special case when the join
+graph is acyclic, there are several known results which achieve (near)
+optimal run time with respect to the output size" [29, 35].  The classic
+such result is Yannakakis' algorithm: for an *alpha-acyclic* full query,
+a full-reducer semijoin program followed by joins along a join tree runs
+in ``O(input + output)``.
+
+This module provides that comparison point:
+
+* :func:`gyo_reduction` — the Graham/Yu-Ozsoyoglu ear-removal test, which
+  both decides alpha-acyclicity and produces a join tree;
+* :func:`is_acyclic` — the boolean shortcut;
+* :func:`yannakakis_join` — the full algorithm (semijoin sweeps + joins).
+
+Cyclic queries (the triangle, LW instances, cycles — everything the
+worst-case optimal algorithms exist for) are rejected: that boundary is
+exactly the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+
+
+@dataclass
+class JoinTree:
+    """A join tree over edge ids: ``parent[e]`` is e's neighbor toward the
+    root (absent for the root itself).
+
+    The defining property (guaranteed by GYO): for every edge, its shared
+    attributes with the rest of its subtree all occur in its parent.
+    """
+
+    root: str
+    parent: dict[str, str] = field(default_factory=dict)
+
+    def children(self) -> dict[str, list[str]]:
+        """Child lists per node (derived from the parent map)."""
+        out: dict[str, list[str]] = {self.root: []}
+        for child in self.parent:
+            out.setdefault(child, [])
+        for child, parent in self.parent.items():
+            out.setdefault(parent, []).append(child)
+        return out
+
+    def bottom_up(self) -> list[str]:
+        """Edge ids ordered leaves-first (every node after its children)."""
+        children = self.children()
+        order: list[str] = []
+        stack = [(self.root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                order.append(node)
+                continue
+            stack.append((node, True))
+            for child in children.get(node, ()):
+                stack.append((child, False))
+        return order
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> JoinTree | None:
+    """GYO ear removal; returns a join tree, or ``None`` when cyclic.
+
+    An edge ``e`` is an *ear* when some other edge ``w`` contains every
+    attribute ``e`` shares with the rest of the hypergraph; removing ears
+    until one edge remains succeeds exactly for alpha-acyclic hypergraphs.
+    """
+    remaining: dict[str, frozenset[str]] = dict(hypergraph.edges)
+    if not remaining:
+        return None
+    parent: dict[str, str] = {}
+    while len(remaining) > 1:
+        ear = None
+        witness = None
+        for eid, members in remaining.items():
+            exclusive = members
+            shared: set[str] = set()
+            for other_id, other in remaining.items():
+                if other_id != eid:
+                    shared |= members & other
+            for other_id, other in remaining.items():
+                if other_id == eid:
+                    continue
+                if shared <= other:
+                    ear, witness = eid, other_id
+                    break
+            if ear is not None:
+                break
+        if ear is None:
+            return None  # no ear: cyclic
+        parent[ear] = witness  # type: ignore[assignment]
+        del remaining[ear]
+    (root,) = remaining
+    return JoinTree(root=root, parent=parent)
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """True when the query hypergraph is alpha-acyclic."""
+    return gyo_reduction(hypergraph) is not None
+
+
+def yannakakis_join(query: JoinQuery, name: str = "J") -> Relation:
+    """Yannakakis' algorithm for full acyclic queries.
+
+    Three passes over the join tree:
+
+    1. bottom-up semijoin: each relation filters its parent
+       (``parent := parent semijoin child`` after the child is reduced);
+    2. top-down semijoin: each relation is filtered by its (now reduced)
+       parent — after this the instance is *globally consistent*;
+    3. bottom-up join: materialize, guaranteed output-monotone (every
+       intermediate projects into the final output).
+
+    Raises :class:`~repro.errors.QueryError` on cyclic queries.
+    """
+    tree = gyo_reduction(query.hypergraph)
+    if tree is None:
+        raise QueryError(
+            "Yannakakis' algorithm requires an alpha-acyclic query; this "
+            "one is cyclic (use a worst-case optimal algorithm instead)"
+        )
+    reduced: dict[str, Relation] = {
+        eid: query.relation(eid) for eid in query.edge_ids
+    }
+    order = tree.bottom_up()
+    # Pass 1: leaves-to-root semijoins.
+    for eid in order:
+        parent = tree.parent.get(eid)
+        if parent is not None:
+            reduced[parent] = reduced[parent].semijoin(reduced[eid])
+    # Pass 2: root-to-leaves semijoins.
+    for eid in reversed(order):
+        parent = tree.parent.get(eid)
+        if parent is not None:
+            reduced[eid] = reduced[eid].semijoin(reduced[parent])
+    # Pass 3: join bottom-up along the tree.
+    results: dict[str, Relation] = {}
+    children = tree.children()
+    for eid in order:
+        current = reduced[eid]
+        for child in children.get(eid, ()):
+            current = current.natural_join(results[child])
+        results[eid] = current
+    return (
+        results[tree.root].reorder(query.attributes).with_name(name)
+    )

@@ -1,0 +1,101 @@
+"""Core algorithms: the paper's contributions and their extensions."""
+
+from repro.core.arity_two import (
+    ArityTwoJoin,
+    arity_two_join,
+    cycle_join,
+    decompose_support,
+    is_half_integral,
+)
+from repro.core.conjunctive import Atom, ConjunctiveQuery, Const, Var
+from repro.core.estimates import (
+    Estimate,
+    agm_estimate,
+    estimate_report,
+    integral_cover_bound,
+    product_bound,
+    subquery_estimates,
+)
+from repro.core.fd import (
+    FunctionalDependency,
+    closure,
+    expand_query,
+    expand_relation,
+    fd_aware_bound,
+    fd_aware_join,
+)
+from repro.core.generic_join import GenericJoin, generic_join
+from repro.core.leapfrog import LeapfrogTriejoin, leapfrog_join
+from repro.core.lw import LWJoin, lw_join, triangle_join
+from repro.core.nprr import JoinStatistics, NPRRJoin, nprr_join
+from repro.core.patterns import (
+    count_pattern,
+    find_pattern,
+    pattern_bound,
+    pattern_query,
+)
+from repro.core.qptree import QPNode, QPTree
+from repro.core.query import JoinQuery
+from repro.core.relaxed import (
+    RelaxedJoin,
+    bfs_representatives,
+    candidate_sets,
+    minimal_candidate_sets,
+    relaxed_join,
+    relaxed_join_reference,
+)
+from repro.core.sat import (
+    formula_to_query,
+    is_satisfiable,
+    satisfying_assignments,
+)
+
+__all__ = [
+    "ArityTwoJoin",
+    "Atom",
+    "ConjunctiveQuery",
+    "Const",
+    "Estimate",
+    "agm_estimate",
+    "estimate_report",
+    "integral_cover_bound",
+    "product_bound",
+    "subquery_estimates",
+    "FunctionalDependency",
+    "GenericJoin",
+    "JoinQuery",
+    "JoinStatistics",
+    "LWJoin",
+    "LeapfrogTriejoin",
+    "NPRRJoin",
+    "QPNode",
+    "QPTree",
+    "RelaxedJoin",
+    "Var",
+    "arity_two_join",
+    "bfs_representatives",
+    "candidate_sets",
+    "closure",
+    "count_pattern",
+    "cycle_join",
+    "decompose_support",
+    "find_pattern",
+    "pattern_bound",
+    "pattern_query",
+    "expand_query",
+    "expand_relation",
+    "fd_aware_bound",
+    "fd_aware_join",
+    "formula_to_query",
+    "generic_join",
+    "is_half_integral",
+    "is_satisfiable",
+    "leapfrog_join",
+    "lw_join",
+    "minimal_candidate_sets",
+    "nprr_join",
+    "relaxed_join",
+    "relaxed_join_reference",
+    "satisfying_assignments",
+    "triangle_join",
+]

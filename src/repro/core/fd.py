@@ -1,0 +1,207 @@
+"""Simple functional dependencies (Section 7.3): FD-aware join processing.
+
+A *simple functional dependency* is a triple ``e.u -> e.v`` with
+``u, v in e``: any two tuples of ``R_e`` agreeing on ``u`` agree on ``v``.
+Given a set ``Gamma`` of FDs, the paper's algorithm:
+
+1. builds the FD digraph ``G(Gamma)`` on the attributes,
+2. expands every relation ``R_e`` to ``R'_{e'}`` where ``e'`` is the
+   closure of ``e`` under reachability in ``G(Gamma)``, walking the graph
+   breadth-first and looking derived values up in the relations that
+   *define* each FD,
+3. solves the cover LP on the expanded hypergraph and runs Algorithm 2.
+
+The expansion can shrink the AGM bound dramatically — the paper's
+``k``-fan-out example drops from ``N^k`` to ``N^2`` — because closures
+overlap much more than the original edges did.
+
+Expansion semantics: while deriving ``v`` from ``u`` through the FD
+``f.u -> f.v``, a tuple whose ``u``-value does not occur in ``pi_u(R_f)``
+is dropped.  This preserves the join: every output tuple must embed into
+``R_f`` (it is one of the joined relations), so its ``u``-value occurs
+there.  When several FD paths could derive the same attribute, the first
+one (in BFS order) wins; a tuple for which two paths would disagree can
+never appear in the full join, so the choice is harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.nprr import NPRRJoin
+from repro.core.query import JoinQuery
+from repro.errors import FunctionalDependencyError, QueryError
+from repro.hypergraph.agm import best_agm_bound
+from repro.relations.relation import Relation, Value
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``edge.source -> edge.target``: within relation ``edge``, the value
+    of ``source`` determines the value of ``target``."""
+
+    edge: str
+    source: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.edge}.{self.source} -> {self.edge}.{self.target}"
+
+
+def validate_fds(
+    query: JoinQuery, fds: Sequence[FunctionalDependency]
+) -> None:
+    """Check that each FD refers to a real relation and its attributes, and
+    that the data actually satisfies it."""
+    for fd in fds:
+        relation = query.relation(fd.edge)
+        for attribute in (fd.source, fd.target):
+            if attribute not in relation.attribute_set:
+                raise QueryError(
+                    f"FD {fd} refers to attribute {attribute!r} not in "
+                    f"relation {fd.edge!r}"
+                )
+        _value_map(relation, fd)  # raises on violations
+
+
+def fd_graph(
+    fds: Iterable[FunctionalDependency],
+) -> dict[str, list[FunctionalDependency]]:
+    """``G(Gamma)`` as an adjacency list: source attribute -> FDs out of it."""
+    graph: dict[str, list[FunctionalDependency]] = {}
+    for fd in fds:
+        graph.setdefault(fd.source, []).append(fd)
+    return graph
+
+
+def closure(
+    attributes: Iterable[str], fds: Iterable[FunctionalDependency]
+) -> frozenset[str]:
+    """All attributes reachable from ``attributes`` in ``G(Gamma)``."""
+    graph = fd_graph(fds)
+    reached = set(attributes)
+    frontier = list(reached)
+    while frontier:
+        attribute = frontier.pop()
+        for fd in graph.get(attribute, ()):
+            if fd.target not in reached:
+                reached.add(fd.target)
+                frontier.append(fd.target)
+    return frozenset(reached)
+
+
+def expand_relation(
+    relation: Relation,
+    query: JoinQuery,
+    fds: Sequence[FunctionalDependency],
+) -> Relation:
+    """``R'_{e'}``: extend ``relation`` to the closure of its attributes.
+
+    Walks ``G(Gamma)`` breadth-first from the relation's attributes; each
+    step appends one derived column, with values looked up in the FD's
+    defining relation.  Tuples whose source value is absent from the
+    defining relation (or whose derivations conflict) are dropped — they
+    cannot participate in the full join (see module docstring).
+    """
+    graph = fd_graph(fds)
+    attributes = list(relation.attributes)
+    rows = [list(row) for row in relation.tuples]
+    have = set(attributes)
+    frontier = list(attributes)
+    while frontier:
+        attribute = frontier.pop(0)
+        for fd in graph.get(attribute, ()):
+            if fd.target in have:
+                continue
+            mapping = _value_map(query.relation(fd.edge), fd)
+            src_pos = attributes.index(attribute)
+            kept = []
+            for row in rows:
+                derived = mapping.get(row[src_pos], _MISSING)
+                if derived is _MISSING:
+                    continue
+                kept.append(row + [derived])
+            rows = kept
+            attributes.append(fd.target)
+            have.add(fd.target)
+            frontier.append(fd.target)
+    return Relation(
+        relation.name, tuple(attributes), (tuple(r) for r in rows)
+    )
+
+
+def expand_query(
+    query: JoinQuery, fds: Sequence[FunctionalDependency]
+) -> JoinQuery:
+    """The FD-expanded query: every relation grown to its closure."""
+    validate_fds(query, fds)
+    return JoinQuery(
+        [
+            expand_relation(relation, query, fds)
+            for relation in query.relations.values()
+        ]
+    )
+
+
+def fd_aware_join(
+    query: JoinQuery,
+    fds: Sequence[FunctionalDependency],
+    name: str = "J",
+) -> Relation:
+    """Expand under the FDs, then run Algorithm 2 on the expanded query.
+
+    The result equals the plain join of the original query (the expansion
+    preserves it) but is computed within the expanded — usually far
+    smaller — AGM bound.
+    """
+    expanded = expand_query(query, fds)
+    result = NPRRJoin(expanded).execute(name)
+    return result.reorder(query.attributes)
+
+
+def fd_aware_bound(
+    query: JoinQuery, fds: Sequence[FunctionalDependency]
+) -> tuple[float, float]:
+    """(FD-unaware bound, FD-aware bound) — the paper's ``N^k`` vs ``N^2``.
+
+    Both are optimal AGM bounds; the second is computed on the expanded
+    hypergraph with the expanded relation sizes.
+    """
+    _cover, unaware = best_agm_bound(query.hypergraph, query.sizes())
+    expanded = expand_query(query, fds)
+    _cover2, aware = best_agm_bound(expanded.hypergraph, expanded.sizes())
+    return unaware, aware
+
+
+class _Missing:
+    """Sentinel distinguishing 'absent' from a stored ``None`` value."""
+
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _value_map(
+    relation: Relation, fd: FunctionalDependency
+) -> dict[Value, Value]:
+    """The function ``u-value -> v-value`` defined by ``R_e``.
+
+    Raises :class:`~repro.errors.FunctionalDependencyError` when the data
+    violates the dependency.
+    """
+    src = relation.position(fd.source)
+    dst = relation.position(fd.target)
+    mapping: dict[Value, Value] = {}
+    for row in relation.tuples:
+        key, value = row[src], row[dst]
+        existing = mapping.get(key, _MISSING)
+        if existing is _MISSING:
+            mapping[key] = value
+        elif existing != value:
+            raise FunctionalDependencyError(
+                f"{fd} violated: {fd.source}={key!r} maps to both "
+                f"{existing!r} and {value!r}"
+            )
+    return mapping

@@ -1,0 +1,308 @@
+"""Algorithm 1: the worst-case optimal join for Loomis-Whitney instances.
+
+A *Loomis-Whitney (LW) instance* (Section 4) joins ``n`` relations whose
+attribute sets are all the distinct ``(n-1)``-subsets of an ``n``-attribute
+universe.  Theorem 4.1: Algorithm 1 computes the join in
+``O(n^2 (prod_e N_e)^{1/(n-1)} + n^2 sum_e N_e)`` — linear in the LW bound.
+
+The algorithm builds a binary tree whose leaves are the attributes; each
+node ``x`` carries ``label(x)`` (= ``V`` minus the leaves under ``x``) and
+computes two sets bottom-up:
+
+* ``C(x)`` — candidate *full* output tuples accumulated so far;
+* ``D(x)`` — a relation on ``label(x)`` of join keys whose expansion was
+  postponed because it might blow the size budget
+  ``P = (prod_e N_e)^{1/(n-1)}``.
+
+The heavy/light split is the ``G`` test of line 5:
+``t in F`` is *light* when ``|D_L[t]| + 1 <= ceil(P / |D_R|)``; light keys
+are expanded now (the restricted join ``D_L join_G D_R``), heavy keys are
+pushed into ``D(x)`` for an ancestor to handle.  A final pruning pass keeps
+exactly the tuples whose every projection is present in its relation.
+
+:func:`triangle_join` is Example 4.2's standalone specialization for
+``R(A,B) join S(B,C) join T(A,C)`` with the threshold
+``tau = sqrt(|R| |T| / |S|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation, Row
+
+
+@dataclass
+class _LWNode:
+    """A node of Algorithm 1's binary attribute tree."""
+
+    leaves: tuple[str, ...]          # attributes below this node
+    label: tuple[str, ...]           # V minus leaves, in universe order
+    left: "_LWNode | None" = None
+    right: "_LWNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class LWJoin:
+    """Executor for Algorithm 1 on one LW instance.
+
+    Parameters
+    ----------
+    query:
+        A query whose hypergraph is an LW instance (checked).
+    """
+
+    def __init__(self, query: JoinQuery) -> None:
+        if not query.is_lw_instance():
+            raise QueryError(
+                "Algorithm 1 requires a Loomis-Whitney instance: edges must "
+                "be all (n-1)-subsets of the attributes"
+            )
+        self.query = query
+        self.universe = query.attributes
+        # Map each attribute v to the relation on V \ {v}.
+        self._omitting: dict[str, Relation] = {}
+        universe_set = set(self.universe)
+        for relation in query.relations.values():
+            omitted = universe_set - relation.attribute_set
+            (vertex,) = omitted
+            self._omitting[vertex] = relation
+        # The size budget P with P^{n-1} = prod_e N_e, kept exact via the
+        # integer product; comparisons against P are done in integer space.
+        self._size_product = 1
+        for relation in query.relations.values():
+            self._size_product *= len(relation)
+        self.tree = _build_label_tree(self.universe)
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, name: str = "J") -> Relation:
+        """Run Algorithm 1 and return the (pruned) join."""
+        if self._size_product == 0:
+            return self.query.empty_output(name)
+        candidates, _postponed = self._lw(self.tree)
+        pruned = self._prune(candidates)
+        return Relation(name, self.universe, pruned).reorder(
+            self.query.attributes
+        )
+
+    def bound(self) -> float:
+        """The LW bound ``P = (prod_e N_e)^{1/(n-1)}``."""
+        n = len(self.universe)
+        return self._size_product ** (1.0 / (n - 1))
+
+    # -- Algorithm 1 -----------------------------------------------------------
+
+    def _lw(self, node: _LWNode) -> tuple[list[Row], Relation]:
+        """The recursive procedure ``LW(x)``; returns ``(C, D)``.
+
+        ``C`` is a list of full tuples over the universe (in universe
+        order); ``D`` is a relation on ``label(x)``.
+        """
+        if node.is_leaf:
+            (vertex,) = node.leaves
+            relation = self._omitting[vertex]
+            # D(leaf) = R_{V \ {v}}, reordered to the label's column order.
+            return [], relation.reorder(node.label)
+
+        assert node.left is not None and node.right is not None
+        c_left, d_left = self._lw(node.left)
+        c_right, d_right = self._lw(node.right)
+
+        label = node.label
+        left_cols = node.left.label
+        right_cols = node.right.label
+        # Group both D relations by their label(x)-projection.
+        left_key_idx = [left_cols.index(a) for a in label]
+        right_key_idx = [right_cols.index(a) for a in label]
+        left_groups = _group_by(d_left.tuples, left_key_idx)
+        right_groups = _group_by(d_right.tuples, right_key_idx)
+
+        is_root = not label
+        if is_root:
+            light_keys = [()] if left_groups and right_groups else []
+        else:
+            # F = pi_label(D_L) cap pi_label(D_R);  G = light keys of F.
+            if len(d_right) == 0:
+                light_keys = []
+                heavy_keys: list[Row] = []
+            else:
+                threshold = _ceil_budget(
+                    self._size_product, len(self.universe) - 1, len(d_right)
+                )
+                light_keys = []
+                heavy_keys = []
+                for key, rows in left_groups.items():
+                    if key not in right_groups:
+                        continue
+                    if len(rows) + 1 <= threshold:
+                        light_keys.append(key)
+                    else:
+                        heavy_keys.append(key)
+
+        # C = (D_L join_G D_R) cup C_L cup C_R  (restricted to light keys).
+        out_map = self._merge_map(left_cols, right_cols)
+        candidates = list(c_left)
+        candidates.extend(c_right)
+        for key in light_keys:
+            for dl in left_groups[key]:
+                for dr in right_groups.get(key, ()):
+                    candidates.append(
+                        tuple(
+                            dl[i] if side == 0 else dr[i]
+                            for side, i in out_map
+                        )
+                    )
+        if is_root:
+            postponed = Relation("D", (), ())
+        else:
+            postponed = Relation("D", label, heavy_keys if len(d_right) else [])
+        return candidates, postponed
+
+    def _merge_map(
+        self, left_cols: Sequence[str], right_cols: Sequence[str]
+    ) -> list[tuple[int, int]]:
+        """For each universe attribute: (source side, column index)."""
+        left_pos = {a: i for i, a in enumerate(left_cols)}
+        right_pos = {a: i for i, a in enumerate(right_cols)}
+        out = []
+        for attribute in self.universe:
+            if attribute in left_pos:
+                out.append((0, left_pos[attribute]))
+            else:
+                out.append((1, right_pos[attribute]))
+        return out
+
+    def _prune(self, candidates: list[Row]) -> set[Row]:
+        """Keep tuples whose every (n-1)-projection is in its relation."""
+        checks = []
+        for vertex, relation in self._omitting.items():
+            cols = [
+                i
+                for i, attribute in enumerate(self.universe)
+                if attribute != vertex
+            ]
+            ordered = relation.reorder(
+                tuple(self.universe[i] for i in cols)
+            )
+            checks.append((cols, ordered.tuples))
+        kept: set[Row] = set()
+        for row in candidates:
+            if all(
+                tuple(row[i] for i in cols) in members
+                for cols, members in checks
+            ):
+                kept.add(row)
+        return kept
+
+
+def _build_label_tree(universe: Sequence[str]) -> _LWNode:
+    """A balanced binary tree over the attributes, with labels
+    ``label(x) = V minus leaves(x)`` (computed as intersections, per the
+    paper's inductive definition)."""
+    universe = tuple(universe)
+
+    def build(leaves: tuple[str, ...]) -> _LWNode:
+        label = tuple(a for a in universe if a not in leaves)
+        node = _LWNode(leaves=leaves, label=label)
+        if len(leaves) > 1:
+            mid = len(leaves) // 2
+            node.left = build(leaves[:mid])
+            node.right = build(leaves[mid:])
+        return node
+
+    return build(universe)
+
+
+def _group_by(rows, key_idx: Sequence[int]) -> dict[Row, list[Row]]:
+    groups: dict[Row, list[Row]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row[i] for i in key_idx), []).append(row)
+    return groups
+
+
+def _ceil_budget(size_product: int, root_degree: int, divisor: int) -> int:
+    """``ceil(P / divisor)`` with ``P = size_product^(1/root_degree)``,
+    computed exactly in integer space: the smallest ``c >= 1`` with
+    ``(c * divisor)^root_degree >= size_product``."""
+    if divisor <= 0:
+        raise ValueError("divisor must be positive")
+    guess = int(round(size_product ** (1.0 / root_degree) / divisor))
+    c = max(1, guess - 2)
+    while (c * divisor) ** root_degree < size_product:
+        c += 1
+    while c > 1 and ((c - 1) * divisor) ** root_degree >= size_product:
+        c -= 1
+    return c
+
+
+def lw_join(query: JoinQuery, name: str = "J") -> Relation:
+    """One-shot convenience wrapper for Algorithm 1."""
+    return LWJoin(query).execute(name)
+
+
+def triangle_join(
+    r: Relation, s: Relation, t: Relation, name: str = "J"
+) -> Relation:
+    """Example 4.2: the heavy/light triangle join in ``O(sqrt(|R||S||T|))``.
+
+    ``r``, ``s``, ``t`` must form a triangle: ``r`` and ``s`` share exactly
+    one attribute (the join key ``B``), ``s`` and ``t`` share one (``C``),
+    and ``t`` and ``r`` share one (``A``).  The algorithm splits ``B``
+    values of ``r`` into *heavy* (fan-out above ``tau = sqrt(|r||t|/|s|)``)
+    and *light*; heavy keys are paired with all of ``t`` and filtered, light
+    tuples are joined through ``s`` and filtered — both sides cost
+    ``O(sqrt(|r||s||t|))``.
+    """
+    shared_rs = r.attribute_set & s.attribute_set
+    shared_st = s.attribute_set & t.attribute_set
+    shared_tr = t.attribute_set & r.attribute_set
+    if not (
+        len(shared_rs) == len(shared_st) == len(shared_tr) == 1
+        and len(r.attributes) == len(s.attributes) == len(t.attributes) == 2
+    ):
+        raise QueryError(
+            "triangle_join expects binary relations R(A,B), S(B,C), T(A,C)"
+        )
+    (attr_b,) = shared_rs
+    (attr_c,) = shared_st
+    (attr_a,) = shared_tr
+    if len({attr_a, attr_b, attr_c}) != 3:
+        raise QueryError("triangle_join expects three distinct attributes")
+    r2 = r.reorder((attr_a, attr_b))
+    s2 = s.reorder((attr_b, attr_c))
+    t2 = t.reorder((attr_a, attr_c))
+    if not (len(r2) and len(s2) and len(t2)):
+        return Relation(name, (attr_a, attr_b, attr_c))
+
+    tau = (len(r2) * len(t2) / len(s2)) ** 0.5
+    r_by_b: dict[object, list[Row]] = {}
+    for a_val, b_val in r2.tuples:
+        r_by_b.setdefault(b_val, []).append((a_val, b_val))
+    s_by_b: dict[object, list[Row]] = {}
+    for b_val, c_val in s2.tuples:
+        s_by_b.setdefault(b_val, []).append((b_val, c_val))
+    r_set = r2.tuples
+    s_set = s2.tuples
+    t_set = t2.tuples
+
+    out: set[Row] = set()
+    for b_val, r_rows in r_by_b.items():
+        if len(r_rows) > tau:
+            # Heavy key: pair with every tuple of T, filter by R and S.
+            for a_val, c_val in t_set:
+                if (a_val, b_val) in r_set and (b_val, c_val) in s_set:
+                    out.add((a_val, b_val, c_val))
+        else:
+            # Light tuples: expand through S, filter by T.
+            for a_val, _ in r_rows:
+                for _, c_val in s_by_b.get(b_val, ()):
+                    if (a_val, c_val) in t_set:
+                        out.add((a_val, b_val, c_val))
+    return Relation(name, (attr_a, attr_b, attr_c), out)

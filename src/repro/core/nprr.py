@@ -1,0 +1,414 @@
+"""Algorithm 2: the worst-case optimal join for arbitrary queries.
+
+This module implements Section 5 of the paper: given a natural join query,
+a fractional edge cover ``x``, and the query-plan tree / total order /
+search trees of Sections 5.3.1-5.3.2, procedure ``Recursive-Join``
+(Procedure 5) computes the join in time ``O(mn prod_e N_e^{x_e})`` plus
+preprocessing (Theorem 5.1).
+
+Implementation notes
+--------------------
+* **Tuples are total-order prefixes.**  Property (TO1)/(TO2) of the total
+  order guarantees that the attribute set ``S cup univ(u)`` of every
+  intermediate result is a *prefix* of the total order, so intermediate
+  tuples are plain value tuples aligned with it — no dict allocation in the
+  hot loop.
+* **The cover per node is precompiled.**  A node is always invoked with the
+  same cover vector: the left child inherits ``(y_1..y_{k-1})``, the right
+  child the rescaled ``(y_i / (1-y_{e_k}))_{i<k}`` (Procedure 5, lines 14
+  and 22).  We therefore push the cover down the tree once, at compile
+  time, along with every per-node constant the per-tuple loop needs.
+* **Case a/b comparison.**  The per-tuple test
+  ``prod_{i<k} c_i^{y_i/(1-y_k)} < c_k`` is evaluated either exactly —
+  raise both sides to the power ``q (1-y_k)`` where ``q`` is the common
+  denominator of the node's cover, leaving an integer comparison — or in
+  floating log-space.  The choice affects only the run-time analysis, never
+  the output: both branches compute the same tuple set.
+* **Exactness.**  We rely on (and property-test) the invariant that
+  ``Recursive-Join(u, y, t_S)`` returns exactly
+  ``{(t_S, t_U) : forall i <= k, t_{(S u U) cap e_i} in
+  pi_{(S u U) cap e_i}(R_{e_i})}``; at the root this *is* the join, so no
+  final pruning pass is needed (unlike Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from fractions import Fraction
+from collections.abc import Sequence
+
+from repro.core.qptree import QPNode, QPTree
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.agm import optimal_fractional_cover
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.database import Database
+from repro.relations.relation import Relation, Row
+from repro.relations.trie import TrieIndex
+
+#: Maximum cover common-denominator for which the exact integer comparison
+#: is used under ``comparison="auto"``.
+EXACT_DENOMINATOR_LIMIT = 64
+
+
+@dataclass
+class JoinStatistics:
+    """Lightweight counters exposed for benchmarks and tests."""
+
+    recursive_calls: int = 0
+    leaf_calls: int = 0
+    case_a: int = 0
+    case_b: int = 0
+    tuples_emitted: int = 0
+    comparisons: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "recursive_calls": self.recursive_calls,
+            "leaf_calls": self.leaf_calls,
+            "case_a": self.case_a,
+            "case_b": self.case_b,
+            "tuples_emitted": self.tuples_emitted,
+            "comparisons": self.comparisons,
+        }
+
+
+@dataclass
+class _NodePlan:
+    """Everything the per-tuple loop needs at one QP node, precompiled."""
+
+    k: int
+    start: int                      # rank where univ(u) begins (= |S|)
+    u_size: int                     # |univ(u)|
+    cover: tuple[Fraction, ...]     # y_1 .. y_k for this node
+    # Leaf-only: (edge id, trie) for e_1..e_k.
+    leaf_edges: list[tuple[str, TrieIndex]] = field(default_factory=list)
+    # Internal-only fields:
+    anchor: str = ""
+    anchor_trie: TrieIndex | None = None
+    w_size: int = 0                 # |W| = |U \ e_k|
+    wm_size: int = 0                # |W^-| = |U cap e_k|
+    yk_float: float = 0.0
+    yk_ge_one: bool = False
+    # Edges e_i (i<k) with e_i cap W^- nonempty:
+    #   (edge id, trie, depth of its W^- part, offsets of that part within
+    #    the W^- block, float exponent y_i, exact exponent p_i or None)
+    checked_edges: list[
+        tuple[str, TrieIndex, int, tuple[int, ...], float, int | None]
+    ] = field(default_factory=list)
+    one_minus_yk_float: float = 0.0
+    rhs_exponent: int | None = None  # q*(1-y_k) for the exact comparison
+
+
+class NPRRJoin:
+    """Executor for Algorithm 2 over one query.
+
+    Parameters
+    ----------
+    query:
+        The natural join query.
+    cover:
+        A fractional edge cover of the query's hypergraph.  Defaults to the
+        LP-optimal cover for the current relation sizes (Section 2).
+    edge_order:
+        The fixed order ``e_1..e_m`` used by Algorithm 3.  Defaults to the
+        query's relation order.
+    database:
+        Optional catalog whose trie cache should be used (Remark 5.2's
+        ahead-of-time indexing).  When omitted, tries are built privately.
+    comparison:
+        ``"auto"`` (exact when the cover's common denominator is at most
+        ``EXACT_DENOMINATOR_LIMIT``, else float), ``"exact"``, or
+        ``"float"``.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        cover: FractionalCover | None = None,
+        edge_order: Sequence[str] | None = None,
+        database: Database | None = None,
+        comparison: str = "auto",
+    ) -> None:
+        if comparison not in ("auto", "exact", "float"):
+            raise QueryError(f"unknown comparison mode {comparison!r}")
+        self.query = query
+        if cover is None:
+            cover = optimal_fractional_cover(query.hypergraph, query.sizes())
+        cover.validate(query.hypergraph)
+        self.cover = cover
+        self.tree = QPTree(query.hypergraph, edge_order)
+        self.comparison = comparison
+        self.stats = JoinStatistics()
+        self._tries: dict[str, TrieIndex] = {}
+        self._edge_ranks: dict[str, tuple[int, ...]] = {}
+        for eid in query.edge_ids:
+            order = self.tree.relation_order(eid)
+            if database is not None:
+                trie = database.trie(eid, order)
+            else:
+                trie = TrieIndex(query.relation(eid), order)
+            self._tries[eid] = trie
+            self._edge_ranks[eid] = tuple(self.tree.rank(a) for a in order)
+        self._plans: dict[int, _NodePlan] = {}
+        root_cover = tuple(cover[eid] for eid in self.tree.edge_order)
+        self._compile(self.tree.root, root_cover)
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, name: str = "J") -> Relation:
+        """Run Recursive-Join at the root and return the join result.
+
+        The output schema follows the query's attribute order.
+        """
+        self.stats = JoinStatistics()
+        rows = self._recursive_join(self.tree.root, ())
+        result = Relation(name, self.tree.total_order, rows)
+        return result.reorder(self.query.attributes).with_name(name)
+
+    # -- compilation ------------------------------------------------------------
+
+    def _compile(self, node: QPNode, cover: tuple[Fraction, ...]) -> None:
+        """Push the cover down the QP-tree and precompute node constants."""
+        k = node.label
+        universe = node.universe
+        start = min(self.tree.rank(v) for v in universe)
+        plan = _NodePlan(k=k, start=start, u_size=len(universe), cover=cover)
+        self._plans[id(node)] = plan
+        if node.is_leaf:
+            plan.leaf_edges = [
+                (eid, self._tries[eid]) for eid in self.tree.edge_order[:k]
+            ]
+            return
+
+        anchor = self.tree.edge_order[k - 1]
+        anchor_set = self.tree.hypergraph.edges[anchor]
+        w_minus = universe & anchor_set
+        plan.anchor = anchor
+        plan.anchor_trie = self._tries[anchor]
+        plan.w_size = len(universe - anchor_set)
+        plan.wm_size = len(w_minus)
+        y_k = cover[k - 1]
+        plan.yk_ge_one = y_k >= 1
+        plan.yk_float = float(y_k)
+        plan.one_minus_yk_float = float(1 - y_k)
+
+        # Exact-comparison constants: common denominator q of y_1..y_k.
+        q = 1
+        for y in cover:
+            q = q * y.denominator // math.gcd(q, y.denominator)
+        use_exact = self.comparison == "exact" or (
+            self.comparison == "auto" and q <= EXACT_DENOMINATOR_LIMIT
+        )
+        if use_exact and not plan.yk_ge_one:
+            plan.rhs_exponent = int(q * (1 - y_k))
+
+        block_start = start + plan.w_size
+        block_end = start + plan.u_size
+        for i in range(k - 1):
+            eid = self.tree.edge_order[i]
+            ranks = self._edge_ranks[eid]
+            offsets = tuple(
+                r - block_start for r in ranks if block_start <= r < block_end
+            )
+            if not offsets:
+                continue
+            exact_exp = int(q * cover[i]) if plan.rhs_exponent is not None else None
+            plan.checked_edges.append(
+                (
+                    eid,
+                    self._tries[eid],
+                    len(offsets),
+                    offsets,
+                    float(cover[i]),
+                    exact_exp,
+                )
+            )
+
+        child_cover = cover[: k - 1]
+        if node.left is not None:
+            self._compile(node.left, child_cover)
+        if node.right is not None:
+            if plan.yk_ge_one:
+                # Never recursed into (case b always applies), but compile
+                # with the un-rescaled cover so the subtree stays valid.
+                self._compile(node.right, child_cover)
+            else:
+                scale = 1 / (1 - y_k)
+                self._compile(
+                    node.right, tuple(y * scale for y in child_cover)
+                )
+
+    # -- trie walking -----------------------------------------------------------
+
+    def _walk(self, eid: str, prefix: Row):
+        """Walk ``R_e``'s trie by every attribute of ``e`` already bound in
+        ``prefix`` (a total-order prefix tuple).  Returns the reached node
+        or ``None``."""
+        ranks = self._edge_ranks[eid]
+        cut = bisect_left(ranks, len(prefix))
+        return self._tries[eid].walk([prefix[r] for r in ranks[:cut]])
+
+    # -- Procedure 5 ------------------------------------------------------------
+
+    def _recursive_join(self, node: QPNode, t_s: Row) -> list[Row]:
+        """``Recursive-Join(u, y, t_S)``; ``y`` was precompiled per node."""
+        self.stats.recursive_calls += 1
+        plan = self._plans[id(node)]
+
+        if node.is_leaf:
+            return self._leaf_join(plan, t_s)
+
+        # Lines 10-14: the left subproblem (or the singleton {t_S}).
+        if node.left is None:
+            level = [t_s]
+        else:
+            level = self._recursive_join(node.left, t_s)
+        if plan.wm_size == 0:
+            return level  # lines 16-17
+
+        out: list[Row] = []
+        prefix_len = plan.start + plan.w_size
+        wm_size = plan.wm_size
+        anchor_trie = plan.anchor_trie
+        assert anchor_trie is not None
+        for t in level:
+            anchor_node = self._walk(plan.anchor, t)
+            if anchor_node is None:
+                # pi_{W^-}(R_{e_k}[t_{S cap e_k}]) is empty: no tuple can
+                # satisfy the anchor, whichever case we would pick.
+                continue
+            sections: list[tuple[TrieIndex, object, tuple[int, ...]]] = []
+            if plan.yk_ge_one:
+                decision = "b"
+                for eid, trie, _d, offsets, _yf, _pe in plan.checked_edges:
+                    section = self._walk(eid, t)
+                    if section is None:
+                        decision = "skip"
+                        break
+                    sections.append((trie, section, offsets))
+            else:
+                self.stats.comparisons += 1
+                c_k = anchor_trie.count(anchor_node, wm_size)
+                decision = self._decide_case(plan, t, c_k, sections)
+            if decision == "skip":
+                continue
+            if decision == "a":
+                # Case a (lines 21-25): recurse right, filter against e_k.
+                self.stats.case_a += 1
+                if node.right is None:
+                    raise QueryError(
+                        "case a reached a nil right child; the supplied "
+                        "cover is not valid for this subproblem"
+                    )
+                for z in self._recursive_join(node.right, t):
+                    tail = z[prefix_len : prefix_len + wm_size]
+                    if anchor_trie.descend(anchor_node, tail) is not None:
+                        out.append(z)
+                continue
+            # Case b (lines 27-29): scan the anchor's section, check others.
+            self.stats.case_b += 1
+            for tail in anchor_trie.paths(anchor_node, wm_size):
+                ok = True
+                for trie, section, offsets in sections:
+                    values = [tail[o] for o in offsets]
+                    if trie.descend(section, values) is None:
+                        ok = False
+                        break
+                if ok:
+                    out.append(t + tail)
+        self.stats.tuples_emitted += len(out)
+        return out
+
+    def _leaf_join(self, plan: _NodePlan, t_s: Row) -> list[Row]:
+        """Lines 3-9 of Procedure 5: intersect the k section-projections."""
+        self.stats.leaf_calls += 1
+        u_size = plan.u_size
+        best: tuple | None = None
+        best_count = None
+        sections = []
+        for eid, trie in plan.leaf_edges:
+            section = self._walk(eid, t_s)
+            count = trie.count(section, u_size)
+            if count == 0:
+                return []
+            sections.append((trie, section))
+            if best_count is None or count < best_count:
+                best_count = count
+                best = (trie, section)
+        assert best is not None
+        best_trie, best_section = best
+        out = []
+        for candidate in best_trie.paths(best_section, u_size):
+            ok = True
+            for trie, section in sections:
+                if trie is best_trie and section is best_section:
+                    continue
+                if trie.descend(section, candidate) is None:
+                    ok = False
+                    break
+            if ok:
+                out.append(t_s + candidate)
+        self.stats.tuples_emitted += len(out)
+        return out
+
+    def _decide_case(
+        self,
+        plan: _NodePlan,
+        t: Row,
+        c_k: int,
+        sections: list[tuple[TrieIndex, object, tuple[int, ...]]],
+    ) -> str:
+        """Line 21's test: ``prod_{i<k} c_i^{y_i/(1-y_k)} < c_k``.
+
+        Returns ``"a"``, ``"b"``, or ``"skip"``.  ``sections`` is filled
+        with (trie, section node, offsets) for every checked edge so case b
+        can reuse the walks.  A zero ``c_i`` means edge ``e_i``'s section is
+        empty — no extension of ``t`` can join, so the tuple is skipped
+        outright (both cases would produce nothing).
+        """
+        counts: list[int] = []
+        for eid, trie, depth, offsets, _yf, _pe in plan.checked_edges:
+            section = self._walk(eid, t)
+            c_i = trie.count(section, depth)
+            if c_i == 0:
+                return "skip"
+            sections.append((trie, section, offsets))
+            counts.append(c_i)
+        if plan.rhs_exponent is not None:
+            lhs = 1
+            for c_i, (_e, _t, _d, _o, _yf, exponent) in zip(
+                counts, plan.checked_edges
+            ):
+                if exponent:
+                    lhs *= c_i**exponent
+            return "a" if lhs < c_k**plan.rhs_exponent else "b"
+        if c_k == 0:
+            return "b"  # scans an empty section: nothing to do (defensive)
+        lhs_log = 0.0
+        for c_i, (_e, _t, _d, _o, y_float, _pe) in zip(
+            counts, plan.checked_edges
+        ):
+            lhs_log += y_float * math.log(c_i)
+        rhs_log = plan.one_minus_yk_float * math.log(c_k)
+        return "a" if lhs_log < rhs_log else "b"
+
+
+def nprr_join(
+    query: JoinQuery,
+    cover: FractionalCover | None = None,
+    edge_order: Sequence[str] | None = None,
+    database: Database | None = None,
+    comparison: str = "auto",
+    name: str = "J",
+) -> Relation:
+    """One-shot convenience wrapper: build an executor and run it."""
+    return NPRRJoin(
+        query,
+        cover=cover,
+        edge_order=edge_order,
+        database=database,
+        comparison=comparison,
+    ).execute(name)

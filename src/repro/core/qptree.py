@@ -1,0 +1,255 @@
+"""Query-plan trees and the total attribute order (Algorithms 3 and 4).
+
+Algorithm 3 builds a binary *query-plan tree* (QP-tree) from a fixed edge
+order ``e_1, ..., e_m``: each node carries a label ``k`` (the subproblem
+joins edges ``e_1..e_k``, with ``e_k`` the *anchor*) and a universe
+``univ(u) subseteq V`` (the attributes the subproblem joins over).  An
+internal node splits its universe by the anchor:
+``univ(lc) = U \\ e_k`` and ``univ(rc) = U cap e_k``.
+
+Algorithm 4 linearizes the tree's leaves into the *total order* of all
+attributes, which satisfies Proposition 5.5:
+
+* **(TO1)** every node's universe is consecutive in the total order;
+* **(TO2)** for an internal node, ``S cup univ(lc(u))`` (where ``S`` is
+  everything preceding ``univ(u)``) is exactly the set of attributes
+  preceding ``univ(rc(u))``.
+
+These two properties are what let `Recursive-Join` represent intermediate
+tuples as plain total-order prefixes and reuse trie walks.
+
+Two corner cases the paper's pseudocode leaves implicit are handled
+explicitly (they arise only in subtrees `Recursive-Join` never visits, but
+the total order must still cover every attribute):
+
+* an internal node may have *both* children nil (its universe sits inside
+  the anchor but touches no earlier edge) — we print its universe directly;
+* when ``lc`` is nil but ``U \\ e_k`` is non-empty, those orphaned
+  attributes are printed before the right subtree, mirroring the
+  ``rc = nil`` case of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class QPNode:
+    """One node of a query-plan tree.
+
+    Attributes
+    ----------
+    label:
+        The index ``k``: this subproblem involves edges ``e_1 .. e_k`` and
+        is anchored at ``e_k``.
+    universe:
+        ``univ(u)``, the attributes this subproblem joins over.
+    left, right:
+        Children (either may be ``None``).  ``univ(left) = U \\ e_k`` and
+        ``univ(right) = U cap e_k``.
+    is_leaf:
+        True when Algorithm 3's line-4 condition was *false*, i.e.
+        ``k == 1`` or ``U subseteq e_i`` for every ``i in [k]``.  This is the
+        case Procedure 5 handles with its leaf code.  An internal node whose
+        children both came back nil is **not** a leaf in this sense:
+        Procedure 5 reaches it (if ever) only with ``y_{e_k} >= 1`` and
+        handles it through case b.
+    """
+
+    __slots__ = ("label", "universe", "left", "right", "is_leaf")
+
+    def __init__(self, label: int, universe: frozenset[str], is_leaf: bool) -> None:
+        self.label = label
+        self.universe = universe
+        self.is_leaf = is_leaf
+        self.left: QPNode | None = None
+        self.right: QPNode | None = None
+
+    def __repr__(self) -> str:
+        return f"QPNode(k={self.label}, univ={{{','.join(sorted(self.universe))}}})"
+
+
+class QPTree:
+    """A query-plan tree plus the derived total attribute order.
+
+    Parameters
+    ----------
+    hypergraph:
+        The query hypergraph.
+    edge_order:
+        The fixed order ``e_1, ..., e_m`` (Algorithm 3, line 1).  Defaults
+        to the hypergraph's edge order.  The root is anchored at the *last*
+        edge ``e_m``, exactly as in Procedure `build-tree`.
+    """
+
+    __slots__ = ("hypergraph", "edge_order", "root", "total_order", "_rank")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        edge_order: Sequence[str] | None = None,
+    ) -> None:
+        order = tuple(edge_order) if edge_order is not None else hypergraph.edge_ids
+        if set(order) != set(hypergraph.edge_ids) or len(order) != len(
+            hypergraph.edges
+        ):
+            raise QueryError(
+                f"edge order {order!r} is not a permutation of "
+                f"{hypergraph.edge_ids!r}"
+            )
+        if not hypergraph.covers_vertices():
+            raise QueryError(
+                "cannot build a QP-tree: some attribute is in no relation"
+            )
+        self.hypergraph = hypergraph
+        self.edge_order = order
+        edge_sets = [hypergraph.edges[eid] for eid in order]
+        root = _build_tree(
+            frozenset(hypergraph.vertices), len(order), edge_sets
+        )
+        if root is None:
+            raise QueryError("QP-tree construction produced no root")
+        self.root = root
+        # Deterministic "arbitrary order" inside leaves: input vertex order.
+        vertex_rank = {v: i for i, v in enumerate(hypergraph.vertices)}
+        printed: list[str] = []
+        _print_attribs(root, vertex_rank, printed)
+        if set(printed) != set(hypergraph.vertices) or len(printed) != len(
+            hypergraph.vertices
+        ):
+            raise QueryError(
+                f"total order {printed!r} is not a permutation of the "
+                f"attributes {hypergraph.vertices!r} (internal error)"
+            )
+        self.total_order = tuple(printed)
+        self._rank = {v: i for i, v in enumerate(printed)}
+
+    # -- helpers used by Recursive-Join ------------------------------------------
+
+    def anchor(self, node: QPNode) -> str:
+        """The anchor edge id ``e_k`` of a node."""
+        return self.edge_order[node.label - 1]
+
+    def rank(self, attribute: str) -> int:
+        """Position of an attribute in the total order."""
+        return self._rank[attribute]
+
+    def sort_by_total_order(self, attributes: Iterable[str]) -> tuple[str, ...]:
+        """Sort attributes by their total-order position."""
+        return tuple(sorted(attributes, key=self._rank.__getitem__))
+
+    def relation_order(self, edge_id: str) -> tuple[str, ...]:
+        """The trie level order for one relation: its attributes sorted by
+        the total order (Section 5.3.2)."""
+        return self.sort_by_total_order(self.hypergraph.edges[edge_id])
+
+    # -- Proposition 5.5 ------------------------------------------------------------
+
+    def check_to1(self) -> bool:
+        """(TO1): every node's universe is consecutive in the total order."""
+        for node in self.nodes():
+            ranks = sorted(self._rank[v] for v in node.universe)
+            if ranks and ranks[-1] - ranks[0] + 1 != len(ranks):
+                return False
+        return True
+
+    def check_to2(self) -> bool:
+        """(TO2): for every internal node with two children,
+        ``S cup univ(lc)`` equals the set of attributes preceding
+        ``univ(rc)`` in the total order."""
+        for node in self.nodes():
+            if node.left is None or node.right is None:
+                continue
+            if not node.right.universe:
+                continue
+            preceding_u = self._attributes_preceding(node.universe)
+            preceding_rc = self._attributes_preceding(node.right.universe)
+            if preceding_u | node.left.universe != preceding_rc:
+                return False
+        return True
+
+    def _attributes_preceding(self, universe: frozenset[str]) -> set[str]:
+        first = min(self._rank[v] for v in universe)
+        return set(self.total_order[:first])
+
+    # -- traversal and display ---------------------------------------------------------
+
+    def nodes(self) -> list[QPNode]:
+        """All nodes, preorder."""
+        out: list[QPNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering in the style of the paper's Figures 1 and 2."""
+        lines: list[str] = []
+
+        def visit(node: QPNode | None, prefix: str, tag: str) -> None:
+            if node is None:
+                return
+            universe = ",".join(sorted(node.universe, key=self._rank.__getitem__))
+            anchor = self.edge_order[node.label - 1]
+            kind = "leaf" if node.is_leaf else f"anchor={anchor}"
+            lines.append(f"{prefix}{tag}[k={node.label}] univ={{{universe}}} {kind}")
+            child_prefix = prefix + ("    " if not tag else "    ")
+            visit(node.left, child_prefix, "L: ")
+            visit(node.right, child_prefix, "R: ")
+
+        visit(self.root, "", "")
+        lines.append(f"total order: {', '.join(self.total_order)}")
+        return "\n".join(lines)
+
+
+def _build_tree(
+    universe: frozenset[str],
+    k: int,
+    edge_sets: Sequence[frozenset[str]],
+) -> QPNode | None:
+    """Procedure `build-tree(U, k)` of Algorithm 3, verbatim."""
+    if all(not (edge_sets[i] & universe) for i in range(k)):
+        return None
+    split = k > 1 and any(not universe <= edge_sets[i] for i in range(k))
+    node = QPNode(k, universe, is_leaf=not split)
+    if split:
+        anchor = edge_sets[k - 1]
+        node.left = _build_tree(universe - anchor, k - 1, edge_sets)
+        node.right = _build_tree(universe & anchor, k - 1, edge_sets)
+    return node
+
+
+def _print_attribs(
+    node: QPNode,
+    vertex_rank: dict[str, int],
+    out: list[str],
+) -> None:
+    """Procedure `print-attribs` of Algorithm 4 (with the two robustness
+    cases documented in the module docstring)."""
+
+    def emit(attributes: Iterable[str]) -> None:
+        out.extend(sorted(attributes, key=vertex_rank.__getitem__))
+
+    if node.is_leaf or (node.left is None and node.right is None):
+        emit(node.universe)
+        return
+    if node.left is None:
+        assert node.right is not None
+        # Orphan attributes (in no earlier edge) go before the right block.
+        emit(node.universe - node.right.universe)
+        _print_attribs(node.right, vertex_rank, out)
+        return
+    if node.right is None:
+        _print_attribs(node.left, vertex_rank, out)
+        emit(node.universe - node.left.universe)
+        return
+    _print_attribs(node.left, vertex_rank, out)
+    _print_attribs(node.right, vertex_rank, out)

@@ -1,0 +1,212 @@
+"""Relaxed joins (Section 7.2): tuples agreeing with >= m - r relations.
+
+Definition 7.4: given a query ``q`` over ``m`` relations and a relaxation
+``0 <= r <= m``, compute ``q_r = union over S in C(q, r) of join_{e in S}
+R_e`` where ``C(q, r)`` holds the subsets of at least ``m - r`` edges that
+still cover every attribute.
+
+The machinery follows the paper exactly:
+
+* ``C(q, r)`` — :func:`candidate_sets`;
+* ``C-hat(q, r)`` — the antichain of *minimal* candidate sets
+  (:func:`minimal_candidate_sets`): joins over supersets are contained in
+  joins over subsets, so only minimal sets matter;
+* ``BFS(S)`` — the support of the deterministic optimal basic feasible
+  solution of ``LP(S)`` (exact simplex + Bland's rule = the paper's "picked
+  in a consistent manner");
+* ``C*(q, r)`` — one representative per bfs-equivalence class
+  (:func:`bfs_representatives`);
+* **Algorithm 6** — :class:`RelaxedJoin`: for each ``S in C*`` run
+  Algorithm 2 on ``T = BFS(S)`` with the optimal vertex cover, then keep
+  the tuples that agree with at least ``m - r`` of *all* relations.
+
+Theorem 7.6 bounds ``|q_r|`` by ``sum_{S in C*} LPOpt(S)``;
+:meth:`RelaxedJoin.bound` evaluates that bound and the benchmark E7
+reproduces the instance where it is met with equality.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.nprr import NPRRJoin
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.agm import agm_bound, optimal_fractional_cover
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation, Row
+
+
+def candidate_sets(query: JoinQuery, relaxation: int) -> list[frozenset[str]]:
+    """``C(q, r)``: edge subsets of size >= m - r covering every attribute."""
+    m = len(query)
+    _check_relaxation(relaxation, m)
+    vertex_set = set(query.attributes)
+    edge_ids = query.edge_ids
+    out: list[frozenset[str]] = []
+    for size in range(max(m - relaxation, 1), m + 1):
+        for subset in itertools.combinations(edge_ids, size):
+            covered: set[str] = set()
+            for eid in subset:
+                covered |= query.hypergraph.edges[eid]
+            if covered == vertex_set:
+                out.append(frozenset(subset))
+    return out
+
+
+def minimal_candidate_sets(
+    query: JoinQuery, relaxation: int
+) -> list[frozenset[str]]:
+    """``C-hat(q, r)``: the subset-minimal members of ``C(q, r)``.
+
+    For ``S subseteq T`` the join over ``T`` is contained in the join over
+    ``S``, so the union defining ``q_r`` only needs the minimal sets.
+    """
+    candidates = candidate_sets(query, relaxation)
+    minimal = [
+        s
+        for s in candidates
+        if not any(other < s for other in candidates)
+    ]
+    # Deterministic order (lexicographic by sorted edge ids).
+    return sorted(minimal, key=lambda s: sorted(s))
+
+
+def bfs_cover(
+    query: JoinQuery, subset: frozenset[str]
+) -> FractionalCover:
+    """The optimal basic feasible solution ``x*_S`` of ``LP(S)``."""
+    sub = query.hypergraph.subhypergraph(sorted(subset))
+    sizes = {eid: len(query.relation(eid)) for eid in subset}
+    return optimal_fractional_cover(sub, sizes)
+
+
+def bfs_support(query: JoinQuery, subset: frozenset[str]) -> frozenset[str]:
+    """``BFS(S)``: support of the optimal LP vertex of ``LP(S)``."""
+    return bfs_cover(query, subset).support()
+
+
+def bfs_representatives(
+    query: JoinQuery, relaxation: int
+) -> list[tuple[frozenset[str], frozenset[str], FractionalCover]]:
+    """``C*(q, r)``: one representative per bfs-equivalence class.
+
+    Returns ``(S, BFS(S), x*_S)`` triples; the first (lexicographically
+    smallest) member of each class represents it, and ``x*_S`` is the
+    optimal vertex Algorithm 6 hands to Algorithm 2.
+    """
+    groups: dict[frozenset[str], tuple[frozenset[str], FractionalCover]] = {}
+    for subset in minimal_candidate_sets(query, relaxation):
+        cover = bfs_cover(query, subset)
+        support = cover.support()
+        if support not in groups:
+            groups[support] = (subset, cover)
+    return [
+        (subset, support, cover)
+        for support, (subset, cover) in groups.items()
+    ]
+
+
+class RelaxedJoin:
+    """Algorithm 6: evaluate ``q_r`` within Theorem 7.6's bound."""
+
+    def __init__(self, query: JoinQuery, relaxation: int) -> None:
+        _check_relaxation(relaxation, len(query))
+        self.query = query
+        self.relaxation = relaxation
+        self.representatives = bfs_representatives(query, relaxation)
+
+    def execute(self, name: str = "Qr") -> Relation:
+        """Run Algorithm 6 and return ``q_r`` (on all attributes)."""
+        query = self.query
+        m = len(query)
+        need = m - self.relaxation
+        attributes = query.attributes
+        membership = []
+        for eid in query.edge_ids:
+            relation = query.relation(eid)
+            cols = [attributes.index(a) for a in relation.attributes]
+            membership.append((cols, relation.tuples))
+        out: set[Row] = set()
+        for _subset, support, cover in self.representatives:
+            phi = self._join_over(support, cover)
+            ordered = phi.reorder(attributes)
+            for row in ordered.tuples:
+                if row in out:
+                    continue
+                satisfied = sum(
+                    1
+                    for cols, members in membership
+                    if tuple(row[i] for i in cols) in members
+                )
+                if satisfied >= need:
+                    out.add(row)
+        return Relation(name, attributes, out)
+
+    def bound(self) -> float:
+        """Theorem 7.6's bound ``sum_{S in C*} LPOpt(S)``."""
+        total = 0.0
+        for subset, _support, cover in self.representatives:
+            sub = self.query.hypergraph.subhypergraph(sorted(subset))
+            sizes = {eid: len(self.query.relation(eid)) for eid in subset}
+            total += agm_bound(sub, sizes, cover)
+        return total
+
+    def _join_over(
+        self, support: frozenset[str], cover: FractionalCover
+    ) -> Relation:
+        """``phi_T``: Algorithm 2 over the support relations with the
+        optimal vertex ``x*_S`` projected to ``T`` (Algorithm 6, line 6)."""
+        relations = [self.query.relation(eid) for eid in sorted(support)]
+        sub_query = JoinQuery(relations)
+        return NPRRJoin(
+            sub_query, cover=cover.restrict(support)
+        ).execute("phi")
+
+
+def relaxed_join(
+    query: JoinQuery, relaxation: int, name: str = "Qr"
+) -> Relation:
+    """One-shot convenience wrapper for Algorithm 6."""
+    return RelaxedJoin(query, relaxation).execute(name)
+
+
+def relaxed_join_reference(
+    query: JoinQuery, relaxation: int, name: str = "Qr"
+) -> Relation:
+    """Definition 7.4 evaluated literally (test oracle).
+
+    Unions the naive joins over every minimal candidate set.  Exponential
+    and slow — use only to validate :class:`RelaxedJoin` on small inputs.
+    """
+    from repro.baselines.naive import naive_join
+
+    attributes = query.attributes
+    rows: set[Row] = set()
+    for subset in minimal_candidate_sets(query, relaxation):
+        sub_query = JoinQuery(
+            [query.relation(eid) for eid in sorted(subset)]
+        )
+        joined = naive_join(sub_query).reorder(attributes)
+        rows.update(joined.tuples)
+    return Relation(name, attributes, rows)
+
+
+def _check_relaxation(relaxation: int, m: int) -> None:
+    if not 0 <= relaxation <= m:
+        raise QueryError(
+            f"relaxation must satisfy 0 <= r <= {m}, got {relaxation}"
+        )
+
+
+def expected_bound_terms(
+    query: JoinQuery, relaxation: int
+) -> list[tuple[frozenset[str], float]]:
+    """(support, LPOpt) per C* class — observability for tests/benches."""
+    join = RelaxedJoin(query, relaxation)
+    terms = []
+    for subset, support, cover in join.representatives:
+        sub = query.hypergraph.subhypergraph(sorted(subset))
+        sizes = {eid: len(query.relation(eid)) for eid in subset}
+        terms.append((support, agm_bound(sub, sizes, cover)))
+    return terms

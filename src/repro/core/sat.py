@@ -1,0 +1,86 @@
+"""The 3SAT-to-join reduction behind Section 7.1's impossibility result.
+
+The paper shows that no join algorithm can be *instance optimal*
+(``poly(|q|, |q(I)|, |I|)``) unless NP = RP, by reducing from 3-UniqueSAT:
+each clause ``C_j`` becomes a relation over its variables holding the seven
+satisfying assignments, and the formula is satisfiable iff the full join is
+non-empty.
+
+We implement the reduction both as an executable artifact of the proof and
+as a demonstration example: a worst-case optimal join *is* a (worst-case
+bounded) SAT enumerator.  Clauses use DIMACS conventions: a clause is a
+tuple of non-zero ints, where ``3`` means variable 3 positive and ``-3``
+negated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.core.nprr import NPRRJoin
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+
+Clause = tuple[int, ...]
+
+
+def clause_relation(clause: Clause, index: int) -> Relation:
+    """The relation of one clause: every assignment to its variables except
+    the single falsifying one."""
+    if not clause or any(lit == 0 for lit in clause):
+        raise QueryError(f"clause {clause!r} must hold non-zero literals")
+    variables: list[int] = []
+    for literal in clause:
+        var = abs(literal)
+        if var not in variables:
+            variables.append(var)
+    attributes = tuple(f"x{v}" for v in variables)
+    rows = []
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        satisfied = any(
+            (assignment[abs(lit)] == 1) == (lit > 0) for lit in clause
+        )
+        if satisfied:
+            rows.append(bits)
+    return Relation(f"C{index}", attributes, rows)
+
+
+def formula_to_query(clauses: Sequence[Clause]) -> JoinQuery:
+    """The full join query of the reduction (one relation per clause).
+
+    Variables appearing in no clause are unconstrained and simply absent
+    from the query (they would multiply the answer set by 2 each).
+    """
+    if not clauses:
+        raise QueryError("formula needs at least one clause")
+    return JoinQuery(
+        [clause_relation(clause, j) for j, clause in enumerate(clauses)]
+    )
+
+
+def satisfying_assignments(clauses: Sequence[Clause]) -> Relation:
+    """All satisfying assignments of the CNF, via Algorithm 2.
+
+    Output columns are ``x<i>`` for every variable occurring in the
+    formula; each row is a satisfying 0/1 assignment.
+    """
+    query = formula_to_query(clauses)
+    return NPRRJoin(query).execute("SAT")
+
+
+def is_satisfiable(clauses: Sequence[Clause]) -> bool:
+    """True iff the CNF has a satisfying assignment."""
+    return len(satisfying_assignments(clauses)) > 0
+
+
+def count_models(clauses: Sequence[Clause]) -> int:
+    """Number of satisfying assignments over the occurring variables."""
+    return len(satisfying_assignments(clauses))
+
+
+def formula_variables(clauses: Iterable[Clause]) -> list[int]:
+    """Distinct variables of a CNF, ascending."""
+    return sorted({abs(lit) for clause in clauses for lit in clause})

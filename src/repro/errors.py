@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures without also swallowing built-in errors.
+The subclasses mirror the major subsystems: relational data, fractional
+covers / linear programming, query structure, and functional dependencies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation was constructed or combined with an inconsistent schema.
+
+    Raised for duplicate attribute names, tuples of the wrong arity,
+    projections onto attributes that do not exist, and similar misuse of
+    :class:`repro.relations.Relation`.
+    """
+
+
+class DatabaseError(ReproError):
+    """A database catalog operation failed (unknown or duplicate relation)."""
+
+
+class QueryError(ReproError):
+    """A join query is malformed.
+
+    Examples: a hyperedge refers to a relation of mismatched arity, a query
+    has no relations, or an algorithm restricted to a query class (e.g. LW
+    instances, arity-2 queries) was handed a query outside that class.
+    """
+
+
+class CoverError(ReproError):
+    """A fractional edge cover is invalid for its hypergraph.
+
+    Raised when a supplied cover vector has negative entries, misses a
+    vertex constraint, or refers to unknown edges.
+    """
+
+
+class LinearProgramError(ReproError):
+    """The exact simplex solver failed (infeasible or unbounded program)."""
+
+
+class InfeasibleProgramError(LinearProgramError):
+    """The linear program has an empty feasible region."""
+
+
+class UnboundedProgramError(LinearProgramError):
+    """The linear program's objective is unbounded below."""
+
+
+class FunctionalDependencyError(ReproError):
+    """The data violates a declared functional dependency.
+
+    Raised while building the value map of an FD ``e.u -> e.v`` when the
+    relation ``R_e`` holds two tuples that agree on ``u`` but differ on ``v``.
+    """

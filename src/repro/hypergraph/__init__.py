@@ -1,0 +1,52 @@
+"""Hypergraph substrate: query hypergraphs, covers, exact LP, AGM bound."""
+
+from repro.hypergraph.agm import (
+    agm_bound,
+    agm_log_bound,
+    best_agm_bound,
+    minimum_integral_cover,
+    optimal_fractional_cover,
+    optimal_vertex_cover_support,
+)
+from repro.hypergraph.covers import FractionalCover, tighten_cover
+from repro.hypergraph.duality import (
+    optimal_vertex_packing,
+    packing_lower_bound,
+    packing_value,
+    tight_instance,
+)
+from repro.hypergraph.hypergraph import Hypergraph, lw_hypergraph
+from repro.hypergraph.inequalities import (
+    InequalityCheck,
+    bt_instance_from_points,
+    project_points,
+    replicate_to_regular_family,
+    verify_bt,
+    verify_lw,
+)
+from repro.hypergraph.simplex import SimplexResult, solve_min_geq
+
+__all__ = [
+    "FractionalCover",
+    "Hypergraph",
+    "InequalityCheck",
+    "SimplexResult",
+    "agm_bound",
+    "agm_log_bound",
+    "best_agm_bound",
+    "bt_instance_from_points",
+    "lw_hypergraph",
+    "minimum_integral_cover",
+    "optimal_fractional_cover",
+    "optimal_vertex_cover_support",
+    "optimal_vertex_packing",
+    "packing_lower_bound",
+    "packing_value",
+    "project_points",
+    "replicate_to_regular_family",
+    "solve_min_geq",
+    "tight_instance",
+    "tighten_cover",
+    "verify_bt",
+    "verify_lw",
+]

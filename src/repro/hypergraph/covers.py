@@ -1,0 +1,267 @@
+"""Fractional edge covers and the Lemma 3.2 tightening transformation.
+
+A point ``x = (x_e)_{e in E}`` lies in the *fractional edge cover polytope*
+of a hypergraph ``H = (V, E)`` when::
+
+    sum_{e : v in e} x_e >= 1   for every vertex v,
+    x_e >= 0                    for every edge e.
+
+Covers drive everything in the paper: the AGM bound is ``prod_e N_e^{x_e}``
+(inequality (2)), Algorithm 2 consumes a cover and rescales it down the
+query-plan tree, and Lemma 3.2 converts an arbitrary cover into a *tight*
+one (every vertex constraint met with equality) without changing the join
+and without weakening the bound — the bridge to the Bollobas-Thomason
+inequality in Proposition 3.3.
+
+Weights are exact :class:`fractions.Fraction` values throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from fractions import Fraction
+
+from repro.errors import CoverError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+
+
+class FractionalCover:
+    """An immutable assignment of rational weights to hyperedges."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: Mapping[str, Fraction | int]) -> None:
+        object.__setattr__(
+            self,
+            "weights",
+            {eid: Fraction(w) for eid, w in weights.items()},
+        )
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("FractionalCover instances are immutable")
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, edge_id: str) -> Fraction:
+        try:
+            return self.weights[edge_id]
+        except KeyError:
+            raise CoverError(f"cover has no weight for edge {edge_id!r}") from None
+
+    def get(self, edge_id: str, default: Fraction = Fraction(0)) -> Fraction:
+        """Weight of ``edge_id``, or ``default`` when absent."""
+        return self.weights.get(edge_id, default)
+
+    def __iter__(self):
+        return iter(self.weights)
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FractionalCover):
+            return NotImplemented
+        return self.weights == other.weights
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.weights.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e}={w}" for e, w in sorted(self.weights.items()))
+        return f"FractionalCover({inner})"
+
+    def items(self):
+        """(edge id, weight) pairs."""
+        return self.weights.items()
+
+    # -- cover semantics ------------------------------------------------------
+
+    def coverage(self, hypergraph: Hypergraph, vertex: str) -> Fraction:
+        """``sum_{e : v in e} x_e`` for one vertex."""
+        return sum(
+            (
+                self.weights.get(eid, Fraction(0))
+                for eid, edge in hypergraph.edges.items()
+                if vertex in edge
+            ),
+            start=Fraction(0),
+        )
+
+    def slack(self, hypergraph: Hypergraph, vertex: str) -> Fraction:
+        """Coverage minus 1 (negative means the constraint is violated)."""
+        return self.coverage(hypergraph, vertex) - 1
+
+    def validate(self, hypergraph: Hypergraph) -> None:
+        """Raise :class:`~repro.errors.CoverError` unless this is a valid
+        fractional edge cover of ``hypergraph``."""
+        unknown = set(self.weights) - set(hypergraph.edges)
+        if unknown:
+            raise CoverError(f"cover weights for unknown edges {sorted(unknown)}")
+        negative = [eid for eid, w in self.weights.items() if w < 0]
+        if negative:
+            raise CoverError(f"negative weights on edges {sorted(negative)}")
+        for vertex in hypergraph.vertices:
+            cov = self.coverage(hypergraph, vertex)
+            if cov < 1:
+                raise CoverError(
+                    f"vertex {vertex!r} covered only {cov} (< 1)"
+                )
+
+    def is_valid(self, hypergraph: Hypergraph) -> bool:
+        """True when :meth:`validate` passes."""
+        try:
+            self.validate(hypergraph)
+        except CoverError:
+            return False
+        return True
+
+    def is_tight(self, hypergraph: Hypergraph) -> bool:
+        """True when every vertex constraint holds with equality
+        (Lemma 3.2 (a))."""
+        return all(
+            self.coverage(hypergraph, v) == 1 for v in hypergraph.vertices
+        )
+
+    def support(self) -> frozenset[str]:
+        """Edges with strictly positive weight."""
+        return frozenset(e for e, w in self.weights.items() if w > 0)
+
+    def total_weight(self) -> Fraction:
+        """``sum_e x_e`` (the exponent of the uniform-size bound)."""
+        return sum(self.weights.values(), start=Fraction(0))
+
+    def common_denominator(self) -> int:
+        """Least common denominator ``d`` of all weights (>= 1).
+
+        Proposition 3.3 writes a tight rational cover as ``d_e / d``; this is
+        that ``d``.
+        """
+        d = 1
+        for w in self.weights.values():
+            d = d * w.denominator // math.gcd(d, w.denominator)
+        return d
+
+    def restrict(self, edge_ids: Iterable[str]) -> "FractionalCover":
+        """Keep only weights of the listed edges (Algorithm 2's ``y_{E_k}``)."""
+        ids = set(edge_ids)
+        return FractionalCover(
+            {eid: w for eid, w in self.weights.items() if eid in ids}
+        )
+
+    def scaled(self, factor: Fraction) -> "FractionalCover":
+        """Multiply every weight by ``factor`` (the ``y / (1 - y_k)``
+        rescaling of Procedure 5)."""
+        return FractionalCover(
+            {eid: w * Fraction(factor) for eid, w in self.weights.items()}
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls, hypergraph: Hypergraph, weight: Fraction | int
+    ) -> "FractionalCover":
+        """Every edge gets the same ``weight``."""
+        w = Fraction(weight)
+        return cls({eid: w for eid in hypergraph.edges})
+
+    @classmethod
+    def all_ones(cls, hypergraph: Hypergraph) -> "FractionalCover":
+        """The trivially feasible ``x_e = 1`` cover (Section 2)."""
+        return cls.uniform(hypergraph, 1)
+
+    @classmethod
+    def loomis_whitney(cls, hypergraph: Hypergraph) -> "FractionalCover":
+        """The LW cover ``x_e = 1/(n-1)`` (valid for LW instances)."""
+        n = len(hypergraph.vertices)
+        if n < 2:
+            raise CoverError("LW cover needs at least 2 vertices")
+        return cls.uniform(hypergraph, Fraction(1, n - 1))
+
+
+def tighten_cover(
+    hypergraph: Hypergraph,
+    cover: FractionalCover,
+    relations: Mapping[str, Relation],
+) -> tuple[Hypergraph, FractionalCover, dict[str, Relation]]:
+    """Lemma 3.2: transform an instance so the cover becomes tight.
+
+    Given a valid cover ``x`` of ``H`` and the relations, produce
+    ``(H', x', relations')`` such that
+
+    (a) ``x'`` is a tight fractional cover of ``H'``
+        (``sum_{e' : v in e'} x'_e = 1`` for every vertex),
+    (b) the two instances have the same join (new edges carry projections
+        of existing relations, which never shrink a join), and
+    (c) the new AGM bound is no worse:
+        ``prod |R'_e|^{x'_e} <= prod |R_e|^{x_e}``.
+
+    The procedure follows the lemma's proof: while some vertex ``v`` is
+    slack, pick a positively-weighted edge ``f`` containing it, split ``f``
+    into its tight part ``f_t`` and slack part, shift weight from ``f`` onto
+    a new edge over ``f_t`` (whose relation is ``pi_{f_t}(R_f)``), choosing
+    the shift ``rho`` so that either ``x_f`` hits zero or some slack vertex
+    becomes tight.  Each iteration makes irreversible progress, so at most
+    ``|E| + |V|`` iterations run.
+    """
+    cover.validate(hypergraph)
+    for eid in hypergraph.edges:
+        if eid not in relations:
+            raise CoverError(f"no relation supplied for edge {eid!r}")
+
+    vertices = hypergraph.vertices
+    edges: dict[str, frozenset[str]] = dict(hypergraph.edges)
+    weights: dict[str, Fraction] = {
+        eid: cover.get(eid) for eid in hypergraph.edges
+    }
+    new_relations: dict[str, Relation] = dict(relations)
+    fresh = 0
+
+    def coverage(v: str) -> Fraction:
+        return sum(
+            (w for eid, w in weights.items() if v in edges[eid]),
+            start=Fraction(0),
+        )
+
+    max_iterations = len(edges) + len(vertices) + 1
+    for _ in range(max_iterations * 2):
+        slack_vertices = [v for v in vertices if coverage(v) > 1]
+        if not slack_vertices:
+            break
+        v = slack_vertices[0]
+        f = next(
+            eid
+            for eid, edge in edges.items()
+            if v in edge and weights[eid] > 0
+        )
+        f_members = edges[f]
+        tight_part = frozenset(u for u in f_members if coverage(u) == 1)
+        slack_part = f_members - tight_part
+        min_slack = min(coverage(u) - 1 for u in slack_part)
+        x_f = weights[f]
+        if x_f <= min_slack:
+            moved = x_f
+            weights[f] = Fraction(0)
+        else:
+            moved = min_slack
+            weights[f] = x_f - min_slack
+        if tight_part and moved > 0:
+            fresh += 1
+            new_id = f"{f}__tight{fresh}"
+            edges[new_id] = tight_part
+            weights[new_id] = moved
+            new_relations[new_id] = (
+                new_relations[f]
+                .project(
+                    [a for a in new_relations[f].attributes if a in tight_part]
+                )
+                .with_name(new_id)
+            )
+    else:
+        raise CoverError("tightening did not converge (internal error)")
+
+    new_hypergraph = Hypergraph(vertices, edges)
+    new_cover = FractionalCover(weights)
+    return new_hypergraph, new_cover, new_relations

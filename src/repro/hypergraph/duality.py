@@ -1,0 +1,131 @@
+"""The dual of the cover LP: fractional vertex packings and tight instances.
+
+AGM's tightness proof works through LP duality: the dual of
+
+    min  sum_e (log N_e) x_e   s.t.  sum_{e : v in e} x_e >= 1,  x >= 0
+
+is the *fractional vertex packing* program
+
+    max  sum_v y_v             s.t.  sum_{v in e} y_v <= log N_e,  y >= 0.
+
+A feasible packing ``y`` certifies a lower bound: the **product instance**
+assigning attribute ``v`` a domain of size ``~exp(y_v)`` and filling every
+relation with the full product of its attribute domains satisfies the size
+budgets (by dual feasibility) and has join size ``exp(sum_v y_v)`` — by
+strong duality equal to the AGM bound at the optimum, up to integer
+rounding of the domain sizes.  This is the worst case that makes the
+worst-case optimal algorithms worst-case optimal.
+
+(The same dual object is Gottlob-Lee-Valiant's "coloring number" view the
+paper's related work cites.)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from fractions import Fraction
+
+from repro.errors import CoverError, QueryError
+from repro.hypergraph.agm import LOG_DENOMINATOR_LIMIT
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.simplex import solve_min_geq
+from repro.relations.relation import Relation
+
+
+def optimal_vertex_packing(
+    hypergraph: Hypergraph,
+    sizes: Mapping[str, int] | None = None,
+    denominator_limit: int = LOG_DENOMINATOR_LIMIT,
+) -> dict[str, Fraction]:
+    """The optimal fractional vertex packing (the cover LP's dual).
+
+    With ``sizes=None`` every budget is 1 (the combinatorial packing
+    number).  Solved exactly; by strong duality its value equals the
+    primal optimum of :func:`repro.hypergraph.agm.optimal_fractional_cover`
+    for the same (rationalized) objective — property-tested.
+    """
+    if not hypergraph.covers_vertices():
+        raise QueryError(
+            "the packing LP's primal has no cover: some attribute is in "
+            "no relation"
+        )
+    vertices = hypergraph.vertices
+    edge_ids = hypergraph.edge_ids
+    budgets: list[Fraction] = []
+    for eid in edge_ids:
+        if sizes is None:
+            budgets.append(Fraction(1))
+        else:
+            size = sizes[eid]
+            if size < 0:
+                raise CoverError(f"negative size for edge {eid!r}")
+            log_size = math.log(size) if size > 1 else 0.0
+            budgets.append(
+                Fraction(log_size).limit_denominator(denominator_limit)
+            )
+    # max 1.y  s.t.  sum_{v in e} y_v <= budget_e, y >= 0
+    #   ==  min (-1).y  s.t.  -sum_{v in e} y_v >= -budget_e, y >= 0.
+    rows = [
+        [-1 if vertex in hypergraph.edges[eid] else 0 for vertex in vertices]
+        for eid in edge_ids
+    ]
+    costs = [Fraction(-1)] * len(vertices)
+    rhs = [-b for b in budgets]
+    result = solve_min_geq(costs, rows, rhs)
+    return dict(zip(vertices, result.x))
+
+
+def packing_value(packing: Mapping[str, Fraction]) -> Fraction:
+    """``sum_v y_v`` — the log of the certified output lower bound."""
+    return sum(packing.values(), start=Fraction(0))
+
+
+def packing_lower_bound(packing: Mapping[str, Fraction]) -> float:
+    """``exp(sum_v y_v)`` — tuples any algorithm must be able to output."""
+    return math.exp(float(packing_value(packing)))
+
+
+def tight_instance(
+    hypergraph: Hypergraph,
+    sizes: Mapping[str, int],
+) -> "JoinQuery":
+    """AGM's worst-case witness: the product instance from the dual.
+
+    Attribute ``v`` gets the domain ``{0 .. floor(exp(y*_v)) - 1}`` for the
+    optimal packing ``y*``; every relation is the full product of its
+    attribute domains.  Then
+
+    * ``|R_e| = prod_{v in e} D_v <= exp(sum_{v in e} y_v) <= N_e``
+      (dual feasibility): the instance respects the size budgets;
+    * ``|join| = prod_v D_v ~ exp(sum_v y_v)``, which by strong duality is
+      the AGM bound — so the bound is met up to the integer rounding of
+      each domain (exactly, whenever every ``exp(y_v)`` is integral, e.g.
+      the paper's uniform grids).
+
+    Useful for adversarial testing: feed the result to any join algorithm
+    and its output size *is* (approximately) the bound.
+    """
+    import itertools
+
+    # Imported here: repro.core depends on repro.hypergraph, so the
+    # package-level import would be circular.
+    from repro.core.query import JoinQuery
+
+    packing = optimal_vertex_packing(hypergraph, sizes)
+    domains = {
+        vertex: max(1, int(math.exp(float(weight)) + 1e-9))
+        for vertex, weight in packing.items()
+    }
+    relations = {}
+    for eid, members in hypergraph.edges.items():
+        attrs = tuple(a for a in hypergraph.vertices if a in members)
+        rows = itertools.product(*[range(domains[a]) for a in attrs])
+        relation = Relation(eid, attrs, rows)
+        if len(relation) > sizes[eid]:
+            raise CoverError(
+                f"internal error: tight instance exceeds budget on {eid!r} "
+                f"({len(relation)} > {sizes[eid]})"
+            )
+        relations[eid] = relation
+    return JoinQuery.from_hypergraph(hypergraph, relations)

@@ -1,0 +1,281 @@
+"""Query hypergraphs: the ``H = (V, E)`` view of a natural join query.
+
+Section 2 of the paper maps a join query onto a hypergraph whose vertices
+are the attributes and whose edges are the relations' attribute sets.  We
+keep edges *labelled* (a dict from edge id to attribute set) so that:
+
+* two relations over the same attributes stay distinct (the multiset
+  hypergraphs needed for full conjunctive queries, Section 7.3, and the
+  duplicated edges of Proposition 3.3's BT construction);
+* the fixed edge order ``e_1, ..., e_m`` that Algorithm 3 requires is the
+  insertion order, deterministic and controllable by the caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import QueryError
+
+
+class Hypergraph:
+    """A vertex set plus labelled edges (attribute subsets).
+
+    Parameters
+    ----------
+    vertices:
+        The attribute universe ``V``, ordered (the order is used only for
+        deterministic iteration and display).
+    edges:
+        Mapping from edge id to an iterable of vertices.  Iteration order of
+        the mapping fixes the paper's edge order ``e_1, ..., e_m``.
+    """
+
+    __slots__ = ("vertices", "edges", "_vertex_set")
+
+    def __init__(
+        self,
+        vertices: Iterable[str],
+        edges: Mapping[str, Iterable[str]],
+    ) -> None:
+        vs = tuple(vertices)
+        if len(set(vs)) != len(vs):
+            raise QueryError(f"duplicate vertices in {vs!r}")
+        vertex_set = frozenset(vs)
+        labelled: dict[str, frozenset[str]] = {}
+        for edge_id, members in edges.items():
+            edge = frozenset(members)
+            unknown = edge - vertex_set
+            if unknown:
+                raise QueryError(
+                    f"edge {edge_id!r} mentions unknown vertices {sorted(unknown)}"
+                )
+            labelled[edge_id] = edge
+        self.vertices = vs
+        self.edges = labelled
+        self._vertex_set = vertex_set
+
+    # -- basic protocol ----------------------------------------------------------
+
+    @property
+    def vertex_set(self) -> frozenset[str]:
+        """The universe ``V`` as a frozenset."""
+        return self._vertex_set
+
+    @property
+    def edge_ids(self) -> tuple[str, ...]:
+        """Edge ids in the fixed order ``e_1, ..., e_m``."""
+        return tuple(self.edges)
+
+    def edge(self, edge_id: str) -> frozenset[str]:
+        """The attribute set of one edge."""
+        try:
+            return self.edges[edge_id]
+        except KeyError:
+            raise QueryError(f"unknown edge {edge_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.edges)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{eid}={{{','.join(sorted(e))}}}" for eid, e in self.edges.items()
+        )
+        return f"Hypergraph(V={{{','.join(self.vertices)}}}, {inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._vertex_set == other._vertex_set and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self._vertex_set, tuple(sorted(self.edges.items()))))
+
+    # -- structure queries --------------------------------------------------------
+
+    def edges_containing(self, vertex: str) -> list[str]:
+        """Ids of edges containing ``vertex`` (in edge order)."""
+        if vertex not in self._vertex_set:
+            raise QueryError(f"unknown vertex {vertex!r}")
+        return [eid for eid, e in self.edges.items() if vertex in e]
+
+    def degree(self, vertex: str) -> int:
+        """Number of edges containing ``vertex``."""
+        return len(self.edges_containing(vertex))
+
+    def covers_vertices(self) -> bool:
+        """True when every vertex lies in at least one edge.
+
+        A fractional edge cover exists iff this holds, so join algorithms
+        require it.
+        """
+        covered: set[str] = set()
+        for e in self.edges.values():
+            covered |= e
+        return covered == set(self._vertex_set)
+
+    def is_graph(self) -> bool:
+        """True when every edge has arity at most 2 (Section 7.1's class)."""
+        return all(len(e) <= 2 for e in self.edges.values())
+
+    def is_simple_graph(self) -> bool:
+        """True for a graph with no duplicate arity-2 edges and no loops."""
+        if not self.is_graph():
+            return False
+        seen: set[frozenset[str]] = set()
+        for e in self.edges.values():
+            if len(e) == 2:
+                if e in seen:
+                    return False
+                seen.add(e)
+        return True
+
+    def is_lw_instance(self) -> bool:
+        """True when ``E`` is exactly all (n-1)-subsets of ``V`` (Section 4).
+
+        A Loomis-Whitney instance has ``n`` edges, one per omitted vertex.
+        """
+        n = len(self.vertices)
+        if n < 2 or len(self.edges) != n:
+            return False
+        expected = {self._vertex_set - {v} for v in self.vertices}
+        return set(self.edges.values()) == expected
+
+    def restrict(self, vertices: Iterable[str]) -> "Hypergraph":
+        """The trace hypergraph on a vertex subset.
+
+        Each edge is intersected with the subset; empty traces are dropped.
+        This is the ``H'`` construction used throughout Section 5.
+        """
+        keep = frozenset(vertices)
+        unknown = keep - self._vertex_set
+        if unknown:
+            raise QueryError(f"unknown vertices {sorted(unknown)}")
+        new_edges = {
+            eid: e & keep for eid, e in self.edges.items() if e & keep
+        }
+        return Hypergraph(
+            tuple(v for v in self.vertices if v in keep), new_edges
+        )
+
+    def subhypergraph(self, edge_ids: Iterable[str]) -> "Hypergraph":
+        """Keep only the given edges (full vertex set retained)."""
+        ids = list(edge_ids)
+        for eid in ids:
+            self.edge(eid)
+        return Hypergraph(
+            self.vertices, {eid: self.edges[eid] for eid in ids}
+        )
+
+    # -- graph-shape detection (for Section 7.1) ------------------------------------
+
+    def connected_components(self) -> list["Hypergraph"]:
+        """Split into connected components (vertices sharing no edge split).
+
+        Isolated vertices (in no edge) each form their own edgeless
+        component.
+        """
+        parent: dict[str, str] = {v: v for v in self.vertices}
+
+        def find(v: str) -> str:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for e in self.edges.values():
+            members = sorted(e)
+            for other in members[1:]:
+                union(members[0], other)
+        groups: dict[str, list[str]] = {}
+        for v in self.vertices:
+            groups.setdefault(find(v), []).append(v)
+        components = []
+        for group in groups.values():
+            group_set = set(group)
+            edges = {
+                eid: e for eid, e in self.edges.items() if e <= group_set and e
+            }
+            components.append(Hypergraph(tuple(group), edges))
+        return components
+
+    def is_cycle(self) -> list[str] | None:
+        """If this (arity-2) hypergraph is a single cycle, return its
+        vertices in cyclic order; else ``None``.
+
+        Used by the Cycle Lemma (Lemma 7.1).  A 2-cycle (two parallel edges)
+        and larger cycles all qualify; a single edge does not.
+        """
+        if not self.is_graph() or len(self.edges) < 2:
+            return None
+        if any(len(e) != 2 for e in self.edges.values()):
+            return None
+        if len(self.edges) != len(self.vertices):
+            return None
+        adjacency: dict[str, list[tuple[str, str]]] = {v: [] for v in self.vertices}
+        for eid, e in self.edges.items():
+            a, b = sorted(e)
+            adjacency[a].append((b, eid))
+            adjacency[b].append((a, eid))
+        if any(len(neighbors) != 2 for neighbors in adjacency.values()):
+            return None
+        # Walk the cycle from an arbitrary start.
+        start = self.vertices[0]
+        order = [start]
+        used_edges: set[str] = set()
+        current = start
+        while True:
+            for neighbor, eid in adjacency[current]:
+                if eid not in used_edges:
+                    used_edges.add(eid)
+                    current = neighbor
+                    break
+            else:
+                return None
+            if current == start:
+                break
+            order.append(current)
+        if len(order) != len(self.vertices) or len(used_edges) != len(self.edges):
+            return None
+        return order
+
+    def is_star(self) -> str | None:
+        """If this (arity-<=2) hypergraph is a star, return its center.
+
+        A star is a set of edges sharing one common vertex (a single edge or
+        even a single loop/singleton counts, center chosen deterministically).
+        Lemma 7.2 shows the weight-1 edges of a vertex LP solution form
+        stars.
+        """
+        if not self.is_graph() or not self.edges:
+            return None
+        common = None
+        for e in self.edges.values():
+            common = set(e) if common is None else common & e
+        if not common:
+            return None
+        return sorted(common)[0]
+
+
+def lw_hypergraph(n: int, vertex_prefix: str = "A") -> Hypergraph:
+    """The Loomis-Whitney hypergraph: all (n-1)-subsets of n attributes.
+
+    Vertices are ``A1..An`` and edge ``Ri`` omits vertex ``Ai`` — the setup
+    of Theorem 3.4 and Section 4.
+    """
+    if n < 2:
+        raise QueryError(f"LW instances need n >= 2, got {n}")
+    vertices = tuple(f"{vertex_prefix}{i}" for i in range(1, n + 1))
+    edges = {
+        f"R{i}": tuple(v for j, v in enumerate(vertices, start=1) if j != i)
+        for i in range(1, n + 1)
+    }
+    return Hypergraph(vertices, edges)

@@ -1,0 +1,207 @@
+"""Discrete geometric inequalities: Loomis-Whitney and Bollobas-Thomason.
+
+Section 3 of the paper proves that AGM's fractional-cover inequality is
+*equivalent* to the discrete Bollobas-Thomason (BT) inequality, whose
+special case ``F = all (n-1)-subsets`` is the discrete Loomis-Whitney (LW)
+inequality.  This module provides:
+
+* verifiers that check the inequalities numerically on concrete point sets
+  (used by property tests and by the E5 tightness benchmark), and
+* the two constructions of Proposition 3.3 — reading a point set as a join
+  instance (AGM => BT) and replicating edges of a tight rational cover into
+  a ``d``-regular family (BT => AGM).
+
+Together with the algorithms of Sections 4-5, running a join on these
+constructions is the paper's *algorithmic proof* of the inequalities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import CoverError, QueryError
+from repro.hypergraph.covers import FractionalCover, tighten_cover
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+
+#: An n-dimensional grid point.
+Point = tuple[int, ...]
+
+
+def project_points(
+    points: Iterable[Point], coordinates: Sequence[int]
+) -> set[Point]:
+    """``S_F``: the projections of ``points`` onto ``coordinates``."""
+    return {tuple(p[i] for i in coordinates) for p in points}
+
+
+@dataclass(frozen=True)
+class InequalityCheck:
+    """Result of verifying ``|S|^d <= prod_F |S_F|`` on a point set.
+
+    ``lhs_log``/``rhs_log`` hold the two sides in log space (safe for huge
+    values); ``ratio`` is ``rhs / lhs`` (>= 1 iff the inequality holds,
+    == 1 at tightness).
+    """
+
+    holds: bool
+    lhs_log: float
+    rhs_log: float
+
+    @property
+    def ratio(self) -> float:
+        return math.exp(self.rhs_log - self.lhs_log)
+
+    @property
+    def tight(self) -> bool:
+        return abs(self.rhs_log - self.lhs_log) < 1e-9
+
+
+def verify_bt(
+    points: Iterable[Point],
+    family: Sequence[Sequence[int]],
+    regularity: int | None = None,
+) -> InequalityCheck:
+    """Check the discrete Bollobas-Thomason inequality (Theorem 3.1).
+
+    ``family`` is a collection of coordinate subsets in which every
+    coordinate of the points must occur in exactly ``d`` members; then
+    ``|S|^d <= prod_F |S_F|``.
+
+    Parameters
+    ----------
+    points:
+        A finite set of n-dimensional integer grid points (n inferred).
+    family:
+        The cover family ``F`` (lists of coordinate indices).
+    regularity:
+        The degree ``d``; inferred (and checked) when omitted.
+    """
+    point_set = set(points)
+    if not point_set:
+        return InequalityCheck(True, -math.inf, 0.0)
+    n = len(next(iter(point_set)))
+    occurrences = [0] * n
+    for subset in family:
+        for i in subset:
+            if not 0 <= i < n:
+                raise QueryError(f"coordinate {i} out of range for n={n}")
+            occurrences[i] += 1
+    degrees = set(occurrences)
+    if len(degrees) != 1:
+        raise QueryError(
+            f"family is not regular: occurrence counts {occurrences}"
+        )
+    d = degrees.pop()
+    if regularity is not None and regularity != d:
+        raise QueryError(f"declared regularity {regularity} but family has {d}")
+    if d == 0:
+        raise QueryError("family has regularity 0: no cover at all")
+    lhs_log = d * math.log(len(point_set))
+    rhs_log = sum(
+        math.log(len(project_points(point_set, subset))) for subset in family
+    )
+    return InequalityCheck(lhs_log <= rhs_log + 1e-9, lhs_log, rhs_log)
+
+
+def verify_lw(points: Iterable[Point]) -> InequalityCheck:
+    """Check the discrete Loomis-Whitney inequality (Theorem 3.4).
+
+    ``|S|^{n-1} <= prod_i |S_{[n] \\ {i}}|`` — BT with the family of all
+    (n-1)-subsets of coordinates.
+    """
+    point_set = set(points)
+    if not point_set:
+        return InequalityCheck(True, -math.inf, 0.0)
+    n = len(next(iter(point_set)))
+    if n < 2:
+        raise QueryError("LW inequality needs dimension >= 2")
+    family = [
+        [j for j in range(n) if j != i] for i in range(n)
+    ]
+    return verify_bt(point_set, family, regularity=n - 1)
+
+
+def bt_instance_from_points(
+    points: Iterable[Point],
+    family: Sequence[Sequence[int]],
+) -> tuple[Hypergraph, dict[str, Relation], FractionalCover]:
+    """AGM => BT direction of Proposition 3.3.
+
+    Treat each coordinate as an attribute and each projection ``S_F`` as an
+    input relation; the cover ``x_F = 1/d`` is fractional for the resulting
+    hypergraph, and the AGM bound on the instance *is* the BT right-hand
+    side.  Joining the relations recovers a superset of ``S`` whose size is
+    bounded by ``prod |S_F|^{1/d}`` — running any of this library's
+    worst-case optimal joins on the output therefore *algorithmically
+    proves* BT for the point set.
+    """
+    point_set = set(points)
+    if not point_set:
+        raise QueryError("empty point set")
+    n = len(next(iter(point_set)))
+    vertices = tuple(f"X{i}" for i in range(n))
+    occurrences = [0] * n
+    edges: dict[str, tuple[str, ...]] = {}
+    relations: dict[str, Relation] = {}
+    for index, subset in enumerate(family):
+        for i in subset:
+            occurrences[i] += 1
+        eid = f"F{index}"
+        edges[eid] = tuple(vertices[i] for i in subset)
+        relations[eid] = Relation(
+            eid, edges[eid], project_points(point_set, list(subset))
+        )
+    degrees = set(occurrences)
+    if len(degrees) != 1 or 0 in degrees:
+        raise QueryError(f"family is not regular: {occurrences}")
+    d = degrees.pop()
+    hypergraph = Hypergraph(vertices, edges)
+    cover = FractionalCover({eid: Fraction(1, d) for eid in edges})
+    return hypergraph, relations, cover
+
+
+def replicate_to_regular_family(
+    hypergraph: Hypergraph,
+    cover: FractionalCover,
+    relations: dict[str, Relation],
+) -> tuple[Hypergraph, dict[str, Relation], int]:
+    """BT => AGM direction of Proposition 3.3.
+
+    First tighten the cover (Lemma 3.2), then write every weight as
+    ``d_e / d`` over the common denominator ``d`` and create ``d_e`` copies
+    of each edge.  The result is a hypergraph in which **every vertex lies
+    in exactly d edges** — the Bollobas-Thomason setting — whose BT bound
+    ``prod |R'_e|^{1/d}`` equals the original AGM bound.
+
+    Returns the replicated hypergraph, its relations (copies share tuple
+    sets), and the regularity ``d``.
+    """
+    tight_h, tight_cover, tight_rels = tighten_cover(
+        hypergraph, cover, relations
+    )
+    d = tight_cover.common_denominator()
+    edges: dict[str, frozenset[str]] = {}
+    new_relations: dict[str, Relation] = {}
+    for eid, members in tight_h.edges.items():
+        copies = tight_cover.get(eid) * d
+        if copies.denominator != 1:
+            raise CoverError(
+                f"weight {tight_cover.get(eid)} of {eid!r} is not a multiple "
+                f"of 1/{d} (internal error)"
+            )
+        for c in range(int(copies)):
+            copy_id = f"{eid}#{c}"
+            edges[copy_id] = members
+            new_relations[copy_id] = tight_rels[eid].with_name(copy_id)
+    replicated = Hypergraph(tight_h.vertices, edges)
+    for vertex in replicated.vertices:
+        if replicated.degree(vertex) != d:
+            raise CoverError(
+                f"vertex {vertex!r} has degree {replicated.degree(vertex)}, "
+                f"expected {d} (internal error)"
+            )
+    return replicated, new_relations, d

@@ -1,0 +1,101 @@
+"""CSV import/export for relations.
+
+Downstream users mostly have tables, not Python literals.  This module
+reads/writes relations as plain CSV with a header row of attribute names:
+
+    A,B
+    0,1
+    1,2
+
+Values are read as integers when every cell in the column parses as one
+(the paper's instances are integer-valued), and as strings otherwise; a
+``types`` override is available for mixed data.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relations.relation import Relation
+
+#: A per-attribute parser, e.g. ``int`` or ``str``.
+Parser = Callable[[str], object]
+
+
+def load_relation_csv(
+    path: str | pathlib.Path,
+    name: str | None = None,
+    types: Mapping[str, Parser] | None = None,
+) -> Relation:
+    """Read a relation from a headered CSV file.
+
+    Parameters
+    ----------
+    path:
+        CSV file with attribute names in the first row.
+    name:
+        Relation name; defaults to the file's stem.
+    types:
+        Optional per-attribute parsers.  Attributes not listed use
+        automatic typing (int when every value parses, else str).
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file (need a header row)") from None
+        attributes = tuple(col.strip() for col in header)
+        raw_rows = [tuple(row) for row in reader if row]
+    for row in raw_rows:
+        if len(row) != len(attributes):
+            raise SchemaError(
+                f"{path}: row {row!r} has {len(row)} cells, header has "
+                f"{len(attributes)}"
+            )
+
+    parsers: list[Parser] = []
+    for index, attribute in enumerate(attributes):
+        if types is not None and attribute in types:
+            parsers.append(types[attribute])
+        else:
+            column = [row[index] for row in raw_rows]
+            parsers.append(int if _all_ints(column) else str)
+    rows = [
+        tuple(parse(cell) for parse, cell in zip(parsers, row))
+        for row in raw_rows
+    ]
+    return Relation(name if name is not None else path.stem, attributes, rows)
+
+
+def save_relation_csv(relation: Relation, path: str | pathlib.Path) -> None:
+    """Write a relation as headered CSV (rows sorted for determinism)."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.attributes)
+        for row in sorted(relation.tuples, key=repr):
+            writer.writerow(row)
+
+
+def load_database_csv(
+    paths: Sequence[str | pathlib.Path],
+    types: Mapping[str, Parser] | None = None,
+) -> list[Relation]:
+    """Load several CSV files (one relation each, named by file stem)."""
+    return [load_relation_csv(p, types=types) for p in paths]
+
+
+def _all_ints(column: Sequence[str]) -> bool:
+    if not column:
+        return True
+    for cell in column:
+        try:
+            int(cell)
+        except ValueError:
+            return False
+    return True

@@ -1,0 +1,15 @@
+"""Relational substrate: relations, trie indexes, and the database catalog."""
+
+from repro.relations.database import Database
+from repro.relations.relation import Relation, Row, Value, union_all
+from repro.relations.trie import TrieIndex, TrieNode
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Row",
+    "TrieIndex",
+    "TrieNode",
+    "Value",
+    "union_all",
+]

@@ -1,0 +1,122 @@
+"""A tiny in-memory database: a catalog of named relations plus index cache.
+
+The paper's algorithms operate on a *database instance* ``I`` assigning a
+concrete relation to every relational symbol (Section 2).  :class:`Database`
+provides that binding along with:
+
+* size statistics (the ``N_e`` inputs of the AGM bound),
+* a cache of :class:`~repro.relations.trie.TrieIndex` objects keyed by
+  (relation, attribute order) — Remark 5.2's "index in advance" option: the
+  first query that needs an order pays the build, later queries reuse it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import DatabaseError
+from repro.relations.relation import Relation
+from repro.relations.trie import TrieIndex
+
+
+class Database:
+    """A mutable catalog of immutable relations."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._trie_cache: dict[tuple[str, tuple[str, ...]], TrieIndex] = {}
+        for relation in relations:
+            self.add(relation)
+
+    # -- catalog -------------------------------------------------------------
+
+    def add(self, relation: Relation, replace: bool = False) -> None:
+        """Register ``relation`` under its name.
+
+        Raises :class:`~repro.errors.DatabaseError` if the name is taken and
+        ``replace`` is false.  Replacing a relation invalidates its cached
+        indexes.
+        """
+        name = relation.name
+        if name in self._relations and not replace:
+            raise DatabaseError(f"relation {name!r} already exists")
+        self._relations[name] = relation
+        self._drop_cached(name)
+
+    def remove(self, name: str) -> None:
+        """Drop a relation (and its cached indexes) from the catalog."""
+        if name not in self._relations:
+            raise DatabaseError(f"relation {name!r} does not exist")
+        del self._relations[name]
+        self._drop_cached(name)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise DatabaseError(f"relation {name!r} does not exist") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def names(self) -> list[str]:
+        """Names of all catalogued relations (insertion order)."""
+        return list(self._relations)
+
+    # -- statistics ------------------------------------------------------------
+
+    def sizes(self) -> dict[str, int]:
+        """``{name: |R|}`` — the ``N_e`` vector of the AGM machinery."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def total_tuples(self) -> int:
+        """``sum_e N_e`` — the input-reading term of Definition 2.1."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    # -- index cache ------------------------------------------------------------
+
+    def trie(self, name: str, attribute_order: Iterable[str]) -> TrieIndex:
+        """A trie over relation ``name`` with levels in ``attribute_order``.
+
+        Built on first use, cached afterwards.  This realizes Remark 5.2: the
+        ``O(n^2 sum N_e)`` data-preprocessing cost is paid once per
+        (relation, order) pair, not per query.
+        """
+        order = tuple(attribute_order)
+        key = (name, order)
+        index = self._trie_cache.get(key)
+        if index is None:
+            index = TrieIndex(self[name], order)
+            self._trie_cache[key] = index
+        return index
+
+    def cached_trie_count(self) -> int:
+        """Number of tries currently cached (observability for tests)."""
+        return len(self._trie_cache)
+
+    def _drop_cached(self, name: str) -> None:
+        stale = [key for key in self._trie_cache if key[0] == name]
+        for key in stale:
+            del self._trie_cache[key]
+
+    # -- conveniences -------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, relations: Mapping[str, Relation]) -> "Database":
+        """Build a database renaming each relation to its mapping key."""
+        db = cls()
+        for name, relation in relations.items():
+            db.add(relation.with_name(name))
+        return db
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}({len(rel)})" for name, rel in self._relations.items()
+        )
+        return f"Database({inner})"

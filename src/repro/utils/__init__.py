@@ -1,0 +1,13 @@
+"""Small shared utilities (timing, table rendering)."""
+
+from repro.utils.tables import format_table, print_table
+from repro.utils.timing import Stopwatch, Timed, best_of, timed
+
+__all__ = [
+    "Stopwatch",
+    "Timed",
+    "best_of",
+    "format_table",
+    "print_table",
+    "timed",
+]

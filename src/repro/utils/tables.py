@@ -1,0 +1,58 @@
+"""ASCII table rendering for benchmark output.
+
+The benchmark harness prints, for every experiment, the same rows/series
+the paper's claims are about; this module keeps that output aligned and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    """Human-friendly cell formatting (floats get 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` (with surrounding blank lines)."""
+    print()
+    print(format_table(headers, rows, title))
+    print()

@@ -1,0 +1,5 @@
+"""Workloads: the paper's instance families, generators, named queries."""
+
+from repro.workloads import generators, instances, queries
+
+__all__ = ["generators", "instances", "queries"]

@@ -1,0 +1,146 @@
+"""Seeded random instance generators for tests and benchmarks.
+
+Everything is driven by :class:`random.Random` with an explicit seed, so
+tests and benchmark tables are reproducible.  NumPy is deliberately not
+required — the library itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+
+
+def random_relation(
+    name: str,
+    attributes: Sequence[str],
+    size: int,
+    domain: int,
+    rng: random.Random,
+) -> Relation:
+    """A uniform random relation: ``size`` draws from ``[0, domain)^k``.
+
+    Duplicates collapse, so the realized size can be slightly below
+    ``size`` when ``domain**k`` is small.
+    """
+    attrs = tuple(attributes)
+    rows = {
+        tuple(rng.randrange(domain) for _ in attrs) for _ in range(size)
+    }
+    return Relation(name, attrs, rows)
+
+
+def zipf_relation(
+    name: str,
+    attributes: Sequence[str],
+    size: int,
+    domain: int,
+    rng: random.Random,
+    exponent: float = 1.2,
+) -> Relation:
+    """A skewed relation: values drawn from a Zipf-like distribution.
+
+    Low values are heavily over-represented — the fan-out skew that
+    motivates the paper's heavy/light split (and [36]'s production trick).
+    """
+    weights = [1.0 / (v + 1) ** exponent for v in range(domain)]
+    values = list(range(domain))
+    rows = {
+        tuple(rng.choices(values, weights=weights)[0] for _ in attributes)
+        for _ in range(size)
+    }
+    return Relation(name, tuple(attributes), rows)
+
+
+def random_instance(
+    hypergraph: Hypergraph,
+    size: int,
+    domain: int,
+    seed: int = 0,
+    skew: float | None = None,
+) -> JoinQuery:
+    """Bind every edge of ``hypergraph`` to a random relation."""
+    rng = random.Random(seed)
+    relations = {}
+    for eid, members in hypergraph.edges.items():
+        attrs = tuple(a for a in hypergraph.vertices if a in members)
+        if skew is None:
+            relations[eid] = random_relation(eid, attrs, size, domain, rng)
+        else:
+            relations[eid] = zipf_relation(
+                eid, attrs, size, domain, rng, exponent=skew
+            )
+    return JoinQuery.from_hypergraph(hypergraph, relations)
+
+
+def random_hypergraph(
+    n_vertices: int,
+    n_edges: int,
+    max_arity: int,
+    seed: int = 0,
+) -> Hypergraph:
+    """A random connected-ish hypergraph in which every vertex is covered.
+
+    Each edge picks an arity in ``[1, max_arity]`` and a random vertex
+    subset; uncovered vertices are then patched into random edges so a
+    fractional cover always exists.
+    """
+    if n_vertices < 1 or n_edges < 1:
+        raise QueryError("need at least one vertex and one edge")
+    rng = random.Random(seed)
+    vertices = tuple(f"A{i}" for i in range(1, n_vertices + 1))
+    edges: dict[str, set[str]] = {}
+    for j in range(1, n_edges + 1):
+        arity = rng.randint(1, min(max_arity, n_vertices))
+        edges[f"R{j}"] = set(rng.sample(vertices, arity))
+    covered = set().union(*edges.values())
+    for vertex in vertices:
+        if vertex in covered:
+            continue
+        # Patch into an edge with spare arity, else add a singleton edge.
+        candidates = [
+            eid for eid, e in sorted(edges.items()) if len(e) < max_arity
+        ]
+        if candidates:
+            edges[rng.choice(candidates)].add(vertex)
+        else:
+            edges[f"R{len(edges) + 1}"] = {vertex}
+    return Hypergraph(vertices, {eid: tuple(sorted(e)) for eid, e in edges.items()})
+
+
+def tripartite_triangle_instance(
+    nodes: int,
+    edges_per_pair: int,
+    seed: int = 0,
+    hub: bool = False,
+) -> JoinQuery:
+    """Triangle listing on a random tripartite graph (benchmark E9).
+
+    Parts ``A``, ``B``, ``C`` each have ``nodes`` vertices; every pair of
+    parts gets ``edges_per_pair`` random edges.  With ``hub=True``, one
+    vertex per part is additionally connected to *everything* in the next
+    part — the skew that cripples binary plans.
+    """
+    rng = random.Random(seed)
+
+    def edge_set(extra_hub: bool) -> set[tuple[int, int]]:
+        out = set()
+        while len(out) < min(edges_per_pair, nodes * nodes):
+            out.add((rng.randrange(nodes), rng.randrange(nodes)))
+        if extra_hub:
+            out |= {(0, v) for v in range(nodes)}
+            out |= {(v, 0) for v in range(nodes)}
+        return out
+
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), edge_set(hub)),
+            Relation("S", ("B", "C"), edge_set(hub)),
+            Relation("T", ("A", "C"), edge_set(hub)),
+        ]
+    )

@@ -1,0 +1,209 @@
+"""The paper's instance families, reproduced exactly.
+
+Every lower-bound and tightness construction in the paper is an explicit
+synthetic instance; this module rebuilds each one:
+
+* :func:`triangle_hard_instance` — Example 2.2's ``I_N``;
+* :func:`lw_hard_instance` — Lemma 6.1's "simple" relations;
+* :func:`beyond_lw_instance` — the Lemma 6.3 lifting;
+* :func:`grid_instance` — AGM-tight product instances;
+* :func:`relaxed_lower_bound_instance` — Section 7.2's tight instance;
+* :func:`fd_fanout_instance` — Section 7.3's FD example;
+* :func:`cycle_hard_instance` — the Example 2.2 pattern generalized to
+  k-cycles (hub value 0 with high fan-out), for the Section 7.1 benches.
+
+Where the paper "ignores the integrality issue" (Lemma 6.1's domain size
+``(N-1)/(n-1)``), we round and report the realized sizes; the benchmark
+tables print both the requested and realized ``N``.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+from repro.workloads import queries
+
+
+def triangle_hard_instance(n: int) -> JoinQuery:
+    """Example 2.2: ``R = S = T = {(0, j)} cup {(j, 0)}, j = 1..N/2``.
+
+    Properties (verified in tests):
+    ``|R| = |S| = |T| = N``;  every pairwise join has ``N^2/4 + N/2``
+    tuples; the triangle join is empty.  Any binary-join plan and AGM's
+    join-project algorithm therefore do ``Omega(N^2)`` work, while the AGM
+    bound is ``N^{3/2}`` and Algorithms 1 and 2 finish in ``O(N)``.
+    """
+    if n < 2 or n % 2:
+        raise QueryError(f"Example 2.2 needs an even N >= 2, got {n}")
+    half = n // 2
+    pattern = [(0, j) for j in range(1, half + 1)] + [
+        (j, 0) for j in range(1, half + 1)
+    ]
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), pattern),
+            Relation("S", ("B", "C"), pattern),
+            Relation("T", ("A", "C"), pattern),
+        ]
+    )
+
+
+def lw_hard_instance(n: int, size: int) -> JoinQuery:
+    """Lemma 6.1: "simple" relations over ``[n] choose (n-1)``.
+
+    Domain ``D = {0..M}`` with ``M = max(1, (N-1) // (n-1))``; relation
+    ``R_i`` (on attributes ``A_j, j != i``) holds every tuple with **at
+    most one non-zero** coordinate.  Realized size:
+    ``|R_i| = 1 + (n-1) M ~ N``.  Any join-project plan needs
+    ``Omega(N^2/n^2)`` on this family (Lemma 6.1) while Algorithm 2 runs in
+    ``O(n^2 N)`` (Lemma 6.2).
+    """
+    if n < 3:
+        raise QueryError(f"Lemma 6.1 instances need n >= 3, got {n}")
+    if size < n:
+        raise QueryError(f"need N >= n, got N={size}, n={n}")
+    m = max(1, (size - 1) // (n - 1))
+    hypergraph = queries.lw_query(n)
+    relations = {}
+    for eid, members in hypergraph.edges.items():
+        attrs = tuple(
+            a for a in hypergraph.vertices if a in members
+        )
+        arity = len(attrs)
+        rows = [tuple([0] * arity)]
+        for position in range(arity):
+            for value in range(1, m + 1):
+                row = [0] * arity
+                row[position] = value
+                rows.append(tuple(row))
+        relations[eid] = Relation(eid, attrs, rows)
+    return JoinQuery.from_hypergraph(hypergraph, relations)
+
+
+def beyond_lw_instance(size: int, padding_value: int = -1) -> JoinQuery:
+    """Lemma 6.3's construction on :func:`~repro.workloads.queries.beyond_lw_query`.
+
+    The edges of ``F`` (here all three) carry Lemma 6.1-style simple
+    relations on their ``U``-part, and the extra attribute ``D`` is pinned
+    to the single constant ``padding_value``.  Binary plans still pay
+    ``Omega(N^2/|U|^2)``; the fractional cover ``x_e = 1/2`` on ``F``
+    bounds the output by ``N^{3/2}``.
+    """
+    base = lw_hard_instance(3, size)
+    hypergraph = queries.beyond_lw_query()
+    # Map the LW triangle's attributes A1,A2,A3 onto U = {A,B,C}.  The LW
+    # relation R_i omits attribute A_i, so R3 (on A1,A2) lifts to the edge
+    # {A,B,D}, R1 (on A2,A3) to {B,C,D}, and R2 (on A1,A3) to {A,C,D}.
+    renames = {"A1": "A", "A2": "B", "A3": "C"}
+    relations = {}
+    for eid, target in (("R3", "R"), ("R1", "S"), ("R2", "T")):
+        relation = base.relation(eid)
+        source = relation.rename(
+            {k: v for k, v in renames.items() if k in relation.attribute_set}
+        )
+        rows = [row + (padding_value,) for row in source.tuples]
+        attrs = source.attributes + ("D",)
+        relations[target] = Relation(target, attrs, rows)
+    return JoinQuery.from_hypergraph(hypergraph, relations)
+
+
+def grid_instance(hypergraph: Hypergraph, side: int) -> JoinQuery:
+    """The AGM-tight product instance: every relation is the full grid
+    ``[side]^{|e|}`` over its attributes.
+
+    The join is ``[side]^n``; for a tight cover (e.g. the LW cover on LW
+    queries) the AGM bound is met with equality — benchmark E5.
+    """
+    if side < 1:
+        raise QueryError(f"side must be >= 1, got {side}")
+    import itertools
+
+    relations = {}
+    for eid, members in hypergraph.edges.items():
+        attrs = tuple(a for a in hypergraph.vertices if a in members)
+        rows = itertools.product(range(side), repeat=len(attrs))
+        relations[eid] = Relation(eid, attrs, rows)
+    return JoinQuery.from_hypergraph(hypergraph, relations)
+
+
+def relaxed_lower_bound_instance(n: int, size: int) -> JoinQuery:
+    """Section 7.2's tight instance for the relaxed-join bound.
+
+    ``R_{e_i} = [N]`` for each singleton edge and
+    ``R_{e_{n+1}} = { (N+i, ..., N+i) : i in [N] }``.  For any ``r > 0``,
+    ``q_r = R_{e_{n+1}} cup [N]^n``, i.e. ``|q_r| = N + N^n``, matching
+    ``sum_{S in C*} LPOpt(S) = N + N^n`` exactly.
+    """
+    if size < 1:
+        raise QueryError(f"size must be >= 1, got {size}")
+    hypergraph = queries.relaxed_lower_bound_query(n)
+    relations = {}
+    for i in range(1, n + 1):
+        relations[f"E{i}"] = Relation(
+            f"E{i}", (f"A{i}",), [(v,) for v in range(1, size + 1)]
+        )
+    full_attrs = tuple(f"A{i}" for i in range(1, n + 1))
+    relations[f"E{n + 1}"] = Relation(
+        f"E{n + 1}",
+        full_attrs,
+        [tuple([size + i] * n) for i in range(1, size + 1)],
+    )
+    return JoinQuery.from_hypergraph(hypergraph, relations)
+
+
+def fd_fanout_instance(k: int, size: int) -> tuple[JoinQuery, list]:
+    """Section 7.3's FD example: ``R_i(A, B_i)``, ``S_i(B_i, C)``.
+
+    ``R_i = {(a, a)}`` (so ``A -> B_i`` holds) and ``S_i = {(b, 0)}``.
+    The full join is ``{(a, a, ..., a, 0)}`` (``N`` tuples); the half-join
+    ``join_i S_i`` alone has ``N^k`` tuples, and the FD-unaware AGM bound
+    is ``N^k`` versus ``N^2`` after FD expansion.
+
+    Returns ``(query, fds)``.
+    """
+    from repro.core.fd import FunctionalDependency
+
+    if k < 1 or size < 1:
+        raise QueryError(f"need k >= 1 and N >= 1, got k={k}, N={size}")
+    hypergraph = queries.fd_fanout_query(k)
+    relations = {}
+    for i in range(1, k + 1):
+        relations[f"R{i}"] = Relation(
+            f"R{i}", ("A", f"B{i}"), [(a, a) for a in range(1, size + 1)]
+        )
+        relations[f"S{i}"] = Relation(
+            f"S{i}", (f"B{i}", "C"), [(b, 0) for b in range(1, size + 1)]
+        )
+    query = JoinQuery.from_hypergraph(hypergraph, relations)
+    fds = [
+        FunctionalDependency(f"R{i}", "A", f"B{i}") for i in range(1, k + 1)
+    ]
+    return query, fds
+
+
+def cycle_hard_instance(k: int, size: int) -> JoinQuery:
+    """Example 2.2's hub pattern on a k-cycle.
+
+    Every relation is ``{(0, j)} cup {(j, 0)}``: all pairwise joins explode
+    quadratically around the hub value 0, the full cycle join stays tiny.
+    Used by benchmark E6 to separate the Cycle Lemma from binary plans.
+    """
+    if size < 2 or size % 2:
+        raise QueryError(f"need an even N >= 2, got {size}")
+    hypergraph = queries.cycle_query(k)
+    half = size // 2
+    pattern = [(0, j) for j in range(1, half + 1)] + [
+        (j, 0) for j in range(1, half + 1)
+    ]
+    relations = {}
+    for eid in hypergraph.edge_ids:
+        attrs = tuple(
+            sorted(
+                hypergraph.edges[eid],
+                key=hypergraph.vertices.index,
+            )
+        )
+        relations[eid] = Relation(eid, attrs, pattern)
+    return JoinQuery.from_hypergraph(hypergraph, relations)

@@ -1,0 +1,149 @@
+"""Named query hypergraphs used throughout the paper and the benchmarks.
+
+Each builder returns a :class:`~repro.hypergraph.Hypergraph` with a
+deterministic edge order (which fixes Algorithm 3's ``e_1..e_m``).  Bind
+relations with :meth:`repro.core.query.JoinQuery.from_hypergraph` or the
+instance builders in :mod:`repro.workloads.instances`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph, lw_hypergraph
+
+
+def triangle() -> Hypergraph:
+    """The motivating query (1): ``R(A,B) join S(B,C) join T(A,C)``."""
+    return Hypergraph(
+        ("A", "B", "C"),
+        {"R": ("A", "B"), "S": ("B", "C"), "T": ("A", "C")},
+    )
+
+
+def lw_query(n: int) -> Hypergraph:
+    """The Loomis-Whitney query on ``n`` attributes (Section 4)."""
+    return lw_hypergraph(n)
+
+
+def cycle_query(k: int) -> Hypergraph:
+    """The k-cycle: ``R_i(A_i, A_{i+1})`` with wraparound (Section 7.1)."""
+    if k < 2:
+        raise QueryError(f"cycles need k >= 2, got {k}")
+    vertices = tuple(f"A{i}" for i in range(1, k + 1))
+    edges = {
+        f"R{i}": (vertices[i - 1], vertices[i % k])
+        for i in range(1, k + 1)
+    }
+    return Hypergraph(vertices, edges)
+
+
+def path_query(k: int) -> Hypergraph:
+    """The k-edge path ``R_i(A_i, A_{i+1})`` (acyclic baseline shape)."""
+    if k < 1:
+        raise QueryError(f"paths need k >= 1 edges, got {k}")
+    vertices = tuple(f"A{i}" for i in range(1, k + 2))
+    edges = {
+        f"R{i}": (vertices[i - 1], vertices[i]) for i in range(1, k + 1)
+    }
+    return Hypergraph(vertices, edges)
+
+
+def star_query(k: int) -> Hypergraph:
+    """A star: ``R_i(Hub, A_i)`` for ``i = 1..k`` (Lemma 7.2's weight-1
+    shape)."""
+    if k < 1:
+        raise QueryError(f"stars need k >= 1 edges, got {k}")
+    vertices = ("Hub",) + tuple(f"A{i}" for i in range(1, k + 1))
+    edges = {f"R{i}": ("Hub", f"A{i}") for i in range(1, k + 1)}
+    return Hypergraph(vertices, edges)
+
+
+def clique_query(k: int) -> Hypergraph:
+    """The k-clique: one binary relation per vertex pair."""
+    if k < 2:
+        raise QueryError(f"cliques need k >= 2, got {k}")
+    vertices = tuple(f"A{i}" for i in range(1, k + 1))
+    edges = {}
+    for i in range(1, k + 1):
+        for j in range(i + 1, k + 1):
+            edges[f"R{i}_{j}"] = (f"A{i}", f"A{j}")
+    return Hypergraph(vertices, edges)
+
+
+def fd_fanout_query(k: int) -> Hypergraph:
+    """Section 7.3's FD example: ``join_i R_i(A, B_i) join_i S_i(B_i, C)``."""
+    if k < 1:
+        raise QueryError(f"the FD example needs k >= 1, got {k}")
+    vertices = ("A",) + tuple(f"B{i}" for i in range(1, k + 1)) + ("C",)
+    edges: dict[str, tuple[str, ...]] = {}
+    for i in range(1, k + 1):
+        edges[f"R{i}"] = ("A", f"B{i}")
+    for i in range(1, k + 1):
+        edges[f"S{i}"] = (f"B{i}", "C")
+    return Hypergraph(vertices, edges)
+
+
+def paper_example_52() -> Hypergraph:
+    """The worked example of Section 5.2: 6 attributes, 5 relations.
+
+    The vertex-edge incidence matrix ``M`` of the paper, with edges in the
+    order ``a, b, c, d, e`` — so Algorithm 3 anchors the root at ``e`` and
+    the derived total order is ``1, 4, 2, 5, 3, 6`` (Figure 1).
+    """
+    return Hypergraph(
+        ("1", "2", "3", "4", "5", "6"),
+        {
+            "a": ("1", "2", "4", "5"),
+            "b": ("1", "3", "4", "6"),
+            "c": ("1", "2", "3"),
+            "d": ("2", "4", "6"),
+            "e": ("3", "5", "6"),
+        },
+    )
+
+
+def paper_figure2() -> Hypergraph:
+    """The query of Figure 2: ``R1(A1,A2,A4,A5) join R2(A1,A3,A4,A6) join
+    R3(A1,A2,A3) join R4(A2,A4,A6) join R5(A3,A5,A6)``."""
+    return Hypergraph(
+        ("A1", "A2", "A3", "A4", "A5", "A6"),
+        {
+            "R1": ("A1", "A2", "A4", "A5"),
+            "R2": ("A1", "A3", "A4", "A6"),
+            "R3": ("A1", "A2", "A3"),
+            "R4": ("A2", "A4", "A6"),
+            "R5": ("A3", "A5", "A6"),
+        },
+    )
+
+
+def relaxed_lower_bound_query(n: int) -> Hypergraph:
+    """Section 7.2's lower-bound query: singletons ``e_i = {A_i}`` plus the
+    full edge ``e_{n+1} = {A_1..A_n}``."""
+    if n < 1:
+        raise QueryError(f"need n >= 1, got {n}")
+    vertices = tuple(f"A{i}" for i in range(1, n + 1))
+    edges: dict[str, tuple[str, ...]] = {
+        f"E{i}": (f"A{i}",) for i in range(1, n + 1)
+    }
+    edges[f"E{n + 1}"] = vertices
+    return Hypergraph(vertices, edges)
+
+
+def beyond_lw_query() -> Hypergraph:
+    """A Lemma 6.3 query: the LW triangle on ``U = {A,B,C}`` lifted by a
+    shared attribute ``D`` (each edge gains ``D``).
+
+    Check of the lemma's conditions with ``F = E``: every ``u in U`` lies
+    in exactly ``|U| - 1 = 2`` edges; the only ``U``-relevant vertex ``D``
+    lies in 3 >= 2 edges; no vertex is ``U``-troublesome (no edge contains
+    all of ``U``).
+    """
+    return Hypergraph(
+        ("A", "B", "C", "D"),
+        {
+            "R": ("A", "B", "D"),
+            "S": ("B", "C", "D"),
+            "T": ("A", "C", "D"),
+        },
+    )

@@ -1,0 +1,179 @@
+"""Unit tests for the baseline join implementations."""
+
+import pytest
+
+from repro.baselines.hash_join import chain_hash_join, hash_join
+from repro.baselines.join_project import agm_join_project
+from repro.baselines.naive import naive_join
+from repro.baselines.plans import (
+    best_binary_plan,
+    enumerate_plans,
+    execute_plan,
+    greedy_plan,
+    join_plan,
+    leaf,
+    left_deep_plan,
+)
+from repro.baselines.sort_merge import chain_sort_merge, sort_merge_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query, two_path_query
+
+
+class TestNaive:
+    def test_triangle(self):
+        q = triangle_query()
+        out = naive_join(q)
+        assert set(out.tuples) == {(0, 1, 5), (1, 2, 6), (2, 0, 7)}
+
+    def test_single_relation(self):
+        q = JoinQuery([Relation("R", ("A",), [(1,), (2,)])])
+        assert len(naive_join(q)) == 2
+
+    def test_empty(self):
+        q = instances.triangle_hard_instance(6)
+        assert naive_join(q).is_empty()
+
+
+class TestHashJoin:
+    def test_matches_naive(self):
+        q = two_path_query()
+        assert hash_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random(self, seed):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=seed)
+        assert hash_join(q).equivalent(naive_join(q))
+
+    def test_order_changes_stats_not_result(self):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=1)
+        r1, s1 = chain_hash_join(q, order=("R", "S", "T"))
+        r2, s2 = chain_hash_join(q, order=("T", "R", "S"))
+        assert r1.equivalent(r2)
+        assert len(s1.intermediate_sizes) == len(s2.intermediate_sizes) == 2
+
+    def test_example_22_quadratic_intermediates(self):
+        """Example 2.2: every order's first intermediate is N^2/4 + N/2."""
+        n = 20
+        q = instances.triangle_hard_instance(n)
+        _out, stats = chain_hash_join(q)
+        assert stats.max_intermediate == n * n // 4 + n // 2
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(QueryError):
+            chain_hash_join(triangle_query(), order=("R", "S"))
+
+
+class TestSortMerge:
+    def test_pairwise_matches_hash(self):
+        q = two_path_query()
+        hashed = q.relation("R").natural_join(q.relation("S"))
+        merged = sort_merge_join(q.relation("R"), q.relation("S"))
+        assert hashed.equivalent(merged)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chain_random(self, seed):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=seed)
+        assert chain_sort_merge(q).equivalent(naive_join(q))
+
+    def test_duplicate_runs(self):
+        left = Relation("L", ("A", "B"), [(0, b) for b in range(5)])
+        right = Relation("R", ("B", "C"), [(b, 0) for b in range(5)])
+        out = sort_merge_join(left, right)
+        assert len(out) == 5
+
+    def test_no_shared_attributes(self):
+        left = Relation("L", ("A",), [(1,), (2,)])
+        right = Relation("R", ("B",), [(3,)])
+        assert len(sort_merge_join(left, right)) == 2
+
+    def test_mixed_types_sortable(self):
+        left = Relation("L", ("A", "B"), [(1, "x"), ("s", "y")])
+        right = Relation("R", ("B", "C"), [("x", 1), ("y", 2)])
+        out = sort_merge_join(left, right)
+        assert len(out) == 2
+
+
+class TestPlans:
+    def test_enumerate_counts(self):
+        # (2m-3)!! plans: m=2 -> 1, m=3 -> 3, m=4 -> 15.
+        assert len(enumerate_plans(["a", "b"])) == 1
+        assert len(enumerate_plans(["a", "b", "c"])) == 3
+        assert len(enumerate_plans(["a", "b", "c", "d"])) == 15
+
+    def test_enumerate_cap(self):
+        with pytest.raises(QueryError):
+            enumerate_plans([str(i) for i in range(8)])
+
+    def test_left_deep_shape(self):
+        plan = left_deep_plan(["a", "b", "c"])
+        assert plan.leaves() == ["a", "b", "c"]
+        assert not plan.is_leaf
+
+    def test_execute_plan(self):
+        q = triangle_query()
+        plan = join_plan(join_plan(leaf("R"), leaf("S")), leaf("T"))
+        out, stats = execute_plan(q, plan)
+        assert out.equivalent(naive_join(q))
+        assert len(stats.intermediate_sizes) == 2
+
+    def test_execute_plan_wrong_leaves(self):
+        q = triangle_query()
+        with pytest.raises(QueryError):
+            execute_plan(q, join_plan(leaf("R"), leaf("S")))
+
+    def test_best_plan_is_minimal(self):
+        q = generators.random_instance(queries.triangle(), 25, 5, seed=7)
+        _plan, result, stats = best_binary_plan(q)
+        assert result.equivalent(naive_join(q))
+        for plan in enumerate_plans(q.edge_ids):
+            _out, other = execute_plan(q, plan)
+            assert stats.total_intermediate <= other.total_intermediate
+
+    def test_best_plan_still_quadratic_on_example22(self):
+        """The Section 6 point: even the *best* binary plan pays ~N^2/4."""
+        n = 16
+        q = instances.triangle_hard_instance(n)
+        _plan, result, stats = best_binary_plan(q)
+        assert result.is_empty()
+        assert stats.max_intermediate >= n * n // 4
+
+    def test_greedy_plan_correct(self):
+        q = generators.random_instance(queries.paper_figure2(), 20, 3, seed=4)
+        plan = greedy_plan(q)
+        out, _stats = execute_plan(q, plan)
+        assert out.equivalent(naive_join(q))
+
+
+class TestJoinProject:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive(self, seed):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=seed)
+        out, _stats = agm_join_project(q)
+        assert out.equivalent(naive_join(q))
+
+    def test_lw_instance(self):
+        q = generators.random_instance(queries.lw_query(4), 25, 4, seed=2)
+        out, _stats = agm_join_project(q)
+        assert out.equivalent(naive_join(q))
+
+    def test_example_22_quadratic(self):
+        n = 20
+        q = instances.triangle_hard_instance(n)
+        out, stats = agm_join_project(q)
+        assert out.is_empty()
+        assert stats.max_intermediate >= n * n // 4
+
+    def test_attribute_order_parameter(self):
+        q = generators.random_instance(queries.triangle(), 25, 5, seed=3)
+        base = naive_join(q)
+        for order in (("A", "B", "C"), ("C", "B", "A"), ("B", "A", "C")):
+            out, _stats = agm_join_project(q, attribute_order=order)
+            assert out.equivalent(base)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(QueryError):
+            agm_join_project(triangle_query(), attribute_order=("A",))

@@ -1,0 +1,143 @@
+"""Unit tests for GYO reduction and Yannakakis' algorithm."""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.baselines.yannakakis import (
+    JoinTree,
+    gyo_reduction,
+    is_acyclic,
+    yannakakis_join,
+)
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relations.relation import Relation
+from repro.workloads import generators, queries
+
+
+class TestGYO:
+    def test_path_is_acyclic(self):
+        assert is_acyclic(queries.path_query(4))
+
+    def test_star_is_acyclic(self):
+        assert is_acyclic(queries.star_query(5))
+
+    def test_triangle_is_cyclic(self):
+        assert not is_acyclic(queries.triangle())
+
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_cycles_are_cyclic(self, k):
+        assert not is_acyclic(queries.cycle_query(k))
+
+    def test_lw_is_cyclic(self):
+        assert not is_acyclic(queries.lw_query(4))
+
+    def test_alpha_acyclic_with_big_edge(self):
+        """A hyperedge covering a cycle makes it alpha-acyclic."""
+        h = Hypergraph(
+            ("A", "B", "C"),
+            {
+                "R": ("A", "B"),
+                "S": ("B", "C"),
+                "T": ("A", "C"),
+                "Big": ("A", "B", "C"),
+            },
+        )
+        assert is_acyclic(h)
+
+    def test_single_edge(self):
+        h = Hypergraph(("A", "B"), {"R": ("A", "B")})
+        tree = gyo_reduction(h)
+        assert tree is not None and tree.root == "R"
+
+    def test_join_tree_connectivity(self):
+        tree = gyo_reduction(queries.path_query(5))
+        assert tree is not None
+        order = tree.bottom_up()
+        assert order[-1] == tree.root
+        assert len(order) == 5
+
+    def test_join_tree_running_intersection(self):
+        """Each edge's shared attributes occur in its parent."""
+        h = queries.star_query(4)
+        tree = gyo_reduction(h)
+        assert tree is not None
+        for child, parent in tree.parent.items():
+            shared = set()
+            for other_id, other in h.edges.items():
+                if other_id != child:
+                    shared |= h.edges[child] & other
+            assert shared <= h.edges[parent]
+
+    def test_bottom_up_children_first(self):
+        tree = JoinTree(root="a", parent={"b": "a", "c": "b"})
+        order = tree.bottom_up()
+        assert order.index("c") < order.index("b") < order.index("a")
+
+
+class TestYannakakis:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_paths(self, k, seed):
+        q = generators.random_instance(queries.path_query(k), 40, 6, seed=seed)
+        assert yannakakis_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_stars(self, k):
+        q = generators.random_instance(queries.star_query(k), 40, 6, seed=k)
+        assert yannakakis_join(q).equivalent(naive_join(q))
+
+    def test_tree_query(self):
+        h = Hypergraph(
+            ("A", "B", "C", "D", "E"),
+            {
+                "R": ("A", "B"),
+                "S": ("B", "C"),
+                "T": ("B", "D"),
+                "U": ("D", "E"),
+            },
+        )
+        q = generators.random_instance(h, 30, 5, seed=3)
+        assert yannakakis_join(q).equivalent(naive_join(q))
+
+    def test_hyperedge_tree(self):
+        h = Hypergraph(
+            ("A", "B", "C", "D"),
+            {"R": ("A", "B", "C"), "S": ("B", "C", "D"), "T": ("D",)},
+        )
+        q = generators.random_instance(h, 30, 4, seed=4)
+        assert yannakakis_join(q).equivalent(naive_join(q))
+
+    def test_cyclic_rejected(self):
+        q = generators.random_instance(queries.triangle(), 10, 3, seed=0)
+        with pytest.raises(QueryError):
+            yannakakis_join(q)
+
+    def test_empty_relation(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert yannakakis_join(q).is_empty()
+
+    def test_dangling_tuples_removed(self):
+        """The semijoin program prevents dead intermediates: a long chain
+        where only one tuple survives end-to-end."""
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(i, i) for i in range(50)]),
+                Relation("S", ("B", "C"), [(0, 0)] + [(i, 99) for i in range(1, 50)]),
+                Relation("T", ("C", "D"), [(0, 0)]),
+            ]
+        )
+        out = yannakakis_join(q)
+        assert set(out.tuples) == {(0, 0, 0, 0)}
+
+    def test_matches_nprr_on_acyclic(self):
+        from repro.core.nprr import nprr_join
+
+        q = generators.random_instance(queries.path_query(3), 60, 8, seed=5)
+        assert yannakakis_join(q).equivalent(nprr_join(q))

@@ -1,0 +1,195 @@
+"""Unit tests for Theorem 7.3: arity-2 joins, Cycle Lemma, Lemma 7.2."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.arity_two import (
+    ArityTwoJoin,
+    arity_two_join,
+    cycle_join,
+    decompose_support,
+    is_half_integral,
+)
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.agm import optimal_fractional_cover
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query
+
+
+class TestHalfIntegrality:
+    def test_detects_half_integral(self):
+        assert is_half_integral(
+            FractionalCover({"R": 1, "S": Fraction(1, 2), "T": 0})
+        )
+        assert not is_half_integral(FractionalCover({"R": Fraction(1, 3)}))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_lemma_72_on_random_graphs(self, seed):
+        """Exact LP vertices of graph cover polyhedra are half-integral
+        with star + odd-cycle support structure."""
+        h = generators.random_hypergraph(6, 7, 2, seed=seed)
+        q = generators.random_instance(h, 20, 5, seed=seed)
+        cover = optimal_fractional_cover(q.hypergraph, q.sizes())
+        assert is_half_integral(cover)
+        ones, halves, _zeros = decompose_support(q.hypergraph, cover)
+        for component in halves:
+            order = component.is_cycle()
+            assert order is not None
+            assert len(order) % 2 == 1  # odd cycles only
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_odd_cycle_gets_half_cover(self, k):
+        q = generators.random_instance(queries.cycle_query(k), 30, 5, seed=1)
+        cover = optimal_fractional_cover(q.hypergraph, q.sizes())
+        assert all(w == Fraction(1, 2) for w in cover.weights.values())
+
+    def test_decompose_rejects_non_half_integral(self):
+        h = queries.triangle()
+        with pytest.raises(QueryError):
+            decompose_support(h, FractionalCover.uniform(h, Fraction(1, 3)))
+
+
+class TestCycleJoin:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_naive(self, k, seed):
+        q = generators.random_instance(queries.cycle_query(k), 35, 5, seed=seed)
+        order = [f"A{i}" for i in range(1, k + 1)]
+        rels = [q.relation(f"R{i}") for i in range(1, k + 1)]
+        out = cycle_join(rels, order)
+        assert out.equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("k", [4, 5, 6, 7])
+    def test_hard_cycle_instances(self, k):
+        q = instances.cycle_hard_instance(k, 24)
+        order = [f"A{i}" for i in range(1, k + 1)]
+        rels = [q.relation(f"R{i}") for i in range(1, k + 1)]
+        assert cycle_join(rels, order).equivalent(naive_join(q))
+
+    def test_odd_cycle_orientation_swap(self):
+        """Force prod(odd) > prod(even) so the reversal branch runs."""
+        big = [(a, b) for a in range(12) for b in range(12)]
+        small = [(a, a) for a in range(12)]
+        rels = [
+            Relation("R1", ("A1", "A2"), big),     # odd class: huge
+            Relation("R2", ("A2", "A3"), small),
+            Relation("R3", ("A3", "A4"), big),     # odd class: huge
+            Relation("R4", ("A4", "A5"), small),
+            Relation("R5", ("A5", "A1"), small),
+        ]
+        q = JoinQuery(rels)
+        out = cycle_join(rels, ["A1", "A2", "A3", "A4", "A5"])
+        assert out.equivalent(naive_join(q))
+
+    def test_empty_relation(self):
+        rels = [
+            Relation("R1", ("A1", "A2"), []),
+            Relation("R2", ("A2", "A3"), [(1, 2)]),
+            Relation("R3", ("A3", "A1"), [(2, 1)]),
+        ]
+        assert cycle_join(rels, ["A1", "A2", "A3"]).is_empty()
+
+    def test_two_cycle_parallel_edges(self):
+        r1 = Relation("R1", ("A", "B"), [(1, 2), (3, 4), (5, 6)])
+        r2 = Relation("R2", ("A", "B"), [(1, 2), (5, 6), (7, 8)]).reorder(("B", "A"))
+        out = cycle_join([r1, r2], ["A", "B"])
+        assert set(out.reorder(("A", "B")).tuples) == {(1, 2), (5, 6)}
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            cycle_join([Relation("R", ("A", "B"), [])], ["A"])
+
+
+class TestArityTwoJoin:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7])
+    def test_cycles(self, k):
+        q = generators.random_instance(queries.cycle_query(k), 35, 5, seed=k)
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_stars(self, k):
+        q = generators.random_instance(queries.star_query(k), 35, 5, seed=k)
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    def test_paths(self):
+        q = generators.random_instance(queries.path_query(4), 35, 5, seed=3)
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        h = generators.random_hypergraph(5, 6, 2, seed=seed)
+        q = generators.random_instance(h, 25, 4, seed=seed + 30)
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    def test_triangle(self):
+        q = triangle_query()
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    def test_singleton_edges(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A",), [(1,), (2,), (3,)]),
+                Relation("S", ("A", "B"), [(2, 5), (3, 6), (9, 9)]),
+            ]
+        )
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    def test_disconnected_components_cross_product(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2), (3, 4)]),
+                Relation("S", ("C", "D"), [(5, 6)]),
+            ]
+        )
+        out = arity_two_join(q)
+        assert len(out) == 2
+        assert out.equivalent(naive_join(q))
+
+    def test_zero_weight_edges_filter(self):
+        """A dense extra edge gets weight 0 and acts as a pure filter."""
+        big = [(a, b) for a in range(6) for b in range(6)]
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2), (2, 3)]),
+                Relation("S", ("B", "C"), [(2, 7), (3, 8)]),
+                Relation("F", ("A", "C"), big),
+            ]
+        )
+        assert arity_two_join(q).equivalent(naive_join(q))
+
+    def test_empty_relation(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert arity_two_join(q).is_empty()
+
+    def test_high_arity_rejected(self):
+        q = generators.random_instance(queries.lw_query(4), 10, 3, seed=0)
+        with pytest.raises(QueryError):
+            ArityTwoJoin(q)
+
+    def test_non_half_integral_cover_rejected(self):
+        q = triangle_query()
+        with pytest.raises(QueryError):
+            ArityTwoJoin(q, cover=FractionalCover.uniform(q.hypergraph, Fraction(2, 3)))
+
+    def test_explicit_cover(self):
+        q = triangle_query()
+        cover = FractionalCover({"R": 1, "S": 1, "T": 0})
+        assert arity_two_join(q, cover=cover).equivalent(naive_join(q))
+
+    def test_bound(self):
+        q = generators.random_instance(queries.cycle_query(3), 16, 4, seed=5)
+        join = ArityTwoJoin(q)
+        sizes = q.sizes()
+        expected = (sizes["R1"] * sizes["R2"] * sizes["R3"]) ** 0.5
+        assert join.bound() == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,168 @@
+"""Degenerate query shapes across all algorithms.
+
+These shapes stress the corner cases of Algorithm 3/4/5 that the paper's
+pseudocode leaves implicit: edges contained in other edges, attributes
+covered only by the anchor, singleton-only queries, duplicated attribute
+sets, and queries whose QP nodes have nil children.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.generic_join import generic_join
+from repro.core.leapfrog import leapfrog_join
+from repro.core.nprr import nprr_join
+from repro.core.query import JoinQuery
+from repro.relations.relation import Relation
+
+ALGORITHMS = (nprr_join, generic_join, leapfrog_join)
+
+
+def assert_consistent(query):
+    baseline = naive_join(query)
+    for algorithm in ALGORITHMS:
+        assert algorithm(query).equivalent(baseline), algorithm.__name__
+    return baseline
+
+
+class TestContainedEdges:
+    def test_edge_inside_edge(self):
+        """R(A) subset of S(A,B): the rc-with-orphan path of Algorithm 4."""
+        q = JoinQuery(
+            [
+                Relation("R", ("A",), [(1,), (2,), (5,)]),
+                Relation("S", ("A", "B"), [(1, 7), (2, 8), (3, 9)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.tuples) == {(1, 7), (2, 8)}
+
+    def test_chain_of_containment(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A",), [(1,), (2,)]),
+                Relation("S", ("A", "B"), [(1, 5), (2, 6), (3, 7)]),
+                Relation("T", ("A", "B", "C"), [(1, 5, 0), (2, 9, 0)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.tuples) == {(1, 5, 0)}
+
+    def test_duplicate_attribute_sets(self):
+        """Two relations over identical attributes (intersection)."""
+        q = JoinQuery(
+            [
+                Relation("R1", ("A", "B"), [(1, 2), (3, 4), (5, 6)]),
+                Relation("R2", ("A", "B"), [(1, 2), (5, 6), (7, 8)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.tuples) == {(1, 2), (5, 6)}
+
+    def test_triple_duplicates_with_anchor_only_attribute(self):
+        """The both-children-nil QP node: anchors cover an attribute no
+        earlier edge touches."""
+        q = JoinQuery(
+            [
+                Relation("R1", ("B",), [(1,), (2,)]),
+                Relation("R2", ("B",), [(2,), (3,)]),
+                Relation("R3", ("A", "B"), [(9, 2), (8, 3), (7, 1)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.reorder(("A", "B")).tuples) == {(9, 2)}
+
+
+class TestSingletons:
+    def test_all_singletons(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A",), [(1,), (2,)]),
+                Relation("S", ("B",), [(5,)]),
+                Relation("T", ("C",), [(7,), (8,), (9,)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert len(out) == 6  # cross product
+
+    def test_singleton_filters_big_edge(self):
+        q = JoinQuery(
+            [
+                Relation("Big", ("A", "B", "C"), [
+                    (a, b, c) for a in range(3) for b in range(3) for c in range(3)
+                ]),
+                Relation("FA", ("A",), [(0,), (1,)]),
+                Relation("FB", ("B",), [(2,)]),
+                Relation("FC", ("C",), [(0,), (2,)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert len(out) == 2 * 1 * 2
+
+    def test_same_singleton_repeated(self):
+        q = JoinQuery(
+            [
+                Relation("R1", ("A",), [(1,), (2,), (3,)]),
+                Relation("R2", ("A",), [(2,), (3,), (4,)]),
+                Relation("R3", ("A",), [(3,), (4,), (5,)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.tuples) == {(3,)}
+
+
+class TestWideAndSkinny:
+    def test_one_wide_edge_covers_all(self):
+        """The anchor contains the whole universe: lc(root) is nil."""
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2), (3, 4)]),
+                Relation("Wide", ("A", "B", "C"), [(1, 2, 9), (3, 9, 9)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert set(out.tuples) == {(1, 2, 9)}
+
+    def test_star_of_binaries_plus_core(self):
+        q = JoinQuery(
+            [
+                Relation("Core", ("A", "B", "C"), [
+                    (a, a + 1, a + 2) for a in range(5)
+                ]),
+                Relation("EA", ("A", "X"), [(a, a * 10) for a in range(5)]),
+                Relation("EB", ("B", "Y"), [(b, b * 10) for b in range(1, 6)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert len(out) == 5
+
+    def test_disjoint_binary_pairs(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2), (3, 4)]),
+                Relation("S", ("C", "D"), [(5, 6)]),
+            ]
+        )
+        out = assert_consistent(q)
+        assert len(out) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_contained_shapes(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        big = Relation(
+            "Big",
+            ("A", "B", "C", "D"),
+            {
+                tuple(rng.randrange(3) for _ in range(4))
+                for _ in range(25)
+            },
+        )
+        mid = Relation(
+            "Mid",
+            ("B", "C"),
+            {tuple(rng.randrange(3) for _ in range(2)) for _ in range(6)},
+        )
+        small = Relation("Small", ("C",), {(rng.randrange(3),) for _ in range(2)})
+        assert_consistent(JoinQuery([big, mid, small]))

@@ -1,0 +1,116 @@
+"""Tests for the cardinality estimation module."""
+
+import math
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.estimates import (
+    agm_estimate,
+    estimate_report,
+    integral_cover_bound,
+    product_bound,
+    subquery_estimates,
+)
+from repro.core.query import JoinQuery
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query
+
+
+class TestWholeQueryEstimates:
+    def test_triangle_hierarchy(self):
+        """product >= integral >= AGM >= truth, with the known values."""
+        n = 16
+        q = instances.triangle_hard_instance(n)
+        product = product_bound(q)
+        integral = integral_cover_bound(q)
+        agm = agm_estimate(q)
+        assert product.bound == pytest.approx(n**3, rel=1e-9)
+        assert integral.bound == pytest.approx(n**2, rel=1e-4)
+        assert agm.bound == pytest.approx(n**1.5, rel=1e-4)
+        assert len(naive_join(q)) <= agm.bound
+
+    def test_agm_upper_bounds_truth_random(self):
+        for seed in range(6):
+            q = generators.random_instance(queries.triangle(), 40, 6, seed=seed)
+            assert len(naive_join(q)) <= agm_estimate(q).bound + 1e-6
+
+    def test_empty_relation_gives_zero(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert product_bound(q).bound == 0.0
+        assert agm_estimate(q).bound == 0.0
+
+    def test_certificate_attached(self):
+        q = triangle_query()
+        estimate = agm_estimate(q)
+        assert estimate.cover is not None
+        estimate.cover.validate(q.hypergraph)
+
+    def test_single_relation(self):
+        q = JoinQuery([Relation("R", ("A",), [(1,), (2,)])])
+        assert agm_estimate(q).bound == pytest.approx(2.0, rel=1e-6)
+
+
+class TestSubqueryEstimates:
+    def test_triangle_subsets(self):
+        q = triangle_query()
+        estimates = subquery_estimates(q)
+        assert frozenset({"R", "S"}) in estimates
+        assert frozenset({"R", "S", "T"}) in estimates
+        assert len(estimates) == 4  # 3 pairs + the full query
+
+    def test_disconnected_subsets_skipped(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2)]),
+                Relation("S", ("B", "C"), [(2, 3)]),
+                Relation("U", ("D", "E"), [(4, 5)]),
+            ]
+        )
+        estimates = subquery_estimates(q)
+        assert frozenset({"R", "U"}) not in estimates
+        assert frozenset({"R", "S"}) in estimates
+
+    def test_each_subquery_bound_holds(self):
+        q = generators.random_instance(queries.lw_query(3), 30, 5, seed=2)
+        for subset, estimate in subquery_estimates(q).items():
+            sub = JoinQuery([q.relation(eid) for eid in sorted(subset)])
+            assert len(naive_join(sub)) <= estimate.bound + 1e-6
+
+    def test_pairwise_estimates_match_known_blowup(self):
+        n = 20
+        q = instances.triangle_hard_instance(n)
+        estimates = subquery_estimates(q)
+        pair = estimates[frozenset({"R", "S"})]
+        # Pairwise bound is N^2 (cover 1,1) but the true pair join is
+        # N^2/4 + N/2: the bound correctly anticipates the blowup the
+        # full-query bound N^{3/2} rules out.
+        assert pair.bound == pytest.approx(n**2, rel=1e-4)
+        full = estimates[frozenset({"R", "S", "T"})]
+        assert full.bound == pytest.approx(n**1.5, rel=1e-4)
+
+
+class TestReport:
+    def test_report_mentions_all_methods(self):
+        text = estimate_report(triangle_query())
+        assert "product" in text
+        assert "integral cover" in text
+        assert "AGM fractional cover" in text
+        assert "beats integral" in text
+
+    def test_report_without_gap(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2)]),
+                Relation("S", ("B", "C"), [(2, 3)]),
+            ]
+        )
+        text = estimate_report(q)
+        assert "beats integral" not in text  # integral is optimal on paths

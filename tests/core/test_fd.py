@@ -1,0 +1,154 @@
+"""Unit tests for functional dependencies (Section 7.3)."""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.fd import (
+    FunctionalDependency,
+    closure,
+    expand_query,
+    expand_relation,
+    fd_aware_bound,
+    fd_aware_join,
+    fd_graph,
+    validate_fds,
+)
+from repro.core.query import JoinQuery
+from repro.errors import FunctionalDependencyError, QueryError
+from repro.relations.relation import Relation
+from repro.workloads import instances
+
+
+@pytest.fixture
+def fanout():
+    return instances.fd_fanout_instance(3, 8)
+
+
+class TestClosure:
+    def test_direct(self):
+        fds = [FunctionalDependency("R", "A", "B")]
+        assert closure({"A"}, fds) == {"A", "B"}
+
+    def test_transitive(self):
+        fds = [
+            FunctionalDependency("R", "A", "B"),
+            FunctionalDependency("S", "B", "C"),
+        ]
+        assert closure({"A"}, fds) == {"A", "B", "C"}
+
+    def test_unreachable(self):
+        fds = [FunctionalDependency("R", "B", "C")]
+        assert closure({"A"}, fds) == {"A"}
+
+    def test_fd_graph(self):
+        fds = [
+            FunctionalDependency("R", "A", "B"),
+            FunctionalDependency("S", "A", "C"),
+        ]
+        graph = fd_graph(fds)
+        assert len(graph["A"]) == 2
+
+
+class TestValidation:
+    def test_accepts_satisfied(self, fanout):
+        query, fds = fanout
+        validate_fds(query, fds)
+
+    def test_rejects_violation(self):
+        query = JoinQuery(
+            [Relation("R", ("A", "B"), [(1, 2), (1, 3)])]
+        )
+        with pytest.raises(FunctionalDependencyError):
+            validate_fds(query, [FunctionalDependency("R", "A", "B")])
+
+    def test_rejects_unknown_attribute(self):
+        query = JoinQuery([Relation("R", ("A", "B"), [])])
+        with pytest.raises(QueryError):
+            validate_fds(query, [FunctionalDependency("R", "A", "Z")])
+
+
+class TestExpansion:
+    def test_expand_relation_adds_columns(self, fanout):
+        query, fds = fanout
+        expanded = expand_relation(query.relation("R1"), query, fds)
+        assert set(expanded.attributes) == {"A", "B1", "B2", "B3"}
+        assert len(expanded) == len(query.relation("R1"))
+
+    def test_expand_values_follow_maps(self):
+        query = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 10), (2, 20)]),
+                Relation("S", ("B", "C"), [(10, 5), (20, 6)]),
+            ]
+        )
+        fds = [FunctionalDependency("S", "B", "C")]
+        expanded = expand_relation(query.relation("R"), query, fds)
+        assert set(expanded.tuples) == {(1, 10, 5), (2, 20, 6)}
+
+    def test_unmatched_source_tuples_dropped(self):
+        query = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 10), (2, 99)]),
+                Relation("S", ("B", "C"), [(10, 5)]),
+            ]
+        )
+        fds = [FunctionalDependency("S", "B", "C")]
+        expanded = expand_relation(query.relation("R"), query, fds)
+        assert set(expanded.tuples) == {(1, 10, 5)}
+
+    def test_expand_query_hypergraph(self, fanout):
+        query, fds = fanout
+        expanded = expand_query(query, fds)
+        closure_r1 = expanded.hypergraph.edges["R1"]
+        assert closure_r1 == frozenset({"A", "B1", "B2", "B3"})
+        # S relations have no outgoing FDs: unchanged.
+        assert expanded.hypergraph.edges["S1"] == frozenset({"B1", "C"})
+
+
+class TestFDAwareJoin:
+    def test_preserves_join(self, fanout):
+        query, fds = fanout
+        assert fd_aware_join(query, fds).equivalent(naive_join(query))
+
+    def test_chain_fds(self):
+        query = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(a, a + 10) for a in range(5)]),
+                Relation("S", ("B", "C"), [(b + 10, b % 2) for b in range(5)]),
+                Relation("T", ("A", "C"), [(a, a % 2) for a in range(5)]),
+            ]
+        )
+        fds = [
+            FunctionalDependency("R", "A", "B"),
+            FunctionalDependency("S", "B", "C"),
+        ]
+        assert fd_aware_join(query, fds).equivalent(naive_join(query))
+
+    def test_no_fds_is_plain_join(self):
+        query = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 2)]),
+                Relation("S", ("B", "C"), [(2, 3)]),
+            ]
+        )
+        assert fd_aware_join(query, []).equivalent(naive_join(query))
+
+    def test_output_attribute_order(self, fanout):
+        query, fds = fanout
+        assert fd_aware_join(query, fds).attributes == query.attributes
+
+
+class TestBounds:
+    def test_paper_gap_nk_vs_n2(self):
+        """The Section 7.3 example: N^k unaware vs N^2 aware."""
+        size = 10
+        for k in (2, 3, 4):
+            query, fds = instances.fd_fanout_instance(k, size)
+            unaware, aware = fd_aware_bound(query, fds)
+            assert unaware == pytest.approx(float(size**k), rel=1e-4)
+            assert aware == pytest.approx(float(size**2), rel=1e-4)
+
+    def test_aware_never_worse(self):
+        query, fds = instances.fd_fanout_instance(3, 6)
+        unaware, aware = fd_aware_bound(query, fds)
+        assert aware <= unaware + 1e-9

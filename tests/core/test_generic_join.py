@@ -1,0 +1,70 @@
+"""Unit tests for the Generic Join extension."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.generic_join import GenericJoin, generic_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query, two_path_query
+
+
+class TestCorrectness:
+    def test_triangle(self):
+        q = triangle_query()
+        assert generic_join(q).equivalent(naive_join(q))
+
+    def test_two_path(self):
+        q = two_path_query()
+        assert generic_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_hypergraphs(self, seed):
+        h = generators.random_hypergraph(4, 4, 3, seed=seed)
+        q = generators.random_instance(h, 25, 4, seed=seed + 40)
+        assert generic_join(q).equivalent(naive_join(q))
+
+    def test_example_22(self):
+        assert generic_join(instances.triangle_hard_instance(16)).is_empty()
+
+    def test_lw_hard(self):
+        q = instances.lw_hard_instance(3, 13)
+        assert generic_join(q).equivalent(naive_join(q))
+
+    def test_empty_relation(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert generic_join(q).is_empty()
+
+
+class TestAttributeOrders:
+    def test_all_orders_agree(self):
+        q = generators.random_instance(queries.triangle(), 35, 6, seed=9)
+        base = naive_join(q)
+        for order in itertools.permutations(("A", "B", "C")):
+            assert generic_join(q, attribute_order=order).equivalent(base)
+
+    def test_bad_order_rejected(self):
+        q = triangle_query()
+        with pytest.raises(QueryError):
+            generic_join(q, attribute_order=("A", "B"))
+        with pytest.raises(QueryError):
+            generic_join(q, attribute_order=("A", "B", "Z"))
+
+
+class TestDatabaseIntegration:
+    def test_uses_cached_tries(self):
+        q = triangle_query()
+        db = Database(list(q.relations.values()))
+        GenericJoin(q, database=db).execute()
+        assert db.cached_trie_count() == 3

@@ -1,0 +1,132 @@
+"""Unit tests for Leapfrog Triejoin and its sorted trie iterator."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.leapfrog import (
+    LeapfrogTriejoin,
+    SortedTrieIterator,
+    leapfrog_join,
+)
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query, two_path_query
+
+
+@pytest.fixture
+def iterator():
+    rel = Relation(
+        "R", ("A", "B"), [(1, 1), (1, 3), (2, 2), (4, 1), (4, 5), (4, 9)]
+    )
+    return SortedTrieIterator(rel, ("A", "B"))
+
+
+class TestSortedTrieIterator:
+    def test_level_one_keys(self, iterator):
+        iterator.open()
+        keys = []
+        while not iterator.at_end:
+            keys.append(iterator.key())
+            iterator.next()
+        assert keys == [1, 2, 4]
+
+    def test_level_two_keys(self, iterator):
+        iterator.open()           # at A = 1
+        iterator.seek(4)          # jump to A = 4
+        assert iterator.key() == 4
+        iterator.open()           # descend into B values of A = 4
+        keys = []
+        while not iterator.at_end:
+            keys.append(iterator.key())
+            iterator.next()
+        assert keys == [1, 5, 9]
+
+    def test_up_restores_position(self, iterator):
+        iterator.open()
+        assert iterator.key() == 1
+        iterator.open()
+        iterator.up()
+        assert iterator.key() == 1
+        iterator.next()
+        assert iterator.key() == 2
+
+    def test_seek_exact_and_past(self, iterator):
+        iterator.open()
+        iterator.seek(2)
+        assert iterator.key() == 2
+        iterator.seek(3)
+        assert iterator.key() == 4
+        iterator.seek(100)
+        assert iterator.at_end
+
+    def test_seek_no_backward_motion(self, iterator):
+        iterator.open()
+        iterator.seek(4)
+        iterator.seek(1)  # seeks are monotone; stays at 4
+        assert iterator.key() == 4
+
+    def test_empty_relation(self):
+        it = SortedTrieIterator(Relation("R", ("A",), []), ("A",))
+        assert it.at_end
+
+    def test_galloping_long_runs(self):
+        rows = [(0, b) for b in range(500)] + [(1, 0)]
+        it = SortedTrieIterator(Relation("R", ("A", "B"), rows), ("A", "B"))
+        it.open()
+        assert it.key() == 0
+        it.next()
+        assert it.key() == 1
+
+
+class TestLeapfrogJoin:
+    def test_triangle(self):
+        q = triangle_query()
+        assert leapfrog_join(q).equivalent(naive_join(q))
+
+    def test_two_path(self):
+        q = two_path_query()
+        assert leapfrog_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_hypergraphs(self, seed):
+        h = generators.random_hypergraph(4, 4, 3, seed=seed)
+        q = generators.random_instance(h, 25, 4, seed=seed + 70)
+        assert leapfrog_join(q).equivalent(naive_join(q))
+
+    def test_example_22(self):
+        assert leapfrog_join(instances.triangle_hard_instance(16)).is_empty()
+
+    def test_all_attribute_orders(self):
+        q = generators.random_instance(queries.triangle(), 30, 6, seed=2)
+        base = naive_join(q)
+        for order in itertools.permutations(("A", "B", "C")):
+            assert leapfrog_join(q, attribute_order=order).equivalent(base)
+
+    def test_empty_relation_early_exit(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert leapfrog_join(q).is_empty()
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(QueryError):
+            leapfrog_join(triangle_query(), attribute_order=("A",))
+
+    def test_single_relation(self):
+        q = JoinQuery([Relation("R", ("A", "B"), [(2, 1), (1, 2)])])
+        assert leapfrog_join(q).equivalent(q.relation("R"))
+
+    def test_duplicate_heavy_keys(self):
+        """Runs of equal keys on multiple levels."""
+        r = Relation("R", ("A", "B"), [(0, b) for b in range(20)])
+        s = Relation("S", ("B", "C"), [(b, 0) for b in range(20)])
+        q = JoinQuery([r, s])
+        assert leapfrog_join(q).equivalent(naive_join(q))

@@ -1,0 +1,134 @@
+"""Unit tests for Algorithm 1 (Loomis-Whitney instances) and Example 4.2."""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.lw import LWJoin, lw_join, triangle_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query, two_path_query
+
+
+class TestAlgorithm1:
+    def test_triangle(self):
+        q = triangle_query()
+        assert lw_join(q).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lw_random(self, n, seed):
+        q = generators.random_instance(queries.lw_query(n), 30, 4, seed=seed)
+        assert lw_join(q).equivalent(naive_join(q))
+
+    def test_example_22_empty(self):
+        q = instances.triangle_hard_instance(12)
+        assert lw_join(q).is_empty()
+
+    def test_lw_hard_instance(self):
+        q = instances.lw_hard_instance(4, 16)
+        assert lw_join(q).equivalent(naive_join(q))
+
+    def test_grid_instance(self):
+        q = instances.grid_instance(queries.lw_query(3), 3)
+        out = lw_join(q)
+        assert len(out) == 27
+
+    def test_empty_relation_shortcut(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 1)]),
+                Relation("T", ("A", "C"), [(1, 1)]),
+            ]
+        )
+        assert lw_join(q).is_empty()
+
+    def test_non_lw_rejected(self):
+        with pytest.raises(QueryError):
+            lw_join(two_path_query())
+        q = generators.random_instance(queries.cycle_query(4), 10, 3, seed=0)
+        with pytest.raises(QueryError):
+            LWJoin(q)
+
+    def test_bound(self):
+        q = instances.grid_instance(queries.lw_query(3), 4)
+        # Each relation has 16 tuples; P = (16^3)^(1/2) = 64 = output.
+        assert LWJoin(q).bound() == pytest.approx(64.0)
+
+    def test_n2_instance(self):
+        """n=2: edges are the two singletons; join is the cross product."""
+        q = JoinQuery(
+            [
+                Relation("R1", ("A2",), [(1,), (2,)]),
+                Relation("R2", ("A1",), [(7,), (8,), (9,)]),
+            ]
+        )
+        assert q.is_lw_instance()
+        assert len(lw_join(q)) == 6
+
+    def test_output_attribute_order(self):
+        q = triangle_query()
+        assert lw_join(q).attributes == q.attributes
+
+
+class TestTriangleJoin:
+    def test_matches_naive(self):
+        q = triangle_query()
+        out = triangle_join(q.relation("R"), q.relation("S"), q.relation("T"))
+        assert out.equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random(self, seed):
+        q = generators.random_instance(queries.triangle(), 50, 8, seed=seed)
+        out = triangle_join(q.relation("R"), q.relation("S"), q.relation("T"))
+        assert out.equivalent(naive_join(q))
+
+    def test_skewed_heavy_keys(self):
+        """A hub B-value with huge fanout exercises the heavy branch."""
+        r_rows = [(a, 0) for a in range(40)] + [(0, b) for b in range(1, 5)]
+        s_rows = [(0, c) for c in range(40)] + [(b, 0) for b in range(1, 5)]
+        t_rows = [(a, c) for a in range(8) for c in range(8)]
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), r_rows),
+                Relation("S", ("B", "C"), s_rows),
+                Relation("T", ("A", "C"), t_rows),
+            ]
+        )
+        out = triangle_join(q.relation("R"), q.relation("S"), q.relation("T"))
+        assert out.equivalent(naive_join(q))
+
+    def test_example_22(self):
+        q = instances.triangle_hard_instance(20)
+        out = triangle_join(q.relation("R"), q.relation("S"), q.relation("T"))
+        assert out.is_empty()
+
+    def test_empty_side(self):
+        r = Relation("R", ("A", "B"), [])
+        s = Relation("S", ("B", "C"), [(1, 2)])
+        t = Relation("T", ("A", "C"), [(1, 2)])
+        assert triangle_join(r, s, t).is_empty()
+
+    def test_arbitrary_attribute_names(self):
+        r = Relation("R", ("X", "Y"), [(1, 2)])
+        s = Relation("S", ("Y", "Z"), [(2, 3)])
+        t = Relation("T", ("X", "Z"), [(1, 3)])
+        out = triangle_join(r, s, t)
+        assert len(out) == 1
+        assert set(out.attributes) == {"X", "Y", "Z"}
+
+    def test_non_triangle_rejected(self):
+        r = Relation("R", ("A", "B"), [])
+        s = Relation("S", ("B", "C"), [])
+        with pytest.raises(QueryError):
+            triangle_join(r, s, r)
+
+    def test_ternary_relation_rejected(self):
+        r = Relation("R", ("A", "B", "C"), [])
+        s = Relation("S", ("B", "C"), [])
+        t = Relation("T", ("A", "C"), [])
+        with pytest.raises(QueryError):
+            triangle_join(r, s, t)

@@ -1,0 +1,217 @@
+"""Unit tests for Algorithm 2 (NPRR / Recursive-Join)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.nprr import NPRRJoin, nprr_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import single_relation_query, triangle_query, two_path_query
+
+
+class TestBasicCorrectness:
+    def test_triangle(self):
+        q = triangle_query()
+        assert nprr_join(q).equivalent(naive_join(q))
+
+    def test_two_path(self):
+        q = two_path_query()
+        out = nprr_join(q)
+        assert out.equivalent(naive_join(q))
+        assert out.attributes == ("A", "B", "C")
+
+    def test_single_relation(self):
+        q = single_relation_query()
+        assert nprr_join(q).equivalent(q.relation("R"))
+
+    def test_empty_input_relation(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(1, 2)]),
+            ]
+        )
+        assert nprr_join(q).is_empty()
+
+    def test_empty_output_nonempty_inputs(self):
+        q = instances.triangle_hard_instance(8)
+        out = nprr_join(q)
+        assert out.is_empty()
+
+    def test_cross_product_query(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A",), [(1,), (2,)]),
+                Relation("S", ("B",), [(5,), (6,)]),
+            ]
+        )
+        assert len(nprr_join(q)) == 4
+
+    def test_output_schema_order(self):
+        q = triangle_query()
+        assert nprr_join(q).attributes == q.attributes
+
+
+class TestPaperInstances:
+    def test_example_22_is_empty(self):
+        for n in (4, 10, 30):
+            q = instances.triangle_hard_instance(n)
+            assert nprr_join(q).is_empty()
+
+    def test_lw_hard_instance_output(self):
+        """Lemma 6.1: |join| = N + (N-1)/(n-1) (realized sizes)."""
+        q = instances.lw_hard_instance(3, 21)
+        out = nprr_join(q)
+        n_realized = q.sizes()["R1"]
+        m = (21 - 1) // 2
+        assert n_realized == 1 + 2 * m
+        assert len(out) == n_realized + m
+
+    def test_beyond_lw_instance(self):
+        q = instances.beyond_lw_instance(15)
+        assert nprr_join(q).equivalent(naive_join(q))
+
+    def test_grid_instance_meets_bound(self):
+        """On the AGM-tight grid the output equals side^n exactly."""
+        q = instances.grid_instance(queries.triangle(), 4)
+        assert len(nprr_join(q)) == 4**3
+
+    def test_paper_example_52_query(self):
+        q = generators.random_instance(queries.paper_example_52(), 60, 3, seed=11)
+        assert nprr_join(q).equivalent(naive_join(q))
+
+    def test_figure2_query(self):
+        q = generators.random_instance(queries.paper_figure2(), 60, 3, seed=12)
+        assert nprr_join(q).equivalent(naive_join(q))
+
+
+class TestCovers:
+    def test_explicit_uniform_cover(self):
+        q = triangle_query()
+        cover = FractionalCover.uniform(q.hypergraph, Fraction(1, 2))
+        assert nprr_join(q, cover=cover).equivalent(naive_join(q))
+
+    def test_all_ones_cover(self):
+        q = triangle_query()
+        cover = FractionalCover.all_ones(q.hypergraph)
+        assert nprr_join(q, cover=cover).equivalent(naive_join(q))
+
+    def test_asymmetric_cover(self):
+        q = triangle_query()
+        cover = FractionalCover({"R": 1, "S": 1, "T": 0})
+        assert nprr_join(q, cover=cover).equivalent(naive_join(q))
+
+    def test_invalid_cover_rejected(self):
+        q = triangle_query()
+        from repro.errors import CoverError
+
+        with pytest.raises(CoverError):
+            nprr_join(q, cover=FractionalCover.uniform(q.hypergraph, 0))
+
+    def test_weight_above_one(self):
+        q = triangle_query()
+        cover = FractionalCover({"R": 2, "S": Fraction(3, 2), "T": 1})
+        assert nprr_join(q, cover=cover).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cover_choice_never_changes_output(self, seed):
+        q = generators.random_instance(queries.lw_query(4), 30, 4, seed=seed)
+        base = naive_join(q)
+        for cover in (
+            FractionalCover.all_ones(q.hypergraph),
+            FractionalCover.loomis_whitney(q.hypergraph),
+            None,
+        ):
+            assert nprr_join(q, cover=cover).equivalent(base)
+
+
+class TestComparisonModes:
+    @pytest.mark.parametrize("mode", ["auto", "exact", "float"])
+    def test_modes_agree(self, mode):
+        q = generators.random_instance(queries.triangle(), 40, 6, seed=3)
+        cover = FractionalCover.uniform(q.hypergraph, Fraction(1, 2))
+        out = nprr_join(q, cover=cover, comparison=mode)
+        assert out.equivalent(naive_join(q))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError):
+            NPRRJoin(triangle_query(), comparison="nonsense")
+
+
+class TestEdgeOrders:
+    @pytest.mark.parametrize(
+        "order",
+        [
+            ("R", "S", "T"),
+            ("T", "S", "R"),
+            ("S", "R", "T"),
+        ],
+    )
+    def test_any_edge_order_works(self, order):
+        q = generators.random_instance(queries.triangle(), 40, 6, seed=4)
+        out = nprr_join(q, edge_order=order)
+        assert out.equivalent(naive_join(q))
+
+    def test_all_orders_on_figure2(self):
+        import itertools
+
+        q = generators.random_instance(queries.paper_figure2(), 25, 3, seed=5)
+        base = naive_join(q)
+        for order in itertools.islice(
+            itertools.permutations(q.edge_ids), 12
+        ):
+            assert nprr_join(q, edge_order=order).equivalent(base)
+
+
+class TestDatabaseIntegration:
+    def test_trie_cache_reused(self):
+        q = triangle_query()
+        db = Database(list(q.relations.values()))
+        executor = NPRRJoin(q, database=db)
+        executor.execute()
+        cached = db.cached_trie_count()
+        assert cached == 3
+        NPRRJoin(q, database=db).execute()
+        assert db.cached_trie_count() == cached  # no rebuild
+
+
+class TestStatistics:
+    def test_stats_populated(self):
+        q = generators.random_instance(queries.triangle(), 50, 6, seed=6)
+        executor = NPRRJoin(q)
+        executor.execute()
+        stats = executor.stats.as_dict()
+        assert stats["recursive_calls"] > 0
+        assert stats["case_a"] + stats["case_b"] > 0
+
+    def test_stats_reset_between_runs(self):
+        q = triangle_query()
+        executor = NPRRJoin(q)
+        executor.execute()
+        first = executor.stats.recursive_calls
+        executor.execute()
+        assert executor.stats.recursive_calls == first
+
+
+class TestLinearTimeOnHardInstance:
+    def test_example_22_work_is_linear(self):
+        """Lemma 6.2's flavor: on I_N the NPRR executor touches O(N)
+        tuples, not Omega(N^2) — measured by its own counters."""
+        small = instances.triangle_hard_instance(100)
+        large = instances.triangle_hard_instance(400)
+        ex_small = NPRRJoin(small)
+        ex_small.execute()
+        ex_large = NPRRJoin(large)
+        ex_large.execute()
+        work_small = ex_small.stats.tuples_emitted + ex_small.stats.comparisons
+        work_large = ex_large.stats.tuples_emitted + ex_large.stats.comparisons
+        # 4x the input should cost about 4x the work; allow 2x slack vs 16x
+        # for a quadratic algorithm.
+        assert work_large <= 8 * max(1, work_small)

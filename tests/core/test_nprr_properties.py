@@ -1,0 +1,123 @@
+"""Property-based tests for Algorithm 2 (hypothesis).
+
+The two central invariants:
+* NPRR output == the definitional join, for arbitrary instances;
+* the output size never exceeds the AGM bound of any valid cover.
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import naive_join
+from repro.core.nprr import nprr_join
+from repro.core.query import JoinQuery
+from repro.hypergraph.agm import agm_log_bound, optimal_fractional_cover
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation
+
+
+def triangle_instances(domain=4, max_size=14):
+    def rows():
+        return st.frozensets(
+            st.tuples(st.integers(0, domain - 1), st.integers(0, domain - 1)),
+            max_size=max_size,
+        )
+
+    return st.tuples(rows(), rows(), rows()).map(
+        lambda rst: JoinQuery(
+            [
+                Relation("R", ("A", "B"), rst[0]),
+                Relation("S", ("B", "C"), rst[1]),
+                Relation("T", ("A", "C"), rst[2]),
+            ]
+        )
+    )
+
+
+def lw4_instances(domain=3, max_size=10):
+    def rows():
+        return st.frozensets(
+            st.tuples(*[st.integers(0, domain - 1)] * 3),
+            max_size=max_size,
+        )
+
+    attrs = [
+        ("A2", "A3", "A4"),
+        ("A1", "A3", "A4"),
+        ("A1", "A2", "A4"),
+        ("A1", "A2", "A3"),
+    ]
+    return st.tuples(rows(), rows(), rows(), rows()).map(
+        lambda rs: JoinQuery(
+            [
+                Relation(f"R{i+1}", attrs[i], rs[i])
+                for i in range(4)
+            ]
+        )
+    )
+
+
+def chain_instances(domain=4, max_size=12):
+    def rows():
+        return st.frozensets(
+            st.tuples(st.integers(0, domain - 1), st.integers(0, domain - 1)),
+            max_size=max_size,
+        )
+
+    return st.tuples(rows(), rows(), rows()).map(
+        lambda rst: JoinQuery(
+            [
+                Relation("R", ("A", "B"), rst[0]),
+                Relation("S", ("B", "C"), rst[1]),
+                Relation("U", ("C", "D"), rst[2]),
+            ]
+        )
+    )
+
+
+@given(triangle_instances())
+@settings(max_examples=60, deadline=None)
+def test_nprr_equals_naive_on_triangles(query):
+    assert nprr_join(query).equivalent(naive_join(query))
+
+
+@given(lw4_instances())
+@settings(max_examples=30, deadline=None)
+def test_nprr_equals_naive_on_lw4(query):
+    assert nprr_join(query).equivalent(naive_join(query))
+
+
+@given(chain_instances())
+@settings(max_examples=40, deadline=None)
+def test_nprr_equals_naive_on_chains(query):
+    assert nprr_join(query).equivalent(naive_join(query))
+
+
+@given(triangle_instances())
+@settings(max_examples=40, deadline=None)
+def test_output_respects_agm_bound(query):
+    """|J| <= prod N_e^{x_e} for the half cover (inequality (2))."""
+    out = nprr_join(query)
+    cover = FractionalCover.uniform(query.hypergraph, Fraction(1, 2))
+    log_bound = agm_log_bound(query.hypergraph, query.sizes(), cover)
+    if len(out):
+        assert math.log(len(out)) <= log_bound + 1e-9
+
+
+@given(triangle_instances())
+@settings(max_examples=30, deadline=None)
+def test_output_respects_optimal_bound(query):
+    out = nprr_join(query)
+    cover = optimal_fractional_cover(query.hypergraph, query.sizes())
+    log_bound = agm_log_bound(query.hypergraph, query.sizes(), cover)
+    if len(out):
+        assert math.log(len(out)) <= log_bound + 1e-9
+
+
+@given(triangle_instances(), st.permutations(["R", "S", "T"]))
+@settings(max_examples=40, deadline=None)
+def test_edge_order_invariance(query, order):
+    base = nprr_join(query)
+    assert nprr_join(query, edge_order=tuple(order)).equivalent(base)

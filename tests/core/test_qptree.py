@@ -1,0 +1,150 @@
+"""Unit tests for the query-plan tree (Algorithms 3 and 4).
+
+Includes the paper-figure reproductions: the Section 5.2 worked example
+must yield the total order 1, 4, 2, 5, 3, 6 and the Figure 1/2 tree
+shapes.
+"""
+
+import pytest
+
+from repro.core.qptree import QPTree
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads import generators, queries
+
+
+class TestPaperExamples:
+    def test_section_52_total_order(self):
+        """The worked example's total order is 1, 4, 2, 5, 3, 6."""
+        tree = QPTree(queries.paper_example_52())
+        assert tree.total_order == ("1", "4", "2", "5", "3", "6")
+
+    def test_section_52_root_split(self):
+        """Root anchored at e (the last edge); children universes
+        {1,2,4} and {3,5,6} as in Figure 1."""
+        tree = QPTree(queries.paper_example_52())
+        root = tree.root
+        assert tree.anchor(root) == "e"
+        assert root.left.universe == frozenset({"1", "2", "4"})
+        assert root.right.universe == frozenset({"3", "5", "6"})
+
+    def test_section_52_left_leaf(self):
+        """The leftmost leaf is the 'abc' node with universe {1}."""
+        tree = QPTree(queries.paper_example_52())
+        node = tree.root.left
+        assert tree.anchor(node) == "d"
+        leaf = node.left
+        assert leaf.universe == frozenset({"1"})
+        assert leaf.is_leaf
+        assert leaf.label == 3  # edges a, b, c all contain attribute 1
+
+    def test_figure2_shape(self):
+        """Figure 2: root k=5 with universes {1,2,4} / {3,5,6} (using the
+        paper's attribute names A1..A6)."""
+        tree = QPTree(queries.paper_figure2())
+        root = tree.root
+        assert root.label == 5
+        assert root.left.universe == frozenset({"A1", "A2", "A4"})
+        assert root.right.universe == frozenset({"A3", "A5", "A6"})
+        assert root.left.label == 4 and root.right.label == 4
+
+    def test_render_mentions_total_order(self):
+        tree = QPTree(queries.paper_example_52())
+        text = tree.render()
+        assert "total order: 1, 4, 2, 5, 3, 6" in text
+        assert "anchor=e" in text
+
+
+class TestProposition55:
+    @pytest.mark.parametrize("builder", [
+        queries.triangle,
+        lambda: queries.lw_query(4),
+        lambda: queries.lw_query(5),
+        lambda: queries.cycle_query(6),
+        queries.paper_example_52,
+        queries.paper_figure2,
+        lambda: queries.star_query(4),
+        lambda: queries.relaxed_lower_bound_query(3),
+    ])
+    def test_to1_to2(self, builder):
+        tree = QPTree(builder())
+        assert tree.check_to1()
+        assert tree.check_to2()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_to1_to2_random(self, seed):
+        h = generators.random_hypergraph(5, 5, 3, seed=seed)
+        tree = QPTree(h)
+        assert tree.check_to1()
+        assert tree.check_to2()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_total_order_is_permutation(self, seed):
+        h = generators.random_hypergraph(6, 4, 4, seed=seed)
+        tree = QPTree(h)
+        assert sorted(tree.total_order) == sorted(h.vertices)
+
+
+class TestEdgeOrder:
+    def test_default_is_hypergraph_order(self):
+        h = queries.triangle()
+        tree = QPTree(h)
+        assert tree.edge_order == ("R", "S", "T")
+
+    def test_custom_order_changes_anchor(self):
+        h = queries.triangle()
+        tree = QPTree(h, edge_order=("T", "S", "R"))
+        assert tree.anchor(tree.root) == "R"
+
+    def test_bad_order_rejected(self):
+        h = queries.triangle()
+        with pytest.raises(QueryError):
+            QPTree(h, edge_order=("R", "S"))
+        with pytest.raises(QueryError):
+            QPTree(h, edge_order=("R", "S", "X"))
+
+    def test_uncovered_vertex_rejected(self):
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        with pytest.raises(QueryError):
+            QPTree(h)
+
+
+class TestCornerCases:
+    def test_single_relation(self):
+        h = Hypergraph(("A", "B"), {"R": ("A", "B")})
+        tree = QPTree(h)
+        assert tree.root.is_leaf
+        assert tree.total_order == ("A", "B")
+
+    def test_all_edges_contain_universe(self):
+        """k > 1 but every edge holds all attributes: the root is a leaf."""
+        h = Hypergraph(
+            ("A", "B"),
+            {"R1": ("A", "B"), "R2": ("A", "B"), "R3": ("A", "B")},
+        )
+        tree = QPTree(h)
+        assert tree.root.is_leaf
+        assert tree.root.label == 3
+
+    def test_orphan_attributes_still_ordered(self):
+        """Attributes covered only by the anchor edge must appear in the
+        total order (the robustness case of Algorithm 4)."""
+        h = Hypergraph(
+            ("A", "B"),
+            {"R1": ("B",), "R2": ("B",), "R3": ("A", "B")},
+        )
+        tree = QPTree(h)
+        assert sorted(tree.total_order) == ["A", "B"]
+
+    def test_singleton_edges(self):
+        h = queries.relaxed_lower_bound_query(3)
+        tree = QPTree(h)
+        assert sorted(tree.total_order) == ["A1", "A2", "A3"]
+
+    def test_helpers(self):
+        tree = QPTree(queries.triangle())
+        assert tree.rank(tree.total_order[0]) == 0
+        assert tree.sort_by_total_order(("C", "A", "B")) == tree.total_order
+        order = tree.relation_order("R")
+        assert set(order) == {"A", "B"}
+        assert tree.rank(order[0]) < tree.rank(order[1])

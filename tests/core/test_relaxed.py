@@ -1,0 +1,154 @@
+"""Unit tests for relaxed joins (Section 7.2, Algorithm 6)."""
+
+import pytest
+
+from repro.core.query import JoinQuery
+from repro.core.relaxed import (
+    RelaxedJoin,
+    bfs_representatives,
+    bfs_support,
+    candidate_sets,
+    expected_bound_terms,
+    minimal_candidate_sets,
+    relaxed_join,
+    relaxed_join_reference,
+)
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.workloads import generators, instances, queries
+
+from tests.helpers import triangle_query
+
+
+class TestCandidateSets:
+    def test_r_zero_is_full_query(self):
+        q = triangle_query()
+        assert candidate_sets(q, 0) == [frozenset({"R", "S", "T"})]
+
+    def test_r_one_triangle(self):
+        q = triangle_query()
+        sets = candidate_sets(q, 1)
+        # Any two triangle edges cover {A,B,C}; plus the full set.
+        assert frozenset({"R", "S"}) in sets
+        assert frozenset({"R", "T"}) in sets
+        assert frozenset({"S", "T"}) in sets
+        assert frozenset({"R", "S", "T"}) in sets
+        assert len(sets) == 4
+
+    def test_coverage_filter(self):
+        """Subsets that do not cover every attribute are excluded."""
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), []),
+                Relation("U", ("C", "D"), []),
+            ]
+        )
+        sets = candidate_sets(q, 1)
+        assert frozenset({"R", "S"}) not in sets  # misses D
+        assert frozenset({"R", "U"}) in sets
+
+    def test_minimal_sets(self):
+        q = triangle_query()
+        minimal = minimal_candidate_sets(q, 1)
+        assert frozenset({"R", "S", "T"}) not in minimal
+        assert len(minimal) == 3
+
+    def test_invalid_relaxation(self):
+        q = triangle_query()
+        with pytest.raises(QueryError):
+            candidate_sets(q, -1)
+        with pytest.raises(QueryError):
+            candidate_sets(q, 4)
+
+
+class TestBFSMachinery:
+    def test_bfs_support_subset(self):
+        q = triangle_query()
+        support = bfs_support(q, frozenset({"R", "S", "T"}))
+        assert support <= {"R", "S", "T"}
+        assert support  # non-empty
+
+    def test_bfs_deterministic(self):
+        q = triangle_query()
+        a = bfs_support(q, frozenset({"R", "S"}))
+        b = bfs_support(q, frozenset({"R", "S"}))
+        assert a == b
+
+    def test_representatives_unique_by_support(self):
+        q = triangle_query()
+        reps = bfs_representatives(q, 1)
+        supports = [support for _s, support, _c in reps]
+        assert len(supports) == len(set(supports))
+
+    def test_lower_bound_instance_c_star(self):
+        """The paper's instance: C*(q, r=n) = {{E4}, {E1,E2,E3}}."""
+        q = instances.relaxed_lower_bound_instance(3, 4)
+        reps = bfs_representatives(q, 3)
+        supports = {support for _s, support, _c in reps}
+        assert supports == {
+            frozenset({"E4"}),
+            frozenset({"E1", "E2", "E3"}),
+        }
+
+
+class TestAlgorithm6:
+    def test_r_zero_equals_plain_join(self):
+        from repro.baselines.naive import naive_join
+
+        q = generators.random_instance(queries.triangle(), 25, 5, seed=8)
+        assert relaxed_join(q, 0).equivalent(naive_join(q))
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("r", [0, 1, 2, 3])
+    def test_matches_reference_on_triangles(self, seed, r):
+        q = generators.random_instance(queries.triangle(), 20, 4, seed=seed)
+        assert relaxed_join(q, r).equivalent(relaxed_join_reference(q, r))
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_matches_reference_on_paths(self, r):
+        q = generators.random_instance(queries.path_query(3), 15, 3, seed=2)
+        assert relaxed_join(q, r).equivalent(relaxed_join_reference(q, r))
+
+    def test_relaxation_monotone(self):
+        q = generators.random_instance(queries.triangle(), 20, 4, seed=3)
+        sizes = [len(relaxed_join(q, r)) for r in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_output_on_all_attributes(self):
+        q = triangle_query()
+        out = relaxed_join(q, 1)
+        assert out.attributes == q.attributes
+
+
+class TestTheorem76:
+    def test_lower_bound_instance_tight(self):
+        """|q_r| = N + N^n meets sum LPOpt(S) exactly at r = n."""
+        n, size = 3, 4
+        q = instances.relaxed_lower_bound_instance(n, size)
+        join = RelaxedJoin(q, n)
+        out = join.execute()
+        assert len(out) == size + size**n
+        assert join.bound() == pytest.approx(size + size**n, rel=1e-6)
+
+    def test_bound_holds_generally(self):
+        for seed in range(4):
+            q = generators.random_instance(queries.triangle(), 20, 4, seed=seed)
+            for r in (1, 2):
+                join = RelaxedJoin(q, r)
+                assert len(join.execute()) <= join.bound() + 1e-6
+
+    def test_expected_bound_terms(self):
+        q = instances.relaxed_lower_bound_instance(3, 4)
+        terms = expected_bound_terms(q, 3)
+        values = sorted(round(v) for _s, v in terms)
+        assert values == [4, 64]
+
+    def test_below_n_relaxation_drops_heavy_relation(self):
+        """For 0 < r < n the heavy relation's tuples agree with only one
+        edge (< m - r), so q_r is just [N]^n — Definition 7.4 evaluated
+        strictly (see EXPERIMENTS.md note on the paper's 'any r > 0')."""
+        q = instances.relaxed_lower_bound_instance(3, 3)
+        out = relaxed_join(q, 1)
+        assert len(out) == 3**3
+        assert relaxed_join_reference(q, 1).equivalent(out)

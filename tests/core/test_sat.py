@@ -1,0 +1,103 @@
+"""Unit tests for the 3SAT reduction (Section 7.1's impossibility proof)."""
+
+import itertools
+
+import pytest
+
+from repro.core.sat import (
+    clause_relation,
+    count_models,
+    formula_to_query,
+    formula_variables,
+    is_satisfiable,
+    satisfying_assignments,
+)
+from repro.errors import QueryError
+
+
+def brute_force_models(clauses):
+    variables = formula_variables(clauses)
+    count = 0
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any((assignment[abs(l)] == 1) == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            count += 1
+    return count
+
+
+class TestClauseRelation:
+    def test_three_literals_seven_rows(self):
+        rel = clause_relation((1, 2, 3), 0)
+        assert len(rel) == 7
+        assert (0, 0, 0) not in rel  # the falsifying assignment
+
+    def test_negative_literals(self):
+        rel = clause_relation((-1, -2), 0)
+        assert len(rel) == 3
+        assert (1, 1) not in rel
+
+    def test_unit_clause(self):
+        rel = clause_relation((1,), 0)
+        assert set(rel.tuples) == {(1,)}
+
+    def test_repeated_variable(self):
+        # (x1 or x1) behaves like a unit clause.
+        rel = clause_relation((1, 1), 0)
+        assert set(rel.tuples) == {(1,)}
+
+    def test_tautological_clause(self):
+        # (x1 or not x1) keeps both assignments.
+        rel = clause_relation((1, -1), 0)
+        assert len(rel) == 2
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(QueryError):
+            clause_relation((0,), 0)
+
+
+class TestSatisfiability:
+    def test_satisfiable(self):
+        assert is_satisfiable([(1, 2, 3), (-1, 2, -3)])
+
+    def test_unsatisfiable(self):
+        assert not is_satisfiable([(1,), (-1,)])
+
+    def test_unsat_3cnf(self):
+        # All 8 sign patterns over 3 variables: unsatisfiable.
+        clauses = [
+            tuple(v * s for v, s in zip((1, 2, 3), signs))
+            for signs in itertools.product((1, -1), repeat=3)
+        ]
+        assert not is_satisfiable(clauses)
+
+    def test_unique_sat(self):
+        """A formula forcing the single assignment x1=1, x2=0."""
+        clauses = [(1,), (-2,)]
+        sat = satisfying_assignments(clauses)
+        assert len(sat) == 1
+        row = dict(zip(sat.attributes, next(iter(sat.tuples))))
+        assert row == {"x1": 1, "x2": 0}
+
+    @pytest.mark.parametrize(
+        "clauses",
+        [
+            [(1, 2, 3)],
+            [(1, 2), (-1, 3), (-2, -3)],
+            [(1, -2, 3), (2, 3, -4), (-1, -3, 4), (1, 2, 4)],
+            [(1,), (-1, 2), (-2, 3)],
+        ],
+    )
+    def test_model_counts_match_bruteforce(self, clauses):
+        assert count_models(clauses) == brute_force_models(clauses)
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(QueryError):
+            formula_to_query([])
+
+    def test_query_shape(self):
+        query = formula_to_query([(1, 2), (-2, 3)])
+        assert query.edge_ids == ("C0", "C1")
+        assert set(query.attributes) == {"x1", "x2", "x3"}

@@ -1,0 +1,36 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.query import JoinQuery
+from repro.relations.relation import Relation
+
+
+def triangle_query(
+    r_rows=((0, 1), (1, 2), (2, 0)),
+    s_rows=((1, 5), (2, 6), (0, 7)),
+    t_rows=((0, 5), (1, 6), (2, 7)),
+) -> JoinQuery:
+    """A small triangle query with configurable contents."""
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), r_rows),
+            Relation("S", ("B", "C"), s_rows),
+            Relation("T", ("A", "C"), t_rows),
+        ]
+    )
+
+
+def two_path_query() -> JoinQuery:
+    """R(A,B) join S(B,C) — the simplest two-relation query."""
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), [(1, 10), (2, 10), (3, 30)]),
+            Relation("S", ("B", "C"), [(10, 7), (30, 8), (40, 9)]),
+        ]
+    )
+
+
+def single_relation_query() -> JoinQuery:
+    """A one-relation query (degenerate but legal)."""
+    return JoinQuery([Relation("R", ("A", "B"), [(1, 2), (3, 4)])])

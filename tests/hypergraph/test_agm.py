@@ -1,0 +1,126 @@
+"""Unit tests for AGM bounds and the optimal-cover LP."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import QueryError
+from repro.hypergraph.agm import (
+    agm_bound,
+    agm_log_bound,
+    best_agm_bound,
+    minimum_integral_cover,
+    optimal_fractional_cover,
+)
+from repro.hypergraph.covers import FractionalCover
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads import queries
+
+
+@pytest.fixture
+def triangle():
+    return queries.triangle()
+
+
+class TestBoundEvaluation:
+    def test_triangle_half_cover(self, triangle):
+        sizes = {"R": 100, "S": 100, "T": 100}
+        cover = FractionalCover.uniform(triangle, Fraction(1, 2))
+        assert agm_bound(triangle, sizes, cover) == pytest.approx(1000.0)
+
+    def test_empty_relation_zeroes_bound(self, triangle):
+        sizes = {"R": 0, "S": 100, "T": 100}
+        cover = FractionalCover.uniform(triangle, Fraction(1, 2))
+        assert agm_bound(triangle, sizes, cover) == 0.0
+        assert agm_log_bound(triangle, sizes, cover) == -math.inf
+
+    def test_zero_weight_edge_ignored(self, triangle):
+        sizes = {"R": 0, "S": 4, "T": 4}
+        cover = FractionalCover({"R": 0, "S": 1, "T": 1})
+        assert agm_bound(triangle, sizes, cover) == pytest.approx(16.0)
+
+    def test_size_one_contributes_nothing(self, triangle):
+        sizes = {"R": 1, "S": 1, "T": 1}
+        cover = FractionalCover.all_ones(triangle)
+        assert agm_bound(triangle, sizes, cover) == pytest.approx(1.0)
+
+
+class TestOptimalCover:
+    def test_triangle_uniform_sizes(self, triangle):
+        cover = optimal_fractional_cover(triangle, {"R": 64, "S": 64, "T": 64})
+        # The optimum is the all-1/2 cover with bound 64^{3/2} = 512.
+        assert cover.is_valid(triangle)
+        assert agm_bound(
+            triangle, {"R": 64, "S": 64, "T": 64}, cover
+        ) == pytest.approx(512.0, rel=1e-6)
+
+    def test_skewed_sizes_choose_cheap_relations(self, triangle):
+        # Tiny S and T: cover A,B,C with S and T alone (weight 1 each,
+        # bound 4) rather than touching the huge R.
+        sizes = {"R": 10**6, "S": 2, "T": 2}
+        cover = optimal_fractional_cover(triangle, sizes)
+        assert cover["R"] == 0
+        assert agm_bound(triangle, sizes, cover) == pytest.approx(4.0, rel=1e-6)
+
+    def test_lw_cover_is_uniform(self):
+        h = queries.lw_query(4)
+        sizes = {eid: 1000 for eid in h.edge_ids}
+        cover = optimal_fractional_cover(h, sizes)
+        bound = agm_bound(h, sizes, cover)
+        assert bound == pytest.approx(1000 ** (4 / 3), rel=1e-5)
+
+    def test_no_sizes_minimizes_cover_number(self, triangle):
+        cover = optimal_fractional_cover(triangle)
+        assert cover.total_weight() == Fraction(3, 2)
+
+    def test_uncoverable_rejected(self):
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        with pytest.raises(QueryError):
+            optimal_fractional_cover(h)
+
+    def test_exact_vertex_feasibility(self):
+        """Feasibility of the returned cover is exact even though the
+        objective is a rational approximation of the logs."""
+        h = queries.paper_figure2()
+        sizes = {eid: 17 + i for i, eid in enumerate(h.edge_ids)}
+        cover = optimal_fractional_cover(h, sizes)
+        for vertex in h.vertices:
+            assert cover.coverage(h, vertex) >= 1  # exact Fraction compare
+
+    def test_beats_integral_cover(self, triangle):
+        sizes = {"R": 100, "S": 100, "T": 100}
+        fractional = optimal_fractional_cover(triangle, sizes)
+        integral = minimum_integral_cover(triangle, sizes)
+        assert agm_bound(triangle, sizes, fractional) < agm_bound(
+            triangle, sizes, integral
+        )
+
+
+class TestIntegralCover:
+    def test_triangle_needs_two_edges(self, triangle):
+        cover = minimum_integral_cover(triangle)
+        assert cover.total_weight() == 2
+        assert cover.is_valid(triangle)
+
+    def test_respects_sizes(self, triangle):
+        sizes = {"R": 1000, "S": 2, "T": 2}
+        cover = minimum_integral_cover(triangle, sizes)
+        assert cover["R"] == 0
+
+    def test_single_edge_query(self):
+        h = Hypergraph(("A", "B"), {"R": ("A", "B")})
+        cover = minimum_integral_cover(h)
+        assert cover["R"] == 1
+
+    def test_uncoverable_rejected(self):
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        with pytest.raises(QueryError):
+            minimum_integral_cover(h)
+
+
+class TestBestBound:
+    def test_returns_pair(self, triangle):
+        cover, bound = best_agm_bound(triangle, {"R": 4, "S": 4, "T": 4})
+        assert cover.is_valid(triangle)
+        assert bound == pytest.approx(8.0, rel=1e-6)

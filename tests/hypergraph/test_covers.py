@@ -1,0 +1,149 @@
+"""Unit tests for fractional covers and the Lemma 3.2 tightening."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import CoverError
+from repro.hypergraph.covers import FractionalCover, tighten_cover
+from repro.workloads import generators, queries
+from repro.baselines.naive import naive_join
+from repro.core.query import JoinQuery
+
+
+@pytest.fixture
+def triangle():
+    return queries.triangle()
+
+
+class TestFractionalCover:
+    def test_validate_ok(self, triangle):
+        FractionalCover.uniform(triangle, Fraction(1, 2)).validate(triangle)
+
+    def test_all_ones_always_valid(self):
+        h = queries.paper_figure2()
+        assert FractionalCover.all_ones(h).is_valid(h)
+
+    def test_negative_rejected(self, triangle):
+        cover = FractionalCover({"R": -1, "S": 1, "T": 1})
+        with pytest.raises(CoverError):
+            cover.validate(triangle)
+
+    def test_undercover_rejected(self, triangle):
+        cover = FractionalCover({"R": Fraction(1, 4), "S": Fraction(1, 4), "T": Fraction(1, 4)})
+        assert not cover.is_valid(triangle)
+
+    def test_unknown_edge_rejected(self, triangle):
+        cover = FractionalCover({"X": 1})
+        with pytest.raises(CoverError):
+            cover.validate(triangle)
+
+    def test_coverage_and_slack(self, triangle):
+        cover = FractionalCover.all_ones(triangle)
+        assert cover.coverage(triangle, "A") == 2
+        assert cover.slack(triangle, "A") == 1
+
+    def test_is_tight(self, triangle):
+        assert FractionalCover.uniform(triangle, Fraction(1, 2)).is_tight(triangle)
+        assert not FractionalCover.all_ones(triangle).is_tight(triangle)
+
+    def test_lw_cover(self):
+        h = queries.lw_query(4)
+        cover = FractionalCover.loomis_whitney(h)
+        assert cover.is_tight(h)
+        assert all(w == Fraction(1, 3) for w in cover.weights.values())
+
+    def test_support(self):
+        cover = FractionalCover({"R": 0, "S": Fraction(1, 2), "T": 1})
+        assert cover.support() == frozenset({"S", "T"})
+
+    def test_total_weight(self, triangle):
+        assert FractionalCover.uniform(triangle, Fraction(1, 2)).total_weight() == Fraction(3, 2)
+
+    def test_common_denominator(self):
+        cover = FractionalCover({"R": Fraction(1, 2), "S": Fraction(1, 3)})
+        assert cover.common_denominator() == 6
+
+    def test_restrict(self, triangle):
+        cover = FractionalCover.all_ones(triangle).restrict(["R", "S"])
+        assert set(cover.weights) == {"R", "S"}
+
+    def test_scaled(self):
+        cover = FractionalCover({"R": Fraction(1, 2)}).scaled(Fraction(2))
+        assert cover["R"] == 1
+
+    def test_immutable(self, triangle):
+        cover = FractionalCover.all_ones(triangle)
+        with pytest.raises(AttributeError):
+            cover.weights = {}
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(CoverError):
+            FractionalCover({})["R"]
+
+
+class TestTightenCover:
+    def _instance(self, hypergraph, seed=0):
+        query = generators.random_instance(hypergraph, 25, 4, seed=seed)
+        return query.hypergraph, dict(query.relations)
+
+    def _log_bound(self, hypergraph, cover, relations):
+        return sum(
+            float(cover.get(eid)) * math.log(max(1, len(relations[eid])))
+            for eid in hypergraph.edges
+        )
+
+    @pytest.mark.parametrize("builder", [
+        queries.triangle,
+        lambda: queries.lw_query(4),
+        queries.paper_figure2,
+        lambda: queries.cycle_query(5),
+    ])
+    def test_properties_a_b_c(self, builder):
+        h = builder()
+        _, relations = self._instance(h)
+        cover = FractionalCover.all_ones(h)
+        new_h, new_cover, new_relations = tighten_cover(h, cover, relations)
+        # (a) tightness
+        assert new_cover.is_tight(new_h)
+        assert new_cover.is_valid(new_h)
+        # (b) same join
+        original = naive_join(JoinQuery(
+            [relations[eid].with_name(eid) for eid in h.edges]
+        ))
+        transformed = naive_join(JoinQuery(
+            [new_relations[eid].with_name(eid) for eid in new_h.edges]
+        ))
+        assert original.equivalent(transformed)
+        # (c) bound no worse
+        before = self._log_bound(h, cover, relations)
+        after = self._log_bound(new_h, new_cover, new_relations)
+        assert after <= before + 1e-9
+
+    def test_tight_input_unchanged(self):
+        h = queries.triangle()
+        _, relations = self._instance(h)
+        cover = FractionalCover.uniform(h, Fraction(1, 2))
+        new_h, new_cover, _ = tighten_cover(h, cover, relations)
+        assert set(new_h.edges) == set(h.edges)
+        assert new_cover == cover
+
+    def test_new_edges_carry_projections(self):
+        h = queries.triangle()
+        _, relations = self._instance(h)
+        cover = FractionalCover.all_ones(h)
+        new_h, _, new_relations = tighten_cover(h, cover, relations)
+        for eid, members in new_h.edges.items():
+            assert new_relations[eid].attribute_set == members
+
+    def test_invalid_cover_rejected(self):
+        h = queries.triangle()
+        _, relations = self._instance(h)
+        with pytest.raises(CoverError):
+            tighten_cover(h, FractionalCover.uniform(h, 0), relations)
+
+    def test_missing_relation_rejected(self):
+        h = queries.triangle()
+        with pytest.raises(CoverError):
+            tighten_cover(h, FractionalCover.all_ones(h), {})

@@ -1,0 +1,124 @@
+"""Tests for the dual packing LP and the AGM tight-instance construction."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nprr import nprr_join
+from repro.errors import QueryError
+from repro.hypergraph.agm import (
+    agm_bound,
+    agm_log_bound,
+    optimal_fractional_cover,
+)
+from repro.hypergraph.duality import (
+    optimal_vertex_packing,
+    packing_lower_bound,
+    packing_value,
+    tight_instance,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads import generators, queries
+
+
+class TestPackingLP:
+    def test_triangle_uniform(self):
+        """Uniform budgets: the packing is y_v = 1/2 with value 3/2."""
+        h = queries.triangle()
+        packing = optimal_vertex_packing(h)
+        assert packing_value(packing) == Fraction(3, 2)
+
+    def test_feasibility(self):
+        h = queries.paper_figure2()
+        sizes = {eid: 100 + 7 * i for i, eid in enumerate(h.edge_ids)}
+        packing = optimal_vertex_packing(h, sizes)
+        for eid, members in h.edges.items():
+            total = sum(
+                (packing[v] for v in members), start=Fraction(0)
+            )
+            budget = Fraction(math.log(sizes[eid])).limit_denominator(10**6)
+            assert total <= budget
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            queries.triangle,
+            lambda: queries.lw_query(4),
+            lambda: queries.cycle_query(5),
+            queries.paper_example_52,
+            queries.paper_figure2,
+            lambda: queries.star_query(3),
+        ],
+    )
+    def test_strong_duality(self, builder):
+        """max packing value == min cover cost, exactly (same rationalized
+        objective on both sides)."""
+        h = builder()
+        sizes = {eid: 50 + 13 * i for i, eid in enumerate(h.edge_ids)}
+        cover = optimal_fractional_cover(h, sizes)
+        packing = optimal_vertex_packing(h, sizes)
+        primal = sum(
+            (
+                cover.get(eid)
+                * Fraction(math.log(sizes[eid])).limit_denominator(10**6)
+                for eid in h.edge_ids
+            ),
+            start=Fraction(0),
+        )
+        assert primal == packing_value(packing)
+
+    def test_weak_duality_random(self):
+        for seed in range(6):
+            h = generators.random_hypergraph(5, 4, 3, seed=seed)
+            sizes = {eid: 20 + 3 * i for i, eid in enumerate(h.edge_ids)}
+            cover = optimal_fractional_cover(h, sizes)
+            packing = optimal_vertex_packing(h, sizes)
+            assert packing_lower_bound(packing) <= agm_bound(
+                h, sizes, cover
+            ) * (1 + 1e-9)
+
+    def test_uncovered_vertex_rejected(self):
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        with pytest.raises(QueryError):
+            optimal_vertex_packing(h)
+
+
+class TestTightInstance:
+    def test_triangle_power_of_e_sizes(self):
+        """Budgets exp(2k): domains land on integers, bound met exactly."""
+        h = queries.triangle()
+        side = 8
+        sizes = {eid: side * side for eid in h.edge_ids}
+        query = tight_instance(h, sizes)
+        out = nprr_join(query)
+        cover = optimal_fractional_cover(h, sizes)
+        bound = agm_bound(h, sizes, cover)
+        assert len(out) == side**3
+        assert len(out) >= 0.99 * bound  # tight up to rounding
+
+    def test_sizes_respected(self):
+        h = queries.paper_figure2()
+        sizes = {eid: 200 for eid in h.edge_ids}
+        query = tight_instance(h, sizes)
+        for eid, declared in sizes.items():
+            assert len(query.relation(eid)) <= declared
+
+    def test_output_tracks_bound_asymmetric(self):
+        h = queries.triangle()
+        sizes = {"R": 400, "S": 100, "T": 100}
+        query = tight_instance(h, sizes)
+        out = nprr_join(query)
+        cover = optimal_fractional_cover(h, sizes)
+        log_bound = agm_log_bound(h, sizes, cover)
+        # Rounding each domain loses at most a constant factor per attr.
+        assert math.log(max(1, len(out))) >= log_bound - len(h.vertices) * 0.8
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_lw_tight_instances(self, n):
+        h = queries.lw_query(n)
+        side = 4
+        sizes = {eid: side ** (n - 1) for eid in h.edge_ids}
+        query = tight_instance(h, sizes)
+        out = nprr_join(query)
+        assert len(out) == side**n

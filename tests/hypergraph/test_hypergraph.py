@@ -1,0 +1,148 @@
+"""Unit tests for the Hypergraph structure."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph, lw_hypergraph
+from repro.workloads import queries
+
+
+@pytest.fixture
+def triangle():
+    return queries.triangle()
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert triangle.vertices == ("A", "B", "C")
+        assert triangle.edge_ids == ("R", "S", "T")
+        assert triangle.edge("R") == frozenset({"A", "B"})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(("A",), {"R": ("A", "B")})
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(("A", "A"), {})
+
+    def test_unknown_edge_lookup(self, triangle):
+        with pytest.raises(QueryError):
+            triangle.edge("X")
+
+    def test_multiset_edges_allowed(self):
+        h = Hypergraph(("A", "B"), {"R1": ("A", "B"), "R2": ("A", "B")})
+        assert len(h) == 2
+
+    def test_equality(self, triangle):
+        assert triangle == queries.triangle()
+        assert hash(triangle) == hash(queries.triangle())
+
+
+class TestStructure:
+    def test_edges_containing(self, triangle):
+        assert triangle.edges_containing("A") == ["R", "T"]
+        assert triangle.degree("B") == 2
+
+    def test_edges_containing_unknown(self, triangle):
+        with pytest.raises(QueryError):
+            triangle.edges_containing("Z")
+
+    def test_covers_vertices(self, triangle):
+        assert triangle.covers_vertices()
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        assert not h.covers_vertices()
+
+    def test_is_graph(self, triangle):
+        assert triangle.is_graph()
+        assert not queries.lw_query(4).is_graph()
+
+    def test_is_simple_graph(self, triangle):
+        assert triangle.is_simple_graph()
+        multi = Hypergraph(("A", "B"), {"R1": ("A", "B"), "R2": ("A", "B")})
+        assert not multi.is_simple_graph()
+
+    def test_is_lw_instance(self, triangle):
+        assert triangle.is_lw_instance()
+        assert queries.lw_query(5).is_lw_instance()
+        assert not queries.cycle_query(4).is_lw_instance()
+        assert not queries.paper_figure2().is_lw_instance()
+
+    def test_lw_hypergraph_shape(self):
+        h = lw_hypergraph(4)
+        assert len(h) == 4
+        for eid in h.edge_ids:
+            assert len(h.edge(eid)) == 3
+
+    def test_lw_hypergraph_n1_rejected(self):
+        with pytest.raises(QueryError):
+            lw_hypergraph(1)
+
+
+class TestRestrict:
+    def test_restrict(self, triangle):
+        h = triangle.restrict(("A", "B"))
+        assert h.vertices == ("A", "B")
+        assert h.edge("R") == frozenset({"A", "B"})
+        assert h.edge("S") == frozenset({"B"})
+        assert h.edge("T") == frozenset({"A"})
+
+    def test_restrict_drops_empty_traces(self):
+        h = Hypergraph(("A", "B", "C"), {"R": ("A", "B"), "S": ("C",)})
+        restricted = h.restrict(("A", "B"))
+        assert "S" not in restricted.edges
+
+    def test_restrict_unknown(self, triangle):
+        with pytest.raises(QueryError):
+            triangle.restrict(("Z",))
+
+    def test_subhypergraph(self, triangle):
+        sub = triangle.subhypergraph(["R", "T"])
+        assert sub.edge_ids == ("R", "T")
+        assert sub.vertices == triangle.vertices
+
+
+class TestComponents:
+    def test_connected_triangle(self, triangle):
+        assert len(triangle.connected_components()) == 1
+
+    def test_two_components(self):
+        h = Hypergraph(
+            ("A", "B", "C", "D"),
+            {"R": ("A", "B"), "S": ("C", "D")},
+        )
+        comps = h.connected_components()
+        assert len(comps) == 2
+        sizes = sorted(len(c.vertices) for c in comps)
+        assert sizes == [2, 2]
+
+    def test_isolated_vertex(self):
+        h = Hypergraph(("A", "B"), {"R": ("A",)})
+        comps = h.connected_components()
+        assert len(comps) == 2
+
+
+class TestShapeDetection:
+    def test_triangle_is_cycle(self, triangle):
+        order = triangle.is_cycle()
+        assert order is not None
+        assert len(order) == 3
+
+    def test_larger_cycle(self):
+        order = queries.cycle_query(6).is_cycle()
+        assert order is not None and len(order) == 6
+
+    def test_two_cycle(self):
+        h = Hypergraph(("A", "B"), {"R1": ("A", "B"), "R2": ("A", "B")})
+        assert h.is_cycle() == ["A", "B"]
+
+    def test_path_is_not_cycle(self):
+        assert queries.path_query(3).is_cycle() is None
+
+    def test_star_detection(self):
+        assert queries.star_query(3).is_star() == "Hub"
+        assert queries.cycle_query(4).is_star() is None
+
+    def test_single_edge_is_star(self):
+        h = Hypergraph(("A", "B"), {"R": ("A", "B")})
+        assert h.is_star() in ("A", "B")

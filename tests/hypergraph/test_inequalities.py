@@ -1,0 +1,157 @@
+"""Unit tests for the BT/LW inequality verifiers and Prop 3.3 machinery."""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nprr import nprr_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.covers import FractionalCover
+from repro.hypergraph.inequalities import (
+    bt_instance_from_points,
+    project_points,
+    replicate_to_regular_family,
+    verify_bt,
+    verify_lw,
+)
+from repro.workloads import generators, queries
+
+
+def random_points(n, count, domain, seed):
+    rng = random.Random(seed)
+    return {
+        tuple(rng.randrange(domain) for _ in range(n)) for _ in range(count)
+    }
+
+
+class TestProjections:
+    def test_project(self):
+        pts = {(1, 2, 3), (1, 2, 4), (5, 2, 3)}
+        assert project_points(pts, [0, 1]) == {(1, 2), (5, 2)}
+
+    def test_project_empty_coords(self):
+        assert project_points({(1, 2)}, []) == {()}
+
+
+class TestLWInequality:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_holds_on_random_sets(self, n, seed):
+        pts = random_points(n, 50, 4, seed)
+        assert verify_lw(pts).holds
+
+    def test_tight_on_boxes(self):
+        """LW is an equality on product sets (boxes)."""
+        pts = set(itertools.product(range(3), range(4), range(2)))
+        check = verify_lw(pts)
+        assert check.holds and check.tight
+
+    def test_empty_set(self):
+        assert verify_lw(set()).holds
+
+    def test_dimension_one_rejected(self):
+        with pytest.raises(QueryError):
+            verify_lw({(1,)})
+
+    def test_diagonal_far_from_tight(self):
+        pts = {(i, i, i) for i in range(10)}
+        check = verify_lw(pts)
+        assert check.holds
+        assert check.ratio == pytest.approx(10.0, rel=1e-9)  # 10^3 / 10^2
+
+
+class TestBTInequality:
+    def test_lw_is_special_case(self):
+        pts = random_points(3, 30, 4, 9)
+        family = [[1, 2], [0, 2], [0, 1]]
+        assert verify_bt(pts, family).holds
+
+    def test_regularity_two_family(self):
+        # Coordinates {0,1,2,3}; family of four pairs, each coord twice.
+        pts = random_points(4, 40, 3, 5)
+        family = [[0, 1], [2, 3], [0, 2], [1, 3]]
+        check = verify_bt(pts, family, regularity=2)
+        assert check.holds
+
+    def test_irregular_family_rejected(self):
+        with pytest.raises(QueryError):
+            verify_bt({(1, 2)}, [[0], [0]])
+
+    def test_wrong_declared_regularity(self):
+        with pytest.raises(QueryError):
+            verify_bt({(1, 2)}, [[0], [1]], regularity=2)
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(QueryError):
+            verify_bt({(1, 2)}, [[0, 5], [1, 0]])
+
+
+class TestAGMtoBT:
+    def test_instance_from_points(self):
+        pts = random_points(3, 25, 4, 1)
+        family = [[1, 2], [0, 2], [0, 1]]
+        hypergraph, relations, cover = bt_instance_from_points(pts, family)
+        cover.validate(hypergraph)
+        assert all(w == Fraction(1, 2) for w in cover.weights.values())
+        # Joining the projections recovers a superset of the points whose
+        # size obeys the BT bound — the algorithmic proof.
+        query = JoinQuery.from_hypergraph(hypergraph, relations)
+        joined = nprr_join(query).reorder(("X0", "X1", "X2"))
+        point_tuples = {tuple(p) for p in pts}
+        assert point_tuples <= set(joined.tuples)
+        lhs = len(joined) ** 2
+        rhs = 1
+        for rel in relations.values():
+            rhs *= len(rel)
+        assert lhs <= rhs
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(QueryError):
+            bt_instance_from_points(set(), [[0]])
+
+
+class TestBTtoAGM:
+    def test_replication_regularity(self):
+        h = queries.triangle()
+        query = generators.random_instance(h, 20, 4, seed=3)
+        cover = FractionalCover.uniform(h, Fraction(1, 2))
+        replicated, relations, d = replicate_to_regular_family(
+            h, cover, dict(query.relations)
+        )
+        assert d == 2
+        for vertex in replicated.vertices:
+            assert replicated.degree(vertex) == d
+
+    def test_replication_after_tightening(self):
+        """A slack cover gets tightened first; replication still regular."""
+        h = queries.triangle()
+        query = generators.random_instance(h, 20, 4, seed=4)
+        cover = FractionalCover.all_ones(h)
+        replicated, _relations, d = replicate_to_regular_family(
+            h, cover, dict(query.relations)
+        )
+        for vertex in replicated.vertices:
+            assert replicated.degree(vertex) == d
+
+    def test_bt_bound_equals_agm_bound(self):
+        """prod |R'_e|^{1/d} over the replicated family equals the original
+        AGM bound (up to the tightening improvement)."""
+        import math
+
+        h = queries.triangle()
+        query = generators.random_instance(h, 20, 4, seed=5)
+        cover = FractionalCover.uniform(h, Fraction(1, 2))
+        replicated, relations, d = replicate_to_regular_family(
+            h, cover, dict(query.relations)
+        )
+        replicated_log = sum(
+            math.log(len(rel)) for rel in relations.values()
+        ) / d
+        original_log = sum(
+            float(cover.get(eid)) * math.log(len(query.relation(eid)))
+            for eid in h.edges
+        )
+        assert replicated_log == pytest.approx(original_log, rel=1e-9)

@@ -1,0 +1,108 @@
+"""Unit tests for the exact two-phase simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InfeasibleProgramError, UnboundedProgramError
+from repro.hypergraph.simplex import (
+    SimplexResult,
+    feasible_point_check,
+    solve_min_geq,
+)
+
+
+class TestBasicPrograms:
+    def test_single_variable(self):
+        # min x s.t. x >= 3
+        result = solve_min_geq([1], [[1]], [3])
+        assert result.x == (Fraction(3),)
+        assert result.objective == 3
+
+    def test_triangle_cover_lp(self):
+        # min x1+x2+x3 s.t. each vertex covered by its two edges.
+        rows = [[1, 0, 1], [1, 1, 0], [0, 1, 1]]
+        result = solve_min_geq([1, 1, 1], rows, [1, 1, 1])
+        assert result.objective == Fraction(3, 2)
+        assert all(x == Fraction(1, 2) for x in result.x)
+
+    def test_weighted_triangle_prefers_cheap_edges(self):
+        # Make edge 0 very expensive: the optimum puts weight 1 on the
+        # other two edges instead (objective 2 beats 10/2 + ...).
+        rows = [[1, 0, 1], [1, 1, 0], [0, 1, 1]]
+        result = solve_min_geq([10, 1, 1], rows, [1, 1, 1])
+        assert result.x[0] == 0
+        assert result.objective == 2
+
+    def test_two_constraints_one_var(self):
+        # min x s.t. x >= 2, x >= 5
+        result = solve_min_geq([1], [[1], [1]], [2, 5])
+        assert result.x == (Fraction(5),)
+
+    def test_zero_cost_variables(self):
+        result = solve_min_geq([0, 1], [[1, 1]], [1])
+        assert result.objective == 0
+
+    def test_fractional_costs(self):
+        result = solve_min_geq(
+            [Fraction(1, 3), Fraction(1, 2)], [[1, 0], [0, 1]], [1, 1]
+        )
+        assert result.objective == Fraction(5, 6)
+
+    def test_negative_rhs_handled(self):
+        # min x s.t. x >= -5 (slack constraint; optimum x = 0).
+        result = solve_min_geq([1], [[1]], [-5])
+        assert result.x == (Fraction(0),)
+
+    def test_redundant_constraints(self):
+        rows = [[1], [1], [1]]
+        result = solve_min_geq([1], rows, [1, 1, 1])
+        assert result.x == (Fraction(1),)
+
+
+class TestDegenerateAndEdgeCases:
+    def test_infeasible(self):
+        # x >= 1 and -x >= 0 (i.e. x <= 0) cannot both hold.
+        with pytest.raises(InfeasibleProgramError):
+            solve_min_geq([1], [[1], [-1]], [1, 0])
+
+    def test_unbounded(self):
+        # min -x s.t. x >= 0 — drive x to infinity.
+        with pytest.raises(UnboundedProgramError):
+            solve_min_geq([-1], [[1]], [0])
+
+    def test_dimension_mismatch_rows(self):
+        with pytest.raises(ValueError):
+            solve_min_geq([1], [[1, 2]], [1])
+
+    def test_dimension_mismatch_rhs(self):
+        with pytest.raises(ValueError):
+            solve_min_geq([1], [[1]], [1, 2])
+
+    def test_result_is_exact_fraction(self):
+        rows = [[1, 0, 1], [1, 1, 0], [0, 1, 1]]
+        result = solve_min_geq([1, 1, 1], rows, [1, 1, 1])
+        for x in result.x:
+            assert isinstance(x, Fraction)
+
+    def test_support(self):
+        result = SimplexResult(
+            (Fraction(0), Fraction(1, 2), Fraction(1)), Fraction(1), (0,)
+        )
+        assert result.support() == (1, 2)
+
+
+class TestFeasibleCheck:
+    def test_accepts_feasible(self):
+        assert feasible_point_check([[1, 1]], [1], [Fraction(1, 2), Fraction(1, 2)])
+
+    def test_rejects_negative(self):
+        assert not feasible_point_check([[1]], [0], [-1])
+
+    def test_rejects_violated(self):
+        assert not feasible_point_check([[1, 1]], [2], [1, Fraction(1, 2)])
+
+    def test_solver_output_is_feasible(self):
+        rows = [[2, 1], [1, 3]]
+        result = solve_min_geq([3, 4], rows, [5, 6])
+        assert feasible_point_check(rows, [5, 6], result.x)

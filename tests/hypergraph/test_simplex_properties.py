@@ -1,0 +1,76 @@
+"""Property tests: the exact simplex against scipy.optimize.linprog."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LinearProgramError
+from repro.hypergraph.simplex import feasible_point_check, solve_min_geq
+
+scipy_opt = pytest.importorskip("scipy.optimize")
+
+
+def cover_style_lps():
+    """Random cover-polytope-shaped LPs: 0/1 matrices, rhs 1, costs >= 0.
+
+    Always feasible (x large enough works) whenever every row has a 1 —
+    enforced below.
+    """
+
+    def build(draw_rows, costs):
+        return draw_rows, costs
+
+    n_vars = st.integers(1, 5)
+    return n_vars.flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.lists(st.integers(0, 1), min_size=n, max_size=n).filter(
+                    lambda row: any(row)
+                ),
+                min_size=1,
+                max_size=5,
+            ),
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        )
+    )
+
+
+@given(cover_style_lps())
+@settings(max_examples=60, deadline=None)
+def test_matches_scipy_on_cover_lps(problem):
+    rows, costs = problem
+    rhs = [1] * len(rows)
+    ours = solve_min_geq(costs, rows, rhs)
+    assert feasible_point_check(rows, rhs, ours.x)
+    scipy_result = scipy_opt.linprog(
+        c=costs,
+        A_ub=[[-v for v in row] for row in rows],
+        b_ub=[-1] * len(rows),
+        bounds=[(0, None)] * len(costs),
+        method="highs",
+    )
+    assert scipy_result.status == 0
+    assert float(ours.objective) == pytest.approx(scipy_result.fun, abs=1e-9)
+
+
+@given(cover_style_lps())
+@settings(max_examples=40, deadline=None)
+def test_vertex_has_small_support(problem):
+    """A vertex of {Ax >= b, x >= 0} has at most (#rows) positive
+    coordinates (basic feasible solutions have basis-bounded support)."""
+    rows, costs = problem
+    ours = solve_min_geq(costs, rows, [1] * len(rows))
+    assert len(ours.support()) <= len(rows)
+
+
+@given(
+    st.lists(st.integers(1, 10), min_size=2, max_size=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_diagonal_lp_exact(bounds):
+    """min sum x_i s.t. x_i >= b_i solves to x = b exactly."""
+    n = len(bounds)
+    rows = [[1 if j == i else 0 for j in range(n)] for i in range(n)]
+    result = solve_min_geq([1] * n, rows, bounds)
+    assert list(result.x) == [Fraction(b) for b in bounds]

@@ -1,0 +1,91 @@
+"""Unit tests for the Database catalog and its trie cache."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            Relation("R", ("A", "B"), [(1, 2), (3, 4)]),
+            Relation("S", ("B", "C"), [(2, 5)]),
+        ]
+    )
+
+
+class TestCatalog:
+    def test_lookup(self, db):
+        assert len(db["R"]) == 2
+
+    def test_unknown(self, db):
+        with pytest.raises(DatabaseError):
+            db["X"]
+
+    def test_contains(self, db):
+        assert "R" in db and "X" not in db
+
+    def test_len_and_iter(self, db):
+        assert len(db) == 2
+        assert {rel.name for rel in db} == {"R", "S"}
+
+    def test_names(self, db):
+        assert db.names() == ["R", "S"]
+
+    def test_duplicate_add_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add(Relation("R", ("A",), [(1,)]))
+
+    def test_replace(self, db):
+        db.add(Relation("R", ("A",), [(1,)]), replace=True)
+        assert len(db["R"]) == 1
+
+    def test_remove(self, db):
+        db.remove("S")
+        assert "S" not in db
+
+    def test_remove_unknown(self, db):
+        with pytest.raises(DatabaseError):
+            db.remove("X")
+
+    def test_from_mapping_renames(self):
+        db = Database.from_mapping(
+            {"Edges": Relation("whatever", ("A", "B"), [(1, 2)])}
+        )
+        assert db["Edges"].name == "Edges"
+
+
+class TestStatistics:
+    def test_sizes(self, db):
+        assert db.sizes() == {"R": 2, "S": 1}
+
+    def test_total_tuples(self, db):
+        assert db.total_tuples() == 3
+
+
+class TestTrieCache:
+    def test_cache_hit(self, db):
+        first = db.trie("R", ("A", "B"))
+        second = db.trie("R", ("A", "B"))
+        assert first is second
+        assert db.cached_trie_count() == 1
+
+    def test_cache_distinguishes_orders(self, db):
+        db.trie("R", ("A", "B"))
+        db.trie("R", ("B", "A"))
+        assert db.cached_trie_count() == 2
+
+    def test_replace_invalidates(self, db):
+        old = db.trie("R", ("A", "B"))
+        db.add(Relation("R", ("A", "B"), [(9, 9)]), replace=True)
+        new = db.trie("R", ("A", "B"))
+        assert new is not old
+        assert len(new) == 1
+
+    def test_remove_invalidates(self, db):
+        db.trie("S", ("B", "C"))
+        db.remove("S")
+        assert db.cached_trie_count() == 0

@@ -1,0 +1,263 @@
+"""Unit tests for the Relation algebra."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relations.relation import Relation, union_all
+
+
+@pytest.fixture
+def r():
+    return Relation("R", ("A", "B"), [(1, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def s():
+    return Relation("S", ("B", "C"), [(2, 9), (3, 8), (5, 7)])
+
+
+class TestConstruction:
+    def test_basic(self, r):
+        assert r.name == "R"
+        assert r.attributes == ("A", "B")
+        assert len(r) == 3
+
+    def test_duplicates_collapse(self):
+        rel = Relation("R", ("A",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_empty(self):
+        rel = Relation("R", ("A", "B"))
+        assert rel.is_empty()
+        assert len(rel) == 0
+
+    def test_zero_arity(self):
+        rel = Relation("R", (), [()])
+        assert len(rel) == 1
+        assert rel.attributes == ()
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "A"), [])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "B"), [(1,)])
+
+    def test_immutable(self, r):
+        with pytest.raises(AttributeError):
+            r.name = "X"
+
+    def test_from_assignments(self):
+        rel = Relation.from_assignments(
+            "R", ("A", "B"), [{"A": 1, "B": 2}, {"B": 4, "A": 3}]
+        )
+        assert (1, 2) in rel and (3, 4) in rel
+
+    def test_with_name(self, r):
+        renamed = r.with_name("R2")
+        assert renamed.name == "R2"
+        assert renamed.tuples == r.tuples
+
+    def test_repr(self, r):
+        assert "R" in repr(r) and "3" in repr(r)
+
+
+class TestSchemaHelpers:
+    def test_position(self, r):
+        assert r.position("A") == 0
+        assert r.position("B") == 1
+
+    def test_position_unknown(self, r):
+        with pytest.raises(SchemaError):
+            r.position("Z")
+
+    def test_positions(self, r):
+        assert r.positions(("B", "A")) == (1, 0)
+
+    def test_attribute_set(self, r):
+        assert r.attribute_set == frozenset({"A", "B"})
+
+    def test_assignment(self, r):
+        assert r.assignment((1, 2)) == {"A": 1, "B": 2}
+
+    def test_iter_assignments(self, r):
+        assignments = list(r.iter_assignments())
+        assert {"A": 1, "B": 2} in assignments
+        assert len(assignments) == 3
+
+
+class TestProjection:
+    def test_project(self, r):
+        p = r.project(["A"])
+        assert p.attributes == ("A",)
+        assert p.tuples == frozenset({(1,), (2,)})
+
+    def test_project_reorders(self, r):
+        p = r.project(["B", "A"])
+        assert (2, 1) in p
+
+    def test_project_empty_attrs(self, r):
+        p = r.project([])
+        assert p.tuples == frozenset({()})
+
+    def test_project_empty_relation(self):
+        rel = Relation("R", ("A", "B"))
+        assert rel.project([]).is_empty()
+
+    def test_project_unknown(self, r):
+        with pytest.raises(SchemaError):
+            r.project(["Z"])
+
+
+class TestSection:
+    def test_section_reduces_attributes(self, r):
+        sec = r.section({"A": 1})
+        assert sec.attributes == ("B",)
+        assert sec.tuples == frozenset({(2,), (3,)})
+
+    def test_section_missing_value(self, r):
+        assert r.section({"A": 99}).is_empty()
+
+    def test_empty_binding_is_identity(self, r):
+        sec = r.section({})
+        assert sec.tuples == r.tuples
+        assert sec.attributes == r.attributes
+
+    def test_full_binding(self, r):
+        sec = r.section({"A": 1, "B": 2})
+        assert sec.attributes == ()
+        assert sec.tuples == frozenset({()})
+
+    def test_section_unknown_attribute(self, r):
+        with pytest.raises(SchemaError):
+            r.section({"Z": 1})
+
+
+class TestSelect:
+    def test_select(self, r):
+        out = r.select(lambda t: t["A"] == 1)
+        assert len(out) == 2
+
+    def test_select_equals(self, r):
+        out = r.select_equals("B", 3)
+        assert out.tuples == frozenset({(1, 3), (2, 3)})
+        assert out.attributes == r.attributes
+
+
+class TestRenameReorder:
+    def test_rename(self, r):
+        out = r.rename({"A": "X"})
+        assert out.attributes == ("X", "B")
+        assert out.tuples == r.tuples
+
+    def test_rename_unknown(self, r):
+        with pytest.raises(SchemaError):
+            r.rename({"Z": "Y"})
+
+    def test_reorder(self, r):
+        out = r.reorder(("B", "A"))
+        assert out.attributes == ("B", "A")
+        assert (2, 1) in out
+
+    def test_reorder_not_permutation(self, r):
+        with pytest.raises(SchemaError):
+            r.reorder(("A",))
+
+    def test_reorder_roundtrip(self, r):
+        assert r.reorder(("B", "A")).reorder(("A", "B")) == r
+
+
+class TestSemijoin:
+    def test_semijoin(self, r, s):
+        out = r.semijoin(s)
+        assert out.tuples == r.tuples  # all B values of r appear in s
+
+    def test_semijoin_filters(self, r):
+        s2 = Relation("S", ("B", "C"), [(2, 9)])
+        out = r.semijoin(s2)
+        assert out.tuples == frozenset({(1, 2)})
+
+    def test_semijoin_no_shared_nonempty(self, r):
+        other = Relation("X", ("Z",), [(1,)])
+        assert r.semijoin(other).tuples == r.tuples
+
+    def test_semijoin_no_shared_empty(self, r):
+        other = Relation("X", ("Z",))
+        assert r.semijoin(other).is_empty()
+
+
+class TestNaturalJoin:
+    def test_join(self, r, s):
+        out = r.natural_join(s)
+        assert out.attributes == ("A", "B", "C")
+        assert (1, 2, 9) in out
+        assert (1, 3, 8) in out
+        assert (2, 3, 8) in out
+        assert len(out) == 3
+
+    def test_join_no_shared_is_cross(self):
+        a = Relation("A", ("X",), [(1,), (2,)])
+        b = Relation("B", ("Y",), [(5,), (6,)])
+        out = a.natural_join(b)
+        assert len(out) == 4
+
+    def test_join_with_empty(self, r):
+        empty = Relation("S", ("B", "C"))
+        assert r.natural_join(empty).is_empty()
+
+    def test_join_same_schema_is_intersection(self, r):
+        other = Relation("R2", ("A", "B"), [(1, 2), (9, 9)])
+        out = r.natural_join(other)
+        assert out.tuples == frozenset({(1, 2)})
+
+    def test_join_commutes_up_to_reorder(self, r, s):
+        left = r.natural_join(s)
+        right = s.natural_join(r)
+        assert left.equivalent(right)
+
+    def test_cross(self):
+        a = Relation("A", ("X",), [(1,)])
+        b = Relation("B", ("Y",), [(2,)])
+        assert a.cross(b).tuples == frozenset({(1, 2)})
+
+    def test_cross_shared_rejected(self, r, s):
+        with pytest.raises(SchemaError):
+            r.cross(r)
+
+
+class TestEquivalence:
+    def test_equivalent_ignores_order_and_name(self, r):
+        other = Relation("Other", ("B", "A"), [(2, 1), (3, 1), (3, 2)])
+        assert r.equivalent(other)
+
+    def test_not_equivalent_different_tuples(self, r):
+        other = Relation("R", ("A", "B"), [(1, 2)])
+        assert not r.equivalent(other)
+
+    def test_not_equivalent_different_schema(self, r, s):
+        assert not r.equivalent(s)
+
+    def test_eq_strict(self, r):
+        same = Relation("X", ("A", "B"), [(1, 2), (1, 3), (2, 3)])
+        assert r == same  # names do not participate in equality
+        assert hash(r) == hash(same)
+
+
+class TestUnionAll:
+    def test_union(self):
+        a = Relation("A", ("X", "Y"), [(1, 2)])
+        b = Relation("B", ("Y", "X"), [(9, 8)])
+        out = union_all("U", [a, b])
+        assert out.attributes == ("X", "Y")
+        assert out.tuples == frozenset({(1, 2), (8, 9)})
+
+    def test_union_schema_mismatch(self):
+        a = Relation("A", ("X",), [(1,)])
+        b = Relation("B", ("Y",), [(2,)])
+        with pytest.raises(SchemaError):
+            union_all("U", [a, b])
+
+    def test_union_empty_list(self):
+        with pytest.raises(SchemaError):
+            union_all("U", [])

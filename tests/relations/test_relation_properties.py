@@ -1,0 +1,84 @@
+"""Property-based tests for the Relation algebra (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relations.relation import Relation
+
+ATTRS = ("A", "B", "C")
+
+
+def relations(attrs=ATTRS, max_size=12, domain=4):
+    rows = st.frozensets(
+        st.tuples(*[st.integers(0, domain - 1)] * len(attrs)),
+        max_size=max_size,
+    )
+    return rows.map(lambda rs: Relation("R", attrs, rs))
+
+
+@given(relations())
+def test_projection_is_idempotent(rel):
+    once = rel.project(["A", "B"])
+    twice = once.project(["A", "B"])
+    assert once == twice
+
+
+@given(relations())
+def test_sections_partition_the_relation(rel):
+    """Union of all A-sections (re-extended) recovers the relation."""
+    recovered = set()
+    for value in {row[0] for row in rel.tuples}:
+        for tail in rel.section({"A": value}).tuples:
+            recovered.add((value,) + tail)
+    assert recovered == set(rel.tuples)
+
+
+@given(relations(), relations(attrs=("B", "C", "D")))
+def test_join_against_definition(left, right):
+    """Hash join agrees with the brute-force definition of natural join."""
+    joined = left.natural_join(right)
+    expected = set()
+    for lrow in left.tuples:
+        for rrow in right.tuples:
+            if lrow[1] == rrow[0] and lrow[2] == rrow[1]:  # B and C match
+                expected.add(lrow + (rrow[2],))
+    assert set(joined.tuples) == expected
+
+
+@given(relations(), relations(attrs=("B", "C", "D")))
+def test_semijoin_is_join_projection(left, right):
+    """R semijoin S == pi_{attrs(R)}(R join S)."""
+    semi = left.semijoin(right)
+    via_join = left.natural_join(right).project(left.attributes)
+    assert set(semi.tuples) == set(via_join.tuples)
+
+
+@given(relations())
+def test_rename_roundtrip(rel):
+    there = rel.rename({"A": "X"})
+    back = there.rename({"X": "A"})
+    assert back == rel
+
+
+@given(relations())
+def test_reorder_preserves_assignments(rel):
+    reordered = rel.reorder(("C", "A", "B"))
+    original = {frozenset(a.items()) for a in rel.iter_assignments()}
+    after = {frozenset(a.items()) for a in reordered.iter_assignments()}
+    assert original == after
+
+
+@given(relations(max_size=8))
+def test_project_section_commute(rel):
+    """pi_C(R[A=a]) == (pi_{A,C}(R))[A=a] for every a."""
+    for value in {row[0] for row in rel.tuples}:
+        left = rel.section({"A": value}).project(["C"])
+        right = rel.project(["A", "C"]).section({"A": value})
+        assert set(left.tuples) == set(right.tuples)
+
+
+@given(relations(max_size=10), relations(max_size=10))
+def test_join_same_schema_is_intersection(left, right):
+    joined = left.natural_join(right)
+    assert set(joined.tuples) == set(left.tuples) & set(right.tuples)

@@ -1,0 +1,75 @@
+"""Tests for the public front-door API."""
+
+import pytest
+
+from repro import Relation, join, output_bound
+from repro.baselines.naive import naive_join
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.workloads import generators, queries
+
+
+@pytest.fixture
+def relations():
+    return [
+        Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 0)]),
+        Relation("S", ("B", "C"), [(1, 5), (2, 6), (0, 7)]),
+        Relation("T", ("A", "C"), [(0, 5), (1, 6), (2, 7)]),
+    ]
+
+
+class TestJoin:
+    def test_default_auto(self, relations):
+        out = join(relations)
+        assert len(out) == 3
+
+    @pytest.mark.parametrize(
+        "algorithm", ["nprr", "lw", "generic", "leapfrog", "arity2"]
+    )
+    def test_every_algorithm(self, relations, algorithm):
+        expected = naive_join(JoinQuery(relations))
+        assert join(relations, algorithm=algorithm).equivalent(expected)
+
+    def test_accepts_query_object(self, relations):
+        q = JoinQuery(relations)
+        assert join(q).equivalent(naive_join(q))
+
+    def test_unknown_algorithm(self, relations):
+        with pytest.raises(QueryError):
+            join(relations, algorithm="quantum")
+
+    def test_auto_falls_back_to_nprr(self):
+        q = generators.random_instance(queries.paper_figure2(), 20, 3, seed=0)
+        assert join(q).equivalent(naive_join(q))
+
+    def test_auto_with_cover_uses_nprr(self, relations):
+        from fractions import Fraction
+
+        from repro import FractionalCover
+
+        q = JoinQuery(relations)
+        cover = FractionalCover.uniform(q.hypergraph, Fraction(1, 2))
+        assert join(q, cover=cover).equivalent(naive_join(q))
+
+    def test_custom_name(self, relations):
+        assert join(relations, name="Out").name == "Out"
+
+
+class TestOutputBound:
+    def test_triangle_bound(self, relations):
+        assert output_bound(relations) == pytest.approx(
+            3**1.5, rel=1e-6
+        )
+
+    def test_bound_dominates_output(self):
+        for seed in range(5):
+            q = generators.random_instance(queries.triangle(), 30, 5, seed=seed)
+            assert len(join(q)) <= output_bound(q) + 1e-6
+
+
+class TestDocstringExample:
+    def test_module_docstring_quickstart(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (2, 3)])
+        s = Relation("S", ("B", "C"), [(2, 9), (3, 7)])
+        t = Relation("T", ("A", "C"), [(1, 9), (2, 7)])
+        assert sorted(join([r, s, t]).tuples) == [(1, 2, 9), (2, 3, 7)]

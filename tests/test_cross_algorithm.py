@@ -1,0 +1,132 @@
+"""The integration suite: every join implementation agrees on every shape.
+
+This is the library's strongest correctness argument — seven independent
+join implementations (definitional, binary hash/sort-merge, join-project,
+NPRR, LW, Generic Join, Leapfrog Triejoin, arity-2 decomposition) must
+produce identical outputs across the paper's instance families and random
+workloads.
+"""
+
+import pytest
+
+from repro.baselines.hash_join import hash_join
+from repro.baselines.join_project import agm_join_project
+from repro.baselines.naive import naive_join
+from repro.baselines.sort_merge import chain_sort_merge
+from repro.core.arity_two import arity_two_join
+from repro.core.generic_join import generic_join
+from repro.core.leapfrog import leapfrog_join
+from repro.core.lw import lw_join
+from repro.core.nprr import nprr_join
+from repro.workloads import generators, instances, queries
+
+GENERAL_ALGORITHMS = [
+    nprr_join,
+    generic_join,
+    leapfrog_join,
+    hash_join,
+    chain_sort_merge,
+    lambda q: agm_join_project(q)[0],
+]
+
+
+def assert_all_agree(query, include=()):  # pragma: no cover - helper
+    baseline = naive_join(query)
+    for algorithm in list(GENERAL_ALGORITHMS) + list(include):
+        result = algorithm(query)
+        assert result.equivalent(baseline), (
+            f"{getattr(algorithm, '__name__', algorithm)} disagrees: "
+            f"{len(result)} vs {len(baseline)} tuples"
+        )
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random(self, seed):
+        q = generators.random_instance(queries.triangle(), 45, 7, seed=seed)
+        assert_all_agree(q, include=[lw_join, arity_two_join])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_skewed(self, seed):
+        q = generators.random_instance(
+            queries.triangle(), 60, 12, seed=seed, skew=1.4
+        )
+        assert_all_agree(q, include=[lw_join, arity_two_join])
+
+    @pytest.mark.parametrize("n", [4, 12, 24])
+    def test_example_22(self, n):
+        q = instances.triangle_hard_instance(n)
+        assert_all_agree(q, include=[lw_join, arity_two_join])
+
+    def test_tripartite(self):
+        q = generators.tripartite_triangle_instance(15, 60, seed=3, hub=True)
+        assert_all_agree(q, include=[lw_join, arity_two_join])
+
+
+class TestLWInstances:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random(self, n, seed):
+        q = generators.random_instance(queries.lw_query(n), 30, 4, seed=seed)
+        assert_all_agree(q, include=[lw_join])
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_hard(self, n):
+        q = instances.lw_hard_instance(n, 13)
+        assert_all_agree(q, include=[lw_join])
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_grid(self, n):
+        q = instances.grid_instance(queries.lw_query(n), 3)
+        assert_all_agree(q, include=[lw_join])
+
+
+class TestGraphQueries:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_cycles(self, k):
+        q = generators.random_instance(queries.cycle_query(k), 40, 6, seed=k)
+        assert_all_agree(q, include=[arity_two_join])
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_hard_cycles(self, k):
+        q = instances.cycle_hard_instance(k, 16)
+        assert_all_agree(q, include=[arity_two_join])
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_stars(self, k):
+        q = generators.random_instance(queries.star_query(k), 30, 5, seed=k)
+        assert_all_agree(q, include=[arity_two_join])
+
+    def test_clique4(self):
+        q = generators.random_instance(queries.clique_query(4), 40, 6, seed=9)
+        assert_all_agree(q, include=[arity_two_join])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        h = generators.random_hypergraph(5, 6, 2, seed=seed)
+        q = generators.random_instance(h, 25, 4, seed=seed + 11)
+        assert_all_agree(q, include=[arity_two_join])
+
+
+class TestGeneralHypergraphs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random(self, seed):
+        h = generators.random_hypergraph(5, 4, 4, seed=seed)
+        q = generators.random_instance(h, 25, 3, seed=seed + 23)
+        assert_all_agree(q)
+
+    def test_paper_example_52(self):
+        q = generators.random_instance(queries.paper_example_52(), 50, 3, seed=1)
+        assert_all_agree(q)
+
+    def test_figure2(self):
+        q = generators.random_instance(queries.paper_figure2(), 50, 3, seed=2)
+        assert_all_agree(q)
+
+    def test_beyond_lw(self):
+        q = instances.beyond_lw_instance(13)
+        assert_all_agree(q)
+
+    def test_fd_fanout_plain(self):
+        q, _fds = instances.fd_fanout_instance(2, 8)
+        assert_all_agree(q, include=[arity_two_join])

@@ -1,0 +1,113 @@
+"""Tests for CSV I/O and the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import SchemaError
+from repro.io import load_database_csv, load_relation_csv, save_relation_csv
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def triangle_files(tmp_path):
+    (tmp_path / "R.csv").write_text("A,B\n0,1\n1,2\n2,0\n")
+    (tmp_path / "S.csv").write_text("B,C\n1,5\n2,6\n0,7\n")
+    (tmp_path / "T.csv").write_text("A,C\n0,5\n1,6\n2,7\n")
+    return [str(tmp_path / f"{n}.csv") for n in ("R", "S", "T")]
+
+
+class TestLoad:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("A,B\n1,2\n3,4\n")
+        rel = load_relation_csv(path)
+        assert rel.name == "R"
+        assert rel.attributes == ("A", "B")
+        assert set(rel.tuples) == {(1, 2), (3, 4)}
+
+    def test_auto_types_int(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("A\n1\n2\n")
+        rel = load_relation_csv(path)
+        assert all(isinstance(row[0], int) for row in rel.tuples)
+
+    def test_auto_types_string(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("A,B\n1,x\n2,y\n")
+        rel = load_relation_csv(path)
+        assert set(rel.tuples) == {(1, "x"), (2, "y")}
+
+    def test_type_override(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("A\n1\n2\n")
+        rel = load_relation_csv(path, types={"A": str})
+        assert set(rel.tuples) == {("1",), ("2",)}
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("A\n1\n")
+        assert load_relation_csv(path, name="Mine").name == "Mine"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("A,B\n1\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_load_database(self, triangle_files):
+        relations = load_database_csv(triangle_files)
+        assert [r.name for r in relations] == ["R", "S", "T"]
+
+
+class TestSaveRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        rel = Relation("R", ("A", "B"), [(1, 2), (3, 4), (5, 6)])
+        path = tmp_path / "out.csv"
+        save_relation_csv(rel, path)
+        again = load_relation_csv(path, name="R")
+        assert again == rel
+
+    def test_deterministic_output(self, tmp_path):
+        rel = Relation("R", ("A",), [(3,), (1,), (2,)])
+        p1, p2 = tmp_path / "a.csv", tmp_path / "b.csv"
+        save_relation_csv(rel, p1)
+        save_relation_csv(rel, p2)
+        assert p1.read_text() == p2.read_text()
+
+
+class TestCLI:
+    def test_join_stdout(self, triangle_files, capsys):
+        assert main(["join", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "A,B,C" in out
+        assert "0,1,5" in out
+
+    def test_join_output_file(self, triangle_files, tmp_path, capsys):
+        out_path = tmp_path / "result.csv"
+        assert main(["join", *triangle_files, "-o", str(out_path)]) == 0
+        result = load_relation_csv(out_path, name="J")
+        assert len(result) == 3
+
+    @pytest.mark.parametrize("algorithm", ["nprr", "lw", "generic"])
+    def test_join_algorithms(self, triangle_files, capsys, algorithm):
+        assert main(["join", *triangle_files, "--algorithm", algorithm]) == 0
+        assert "0,1,5" in capsys.readouterr().out
+
+    def test_bound(self, triangle_files, capsys):
+        assert main(["bound", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "AGM bound: 5.196" in out
+        assert "x[R] = 1/2" in out
+        assert "certified worst case" in out
+
+    def test_explain(self, triangle_files, capsys):
+        assert main(["explain", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "total order:" in out
+        assert "anchor=T" in out

@@ -1,0 +1,96 @@
+"""Tests for the utility helpers and the exception hierarchy."""
+
+import time
+
+import pytest
+
+from repro import errors
+from repro.utils.tables import format_cell, format_table, print_table
+from repro.utils.timing import Stopwatch, best_of, timed
+
+
+class TestErrorsHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SchemaError,
+            errors.DatabaseError,
+            errors.QueryError,
+            errors.CoverError,
+            errors.LinearProgramError,
+            errors.FunctionalDependencyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_lp_subtypes(self):
+        assert issubclass(
+            errors.InfeasibleProgramError, errors.LinearProgramError
+        )
+        assert issubclass(
+            errors.UnboundedProgramError, errors.LinearProgramError
+        )
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QueryError("boom")
+
+
+class TestTiming:
+    def test_timed_returns_result(self):
+        measurement = timed(lambda: 42)
+        assert measurement.result == 42
+        assert measurement.seconds >= 0
+
+    def test_best_of_keeps_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(None)
+            time.sleep(0.001)
+            return len(calls)
+
+        measurement = best_of(fn, repeats=3)
+        assert len(calls) == 3
+        assert measurement.seconds >= 0.001
+
+    def test_best_of_at_least_one(self):
+        measurement = best_of(lambda: "x", repeats=0)
+        assert measurement.result == "x"
+
+    def test_stopwatch(self):
+        with Stopwatch() as sw:
+            time.sleep(0.001)
+        assert sw.seconds >= 0.001
+
+
+class TestTables:
+    def test_format_cell_float(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1e9) == "1.000e+09"
+        assert format_cell(1e-6) == "1.000e-06"
+
+    def test_format_cell_other(self):
+        assert format_cell(12) == "12"
+        assert format_cell(True) == "True"
+        assert format_cell("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"), [("a", 1), ("long-name", 100)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "long-name" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+    def test_print_table(self, capsys):
+        print_table(("x",), [(1,)], title="demo")
+        out = capsys.readouterr().out
+        assert "demo" in out and "1" in out

@@ -1,0 +1,80 @@
+"""Tests for the random generators (determinism + shape)."""
+
+import random
+
+import pytest
+
+from repro.workloads import generators, queries
+
+
+class TestRandomRelation:
+    def test_deterministic(self):
+        a = generators.random_relation("R", ("A", "B"), 30, 5, random.Random(1))
+        b = generators.random_relation("R", ("A", "B"), 30, 5, random.Random(1))
+        assert a == b
+
+    def test_size_cap(self):
+        rel = generators.random_relation("R", ("A",), 100, 3, random.Random(0))
+        assert len(rel) <= 3
+
+    def test_domain_respected(self):
+        rel = generators.random_relation("R", ("A", "B"), 50, 4, random.Random(2))
+        for row in rel.tuples:
+            assert all(0 <= v < 4 for v in row)
+
+
+class TestZipfRelation:
+    def test_skew_shape(self):
+        rng = random.Random(3)
+        rel = generators.zipf_relation("R", ("A", "B"), 400, 50, rng, exponent=1.5)
+        counts = {}
+        for row in rel.tuples:
+            counts[row[0]] = counts.get(row[0], 0) + 1
+        assert counts.get(0, 0) >= counts.get(40, 0)
+
+
+class TestRandomInstance:
+    def test_deterministic(self):
+        a = generators.random_instance(queries.triangle(), 30, 5, seed=4)
+        b = generators.random_instance(queries.triangle(), 30, 5, seed=4)
+        assert a.relation("R") == b.relation("R")
+
+    def test_schemas_match_hypergraph(self):
+        q = generators.random_instance(queries.paper_figure2(), 20, 3, seed=5)
+        for eid in q.edge_ids:
+            assert q.relation(eid).attribute_set == q.hypergraph.edges[eid]
+
+    def test_skewed_variant(self):
+        q = generators.random_instance(
+            queries.triangle(), 40, 10, seed=6, skew=1.3
+        )
+        assert len(q) == 3
+
+
+class TestRandomHypergraph:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_coverable(self, seed):
+        h = generators.random_hypergraph(6, 4, 3, seed=seed)
+        assert h.covers_vertices()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_respects_max_arity(self, seed):
+        h = generators.random_hypergraph(6, 5, 2, seed=seed)
+        assert all(len(e) <= 2 for e in h.edges.values())
+
+    def test_deterministic(self):
+        assert generators.random_hypergraph(5, 4, 3, seed=7) == (
+            generators.random_hypergraph(5, 4, 3, seed=7)
+        )
+
+
+class TestTripartite:
+    def test_shape(self):
+        q = generators.tripartite_triangle_instance(20, 60, seed=1)
+        assert q.edge_ids == ("R", "S", "T")
+        assert len(q.relation("R")) == 60
+
+    def test_hub_adds_skew(self):
+        plain = generators.tripartite_triangle_instance(20, 30, seed=2)
+        hubbed = generators.tripartite_triangle_instance(20, 30, seed=2, hub=True)
+        assert len(hubbed.relation("R")) > len(plain.relation("R"))

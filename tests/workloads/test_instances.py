@@ -1,0 +1,172 @@
+"""Tests that the paper's instance families have their claimed properties."""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.nprr import nprr_join
+from repro.errors import QueryError
+from repro.workloads import instances, queries
+
+
+class TestExample22:
+    @pytest.mark.parametrize("n", [4, 10, 20, 40])
+    def test_sizes(self, n):
+        q = instances.triangle_hard_instance(n)
+        assert q.sizes() == {"R": n, "S": n, "T": n}
+
+    @pytest.mark.parametrize("n", [4, 10, 20])
+    def test_pairwise_join_sizes(self, n):
+        """|R join S| = N^2/4 + N/2, for every pair (Example 2.2 (2))."""
+        q = instances.triangle_hard_instance(n)
+        expected = n * n // 4 + n // 2
+        assert len(q.relation("R").natural_join(q.relation("S"))) == expected
+        assert len(q.relation("S").natural_join(q.relation("T"))) == expected
+        assert len(q.relation("R").natural_join(q.relation("T"))) == expected
+
+    @pytest.mark.parametrize("n", [4, 10, 20])
+    def test_triangle_join_empty(self, n):
+        """|R join S join T| = 0 (Example 2.2 (3))."""
+        q = instances.triangle_hard_instance(n)
+        assert naive_join(q).is_empty()
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(QueryError):
+            instances.triangle_hard_instance(7)
+
+
+class TestLWHard:
+    @pytest.mark.parametrize("n,size", [(3, 13), (4, 16), (5, 21)])
+    def test_realized_sizes(self, n, size):
+        q = instances.lw_hard_instance(n, size)
+        m = max(1, (size - 1) // (n - 1))
+        expected = 1 + (n - 1) * m
+        for eid in q.edge_ids:
+            assert len(q.relation(eid)) == expected
+
+    def test_simple_relation_structure(self):
+        """Every tuple has at most one non-zero coordinate."""
+        q = instances.lw_hard_instance(4, 13)
+        for relation in q.relations.values():
+            for row in relation.tuples:
+                assert sum(1 for v in row if v != 0) <= 1
+
+    def test_join_size_formula(self):
+        """|join| = N + (N-1)/(n-1) with the realized sizes (Lemma 6.1)."""
+        n, size = 3, 21
+        q = instances.lw_hard_instance(n, size)
+        m = (size - 1) // (n - 1)
+        realized = 1 + (n - 1) * m
+        out = naive_join(q)
+        assert len(out) == realized + m
+
+    def test_pairwise_joins_blow_up(self):
+        """Joining two simple relations with incomparable attribute sets
+        yields Omega(N^2/n^2) tuples (the lower-bound engine)."""
+        n, size = 3, 31
+        q = instances.lw_hard_instance(n, size)
+        m = (size - 1) // (n - 1)
+        pair = q.relation("R1").natural_join(q.relation("R2"))
+        assert len(pair) >= (1 + m) ** 2
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(QueryError):
+            instances.lw_hard_instance(2, 10)
+
+
+class TestBeyondLW:
+    def test_schema(self):
+        q = instances.beyond_lw_instance(13)
+        assert set(q.attributes) == {"A", "B", "C", "D"}
+        for relation in q.relations.values():
+            assert "D" in relation.attribute_set
+
+    def test_padding_constant(self):
+        q = instances.beyond_lw_instance(13, padding_value=-7)
+        for relation in q.relations.values():
+            d_pos = relation.position("D")
+            assert all(row[d_pos] == -7 for row in relation.tuples)
+
+    def test_join_matches_lw_core(self):
+        """Projecting D away recovers the Lemma 6.1 join."""
+        size = 13
+        lifted = instances.beyond_lw_instance(size)
+        core = instances.lw_hard_instance(3, size)
+        lifted_join = naive_join(lifted).project(("A", "B", "C"))
+        core_join = naive_join(core).rename(
+            {"A1": "A", "A2": "B", "A3": "C"}
+        )
+        assert lifted_join.equivalent(core_join)
+
+
+class TestGrid:
+    def test_sizes(self):
+        q = instances.grid_instance(queries.triangle(), 5)
+        assert all(size == 25 for size in q.sizes().values())
+
+    def test_join_is_full_grid(self):
+        q = instances.grid_instance(queries.triangle(), 3)
+        assert len(nprr_join(q)) == 27
+
+    def test_lw_grid_tight(self):
+        """Output = side^n = (side^{n-1})^{n/(n-1)} = AGM bound exactly."""
+        side, n = 3, 4
+        q = instances.grid_instance(queries.lw_query(n), side)
+        out = nprr_join(q)
+        assert len(out) == side**n
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(QueryError):
+            instances.grid_instance(queries.triangle(), 0)
+
+
+class TestRelaxedLowerBound:
+    def test_shapes(self):
+        q = instances.relaxed_lower_bound_instance(3, 5)
+        assert q.sizes() == {"E1": 5, "E2": 5, "E3": 5, "E4": 5}
+        assert len(q.relation("E4").attributes) == 3
+
+    def test_heavy_relation_disjoint_domain(self):
+        q = instances.relaxed_lower_bound_instance(3, 5)
+        heavy = q.relation("E4")
+        light_values = {v for (v,) in q.relation("E1").tuples}
+        for row in heavy.tuples:
+            assert set(row).isdisjoint(light_values)
+
+    def test_plain_join_empty(self):
+        q = instances.relaxed_lower_bound_instance(3, 4)
+        assert nprr_join(q).is_empty()
+
+
+class TestFDFanout:
+    def test_shapes(self):
+        query, fds = instances.fd_fanout_instance(3, 7)
+        assert len(fds) == 3
+        assert query.sizes()["R1"] == 7
+        assert query.sizes()["S2"] == 7
+
+    def test_join_size(self):
+        query, _fds = instances.fd_fanout_instance(2, 6)
+        assert len(naive_join(query)) == 6
+
+    def test_half_join_explodes(self):
+        """join_i S_i alone has N^k tuples (the paper's bad ordering)."""
+        k, size = 2, 6
+        query, _fds = instances.fd_fanout_instance(k, size)
+        half = query.relation("S1").natural_join(query.relation("S2"))
+        assert len(half) == size**k
+
+
+class TestCycleHard:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_sizes(self, k):
+        q = instances.cycle_hard_instance(k, 12)
+        assert all(size == 12 for size in q.sizes().values())
+
+    def test_pairwise_blowup(self):
+        q = instances.cycle_hard_instance(4, 20)
+        pair = q.relation("R1").natural_join(q.relation("R2"))
+        assert len(pair) >= 100
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(QueryError):
+            instances.cycle_hard_instance(4, 9)

@@ -1,0 +1,91 @@
+"""Tests for the named query builders."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads import queries
+
+
+class TestShapes:
+    def test_triangle(self):
+        h = queries.triangle()
+        assert h.is_lw_instance()
+        assert h.is_graph()
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_lw(self, n):
+        h = queries.lw_query(n)
+        assert h.is_lw_instance()
+        assert len(h) == n
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_cycle(self, k):
+        h = queries.cycle_query(k)
+        assert h.is_graph()
+        assert h.is_cycle() is not None
+
+    def test_cycle_too_small(self):
+        with pytest.raises(QueryError):
+            queries.cycle_query(1)
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_path(self, k):
+        h = queries.path_query(k)
+        assert h.is_graph()
+        assert h.is_cycle() is None
+        assert len(h) == k
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_star(self, k):
+        h = queries.star_query(k)
+        if k == 1:
+            # A single edge is a star with either endpoint as its center.
+            assert h.is_star() in ("Hub", "A1")
+        else:
+            assert h.is_star() == "Hub"
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_clique(self, k):
+        h = queries.clique_query(k)
+        assert len(h) == k * (k - 1) // 2
+        assert h.is_graph()
+
+    def test_fd_fanout(self):
+        h = queries.fd_fanout_query(3)
+        assert len(h) == 6
+        assert h.is_graph()
+
+    def test_relaxed_lower_bound(self):
+        h = queries.relaxed_lower_bound_query(3)
+        assert len(h) == 4
+        assert len(h.edges["E4"]) == 3
+
+
+class TestPaperQueries:
+    def test_example_52_incidence(self):
+        """The edges match the paper's incidence matrix M exactly."""
+        h = queries.paper_example_52()
+        assert h.edge("a") == frozenset("1245")
+        assert h.edge("b") == frozenset("1346")
+        assert h.edge("c") == frozenset("123")
+        assert h.edge("d") == frozenset("246")
+        assert h.edge("e") == frozenset("356")
+        assert h.edge_ids == ("a", "b", "c", "d", "e")
+
+    def test_figure2_schemas(self):
+        h = queries.paper_figure2()
+        assert h.edge("R1") == frozenset({"A1", "A2", "A4", "A5"})
+        assert h.edge("R5") == frozenset({"A3", "A5", "A6"})
+
+    def test_beyond_lw_conditions(self):
+        """The three Lemma 6.3 conditions for U = {A,B,C}, F = E."""
+        h = queries.beyond_lw_query()
+        u = {"A", "B", "C"}
+        # (1) every u in U occurs in exactly |U| - 1 = 2 edges of F.
+        for vertex in u:
+            assert h.degree(vertex) == 2
+        # (2) the U-relevant vertex D appears in >= 2 edges.
+        assert h.degree("D") == 3
+        # (3) no U-troublesome attribute: no edge contains all of U.
+        for edge in h.edges.values():
+            assert not u <= edge

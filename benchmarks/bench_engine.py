@@ -1,0 +1,167 @@
+"""Engine benchmark: planner order, backends, and the shared index cache.
+
+Emits ``benchmarks/BENCH_engine.json`` with three comparisons on the
+triangle and Loomis-Whitney workloads:
+
+* ``order``   — default (query) attribute order vs the planner's
+  most-selective-first order, for Generic Join and Leapfrog;
+* ``backend`` — hash-trie vs sorted flat-array indexes for Generic Join;
+* ``cache``   — repeated-query latency with a shared ``Database`` index
+  cache: the first run pays the index build (sort / trie construction),
+  the second must not rebuild (``cold`` vs ``warm`` seconds, plus the
+  cache-entry counts proving no second build happened).
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_engine.py``) or
+with ``--smoke`` for the CI-sized instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.core.generic_join import GenericJoin
+from repro.core.leapfrog import LeapfrogTriejoin
+from repro.engine.planner import plan_join
+from repro.relations.database import Database
+from repro.utils.timing import best_of, timed
+from repro.workloads import generators, queries
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+
+def _workloads(scale: int) -> list[tuple[str, object]]:
+    """The two ISSUE workloads: triangle and LW(4).
+
+    Sparse instances (domain grows with size) keep outputs small, so the
+    repeated-query comparison isolates index-build cost — the thing the
+    shared cache eliminates — from enumeration cost.
+    """
+    triangle = generators.random_instance(
+        queries.triangle(), 1500 * scale, 120 * scale, seed=13
+    )
+    lw4 = generators.random_instance(
+        queries.lw_query(4), 400 * scale, 8 * scale, seed=14
+    )
+    return [("triangle", triangle), ("lw4", lw4)]
+
+
+def bench_order(query, repeats: int) -> dict:
+    """Default-order vs planner-order executors (fresh indexes each)."""
+    planned = plan_join(query, "generic").attribute_order
+    out = {"planned_order": list(planned)}
+    for label, order in (
+        ("default", query.attributes),
+        ("planner", planned),
+    ):
+        gj = best_of(
+            lambda order=order: GenericJoin(
+                query, attribute_order=order
+            ).execute(),
+            repeats,
+        )
+        lf = best_of(
+            lambda order=order: LeapfrogTriejoin(
+                query, attribute_order=order
+            ).execute(),
+            repeats,
+        )
+        out[label] = {
+            "generic_seconds": gj.seconds,
+            "leapfrog_seconds": lf.seconds,
+        }
+    return out
+
+
+def bench_backend(query, repeats: int) -> dict:
+    """Dict-trie vs sorted-array backends for Generic Join."""
+    out = {}
+    for backend in ("trie", "sorted"):
+        run = best_of(
+            lambda backend=backend: GenericJoin(
+                query, backend=backend
+            ).execute(),
+            repeats,
+        )
+        out[backend] = {"generic_seconds": run.seconds}
+    return out
+
+
+def bench_cache(query) -> dict:
+    """Cold vs warm repeated-query latency through the Database cache.
+
+    The warm run reuses cached indexes, so it must not re-sort
+    (leapfrog) or rebuild tries (generic): cache-entry counts before and
+    after the second run are equal.
+    """
+    out = {}
+    for label, factory, kind in (
+        (
+            "leapfrog",
+            lambda db: LeapfrogTriejoin(query, database=db),
+            "sorted",
+        ),
+        ("generic", lambda db: GenericJoin(query, database=db), "trie"),
+    ):
+        db = Database(list(query.relations.values()))
+        cold = timed(lambda: factory(db).execute())
+        entries_after_cold = db.cached_index_count(kind)
+        warm = timed(lambda: factory(db).execute())
+        entries_after_warm = db.cached_index_count(kind)
+        out[label] = {
+            "cold_seconds": cold.seconds,
+            "warm_seconds": warm.seconds,
+            "speedup": cold.seconds / warm.seconds if warm.seconds else None,
+            "cache_entries_after_cold": entries_after_cold,
+            "cache_entries_after_warm": entries_after_warm,
+            "rebuilt_on_second_run": entries_after_warm != entries_after_cold,
+        }
+    return out
+
+
+def run(scale: int, repeats: int) -> dict:
+    results: dict = {"scale": scale, "workloads": {}}
+    for name, query in _workloads(scale):
+        results["workloads"][name] = {
+            "sizes": query.sizes(),
+            "order": bench_order(query, repeats),
+            "backend": bench_backend(query, repeats),
+            "cache": bench_cache(query),
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized instances"
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(RESULT_PATH), help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+    scale = 1 if args.smoke else 4
+    repeats = 1 if args.smoke else 3
+    results = run(scale, repeats)
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"engine benchmark -> {path}")
+    for name, data in results["workloads"].items():
+        cache = data["cache"]
+        print(
+            f"  {name}: leapfrog cold {cache['leapfrog']['cold_seconds']:.4f}s"
+            f" / warm {cache['leapfrog']['warm_seconds']:.4f}s,"
+            f" generic cold {cache['generic']['cold_seconds']:.4f}s"
+            f" / warm {cache['generic']['warm_seconds']:.4f}s"
+        )
+        for label in ("leapfrog", "generic"):
+            if cache[label]["rebuilt_on_second_run"]:
+                print(f"  WARNING: {label} rebuilt indexes on the warm run")
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,14 @@ triangle query R(A,B) * S(B,C) * T(A,C):
 1. build relations and a join query;
 2. compute the AGM output-size bound;
 3. run the worst-case optimal join (and the specialists);
-4. see why this matters: the Example 2.2 instance where every classical
+4. stream rows with iter_join and inspect the engine's plan with explain;
+5. see why this matters: the Example 2.2 instance where every classical
    binary plan does quadratic work while NPRR stays linear.
 
 Run:  python examples/quickstart.py
 """
 
+import itertools
 import time
 
 from repro import (
@@ -20,6 +22,8 @@ from repro import (
     JoinQuery,
     NPRRJoin,
     Relation,
+    explain,
+    iter_join,
     join,
     output_bound,
 )
@@ -78,7 +82,23 @@ def main() -> None:
     print(f"NPRR statistics: {executor.stats.as_dict()}")
 
     # ------------------------------------------------------------------
-    # 4. Why worst-case optimal?  Example 2.2's instance: all pairwise
+    # 4. The streaming engine: iter_join yields rows as the search finds
+    #    them (take two and stop — nothing else is computed; generic and
+    #    leapfrog are fully lazy, the shape specialists wrap execute()),
+    #    and explain shows the plan the engine chose without running it.
+    # ------------------------------------------------------------------
+    first_two = list(
+        itertools.islice(
+            iter_join([follows, mentions, likes], algorithm="generic"), 2
+        )
+    )
+    print(f"\nFirst two streamed rows: {first_two}")
+    plan = explain([follows, mentions, likes], algorithm="leapfrog")
+    print("\nEngine plan for --algorithm leapfrog:")
+    print(plan.describe())
+
+    # ------------------------------------------------------------------
+    # 5. Why worst-case optimal?  Example 2.2's instance: all pairwise
     #    joins have ~N^2/4 tuples, the triangle join is empty.
     # ------------------------------------------------------------------
     n = 2000

@@ -10,16 +10,19 @@ baselines the paper compares against and two successor WCOJ algorithms
 
 Quickstart::
 
-    from repro import Relation, join, output_bound
+    from repro import Relation, explain, iter_join, join, output_bound
 
     r = Relation("R", ("A", "B"), [(0, 1), (1, 2)])
     s = Relation("S", ("B", "C"), [(1, 5), (2, 6)])
     t = Relation("T", ("A", "C"), [(0, 5), (1, 6)])
     print(join([r, s, t]))          # worst-case optimal triangle join
     print(output_bound([r, s, t]))  # the AGM bound 2^(3/2)
+    for row in iter_join([r, s, t]):
+        print(row)                  # streamed, no materialization
+    print(explain([r, s, t]).describe())  # the engine's join plan
 """
 
-from repro.api import ALGORITHMS, join, output_bound
+from repro.api import ALGORITHMS, explain, iter_join, join, output_bound
 from repro.core import (
     ArityTwoJoin,
     Atom,
@@ -44,6 +47,12 @@ from repro.core import (
     relaxed_join,
     triangle_join,
 )
+from repro.engine import (
+    IndexBackend,
+    JoinPlan,
+    plan_attribute_order,
+    plan_join,
+)
 from repro.errors import (
     CoverError,
     DatabaseError,
@@ -64,7 +73,12 @@ from repro.hypergraph import (
     verify_bt,
     verify_lw,
 )
-from repro.relations import Database, Relation, TrieIndex
+from repro.relations import (
+    Database,
+    Relation,
+    SortedArrayIndex,
+    TrieIndex,
+)
 
 __version__ = "1.0.0"
 
@@ -82,6 +96,8 @@ __all__ = [
     "FunctionalDependencyError",
     "GenericJoin",
     "Hypergraph",
+    "IndexBackend",
+    "JoinPlan",
     "JoinQuery",
     "LWJoin",
     "LeapfrogTriejoin",
@@ -93,14 +109,17 @@ __all__ = [
     "RelaxedJoin",
     "ReproError",
     "SchemaError",
+    "SortedArrayIndex",
     "TrieIndex",
     "Var",
     "agm_bound",
     "arity_two_join",
     "best_agm_bound",
+    "explain",
     "fd_aware_bound",
     "fd_aware_join",
     "generic_join",
+    "iter_join",
     "join",
     "leapfrog_join",
     "lw_hypergraph",
@@ -108,6 +127,8 @@ __all__ = [
     "nprr_join",
     "optimal_fractional_cover",
     "output_bound",
+    "plan_attribute_order",
+    "plan_join",
     "relaxed_join",
     "tighten_cover",
     "triangle_join",

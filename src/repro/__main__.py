@@ -3,14 +3,18 @@
 Usage::
 
     python -m repro join R.csv S.csv T.csv [--algorithm nprr] [-o out.csv]
+    python -m repro join R.csv S.csv T.csv --stream
     python -m repro bound R.csv S.csv T.csv
-    python -m repro explain R.csv S.csv T.csv
+    python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
 
-* ``join``    — compute the natural join (attributes join by column name)
+* ``join``    — compute the natural join (attributes join by column name);
+                with ``--stream``, rows are printed as the engine finds
+                them instead of being materialized and sorted
 * ``bound``   — print the AGM output bound, the optimal fractional cover,
                 and the dual packing certificate
-* ``explain`` — print the query-plan tree and total order Algorithm 2
-                would use
+* ``explain`` — print the engine's join plan (algorithm, attribute order,
+                index backend, AGM estimate) plus the query-plan tree and
+                total order Algorithm 2 would use
 
 Each CSV needs a header row of attribute names; the file stem is the
 relation name.
@@ -21,9 +25,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import ALGORITHMS, join
+from repro.api import ALGORITHMS, explain, iter_join, join
 from repro.core.qptree import QPTree
 from repro.core.query import JoinQuery
+from repro.engine.backends import backend_kinds
 from repro.hypergraph.agm import agm_bound, optimal_fractional_cover
 from repro.hypergraph.duality import optimal_vertex_packing, packing_lower_bound
 from repro.io import load_database_csv, save_relation_csv
@@ -46,6 +51,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="join algorithm (default: auto)",
     )
     join_cmd.add_argument(
+        "--backend",
+        choices=backend_kinds(),
+        default=None,
+        help="index backend (default: planner's choice)",
+    )
+    join_cmd.add_argument(
+        "--stream",
+        action="store_true",
+        help="print rows as the engine yields them (no materialization)",
+    )
+    join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
     )
 
@@ -55,9 +71,21 @@ def _build_parser() -> argparse.ArgumentParser:
     bound_cmd.add_argument("files", nargs="+")
 
     explain_cmd = commands.add_parser(
-        "explain", help="print Algorithm 2's query-plan tree"
+        "explain", help="print the engine's join plan"
     )
     explain_cmd.add_argument("files", nargs="+")
+    explain_cmd.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="plan for this algorithm (default: auto)",
+    )
+    explain_cmd.add_argument(
+        "--backend",
+        choices=backend_kinds(),
+        default=None,
+        help="plan with this index backend (default: planner's choice)",
+    )
 
     return parser
 
@@ -68,13 +96,34 @@ def _load_query(files: list[str]) -> JoinQuery:
 
 def _cmd_join(args: argparse.Namespace) -> int:
     query = _load_query(args.files)
-    result = join(query, algorithm=args.algorithm)
+    if args.stream:
+        return _stream_join(query, args)
+    result = join(query, algorithm=args.algorithm, backend=args.backend)
     if args.output:
         save_relation_csv(result, args.output)
         print(f"{len(result)} tuples -> {args.output}")
     else:
         print(",".join(result.attributes))
         for row in sorted(result.tuples, key=repr):
+            print(",".join(str(v) for v in row))
+    return 0
+
+
+def _stream_join(query: JoinQuery, args: argparse.Namespace) -> int:
+    """End-to-end streaming: rows leave the process as they are found."""
+    rows = iter_join(query, algorithm=args.algorithm, backend=args.backend)
+    header = ",".join(query.attributes)
+    if args.output:
+        count = 0
+        with open(args.output, "w", encoding="utf-8", newline="") as sink:
+            sink.write(header + "\n")
+            for row in rows:
+                sink.write(",".join(str(v) for v in row) + "\n")
+                count += 1
+        print(f"{count} tuples -> {args.output}")
+    else:
+        print(header)
+        for row in rows:
             print(",".join(str(v) for v in row))
     return 0
 
@@ -99,6 +148,10 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     query = _load_query(args.files)
+    plan = explain(query, algorithm=args.algorithm, backend=args.backend)
+    print(plan.describe())
+    print()
+    print("Algorithm 2 query-plan tree (for --algorithm nprr):")
     tree = QPTree(query.hypergraph)
     print(tree.render())
     return 0

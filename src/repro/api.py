@@ -6,25 +6,47 @@
 >>> t = Relation("T", ("A", "C"), [(1, 9), (2, 7)])
 >>> sorted(join([r, s, t]).tuples)
 [(1, 2, 9), (2, 3, 7)]
+
+Every call routes through the engine (:mod:`repro.engine`): the planner
+resolves ``"auto"`` to a concrete algorithm, picks an attribute order and
+an index backend, and the executor registry runs the plan.  Use
+:func:`iter_join` to stream rows without materializing the result,
+:func:`explain` to inspect the plan without running it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
-from repro.core.arity_two import ArityTwoJoin
-from repro.core.generic_join import GenericJoin
-from repro.core.leapfrog import LeapfrogTriejoin
-from repro.core.lw import LWJoin
-from repro.core.nprr import NPRRJoin
 from repro.core.query import JoinQuery
+from repro.engine.executors import algorithm_names
+from repro.engine.planner import JoinPlan, plan_join
 from repro.errors import QueryError
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
-from repro.relations.relation import Relation
+from repro.relations.database import Database
+from repro.relations.relation import Relation, Row
 
-#: Algorithms selectable by name in :func:`join`.
-ALGORITHMS = ("nprr", "lw", "generic", "leapfrog", "arity2", "auto")
+#: Algorithms selectable by name in :func:`join`.  Derived from the
+#: engine's executor registry — the single source of truth shared with
+#: the CLI's ``--algorithm`` choices.
+ALGORITHMS = algorithm_names()
+
+
+def _as_query(relations: Sequence[Relation] | JoinQuery) -> JoinQuery:
+    return (
+        relations
+        if isinstance(relations, JoinQuery)
+        else JoinQuery(list(relations))
+    )
+
+
+def _check_algorithm(algorithm: str) -> None:
+    """Reject unknown algorithm names before any planning or index work."""
+    if algorithm not in ALGORITHMS:
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+        )
 
 
 def join(
@@ -32,6 +54,9 @@ def join(
     algorithm: str = "auto",
     cover: FractionalCover | None = None,
     name: str = "J",
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    database: Database | None = None,
 ) -> Relation:
     """Compute the natural join of ``relations``, worst-case optimally.
 
@@ -44,36 +69,80 @@ def join(
         * ``"lw"`` — Algorithm 1 (Loomis-Whitney instances only);
         * ``"generic"`` / ``"leapfrog"`` — the extension WCOJ algorithms;
         * ``"arity2"`` — Theorem 7.3's algorithm (arity <= 2 only);
-        * ``"auto"`` — pick a specialist when the query shape allows,
-          otherwise Algorithm 2.
+        * ``"auto"`` — let the planner pick a specialist when the query
+          shape allows, with a cost-based attribute order otherwise.
     cover:
         Optional fractional edge cover (defaults to the LP optimum).  Only
         consulted by the cover-driven algorithms (``nprr``, ``arity2``).
+    attribute_order:
+        Optional global variable order for the order-sensitive algorithms;
+        by default the planner chooses one from data statistics.
+    backend:
+        Optional index backend kind (``"trie"`` or ``"sorted"``).
+    database:
+        Optional catalog whose index cache should be used (Remark 5.2's
+        ahead-of-time indexing) — repeated queries then skip index builds.
     """
-    query = (
-        relations
-        if isinstance(relations, JoinQuery)
-        else JoinQuery(list(relations))
+    _check_algorithm(algorithm)
+    plan = plan_join(
+        _as_query(relations),
+        algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
     )
-    if algorithm == "auto":
-        if query.is_lw_instance() and cover is None:
-            algorithm = "lw"
-        elif query.hypergraph.is_graph() and cover is None:
-            algorithm = "arity2"
-        else:
-            algorithm = "nprr"
-    if algorithm == "nprr":
-        return NPRRJoin(query, cover=cover).execute(name)
-    if algorithm == "lw":
-        return LWJoin(query).execute(name)
-    if algorithm == "generic":
-        return GenericJoin(query).execute(name)
-    if algorithm == "leapfrog":
-        return LeapfrogTriejoin(query).execute(name)
-    if algorithm == "arity2":
-        return ArityTwoJoin(query, cover=cover).execute(name)
-    raise QueryError(
-        f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+    return plan.execute(name, database=database)
+
+
+def iter_join(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    database: Database | None = None,
+) -> Iterator[Row]:
+    """Stream the natural join of ``relations`` row by row.
+
+    Yields tuples aligned with the query's attribute order (the schema
+    :func:`join` would return) as soon as each is found.  The
+    attribute-at-a-time executors (``nprr``, ``generic``, ``leapfrog``)
+    never materialize the output, so the first rows arrive while the
+    search is still running and consumers may stop early; the blocking
+    specialists (``lw``, ``arity2``) compute internally and then stream.
+    """
+    _check_algorithm(algorithm)
+    plan = plan_join(
+        _as_query(relations),
+        algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+    )
+    return plan.iter_rows(database=database)
+
+
+def explain(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+) -> JoinPlan:
+    """Plan the join without running it.
+
+    Returns the engine's :class:`~repro.engine.planner.JoinPlan` — chosen
+    algorithm, attribute order, index backend, and the AGM output bound —
+    for inspection (``plan.describe()``) or later execution
+    (``plan.execute()`` / ``plan.iter_rows()``).
+    """
+    _check_algorithm(algorithm)
+    return plan_join(
+        _as_query(relations),
+        algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
     )
 
 
@@ -81,10 +150,6 @@ def output_bound(
     relations: Sequence[Relation] | JoinQuery,
 ) -> float:
     """The tightest AGM bound for the query given its relation sizes."""
-    query = (
-        relations
-        if isinstance(relations, JoinQuery)
-        else JoinQuery(list(relations))
-    )
+    query = _as_query(relations)
     _cover, bound = best_agm_bound(query.hypergraph, query.sizes())
     return bound

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.lw import triangle_join
 from repro.core.query import JoinQuery
@@ -34,7 +34,7 @@ from repro.errors import QueryError
 from repro.hypergraph.agm import optimal_fractional_cover
 from repro.hypergraph.covers import FractionalCover
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, Row
 
 
 def is_half_integral(cover: FractionalCover) -> bool:
@@ -155,6 +155,16 @@ class ArityTwoJoin:
             result.with_name(name)
             .reorder(query.attributes)
         )
+
+    def iter_join(self) -> Iterator[Row]:
+        """Yield the join's rows in the query's attribute order.
+
+        The decomposition join materializes its component results (cross
+        products and semijoin filters are set-at-a-time), so this wraps
+        :meth:`execute` for interface parity with the engine's streaming
+        executors.
+        """
+        yield from self.execute().tuples
 
     def bound(self) -> float:
         """The AGM bound ``prod_e N_e^{x_e}`` under the chosen cover."""

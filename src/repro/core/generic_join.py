@@ -13,21 +13,23 @@ We include it (and Leapfrog Triejoin) because the paper's stated future
 work is to implement and compare these ideas; the benchmark harness uses
 them as independently-implemented cross-checks for NPRR.
 
-The implementation reuses :class:`~repro.relations.trie.TrieIndex`: each
-relation's trie follows the global attribute order, so "the set of values
-extending the prefix" is exactly the child key-set of the relation's
-current trie node.
+The executor is *backend generic*: it talks to its per-relation indexes
+only through the :class:`~repro.engine.backends.IndexBackend` protocol
+(``items`` / ``child`` / ``fanout``), so "the set of values extending the
+prefix" is the child key-set of the relation's current index node whether
+the index is a hash trie or a sorted flat array.  :meth:`GenericJoin.iter_join`
+streams result rows one at a time; :meth:`GenericJoin.execute` is the thin
+materializing wrapper.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
-from repro.relations.database import Database
+from repro.relations.database import DEFAULT_BACKEND, Database, build_index
 from repro.relations.relation import Relation, Row
-from repro.relations.trie import TrieIndex, TrieNode
 
 
 class GenericJoin:
@@ -40,9 +42,13 @@ class GenericJoin:
     attribute_order:
         Global variable order; defaults to the query's attribute order.
         Any order is worst-case optimal; orders that put selective
-        attributes first are faster in practice.
+        attributes first are faster in practice (see
+        :mod:`repro.engine.planner`).
     database:
-        Optional catalog supplying cached tries.
+        Optional catalog supplying cached indexes.
+    backend:
+        Index backend kind (``"trie"`` or ``"sorted"``, see
+        :data:`repro.relations.database.INDEX_BACKENDS`).
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class GenericJoin:
         query: JoinQuery,
         attribute_order: Sequence[str] | None = None,
         database: Database | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.query = query
         order = (
@@ -65,48 +72,56 @@ class GenericJoin:
                 f"{query.attributes!r}"
             )
         self.order = order
+        self.backend = backend
         rank = {a: i for i, a in enumerate(order)}
-        self._tries: list[tuple[str, TrieIndex]] = []
+        self._indexes = []
         for eid in query.edge_ids:
             relation = query.relation(eid)
-            trie_order = tuple(
+            index_order = tuple(
                 sorted(relation.attributes, key=rank.__getitem__)
             )
             if database is not None:
-                trie = database.trie(eid, trie_order)
+                index = database.index(eid, index_order, backend)
             else:
-                trie = TrieIndex(relation, trie_order)
-            self._tries.append((eid, trie))
+                index = build_index(relation, index_order, backend)
+            self._indexes.append(index)
         # For each depth, which relations participate (contain the attr).
         self._participants: list[list[int]] = []
         for attribute in order:
             self._participants.append(
                 [
                     i
-                    for i, (eid, _t) in enumerate(self._tries)
+                    for i, eid in enumerate(query.edge_ids)
                     if attribute in query.relation(eid).attribute_set
                 ]
             )
+        # Permutation taking an order-aligned row to the query's schema.
+        self._output_perm = tuple(rank[a] for a in query.attributes)
+
+    def iter_join(self) -> Iterator[Row]:
+        """Stream the join's rows (query attribute order, no repeats).
+
+        Rows are yielded as soon as the search completes a full prefix —
+        nothing is materialized, so callers can stop early or pipeline the
+        output.
+        """
+        perm = self._output_perm
+        nodes = [index.root for index in self._indexes]
+        for row in self._search(0, nodes, []):
+            yield tuple(row[i] for i in perm)
 
     def execute(self, name: str = "J") -> Relation:
         """Run Generic Join; returns the join in query attribute order."""
-        rows: list[Row] = []
-        nodes: list[TrieNode | None] = [
-            trie.root for _eid, trie in self._tries
-        ]
-        prefix: list[object] = []
-        self._recurse(0, nodes, prefix, rows)
-        return Relation(name, self.order, rows).reorder(self.query.attributes)
+        return Relation(name, self.query.attributes, self.iter_join())
 
-    def _recurse(
+    def _search(
         self,
         depth: int,
-        nodes: list[TrieNode | None],
+        nodes: list[object],
         prefix: list[object],
-        out: list[Row],
-    ) -> None:
+    ) -> Iterator[Row]:
         if depth == len(self.order):
-            out.append(tuple(prefix))
+            yield tuple(prefix)
             return
         participants = self._participants[depth]
         if not participants:
@@ -114,21 +129,19 @@ class GenericJoin:
             raise QueryError(
                 f"attribute {self.order[depth]!r} is in no relation"
             )
-        # Smallest-first intersection of the candidate child key sets.
+        # Smallest-first intersection of the candidate child key sets
+        # (ranked by the O(1) fanout hint, exact for tries).
+        indexes = self._indexes
         smallest = min(
-            participants,
-            key=lambda i: len(nodes[i].children),  # type: ignore[union-attr]
+            participants, key=lambda i: indexes[i].fanout_hint(nodes[i])
         )
-        base = nodes[smallest]
-        assert base is not None
+        base = indexes[smallest]
         others = [i for i in participants if i != smallest]
-        for value, child in base.children.items():
+        for value, child in base.items(nodes[smallest]):
             advanced = None
             ok = True
             for i in others:
-                node = nodes[i]
-                assert node is not None
-                nxt = node.children.get(value)
+                nxt = indexes[i].child(nodes[i], value)
                 if nxt is None:
                     ok = False
                     break
@@ -141,7 +154,7 @@ class GenericJoin:
                 advanced = list(nodes)
             advanced[smallest] = child
             prefix.append(value)
-            self._recurse(depth + 1, advanced, prefix, out)
+            yield from self._search(depth + 1, advanced, prefix)
             prefix.pop()
 
 
@@ -150,6 +163,7 @@ def generic_join(
     attribute_order: Sequence[str] | None = None,
     database: Database | None = None,
     name: str = "J",
+    backend: str = DEFAULT_BACKEND,
 ) -> Relation:
     """One-shot convenience wrapper for Generic Join."""
-    return GenericJoin(query, attribute_order, database).execute(name)
+    return GenericJoin(query, attribute_order, database, backend).execute(name)

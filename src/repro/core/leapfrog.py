@@ -9,128 +9,32 @@ seeks (galloping/exponential search) instead of hash probes.  Its run time
 matches the AGM bound up to a log factor — the paper's footnote 3 makes the
 same hashing-vs-sorting remark about its own model.
 
-The implementation is self-contained (no TrieIndex reuse): per relation a
-:class:`SortedTrieIterator` exposes the classic ``open / up / next / seek``
-API over a lexicographically sorted tuple list; :class:`LeapfrogTriejoin`
-coordinates one leapfrog intersection per attribute level.
+The sorted representation lives in
+:class:`~repro.relations.sorted_index.SortedArrayIndex` (the engine's
+``"sorted"`` backend) and is obtained through the
+:class:`~repro.relations.database.Database` index cache when a catalog is
+supplied — repeated queries over the same relations never re-sort.  Each
+run creates fresh :class:`~repro.relations.sorted_index.SortedTrieIterator`
+cursors that *share* the cached arrays; :class:`LeapfrogTriejoin`
+coordinates one leapfrog intersection per attribute level and streams
+result rows via :meth:`LeapfrogTriejoin.iter_join`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
+from repro.relations.database import Database
 from repro.relations.relation import Relation, Row
+from repro.relations.sorted_index import SortedArrayIndex, SortedTrieIterator
 
-
-class SortedTrieIterator:
-    """Iterator over one relation viewed as a sorted trie.
-
-    The relation's tuples are sorted lexicographically (after reordering
-    columns to the global attribute order).  The iterator maintains, per
-    open level, the half-open range ``[lo, hi)`` of rows sharing the
-    current prefix, plus the current position inside it.
-
-    The methods follow Veldhuizen's interface:
-
-    * :meth:`open` — descend to the first key of the next level;
-    * :meth:`up` — pop back to the parent level;
-    * :meth:`key` — current key at the open level;
-    * :meth:`next` — advance to the next *distinct* key at this level;
-    * :meth:`seek` — gallop forward to the first key ``>= target``;
-    * :attr:`at_end` — no more keys at this level.
-    """
-
-    __slots__ = ("rows", "attributes", "_stack", "_pos", "_end", "at_end")
-
-    def __init__(self, relation: Relation, attribute_order: Sequence[str]) -> None:
-        ordered = relation.reorder(tuple(attribute_order))
-        self.rows: list[Row] = sorted(ordered.tuples)
-        self.attributes = tuple(attribute_order)
-        # Stack of (lo, hi, pos, end) saved per open ancestor level.
-        self._stack: list[tuple[int, int, int, int]] = []
-        self._pos = 0
-        self._end = len(self.rows)
-        self.at_end = not self.rows
-
-    @property
-    def depth(self) -> int:
-        """Number of currently open levels (0 = at the root)."""
-        return len(self._stack)
-
-    def key(self):
-        """The key at the current position of the open level."""
-        return self.rows[self._pos][self.depth - 1]
-
-    def open(self) -> None:
-        """Descend into the first child range of the current position."""
-        depth = self.depth
-        lo = self._pos
-        hi = self._run_end(lo, self._end, depth) if depth else self._end
-        self._stack.append((lo, hi, self._pos, self._end))
-        self._pos = lo
-        self._end = hi
-        self.at_end = self._pos >= self._end
-
-    def up(self) -> None:
-        """Return to the parent level (restoring its position)."""
-        _lo, _hi, self._pos, self._end = self._stack.pop()
-        self.at_end = False
-
-    def next(self) -> None:
-        """Advance past every row sharing the current key."""
-        depth = self.depth
-        self._pos = self._run_end(self._pos, self._end, depth)
-        self.at_end = self._pos >= self._end
-
-    def seek(self, target) -> None:
-        """Gallop to the first row whose key is ``>= target``."""
-        depth = self.depth
-        column = depth - 1
-        lo = self._pos
-        if lo >= self._end or self.rows[lo][column] >= target:
-            self.at_end = lo >= self._end
-            return
-        # Exponential probe, then binary search within the bracket.
-        step = 1
-        probe = lo
-        while probe < self._end and self.rows[probe][column] < target:
-            lo = probe + 1
-            probe += step
-            step *= 2
-        hi = min(probe, self._end)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.rows[mid][column] < target:
-                lo = mid + 1
-            else:
-                hi = mid
-        self._pos = lo
-        self.at_end = self._pos >= self._end
-
-    def _run_end(self, pos: int, end: int, depth: int) -> int:
-        """First row index past the run sharing ``rows[pos][:depth]``."""
-        if pos >= end:
-            return end
-        column = depth - 1
-        value = self.rows[pos][column]
-        # Galloping run-length detection keeps next() cheap on long runs.
-        step = 1
-        lo = pos + 1
-        probe = pos + 1
-        while probe < end and self.rows[probe][column] == value:
-            lo = probe + 1
-            probe += step
-            step *= 2
-        hi = min(probe, end)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.rows[mid][column] == value:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
+__all__ = [
+    "LeapfrogTriejoin",
+    "SortedTrieIterator",
+    "leapfrog_join",
+]
 
 
 class LeapfrogTriejoin:
@@ -142,12 +46,18 @@ class LeapfrogTriejoin:
         The natural join query.
     attribute_order:
         Global variable order (defaults to the query's attribute order).
+    database:
+        Optional catalog supplying cached sorted-array indexes (Remark
+        5.2's ahead-of-time indexing).  When omitted, indexes are built
+        privately — and re-sorted on every construction, so supply a
+        database for repeated queries.
     """
 
     def __init__(
         self,
         query: JoinQuery,
         attribute_order: Sequence[str] | None = None,
+        database: Database | None = None,
     ) -> None:
         self.query = query
         order = (
@@ -164,34 +74,54 @@ class LeapfrogTriejoin:
             )
         self.order = order
         rank = {a: i for i, a in enumerate(order)}
-        self._iterators: list[SortedTrieIterator] = []
-        self._participants: list[list[SortedTrieIterator]] = [
-            [] for _ in order
-        ]
+        self._indexes: list[SortedArrayIndex] = []
+        # Per depth: positions (into _indexes) of participating relations.
+        self._participants: list[list[int]] = [[] for _ in order]
         for eid in query.edge_ids:
             relation = query.relation(eid)
-            trie_order = tuple(
+            index_order = tuple(
                 sorted(relation.attributes, key=rank.__getitem__)
             )
-            iterator = SortedTrieIterator(relation, trie_order)
-            self._iterators.append(iterator)
-            for attribute in trie_order:
-                self._participants[rank[attribute]].append(iterator)
+            if database is not None:
+                index = database.index(eid, index_order, SortedArrayIndex.kind)
+            else:
+                index = SortedArrayIndex(relation, index_order)
+            position = len(self._indexes)
+            self._indexes.append(index)
+            for attribute in index_order:
+                self._participants[rank[attribute]].append(position)
+        self._output_perm = tuple(rank[a] for a in query.attributes)
+
+    def iter_join(self) -> Iterator[Row]:
+        """Stream the join's rows (query attribute order, no repeats).
+
+        Every call opens fresh cursors over the shared sorted arrays, so
+        an executor can be run repeatedly and generators can be abandoned
+        mid-stream without corrupting state.
+        """
+        if any(len(index) == 0 for index in self._indexes):
+            return
+        cursors = [index.cursor() for index in self._indexes]
+        levels = [
+            [cursors[i] for i in ids] for ids in self._participants
+        ]
+        yield from self._level(0, levels, [])
 
     def execute(self, name: str = "J") -> Relation:
         """Run the triejoin; returns the join in query attribute order."""
-        rows: list[Row] = []
-        if any(not it.rows for it in self._iterators):
-            return self.query.empty_output(name)
-        prefix: list[object] = []
-        self._level(0, prefix, rows)
-        return Relation(name, self.order, rows).reorder(self.query.attributes)
+        return Relation(name, self.query.attributes, self.iter_join())
 
-    def _level(self, depth: int, prefix: list[object], out: list[Row]) -> None:
+    def _level(
+        self,
+        depth: int,
+        levels: list[list[SortedTrieIterator]],
+        prefix: list[object],
+    ) -> Iterator[Row]:
         if depth == len(self.order):
-            out.append(tuple(prefix))
+            perm = self._output_perm
+            yield tuple(prefix[i] for i in perm)
             return
-        iterators = self._participants[depth]
+        iterators = levels[depth]
         if not iterators:
             raise QueryError(
                 f"attribute {self.order[depth]!r} is in no relation"
@@ -199,12 +129,11 @@ class LeapfrogTriejoin:
         for it in iterators:
             it.open()
         try:
-            if any(it.at_end for it in iterators):
-                return
-            for value in self._leapfrog(iterators):
-                prefix.append(value)
-                self._level(depth + 1, prefix, out)
-                prefix.pop()
+            if not any(it.at_end for it in iterators):
+                for value in self._leapfrog(iterators):
+                    prefix.append(value)
+                    yield from self._level(depth + 1, levels, prefix)
+                    prefix.pop()
         finally:
             for it in iterators:
                 it.up()
@@ -237,6 +166,7 @@ def leapfrog_join(
     query: JoinQuery,
     attribute_order: Sequence[str] | None = None,
     name: str = "J",
+    database: Database | None = None,
 ) -> Relation:
     """One-shot convenience wrapper for Leapfrog Triejoin."""
-    return LeapfrogTriejoin(query, attribute_order).execute(name)
+    return LeapfrogTriejoin(query, attribute_order, database).execute(name)

@@ -28,7 +28,7 @@ exactly the tuples whose every projection is present in its relation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
@@ -91,6 +91,16 @@ class LWJoin:
         return Relation(name, self.universe, pruned).reorder(
             self.query.attributes
         )
+
+    def iter_join(self) -> Iterator[Row]:
+        """Yield the join's rows in the query's attribute order.
+
+        Algorithm 1 is inherently blocking (the final pruning pass needs
+        every candidate), so this materializes internally and then
+        streams; it exists for interface parity with the engine's
+        streaming executors.
+        """
+        yield from self.execute().tuples
 
     def bound(self) -> float:
         """The LW bound ``P = (prod_e N_e)^{1/(n-1)}``."""

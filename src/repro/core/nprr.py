@@ -37,7 +37,7 @@ import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from fractions import Fraction
-from collections.abc import Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.qptree import QPNode, QPTree
 from repro.core.query import JoinQuery
@@ -158,15 +158,29 @@ class NPRRJoin:
 
     # -- public API -----------------------------------------------------------
 
+    def iter_join(self) -> Iterator[Row]:
+        """Stream Recursive-Join's rows in the query's attribute order.
+
+        Procedure 5 is demand driven here: every level of the QP-tree is a
+        generator, so a row reaches the caller as soon as its last
+        attribute is bound — nothing is materialized along the spine.
+        Statistics reset when the stream starts and are complete once it
+        is exhausted.
+        """
+        self.stats = JoinStatistics()
+        perm = tuple(
+            self.tree.total_order.index(a) for a in self.query.attributes
+        )
+        for row in self._recursive_join(self.tree.root, ()):
+            yield tuple(row[i] for i in perm)
+
     def execute(self, name: str = "J") -> Relation:
         """Run Recursive-Join at the root and return the join result.
 
-        The output schema follows the query's attribute order.
+        The output schema follows the query's attribute order.  This is
+        the materializing wrapper over :meth:`iter_join`.
         """
-        self.stats = JoinStatistics()
-        rows = self._recursive_join(self.tree.root, ())
-        result = Relation(name, self.tree.total_order, rows)
-        return result.reorder(self.query.attributes).with_name(name)
+        return Relation(name, self.query.attributes, self.iter_join())
 
     # -- compilation ------------------------------------------------------------
 
@@ -253,23 +267,28 @@ class NPRRJoin:
 
     # -- Procedure 5 ------------------------------------------------------------
 
-    def _recursive_join(self, node: QPNode, t_s: Row) -> list[Row]:
-        """``Recursive-Join(u, y, t_S)``; ``y`` was precompiled per node."""
+    def _recursive_join(self, node: QPNode, t_s: Row) -> Iterator[Row]:
+        """``Recursive-Join(u, y, t_S)``; ``y`` was precompiled per node.
+
+        A generator: each level of the QP-tree pulls tuples from its left
+        child lazily and yields extensions as it finds them.
+        """
         self.stats.recursive_calls += 1
         plan = self._plans[id(node)]
 
         if node.is_leaf:
-            return self._leaf_join(plan, t_s)
+            yield from self._leaf_join(plan, t_s)
+            return
 
         # Lines 10-14: the left subproblem (or the singleton {t_S}).
         if node.left is None:
-            level = [t_s]
+            level: Iterable[Row] = (t_s,)
         else:
             level = self._recursive_join(node.left, t_s)
         if plan.wm_size == 0:
-            return level  # lines 16-17
+            yield from level  # lines 16-17
+            return
 
-        out: list[Row] = []
         prefix_len = plan.start + plan.w_size
         wm_size = plan.wm_size
         anchor_trie = plan.anchor_trie
@@ -306,7 +325,8 @@ class NPRRJoin:
                 for z in self._recursive_join(node.right, t):
                     tail = z[prefix_len : prefix_len + wm_size]
                     if anchor_trie.descend(anchor_node, tail) is not None:
-                        out.append(z)
+                        self.stats.tuples_emitted += 1
+                        yield z
                 continue
             # Case b (lines 27-29): scan the anchor's section, check others.
             self.stats.case_b += 1
@@ -318,11 +338,10 @@ class NPRRJoin:
                         ok = False
                         break
                 if ok:
-                    out.append(t + tail)
-        self.stats.tuples_emitted += len(out)
-        return out
+                    self.stats.tuples_emitted += 1
+                    yield t + tail
 
-    def _leaf_join(self, plan: _NodePlan, t_s: Row) -> list[Row]:
+    def _leaf_join(self, plan: _NodePlan, t_s: Row) -> Iterator[Row]:
         """Lines 3-9 of Procedure 5: intersect the k section-projections."""
         self.stats.leaf_calls += 1
         u_size = plan.u_size
@@ -333,14 +352,13 @@ class NPRRJoin:
             section = self._walk(eid, t_s)
             count = trie.count(section, u_size)
             if count == 0:
-                return []
+                return
             sections.append((trie, section))
             if best_count is None or count < best_count:
                 best_count = count
                 best = (trie, section)
         assert best is not None
         best_trie, best_section = best
-        out = []
         for candidate in best_trie.paths(best_section, u_size):
             ok = True
             for trie, section in sections:
@@ -350,9 +368,8 @@ class NPRRJoin:
                     ok = False
                     break
             if ok:
-                out.append(t_s + candidate)
-        self.stats.tuples_emitted += len(out)
-        return out
+                self.stats.tuples_emitted += 1
+                yield t_s + candidate
 
     def _decide_case(
         self,

@@ -1,0 +1,115 @@
+"""The IndexBackend protocol: one index interface, pluggable storage.
+
+Section 5.3.2 of the paper specifies what a join executor needs from its
+per-relation indexes — the search-tree properties (ST1) prefix walking,
+(ST2) projected-section counting, and (ST3) output-linear enumeration.
+:class:`IndexBackend` captures that contract as a structural protocol so
+executors are written once and run over any conforming storage layout.
+
+Two implementations ship with the engine, both cached uniformly by
+:class:`~repro.relations.database.Database` under (kind, relation, order)
+keys:
+
+``"trie"``
+    :class:`~repro.relations.trie.TrieIndex` — nested hash dictionaries,
+    the paper's own Section 5.1 hashing model: O(1) child lookups and a
+    precomputed (ST2) counts vector.  Best for NPRR's count-driven
+    per-tuple case analysis.
+``"sorted"``
+    :class:`~repro.relations.sorted_index.SortedArrayIndex` — one flat
+    lexicographically sorted tuple array, the layout of Leapfrog Triejoin
+    (Veldhuizen, ICDT 2014) and of "Worst-Case Optimal Radix Triejoin"
+    (Fekete et al.).  Lookups pay a log factor (footnote 3 of the paper)
+    but the array sorts once, caches cheaply, and hands out the
+    ``open/up/next/seek`` cursors the leapfrog intersection needs.
+
+Executors that only navigate (Generic Join) accept either backend; the
+planner (:mod:`repro.engine.planner`) picks per algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import DatabaseError
+from repro.relations.database import (
+    DEFAULT_BACKEND,
+    INDEX_BACKENDS,
+    build_index,
+)
+from repro.relations.relation import Row, Value
+from repro.relations.sorted_index import SortedArrayIndex, SortedTrieIterator
+from repro.relations.trie import TrieIndex
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "INDEX_BACKENDS",
+    "IndexBackend",
+    "SortedArrayIndex",
+    "SortedTrieIterator",
+    "TrieIndex",
+    "backend_kinds",
+    "build_index",
+    "validate_backend",
+]
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """What a join executor may assume about a per-relation index.
+
+    A *node* is backend-defined and opaque (a ``TrieNode`` pointer for the
+    hash trie, a ``(lo, hi, depth)`` row range for the sorted array); the
+    methods below are the only way executors touch one.  ``None`` always
+    denotes a failed walk and is accepted everywhere a node is.
+    """
+
+    #: Registry key of this backend ("trie", "sorted", ...).
+    kind: str
+
+    #: The index's level order (a permutation of the relation's schema).
+    attributes: tuple[str, ...]
+
+    @property
+    def root(self) -> Any:
+        """The node every walk starts from (the empty prefix)."""
+
+    def __len__(self) -> int:
+        """Number of indexed tuples."""
+
+    # (ST1) — prefix membership in O(prefix) steps.
+    def walk(self, prefix: Iterable[Value]) -> Any | None: ...
+
+    def descend(self, node: Any, values: Iterable[Value]) -> Any | None: ...
+
+    def child(self, node: Any, value: Value) -> Any | None: ...
+
+    # (ST2) — projected-section cardinality.
+    def count(self, node: Any, depth: int) -> int: ...
+
+    def fanout(self, node: Any) -> int: ...
+
+    def fanout_hint(self, node: Any) -> int:
+        """O(1) upper bound on ``fanout`` for smallest-first ranking."""
+
+    # (ST3) — output-linear enumeration.
+    def items(self, node: Any) -> Iterator[tuple[Value, Any]]: ...
+
+    def paths(self, node: Any, depth: int) -> Iterator[Row]: ...
+
+
+def backend_kinds() -> tuple[str, ...]:
+    """Names of every registered index backend."""
+    return tuple(INDEX_BACKENDS)
+
+
+def validate_backend(kind: str) -> str:
+    """Return ``kind`` if registered, else raise ``DatabaseError``."""
+    if kind not in INDEX_BACKENDS:
+        raise DatabaseError(
+            f"unknown index backend {kind!r}; choose one of {backend_kinds()}"
+        )
+    return kind
+
+

@@ -1,0 +1,152 @@
+"""Executor registry: every join algorithm behind one streaming interface.
+
+The engine treats an executor as anything with two methods:
+
+* ``iter_join() -> Iterator[Row]`` — stream result rows in the query's
+  attribute order, without materializing the output;
+* ``execute(name) -> Relation`` — the thin materializing wrapper.
+
+All five algorithms of this reproduction conform: Algorithm 2 / NPRR
+(Section 5 of the paper), Algorithm 1 / LW (Section 4), Theorem 7.3's
+arity-2 decomposition (Section 7.1), and the two successor WCOJ
+algorithms, Generic Join ("Skew Strikes Back") and Leapfrog Triejoin
+(Veldhuizen).  :data:`EXECUTORS` maps each public algorithm name to a
+factory with a uniform keyword signature; it is the single source of
+truth consumed by :data:`repro.api.ALGORITHMS` and the CLI's
+``--algorithm`` choices, so adding an algorithm here surfaces it
+everywhere at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.arity_two import ArityTwoJoin
+from repro.core.generic_join import GenericJoin
+from repro.core.leapfrog import LeapfrogTriejoin
+from repro.core.lw import LWJoin
+from repro.core.nprr import NPRRJoin
+from repro.core.query import JoinQuery
+from repro.errors import QueryError
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.database import DEFAULT_BACKEND, Database
+
+__all__ = [
+    "EXECUTORS",
+    "algorithm_names",
+    "build_executor",
+]
+
+
+def _make_nprr(
+    query: JoinQuery,
+    *,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str,
+    database: Database | None,
+) -> NPRRJoin:
+    # Algorithm 2's order comes from its query-plan tree; an explicit
+    # attribute order does not apply, and the hash trie's O(1) (ST2)
+    # counts are load-bearing for the per-tuple case analysis.
+    return NPRRJoin(query, cover=cover, database=database)
+
+
+def _make_lw(
+    query: JoinQuery,
+    *,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str,
+    database: Database | None,
+) -> LWJoin:
+    return LWJoin(query)
+
+
+def _make_generic(
+    query: JoinQuery,
+    *,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str,
+    database: Database | None,
+) -> GenericJoin:
+    return GenericJoin(
+        query,
+        attribute_order=attribute_order,
+        database=database,
+        backend=backend or DEFAULT_BACKEND,
+    )
+
+
+def _make_leapfrog(
+    query: JoinQuery,
+    *,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str,
+    database: Database | None,
+) -> LeapfrogTriejoin:
+    return LeapfrogTriejoin(
+        query, attribute_order=attribute_order, database=database
+    )
+
+
+def _make_arity_two(
+    query: JoinQuery,
+    *,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str,
+    database: Database | None,
+) -> ArityTwoJoin:
+    return ArityTwoJoin(query, cover=cover)
+
+
+#: Algorithm name -> executor factory.  The single source of truth for
+#: selectable algorithms: ``repro.api.ALGORITHMS`` and the CLI both
+#: derive their choices from these keys (plus the planner's ``"auto"``).
+EXECUTORS = {
+    "nprr": _make_nprr,
+    "lw": _make_lw,
+    "generic": _make_generic,
+    "leapfrog": _make_leapfrog,
+    "arity2": _make_arity_two,
+}
+
+
+def algorithm_names(include_auto: bool = True) -> tuple[str, ...]:
+    """Public algorithm names, optionally with the planner's ``"auto"``."""
+    names = tuple(EXECUTORS)
+    return names + ("auto",) if include_auto else names
+
+
+def build_executor(
+    query: JoinQuery,
+    algorithm: str,
+    *,
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str = DEFAULT_BACKEND,
+    database: Database | None = None,
+):
+    """Instantiate the executor for a *resolved* algorithm name.
+
+    ``algorithm`` must be a concrete name (``"auto"`` is resolved by the
+    planner, not here).  Raises :class:`~repro.errors.QueryError` for an
+    unknown name before touching any relation data.
+    """
+    try:
+        factory = EXECUTORS[algorithm]
+    except KeyError:
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose one of {algorithm_names()}"
+        ) from None
+    return factory(
+        query,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        database=database,
+    )

@@ -1,0 +1,349 @@
+"""Cost-based planning: algorithm, attribute order, and backend selection.
+
+The paper proves (Theorem 5.1, and the Generic Join analysis in "Skew
+Strikes Back") that *any* attribute order is worst-case optimal — but
+Remark 5.2 and every practical WCOJ system (LogicBlox's Leapfrog,
+EmptyHeaded, Umbra) observe that order choice drives constant factors by
+orders of magnitude.  Before this planner existed each executor
+hard-coded ``query.attributes``; now order selection, algorithm dispatch,
+and index-backend choice live in one place, modeled on the
+``JoinOrderOptimizer`` separation PostBOUND uses for classical optimizers.
+
+The product is an inspectable :class:`JoinPlan`:
+
+* **algorithm** — a specialist when the query shape allows it (Algorithm 1
+  for Loomis-Whitney instances, Theorem 7.3's decomposition for arity-2
+  queries), else a generic WCOJ executor;
+* **attribute order** — greedy most-selective-first: ascending per-
+  attribute distinct-count (a smallest-domain heuristic computed from the
+  actual data in one linear scan), constrained to keep the chosen prefix
+  connected so early levels prune;
+* **backend** — ``"sorted"`` flat arrays for leapfrog (its native
+  layout), hash tries otherwise (O(1) probes, precomputed (ST2) counts);
+* **estimated AGM bound** — the fractional-cover output bound of
+  Section 2, with its certificate cover attached (the
+  :mod:`repro.core.estimates` machinery).
+
+``JoinPlan.execute`` / ``JoinPlan.iter_rows`` hand off to the executor
+registry, so ``repro.join`` / ``repro.iter_join`` and the CLI ``explain``
+command are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+
+from repro.core.query import JoinQuery
+from repro.engine.backends import validate_backend
+from repro.engine.executors import algorithm_names, build_executor
+from repro.errors import QueryError
+from repro.hypergraph.agm import best_agm_bound
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.database import Database
+from repro.relations.relation import Relation, Row
+from repro.relations.sorted_index import SortedArrayIndex
+from repro.relations.trie import TrieIndex
+
+__all__ = [
+    "JoinPlan",
+    "attribute_statistics",
+    "plan_attribute_order",
+    "plan_join",
+]
+
+
+#: Algorithms that honor a caller-chosen global attribute order.
+ORDER_SENSITIVE = ("generic", "leapfrog")
+
+#: Index-backend kinds each algorithm can actually run on.  Algorithms
+#: absent here (lw, arity2) build no per-order indexes at all.
+BACKEND_CHOICES = {
+    "generic": ("trie", "sorted"),
+    "leapfrog": ("sorted",),
+    "nprr": ("trie",),
+}
+
+#: Placeholder backend for algorithms that build no per-order indexes.
+NO_BACKEND = "none"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An inspectable execution plan for one natural join query.
+
+    Produced by :func:`plan_join`; consumed by ``repro.api`` and the CLI.
+    ``reasons`` records why each choice was made, in decision order.
+    Every field reports what the executor will actually do — the planner
+    rejects requests an executor would silently ignore.
+    """
+
+    query: JoinQuery
+    algorithm: str
+    attribute_order: tuple[str, ...]
+    backend: str
+    cover: FractionalCover | None = None
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+    # Lazily computed AGM bound cache (None until first access), so the
+    # cover LP is not solved on join() calls that never inspect the plan.
+    _bound: float | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def estimated_bound(self) -> float:
+        """The AGM output bound for the query's current relation sizes.
+
+        Computed on first access (an exact-fraction LP solve) and cached;
+        plans executed without inspection never pay for it.
+        """
+        if self._bound is None:
+            _cover, bound = best_agm_bound(
+                self.query.hypergraph, self.query.sizes()
+            )
+            object.__setattr__(self, "_bound", bound)
+        return self._bound
+
+    def executor(self, database: Database | None = None):
+        """Build (but do not run) this plan's executor."""
+        return build_executor(
+            self.query,
+            self.algorithm,
+            cover=self.cover,
+            attribute_order=self.attribute_order,
+            backend=self.backend,
+            database=database,
+        )
+
+    def execute(
+        self, name: str = "J", database: Database | None = None
+    ) -> Relation:
+        """Run the plan and materialize the join result."""
+        return self.executor(database).execute(name)
+
+    def iter_rows(self, database: Database | None = None) -> Iterator[Row]:
+        """Run the plan, streaming rows in the query's attribute order."""
+        return self.executor(database).iter_join()
+
+    def describe(self) -> str:
+        """A human-readable rendering (the CLI ``explain`` output)."""
+        sizes = self.query.sizes()
+        lines = [
+            f"query: {self.query!r}",
+            f"algorithm: {self.algorithm}",
+            f"attribute order: {', '.join(self.attribute_order)}",
+            f"index backend: {self.backend}",
+            f"estimated output (AGM bound): {self.estimated_bound:.3f} tuples",
+            "relation sizes: "
+            + ", ".join(f"{eid}={n}" for eid, n in sizes.items()),
+        ]
+        if self.cover is not None:
+            lines.append(
+                "fractional cover: "
+                + ", ".join(
+                    f"x[{eid}]={weight}"
+                    for eid, weight in self.cover.items()
+                )
+            )
+        if self.reasons:
+            lines.append("decisions:")
+            lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+def attribute_statistics(query: JoinQuery) -> dict[str, int]:
+    """Per-attribute selectivity scores from one linear data scan.
+
+    The score of attribute ``A`` is ``min_e |pi_A(R_e)|`` over the
+    relations containing ``A`` — the tightest distinct-count any index on
+    ``A`` will present.  Lower scores mean earlier intersection levels
+    stay smaller (the smallest-domain heuristic).
+    """
+    scores: dict[str, int] = {}
+    for relation in query.relations.values():
+        distinct: list[set] = [set() for _ in relation.attributes]
+        for row in relation.tuples:
+            for i, value in enumerate(row):
+                distinct[i].add(value)
+        for attribute, values in zip(relation.attributes, distinct):
+            count = len(values)
+            if attribute not in scores or count < scores[attribute]:
+                scores[attribute] = count
+    return scores
+
+
+def plan_attribute_order(
+    query: JoinQuery, scores: dict[str, int] | None = None
+) -> tuple[str, ...]:
+    """A greedy most-selective-first, connectivity-respecting order.
+
+    Start from the globally most selective attribute; repeatedly append
+    the most selective attribute sharing a relation with the prefix (so
+    each new level is constrained by at least one already-bound relation
+    and prunes instead of cross-producting).  Ties break on first
+    appearance in the query, keeping the result deterministic.
+
+    ``scores`` accepts a precomputed :func:`attribute_statistics` result
+    so callers that also want the statistics scan the data only once.
+    """
+    if scores is None:
+        scores = attribute_statistics(query)
+    appearance = {a: i for i, a in enumerate(query.attributes)}
+    neighbors: dict[str, set[str]] = {a: set() for a in query.attributes}
+    for relation in query.relations.values():
+        for a in relation.attributes:
+            neighbors[a].update(relation.attributes)
+
+    def sort_key(attribute: str) -> tuple[int, int]:
+        return (scores[attribute], appearance[attribute])
+
+    remaining = set(query.attributes)
+    order: list[str] = []
+    frontier: set[str] = set()
+    while remaining:
+        candidates = frontier & remaining
+        if not candidates:
+            candidates = remaining  # new connected component (or start)
+        chosen = min(candidates, key=sort_key)
+        order.append(chosen)
+        remaining.discard(chosen)
+        frontier |= neighbors[chosen]
+    return tuple(order)
+
+
+def _choose_algorithm(
+    query: JoinQuery,
+    cover: FractionalCover | None,
+    attribute_order: Sequence[str] | None,
+    backend: str | None,
+    reasons: list[str],
+) -> str:
+    """Shape-directed algorithm selection for ``"auto"``."""
+    if cover is not None:
+        reasons.append(
+            "caller supplied a fractional cover: Algorithm 2 (nprr) is the "
+            "cover-driven executor"
+        )
+        return "nprr"
+    if attribute_order is not None or backend is not None:
+        reasons.append(
+            "caller fixed an attribute order or backend: Generic Join "
+            "honors both (the shape specialists derive their own)"
+        )
+        return "generic"
+    if query.is_lw_instance():
+        reasons.append(
+            "query is a Loomis-Whitney instance: Algorithm 1 (lw) runs in "
+            "the LW bound (Theorem 4.1)"
+        )
+        return "lw"
+    if query.hypergraph.is_graph():
+        reasons.append(
+            "every relation has arity <= 2: Theorem 7.3's decomposition "
+            "(arity2) has O(m) query complexity"
+        )
+        return "arity2"
+    reasons.append(
+        "general shape: Generic Join streams attribute-at-a-time within "
+        "the AGM bound"
+    )
+    return "generic"
+
+
+def plan_join(
+    query: JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+) -> JoinPlan:
+    """Produce a :class:`JoinPlan` for ``query``.
+
+    ``algorithm`` may be any registered executor name or ``"auto"``;
+    unknown names are rejected here, before any index is built.  The
+    relation-size statistics are exactly what ``Database.sizes()`` reports
+    for catalogued relations, so plans computed against a catalog match
+    plans computed against the bound query.
+    """
+    if algorithm not in algorithm_names():
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose one of {algorithm_names()}"
+        )
+    if backend is not None:
+        validate_backend(backend)
+    reasons: list[str] = []
+    if algorithm == "auto":
+        algorithm = _choose_algorithm(
+            query, cover, attribute_order, backend, reasons
+        )
+    else:
+        reasons.append(f"algorithm {algorithm!r} fixed by caller")
+    if cover is not None:
+        query.validate_cover(cover)
+
+    # Requests the executor would silently ignore are plan-time errors:
+    # the plan must report what actually runs.
+    order_sensitive = algorithm in ORDER_SENSITIVE
+    if attribute_order is not None and not order_sensitive:
+        raise QueryError(
+            f"algorithm {algorithm!r} derives its own attribute order; "
+            f"drop attribute_order or choose one of {ORDER_SENSITIVE}"
+        )
+    allowed_backends = BACKEND_CHOICES.get(algorithm, ())
+    if backend is not None and backend not in allowed_backends:
+        raise QueryError(
+            f"algorithm {algorithm!r} cannot run on backend {backend!r}"
+            + (
+                f"; it supports {allowed_backends}"
+                if allowed_backends
+                else " (it builds no per-order indexes)"
+            )
+        )
+
+    if attribute_order is not None:
+        order = tuple(attribute_order)
+        reasons.append(f"attribute order fixed by caller: {', '.join(order)}")
+    elif order_sensitive:
+        scores = attribute_statistics(query)
+        order = plan_attribute_order(query, scores)
+        reasons.append(
+            "attribute order by ascending distinct-count: "
+            + ", ".join(f"{a}({scores[a]})" for a in order)
+        )
+    else:
+        order = query.attributes
+        reasons.append(
+            f"{algorithm} derives its own order; keeping query order"
+        )
+
+    if backend is not None:
+        reasons.append(f"backend {backend!r} fixed by caller")
+    elif algorithm == "leapfrog":
+        backend = SortedArrayIndex.kind
+        reasons.append(
+            "sorted flat-array backend: leapfrog seeks need sorted runs"
+        )
+    elif algorithm in ("generic", "nprr"):
+        backend = TrieIndex.kind
+        reasons.append(
+            "hash-trie backend: O(1) probes and precomputed counts"
+        )
+    else:
+        backend = NO_BACKEND
+        reasons.append(f"{algorithm} builds no per-order indexes")
+
+    # Only the cover-driven algorithms pay for the cover LP at plan time
+    # (their executors would solve the same LP anyway); everyone else
+    # defers the AGM bound until someone inspects the plan.
+    plan_cover = cover
+    bound: float | None = None
+    if algorithm in ("nprr", "arity2") and cover is None:
+        plan_cover, bound = best_agm_bound(query.hypergraph, query.sizes())
+    return JoinPlan(
+        query=query,
+        algorithm=algorithm,
+        attribute_order=order,
+        backend=backend,
+        cover=plan_cover,
+        reasons=tuple(reasons),
+        _bound=bound,
+    )

@@ -5,9 +5,13 @@ concrete relation to every relational symbol (Section 2).  :class:`Database`
 provides that binding along with:
 
 * size statistics (the ``N_e`` inputs of the AGM bound),
-* a cache of :class:`~repro.relations.trie.TrieIndex` objects keyed by
-  (relation, attribute order) — Remark 5.2's "index in advance" option: the
+* a uniform cache of index-backend objects keyed by (backend kind,
+  relation, attribute order) — Remark 5.2's "index in advance" option: the
   first query that needs an order pays the build, later queries reuse it.
+  Both backends of :mod:`repro.engine.backends` are cached here: the
+  hash-dict :class:`~repro.relations.trie.TrieIndex` and the sorted
+  flat-array :class:`~repro.relations.sorted_index.SortedArrayIndex` that
+  Leapfrog Triejoin consumes.
 """
 
 from __future__ import annotations
@@ -16,7 +20,35 @@ from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import DatabaseError
 from repro.relations.relation import Relation
+from repro.relations.sorted_index import SortedArrayIndex
 from repro.relations.trie import TrieIndex
+
+#: Registered index-backend constructors, keyed by their ``kind`` string.
+#: :mod:`repro.engine.backends` re-exports this as the engine's backend
+#: registry; both classes satisfy the ``IndexBackend`` protocol.
+INDEX_BACKENDS = {
+    TrieIndex.kind: TrieIndex,
+    SortedArrayIndex.kind: SortedArrayIndex,
+}
+
+#: Backend used when callers do not ask for one.
+DEFAULT_BACKEND = TrieIndex.kind
+
+
+def build_index(
+    relation: Relation,
+    attribute_order: Iterable[str],
+    kind: str = DEFAULT_BACKEND,
+):
+    """Construct an uncached index of backend ``kind`` over ``relation``."""
+    try:
+        backend = INDEX_BACKENDS[kind]
+    except KeyError:
+        raise DatabaseError(
+            f"unknown index backend {kind!r}; "
+            f"choose one of {tuple(INDEX_BACKENDS)}"
+        ) from None
+    return backend(relation, tuple(attribute_order))
 
 
 class Database:
@@ -24,7 +56,8 @@ class Database:
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: dict[str, Relation] = {}
-        self._trie_cache: dict[tuple[str, tuple[str, ...]], TrieIndex] = {}
+        # (backend kind, relation name, attribute order) -> index object.
+        self._index_cache: dict[tuple[str, str, tuple[str, ...]], object] = {}
         for relation in relations:
             self.add(relation)
 
@@ -81,29 +114,51 @@ class Database:
 
     # -- index cache ------------------------------------------------------------
 
-    def trie(self, name: str, attribute_order: Iterable[str]) -> TrieIndex:
-        """A trie over relation ``name`` with levels in ``attribute_order``.
+    def index(
+        self,
+        name: str,
+        attribute_order: Iterable[str],
+        kind: str = DEFAULT_BACKEND,
+    ):
+        """An index of backend ``kind`` over relation ``name``.
 
-        Built on first use, cached afterwards.  This realizes Remark 5.2: the
-        ``O(n^2 sum N_e)`` data-preprocessing cost is paid once per
-        (relation, order) pair, not per query.
+        Built on first use, cached afterwards.  This realizes Remark 5.2:
+        the data-preprocessing cost (``O(n^2 sum N_e)`` trie builds, or one
+        ``O(N log N)`` sort for the flat backend) is paid once per
+        (backend, relation, order) triple, not per query.
         """
         order = tuple(attribute_order)
-        key = (name, order)
-        index = self._trie_cache.get(key)
+        key = (kind, name, order)
+        index = self._index_cache.get(key)
         if index is None:
-            index = TrieIndex(self[name], order)
-            self._trie_cache[key] = index
+            index = build_index(self[name], order, kind)
+            self._index_cache[key] = index
         return index
 
+    def trie(self, name: str, attribute_order: Iterable[str]) -> TrieIndex:
+        """A hash-trie over relation ``name`` (the ``"trie"`` backend)."""
+        return self.index(name, attribute_order, TrieIndex.kind)
+
+    def sorted_index(
+        self, name: str, attribute_order: Iterable[str]
+    ) -> SortedArrayIndex:
+        """A sorted flat-array index over relation ``name``."""
+        return self.index(name, attribute_order, SortedArrayIndex.kind)
+
     def cached_trie_count(self) -> int:
-        """Number of tries currently cached (observability for tests)."""
-        return len(self._trie_cache)
+        """Number of hash-tries currently cached (observability for tests)."""
+        return self.cached_index_count(TrieIndex.kind)
+
+    def cached_index_count(self, kind: str | None = None) -> int:
+        """Number of cached indexes, optionally restricted to one backend."""
+        if kind is None:
+            return len(self._index_cache)
+        return sum(1 for key in self._index_cache if key[0] == kind)
 
     def _drop_cached(self, name: str) -> None:
-        stale = [key for key in self._trie_cache if key[0] == name]
+        stale = [key for key in self._index_cache if key[1] == name]
         for key in stale:
-            del self._trie_cache[key]
+            del self._index_cache[key]
 
     # -- conveniences -------------------------------------------------------------
 

@@ -60,6 +60,9 @@ class TrieIndex:
 
     __slots__ = ("attributes", "root", "_source_name")
 
+    #: Backend registry key (see :mod:`repro.engine.backends`).
+    kind = "trie"
+
     def __init__(self, relation: Relation, attribute_order: Iterable[str]) -> None:
         attrs = tuple(attribute_order)
         if set(attrs) != relation.attribute_set or len(attrs) != len(
@@ -122,6 +125,34 @@ class TrieIndex:
         """(ST1) membership of a prefix tuple in the projected relation."""
         return self.walk(prefix) is not None
 
+    def child(self, node: TrieNode | None, value: Value) -> TrieNode | None:
+        """The child of ``node`` under ``value`` (one (ST1) step)."""
+        if node is None:
+            return None
+        return node.children.get(value)
+
+    def items(self, node: TrieNode | None) -> Iterator[tuple[Value, TrieNode]]:
+        """``(value, child)`` pairs below ``node`` (hash order)."""
+        if node is None:
+            return iter(())
+        return iter(node.children.items())
+
+    def fanout(self, node: TrieNode | None) -> int:
+        """Number of distinct next-level values below ``node``."""
+        if node is None:
+            return 0
+        return len(node.children)
+
+    def fanout_hint(self, node: TrieNode | None) -> int:
+        """O(1) upper bound on :meth:`fanout` (exact for the hash trie).
+
+        Executors rank candidate relations with this (smallest-first
+        intersection); it must be cheap, not exact.
+        """
+        if node is None:
+            return 0
+        return len(node.children)
+
     def descend(self, node: TrieNode, values: Iterable[Value]) -> TrieNode | None:
         """Continue a walk from an interior ``node`` (ST1, resumed)."""
         current: TrieNode | None = node
@@ -153,25 +184,32 @@ class TrieIndex:
     def paths(self, node: TrieNode | None, depth: int) -> Iterator[Row]:
         """(ST3) yield every distinct length-``depth`` tuple below ``node``.
 
-        Output-linear: each yielded tuple costs ``O(depth)``.
+        Output-linear: each yielded tuple costs ``O(depth)``.  The
+        traversal keeps an explicit stack of child iterators, so arity is
+        bounded by memory, not by Python's recursion limit.
         """
         if node is None or depth < 0:
             return
         if depth == 0:
             yield ()
             return
-        stack: list[Value] = []
-
-        def _recurse(current: TrieNode, remaining: int) -> Iterator[Row]:
-            if remaining == 0:
-                yield tuple(stack)
-                return
-            for value, child in current.children.items():
-                stack.append(value)
-                yield from _recurse(child, remaining - 1)
+        prefix: list[Value] = []
+        stack: list[Iterator[tuple[Value, TrieNode]]] = [
+            iter(node.children.items())
+        ]
+        while stack:
+            entry = next(stack[-1], None)
+            if entry is None:
                 stack.pop()
-
-        yield from _recurse(node, depth)
+                if prefix:
+                    prefix.pop()
+                continue
+            value, child = entry
+            if len(stack) == depth:
+                yield (*prefix, value)
+            else:
+                prefix.append(value)
+                stack.append(iter(child.children.items()))
 
     def tuples(self) -> Iterator[Row]:
         """All indexed tuples, in trie attribute order."""

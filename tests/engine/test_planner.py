@@ -1,0 +1,196 @@
+"""Planner tests: plan shape, order invariance, early validation."""
+
+import itertools
+
+import pytest
+
+from repro import FractionalCover, output_bound
+from repro.api import explain, join
+from repro.baselines.naive import naive_join
+from repro.core.query import JoinQuery
+from repro.engine.planner import (
+    JoinPlan,
+    attribute_statistics,
+    plan_attribute_order,
+    plan_join,
+)
+from repro.errors import QueryError
+from repro.relations.relation import Relation
+from repro.workloads import generators, queries
+
+from tests.helpers import triangle_query
+
+
+class TestPlanShape:
+    def test_auto_picks_lw_for_lw_instance(self):
+        plan = plan_join(triangle_query())
+        assert plan.algorithm == "lw"
+        assert plan.estimated_bound == pytest.approx(3**1.5, rel=1e-6)
+
+    def test_auto_picks_arity2_for_graphs(self):
+        q = generators.random_instance(queries.cycle_query(4), 20, 4, seed=0)
+        plan = plan_join(q)
+        assert plan.algorithm == "arity2"
+
+    def test_auto_picks_generic_for_general_shapes(self):
+        q = generators.random_instance(queries.paper_figure2(), 20, 3, seed=0)
+        plan = plan_join(q)
+        assert plan.algorithm == "generic"
+        assert set(plan.attribute_order) == set(q.attributes)
+
+    def test_auto_with_cover_uses_nprr(self):
+        from fractions import Fraction
+
+        q = triangle_query()
+        cover = FractionalCover.uniform(q.hypergraph, Fraction(1, 2))
+        plan = plan_join(q, cover=cover)
+        assert plan.algorithm == "nprr"
+        assert plan.cover is cover
+
+    def test_leapfrog_gets_sorted_backend(self):
+        plan = plan_join(triangle_query(), "leapfrog")
+        assert plan.backend == "sorted"
+
+    def test_indexless_algorithms_report_no_backend(self):
+        assert plan_join(triangle_query(), "lw").backend == "none"
+        assert plan_join(triangle_query(), "arity2").backend == "none"
+
+    def test_auto_honors_explicit_order_with_generic(self):
+        # The triangle would normally go to the blocking lw specialist;
+        # a caller-fixed order must route to an order-sensitive executor.
+        q = triangle_query()
+        plan = plan_join(q, attribute_order=("C", "B", "A"))
+        assert plan.algorithm == "generic"
+        assert plan.attribute_order == ("C", "B", "A")
+
+    def test_auto_honors_explicit_backend_with_generic(self):
+        plan = plan_join(triangle_query(), backend="sorted")
+        assert plan.algorithm == "generic"
+        assert plan.backend == "sorted"
+
+    def test_unsupported_order_request_rejected(self):
+        # Executors that derive their own order must not silently ignore
+        # a caller-fixed one.
+        for algorithm in ("nprr", "lw", "arity2"):
+            with pytest.raises(QueryError):
+                plan_join(
+                    triangle_query(), algorithm,
+                    attribute_order=("A", "B", "C"),
+                )
+
+    def test_unsupported_backend_request_rejected(self):
+        with pytest.raises(QueryError):
+            plan_join(triangle_query(), "leapfrog", backend="trie")
+        with pytest.raises(QueryError):
+            plan_join(triangle_query(), "nprr", backend="sorted")
+        with pytest.raises(QueryError):
+            plan_join(triangle_query(), "lw", backend="trie")
+
+    def test_bound_is_lazy_for_streaming_algorithms(self):
+        plan = plan_join(triangle_query(), "generic")
+        assert object.__getattribute__(plan, "_bound") is None
+        assert plan.estimated_bound == pytest.approx(3**1.5, rel=1e-6)
+        assert object.__getattribute__(plan, "_bound") is not None
+
+    def test_estimated_bound_matches_output_bound(self):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=3)
+        assert plan_join(q).estimated_bound == pytest.approx(output_bound(q))
+
+    def test_describe_mentions_choices(self):
+        plan = plan_join(triangle_query(), "leapfrog")
+        text = plan.describe()
+        assert "leapfrog" in text
+        assert "attribute order:" in text
+        assert "AGM bound" in text
+
+    def test_explain_returns_plan_without_running(self):
+        plan = explain(triangle_query())
+        assert isinstance(plan, JoinPlan)
+        result = plan.execute()
+        assert result.equivalent(naive_join(triangle_query()))
+
+
+class TestOrderHeuristic:
+    def test_statistics_are_min_distinct_counts(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(1, 1), (1, 2), (1, 3)]),
+                Relation("S", ("B", "C"), [(1, 1), (2, 1), (3, 1)]),
+            ]
+        )
+        stats = attribute_statistics(q)
+        assert stats == {"A": 1, "B": 3, "C": 1}
+
+    def test_most_selective_attribute_first(self):
+        # A has one distinct value; C has many; B is in between.
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(7, b) for b in range(4)]),
+                Relation(
+                    "S", ("B", "C"), [(b, c) for b in range(4) for c in range(8)]
+                ),
+                Relation("T", ("A", "C"), [(7, c) for c in range(8)]),
+            ]
+        )
+        order = plan_attribute_order(q)
+        assert order[0] == "A"
+
+    def test_order_is_permutation(self):
+        for seed in range(5):
+            h = generators.random_hypergraph(5, 4, 3, seed=seed)
+            q = generators.random_instance(h, 25, 4, seed=seed)
+            order = plan_attribute_order(q)
+            assert sorted(order) == sorted(q.attributes)
+
+    def test_order_is_deterministic(self):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=1)
+        assert plan_attribute_order(q) == plan_attribute_order(q)
+
+
+class TestPlannerInvariance:
+    """Any chosen order yields the same result set (WCOJ correctness)."""
+
+    @pytest.mark.parametrize("algorithm", ["generic", "leapfrog"])
+    def test_all_orders_same_result(self, algorithm):
+        q = generators.random_instance(queries.triangle(), 30, 5, seed=4)
+        base = naive_join(q)
+        for order in itertools.permutations(q.attributes):
+            plan = plan_join(q, algorithm, attribute_order=order)
+            assert plan.execute().equivalent(base)
+            assert sorted(plan.iter_rows()) == sorted(
+                base.reorder(q.attributes).tuples
+            )
+
+    def test_planned_order_matches_default_order(self):
+        q = generators.random_instance(
+            queries.paper_figure2(), 25, 3, seed=8, skew=1.3
+        )
+        base = naive_join(q)
+        planned = plan_join(q, "generic")
+        default = plan_join(q, "generic", attribute_order=q.attributes)
+        assert planned.execute().equivalent(base)
+        assert default.execute().equivalent(base)
+
+
+class TestEarlyValidation:
+    def test_unknown_algorithm_rejected_before_any_work(self):
+        # The relations argument is never touched: validation precedes
+        # query construction and index building.
+        with pytest.raises(QueryError):
+            join(None, algorithm="quantum")
+
+    def test_unknown_algorithm_rejected_by_planner(self):
+        with pytest.raises(QueryError):
+            plan_join(triangle_query(), "quantum")
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            plan_join(triangle_query(), "generic", backend="quantum")
+
+    def test_algorithms_single_source_of_truth(self):
+        from repro.api import ALGORITHMS
+        from repro.engine.executors import EXECUTORS
+
+        assert ALGORITHMS == tuple(EXECUTORS) + ("auto",)

@@ -150,3 +150,19 @@ class TestCounts:
                         }
                     )
                     assert trie.count(node, depth) == expected
+
+
+class TestDeepTraversal:
+    def test_paths_beyond_recursion_limit(self):
+        """High-arity tries must traverse iteratively (explicit stack):
+        a depth well past sys.getrecursionlimit() cannot rely on call
+        recursion."""
+        import sys
+
+        arity = sys.getrecursionlimit() + 200
+        attrs = tuple(f"A{i}" for i in range(arity))
+        rows = [tuple(range(arity)), tuple(range(1, arity + 1))]
+        rel = Relation("Deep", attrs, rows)
+        trie = TrieIndex(rel, attrs)
+        assert sorted(trie.paths(trie.root, arity)) == sorted(rows)
+        assert len(trie) == 2

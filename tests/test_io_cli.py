@@ -111,3 +111,41 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "total order:" in out
         assert "anchor=T" in out
+
+    def test_explain_shows_plan(self, triangle_files, capsys):
+        assert main(["explain", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm:" in out
+        assert "attribute order:" in out
+        assert "index backend:" in out
+        assert "AGM bound" in out
+
+    def test_explain_algorithm_override(self, triangle_files, capsys):
+        assert main(
+            ["explain", *triangle_files, "--algorithm", "leapfrog"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: leapfrog" in out
+        assert "index backend: sorted" in out
+
+    def test_join_stream(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--stream"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
+
+    def test_join_stream_to_file(self, triangle_files, tmp_path, capsys):
+        out_path = tmp_path / "streamed.csv"
+        assert main(
+            ["join", *triangle_files, "--stream", "-o", str(out_path)]
+        ) == 0
+        result = load_relation_csv(out_path, name="J")
+        assert len(result) == 3
+
+    def test_join_backend_override(self, triangle_files, capsys):
+        assert main(
+            ["join", *triangle_files, "--algorithm", "generic",
+             "--backend", "sorted"]
+        ) == 0
+        assert "0,1,5" in capsys.readouterr().out

@@ -22,7 +22,16 @@ Quickstart::
     print(explain([r, s, t]).describe())  # the engine's join plan
 """
 
-from repro.api import ALGORITHMS, explain, iter_join, join, output_bound
+from repro.api import (
+    ALGORITHMS,
+    aiter_join,
+    explain,
+    iter_join,
+    join,
+    join_batched,
+    output_bound,
+    shard_join,
+)
 from repro.core import (
     ArityTwoJoin,
     Atom,
@@ -58,6 +67,7 @@ from repro.errors import (
     DatabaseError,
     FunctionalDependencyError,
     LinearProgramError,
+    PlanError,
     QueryError,
     ReproError,
     SchemaError,
@@ -103,6 +113,7 @@ __all__ = [
     "LeapfrogTriejoin",
     "LinearProgramError",
     "NPRRJoin",
+    "PlanError",
     "QPTree",
     "QueryError",
     "Relation",
@@ -113,6 +124,7 @@ __all__ = [
     "TrieIndex",
     "Var",
     "agm_bound",
+    "aiter_join",
     "arity_two_join",
     "best_agm_bound",
     "explain",
@@ -121,6 +133,7 @@ __all__ = [
     "generic_join",
     "iter_join",
     "join",
+    "join_batched",
     "leapfrog_join",
     "lw_hypergraph",
     "lw_join",
@@ -130,6 +143,7 @@ __all__ = [
     "plan_attribute_order",
     "plan_join",
     "relaxed_join",
+    "shard_join",
     "tighten_cover",
     "triangle_join",
     "verify_bt",

@@ -4,12 +4,17 @@ Usage::
 
     python -m repro join R.csv S.csv T.csv [--algorithm nprr] [-o out.csv]
     python -m repro join R.csv S.csv T.csv --stream
+    python -m repro join R.csv S.csv T.csv --shards 4 --batch 500
     python -m repro bound R.csv S.csv T.csv
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
 
 * ``join``    — compute the natural join (attributes join by column name);
                 with ``--stream``, rows are printed as the engine finds
-                them instead of being materialized and sorted
+                them instead of being materialized and sorted; with
+                ``--shards K``, the first join attribute is partitioned
+                into K work-balanced shards run on a worker pool; with
+                ``--batch N``, rows are written in batches of N (implies
+                ``--stream`` delivery)
 * ``bound``   — print the AGM output bound, the optimal fractional cover,
                 and the dual packing certificate
 * ``explain`` — print the engine's join plan (algorithm, attribute order,
@@ -25,7 +30,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import ALGORITHMS, explain, iter_join, join
+from repro.api import ALGORITHMS, explain, iter_join, join, shard_join
+from repro.engine.parallel import batches
 from repro.core.qptree import QPTree
 from repro.core.query import JoinQuery
 from repro.engine.backends import backend_kinds
@@ -62,6 +68,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print rows as the engine yields them (no materialization)",
     )
     join_cmd.add_argument(
+        "--shards",
+        type=_shard_count,
+        default=None,
+        metavar="K",
+        help="partition the first join attribute into K shards run on a "
+        "worker pool ('auto' picks from data statistics and CPU count)",
+    )
+    join_cmd.add_argument(
+        "--batch",
+        type=_batch_size,
+        default=None,
+        metavar="N",
+        help="write output rows in batches of N (implies --stream delivery)",
+    )
+    join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
     )
 
@@ -90,13 +111,46 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _shard_count(text: str) -> int | str:
+    """argparse type for ``--shards``: a positive int or the word 'auto'."""
+    if text == "auto":
+        return text
+    try:
+        count = int(text)
+    except ValueError:
+        count = 0
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive shard count or 'auto', got {text!r}"
+        )
+    return count
+
+
+def _batch_size(text: str) -> int:
+    """argparse type for ``--batch``: a positive int.
+
+    Rejected here so a bad value is a clean usage error — not a
+    traceback after ``-o`` has already opened (and truncated) the
+    output file.
+    """
+    try:
+        size = int(text)
+    except ValueError:
+        size = 0
+    if size < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive batch size, got {text!r}"
+        )
+    return size
+
+
 def _load_query(files: list[str]) -> JoinQuery:
     return JoinQuery(load_database_csv(files))
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
     query = _load_query(args.files)
-    if args.stream:
+    if args.stream or args.shards is not None or args.batch is not None:
         return _stream_join(query, args)
     result = join(query, algorithm=args.algorithm, backend=args.backend)
     if args.output:
@@ -110,21 +164,49 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _stream_join(query: JoinQuery, args: argparse.Namespace) -> int:
-    """End-to-end streaming: rows leave the process as they are found."""
-    rows = iter_join(query, algorithm=args.algorithm, backend=args.backend)
+    """End-to-end streaming: rows leave the process as they are found.
+
+    ``--shards`` routes through the parallel sharded driver; ``--batch``
+    groups rows into fixed-size batches and writes each batch with a
+    single call, so per-row write overhead is amortized.
+    """
+    if args.shards is not None:
+        rows = shard_join(
+            query,
+            shards=args.shards,
+            algorithm=args.algorithm,
+            backend=args.backend,
+        )
+    else:
+        rows = iter_join(
+            query, algorithm=args.algorithm, backend=args.backend
+        )
     header = ",".join(query.attributes)
+
+    def chunks():
+        """(csv text, row count) pairs — one per batch, or per row."""
+        if args.batch is not None:
+            for batch in batches(rows, args.batch):
+                text = "".join(
+                    ",".join(str(v) for v in row) + "\n" for row in batch
+                )
+                yield text, len(batch)
+        else:
+            for row in rows:
+                yield ",".join(str(v) for v in row) + "\n", 1
+
     if args.output:
         count = 0
         with open(args.output, "w", encoding="utf-8", newline="") as sink:
             sink.write(header + "\n")
-            for row in rows:
-                sink.write(",".join(str(v) for v in row) + "\n")
-                count += 1
+            for text, rows_in_chunk in chunks():
+                sink.write(text)
+                count += rows_in_chunk
         print(f"{count} tuples -> {args.output}")
     else:
         print(header)
-        for row in rows:
-            print(",".join(str(v) for v in row))
+        for text, _ in chunks():
+            print(text, end="")
     return 0
 
 

@@ -11,14 +11,23 @@ Every call routes through the engine (:mod:`repro.engine`): the planner
 resolves ``"auto"`` to a concrete algorithm, picks an attribute order and
 an index backend, and the executor registry runs the plan.  Use
 :func:`iter_join` to stream rows without materializing the result,
-:func:`explain` to inspect the plan without running it.
+:func:`explain` to inspect the plan without running it, and the parallel
+entry points to scale consumption: :func:`join_batched` (fixed-size row
+batches), :func:`shard_join` (first-attribute sharding across workers),
+and :func:`aiter_join` (async iteration for event-loop servers).
+
+Every entry point validates its arguments when *called* — an
+incompatible algorithm/backend/order combination raises
+:class:`~repro.errors.PlanError` before any iterator is returned, never
+at first ``next()``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import AsyncIterator, Iterator, Sequence
 
 from repro.core.query import JoinQuery
+from repro.engine import parallel as _parallel
 from repro.engine.executors import algorithm_names
 from repro.engine.planner import JoinPlan, plan_join
 from repro.errors import QueryError
@@ -120,6 +129,108 @@ def iter_join(
         backend=backend,
     )
     return plan.iter_rows(database=database)
+
+
+def join_batched(
+    relations: Sequence[Relation] | JoinQuery,
+    batch_size: int | str = _parallel.DEFAULT_BATCH_SIZE,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    database: Database | None = None,
+) -> Iterator[list[Row]]:
+    """Stream the natural join in fixed-size row batches.
+
+    Exactly :func:`iter_join`, delivered as lists of ``batch_size`` rows
+    (the last batch may be shorter; no empty batch is yielded), so
+    per-row overhead — function calls, syscalls, network frames — is
+    paid once per batch.  ``batch_size`` may be ``"auto"`` to let the
+    planner size batches from the AGM output estimate.
+
+    >>> from repro import Relation
+    >>> r = Relation("R", ("A", "B"), [(i, i + 1) for i in range(5)])
+    >>> s = Relation("S", ("B", "C"), [(i + 1, i) for i in range(5)])
+    >>> [len(batch) for batch in join_batched([r, s], batch_size=2)]
+    [2, 2, 1]
+    """
+    _check_algorithm(algorithm)
+    plan = plan_join(
+        _as_query(relations),
+        algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        batch_size=batch_size,
+    )
+    return plan.iter_batches(database=database)
+
+
+def shard_join(
+    relations: Sequence[Relation] | JoinQuery,
+    shards: int | str | None = None,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    mode: str = "auto",
+    workers: int | None = None,
+) -> Iterator[Row]:
+    """Stream the natural join, sharded on the planner's first attribute.
+
+    The first attribute's candidate values are partitioned into
+    ``shards`` work-balanced groups and the whole engine runs once per
+    shard — on a process pool by default (``mode="auto"`` falls back to
+    threads for unpicklable values; ``"serial"`` chains the shards
+    in-process).  The yielded row *set* equals serial :func:`iter_join`;
+    arrival order depends on shard completion.  ``shards`` may be an
+    int, ``"auto"`` (from data statistics and CPU count), or ``None``
+    (same as ``"auto"``).  See :mod:`repro.engine.parallel`.
+    """
+    _check_algorithm(algorithm)
+    return _parallel.shard_join(
+        relations,
+        shards=shards,
+        algorithm=algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        mode=mode,
+        workers=workers,
+    )
+
+
+def aiter_join(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    shards: int | str | None = None,
+    batch_size: int = _parallel.DEFAULT_BATCH_SIZE,
+) -> AsyncIterator[Row]:
+    """Async variant of :func:`iter_join` for event-loop servers.
+
+    Returns an async iterator: the blocking join generator runs on
+    worker threads (``asyncio.to_thread``) and rows reach the loop
+    ``batch_size`` at a time, so the loop never blocks on the search for
+    more than one batch.  With ``shards`` set, execution is sharded as
+    in :func:`shard_join`.  Planning and validation happen in this
+    synchronous call, not at first ``anext()``::
+
+        async for row in aiter_join([r, s, t]):
+            await websocket.send(render(row))
+    """
+    _check_algorithm(algorithm)
+    return _parallel.aiter_join(
+        relations,
+        algorithm=algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        shards=shards,
+        batch_size=batch_size,
+    )
 
 
 def explain(

@@ -62,6 +62,12 @@ class JoinQuery:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("JoinQuery instances are immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__ (slot-based pickling would hit the
+        # immutability guard); lets queries cross process boundaries for
+        # sharded parallel execution.
+        return (JoinQuery, (list(self.relations.values()),))
+
     # -- accessors ---------------------------------------------------------
 
     @property

@@ -24,6 +24,17 @@ from repro.engine.backends import (
     validate_backend,
 )
 from repro.engine.executors import EXECUTORS, algorithm_names, build_executor
+from repro.engine.parallel import (
+    DEFAULT_BATCH_SIZE,
+    SHARD_MODES,
+    ShardSpec,
+    aiter_join,
+    batches,
+    iter_shard_rows,
+    plan_shards,
+    shard_join,
+    shard_query,
+)
 from repro.engine.planner import (
     JoinPlan,
     attribute_statistics,
@@ -33,16 +44,25 @@ from repro.engine.planner import (
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_BATCH_SIZE",
     "EXECUTORS",
     "INDEX_BACKENDS",
     "IndexBackend",
     "JoinPlan",
+    "SHARD_MODES",
+    "ShardSpec",
+    "aiter_join",
     "algorithm_names",
     "attribute_statistics",
     "backend_kinds",
+    "batches",
     "build_executor",
     "build_index",
+    "iter_shard_rows",
     "plan_attribute_order",
     "plan_join",
+    "plan_shards",
+    "shard_join",
+    "shard_query",
     "validate_backend",
 ]

@@ -79,24 +79,50 @@ class IndexBackend(Protocol):
         """Number of indexed tuples."""
 
     # (ST1) — prefix membership in O(prefix) steps.
-    def walk(self, prefix: Iterable[Value]) -> Any | None: ...
+    def walk(self, prefix: Iterable[Value]) -> Any | None:
+        """The node reached from :attr:`root` by following ``prefix``
+        values level by level, or ``None`` if no indexed tuple starts
+        with that prefix.  Cost is O(len(prefix)) lookups — the paper's
+        (ST1) search-tree property."""
 
-    def descend(self, node: Any, values: Iterable[Value]) -> Any | None: ...
+    def descend(self, node: Any, values: Iterable[Value]) -> Any | None:
+        """Like :meth:`walk`, but starting from an arbitrary ``node``
+        instead of the root (``None`` nodes propagate to ``None``)."""
 
-    def child(self, node: Any, value: Value) -> Any | None: ...
+    def child(self, node: Any, value: Value) -> Any | None:
+        """The single-step descent: the child of ``node`` along
+        ``value``, or ``None`` when no indexed tuple extends the node's
+        prefix with that value.  The executors' inner-loop probe."""
 
     # (ST2) — projected-section cardinality.
-    def count(self, node: Any, depth: int) -> int: ...
+    def count(self, node: Any, depth: int) -> int:
+        """How many *distinct* length-``depth`` paths continue below
+        ``node`` — ``|pi_{next depth attrs}(R[prefix])|``, the paper's
+        (ST2) property, which NPRR's per-tuple case analysis queries on
+        every split.  The hash trie answers from a precomputed vector in
+        O(1); the sorted backend gallops per distinct path."""
 
-    def fanout(self, node: Any) -> int: ...
+    def fanout(self, node: Any) -> int:
+        """Number of immediate children of ``node`` (= ``count(node, 1)``);
+        0 for ``None`` or a leaf."""
 
     def fanout_hint(self, node: Any) -> int:
-        """O(1) upper bound on ``fanout`` for smallest-first ranking."""
+        """O(1) upper bound on ``fanout`` for smallest-first ranking.
+
+        Exact for the hash trie; the sorted backend returns its row-range
+        width (an over-count) rather than pay a scan, which is enough to
+        pick the smallest intersection operand heuristically."""
 
     # (ST3) — output-linear enumeration.
-    def items(self, node: Any) -> Iterator[tuple[Value, Any]]: ...
+    def items(self, node: Any) -> Iterator[tuple[Value, Any]]:
+        """Iterate ``(value, child node)`` pairs below ``node``, in the
+        backend's native order (hash order for tries, sorted order for
+        flat arrays).  Executors must not rely on the order."""
 
-    def paths(self, node: Any, depth: int) -> Iterator[Row]: ...
+    def paths(self, node: Any, depth: int) -> Iterator[Row]:
+        """Enumerate every distinct ``depth``-level path below ``node``
+        as a tuple, in time linear in the number of paths emitted — the
+        paper's (ST3) output-linear enumeration property."""
 
 
 def backend_kinds() -> tuple[str, ...]:

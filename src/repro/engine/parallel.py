@@ -1,0 +1,578 @@
+"""Parallel execution: batching, first-attribute sharding, async delivery.
+
+PR 1 put every algorithm behind one streaming ``iter_join()`` interface;
+this module scales that interface out without touching any executor:
+
+* :func:`batches` — the ``batches(n)`` adapter over the executor
+  protocol: drive any streaming join in fixed-size row batches, so
+  network sinks and downstream operators amortize per-row overhead;
+* :func:`shard_join` — first-attribute sharding.  Partition the values
+  of the planner-chosen first attribute into ``k`` disjoint groups
+  (balanced by estimated per-value work), run the *whole engine* once
+  per shard, and union the disjoint result streams.  Sharding on the
+  first attribute of any WCOJ order is embarrassingly parallel and
+  preserves the AGM worst-case guarantee per shard — each shard is just
+  the same query over restricted relations ("Skew Strikes Back",
+  arXiv:1310.3314; Ngo's survey, arXiv:1803.09930) — so the union is
+  exactly the serial result, order aside;
+* :func:`aiter_join` — an ``async`` wrapper for event-loop servers: the
+  blocking generator runs on a worker thread, rows are handed to the
+  loop a batch at a time.
+
+Shard execution modes (``mode=`` on :func:`shard_join`):
+
+``"process"``
+    A ``multiprocessing`` pool, one task per shard — true parallelism
+    for CPU-bound joins.  Shard queries are pickled to the workers
+    (:class:`~repro.relations.relation.Relation` and
+    :class:`~repro.core.query.JoinQuery` define ``__reduce__`` for
+    exactly this); each worker materializes its shard and the parent
+    streams the per-shard results as they arrive, in completion order.
+``"thread"``
+    A thread pool feeding a bounded queue — no pickling requirement and
+    row-level streaming, the fallback for unpicklable values.
+``"serial"``
+    Shards run one after another in-process — deterministic, zero
+    overhead, the baseline the parity tests compare against.
+``"auto"``
+    ``"process"`` when the shard payloads pickle, else ``"thread"``;
+    ``"serial"`` when only one shard remains after value partitioning.
+
+Every public function validates its arguments *eagerly* (raising
+:class:`~repro.errors.PlanError` / :class:`~repro.errors.QueryError`
+before returning an iterator), so misconfiguration surfaces at the call
+site, not at first ``next()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import queue as queue_module
+import threading
+from collections import Counter
+from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.query import JoinQuery
+from repro.engine.planner import plan_join
+from repro.errors import PlanError, require_positive_int
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation, Row, Value
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "SHARD_MODES",
+    "ShardSpec",
+    "aiter_join",
+    "batches",
+    "iter_shard_rows",
+    "plan_shards",
+    "shard_join",
+    "shard_query",
+]
+
+#: Rows per batch when no explicit batch size is requested.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Recognized ``mode=`` values for :func:`shard_join`.
+SHARD_MODES = ("auto", "process", "thread", "serial")
+
+#: Rows buffered per queue message in thread mode (amortizes queue
+#: synchronization without delaying delivery noticeably).
+_THREAD_CHUNK = 256
+
+
+def _as_query(relations: Sequence[Relation] | JoinQuery) -> JoinQuery:
+    # Mirrors api._as_query; api.py imports this module, so the helper
+    # lives here to avoid the cycle.
+    return (
+        relations
+        if isinstance(relations, JoinQuery)
+        else JoinQuery(list(relations))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched consumption
+# ---------------------------------------------------------------------------
+
+
+def batches(
+    source: Iterable[Row], size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[list[Row]]:
+    """Adapt a streaming join into fixed-size row batches.
+
+    ``source`` is anything yielding rows — an executor (anything with
+    ``iter_join()``), a :meth:`JoinPlan.iter_rows` stream, or a plain
+    iterable.  Yields lists of exactly ``size`` rows, except the final
+    batch which may be shorter; never yields an empty batch.  The source
+    is consumed lazily, one batch ahead of the consumer, so early
+    termination stops the underlying search.
+
+    >>> batched = batches(iter([(1,), (2,), (3,)]), size=2)
+    >>> [len(b) for b in batched]
+    [2, 1]
+    """
+    require_positive_int(size, "batch size")
+    rows = source.iter_join() if hasattr(source, "iter_join") else iter(source)
+    return _batches(rows, size)
+
+
+def _batches(rows: Iterator[Row], size: int) -> Iterator[list[Row]]:
+    while True:
+        batch = list(itertools.islice(rows, size))
+        if not batch:
+            return
+        yield batch
+
+
+# ---------------------------------------------------------------------------
+# First-attribute sharding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a set of values of the sharded attribute, plus the
+    planner's work estimate used to balance the partition.
+
+    ``weight`` is the product over relations containing ``attribute`` of
+    that value's tuple frequency — a cheap proxy for the top-level
+    expansion work the shard will do (exact for a single-attribute
+    query, an upper-bound flavor of the AGM product otherwise).
+    """
+
+    attribute: str
+    values: frozenset[Value]
+    weight: int
+
+
+def plan_shards(
+    query: JoinQuery, shards: int, attribute: str | None = None
+) -> tuple[ShardSpec, ...]:
+    """Partition an attribute's candidate values into balanced shards.
+
+    The candidate set is the *intersection* of the value sets that the
+    relations containing ``attribute`` present — values outside it
+    cannot appear in any output row, so they are dropped outright (the
+    same elimination the serial engine performs at its top level).
+    Values are then distributed over at most ``shards`` groups by greedy
+    longest-processing-time assignment on the per-value work estimate,
+    so a skewed (Zipf-heavy) attribute does not put all its work in one
+    shard.  Returns only non-empty shards; the result is deterministic.
+
+    ``attribute`` defaults to the query's first attribute; pass
+    ``plan.attribute_order[0]`` to shard on the planner's choice.
+    Sharding is *correct* for any attribute — disjoint value groups give
+    disjoint output slices whose union is the full join — only balance
+    depends on the choice.
+    """
+    require_positive_int(shards, "shards")
+    if attribute is None:
+        attribute = query.attributes[0]
+    participants = [
+        rel
+        for rel in query.relations.values()
+        if attribute in rel.attribute_set
+    ]
+    if not participants:
+        raise PlanError(
+            f"cannot shard on {attribute!r}: no relation contains it "
+            f"(query attributes: {query.attributes})"
+        )
+
+    counts: list[Counter] = []
+    for rel in participants:
+        position = rel.position(attribute)
+        counts.append(Counter(row[position] for row in rel.tuples))
+    candidates = set(counts[0])
+    for counter in counts[1:]:
+        candidates &= set(counter)
+    if not candidates:
+        return ()
+
+    def work(value: Value) -> int:
+        weight = 1
+        for counter in counts:
+            weight *= counter[value]
+        return weight
+
+    weights = {value: work(value) for value in candidates}
+    # Greedy LPT: heaviest value first, into the currently lightest bin.
+    ranked = sorted(candidates, key=lambda v: (-weights[v], repr(v)))
+    bins: list[tuple[list[Value], int]] = [([], 0) for _ in range(shards)]
+    for value in ranked:
+        index = min(range(len(bins)), key=lambda i: bins[i][1])
+        values, weight = bins[index]
+        values.append(value)
+        bins[index] = (values, weight + weights[value])
+    return tuple(
+        ShardSpec(attribute, frozenset(values), weight)
+        for values, weight in bins
+        if values
+    )
+
+
+def shard_query(query: JoinQuery, spec: ShardSpec) -> JoinQuery:
+    """Restrict ``query`` to one shard's slice of the data.
+
+    Every relation containing the sharded attribute keeps only the
+    tuples whose value falls in ``spec.values``; relations not
+    containing it are shared untouched.  The result is an ordinary
+    :class:`JoinQuery` — same hypergraph, restricted instance — so any
+    algorithm, order, and backend apply per shard unchanged.
+    """
+    return _shard_queries(query, (spec,))[0]
+
+
+def _shard_queries(
+    query: JoinQuery, specs: Sequence[ShardSpec]
+) -> list[JoinQuery]:
+    """Build every shard's restricted query in one pass over the data.
+
+    Each participant relation is scanned once, bucketing rows by a
+    value -> shard-index map — O(N) total instead of the O(k*N) that k
+    independent :func:`shard_query` filters would cost.  Rows whose
+    value belongs to no shard (outside the candidate intersection) are
+    dropped, exactly as the per-spec filter drops them.
+
+    Relations *not* containing the attribute are shared by reference
+    across all shard queries — free in thread/serial mode; process mode
+    still serializes them into each shard's payload (a known k-fold
+    cost for non-participant relations; a pool initializer shipping the
+    shared part once is the upgrade path).
+    """
+    if not specs:
+        return []
+    attribute = specs[0].attribute
+    shard_of = {
+        value: index
+        for index, spec in enumerate(specs)
+        for value in spec.values
+    }
+    per_shard_relations: list[list[Relation]] = [[] for _ in specs]
+    for rel in query.relations.values():
+        if attribute not in rel.attribute_set:
+            for bucket in per_shard_relations:
+                bucket.append(rel)  # shared untouched
+            continue
+        position = rel.position(attribute)
+        rows: list[list[Row]] = [[] for _ in specs]
+        for row in rel.tuples:
+            index = shard_of.get(row[position])
+            if index is not None:
+                rows[index].append(row)
+        for bucket, shard_rows in zip(per_shard_relations, rows):
+            bucket.append(Relation(rel.name, rel.attributes, shard_rows))
+    return [JoinQuery(relations) for relations in per_shard_relations]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """A picklable unit of shard work: the restricted query plus the
+    execution choices the parent already resolved."""
+
+    query: JoinQuery
+    algorithm: str
+    cover: FractionalCover | None
+    attribute_order: tuple[str, ...] | None
+    backend: str | None
+
+
+def _shard_rows(task: _ShardTask) -> Iterator[Row]:
+    """Stream one shard in-process (the per-worker primitive).
+
+    A shard with any empty relation joins to nothing — skip planning
+    entirely (this also keeps per-shard AGM machinery away from
+    zero-size inputs).  Indexes are always built fresh from the
+    restricted relations; a shared :class:`Database` cache would serve
+    *full*-relation indexes under the same names and break parity.
+    """
+    if any(len(rel) == 0 for rel in task.query.relations.values()):
+        return iter(())
+    plan = plan_join(
+        task.query,
+        task.algorithm,
+        cover=task.cover,
+        attribute_order=task.attribute_order,
+        backend=task.backend,
+    )
+    return plan.iter_rows()
+
+
+def _run_shard(task: _ShardTask) -> list[Row]:
+    """Materialize one shard's result (the worker-side unit of work)."""
+    return list(_shard_rows(task))
+
+
+def _run_shard_pickled(payload: bytes) -> list[Row]:
+    """Process-pool entry point: the parent serialized each task once
+    while probing picklability, so workers receive those same bytes and
+    deserialize here — the dataset never pays a second pickling pass."""
+    return _run_shard(pickle.loads(payload))
+
+
+def iter_shard_rows(
+    query: JoinQuery,
+    spec: ShardSpec,
+    algorithm: str = "generic",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+) -> Iterator[Row]:
+    """Stream a single shard of ``query`` in-process.
+
+    Building block for custom drivers (and the parallel benchmark's
+    per-shard critical-path timing); :func:`shard_join` is the
+    end-to-end driver.
+    """
+    task = _ShardTask(
+        query=shard_query(query, spec),
+        algorithm=algorithm,
+        cover=cover,
+        attribute_order=(
+            tuple(attribute_order) if attribute_order is not None else None
+        ),
+        backend=backend,
+    )
+    return _shard_rows(task)
+
+
+def _iter_serial(tasks: list[_ShardTask]) -> Iterator[Row]:
+    for task in tasks:
+        yield from _shard_rows(task)
+
+
+def _iter_process(payloads: list[bytes], workers: int) -> Iterator[Row]:
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    with context.Pool(processes=workers) as pool:
+        for rows in pool.imap_unordered(_run_shard_pickled, payloads):
+            yield from rows
+
+
+def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
+    """Row-streaming union over worker threads.
+
+    Each worker streams its shard into a bounded queue in small chunks;
+    the consumer interleaves chunks in arrival order.  Worker exceptions
+    are re-raised in the consumer.  When the consumer stops early (or an
+    error aborts it), the ``finally`` block raises a stop flag that
+    unblocks and retires every remaining worker — no threads (or their
+    shard data) outlive the generator; daemonizing is only a last line
+    of defense for interpreter shutdown.
+    """
+    sink: queue_module.Queue = queue_module.Queue(maxsize=max(4, workers * 4))
+    todo: queue_module.SimpleQueue = queue_module.SimpleQueue()
+    for task in tasks:
+        todo.put(task)
+    stop = threading.Event()
+
+    def emit(item: tuple[str, object]) -> bool:
+        """Enqueue unless the consumer is gone; False means abandon."""
+        while not stop.is_set():
+            try:
+                sink.put(item, timeout=0.1)
+                return True
+            except queue_module.Full:
+                continue
+        return False
+
+    def run() -> None:
+        while not stop.is_set():
+            try:
+                task = todo.get_nowait()
+            except queue_module.Empty:
+                return
+            try:
+                chunk: list[Row] = []
+                for row in _shard_rows(task):
+                    if stop.is_set():
+                        return
+                    chunk.append(row)
+                    if len(chunk) >= _THREAD_CHUNK:
+                        if not emit(("rows", chunk)):
+                            return
+                        chunk = []
+                if chunk and not emit(("rows", chunk)):
+                    return
+                if not emit(("done", None)):
+                    return
+            except BaseException as error:  # propagated to the consumer
+                emit(("error", error))
+                return
+
+    # A fixed pool of `workers` threads draining the task queue — never
+    # one thread per shard, so a huge shard count cannot exhaust OS
+    # thread limits (or reserve a stack per shard).
+    threads = [
+        threading.Thread(target=run, daemon=True)
+        for _ in range(min(workers, len(tasks)))
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        finished = 0
+        while finished < len(tasks):
+            kind, payload = sink.get()
+            if kind == "rows":
+                yield from payload
+            elif kind == "done":
+                finished += 1
+            else:
+                raise payload
+    finally:
+        stop.set()
+
+
+def shard_join(
+    relations: Sequence[Relation] | JoinQuery,
+    shards: int | str | None = None,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    mode: str = "auto",
+    workers: int | None = None,
+) -> Iterator[Row]:
+    """Run a join sharded on the planner's first attribute; union streams.
+
+    The planner resolves algorithm / order / backend exactly as for the
+    serial engine, then the first attribute's candidate values are
+    partitioned into ``shards`` work-balanced groups
+    (:func:`plan_shards`) and the whole engine runs once per shard.  The
+    yielded row *set* is identical to serial ``iter_join`` — shards are
+    disjoint slices of the output — but arrival order depends on shard
+    completion order.
+
+    Parameters mirror :func:`repro.api.iter_join`, plus:
+
+    shards:
+        Positive int, ``"auto"`` (from data statistics and CPU count),
+        or ``None`` (same as ``"auto"``).
+    mode:
+        ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"`` — see
+        the module docstring.
+    workers:
+        Pool width for process/thread modes; defaults to the shard
+        count.
+
+    All validation (unknown algorithm, incompatible backend, bad shard
+    count or mode) happens *before* this returns an iterator.
+    """
+    if mode not in SHARD_MODES:
+        raise PlanError(
+            f"unknown shard mode {mode!r}; choose one of {SHARD_MODES}"
+        )
+    if workers is not None:
+        require_positive_int(workers, "workers")
+    query = _as_query(relations)
+    plan = plan_join(
+        query,
+        algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        shards=shards if shards is not None else "auto",
+    )
+    specs = plan_shards(query, plan.shards, plan.attribute_order[0])
+    if not specs:
+        return iter(())
+    tasks = [
+        _ShardTask(
+            query=restricted,
+            algorithm=plan.algorithm,
+            cover=cover,
+            attribute_order=(
+                tuple(attribute_order)
+                if attribute_order is not None
+                else None
+            ),
+            backend=backend,
+        )
+        for restricted in _shard_queries(query, specs)
+    ]
+    if mode == "serial" or len(tasks) == 1:
+        return _iter_serial(tasks)
+    # Serialize each task once, up front: every task must pickle (shards
+    # partition the *values*, so one unpicklable value poisons only the
+    # shard it landed in — sampling one task would crash the pool
+    # mid-iteration), and the resulting bytes are what the workers get,
+    # so the dataset is never pickled a second time by the pool.
+    payloads: list[bytes] | None = None
+    if mode in ("auto", "process"):
+        try:
+            payloads = [
+                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                for task in tasks
+            ]
+        except Exception:
+            if mode == "process":
+                raise  # explicitly requested: surface the real error now
+    if mode == "auto":
+        mode = "process" if payloads is not None else "thread"
+    pool_width = min(workers or len(tasks), len(tasks))
+    if mode == "process":
+        return _iter_process(payloads, pool_width)
+    return _iter_thread(tasks, pool_width)
+
+
+# ---------------------------------------------------------------------------
+# Async consumption
+# ---------------------------------------------------------------------------
+
+
+def aiter_join(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    shards: int | str | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> AsyncIterator[Row]:
+    """Async wrapper over the streaming engine for event-loop servers.
+
+    Returns an async iterator of rows.  The blocking join generator runs
+    on worker threads via ``asyncio.to_thread`` and hands rows to the
+    event loop ``batch_size`` at a time, so the loop blocks once per
+    batch instead of once per row.  With ``shards`` set, rows come from
+    :func:`shard_join`; otherwise from the serial engine.
+
+    Planning — and therefore all argument validation — happens *now*,
+    in this synchronous call, not at first ``anext()``: a bad request
+    raises here, matching ``join`` / ``iter_join``.
+    """
+    if shards is not None:
+        rows = shard_join(
+            relations,
+            shards=shards,
+            algorithm=algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+        )
+    else:
+        plan = plan_join(
+            _as_query(relations),
+            algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+        )
+        rows = plan.iter_rows()
+    batched = batches(rows, batch_size)
+
+    async def stream() -> AsyncIterator[Row]:
+        import asyncio
+
+        while True:
+            batch = await asyncio.to_thread(next, batched, None)
+            if batch is None:
+                return
+            for row in batch:
+                yield row
+
+    return stream()

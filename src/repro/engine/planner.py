@@ -34,10 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
 
+import os
+
 from repro.core.query import JoinQuery
 from repro.engine.backends import validate_backend
 from repro.engine.executors import algorithm_names, build_executor
-from repro.errors import QueryError
+from repro.errors import PlanError, QueryError, require_positive_int
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
 from repro.relations.database import Database
@@ -67,6 +69,16 @@ BACKEND_CHOICES = {
 #: Placeholder backend for algorithms that build no per-order indexes.
 NO_BACKEND = "none"
 
+#: Below this total input size (``sum_e N_e``) auto-sharding stays serial:
+#: fork/queue overhead dwarfs any parallel win on small queries.
+AUTO_SHARD_MIN_TUPLES = 4096
+
+#: Auto-sharding never exceeds this many shards, however many CPUs exist.
+MAX_AUTO_SHARDS = 8
+
+#: Bounds for the planner's ``batch_size="auto"`` choice.
+MIN_AUTO_BATCH, MAX_AUTO_BATCH = 64, 4096
+
 
 @dataclass(frozen=True)
 class JoinPlan:
@@ -84,6 +96,16 @@ class JoinPlan:
     backend: str
     cover: FractionalCover | None = None
     reasons: tuple[str, ...] = field(default_factory=tuple)
+    #: Parallel shard count.  ``1`` means serial execution; values above 1
+    #: partition the first attribute of :attr:`attribute_order` across
+    #: workers (see :mod:`repro.engine.parallel`).  Populated by
+    #: :func:`plan_join` — either fixed by the caller or derived from data
+    #: statistics with ``shards="auto"``.
+    shards: int = 1
+    #: Rows per delivered batch for batched consumption, or ``None`` for
+    #: row-at-a-time streaming.  ``plan_join(batch_size="auto")`` sizes it
+    #: from the AGM output estimate.
+    batch_size: int | None = None
     # Lazily computed AGM bound cache (None until first access), so the
     # cover LP is not solved on join() calls that never inspect the plan.
     _bound: float | None = field(default=None, repr=False, compare=False)
@@ -120,8 +142,31 @@ class JoinPlan:
         return self.executor(database).execute(name)
 
     def iter_rows(self, database: Database | None = None) -> Iterator[Row]:
-        """Run the plan, streaming rows in the query's attribute order."""
+        """Run the plan, streaming rows in the query's attribute order.
+
+        Serial execution regardless of :attr:`shards` — the parallel
+        drivers in :mod:`repro.engine.parallel` consume the plan's shard
+        fields; this method is the per-worker (and per-shard) primitive.
+        """
         return self.executor(database).iter_join()
+
+    def iter_batches(
+        self,
+        database: Database | None = None,
+        batch_size: int | None = None,
+    ) -> Iterator[list[Row]]:
+        """Run the plan, streaming rows in fixed-size batches.
+
+        ``batch_size`` defaults to the plan's :attr:`batch_size` field
+        (or 1024 when the plan carries none).  The final batch may be
+        short; no empty batch is ever yielded.
+        """
+        from repro.engine.parallel import DEFAULT_BATCH_SIZE, batches
+
+        size = batch_size if batch_size is not None else self.batch_size
+        if size is None:
+            size = DEFAULT_BATCH_SIZE
+        return batches(self.iter_rows(database=database), size)
 
     def describe(self) -> str:
         """A human-readable rendering (the CLI ``explain`` output)."""
@@ -131,6 +176,9 @@ class JoinPlan:
             f"algorithm: {self.algorithm}",
             f"attribute order: {', '.join(self.attribute_order)}",
             f"index backend: {self.backend}",
+            f"shards: {self.shards}",
+            "batch size: "
+            + (str(self.batch_size) if self.batch_size else "row-at-a-time"),
             f"estimated output (AGM bound): {self.estimated_bound:.3f} tuples",
             "relation sizes: "
             + ", ".join(f"{eid}={n}" for eid, n in sizes.items()),
@@ -248,12 +296,82 @@ def _choose_algorithm(
     return "generic"
 
 
+def _auto_shards(query: JoinQuery, reasons: list[str]) -> int:
+    """Pick a shard count from input size and host parallelism.
+
+    Serial below :data:`AUTO_SHARD_MIN_TUPLES` total input tuples (fork
+    and queue overhead would dominate); otherwise one shard per available
+    CPU, capped at :data:`MAX_AUTO_SHARDS`.
+    """
+    total = query.total_input_size()
+    if total < AUTO_SHARD_MIN_TUPLES:
+        reasons.append(
+            f"serial: {total} input tuples < {AUTO_SHARD_MIN_TUPLES} "
+            "auto-shard threshold"
+        )
+        return 1
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        cpus = os.cpu_count() or 1
+    shards = max(1, min(MAX_AUTO_SHARDS, cpus))
+    reasons.append(
+        f"{shards} shard(s): {total} input tuples across {cpus} "
+        "available CPU(s)"
+    )
+    return shards
+
+
+def _auto_batch_size(
+    query: JoinQuery,
+) -> tuple[int, FractionalCover, float]:
+    """Size batches from the AGM output estimate: roughly sqrt(bound),
+    clamped to [:data:`MIN_AUTO_BATCH`, :data:`MAX_AUTO_BATCH`] — small
+    results fit one batch, huge results amortize per-batch overhead
+    without hoarding memory.  Returns the cover and bound alongside so
+    the plan can reuse them instead of re-solving the LP."""
+    cover, bound = best_agm_bound(query.hypergraph, query.sizes())
+    size = max(MIN_AUTO_BATCH, min(MAX_AUTO_BATCH, round(bound**0.5)))
+    return size, cover, bound
+
+
+def _resolve_shards(
+    query: JoinQuery, shards: int | str | None, reasons: list[str]
+) -> int:
+    if shards is None:
+        return 1
+    if shards == "auto":
+        return _auto_shards(query, reasons)
+    require_positive_int(shards, "shards", " or 'auto'")
+    reasons.append(f"shard count fixed by caller: {shards}")
+    return shards
+
+
+def _resolve_batch_size(
+    query: JoinQuery, batch_size: int | str | None, reasons: list[str]
+) -> tuple[int | None, FractionalCover | None, float | None]:
+    """Resolve the batch size; also pass back the (cover, bound) pair the
+    ``"auto"`` path had to compute, so the plan never solves the same LP
+    twice."""
+    if batch_size is None:
+        return None, None, None
+    if batch_size == "auto":
+        size, auto_cover, bound = _auto_batch_size(query)
+        reasons.append(f"batch size from AGM estimate: {size}")
+        return size, auto_cover, bound
+    require_positive_int(batch_size, "batch_size", " or 'auto'")
+    reasons.append(f"batch size fixed by caller: {batch_size}")
+    return batch_size, None, None
+
+
 def plan_join(
     query: JoinQuery,
     algorithm: str = "auto",
     cover: FractionalCover | None = None,
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
+    shards: int | str | None = None,
+    batch_size: int | str | None = None,
 ) -> JoinPlan:
     """Produce a :class:`JoinPlan` for ``query``.
 
@@ -262,6 +380,11 @@ def plan_join(
     relation-size statistics are exactly what ``Database.sizes()`` reports
     for catalogued relations, so plans computed against a catalog match
     plans computed against the bound query.
+
+    ``shards`` and ``batch_size`` populate the plan's parallel-execution
+    fields: each accepts a positive int, the string ``"auto"`` (choose
+    from data statistics), or ``None`` (serial / row-at-a-time).  Requests
+    the engine cannot honor raise :class:`~repro.errors.PlanError`.
     """
     if algorithm not in algorithm_names():
         raise QueryError(
@@ -284,13 +407,13 @@ def plan_join(
     # the plan must report what actually runs.
     order_sensitive = algorithm in ORDER_SENSITIVE
     if attribute_order is not None and not order_sensitive:
-        raise QueryError(
+        raise PlanError(
             f"algorithm {algorithm!r} derives its own attribute order; "
             f"drop attribute_order or choose one of {ORDER_SENSITIVE}"
         )
     allowed_backends = BACKEND_CHOICES.get(algorithm, ())
     if backend is not None and backend not in allowed_backends:
-        raise QueryError(
+        raise PlanError(
             f"algorithm {algorithm!r} cannot run on backend {backend!r}"
             + (
                 f"; it supports {allowed_backends}"
@@ -331,13 +454,23 @@ def plan_join(
         backend = NO_BACKEND
         reasons.append(f"{algorithm} builds no per-order indexes")
 
+    shard_count = _resolve_shards(query, shards, reasons)
+    batch, auto_cover, bound = _resolve_batch_size(
+        query, batch_size, reasons
+    )
+
     # Only the cover-driven algorithms pay for the cover LP at plan time
     # (their executors would solve the same LP anyway); everyone else
-    # defers the AGM bound until someone inspects the plan.
+    # defers the AGM bound until someone inspects the plan — unless the
+    # auto-batch path already solved it above, in which case it is reused.
     plan_cover = cover
-    bound: float | None = None
     if algorithm in ("nprr", "arity2") and cover is None:
-        plan_cover, bound = best_agm_bound(query.hypergraph, query.sizes())
+        if auto_cover is not None:
+            plan_cover = auto_cover
+        else:
+            plan_cover, bound = best_agm_bound(
+                query.hypergraph, query.sizes()
+            )
     return JoinPlan(
         query=query,
         algorithm=algorithm,
@@ -345,5 +478,7 @@ def plan_join(
         backend=backend,
         cover=plan_cover,
         reasons=tuple(reasons),
+        shards=shard_count,
+        batch_size=batch,
         _bound=bound,
     )

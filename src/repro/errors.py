@@ -35,6 +35,33 @@ class QueryError(ReproError):
     """
 
 
+class PlanError(QueryError):
+    """The planner rejected a request the executor would silently ignore.
+
+    Raised at *plan time* — before any index is built and before any
+    generator is consumed — when the caller combines options that cannot
+    run together: an attribute order for an algorithm that derives its
+    own, a backend an algorithm cannot execute on, or an invalid shard /
+    batch configuration.  Subclasses :class:`QueryError` so existing
+    ``except QueryError`` handlers keep working.
+    """
+
+
+def require_positive_int(value: object, what: str, extra: str = "") -> int:
+    """Validate a strictly positive ``int`` (bools rejected) or raise
+    :class:`PlanError`.
+
+    The one guard behind every shard-count / batch-size / worker-count
+    parameter, so the layers cannot drift apart.  ``extra`` names other
+    accepted spellings for the message (e.g. ``" or 'auto'"``).
+    """
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise PlanError(
+            f"{what} must be a positive int{extra}, got {value!r}"
+        )
+    return value
+
+
 class CoverError(ReproError):
     """A fractional edge cover is invalid for its hypergraph.
 

@@ -42,6 +42,11 @@ class FractionalCover:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("FractionalCover instances are immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__ — default slot-based pickling trips the
+        # immutability guard; covers travel with plans to shard workers.
+        return (FractionalCover, (self.weights,))
+
     # -- mapping protocol ---------------------------------------------------
 
     def __getitem__(self, edge_id: str) -> Fraction:

@@ -76,6 +76,12 @@ class Relation:
     def __setattr__(self, key: str, value: Any) -> None:
         raise AttributeError("Relation instances are immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__: the default slot-based pickling would
+        # call __setattr__, which immutability forbids.  This also makes
+        # relations shippable to worker processes for sharded execution.
+        return (Relation, (self.name, self.attributes, self.tuples))
+
     def __len__(self) -> int:
         return len(self.tuples)
 

@@ -1,0 +1,443 @@
+"""Tests for the parallel execution layer: batching, sharding, async."""
+
+import asyncio
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.api import aiter_join, iter_join, join_batched, shard_join
+from repro.core.generic_join import GenericJoin
+from repro.core.query import JoinQuery
+from repro.engine import parallel
+from repro.engine.parallel import (
+    ShardSpec,
+    batches,
+    iter_shard_rows,
+    plan_shards,
+    shard_query,
+)
+from repro.engine.planner import plan_join
+from repro.errors import PlanError
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.relation import Relation
+from repro.workloads import generators, queries
+
+
+@pytest.fixture
+def triangle_query():
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 0)]),
+            Relation("S", ("B", "C"), [(1, 5), (2, 6), (0, 7)]),
+            Relation("T", ("A", "C"), [(0, 5), (1, 6), (2, 7)]),
+        ]
+    )
+
+
+def _workload_queries():
+    """The parity workloads: every generator family, kept small."""
+    return [
+        generators.random_instance(
+            queries.triangle(), 400, 20, seed=3, skew=1.2
+        ),
+        generators.random_instance(queries.clique_query(4), 150, 8, seed=4),
+        generators.random_instance(queries.lw_query(3), 120, 6, seed=5),
+        generators.random_instance(
+            generators.random_hypergraph(4, 3, 3, seed=6), 80, 5, seed=6
+        ),
+    ]
+
+
+class TestBatches:
+    def test_sizes_and_remainder(self):
+        out = list(batches(iter([(i,) for i in range(10)]), 4))
+        assert [len(b) for b in out] == [4, 4, 2]
+        assert [row for b in out for row in b] == [(i,) for i in range(10)]
+
+    def test_exact_multiple_has_no_empty_batch(self):
+        out = list(batches(iter([(i,) for i in range(8)]), 4))
+        assert [len(b) for b in out] == [4, 4]
+
+    def test_empty_source(self):
+        assert list(batches(iter([]), 3)) == []
+
+    def test_accepts_executor(self, triangle_query):
+        executor = GenericJoin(triangle_query)
+        rows = {r for b in batches(executor, 2) for r in b}
+        assert rows == set(GenericJoin(triangle_query).iter_join())
+
+    def test_lazy_consumption(self):
+        seen = []
+
+        def source():
+            for i in range(100):
+                seen.append(i)
+                yield (i,)
+
+        stream = batches(source(), 5)
+        next(stream)
+        assert len(seen) <= 10  # one batch ahead at most
+
+    @pytest.mark.parametrize("bad", [0, -1, "x", 2.5, True])
+    def test_invalid_size_raises_eagerly(self, bad):
+        with pytest.raises(PlanError):
+            batches(iter([]), bad)
+
+
+class TestPlanShards:
+    def test_partitions_candidate_values(self, triangle_query):
+        specs = plan_shards(triangle_query, 2, "A")
+        union = set().union(*(s.values for s in specs))
+        assert union == {0, 1, 2}
+        assert sum(len(s.values) for s in specs) == 3  # disjoint
+
+    def test_drops_values_outside_intersection(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(0, 1), (9, 1)]),
+                Relation("T", ("A", "C"), [(0, 2), (7, 2)]),
+            ]
+        )
+        specs = plan_shards(q, 4, "A")
+        assert set().union(*(s.values for s in specs)) == {0}
+
+    def test_more_shards_than_values(self, triangle_query):
+        specs = plan_shards(triangle_query, 16, "A")
+        assert 1 <= len(specs) <= 3
+        assert all(s.values for s in specs)
+
+    def test_deterministic(self, triangle_query):
+        assert plan_shards(triangle_query, 3, "A") == plan_shards(
+            triangle_query, 3, "A"
+        )
+
+    def test_skew_balance(self):
+        # One hub value with weight ~N, many light values: LPT must not
+        # stack light values onto the hub's shard.
+        rows = [(0, i) for i in range(50)] + [(j, 0) for j in range(1, 26)]
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), rows),
+                Relation("T", ("A", "C"), rows),
+            ]
+        )
+        specs = plan_shards(q, 2, "A")
+        hub = next(s for s in specs if 0 in s.values)
+        assert hub.values == {0}
+
+    def test_unknown_attribute(self, triangle_query):
+        with pytest.raises(PlanError):
+            plan_shards(triangle_query, 2, "Z")
+
+    @pytest.mark.parametrize("bad", [0, -2, "4", True])
+    def test_invalid_count(self, triangle_query, bad):
+        with pytest.raises(PlanError):
+            plan_shards(triangle_query, bad, "A")
+
+
+class TestShardQuery:
+    def test_restricts_only_participants(self, triangle_query):
+        spec = ShardSpec("A", frozenset({0}), 1)
+        restricted = shard_query(triangle_query, spec)
+        assert set(restricted.relation("R").tuples) == {(0, 1)}
+        assert set(restricted.relation("T").tuples) == {(0, 5)}
+        # S does not contain A: shared untouched.
+        assert restricted.relation("S") is triangle_query.relation("S")
+
+    def test_same_hypergraph(self, triangle_query):
+        spec = ShardSpec("A", frozenset({0, 1}), 1)
+        restricted = shard_query(triangle_query, spec)
+        assert restricted.attributes == triangle_query.attributes
+        assert restricted.edge_ids == triangle_query.edge_ids
+
+
+class TestShardJoinParity:
+    """Sharded row sets must equal serial iter_join on every generator."""
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_modes_match_serial(self, mode):
+        for query in _workload_queries():
+            serial = set(iter_join(query, algorithm="generic"))
+            sharded = set(
+                shard_join(query, shards=3, algorithm="generic", mode=mode)
+            )
+            assert sharded == serial
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shard_counts_match_serial(self, shards):
+        query = _workload_queries()[0]
+        serial = set(iter_join(query))
+        assert set(shard_join(query, shards=shards, mode="serial")) == serial
+
+    @pytest.mark.parametrize(
+        "algorithm", ["nprr", "lw", "generic", "leapfrog", "arity2"]
+    )
+    def test_every_algorithm(self, triangle_query, algorithm):
+        serial = set(iter_join(triangle_query, algorithm=algorithm))
+        sharded = set(
+            shard_join(
+                triangle_query, shards=2, algorithm=algorithm, mode="serial"
+            )
+        )
+        assert sharded == serial
+
+    def test_with_cover(self, triangle_query):
+        from fractions import Fraction
+
+        cover = FractionalCover.uniform(
+            triangle_query.hypergraph, Fraction(1, 2)
+        )
+        serial = set(iter_join(triangle_query, cover=cover))
+        assert (
+            set(
+                shard_join(
+                    triangle_query, shards=2, cover=cover, mode="serial"
+                )
+            )
+            == serial
+        )
+
+    def test_empty_result(self):
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(0, 1)]),
+                Relation("S", ("B", "C"), [(9, 2)]),
+            ]
+        )
+        assert list(shard_join(q, shards=4, mode="serial")) == []
+
+    def test_single_relation(self):
+        q = JoinQuery([Relation("R", ("A", "B"), [(0, 1), (1, 2)])])
+        assert set(shard_join(q, shards=2, mode="serial")) == {(0, 1), (1, 2)}
+
+    def test_auto_falls_back_to_thread_for_unpicklable(self):
+        class Local:  # unpicklable: defined inside a function
+            pass
+
+        a, b = Local(), Local()
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(a, 1), (b, 2)]),
+                Relation("T", ("A", "C"), [(a, 5), (b, 6)]),
+            ]
+        )
+        with pytest.raises(Exception):
+            pickle.dumps(q)
+        assert set(shard_join(q, shards=2, mode="auto")) == set(iter_join(q))
+
+    def test_auto_mode_with_mixed_picklability(self):
+        # Regression: one heavy *picklable* value monopolizes the first
+        # shard, so sampling only tasks[0] would choose the process pool
+        # and crash at first next() when a later shard's unpicklable
+        # value hits the pickler.  Auto mode must inspect every task.
+        class Local:
+            pass
+
+        a, b = Local(), Local()
+        rows = [(0, i) for i in range(30)] + [(a, 0), (b, 1)]
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), rows),
+                Relation("T", ("A", "C"), rows),
+            ]
+        )
+        assert set(shard_join(q, shards=2, mode="auto")) == set(iter_join(q))
+
+    def test_workers_cap(self):
+        query = _workload_queries()[0]
+        serial = set(iter_join(query, algorithm="generic"))
+        got = set(
+            shard_join(
+                query,
+                shards=4,
+                algorithm="generic",
+                mode="thread",
+                workers=2,
+            )
+        )
+        assert got == serial
+
+    def test_thread_mode_propagates_worker_errors(self, triangle_query, monkeypatch):
+        def boom(task):
+            raise RuntimeError("shard exploded")
+
+        monkeypatch.setattr(parallel, "_shard_rows", boom)
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            list(
+                shard_join(triangle_query, shards=2, mode="thread")
+            )
+
+    def test_explicit_process_mode_rejects_unpicklable_eagerly(self):
+        class Local:
+            pass
+
+        a, b = Local(), Local()
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(a, 1), (b, 2)]),
+                Relation("T", ("A", "C"), [(a, 5), (b, 6)]),
+            ]
+        )
+        # auto falls back to threads; an explicit process request must
+        # surface the pickling failure at the call site instead.
+        with pytest.raises(Exception):
+            shard_join(q, shards=2, mode="process")
+
+    def test_thread_mode_workers_retire_on_early_close(self):
+        query = generators.random_instance(
+            queries.triangle(), 800, 20, seed=8, skew=1.2
+        )
+        before = threading.active_count()
+        stream = shard_join(query, shards=4, mode="thread")
+        next(stream)
+        stream.close()
+        deadline = time.monotonic() + 5.0
+        while (
+            threading.active_count() > before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert threading.active_count() <= before
+
+    def test_eager_validation(self, triangle_query):
+        with pytest.raises(PlanError):
+            shard_join(triangle_query, shards=0)
+        with pytest.raises(PlanError):
+            shard_join(triangle_query, shards=2, mode="warp")
+        with pytest.raises(PlanError):
+            shard_join(triangle_query, shards=2, workers=0)
+        with pytest.raises(PlanError):
+            shard_join(
+                triangle_query, shards=2, algorithm="nprr", backend="sorted"
+            )
+
+
+class TestIterShardRows:
+    def test_streams_one_shard(self, triangle_query):
+        specs = plan_shards(triangle_query, 3, "A")
+        rows = set()
+        for spec in specs:
+            rows |= set(iter_shard_rows(triangle_query, spec, "generic"))
+        assert rows == set(iter_join(triangle_query, algorithm="generic"))
+
+
+class TestJoinBatched:
+    def test_flattens_to_iter_join(self, triangle_query):
+        flat = [
+            row
+            for batch in join_batched(triangle_query, batch_size=2)
+            for row in batch
+        ]
+        assert set(flat) == set(iter_join(triangle_query))
+        assert len(flat) == len(set(flat))
+
+    def test_batch_size_auto(self, triangle_query):
+        out = list(join_batched(triangle_query, batch_size="auto"))
+        assert {row for b in out for row in b} == set(
+            iter_join(triangle_query)
+        )
+
+    def test_invalid_batch_size_raises_eagerly(self, triangle_query):
+        with pytest.raises(PlanError):
+            join_batched(triangle_query, batch_size=0)
+
+
+class TestAiterJoin:
+    def test_parity(self, triangle_query):
+        async def collect():
+            return {row async for row in aiter_join(triangle_query)}
+
+        assert asyncio.run(collect()) == set(iter_join(triangle_query))
+
+    def test_sharded(self, triangle_query):
+        async def collect():
+            stream = aiter_join(triangle_query, shards=2, batch_size=2)
+            return {row async for row in stream}
+
+        assert asyncio.run(collect()) == set(iter_join(triangle_query))
+
+    def test_eager_validation_outside_event_loop(self, triangle_query):
+        # Misconfiguration must raise in the synchronous call, not at
+        # first anext() inside a running loop.
+        with pytest.raises(PlanError):
+            aiter_join(triangle_query, algorithm="leapfrog", backend="trie")
+
+
+class TestPlannerParallelFields:
+    def test_defaults_are_serial(self, triangle_query):
+        plan = plan_join(triangle_query, "generic")
+        assert plan.shards == 1
+        assert plan.batch_size is None
+
+    def test_fixed_by_caller(self, triangle_query):
+        plan = plan_join(triangle_query, "generic", shards=4, batch_size=500)
+        assert (plan.shards, plan.batch_size) == (4, 500)
+        assert any("shard count fixed" in r for r in plan.reasons)
+
+    def test_auto_small_input_stays_serial(self, triangle_query):
+        plan = plan_join(triangle_query, "generic", shards="auto")
+        assert plan.shards == 1
+
+    def test_auto_large_input_shards(self):
+        query = generators.random_instance(queries.triangle(), 2500, 500, seed=9)
+        assert query.total_input_size() >= 4096
+        plan = plan_join(query, "generic", shards="auto")
+        assert 1 <= plan.shards <= 8
+
+    def test_auto_batch_from_agm(self, triangle_query):
+        plan = plan_join(triangle_query, "generic", batch_size="auto")
+        assert 64 <= plan.batch_size <= 4096
+
+    def test_describe_mentions_parallel_fields(self, triangle_query):
+        text = plan_join(
+            triangle_query, "generic", shards=2, batch_size=10
+        ).describe()
+        assert "shards: 2" in text
+        assert "batch size: 10" in text
+
+    def test_iter_batches(self, triangle_query):
+        plan = plan_join(triangle_query, "generic", batch_size=2)
+        out = list(plan.iter_batches())
+        assert [len(b) for b in out] == [2, 1]
+
+    def test_iter_batches_rejects_zero_like_every_other_layer(
+        self, triangle_query
+    ):
+        plan = plan_join(triangle_query, "generic")
+        with pytest.raises(PlanError):
+            plan.iter_batches(batch_size=0)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_shards(self, triangle_query, bad):
+        with pytest.raises(PlanError):
+            plan_join(triangle_query, "generic", shards=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_batch_size(self, triangle_query, bad):
+        with pytest.raises(PlanError):
+            plan_join(triangle_query, "generic", batch_size=bad)
+
+
+class TestPickling:
+    """Process-mode sharding ships queries to workers via pickle."""
+
+    def test_relation_roundtrip(self):
+        rel = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        again = pickle.loads(pickle.dumps(rel))
+        assert again == rel
+        assert again.name == "R"
+
+    def test_join_query_roundtrip(self, triangle_query):
+        again = pickle.loads(pickle.dumps(triangle_query))
+        assert again.edge_ids == triangle_query.edge_ids
+        assert again.relations == triangle_query.relations
+
+    def test_cover_roundtrip(self, triangle_query):
+        from fractions import Fraction
+
+        cover = FractionalCover.uniform(
+            triangle_query.hypergraph, Fraction(1, 2)
+        )
+        assert pickle.loads(pickle.dumps(cover)) == cover

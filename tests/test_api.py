@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro import Relation, join, output_bound
+from repro import Relation, iter_join, join, output_bound
 from repro.baselines.naive import naive_join
 from repro.core.query import JoinQuery
-from repro.errors import QueryError
+from repro.errors import PlanError, QueryError
 from repro.workloads import generators, queries
 
 
@@ -53,6 +53,38 @@ class TestJoin:
 
     def test_custom_name(self, relations):
         assert join(relations, name="Out").name == "Out"
+
+
+class TestIterJoinEagerValidation:
+    """Regression: iter_join must raise at *call* time, exactly like join.
+
+    A streaming entry point that deferred plan validation to the first
+    ``next()`` would let a rejected ``backend=`` slip past the call site
+    (e.g. into a response already streaming); both front doors must fail
+    identically, before any iterator is returned.
+    """
+
+    def test_rejected_backend_raises_at_call(self, relations):
+        with pytest.raises(PlanError) as via_iter:
+            iter_join(relations, algorithm="leapfrog", backend="trie")
+        with pytest.raises(PlanError) as via_join:
+            join(relations, algorithm="leapfrog", backend="trie")
+        assert str(via_iter.value) == str(via_join.value)
+
+    def test_rejected_attribute_order_raises_at_call(self, relations):
+        with pytest.raises(PlanError):
+            iter_join(
+                relations, algorithm="nprr", attribute_order=("A", "B", "C")
+            )
+
+    def test_plan_error_is_a_query_error(self, relations):
+        # Callers that predate PlanError still catch the rejection.
+        with pytest.raises(QueryError):
+            iter_join(relations, algorithm="arity2", backend="sorted")
+
+    def test_unknown_algorithm_raises_at_call(self, relations):
+        with pytest.raises(QueryError):
+            iter_join(relations, algorithm="quantum")
 
 
 class TestOutputBound:

@@ -149,3 +149,138 @@ class TestCLI:
              "--backend", "sorted"]
         ) == 0
         assert "0,1,5" in capsys.readouterr().out
+
+    def test_join_shards(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
+
+    def test_join_shards_auto(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--shards", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert sorted(
+            line for line in out.strip().splitlines()[1:] if line
+        ) == ["0,1,5", "1,2,6", "2,0,7"]
+
+    def test_join_shards_to_file(self, triangle_files, tmp_path, capsys):
+        out_path = tmp_path / "sharded.csv"
+        assert main(
+            ["join", *triangle_files, "--shards", "2", "-o", str(out_path)]
+        ) == 0
+        result = load_relation_csv(out_path, name="J")
+        assert len(result) == 3
+        assert "3 tuples" in capsys.readouterr().out
+
+    def test_join_batch_implies_stream_format(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
+
+    def test_join_batch_and_shards_to_file(
+        self, triangle_files, tmp_path, capsys
+    ):
+        out_path = tmp_path / "combo.csv"
+        assert main(
+            ["join", *triangle_files, "--shards", "2", "--batch", "2",
+             "-o", str(out_path)]
+        ) == 0
+        result = load_relation_csv(out_path, name="J")
+        assert len(result) == 3
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--shards", "0"), ("--shards", "-1"), ("--shards", "many"),
+        ("--batch", "0"), ("--batch", "-3"), ("--batch", "x"),
+    ])
+    def test_invalid_parallel_flags_are_usage_errors(
+        self, triangle_files, tmp_path, capsys, flag, value
+    ):
+        # A clean argparse usage error (exit 2) — never a traceback
+        # after -o has already opened/truncated the output file.
+        out_path = tmp_path / "untouched.csv"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", *triangle_files, flag, value, "-o", str(out_path)])
+        assert excinfo.value.code == 2
+        assert not out_path.exists()
+
+
+class TestCLIGoldenOutput:
+    """Exact-output tests for the formats scripts depend on.
+
+    ``explain`` output is fully deterministic (plan text plus the
+    Algorithm 3 query-plan tree); ``join --stream`` guarantees the
+    header line, one comma-joined line per result row, and nothing else
+    — row *order* is the engine's streaming order, so rows are compared
+    as a sorted list.
+    """
+
+    EXPLAIN_GOLDEN = """\
+query: JoinQuery(R(A,B) * S(B,C) * T(A,C))
+algorithm: lw
+attribute order: A, B, C
+index backend: none
+shards: 1
+batch size: row-at-a-time
+estimated output (AGM bound): 5.196 tuples
+relation sizes: R=3, S=3, T=3
+decisions:
+  - query is a Loomis-Whitney instance: Algorithm 1 (lw) runs in the LW bound (Theorem 4.1)
+  - lw derives its own order; keeping query order
+  - lw builds no per-order indexes
+
+Algorithm 2 query-plan tree (for --algorithm nprr):
+[k=3] univ={B,A,C} anchor=T
+    L: [k=2] univ={B} leaf
+    R: [k=2] univ={A,C} anchor=S
+        L: [k=1] univ={A} leaf
+total order: B, A, C
+"""
+
+    def test_explain_golden(self, triangle_files, capsys):
+        assert main(["explain", *triangle_files]) == 0
+        assert capsys.readouterr().out == self.EXPLAIN_GOLDEN
+
+    def test_explain_leapfrog_golden_plan_block(self, triangle_files, capsys):
+        assert main(
+            ["explain", *triangle_files, "--algorithm", "leapfrog"]
+        ) == 0
+        out = capsys.readouterr().out
+        plan_block = out.split("\n\n")[0].splitlines()
+        assert plan_block == [
+            "query: JoinQuery(R(A,B) * S(B,C) * T(A,C))",
+            "algorithm: leapfrog",
+            "attribute order: A, B, C",
+            "index backend: sorted",
+            "shards: 1",
+            "batch size: row-at-a-time",
+            "estimated output (AGM bound): 5.196 tuples",
+            "relation sizes: R=3, S=3, T=3",
+            "decisions:",
+            "  - algorithm 'leapfrog' fixed by caller",
+            "  - attribute order by ascending distinct-count: "
+            "A(3), B(3), C(3)",
+            "  - sorted flat-array backend: leapfrog seeks need sorted runs",
+        ]
+
+    def test_stream_golden(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--stream"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
+        assert out.endswith("\n")
+        assert len(lines) == 4  # header + 3 rows, no trailer
+
+    def test_stream_to_file_golden(self, triangle_files, tmp_path, capsys):
+        out_path = tmp_path / "streamed.csv"
+        assert main(
+            ["join", *triangle_files, "--stream", "-o", str(out_path)]
+        ) == 0
+        content = out_path.read_text()
+        lines = content.splitlines()
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
+        assert capsys.readouterr().out == f"3 tuples -> {out_path}\n"

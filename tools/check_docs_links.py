@@ -1,0 +1,78 @@
+"""Markdown link checker for the docs suite (no network, no deps).
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and images, and verifies that every *relative* target
+exists on disk, resolved against the containing file's directory.
+External (``http(s)://``) and pure-anchor (``#...``) targets are
+skipped — CI must not depend on third-party uptime.  Exits non-zero
+listing every broken link, so documentation cannot rot silently.
+
+Usage::
+
+    python tools/check_docs_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown link or image: ``[text](target)`` / ``![alt](target)``.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def default_files() -> list[pathlib.Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: pathlib.Path) -> list[tuple[int, str]]:
+    """(line number, target) pairs whose relative targets do not exist."""
+    problems = []
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                problems.append((number, target))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or None
+    files = (
+        [pathlib.Path(name) for name in names]
+        if names
+        else default_files()
+    )
+    failures = 0
+    for path in files:
+        for number, target in broken_links(path):
+            print(f"{path}:{number}: broken link -> {target}")
+            failures += 1
+    def display(path: pathlib.Path) -> str:
+        try:
+            return str(path.relative_to(ROOT))
+        except ValueError:  # outside the repo root: show as given
+            return str(path)
+
+    checked = ", ".join(display(path) for path in files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked}")
+        return 1
+    print(f"links OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

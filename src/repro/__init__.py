@@ -89,6 +89,11 @@ from repro.relations import (
     SortedArrayIndex,
     TrieIndex,
 )
+from repro.stats import (
+    PlanStatistics,
+    StatsConfig,
+    StatsProvider,
+)
 
 __version__ = "1.0.0"
 
@@ -114,6 +119,7 @@ __all__ = [
     "LinearProgramError",
     "NPRRJoin",
     "PlanError",
+    "PlanStatistics",
     "QPTree",
     "QueryError",
     "Relation",
@@ -121,6 +127,8 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "SortedArrayIndex",
+    "StatsConfig",
+    "StatsProvider",
     "TrieIndex",
     "Var",
     "agm_bound",

@@ -19,7 +19,9 @@ Usage::
                 and the dual packing certificate
 * ``explain`` — print the engine's join plan (algorithm, attribute order,
                 index backend, AGM estimate) plus the query-plan tree and
-                total order Algorithm 2 would use
+                total order Algorithm 2 would use; with ``--stats``, also
+                the statistics that justified each decision (distinct
+                counts, sampled selectivities, heavy hitters)
 
 Each CSV needs a header row of attribute names; the file stem is the
 relation name.
@@ -106,6 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=backend_kinds(),
         default=None,
         help="plan with this index backend (default: planner's choice)",
+    )
+    explain_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the statistics that justified each decision "
+        "(distinct counts, sampled selectivities, heavy hitters)",
     )
 
     return parser
@@ -231,7 +239,7 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     query = _load_query(args.files)
     plan = explain(query, algorithm=args.algorithm, backend=args.backend)
-    print(plan.describe())
+    print(plan.describe(show_stats=args.stats))
     print()
     print("Algorithm 2 query-plan tree (for --algorithm nprr):")
     tree = QPTree(query.hypergraph)

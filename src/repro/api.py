@@ -99,6 +99,7 @@ def join(
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
+        database=database,
     )
     return plan.execute(name, database=database)
 
@@ -127,6 +128,7 @@ def iter_join(
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
+        database=database,
     )
     return plan.iter_rows(database=database)
 
@@ -162,6 +164,7 @@ def join_batched(
         attribute_order=attribute_order,
         backend=backend,
         batch_size=batch_size,
+        database=database,
     )
     return plan.iter_batches(database=database)
 
@@ -175,6 +178,7 @@ def shard_join(
     backend: str | None = None,
     mode: str = "auto",
     workers: int | None = None,
+    database: Database | None = None,
 ) -> Iterator[Row]:
     """Stream the natural join, sharded on the planner's first attribute.
 
@@ -184,8 +188,10 @@ def shard_join(
     threads for unpicklable values; ``"serial"`` chains the shards
     in-process).  The yielded row *set* equals serial :func:`iter_join`;
     arrival order depends on shard completion.  ``shards`` may be an
-    int, ``"auto"`` (from data statistics and CPU count), or ``None``
-    (same as ``"auto"``).  See :mod:`repro.engine.parallel`.
+    int, ``"auto"`` (sized from heavy-hitter mass and CPU count, so hot
+    values land in their own shard), or ``None`` (same as ``"auto"``).
+    ``database`` lets the parent plan reuse the catalog's cached
+    statistics.  See :mod:`repro.engine.parallel`.
     """
     _check_algorithm(algorithm)
     return _parallel.shard_join(
@@ -197,6 +203,7 @@ def shard_join(
         backend=backend,
         mode=mode,
         workers=workers,
+        database=database,
     )
 
 
@@ -208,6 +215,7 @@ def aiter_join(
     backend: str | None = None,
     shards: int | str | None = None,
     batch_size: int = _parallel.DEFAULT_BATCH_SIZE,
+    database: Database | None = None,
 ) -> AsyncIterator[Row]:
     """Async variant of :func:`iter_join` for event-loop servers.
 
@@ -215,8 +223,9 @@ def aiter_join(
     worker threads (``asyncio.to_thread``) and rows reach the loop
     ``batch_size`` at a time, so the loop never blocks on the search for
     more than one batch.  With ``shards`` set, execution is sharded as
-    in :func:`shard_join`.  Planning and validation happen in this
-    synchronous call, not at first ``anext()``::
+    in :func:`shard_join`.  ``database`` reuses the catalog's cached
+    indexes and statistics across requests.  Planning and validation
+    happen in this synchronous call, not at first ``anext()``::
 
         async for row in aiter_join([r, s, t]):
             await websocket.send(render(row))
@@ -230,6 +239,7 @@ def aiter_join(
         backend=backend,
         shards=shards,
         batch_size=batch_size,
+        database=database,
     )
 
 
@@ -239,13 +249,19 @@ def explain(
     cover: FractionalCover | None = None,
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
+    database: Database | None = None,
+    stats=None,
 ) -> JoinPlan:
     """Plan the join without running it.
 
     Returns the engine's :class:`~repro.engine.planner.JoinPlan` — chosen
     algorithm, attribute order, index backend, and the AGM output bound —
-    for inspection (``plan.describe()``) or later execution
-    (``plan.execute()`` / ``plan.iter_rows()``).
+    for inspection (``plan.describe()``, and
+    ``plan.describe(show_stats=True)`` for the statistics that justified
+    each decision) or later execution (``plan.execute()`` /
+    ``plan.iter_rows()``).  ``database`` supplies the statistics cache;
+    ``stats`` pins a :class:`~repro.stats.provider.StatsProvider` (e.g.
+    sampling disabled, or a fixed seed).
     """
     _check_algorithm(algorithm)
     return plan_join(
@@ -254,6 +270,8 @@ def explain(
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
+        database=database,
+        stats=stats,
     )
 
 

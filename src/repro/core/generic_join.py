@@ -24,7 +24,7 @@ materializing wrapper.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
@@ -48,7 +48,12 @@ class GenericJoin:
         Optional catalog supplying cached indexes.
     backend:
         Index backend kind (``"trie"`` or ``"sorted"``, see
-        :data:`repro.relations.database.INDEX_BACKENDS`).
+        :data:`repro.relations.database.INDEX_BACKENDS`), or a mapping
+        of relation name to kind for a **per-relation** choice (the
+        statistics-driven planner emits these for skewed inputs);
+        relations absent from the mapping use the default backend.
+        Executors talk to indexes only through the ``IndexBackend``
+        protocol, so mixing kinds within one join is safe.
     """
 
     def __init__(
@@ -56,7 +61,7 @@ class GenericJoin:
         query: JoinQuery,
         attribute_order: Sequence[str] | None = None,
         database: Database | None = None,
-        backend: str = DEFAULT_BACKEND,
+        backend: str | Mapping[str, str] = DEFAULT_BACKEND,
     ) -> None:
         self.query = query
         order = (
@@ -72,18 +77,34 @@ class GenericJoin:
                 f"{query.attributes!r}"
             )
         self.order = order
-        self.backend = backend
+        if isinstance(backend, Mapping):
+            per_relation = dict(backend)
+            # Label from what each relation will actually get: a partial
+            # mapping leaves the absent relations on the default kind.
+            kinds = {
+                per_relation.get(eid, DEFAULT_BACKEND)
+                for eid in query.edge_ids
+            }
+            self.backend = kinds.pop() if len(kinds) == 1 else "mixed"
+        else:
+            per_relation = None
+            self.backend = backend
         rank = {a: i for i, a in enumerate(order)}
         self._indexes = []
         for eid in query.edge_ids:
             relation = query.relation(eid)
+            kind = (
+                per_relation.get(eid, DEFAULT_BACKEND)
+                if per_relation is not None
+                else backend
+            )
             index_order = tuple(
                 sorted(relation.attributes, key=rank.__getitem__)
             )
             if database is not None:
-                index = database.index(eid, index_order, backend)
+                index = database.index(eid, index_order, kind)
             else:
-                index = build_index(relation, index_order, backend)
+                index = build_index(relation, index_order, kind)
             self._indexes.append(index)
         # For each depth, which relations participate (contain the attr).
         self._participants: list[list[int]] = []

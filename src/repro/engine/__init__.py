@@ -13,6 +13,10 @@ over the paper's machinery:
   :class:`JoinPlan` with the query's AGM bound (Section 2) attached;
 * :mod:`repro.engine.executors` — the registry putting all five join
   algorithms behind one ``iter_join() / execute()`` streaming interface.
+
+The planner's data-awareness (relation profiles, heavy-hitter skew
+detection, sampled conditional selectivities) lives in
+:mod:`repro.stats` and is cached per :class:`Database`.
 """
 
 from repro.engine.backends import (
@@ -39,6 +43,7 @@ from repro.engine.planner import (
     JoinPlan,
     attribute_statistics,
     plan_attribute_order,
+    plan_attribute_order_sampled,
     plan_join,
 )
 
@@ -60,6 +65,7 @@ __all__ = [
     "build_index",
     "iter_shard_rows",
     "plan_attribute_order",
+    "plan_attribute_order_sampled",
     "plan_join",
     "plan_shards",
     "shard_join",

@@ -19,7 +19,7 @@ everywhere at once.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.arity_two import ArityTwoJoin
 from repro.core.generic_join import GenericJoin
@@ -68,9 +68,12 @@ def _make_generic(
     *,
     cover: FractionalCover | None,
     attribute_order: Sequence[str] | None,
-    backend: str,
+    backend: str | Mapping[str, str],
     database: Database | None,
 ) -> GenericJoin:
+    # ``backend`` may be a per-relation mapping (the statistics-driven
+    # planner emits one when skew or cached indexes argue for mixing
+    # kinds); GenericJoin accepts both spellings.
     return GenericJoin(
         query,
         attribute_order=attribute_order,
@@ -127,7 +130,7 @@ def build_executor(
     *,
     cover: FractionalCover | None = None,
     attribute_order: Sequence[str] | None = None,
-    backend: str = DEFAULT_BACKEND,
+    backend: str | Mapping[str, str] = DEFAULT_BACKEND,
     database: Database | None = None,
 ):
     """Instantiate the executor for a *resolved* algorithm name.

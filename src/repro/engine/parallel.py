@@ -436,6 +436,7 @@ def shard_join(
     backend: str | None = None,
     mode: str = "auto",
     workers: int | None = None,
+    database=None,
 ) -> Iterator[Row]:
     """Run a join sharded on the planner's first attribute; union streams.
 
@@ -458,6 +459,11 @@ def shard_join(
     workers:
         Pool width for process/thread modes; defaults to the shard
         count.
+    database:
+        Optional :class:`~repro.relations.database.Database` whose
+        statistics cache the *parent* plan consults (``shards="auto"``
+        heavy-hitter sizing, attribute order).  Shard workers still
+        build indexes from their restricted relations.
 
     All validation (unknown algorithm, incompatible backend, bad shard
     count or mode) happens *before* this returns an iterator.
@@ -476,6 +482,7 @@ def shard_join(
         attribute_order=attribute_order,
         backend=backend,
         shards=shards if shards is not None else "auto",
+        database=database,
     )
     specs = plan_shards(query, plan.shards, plan.attribute_order[0])
     if not specs:
@@ -532,6 +539,7 @@ def aiter_join(
     backend: str | None = None,
     shards: int | str | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    database=None,
 ) -> AsyncIterator[Row]:
     """Async wrapper over the streaming engine for event-loop servers.
 
@@ -539,7 +547,9 @@ def aiter_join(
     on worker threads via ``asyncio.to_thread`` and hands rows to the
     event loop ``batch_size`` at a time, so the loop blocks once per
     batch instead of once per row.  With ``shards`` set, rows come from
-    :func:`shard_join`; otherwise from the serial engine.
+    :func:`shard_join`; otherwise from the serial engine.  ``database``
+    supplies cached indexes and statistics — exactly what a long-lived
+    server answering repeated queries wants.
 
     Planning — and therefore all argument validation — happens *now*,
     in this synchronous call, not at first ``anext()``: a bad request
@@ -553,6 +563,7 @@ def aiter_join(
             cover=cover,
             attribute_order=attribute_order,
             backend=backend,
+            database=database,
         )
     else:
         plan = plan_join(
@@ -561,8 +572,9 @@ def aiter_join(
             cover=cover,
             attribute_order=attribute_order,
             backend=backend,
+            database=database,
         )
-        rows = plan.iter_rows()
+        rows = plan.iter_rows(database=database)
     batched = batches(rows, batch_size)
 
     async def stream() -> AsyncIterator[Row]:

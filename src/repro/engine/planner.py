@@ -14,15 +14,31 @@ The product is an inspectable :class:`JoinPlan`:
 * **algorithm** — a specialist when the query shape allows it (Algorithm 1
   for Loomis-Whitney instances, Theorem 7.3's decomposition for arity-2
   queries), else a generic WCOJ executor;
-* **attribute order** — greedy most-selective-first: ascending per-
-  attribute distinct-count (a smallest-domain heuristic computed from the
-  actual data in one linear scan), constrained to keep the chosen prefix
-  connected so early levels prune;
+* **attribute order** — a greedy descent on *estimated partial-result
+  sizes*: each step multiplies the candidate attribute's min-distinct
+  count by the sampled conditional selectivities against the relations
+  already bound (:mod:`repro.stats`), clamped by the AGM sub-bounds of
+  the covered sub-queries (:func:`repro.core.estimates.
+  subquery_estimates`).  With sampling disabled the planner falls back
+  to the classical ascending-distinct-count heuristic.  Either way the
+  chosen prefix stays connected so early levels prune;
 * **backend** — ``"sorted"`` flat arrays for leapfrog (its native
-  layout), hash tries otherwise (O(1) probes, precomputed (ST2) counts);
+  layout); for Generic Join a **per-relation** choice driven by cached-
+  index availability in the ``Database`` and each relation's skew
+  profile (heavy first levels get O(1) hash-trie probes), hash tries
+  otherwise (O(1) probes, precomputed (ST2) counts);
+* **shards** — ``shards="auto"`` sizes the shard count from input size,
+  CPU count, *and* the first attribute's heavy-hitter mass, so hot
+  values ("Skew Strikes Back"'s heavy side) land in their own shard;
 * **estimated AGM bound** — the fractional-cover output bound of
   Section 2, with its certificate cover attached (the
   :mod:`repro.core.estimates` machinery).
+
+Every data-driven decision is recorded on the plan:
+:attr:`JoinPlan.statistics` carries the
+:class:`~repro.stats.provider.PlanStatistics` that justified it, and
+``describe(show_stats=True)`` (the CLI's ``explain --stats``) renders
+them.
 
 ``JoinPlan.execute`` / ``JoinPlan.iter_rows`` hand off to the executor
 registry, so ``repro.join`` / ``repro.iter_join`` and the CLI ``explain``
@@ -36,6 +52,7 @@ from collections.abc import Iterator, Sequence
 
 import os
 
+from repro.core.estimates import subquery_estimates
 from repro.core.query import JoinQuery
 from repro.engine.backends import validate_backend
 from repro.engine.executors import algorithm_names, build_executor
@@ -46,11 +63,17 @@ from repro.relations.database import Database
 from repro.relations.relation import Relation, Row
 from repro.relations.sorted_index import SortedArrayIndex
 from repro.relations.trie import TrieIndex
+from repro.stats.provider import (
+    PlanStatistics,
+    StatsProvider,
+    default_provider,
+)
 
 __all__ = [
     "JoinPlan",
     "attribute_statistics",
     "plan_attribute_order",
+    "plan_attribute_order_sampled",
     "plan_join",
 ]
 
@@ -79,6 +102,18 @@ MAX_AUTO_SHARDS = 8
 #: Bounds for the planner's ``batch_size="auto"`` choice.
 MIN_AUTO_BATCH, MAX_AUTO_BATCH = 64, 4096
 
+#: ``subquery_estimates`` enumerates relation subsets (exponential in the
+#: relation count); the sampled order descent only consults it for
+#: queries at most this many relations wide.
+MAX_SUBQUERY_RELATIONS = 6
+
+#: Relations at or above this size with a low-skew first index level get
+#: the ``"sorted"`` backend when no cached index exists: one
+#: ``O(N log N)`` sort builds cheaper (and far leaner in memory) than N
+#: per-tuple dict-chain inserts, and without heavy values the log-factor
+#: probes are not concentrated on hot paths.
+LARGE_SORTED_RELATION = 32768
+
 
 @dataclass(frozen=True)
 class JoinPlan:
@@ -106,6 +141,16 @@ class JoinPlan:
     #: row-at-a-time streaming.  ``plan_join(batch_size="auto")`` sizes it
     #: from the AGM output estimate.
     batch_size: int | None = None
+    #: Per-relation index-backend choices as ``(edge id, kind)`` pairs,
+    #: set when the planner picked different backends for different
+    #: relations (:attr:`backend` then reads ``"mixed"``).  ``None``
+    #: means every relation uses :attr:`backend`.
+    relation_backends: tuple[tuple[str, str], ...] | None = None
+    #: The statistics that justified the data-driven decisions, or
+    #: ``None`` when none were consulted (caller fixed everything, or
+    #: the algorithm derives its own order and no sharding was asked
+    #: for).  See :class:`~repro.stats.provider.PlanStatistics`.
+    statistics: PlanStatistics | None = None
     # Lazily computed AGM bound cache (None until first access), so the
     # cover LP is not solved on join() calls that never inspect the plan.
     _bound: float | None = field(default=None, repr=False, compare=False)
@@ -126,12 +171,15 @@ class JoinPlan:
 
     def executor(self, database: Database | None = None):
         """Build (but do not run) this plan's executor."""
+        backend: str | dict[str, str] = self.backend
+        if self.relation_backends is not None:
+            backend = dict(self.relation_backends)
         return build_executor(
             self.query,
             self.algorithm,
             cover=self.cover,
             attribute_order=self.attribute_order,
-            backend=self.backend,
+            backend=backend,
             database=database,
         )
 
@@ -168,14 +216,28 @@ class JoinPlan:
             size = DEFAULT_BATCH_SIZE
         return batches(self.iter_rows(database=database), size)
 
-    def describe(self) -> str:
-        """A human-readable rendering (the CLI ``explain`` output)."""
+    def describe(self, show_stats: bool = False) -> str:
+        """A human-readable rendering (the CLI ``explain`` output).
+
+        ``show_stats`` appends the :attr:`statistics` block — the
+        numbers (distinct counts, sampled selectivities, heavy hitters)
+        that justified the data-driven decisions.
+        """
         sizes = self.query.sizes()
+        backend = self.backend
+        if self.relation_backends is not None:
+            backend += (
+                " ("
+                + ", ".join(
+                    f"{eid}={kind}" for eid, kind in self.relation_backends
+                )
+                + ")"
+            )
         lines = [
             f"query: {self.query!r}",
             f"algorithm: {self.algorithm}",
             f"attribute order: {', '.join(self.attribute_order)}",
-            f"index backend: {self.backend}",
+            f"index backend: {backend}",
             f"shards: {self.shards}",
             "batch size: "
             + (str(self.batch_size) if self.batch_size else "row-at-a-time"),
@@ -183,6 +245,8 @@ class JoinPlan:
             "relation sizes: "
             + ", ".join(f"{eid}={n}" for eid, n in sizes.items()),
         ]
+        if show_stats and self.statistics is not None:
+            lines.append(self.statistics.describe())
         if self.cover is not None:
             lines.append(
                 "fractional cover: "
@@ -197,25 +261,23 @@ class JoinPlan:
         return "\n".join(lines)
 
 
-def attribute_statistics(query: JoinQuery) -> dict[str, int]:
-    """Per-attribute selectivity scores from one linear data scan.
+def attribute_statistics(
+    query: JoinQuery, stats: StatsProvider | None = None
+) -> dict[str, int]:
+    """Per-attribute selectivity scores (min distinct count).
 
     The score of attribute ``A`` is ``min_e |pi_A(R_e)|`` over the
     relations containing ``A`` — the tightest distinct-count any index on
     ``A`` will present.  Lower scores mean earlier intersection levels
     stay smaller (the smallest-domain heuristic).
+
+    Served from ``stats`` (a :class:`~repro.stats.provider.
+    StatsProvider`) when given, so repeated plans over the same
+    ``Database`` reuse cached relation profiles instead of rescanning;
+    without one, an ephemeral provider scans the data once.
     """
-    scores: dict[str, int] = {}
-    for relation in query.relations.values():
-        distinct: list[set] = [set() for _ in relation.attributes]
-        for row in relation.tuples:
-            for i, value in enumerate(row):
-                distinct[i].add(value)
-        for attribute, values in zip(relation.attributes, distinct):
-            count = len(values)
-            if attribute not in scores or count < scores[attribute]:
-                scores[attribute] = count
-    return scores
+    provider = stats if stats is not None else default_provider()
+    return provider.attribute_scores(query)
 
 
 def plan_attribute_order(
@@ -257,6 +319,122 @@ def plan_attribute_order(
     return tuple(order)
 
 
+def plan_attribute_order_sampled(
+    query: JoinQuery, stats: StatsProvider
+) -> tuple[
+    tuple[str, ...],
+    dict[str, int],
+    tuple[tuple[str, float], ...],
+    dict[tuple[str, str], float],
+]:
+    """Greedy order descent on sampled partial-result estimates.
+
+    At each step the estimated size of the partial result after binding
+    candidate attribute ``A`` is::
+
+        est(prefix + A) = est(prefix) * min_distinct(A) * shrink(A)
+
+    where ``shrink(A)`` is the smallest sampled conditional selectivity
+    ``P(match in f | tuple of e)`` over relation pairs ``(e, f)`` with
+    ``A in e``, overlapping schemas, and ``f`` either already touched by
+    the prefix (the probability mass the bound relations leave for
+    ``e``'s tuples) or *also containing* ``A`` (the level's candidates
+    are the intersection of the co-containing relations' value sets, so
+    their cross-selectivity estimates how far below the min-distinct
+    base that intersection falls — this is what lets the very first
+    attribute choice see pruning, before anything is bound).  The estimate is then clamped by hard upper bounds
+    whenever the relations fully covered by ``prefix + A`` span exactly
+    its attributes: the covered relations' sizes (a single fully-bound
+    relation bounds its own prefix paths) and the AGM sub-bound of the
+    covered sub-query (:func:`~repro.core.estimates.subquery_estimates`,
+    consulted for queries up to :data:`MAX_SUBQUERY_RELATIONS` relations
+    wide).  The attribute minimizing the estimate is appended; ties fall
+    back to the distinct-count score, then first appearance, keeping the
+    result deterministic for a fixed sampler seed.
+
+    Returns ``(order, distinct_scores, per-step estimates,
+    selectivities consulted)`` so the caller can attach the evidence to
+    the plan.
+    """
+    scores = stats.attribute_scores(query)
+    appearance = {a: i for i, a in enumerate(query.attributes)}
+    relations = query.relations
+    rels_with: dict[str, list[str]] = {a: [] for a in query.attributes}
+    neighbors: dict[str, set[str]] = {a: set() for a in query.attributes}
+    for eid, relation in relations.items():
+        for a in relation.attributes:
+            rels_with[a].append(eid)
+            neighbors[a].update(relation.attributes)
+
+    sub_bounds: dict[frozenset[str], float] = {}
+    if len(query.edge_ids) <= MAX_SUBQUERY_RELATIONS:
+        sub_bounds = {
+            subset: estimate.bound
+            for subset, estimate in subquery_estimates(query).items()
+        }
+
+    order: list[str] = []
+    estimates: list[tuple[str, float]] = []
+    consulted: dict[tuple[str, str], float] = {}
+    bound_attrs: set[str] = set()
+    touched: set[str] = set()  # edge ids containing a bound attribute
+    remaining = set(query.attributes)
+    frontier: set[str] = set()
+    partial = 1.0
+
+    def estimate_for(attribute: str) -> float:
+        shrink = 1.0
+        containing = rels_with[attribute]
+        for eid in containing:
+            source = relations[eid]
+            for fid in touched.union(containing):
+                if fid == eid:
+                    continue
+                target = relations[fid]
+                if not (source.attribute_set & target.attribute_set):
+                    continue
+                selectivity = stats.selectivity(source, target)
+                consulted[(eid, fid)] = selectivity
+                shrink = min(shrink, selectivity)
+        estimate = partial * scores[attribute] * shrink
+        prefix_attrs = bound_attrs | {attribute}
+        covered = frozenset(
+            eid
+            for eid, relation in relations.items()
+            if relation.attribute_set <= prefix_attrs
+        )
+        covered_attrs: set[str] = set()
+        for eid in covered:
+            covered_attrs |= relations[eid].attribute_set
+        if covered and covered_attrs == prefix_attrs:
+            # The partial tuples over prefix_attrs project INTO every
+            # covered relation, so these clamps are true upper bounds.
+            estimate = min(
+                estimate, min(float(len(relations[eid])) for eid in covered)
+            )
+            if covered in sub_bounds:
+                estimate = min(estimate, sub_bounds[covered])
+        return estimate
+
+    while remaining:
+        candidates = frontier & remaining
+        if not candidates:
+            candidates = remaining  # new connected component (or start)
+        chosen = min(
+            candidates,
+            key=lambda a: (estimate_for(a), scores[a], appearance[a]),
+        )
+        chosen_estimate = estimate_for(chosen)
+        order.append(chosen)
+        estimates.append((chosen, chosen_estimate))
+        partial = max(chosen_estimate, 1.0)
+        bound_attrs.add(chosen)
+        remaining.discard(chosen)
+        frontier |= neighbors[chosen]
+        touched.update(rels_with[chosen])
+    return tuple(order), scores, tuple(estimates), consulted
+
+
 def _choose_algorithm(
     query: JoinQuery,
     cover: FractionalCover | None,
@@ -296,12 +474,96 @@ def _choose_algorithm(
     return "generic"
 
 
-def _auto_shards(query: JoinQuery, reasons: list[str]) -> int:
-    """Pick a shard count from input size and host parallelism.
+def _relation_backends(
+    query: JoinQuery,
+    order: tuple[str, ...],
+    stats: StatsProvider,
+    database: Database | None,
+    reasons: list[str],
+) -> tuple[str, tuple[tuple[str, str], ...] | None]:
+    """Per-relation backend choice for Generic Join.
+
+    Decision per relation, in priority order:
+
+    1. **Cached-index availability** — if the ``Database`` already holds
+       an index over this relation in the order the plan needs, reuse
+       its kind: a free cache hit beats any rebuild.
+    2. **Skew** — a heavy first index level (heavy-hitter mass at or
+       above the provider's threshold) gets the hash trie: the hot
+       values are probed over and over, and the trie answers in O(1)
+       where the sorted array pays a log factor per probe.
+    3. **Size** — large low-skew relations
+       (>= :data:`LARGE_SORTED_RELATION` tuples) get the sorted flat
+       array: one sort builds cheaper and leaner than per-tuple dict
+       chains, and without hot values the log-factor probes stay spread.
+    4. Default: the hash trie.
+
+    Returns ``(backend label, per-relation pairs or None)`` — the pairs
+    are ``None`` when every relation landed on the trie default, so
+    plans without statistics pressure look exactly like before.
+    """
+    rank = {a: i for i, a in enumerate(order)}
+    choices: dict[str, str] = {}
+    notes: list[str] = []
+    for eid, relation in query.relations.items():
+        index_order = tuple(sorted(relation.attributes, key=rank.__getitem__))
+        cached = None
+        if database is not None and database.is_catalogued(relation):
+            for kind in (TrieIndex.kind, SortedArrayIndex.kind):
+                if database.has_cached_index(eid, index_order, kind):
+                    cached = kind
+                    break
+        if cached is not None:
+            choices[eid] = cached
+            notes.append(f"{eid}: cached {cached} index")
+            continue
+        profile = stats.profile(relation).attribute(index_order[0])
+        if profile.heavy_mass >= stats.config.heavy_mass_threshold:
+            choices[eid] = TrieIndex.kind
+            notes.append(
+                f"{eid}: trie ({profile.heavy_count} heavy value(s) carry "
+                f"{profile.heavy_mass:.0%} of first level)"
+            )
+        elif len(relation) >= LARGE_SORTED_RELATION:
+            choices[eid] = SortedArrayIndex.kind
+            notes.append(
+                f"{eid}: sorted ({len(relation)} low-skew tuples: one sort "
+                "beats per-tuple trie inserts)"
+            )
+        else:
+            choices[eid] = TrieIndex.kind
+    kinds = set(choices.values())
+    if kinds == {TrieIndex.kind}:
+        reasons.append(
+            "hash-trie backend: O(1) probes and precomputed counts"
+        )
+        return TrieIndex.kind, None
+    pairs = tuple(sorted(choices.items()))
+    reasons.append(
+        "per-relation backends from skew and cached indexes: "
+        + "; ".join(notes)
+    )
+    if len(kinds) == 1:
+        return kinds.pop(), None
+    return "mixed", pairs
+
+
+def _auto_shards(
+    query: JoinQuery,
+    order: tuple[str, ...],
+    stats: StatsProvider,
+    reasons: list[str],
+    record: dict,
+) -> int:
+    """Pick a shard count from input size, parallelism, and skew.
 
     Serial below :data:`AUTO_SHARD_MIN_TUPLES` total input tuples (fork
     and queue overhead would dominate); otherwise one shard per available
-    CPU, capped at :data:`MAX_AUTO_SHARDS`.
+    CPU, capped at :data:`MAX_AUTO_SHARDS` — **raised** to one more than
+    the first attribute's heavy-hitter count when its heavy values carry
+    at least the provider's threshold mass, so every hot value can land
+    in a shard of its own (the "Skew Strikes Back" heavy/light split,
+    applied to the LPT partitioner in :mod:`repro.engine.parallel`).
     """
     total = query.total_input_size()
     if total < AUTO_SHARD_MIN_TUPLES:
@@ -315,6 +577,27 @@ def _auto_shards(query: JoinQuery, reasons: list[str]) -> int:
     except AttributeError:  # platforms without affinity (macOS, Windows)
         cpus = os.cpu_count() or 1
     shards = max(1, min(MAX_AUTO_SHARDS, cpus))
+    first = order[0]
+    heavy_count, heavy_mass = 0, 0.0
+    for relation in query.relations.values():
+        if first not in relation.attribute_set:
+            continue
+        profile = stats.profile(relation).attribute(first)
+        if profile.heavy_mass > heavy_mass:
+            heavy_mass = profile.heavy_mass
+            heavy_count = profile.heavy_count
+    record.update(
+        shard_attribute=first, shard_heavy_mass=heavy_mass, shard_cpus=cpus
+    )
+    if heavy_count and heavy_mass >= stats.config.heavy_mass_threshold:
+        boosted = min(MAX_AUTO_SHARDS, max(shards, heavy_count + 1))
+        if boosted > shards:
+            reasons.append(
+                f"{boosted} shard(s): {heavy_count} heavy value(s) carry "
+                f"{heavy_mass:.0%} of {first}'s tuples — each gets its own "
+                f"shard ({cpus} CPU(s), {total} input tuples)"
+            )
+            return boosted
     reasons.append(
         f"{shards} shard(s): {total} input tuples across {cpus} "
         "available CPU(s)"
@@ -336,12 +619,17 @@ def _auto_batch_size(
 
 
 def _resolve_shards(
-    query: JoinQuery, shards: int | str | None, reasons: list[str]
+    query: JoinQuery,
+    shards: int | str | None,
+    order: tuple[str, ...],
+    stats: StatsProvider,
+    reasons: list[str],
+    record: dict,
 ) -> int:
     if shards is None:
         return 1
     if shards == "auto":
-        return _auto_shards(query, reasons)
+        return _auto_shards(query, order, stats, reasons, record)
     require_positive_int(shards, "shards", " or 'auto'")
     reasons.append(f"shard count fixed by caller: {shards}")
     return shards
@@ -372,6 +660,8 @@ def plan_join(
     backend: str | None = None,
     shards: int | str | None = None,
     batch_size: int | str | None = None,
+    database: Database | None = None,
+    stats: StatsProvider | None = None,
 ) -> JoinPlan:
     """Produce a :class:`JoinPlan` for ``query``.
 
@@ -385,6 +675,14 @@ def plan_join(
     fields: each accepts a positive int, the string ``"auto"`` (choose
     from data statistics), or ``None`` (serial / row-at-a-time).  Requests
     the engine cannot honor raise :class:`~repro.errors.PlanError`.
+
+    ``database`` supplies the statistics cache (and cached-index
+    availability for the per-relation backend choice): repeated plans
+    over the same catalog reuse profiles, samples, and selectivities
+    instead of rescanning the data.  ``stats`` overrides the provider
+    outright — pass ``StatsProvider(config=StatsConfig(sample_size=0))``
+    to disable sampling and fall back to the min-distinct heuristic, or
+    a provider with a different seed for reproducible experiments.
     """
     if algorithm not in algorithm_names():
         raise QueryError(
@@ -393,6 +691,14 @@ def plan_join(
         )
     if backend is not None:
         validate_backend(backend)
+    if stats is not None:
+        provider = stats
+    elif database is not None:
+        provider = database.stats()
+    else:
+        # The shared default: identity-keyed and bounded, so repeated
+        # ad-hoc plans over the same relation objects never rescan.
+        provider = default_provider()
     reasons: list[str] = []
     if algorithm == "auto":
         algorithm = _choose_algorithm(
@@ -422,15 +728,39 @@ def plan_join(
             )
         )
 
+    # Everything the statistics machinery contributed, for the plan's
+    # PlanStatistics record; ``used`` flips when any decision consulted
+    # the provider.
+    record: dict = {}
+    used_stats = False
+
     if attribute_order is not None:
         order = tuple(attribute_order)
         reasons.append(f"attribute order fixed by caller: {', '.join(order)}")
     elif order_sensitive:
-        scores = attribute_statistics(query)
-        order = plan_attribute_order(query, scores)
-        reasons.append(
-            "attribute order by ascending distinct-count: "
-            + ", ".join(f"{a}({scores[a]})" for a in order)
+        used_stats = True
+        if provider.config.sampling:
+            order, scores, estimates, consulted = (
+                plan_attribute_order_sampled(query, provider)
+            )
+            record["order_estimates"] = estimates
+            record["selectivities"] = tuple(
+                (src, dst, sel)
+                for (src, dst), sel in sorted(consulted.items())
+            )
+            reasons.append(
+                "attribute order by sampled selectivity descent: "
+                + ", ".join(f"{a}(~{est:.3g})" for a, est in estimates)
+            )
+        else:
+            scores = provider.attribute_scores(query)
+            order = plan_attribute_order(query, scores)
+            reasons.append(
+                "attribute order by ascending distinct-count: "
+                + ", ".join(f"{a}({scores[a]})" for a in order)
+            )
+        record["distinct_counts"] = tuple(
+            (a, scores[a]) for a in order
         )
     else:
         order = query.attributes
@@ -438,6 +768,7 @@ def plan_join(
             f"{algorithm} derives its own order; keeping query order"
         )
 
+    relation_backends: tuple[tuple[str, str], ...] | None = None
     if backend is not None:
         reasons.append(f"backend {backend!r} fixed by caller")
     elif algorithm == "leapfrog":
@@ -445,7 +776,12 @@ def plan_join(
         reasons.append(
             "sorted flat-array backend: leapfrog seeks need sorted runs"
         )
-    elif algorithm in ("generic", "nprr"):
+    elif algorithm == "generic":
+        used_stats = True
+        backend, relation_backends = _relation_backends(
+            query, order, provider, database, reasons
+        )
+    elif algorithm == "nprr":
         backend = TrieIndex.kind
         reasons.append(
             "hash-trie backend: O(1) probes and precomputed counts"
@@ -454,10 +790,26 @@ def plan_join(
         backend = NO_BACKEND
         reasons.append(f"{algorithm} builds no per-order indexes")
 
-    shard_count = _resolve_shards(query, shards, reasons)
+    if shards == "auto":
+        used_stats = True
+    shard_count = _resolve_shards(
+        query, shards, order, provider, reasons, record
+    )
     batch, auto_cover, bound = _resolve_batch_size(
         query, batch_size, reasons
     )
+
+    statistics = None
+    if used_stats:
+        statistics = PlanStatistics(
+            source=(
+                "sampled" if provider.config.sampling else "heuristic"
+            ),
+            seed=provider.config.seed,
+            sample_size=provider.config.sample_size,
+            heavy_hitters=provider.heavy_hitters(query),
+            **record,
+        )
 
     # Only the cover-driven algorithms pay for the cover LP at plan time
     # (their executors would solve the same LP anyway); everyone else
@@ -480,5 +832,7 @@ def plan_join(
         reasons=tuple(reasons),
         shards=shard_count,
         batch_size=batch,
+        relation_backends=relation_backends,
+        statistics=statistics,
         _bound=bound,
     )

@@ -11,17 +11,32 @@ provides that binding along with:
   Both backends of :mod:`repro.engine.backends` are cached here: the
   hash-dict :class:`~repro.relations.trie.TrieIndex` and the sorted
   flat-array :class:`~repro.relations.sorted_index.SortedArrayIndex` that
-  Leapfrog Triejoin consumes.
+  Leapfrog Triejoin consumes.  The cache is **bounded**: above a
+  configurable entry budget, entries are evicted GreedyDual-style —
+  least-recently-used first, with expensive builds (a long trie
+  construction) surviving longer than cheap ones (a small sort), so the
+  cache keeps what is costly to recreate.  :meth:`Database.cache_info`
+  exposes occupancy and hit/miss/eviction counters.
+* a statistics cache serving the planner's
+  :class:`~repro.stats.provider.StatsProvider`: relation profiles,
+  samples, and sampled selectivities keyed by relation identity,
+  invalidated together with the index cache when a relation is replaced
+  or dropped.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
 
 from repro.errors import DatabaseError
 from repro.relations.relation import Relation
 from repro.relations.sorted_index import SortedArrayIndex
 from repro.relations.trie import TrieIndex
+
+#: Clock used to measure index build cost (monkeypatchable in tests).
+_now = time.perf_counter
 
 #: Registered index-backend constructors, keyed by their ``kind`` string.
 #: :mod:`repro.engine.backends` re-exports this as the engine's backend
@@ -51,13 +66,92 @@ def build_index(
     return backend(relation, tuple(attribute_order))
 
 
-class Database:
-    """A mutable catalog of immutable relations."""
+#: Default index-cache entry budget.  Deliberately generous — eviction
+#: exists to bound long-lived servers that touch many (relation, order)
+#: pairs, not to churn a working set.
+DEFAULT_INDEX_CACHE_BUDGET = 256
 
-    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+#: Default statistics-cache entry budget.  Statistics payloads include
+#: O(N) projection sets, so this cache is bounded for the same
+#: long-lived-server reason as the index cache; entries are cheap to
+#: recompute, so eviction is simple FIFO.
+DEFAULT_STATS_CACHE_BUDGET = 4096
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of the index cache (:meth:`Database.cache_info`)."""
+
+    #: Indexes currently resident.
+    entries: int
+    #: Maximum resident entries before eviction kicks in.
+    budget: int
+    #: Lookups served from the cache.
+    hits: int
+    #: Lookups that had to build an index.
+    misses: int
+    #: Entries evicted to stay within budget.
+    evictions: int
+    #: Summed build cost (seconds) of the resident entries.
+    build_seconds: float
+
+
+class _CacheEntry:
+    """One cached index plus the bookkeeping eviction needs."""
+
+    __slots__ = ("index", "cost", "priority", "serial")
+
+    def __init__(
+        self, index: object, cost: float, priority: float, serial: int
+    ) -> None:
+        self.index = index
+        self.cost = cost
+        self.priority = priority
+        self.serial = serial  # monotone access counter: LRU tie-break
+
+
+class Database:
+    """A mutable catalog of immutable relations.
+
+    ``index_cache_budget`` bounds the number of cached indexes; above
+    it, entries are evicted by the GreedyDual rule (priority =
+    eviction-clock-at-last-use + build cost), i.e. least-recently-used
+    weighted so that expensive builds survive cheap ones of equal
+    recency.
+    """
+
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        index_cache_budget: int = DEFAULT_INDEX_CACHE_BUDGET,
+        stats_cache_budget: int = DEFAULT_STATS_CACHE_BUDGET,
+    ) -> None:
+        if index_cache_budget < 1:
+            raise DatabaseError(
+                f"index_cache_budget must be >= 1, got {index_cache_budget}"
+            )
+        if stats_cache_budget < 1:
+            raise DatabaseError(
+                f"stats_cache_budget must be >= 1, got {stats_cache_budget}"
+            )
         self._relations: dict[str, Relation] = {}
-        # (backend kind, relation name, attribute order) -> index object.
-        self._index_cache: dict[tuple[str, str, tuple[str, ...]], object] = {}
+        # (backend kind, relation name, attribute order) -> _CacheEntry.
+        self._index_cache: dict[
+            tuple[str, str, tuple[str, ...]], _CacheEntry
+        ] = {}
+        self._index_cache_budget = index_cache_budget
+        self._cache_clock = 0.0  # GreedyDual inflation clock
+        self._cache_serial = 0  # monotone access counter
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        # (relation name, payload key) -> statistics payload (profiles,
+        # samples, selectivities) — see repro.stats.provider.  Bounded:
+        # FIFO-evicted above stats_cache_budget entries.
+        self._stats_cache: dict[tuple[str, tuple], object] = {}
+        self._stats_cache_budget = stats_cache_budget
+        # StatsConfig -> StatsProvider, so db.stats() is compute-once.
+        self._stats_providers: dict[object, object] = {}
         for relation in relations:
             self.add(relation)
 
@@ -112,6 +206,53 @@ class Database:
         """``sum_e N_e`` — the input-reading term of Definition 2.1."""
         return sum(len(rel) for rel in self._relations.values())
 
+    def is_catalogued(self, relation: Relation) -> bool:
+        """True when ``relation`` is *the object* catalogued under its name.
+
+        Identity (not equality) on purpose: the stats and index caches
+        key by name, so they are only safe to consult for the exact
+        object the catalog currently holds — a same-named ad-hoc
+        relation with different tuples must miss.
+        """
+        return self._relations.get(relation.name) is relation
+
+    def stats(self, config: object | None = None):
+        """The :class:`~repro.stats.provider.StatsProvider` for this
+        database (one cached instance per configuration).
+
+        Statistics the provider computes for catalogued relations are
+        stored in this database's stats cache and invalidated together
+        with the index cache on ``add(replace=True)`` / ``remove``.
+        """
+        # Imported here: repro.stats.provider imports this module.
+        from repro.stats.provider import StatsConfig, StatsProvider
+
+        key = config if config is not None else StatsConfig()
+        provider = self._stats_providers.get(key)
+        if provider is None:
+            provider = StatsProvider(database=self, config=key)
+            self._stats_providers[key] = provider
+        return provider
+
+    def stats_cache_get(self, name: str, key: tuple) -> object | None:
+        """A cached statistics payload for relation ``name``, or None."""
+        return self._stats_cache.get((name, key))
+
+    def stats_cache_put(self, name: str, key: tuple, payload: object) -> None:
+        """Cache a statistics payload for relation ``name``.
+
+        The cache is bounded: above the budget the oldest entry is
+        dropped (FIFO — statistics are cheap to recompute relative to
+        index builds, so no cost weighting here).
+        """
+        while len(self._stats_cache) >= self._stats_cache_budget:
+            self._stats_cache.pop(next(iter(self._stats_cache)))
+        self._stats_cache[(name, key)] = payload
+
+    def cached_stats_count(self) -> int:
+        """Number of cached statistics payloads (observability hook)."""
+        return len(self._stats_cache)
+
     # -- index cache ------------------------------------------------------------
 
     def index(
@@ -129,11 +270,64 @@ class Database:
         """
         order = tuple(attribute_order)
         key = (kind, name, order)
-        index = self._index_cache.get(key)
-        if index is None:
-            index = build_index(self[name], order, kind)
-            self._index_cache[key] = index
+        entry = self._index_cache.get(key)
+        self._cache_serial += 1
+        if entry is not None:
+            self._cache_hits += 1
+            # Refresh recency: GreedyDual re-arms the entry's priority at
+            # the current clock plus its (re)build cost.
+            entry.priority = self._cache_clock + entry.cost
+            entry.serial = self._cache_serial
+            return entry.index
+        self._cache_misses += 1
+        started = _now()
+        index = build_index(self[name], order, kind)
+        cost = max(_now() - started, 0.0)
+        while len(self._index_cache) >= self._index_cache_budget:
+            self._evict_one()
+        self._index_cache[key] = _CacheEntry(
+            index, cost, self._cache_clock + cost, self._cache_serial
+        )
         return index
+
+    def _evict_one(self) -> None:
+        """Evict the minimum-priority entry (GreedyDual).
+
+        The clock advances to the victim's priority, so entries that sat
+        unused accrue relative "age" while a recently touched or
+        expensive entry stays ahead of the clock.  Equal priorities fall
+        back to plain LRU via the access serial.
+        """
+        victim_key = min(
+            self._index_cache,
+            key=lambda k: (
+                self._index_cache[k].priority,
+                self._index_cache[k].serial,
+            ),
+        )
+        self._cache_clock = self._index_cache[victim_key].priority
+        del self._index_cache[victim_key]
+        self._cache_evictions += 1
+
+    def has_cached_index(
+        self, name: str, attribute_order: Iterable[str], kind: str
+    ) -> bool:
+        """True when an index is already resident (no build, no recency
+        refresh) — the planner's cached-availability probe."""
+        return (kind, name, tuple(attribute_order)) in self._index_cache
+
+    def cache_info(self) -> CacheInfo:
+        """A :class:`CacheInfo` snapshot of the index cache."""
+        return CacheInfo(
+            entries=len(self._index_cache),
+            budget=self._index_cache_budget,
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            evictions=self._cache_evictions,
+            build_seconds=sum(
+                entry.cost for entry in self._index_cache.values()
+            ),
+        )
 
     def trie(self, name: str, attribute_order: Iterable[str]) -> TrieIndex:
         """A hash-trie over relation ``name`` (the ``"trie"`` backend)."""
@@ -156,9 +350,24 @@ class Database:
         return sum(1 for key in self._index_cache if key[0] == kind)
 
     def _drop_cached(self, name: str) -> None:
+        """Invalidate every cached artifact touching relation ``name``.
+
+        Indexes are keyed by the relation directly.  Statistics entries
+        are dropped when ``name`` is the entry's subject *or appears
+        anywhere in its payload key* — a sampled selectivity cached
+        under its source relation also names its target, and replacing
+        the target must invalidate it too.
+        """
         stale = [key for key in self._index_cache if key[1] == name]
         for key in stale:
             del self._index_cache[key]
+        stale_stats = [
+            entry_key
+            for entry_key in self._stats_cache
+            if entry_key[0] == name or name in entry_key[1]
+        ]
+        for entry_key in stale_stats:
+            del self._stats_cache[entry_key]
 
     # -- conveniences -------------------------------------------------------------
 

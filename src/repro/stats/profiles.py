@@ -1,0 +1,163 @@
+"""Per-relation and per-attribute statistics: distinct counts and skew.
+
+The AGM machinery consumes only relation *sizes* (the ``N_e`` vector);
+everything the planner wants beyond that — how many distinct values an
+attribute takes, whether its frequency distribution is skewed, which
+values are the heavy hitters — lives here.  "Skew Strikes Back" (Ngo,
+Ré, Rudra 2013) makes the case that the single most useful statistic for
+a practical WCOJ system is the **heavy/light split**: a value is *heavy*
+when its frequency reaches the square root of the relation's size, the
+threshold at which per-value work can dominate a shard or an
+intersection.  :class:`AttributeProfile` records exactly that split
+(heavy value count, the output mass they carry, the top-k frequency
+table) alongside the distinct count the classical smallest-domain
+heuristic uses.
+
+Profiles are computed in **one linear scan** per relation
+(:func:`profile_relation`) and are deterministic: top-k tables sort by
+``(-count, repr(value))`` so ties never depend on hash-set iteration
+order, which varies across processes for string values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.relations.relation import Relation, Value
+
+__all__ = [
+    "AttributeProfile",
+    "RelationProfile",
+    "heavy_threshold",
+    "profile_relation",
+]
+
+#: Default length of each attribute's most-frequent-values table.
+DEFAULT_TOP_K = 8
+
+
+def heavy_threshold(total: int) -> int:
+    """The heavy/light frequency cut for a relation of ``total`` tuples.
+
+    A value is *heavy* when its frequency is at least ``sqrt(total)`` —
+    the "Skew Strikes Back" split: below it, a value's residual query is
+    cheap; at or above it, the value deserves dedicated treatment (its
+    own shard, an O(1)-probe index).  Clamped to at least 2 so singleton
+    values in tiny relations are never "heavy".
+    """
+    return max(2, math.isqrt(max(total, 0)))
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Frequency statistics for one attribute of one relation."""
+
+    #: Attribute name.
+    attribute: str
+    #: Number of distinct values.
+    distinct: int
+    #: Number of tuples in the relation (shared by all its attributes).
+    total: int
+    #: Most frequent values, ``(value, count)``, highest count first;
+    #: ties break on ``repr(value)`` so the table is deterministic.
+    top: tuple[tuple[Value, int], ...]
+    #: Frequency at or above which a value counts as heavy.
+    heavy_threshold: int
+    #: Number of heavy values.
+    heavy_count: int
+    #: Fraction of tuples carrying a heavy value (0.0 when none).
+    heavy_mass: float
+
+    @property
+    def max_frequency(self) -> int:
+        """Frequency of the most common value (0 for an empty relation)."""
+        return self.top[0][1] if self.top else 0
+
+    @property
+    def skew(self) -> float:
+        """``max_frequency / mean_frequency`` — 1.0 means uniform.
+
+        The mean frequency is ``total / distinct``; a Zipf-distributed
+        attribute reports a skew that grows with its domain.
+        """
+        if self.distinct == 0 or self.total == 0:
+            return 1.0
+        return self.max_frequency * self.distinct / self.total
+
+    @property
+    def is_skewed(self) -> bool:
+        """True when any value crossed the heavy threshold."""
+        return self.heavy_count > 0
+
+    def describe(self) -> str:
+        """One line: ``B: 40 distinct, 2 heavy >= 7 (61% of tuples)``."""
+        text = f"{self.attribute}: {self.distinct} distinct"
+        if self.heavy_count:
+            text += (
+                f", {self.heavy_count} heavy >= {self.heavy_threshold}"
+                f" ({self.heavy_mass:.0%} of tuples)"
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Per-attribute profiles for one relation, in schema order."""
+
+    #: Relation name (its edge id in a query).
+    name: str
+    #: Number of tuples.
+    size: int
+    #: One :class:`AttributeProfile` per attribute, in schema order.
+    attributes: tuple[AttributeProfile, ...]
+
+    def attribute(self, name: str) -> AttributeProfile:
+        """The profile of one attribute (raises ``KeyError`` if absent)."""
+        for profile in self.attributes:
+            if profile.attribute == name:
+                return profile
+        raise KeyError(
+            f"relation {self.name!r} has no attribute {name!r}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.attribute == name for p in self.attributes)
+
+    @property
+    def max_heavy_mass(self) -> float:
+        """The largest heavy-hitter mass over all attributes."""
+        return max((p.heavy_mass for p in self.attributes), default=0.0)
+
+
+def profile_relation(
+    relation: Relation, top_k: int = DEFAULT_TOP_K
+) -> RelationProfile:
+    """Profile every attribute of ``relation`` in one linear scan."""
+    total = len(relation)
+    counters: list[Counter] = [Counter() for _ in relation.attributes]
+    for row in relation.tuples:
+        for counter, value in zip(counters, row):
+            counter[value] += 1
+    threshold = heavy_threshold(total)
+    profiles = []
+    for attribute, counter in zip(relation.attributes, counters):
+        ranked = sorted(
+            counter.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        heavy = [count for _value, count in ranked if count >= threshold]
+        profiles.append(
+            AttributeProfile(
+                attribute=attribute,
+                distinct=len(counter),
+                total=total,
+                top=tuple(ranked[:top_k]),
+                heavy_threshold=threshold,
+                heavy_count=len(heavy),
+                heavy_mass=(sum(heavy) / total) if total else 0.0,
+            )
+        )
+    return RelationProfile(
+        name=relation.name, size=total, attributes=tuple(profiles)
+    )

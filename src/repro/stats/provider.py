@@ -1,0 +1,351 @@
+"""`StatsProvider`: compute, cache, and serve planner statistics.
+
+One object sits between the planner and the statistics machinery:
+
+* :class:`StatsConfig` — the knobs (sample size, seed, top-k, the
+  heavy-mass threshold adaptive decisions trigger on).  Frozen and
+  hashable, so a :class:`~repro.relations.database.Database` can keep
+  one provider per distinct configuration.
+* :class:`StatsProvider` — serves :class:`~repro.stats.profiles.
+  RelationProfile` objects, process-stable samples, projection sets, and
+  sampled conditional selectivities, caching each behind **relation
+  identity**:
+
+  - For relations catalogued in a ``Database`` (the provider checks
+    ``database[name] is relation``), payloads live in the database's
+    stats cache and are invalidated together with the index cache when
+    the relation is replaced or dropped — repeated ``plan_join`` calls
+    over the same catalog never rescan.
+  - Ad-hoc relations cache locally, keyed by ``id`` with a strong
+    reference held, which is sound because relations are immutable.
+
+* :class:`PlanStatistics` — the frozen record a
+  :class:`~repro.engine.planner.JoinPlan` carries so ``explain`` can
+  show *which numbers justified each decision*, not just the decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.relations.relation import Relation, Row
+from repro.stats.profiles import (
+    DEFAULT_TOP_K,
+    RelationProfile,
+    profile_relation,
+)
+from repro.stats.sampling import (
+    conditional_selectivity,
+    projection_values,
+    sample_rows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.query import JoinQuery
+    from repro.relations.database import Database
+
+__all__ = [
+    "PlanStatistics",
+    "StatsConfig",
+    "StatsProvider",
+    "default_provider",
+]
+
+#: Entry cap for a provider's ad-hoc (non-database) cache.  Payloads
+#: include O(N) projection sets and hold strong relation references, so
+#: the cache must not grow with process lifetime; eviction is FIFO —
+#: recomputation is always safe.
+LOCAL_CACHE_BUDGET = 512
+
+
+@dataclass(frozen=True)
+class StatsConfig:
+    """Configuration for a :class:`StatsProvider` (frozen, hashable)."""
+
+    #: Rows probed per sampled-selectivity estimate.  ``0`` disables
+    #: sampling entirely: the planner falls back to the min-distinct
+    #: heuristic and no projection sets are built.
+    sample_size: int = 128
+    #: Seed for the process-stable sampler.  Identical seeds (and data)
+    #: give identical samples — and identical plans — across processes.
+    seed: int = 0
+    #: Length of each attribute's most-frequent-values table.
+    top_k: int = DEFAULT_TOP_K
+    #: Heavy-hitter mass at or above which adaptive decisions trigger
+    #: (per-relation trie backends, extra heavy-value shards).
+    heavy_mass_threshold: float = 0.25
+
+    @property
+    def sampling(self) -> bool:
+        """True when sampled selectivities are enabled."""
+        return self.sample_size > 0
+
+
+@dataclass(frozen=True)
+class PlanStatistics:
+    """The statistics that justified a plan's decisions.
+
+    Attached to :class:`~repro.engine.planner.JoinPlan` by the planner
+    and rendered by ``describe(show_stats=True)`` / the CLI's
+    ``explain --stats``.  Every field is plain data, so plans pickle and
+    compare across process boundaries.
+    """
+
+    #: ``"sampled"`` when sampled selectivities drove the order,
+    #: ``"heuristic"`` when the min-distinct fallback ran.
+    source: str
+    #: Sampler seed (meaningful only for ``"sampled"``).
+    seed: int
+    #: Rows probed per selectivity estimate (0 = sampling disabled).
+    sample_size: int
+    #: ``(attribute, min distinct count)`` — the smallest-domain scores.
+    distinct_counts: tuple[tuple[str, int], ...] = ()
+    #: ``(source relation, target relation, P(match))`` for every
+    #: sampled selectivity the order descent consulted.
+    selectivities: tuple[tuple[str, str, float], ...] = ()
+    #: ``(relation, attribute, heavy value count, heavy mass)`` for every
+    #: attribute whose profile crossed the heavy threshold.
+    heavy_hitters: tuple[tuple[str, str, int, float], ...] = ()
+    #: ``(attribute, estimated partial-result size)`` per order position
+    #: (the greedy descent's objective, AGM-clamped).
+    order_estimates: tuple[tuple[str, float], ...] = ()
+    #: Attribute the shard planner inspected (``None`` when sharding was
+    #: not requested).
+    shard_attribute: str | None = None
+    #: Heavy mass observed on the shard attribute.
+    shard_heavy_mass: float | None = None
+    #: CPUs visible when the shard count was chosen.
+    shard_cpus: int | None = None
+
+    def describe(self) -> str:
+        """Human-readable rendering (the ``explain --stats`` block)."""
+        lines = [
+            "statistics:",
+            f"  source: {self.source}"
+            + (
+                f" (seed {self.seed}, sample {self.sample_size})"
+                if self.source == "sampled"
+                else ""
+            ),
+        ]
+        if self.distinct_counts:
+            lines.append(
+                "  distinct counts: "
+                + ", ".join(
+                    f"{attr}={count}" for attr, count in self.distinct_counts
+                )
+            )
+        if self.order_estimates:
+            lines.append(
+                "  order estimates: "
+                + ", ".join(
+                    f"{attr}~{est:.3g}" for attr, est in self.order_estimates
+                )
+            )
+        for src, dst, sel in self.selectivities:
+            lines.append(
+                f"  selectivity: P(match in {dst} | tuple of {src}) = "
+                f"{sel:.3f}"
+            )
+        for rel, attr, count, mass in self.heavy_hitters:
+            lines.append(
+                f"  heavy hitters: {rel}.{attr} has {count} heavy "
+                f"value(s) carrying {mass:.0%} of tuples"
+            )
+        if self.shard_attribute is not None:
+            lines.append(
+                f"  sharding: attribute {self.shard_attribute}, heavy "
+                f"mass {self.shard_heavy_mass:.0%} "
+                f"across {self.shard_cpus} CPU(s)"
+            )
+        return "\n".join(lines)
+
+
+class StatsProvider:
+    """Compute-once statistics for the planner.
+
+    Parameters
+    ----------
+    database:
+        Optional catalog.  Statistics for relations catalogued there (by
+        identity — ``database[name] is relation``) are cached *in the
+        database* and invalidated alongside its index cache on
+        ``add(replace=True)`` / ``remove``.
+    config:
+        Sampling and skew knobs; defaults to :class:`StatsConfig()`.
+    """
+
+    def __init__(
+        self,
+        database: "Database | None" = None,
+        config: StatsConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else StatsConfig()
+        # Ad-hoc (non-catalogued) relation cache: payload key -> (ref,
+        # payload).  The strong relation reference keeps id() valid and
+        # the payload honest — relations are immutable, so entries never
+        # go stale.  Bounded by LOCAL_CACHE_BUDGET (FIFO eviction) so a
+        # long-lived provider cannot accumulate relations forever.
+        self._local: dict[tuple, tuple[object, object]] = {}
+
+    def _local_put(self, key: tuple, ref: object, payload: object) -> None:
+        while len(self._local) >= LOCAL_CACHE_BUDGET:
+            self._local.pop(next(iter(self._local)))
+        self._local[key] = (ref, payload)
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _cached(self, relation: Relation, key: tuple, compute):
+        """Fetch-or-compute ``key`` for ``relation`` (identity-checked)."""
+        db = self.database
+        if db is not None and db.is_catalogued(relation):
+            payload = db.stats_cache_get(relation.name, key)
+            if payload is None:
+                payload = compute()
+                db.stats_cache_put(relation.name, key, payload)
+            return payload
+        local_key = (id(relation),) + key
+        entry = self._local.get(local_key)
+        if entry is not None and entry[0] is relation:
+            return entry[1]
+        payload = compute()
+        self._local_put(local_key, relation, payload)
+        return payload
+
+    # -- statistics ---------------------------------------------------------
+
+    def profile(self, relation: Relation) -> RelationProfile:
+        """The relation's :class:`RelationProfile` (cached)."""
+        return self._cached(
+            relation,
+            ("profile", self.config.top_k),
+            lambda: profile_relation(relation, self.config.top_k),
+        )
+
+    def sample(self, relation: Relation) -> tuple[Row, ...]:
+        """A process-stable row sample of the relation (cached)."""
+        return self._cached(
+            relation,
+            ("sample", self.config.sample_size, self.config.seed),
+            lambda: sample_rows(
+                relation, self.config.sample_size, self.config.seed
+            ),
+        )
+
+    def projection(
+        self, relation: Relation, attributes: tuple[str, ...]
+    ) -> frozenset[Row]:
+        """The relation's projection onto ``attributes`` (cached)."""
+        return self._cached(
+            relation,
+            ("projection", attributes),
+            lambda: projection_values(relation, attributes),
+        )
+
+    def selectivity(self, source: Relation, target: Relation) -> float:
+        """Sampled ``P(match in target | tuple of source)``.
+
+        The shared attributes are taken from the two schemas (in
+        ``source``'s order); schemas must overlap.  Each call probes the
+        cached sample of ``source`` against the cached projection of
+        ``target``, so repeated queries pay O(sample) only once.
+        """
+        shared = tuple(
+            a for a in source.attributes if a in target.attribute_set
+        )
+        if not shared:
+            raise ValueError(
+                f"relations {source.name!r} and {target.name!r} share no "
+                "attributes"
+            )
+        key = ("selectivity", target.name, shared,
+               self.config.sample_size, self.config.seed)
+
+        def compute() -> float:
+            return conditional_selectivity(
+                source,
+                shared,
+                self.sample(source),
+                self.projection(target, shared),
+            )
+
+        # The database cache is only sound when BOTH relations are the
+        # catalogued objects: the key names the target, and the database
+        # invalidates any entry whose key mentions a replaced/dropped
+        # relation, so neither side can go stale.
+        db = self.database
+        if (
+            db is not None
+            and db.is_catalogued(source)
+            and db.is_catalogued(target)
+        ):
+            payload = db.stats_cache_get(source.name, key)
+            if payload is None:
+                payload = compute()
+                db.stats_cache_put(source.name, key, payload)
+            return payload
+        local_key = (id(source), id(target)) + key
+        entry = self._local.get(local_key)
+        if (
+            entry is not None
+            and entry[0][0] is source
+            and entry[0][1] is target
+        ):
+            return entry[1]
+        payload = compute()
+        self._local_put(local_key, (source, target), payload)
+        return payload
+
+    def attribute_scores(self, query: "JoinQuery") -> dict[str, int]:
+        """Per-attribute min-distinct scores (the classical heuristic).
+
+        The score of attribute ``A`` is ``min_e |pi_A(R_e)|`` over the
+        relations containing ``A`` — served from cached profiles, so
+        repeated plans over a catalog never rescan the data.
+        """
+        scores: dict[str, int] = {}
+        for relation in query.relations.values():
+            profile = self.profile(relation)
+            for attr_profile in profile.attributes:
+                name = attr_profile.attribute
+                count = attr_profile.distinct
+                if name not in scores or count < scores[name]:
+                    scores[name] = count
+        return scores
+
+    def heavy_hitters(
+        self, query: "JoinQuery"
+    ) -> tuple[tuple[str, str, int, float], ...]:
+        """Every ``(relation, attribute, heavy count, heavy mass)`` in
+        the query whose heavy mass crosses the configured threshold,
+        heaviest mass first (deterministic order)."""
+        found = []
+        for eid, relation in query.relations.items():
+            for attr_profile in self.profile(relation).attributes:
+                if attr_profile.heavy_mass >= self.config.heavy_mass_threshold:
+                    found.append(
+                        (
+                            eid,
+                            attr_profile.attribute,
+                            attr_profile.heavy_count,
+                            attr_profile.heavy_mass,
+                        )
+                    )
+        found.sort(key=lambda item: (-item[3], item[0], item[1]))
+        return tuple(found)
+
+
+#: The provider ``plan_join`` falls back to when the caller supplies
+#: neither a ``database`` nor a ``stats`` provider.  Shared on purpose:
+#: relations are immutable and the cache is identity-keyed, so repeated
+#: ad-hoc plans over the same relation objects (``join([r, s, t])`` in a
+#: loop) reuse profiles, samples, and selectivities instead of
+#: recomputing them per call; the FIFO-bounded local cache caps memory.
+_DEFAULT_PROVIDER = StatsProvider()
+
+
+def default_provider() -> StatsProvider:
+    """The process-wide default :class:`StatsProvider` (default config)."""
+    return _DEFAULT_PROVIDER

@@ -1,0 +1,109 @@
+"""Seeded, process-stable sampling and sampled conditional selectivities.
+
+The planner's key question — *given a tuple of relation ``R``, how likely
+is it to find a partner in relation ``S``?* — is answered here by
+probing a small sample of ``R``'s tuples against the projection of ``S``
+onto their shared attributes.  The estimate ``P(match | tuple of R)`` is
+the **conditional selectivity** the greedy order descent multiplies into
+its partial-result estimates; unlike the AGM bound it is data-dependent
+(two relations with disjoint value ranges report ~0 even though their
+sizes alone predict a huge join).
+
+Determinism is load-bearing: identical seeds must give identical samples
+— and therefore identical plans — across *processes*, not just runs.
+Python's ``frozenset`` iteration order depends on value hashes, and
+string hashing is randomized per process (``PYTHONHASHSEED``), so
+neither ``random.sample`` over a set nor hash-order truncation is
+reproducible.  Instead each row is ranked by a keyed BLAKE2b digest of
+its ``repr`` (stable for the built-in value types relations hold), and
+the sample is the ``k`` lowest-ranked rows: effectively a uniform random
+sample, yet a pure function of ``(rows, seed)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from collections.abc import Iterable, Sequence
+
+from repro.relations.relation import Relation, Row
+
+__all__ = [
+    "conditional_selectivity",
+    "projection_values",
+    "sample_rows",
+    "stable_rank",
+]
+
+
+def stable_rank(row: Row, seed: int) -> int:
+    """A process-stable pseudo-random rank for one row.
+
+    Keyed BLAKE2b over ``repr(row)`` — deterministic for the built-in
+    value types (ints, strings, floats, tuples) whatever
+    ``PYTHONHASHSEED`` says, and effectively uniform over rows, so
+    "the k lowest-ranked rows" is an unbiased sample.
+    """
+    digest = hashlib.blake2b(
+        repr(row).encode("utf-8", "backslashreplace"),
+        digest_size=8,
+        key=seed.to_bytes(8, "big", signed=True),
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sample_rows(relation: Relation, k: int, seed: int) -> tuple[Row, ...]:
+    """Up to ``k`` rows of ``relation``, a pure function of the seed.
+
+    Rows are ranked by :func:`stable_rank` and the ``k`` smallest are
+    returned in rank order (``O(N log k)`` via a bounded heap).  With
+    ``k >= len(relation)`` every row is returned, still in rank order,
+    so downstream consumers never depend on set iteration order.
+    """
+    if k <= 0:
+        return ()
+    ranked = heapq.nsmallest(
+        k, relation.tuples, key=lambda row: stable_rank(row, seed)
+    )
+    return tuple(ranked)
+
+
+def projection_values(
+    relation: Relation, attributes: Sequence[str]
+) -> frozenset[Row]:
+    """``pi_attributes(relation)`` as a frozenset of value tuples."""
+    idx = relation.positions(attributes)
+    return frozenset(
+        tuple(row[i] for i in idx) for row in relation.tuples
+    )
+
+
+def conditional_selectivity(
+    source: Relation,
+    shared: Sequence[str],
+    sample: Iterable[Row],
+    target_projection: frozenset[Row],
+) -> float:
+    """``P(match in target | tuple of source)``, estimated on a sample.
+
+    ``sample`` holds rows of ``source`` (see :func:`sample_rows`);
+    ``target_projection`` is the target relation's projection onto the
+    ``shared`` attributes (see :func:`projection_values`).  Returns the
+    fraction of sampled source rows whose shared-attribute values appear
+    in the target — 1.0 means the target never prunes, values near 0
+    mean binding the target's attributes first would eliminate almost
+    every source tuple.
+
+    An empty sample (empty source relation) reports 0.0: a tuple drawn
+    from an empty relation matches nothing because there is no tuple.
+    """
+    idx = source.positions(shared)
+    total = 0
+    matches = 0
+    for row in sample:
+        total += 1
+        if tuple(row[i] for i in idx) in target_projection:
+            matches += 1
+    if total == 0:
+        return 0.0
+    return matches / total

@@ -113,6 +113,52 @@ def random_hypergraph(
     return Hypergraph(vertices, {eid: tuple(sorted(e)) for eid, e in edges.items()})
 
 
+def zipf_trap_triangle(
+    nodes: int,
+    size: int,
+    seed: int = 0,
+    match_fraction: float = 0.05,
+    decoy_domain: int = 8,
+    exponent: float = 1.1,
+) -> JoinQuery:
+    """A triangle where the min-distinct heuristic starts at the wrong
+    attribute — the workload the statistics benchmark is built on.
+
+    ``B`` is the *decoy*: it has only ``decoy_domain`` distinct values
+    (so ascending-distinct-count puts it first) drawn Zipf-skewed (so a
+    few hub values dominate), but every ``B`` value of ``R`` appears in
+    ``S`` — binding ``B`` first prunes nothing and fans out through the
+    hubs.  ``A`` is the *payoff*: it has more distinct values, but
+    ``T`` only contains the first ``match_fraction`` of them, so a plan
+    that binds ``A`` first kills ~``1 - match_fraction`` of the search
+    at depth one.  Sampled conditional selectivities see exactly this
+    (``P(match in T | tuple of R) ~= match_fraction``); distinct counts
+    cannot.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (v + 1) ** exponent for v in range(decoy_domain)]
+    decoys = list(range(decoy_domain))
+    matched = max(1, int(nodes * match_fraction))
+    r_rows = {
+        (rng.randrange(nodes), rng.choices(decoys, weights=weights)[0])
+        for _ in range(size)
+    }
+    s_rows = {
+        (rng.choices(decoys, weights=weights)[0], rng.randrange(nodes))
+        for _ in range(size)
+    }
+    t_rows = {
+        (rng.randrange(matched), rng.randrange(nodes)) for _ in range(size)
+    }
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), r_rows),
+            Relation("S", ("B", "C"), s_rows),
+            Relation("T", ("A", "C"), t_rows),
+        ]
+    )
+
+
 def tripartite_triangle_instance(
     nodes: int,
     edges_per_pair: int,

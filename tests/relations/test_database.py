@@ -89,3 +89,122 @@ class TestTrieCache:
         db.trie("S", ("B", "C"))
         db.remove("S")
         assert db.cached_trie_count() == 0
+
+
+class TestCacheBudget:
+    """LRU eviction weighted by build cost (GreedyDual), cache_info()."""
+
+    def make_db(self, budget):
+        return Database(
+            [
+                Relation("R", ("A", "B"), [(i, i + 1) for i in range(8)]),
+                Relation("S", ("B", "C"), [(i, i) for i in range(8)]),
+                Relation("T", ("A", "C"), [(i, 2 * i) for i in range(8)]),
+            ],
+            index_cache_budget=budget,
+        )
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(DatabaseError):
+            Database(index_cache_budget=0)
+
+    def test_entries_never_exceed_budget(self):
+        db = self.make_db(2)
+        for name in ("R", "S", "T"):
+            db.trie(name, db[name].attributes)
+        info = db.cache_info()
+        assert info.entries == 2
+        assert info.budget == 2
+        assert info.evictions == 1
+
+    def test_cache_info_counters(self):
+        db = self.make_db(8)
+        db.trie("R", ("A", "B"))
+        db.trie("R", ("A", "B"))
+        db.trie("R", ("B", "A"))
+        info = db.cache_info()
+        assert (info.hits, info.misses, info.evictions) == (1, 2, 0)
+        assert info.entries == 2
+        assert info.build_seconds >= 0.0
+
+    def test_evicted_index_is_rebuilt_on_demand(self):
+        db = self.make_db(1)
+        first = db.trie("R", ("A", "B"))
+        db.trie("S", ("B", "C"))  # evicts R's trie
+        again = db.trie("R", ("A", "B"))
+        assert again is not first
+        assert len(again) == len(first)
+        assert db.cache_info().evictions == 2
+
+    def test_eviction_prefers_cheap_builds(self, monkeypatch):
+        # Drive the cost clock: every build_index call costs what the
+        # fake says, so eviction order is deterministic.
+        import repro.relations.database as database_module
+
+        costs = {"R": 1.0, "S": 100.0, "T": 1.0}
+        clock = [0.0]
+        pending = [0.0]
+        real_build = database_module.build_index
+
+        def fake_now():
+            return clock[0]
+
+        def fake_build(relation, order, kind):
+            pending[0] = costs[relation.name]
+            index = real_build(relation, order, kind)
+            clock[0] += pending[0]
+            return index
+
+        monkeypatch.setattr(database_module, "_now", fake_now)
+        monkeypatch.setattr(database_module, "build_index", fake_build)
+
+        db = self.make_db(2)
+        db.trie("R", ("A", "B"))  # cost 1
+        db.trie("S", ("B", "C"))  # cost 100
+        db.trie("T", ("A", "C"))  # needs room: R (cheap) is evicted
+        assert db.has_cached_index("S", ("B", "C"), "trie")
+        assert db.has_cached_index("T", ("A", "C"), "trie")
+        assert not db.has_cached_index("R", ("A", "B"), "trie")
+
+    def test_hit_refreshes_recency(self, monkeypatch):
+        import repro.relations.database as database_module
+
+        clock = [0.0]
+
+        def fake_now():
+            clock[0] += 1.0  # every build costs exactly 1 tick
+            return clock[0]
+
+        monkeypatch.setattr(database_module, "_now", fake_now)
+        db = self.make_db(2)
+        db.trie("R", ("A", "B"))
+        db.trie("S", ("B", "C"))
+        db.trie("T", ("A", "C"))  # evicts R (oldest, equal cost)
+        assert not db.has_cached_index("R", ("A", "B"), "trie")
+        # Touch S: its priority re-arms above the advanced clock...
+        db.trie("S", ("B", "C"))
+        db.trie("R", ("A", "B"))  # ...so T, not S, is evicted now.
+        assert db.has_cached_index("S", ("B", "C"), "trie")
+        assert not db.has_cached_index("T", ("A", "C"), "trie")
+
+    def test_has_cached_index(self):
+        db = self.make_db(4)
+        assert not db.has_cached_index("R", ("A", "B"), "trie")
+        db.trie("R", ("A", "B"))
+        assert db.has_cached_index("R", ("A", "B"), "trie")
+        assert not db.has_cached_index("R", ("A", "B"), "sorted")
+
+
+class TestStatsCacheBudget:
+    def test_bounded_fifo(self):
+        db = Database(stats_cache_budget=2)
+        db.stats_cache_put("R", ("a",), 1)
+        db.stats_cache_put("R", ("b",), 2)
+        db.stats_cache_put("R", ("c",), 3)
+        assert db.cached_stats_count() == 2
+        assert db.stats_cache_get("R", ("a",)) is None  # oldest evicted
+        assert db.stats_cache_get("R", ("c",)) == 3
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(DatabaseError):
+            Database(stats_cache_budget=0)

@@ -1,0 +1,250 @@
+"""Statistics-driven planning: order, backends, shards, evidence."""
+
+import pytest
+
+from repro.baselines.naive import naive_join
+from repro.core.query import JoinQuery
+from repro.engine.planner import (
+    plan_attribute_order,
+    plan_attribute_order_sampled,
+    plan_join,
+)
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.stats import PlanStatistics, StatsConfig, StatsProvider
+from repro.workloads import generators, queries
+
+from tests.helpers import triangle_query
+
+
+def heuristic_provider():
+    return StatsProvider(config=StatsConfig(sample_size=0))
+
+
+@pytest.fixture
+def trap():
+    # B: 8 distinct values (min-distinct bait) but selectivity ~1;
+    # A: 20 distinct in T, and only ~5% of R's A-values match T.
+    return generators.zipf_trap_triangle(400, 3000, seed=7)
+
+
+class TestSampledOrder:
+    def test_avoids_the_distinct_count_trap(self, trap):
+        provider = StatsProvider()
+        sampled, scores, estimates, consulted = (
+            plan_attribute_order_sampled(trap, provider)
+        )
+        heuristic = plan_attribute_order(trap, scores)
+        assert heuristic[0] == "B"  # the decoy: fewest distinct values
+        assert sampled[0] == "A"  # the payoff: sampled selectivity ~5%
+        assert consulted[("R", "T")] < 0.2  # the evidence
+        assert [a for a, _est in estimates] == list(sampled)
+
+    def test_is_a_permutation(self, trap):
+        order, *_rest = plan_attribute_order_sampled(trap, StatsProvider())
+        assert sorted(order) == sorted(trap.attributes)
+
+    def test_falls_back_to_min_distinct_when_sampling_disabled(self, trap):
+        plan = plan_join(trap, "generic", stats=heuristic_provider())
+        scores = heuristic_provider().attribute_scores(trap)
+        assert plan.attribute_order == plan_attribute_order(trap, scores)
+        assert plan.statistics.source == "heuristic"
+        assert any("ascending distinct-count" in r for r in plan.reasons)
+
+    def test_sampled_plan_same_result_set(self, trap):
+        base = naive_join(trap)
+        plan = plan_join(trap, "generic")
+        assert plan.execute().equivalent(base)
+
+    def test_estimates_clamped_by_agm_subbounds(self):
+        # Triangle: the final attribute's estimate cannot exceed the
+        # covered sub-query's AGM bound (3^1.5 here, further clamped by
+        # the fully-covered relations' sizes).
+        q = triangle_query()
+        _order, _scores, estimates, _sels = plan_attribute_order_sampled(
+            q, StatsProvider()
+        )
+        assert estimates[-1][1] <= 3**1.5 + 1e-9
+
+
+class TestPlanStatisticsRecord:
+    def test_present_for_order_sensitive_plans(self, trap):
+        plan = plan_join(trap, "generic")
+        stats = plan.statistics
+        assert isinstance(stats, PlanStatistics)
+        assert stats.source == "sampled"
+        assert dict(stats.distinct_counts)  # every ordered attribute
+        assert stats.selectivities  # the probes that drove the order
+        assert stats.order_estimates
+
+    def test_absent_when_no_statistics_consulted(self):
+        # lw derives its own order; nothing data-driven was decided.
+        plan = plan_join(triangle_query())
+        assert plan.algorithm == "lw"
+        assert plan.statistics is None
+
+    def test_describe_show_stats(self, trap):
+        plan = plan_join(trap, "generic")
+        assert "statistics:" not in plan.describe()
+        text = plan.describe(show_stats=True)
+        assert "statistics:" in text
+        assert "selectivity: P(match in" in text
+
+    def test_heavy_hitters_recorded_on_skewed_data(self):
+        q = generators.random_instance(
+            queries.triangle(), 6000, 120, seed=23, skew=1.1
+        )
+        plan = plan_join(q, "generic")
+        assert plan.statistics.heavy_hitters
+
+
+class TestAutoShardsHeavyAware:
+    def test_heavy_values_boost_shard_count(self):
+        q = generators.random_instance(
+            queries.triangle(), 9000, 150, seed=23, skew=1.1
+        )
+        assert q.total_input_size() >= 4096
+        plan = plan_join(q, "generic", shards="auto")
+        stats = plan.statistics
+        assert stats.shard_attribute == plan.attribute_order[0]
+        assert stats.shard_heavy_mass >= 0.25
+        assert stats.shard_cpus >= 1
+        # Enough shards for each heavy value to get its own.
+        assert plan.shards >= 2
+
+    def test_uniform_data_uses_cpu_rule(self):
+        q = generators.random_instance(queries.triangle(), 2500, 500, seed=9)
+        assert q.total_input_size() >= 4096
+        plan = plan_join(q, "generic", shards="auto")
+        assert 1 <= plan.shards <= 8
+        assert plan.statistics.shard_heavy_mass is not None
+        assert not any("heavy value(s) carry" in r for r in plan.reasons)
+
+    def test_small_input_stays_serial(self):
+        plan = plan_join(triangle_query(), "generic", shards="auto")
+        assert plan.shards == 1
+
+
+class TestPerRelationBackends:
+    def test_cached_index_is_reused(self):
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 0)]),
+                Relation("S", ("B", "C"), [(1, 5), (2, 6), (0, 7)]),
+                Relation("T", ("A", "C"), [(0, 5), (1, 6), (2, 7)]),
+            ]
+        )
+        q = JoinQuery.from_database(db, ["R", "S", "T"])
+        base = plan_join(q, "generic", database=db)
+        order = base.attribute_order
+        rank = {a: i for i, a in enumerate(order)}
+        r_order = tuple(sorted(db["R"].attributes, key=rank.__getitem__))
+        db.sorted_index("R", r_order)  # warm a sorted index for R
+        plan = plan_join(q, "generic", database=db)
+        assert plan.backend == "mixed"
+        assert ("R", "sorted") in plan.relation_backends
+        assert any("cached sorted index" in r for r in plan.reasons)
+        # Mixed backends still compute the right answer, via the cache.
+        assert plan.execute(database=db).equivalent(naive_join(q))
+
+    def test_default_stays_uniform_trie(self):
+        plan = plan_join(triangle_query(), "generic")
+        assert plan.backend == "trie"
+        assert plan.relation_backends is None
+
+    def test_large_low_skew_relation_gets_sorted(self):
+        import repro.engine.planner as planner_module
+
+        big = Relation(
+            "R", ("A", "B"), [(i, i % 977) for i in range(40000)]
+        )
+        small = Relation("S", ("B", "C"), [(i % 977, i) for i in range(500)])
+        q = JoinQuery([big, small])
+        assert len(big) >= planner_module.LARGE_SORTED_RELATION
+        plan = plan_join(q, "generic")
+        assert plan.backend == "mixed"
+        assert ("R", "sorted") in plan.relation_backends
+        assert ("S", "trie") in plan.relation_backends
+
+    def test_caller_fixed_backend_wins(self):
+        plan = plan_join(triangle_query(), "generic", backend="sorted")
+        assert plan.backend == "sorted"
+        assert plan.relation_backends is None
+
+    def test_partial_mapping_labels_mixed(self):
+        # A mapping that covers only some relations leaves the rest on
+        # the trie default — the label must say so.
+        from repro.core.generic_join import GenericJoin
+
+        q = triangle_query()
+        assert GenericJoin(q, backend={"R": "sorted"}).backend == "mixed"
+        assert GenericJoin(q, backend={"R": "trie"}).backend == "trie"
+        executor = GenericJoin(q, backend={"R": "sorted"})
+        assert sorted(executor.iter_join()) == sorted(
+            naive_join(q).reorder(q.attributes).tuples
+        )
+
+
+class TestSharedDefaultProvider:
+    def test_repeated_adhoc_plans_do_not_rescan(self, monkeypatch):
+        # plan_join without a database must reuse the process-wide
+        # provider: planning the same relation objects twice profiles
+        # them once.
+        import repro.stats.provider as provider_module
+
+        calls = []
+        real = provider_module.profile_relation
+
+        def counting(relation, top_k):
+            calls.append(relation.name)
+            return real(relation, top_k)
+
+        monkeypatch.setattr(provider_module, "profile_relation", counting)
+        q = JoinQuery(
+            [
+                Relation("R", ("A", "B"), [(i, i + 1) for i in range(30)]),
+                Relation("S", ("B", "C"), [(i + 1, i) for i in range(30)]),
+            ]
+        )
+        plan_join(q, "generic")
+        first = len(calls)
+        assert first > 0
+        plan_join(q, "generic")
+        assert len(calls) == first
+
+    def test_local_cache_is_bounded(self):
+        from repro.stats.provider import LOCAL_CACHE_BUDGET
+
+        provider = StatsProvider()
+        for i in range(LOCAL_CACHE_BUDGET + 50):
+            provider.profile(Relation(f"R{i}", ("A",), [(i,)]))
+        assert len(provider._local) <= LOCAL_CACHE_BUDGET
+
+
+class TestAiterJoinDatabase:
+    def test_database_reused_for_async_plans(self):
+        import asyncio
+
+        from repro.api import aiter_join
+
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 0)]),
+                Relation("S", ("B", "C"), [(1, 5), (2, 6), (0, 7)]),
+                Relation("T", ("A", "C"), [(0, 5), (1, 6), (2, 7)]),
+            ]
+        )
+        q = JoinQuery.from_database(db, ["R", "S", "T"])
+
+        async def collect():
+            return {
+                row
+                async for row in aiter_join(
+                    q, algorithm="generic", database=db
+                )
+            }
+
+        rows = asyncio.run(collect())
+        assert rows == {(0, 1, 5), (1, 2, 6), (2, 0, 7)}
+        assert db.cached_index_count() > 0
+        assert db.cached_stats_count() > 0

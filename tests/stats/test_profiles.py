@@ -1,0 +1,104 @@
+"""Profiles: distinct counts, heavy/light split, deterministic top-k."""
+
+import random
+
+from repro.relations.relation import Relation
+from repro.stats.profiles import heavy_threshold, profile_relation
+from repro.workloads import generators
+
+
+def skewed_relation(size=400, domain=50, exponent=1.2, seed=3):
+    return generators.zipf_relation(
+        "Z", ("A", "B"), size, domain, random.Random(seed), exponent
+    )
+
+
+class TestHeavyThreshold:
+    def test_sqrt_rule(self):
+        assert heavy_threshold(100) == 10
+        assert heavy_threshold(10000) == 100
+
+    def test_clamped_for_tiny_relations(self):
+        # sqrt(1) = 1 would make every singleton value "heavy".
+        assert heavy_threshold(0) == 2
+        assert heavy_threshold(1) == 2
+        assert heavy_threshold(3) == 2
+
+
+class TestAttributeProfile:
+    def test_distinct_and_total(self):
+        rel = Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 3)])
+        profile = profile_relation(rel)
+        assert profile.size == 3
+        assert profile.attribute("A").distinct == 2
+        assert profile.attribute("B").distinct == 3
+        assert profile.attribute("A").total == 3
+
+    def test_top_is_most_frequent_first(self):
+        rel = Relation(
+            "R",
+            ("A", "B"),
+            [(9, i) for i in range(4)] + [(1, 0), (2, 0)],
+        )
+        top = profile_relation(rel).attribute("A").top
+        assert top[0] == (9, 4)
+
+    def test_top_ties_break_on_repr(self):
+        rel = Relation("R", ("A",), [(v,) for v in (3, 1, 2)])
+        top = profile_relation(rel).attribute("A").top
+        assert top == ((1, 1), (2, 1), (3, 1))
+
+    def test_top_k_limits_table(self):
+        rel = Relation("R", ("A",), [(v,) for v in range(100)])
+        assert len(profile_relation(rel, top_k=5).attribute("A").top) == 5
+
+    def test_no_heavy_values_in_uniform_data(self):
+        rel = Relation("R", ("A", "B"), [(i, i) for i in range(100)])
+        profile = profile_relation(rel).attribute("A")
+        assert profile.heavy_count == 0
+        assert profile.heavy_mass == 0.0
+        assert not profile.is_skewed
+
+    def test_heavy_values_detected_under_skew(self):
+        # One hub value with frequency far above sqrt(N).
+        hub = [(0, i) for i in range(64)]
+        tail = [(i, 0) for i in range(1, 37)]
+        rel = Relation("R", ("A", "B"), hub + tail)
+        profile = profile_relation(rel).attribute("A")
+        assert profile.total == 100
+        assert profile.heavy_threshold == 10
+        assert profile.heavy_count == 1
+        assert profile.heavy_mass == 0.64
+        assert profile.is_skewed
+        assert profile.max_frequency == 64
+
+    def test_zipf_relation_is_skewed(self):
+        profile = profile_relation(skewed_relation())
+        assert profile.max_heavy_mass > 0.0
+        assert any(p.is_skewed for p in profile.attributes)
+
+    def test_skew_is_one_for_perfectly_uniform(self):
+        rel = Relation("R", ("A",), [(i,) for i in range(10)])
+        assert profile_relation(rel).attribute("A").skew == 1.0
+
+    def test_empty_relation(self):
+        profile = profile_relation(Relation("R", ("A", "B")))
+        assert profile.size == 0
+        a = profile.attribute("A")
+        assert a.distinct == 0
+        assert a.heavy_mass == 0.0
+        assert a.max_frequency == 0
+        assert a.skew == 1.0
+
+    def test_describe_mentions_heavy_split(self):
+        rel = Relation(
+            "R", ("A", "B"), [(0, i) for i in range(64)]
+            + [(i, 0) for i in range(1, 37)]
+        )
+        text = profile_relation(rel).attribute("A").describe()
+        assert "1 heavy" in text
+        assert "64%" in text
+
+    def test_determinism(self):
+        rel = skewed_relation()
+        assert profile_relation(rel) == profile_relation(rel)

@@ -1,0 +1,125 @@
+"""Sampling: process-stable samples and conditional selectivities."""
+
+import random
+
+from repro.relations.relation import Relation
+from repro.stats.sampling import (
+    conditional_selectivity,
+    projection_values,
+    sample_rows,
+    stable_rank,
+)
+from repro.workloads import generators
+
+
+def big_relation(seed=0):
+    return generators.random_relation(
+        "R", ("A", "B"), 500, 100, random.Random(seed)
+    )
+
+
+class TestStableRank:
+    def test_deterministic(self):
+        assert stable_rank((1, "x"), 7) == stable_rank((1, "x"), 7)
+
+    def test_seed_changes_rank(self):
+        assert stable_rank((1, "x"), 7) != stable_rank((1, "x"), 8)
+
+    def test_rows_spread(self):
+        ranks = {stable_rank((i,), 0) for i in range(100)}
+        assert len(ranks) == 100
+
+
+class TestSampleRows:
+    def test_same_seed_same_sample(self):
+        rel = big_relation()
+        assert sample_rows(rel, 32, 0) == sample_rows(rel, 32, 0)
+
+    def test_different_seed_different_sample(self):
+        rel = big_relation()
+        assert sample_rows(rel, 32, 0) != sample_rows(rel, 32, 1)
+
+    def test_sample_is_subset(self):
+        rel = big_relation()
+        assert set(sample_rows(rel, 32, 0)) <= rel.tuples
+
+    def test_k_at_least_size_returns_all(self):
+        rel = Relation("R", ("A",), [(1,), (2,), (3,)])
+        assert set(sample_rows(rel, 10, 0)) == rel.tuples
+
+    def test_k_zero_is_empty(self):
+        assert sample_rows(big_relation(), 0, 0) == ()
+
+    def test_string_values_ok(self):
+        rel = Relation("R", ("A",), [(f"v{i}",) for i in range(50)])
+        first = sample_rows(rel, 8, 5)
+        assert first == sample_rows(rel, 8, 5)
+        assert all(isinstance(row[0], str) for row in first)
+
+
+class TestProjection:
+    def test_projection_values(self):
+        rel = Relation("R", ("A", "B"), [(1, 2), (1, 3), (4, 2)])
+        assert projection_values(rel, ("A",)) == {(1,), (4,)}
+        assert projection_values(rel, ("B", "A")) == {
+            (2, 1), (3, 1), (2, 4)
+        }
+
+
+class TestConditionalSelectivity:
+    def rel(self, name, attrs, rows):
+        return Relation(name, attrs, rows)
+
+    def test_full_overlap_is_one(self):
+        source = self.rel("R", ("A", "B"), [(i, 0) for i in range(20)])
+        target = self.rel("T", ("A", "C"), [(i, 1) for i in range(20)])
+        sel = conditional_selectivity(
+            source,
+            ("A",),
+            sample_rows(source, 20, 0),
+            projection_values(target, ("A",)),
+        )
+        assert sel == 1.0
+
+    def test_no_overlap_is_zero(self):
+        source = self.rel("R", ("A", "B"), [(i, 0) for i in range(20)])
+        target = self.rel("T", ("A", "C"), [(i + 100, 1) for i in range(20)])
+        sel = conditional_selectivity(
+            source,
+            ("A",),
+            sample_rows(source, 20, 0),
+            projection_values(target, ("A",)),
+        )
+        assert sel == 0.0
+
+    def test_partial_overlap_exact_on_full_sample(self):
+        # 5 of 20 source A-values appear in the target.
+        source = self.rel("R", ("A", "B"), [(i, 0) for i in range(20)])
+        target = self.rel("T", ("A", "C"), [(i, 1) for i in range(5)])
+        sel = conditional_selectivity(
+            source,
+            ("A",),
+            sample_rows(source, 20, 0),
+            projection_values(target, ("A",)),
+        )
+        assert sel == 0.25
+
+    def test_empty_source_reports_zero(self):
+        source = self.rel("R", ("A",), [])
+        target = self.rel("T", ("A",), [(1,)])
+        sel = conditional_selectivity(
+            source, ("A",), (), projection_values(target, ("A",))
+        )
+        assert sel == 0.0
+
+    def test_subsampled_estimate_near_truth(self):
+        # 10% of source values match; a 128-row sample should land near.
+        source = self.rel("R", ("A", "B"), [(i, 0) for i in range(1000)])
+        target = self.rel("T", ("A", "C"), [(i, 1) for i in range(100)])
+        sel = conditional_selectivity(
+            source,
+            ("A",),
+            sample_rows(source, 128, 0),
+            projection_values(target, ("A",)),
+        )
+        assert 0.02 <= sel <= 0.25

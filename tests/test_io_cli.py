@@ -128,6 +128,23 @@ class TestCLI:
         assert "algorithm: leapfrog" in out
         assert "index backend: sorted" in out
 
+    def test_explain_stats_flag(self, triangle_files, capsys):
+        assert main(
+            ["explain", *triangle_files, "--algorithm", "generic", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "statistics:" in out
+        assert "distinct counts:" in out
+        assert "selectivity: P(match in" in out
+
+    def test_explain_without_stats_flag_omits_block(
+        self, triangle_files, capsys
+    ):
+        assert main(
+            ["explain", *triangle_files, "--algorithm", "generic"]
+        ) == 0
+        assert "statistics:" not in capsys.readouterr().out
+
     def test_join_stream(self, triangle_files, capsys):
         assert main(["join", *triangle_files, "--stream"]) == 0
         out = capsys.readouterr().out
@@ -260,8 +277,8 @@ total order: B, A, C
             "relation sizes: R=3, S=3, T=3",
             "decisions:",
             "  - algorithm 'leapfrog' fixed by caller",
-            "  - attribute order by ascending distinct-count: "
-            "A(3), B(3), C(3)",
+            "  - attribute order by sampled selectivity descent: "
+            "A(~3), B(~3), C(~3)",
             "  - sorted flat-array backend: leapfrog seeks need sorted runs",
         ]
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_stats.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_stats.py [benchmarks/BENCH_stats.json]
+
+Validates the structure ``benchmarks/bench_stats.py`` promises —
+top-level keys, per-workload heuristic/stats records, parity flags —
+so downstream consumers (dashboards, the README numbers) can rely on
+it.  Exits non-zero with a message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REQUIRED_WORKLOADS = ("zipf_triangle", "trap_triangle", "clique")
+
+PLAN_KEYS = {
+    "order": list,
+    "shards": int,
+    "shards_planned": int,
+    "serial_seconds": (int, float),
+    "shard_seconds": list,
+    "critical_path_seconds": (int, float),
+    "rows": int,
+    "parity_with_serial": bool,
+    "reasons": list,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"BENCH_stats.json schema violation: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_plan(workload: str, kind: str, plan: object) -> None:
+    if not isinstance(plan, dict):
+        fail(f"workloads.{workload}.{kind} is not an object")
+    for key, expected in PLAN_KEYS.items():
+        if key not in plan:
+            fail(f"workloads.{workload}.{kind} missing {key!r}")
+        if not isinstance(plan[key], expected):
+            fail(
+                f"workloads.{workload}.{kind}.{key} has type "
+                f"{type(plan[key]).__name__}"
+            )
+    if len(plan["shard_seconds"]) != plan["shards_planned"] and plan[
+        "shards_planned"
+    ] != 0:
+        fail(
+            f"workloads.{workload}.{kind}: shard_seconds length "
+            f"{len(plan['shard_seconds'])} != shards_planned "
+            f"{plan['shards_planned']}"
+        )
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in ("host", "definitions", "scale", "workloads"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    for name in REQUIRED_WORKLOADS:
+        if name not in data["workloads"]:
+            fail(f"missing workload {name!r}")
+        entry = data["workloads"][name]
+        for key in ("sizes", "heuristic", "stats", "speedup", "parity"):
+            if key not in entry:
+                fail(f"workloads.{name} missing {key!r}")
+        check_plan(name, "heuristic", entry["heuristic"])
+        check_plan(name, "stats", entry["stats"])
+        stats_extra = entry["stats"].get("statistics")
+        if not isinstance(stats_extra, dict):
+            fail(f"workloads.{name}.stats.statistics missing")
+        for key in ("source", "heavy_hitters", "order_estimates"):
+            if key not in stats_extra:
+                fail(f"workloads.{name}.stats.statistics missing {key!r}")
+        if entry["parity"] is not True:
+            fail(f"workloads.{name}.parity is not true")
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[1] if len(argv) > 1 else "benchmarks/BENCH_stats.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,7 @@ baselines the paper compares against and two successor WCOJ algorithms
 
 Quickstart::
 
-    from repro import Relation, explain, iter_join, join, output_bound
+    from repro import Q, Relation, explain, iter_join, join, output_bound
 
     r = Relation("R", ("A", "B"), [(0, 1), (1, 2)])
     s = Relation("S", ("B", "C"), [(1, 5), (2, 6)])
@@ -20,6 +20,9 @@ Quickstart::
     for row in iter_join([r, s, t]):
         print(row)                  # streamed, no materialization
     print(explain([r, s, t]).describe())  # the engine's join plan
+
+    # Selections and projections, pushed into the plan:
+    print(Q(r, s, t).where(A=0).select("C").run())
 """
 
 from repro.api import (
@@ -83,11 +86,18 @@ from repro.hypergraph import (
     verify_bt,
     verify_lw,
 )
+from repro.query import (
+    ExecutionContext,
+    PreparedQuery,
+    Q,
+    QueryBuilder,
+)
 from repro.relations import (
     Database,
     Relation,
     SortedArrayIndex,
     TrieIndex,
+    WarmReport,
 )
 from repro.stats import (
     PlanStatistics,
@@ -106,6 +116,7 @@ __all__ = [
     "CoverError",
     "Database",
     "DatabaseError",
+    "ExecutionContext",
     "FractionalCover",
     "FunctionalDependency",
     "FunctionalDependencyError",
@@ -120,7 +131,10 @@ __all__ = [
     "NPRRJoin",
     "PlanError",
     "PlanStatistics",
+    "PreparedQuery",
+    "Q",
     "QPTree",
+    "QueryBuilder",
     "QueryError",
     "Relation",
     "RelaxedJoin",
@@ -131,6 +145,7 @@ __all__ = [
     "StatsProvider",
     "TrieIndex",
     "Var",
+    "WarmReport",
     "agm_bound",
     "aiter_join",
     "arity_two_join",

@@ -5,8 +5,11 @@ Usage::
     python -m repro join R.csv S.csv T.csv [--algorithm nprr] [-o out.csv]
     python -m repro join R.csv S.csv T.csv --stream
     python -m repro join R.csv S.csv T.csv --shards 4 --batch 500
+    python -m repro join R.csv S.csv T.csv --where A=1 --where-in B=2,3 \\
+        --select A,C
     python -m repro bound R.csv S.csv T.csv
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
+    python -m repro explain R.csv S.csv T.csv --where A=1
 
 * ``join``    — compute the natural join (attributes join by column name);
                 with ``--stream``, rows are printed as the engine finds
@@ -14,17 +17,26 @@ Usage::
                 ``--shards K``, the first join attribute is partitioned
                 into K work-balanced shards run on a worker pool; with
                 ``--batch N``, rows are written in batches of N (implies
-                ``--stream`` delivery)
+                ``--stream`` delivery).  ``--where A=1`` binds an
+                attribute to a constant (pushed into the plan: the
+                attribute's level is eliminated), ``--where-in B=2,3``
+                keeps rows whose value is in the set (a per-level filter
+                inside the executors), and ``--select A,C`` projects the
+                streamed output (deduplicated on the fly)
 * ``bound``   — print the AGM output bound, the optimal fractional cover,
                 and the dual packing certificate
 * ``explain`` — print the engine's join plan (algorithm, attribute order,
-                index backend, AGM estimate) plus the query-plan tree and
+                index backend, AGM estimate — plus bound attributes and
+                residual filters when ``--where`` / ``--where-in`` /
+                ``--select`` are given) and the query-plan tree and
                 total order Algorithm 2 would use; with ``--stats``, also
                 the statistics that justified each decision (distinct
                 counts, sampled selectivities, heavy hitters)
 
 Each CSV needs a header row of attribute names; the file stem is the
-relation name.
+relation name.  ``--where`` / ``--where-in`` values are typed the way
+the loader typed the attribute's columns: integers when every loaded
+cell parses as one, strings otherwise.
 """
 
 from __future__ import annotations
@@ -32,14 +44,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import ALGORITHMS, explain, iter_join, join, shard_join
+from repro.api import ALGORITHMS
 from repro.engine.parallel import batches
+from repro.errors import QueryError
 from repro.core.qptree import QPTree
 from repro.core.query import JoinQuery
 from repro.engine.backends import backend_kinds
 from repro.hypergraph.agm import agm_bound, optimal_fractional_cover
 from repro.hypergraph.duality import optimal_vertex_packing, packing_lower_bound
 from repro.io import load_database_csv, save_relation_csv
+from repro.query.builder import Q, QueryBuilder
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="write output rows in batches of N (implies --stream delivery)",
     )
+    _add_query_options(join_cmd)
     join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
     )
@@ -115,8 +130,112 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the statistics that justified each decision "
         "(distinct counts, sampled selectivities, heavy hitters)",
     )
+    _add_query_options(explain_cmd)
 
     return parser
+
+
+def _add_query_options(command: argparse.ArgumentParser) -> None:
+    """The query-layer clauses, shared by ``join`` and ``explain``."""
+    command.add_argument(
+        "--where",
+        type=_where_clause,
+        action="append",
+        default=[],
+        metavar="ATTR=VALUE",
+        help="bind an attribute to a constant (repeatable); the binding "
+        "is pushed into the plan and the attribute's level is eliminated",
+    )
+    command.add_argument(
+        "--where-in",
+        type=_where_in_clause,
+        action="append",
+        default=[],
+        metavar="ATTR=V1,V2,...",
+        help="keep rows whose attribute value is in the set (repeatable); "
+        "runs as a per-level filter inside the executors",
+    )
+    command.add_argument(
+        "--select",
+        type=_select_list,
+        default=None,
+        metavar="A,B,...",
+        help="project the output onto these attributes "
+        "(streamed, deduplicated)",
+    )
+
+
+def _coerce(query: JoinQuery, attribute: str, text: str):
+    """Type a clause value the way the CSV loader typed the column.
+
+    ``load_relation_csv`` stores a column as ints only when *every*
+    cell parses; mirroring that per loaded relation keeps ``--where
+    A=1`` matching the data it was loaded against — on a mixed (string-
+    typed) column the value stays a string, instead of becoming an int
+    that can never equal anything.
+    """
+    try:
+        as_int = int(text)
+    except ValueError:
+        return text
+    for relation in query.relations.values():
+        if attribute not in relation.attribute_set:
+            continue
+        position = relation.position(attribute)
+        if any(
+            not isinstance(row[position], int) for row in relation.tuples
+        ):
+            return text
+    return as_int
+
+
+def _where_clause(text: str) -> tuple[str, str]:
+    """argparse type for ``--where``: ``ATTR=VALUE`` (value typed later,
+    against the loaded columns)."""
+    attribute, sep, value = text.partition("=")
+    if not sep or not attribute.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected ATTR=VALUE, got {text!r}"
+        )
+    return attribute.strip(), value.strip()
+
+
+def _where_in_clause(text: str) -> tuple[str, tuple]:
+    """argparse type for ``--where-in``: ``ATTR=V1,V2,...`` (values
+    typed later, against the loaded columns)."""
+    attribute, sep, values = text.partition("=")
+    if not sep or not attribute.strip() or not values.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected ATTR=V1,V2,..., got {text!r}"
+        )
+    return attribute.strip(), tuple(v.strip() for v in values.split(","))
+
+
+def _select_list(text: str) -> tuple[str, ...]:
+    """argparse type for ``--select``: a comma-separated attribute list."""
+    attributes = tuple(a.strip() for a in text.split(",") if a.strip())
+    if not attributes:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated attribute list, got {text!r}"
+        )
+    return attributes
+
+
+def _build_query(args: argparse.Namespace) -> QueryBuilder:
+    """Assemble the fluent builder every query command drives."""
+    query = _load_query(args.files)
+    builder = Q(query).using(algorithm=args.algorithm, backend=args.backend)
+    for attribute, value in args.where:
+        builder = builder.where(
+            **{attribute: _coerce(query, attribute, value)}
+        )
+    for attribute, values in args.where_in:
+        builder = builder.where_in(
+            attribute, tuple(_coerce(query, attribute, v) for v in values)
+        )
+    if args.select is not None:
+        builder = builder.select(*args.select)
+    return builder
 
 
 def _shard_count(text: str) -> int | str:
@@ -157,10 +276,10 @@ def _load_query(files: list[str]) -> JoinQuery:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    query = _load_query(args.files)
+    builder = _build_query(args)  # QueryError -> usage error via main()
     if args.stream or args.shards is not None or args.batch is not None:
-        return _stream_join(query, args)
-    result = join(query, algorithm=args.algorithm, backend=args.backend)
+        return _stream_join(builder, args)
+    result = builder.run()
     if args.output:
         save_relation_csv(result, args.output)
         print(f"{len(result)} tuples -> {args.output}")
@@ -171,7 +290,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
-def _stream_join(query: JoinQuery, args: argparse.Namespace) -> int:
+def _stream_join(builder: QueryBuilder, args: argparse.Namespace) -> int:
     """End-to-end streaming: rows leave the process as they are found.
 
     ``--shards`` routes through the parallel sharded driver; ``--batch``
@@ -179,17 +298,9 @@ def _stream_join(query: JoinQuery, args: argparse.Namespace) -> int:
     single call, so per-row write overhead is amortized.
     """
     if args.shards is not None:
-        rows = shard_join(
-            query,
-            shards=args.shards,
-            algorithm=args.algorithm,
-            backend=args.backend,
-        )
-    else:
-        rows = iter_join(
-            query, algorithm=args.algorithm, backend=args.backend
-        )
-    header = ",".join(query.attributes)
+        builder = builder.using(shards=args.shards)
+    rows = builder.stream()
+    header = ",".join(builder.output_attributes)
 
     def chunks():
         """(csv text, row count) pairs — one per batch, or per row."""
@@ -237,12 +348,12 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    query = _load_query(args.files)
-    plan = explain(query, algorithm=args.algorithm, backend=args.backend)
+    builder = _build_query(args)
+    plan = builder.plan()
     print(plan.describe(show_stats=args.stats))
     print()
     print("Algorithm 2 query-plan tree (for --algorithm nprr):")
-    tree = QPTree(query.hypergraph)
+    tree = QPTree(builder.query.hypergraph)
     print(tree.render())
     return 0
 
@@ -254,7 +365,14 @@ def main(argv: list[str] | None = None) -> int:
         "bound": _cmd_bound,
         "explain": _cmd_explain,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except QueryError as error:
+        # Bad query-layer input (unknown --where attribute, conflicting
+        # bindings, ...) is a usage error, like every other bad flag —
+        # never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

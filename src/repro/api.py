@@ -7,14 +7,23 @@
 >>> sorted(join([r, s, t]).tuples)
 [(1, 2, 9), (2, 3, 7)]
 
-Every call routes through the engine (:mod:`repro.engine`): the planner
-resolves ``"auto"`` to a concrete algorithm, picks an attribute order and
-an index backend, and the executor registry runs the plan.  Use
-:func:`iter_join` to stream rows without materializing the result,
-:func:`explain` to inspect the plan without running it, and the parallel
-entry points to scale consumption: :func:`join_batched` (fixed-size row
-batches), :func:`shard_join` (first-attribute sharding across workers),
-and :func:`aiter_join` (async iteration for event-loop servers).
+Every function here is a thin wrapper over the composable query layer
+(:mod:`repro.query`): each constructs an
+:class:`~repro.query.context.ExecutionContext` from its (frozen)
+keyword signature and delegates to the fluent builder
+:func:`~repro.query.builder.Q` — which in turn drives the engine
+(:mod:`repro.engine`): the planner resolves ``"auto"`` to a concrete
+algorithm, picks an attribute order and an index backend, and the
+executor registry runs the plan.  Use :func:`iter_join` to stream rows
+without materializing the result, :func:`explain` to inspect the plan
+without running it, and the parallel entry points to scale consumption:
+:func:`join_batched` (fixed-size row batches), :func:`shard_join`
+(first-attribute sharding across workers), and :func:`aiter_join`
+(async iteration for event-loop servers).  For selections, projections,
+and prepared queries, use the builder directly::
+
+    from repro import Q
+    Q(r, s, t).where(B=2).select("A", "C").run()
 
 Every entry point validates its arguments when *called* — an
 incompatible algorithm/backend/order combination raises
@@ -29,10 +38,12 @@ from collections.abc import AsyncIterator, Iterator, Sequence
 from repro.core.query import JoinQuery
 from repro.engine import parallel as _parallel
 from repro.engine.executors import algorithm_names
-from repro.engine.planner import JoinPlan, plan_join
+from repro.engine.planner import JoinPlan
 from repro.errors import QueryError
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
+from repro.query.builder import Q
+from repro.query.context import ExecutionContext
 from repro.relations.database import Database
 from repro.relations.relation import Relation, Row
 
@@ -40,14 +51,6 @@ from repro.relations.relation import Relation, Row
 #: engine's executor registry — the single source of truth shared with
 #: the CLI's ``--algorithm`` choices.
 ALGORITHMS = algorithm_names()
-
-
-def _as_query(relations: Sequence[Relation] | JoinQuery) -> JoinQuery:
-    return (
-        relations
-        if isinstance(relations, JoinQuery)
-        else JoinQuery(list(relations))
-    )
 
 
 def _check_algorithm(algorithm: str) -> None:
@@ -93,15 +96,14 @@ def join(
         ahead-of-time indexing) — repeated queries then skip index builds.
     """
     _check_algorithm(algorithm)
-    plan = plan_join(
-        _as_query(relations),
-        algorithm,
+    context = ExecutionContext(
+        algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
     )
-    return plan.execute(name, database=database)
+    return Q(relations, context=context).run(name)
 
 
 def iter_join(
@@ -122,15 +124,14 @@ def iter_join(
     specialists (``lw``, ``arity2``) compute internally and then stream.
     """
     _check_algorithm(algorithm)
-    plan = plan_join(
-        _as_query(relations),
-        algorithm,
+    context = ExecutionContext(
+        algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
     )
-    return plan.iter_rows(database=database)
+    return Q(relations, context=context).stream()
 
 
 def join_batched(
@@ -157,16 +158,15 @@ def join_batched(
     [2, 2, 1]
     """
     _check_algorithm(algorithm)
-    plan = plan_join(
-        _as_query(relations),
-        algorithm,
+    context = ExecutionContext(
+        algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         batch_size=batch_size,
         database=database,
     )
-    return plan.iter_batches(database=database)
+    return Q(relations, context=context).batches()
 
 
 def shard_join(
@@ -194,17 +194,17 @@ def shard_join(
     statistics.  See :mod:`repro.engine.parallel`.
     """
     _check_algorithm(algorithm)
-    return _parallel.shard_join(
-        relations,
-        shards=shards,
+    context = ExecutionContext(
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
+        shards=shards if shards is not None else "auto",
         mode=mode,
         workers=workers,
         database=database,
     )
+    return Q(relations, context=context).stream()
 
 
 def aiter_join(
@@ -231,16 +231,15 @@ def aiter_join(
             await websocket.send(render(row))
     """
     _check_algorithm(algorithm)
-    return _parallel.aiter_join(
-        relations,
+    context = ExecutionContext(
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         shards=shards,
-        batch_size=batch_size,
         database=database,
     )
+    return Q(relations, context=context).astream(batch_size=batch_size)
 
 
 def explain(
@@ -264,21 +263,25 @@ def explain(
     sampling disabled, or a fixed seed).
     """
     _check_algorithm(algorithm)
-    return plan_join(
-        _as_query(relations),
-        algorithm,
+    context = ExecutionContext(
+        algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
         stats=stats,
     )
+    return Q(relations, context=context).plan()
 
 
 def output_bound(
     relations: Sequence[Relation] | JoinQuery,
 ) -> float:
     """The tightest AGM bound for the query given its relation sizes."""
-    query = _as_query(relations)
+    query = (
+        relations
+        if isinstance(relations, JoinQuery)
+        else JoinQuery(list(relations))
+    )
     _cover, bound = best_agm_bound(query.hypergraph, query.sizes())
     return bound

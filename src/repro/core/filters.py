@@ -1,0 +1,43 @@
+"""Shared wiring for residual per-attribute filters.
+
+The query layer (:mod:`repro.query`) pushes single-attribute selection
+predicates down to the executors as a ``{attribute: predicate}``
+mapping.  Every consumer needs the same two steps — validate that each
+filtered attribute exists in the query, and slot the predicate at the
+position its attribute occupies in some ordering (the global attribute
+order for the level-hooking executors, the output schema for the
+row-filter wrapper).  This helper is that one step, written once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.relations.relation import Value
+
+__all__ = ["per_position_filters"]
+
+
+def per_position_filters(
+    filters: Mapping[str, Callable[[Value], bool]] | None,
+    order: Sequence[str],
+    query_attributes: Sequence[str],
+) -> list[Callable[[Value], bool] | None]:
+    """One optional predicate per position of ``order`` (None = none).
+
+    Raises :class:`~repro.errors.QueryError` when a filter names an
+    attribute outside ``order`` — reported against
+    ``query_attributes``, the caller's user-facing schema.
+    """
+    slots: list[Callable[[Value], bool] | None] = [None] * len(order)
+    if filters:
+        rank = {attribute: i for i, attribute in enumerate(order)}
+        for attribute, predicate in filters.items():
+            if attribute not in rank:
+                raise QueryError(
+                    f"filter attribute {attribute!r} is not in the "
+                    f"query's attributes {tuple(query_attributes)!r}"
+                )
+            slots[rank[attribute]] = predicate
+    return slots

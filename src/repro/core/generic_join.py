@@ -24,12 +24,13 @@ materializing wrapper.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
+from repro.core.filters import per_position_filters
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
 from repro.relations.database import DEFAULT_BACKEND, Database, build_index
-from repro.relations.relation import Relation, Row
+from repro.relations.relation import Relation, Row, Value
 
 
 class GenericJoin:
@@ -54,6 +55,12 @@ class GenericJoin:
         relations absent from the mapping use the default backend.
         Executors talk to indexes only through the ``IndexBackend``
         protocol, so mixing kinds within one join is safe.
+    filters:
+        Optional mapping of attribute name to a single-value predicate
+        (the query layer's residual selections).  Each predicate runs at
+        the level that binds its attribute, *before* recursing — a value
+        failing its filter prunes the whole subtree, so the search never
+        pays for completions the selection would discard.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class GenericJoin:
         attribute_order: Sequence[str] | None = None,
         database: Database | None = None,
         backend: str | Mapping[str, str] = DEFAULT_BACKEND,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
     ) -> None:
         self.query = query
         order = (
@@ -101,7 +109,12 @@ class GenericJoin:
             index_order = tuple(
                 sorted(relation.attributes, key=rank.__getitem__)
             )
-            if database is not None:
+            # The catalog cache is consulted per relation, and only for
+            # the exact object catalogued under the name (identity, not
+            # equality): an ad-hoc relation — e.g. a section created by
+            # equality pushdown — that shares a catalog name must never
+            # be served (or store) the full relation's index.
+            if database is not None and database.is_catalogued(relation):
                 index = database.index(eid, index_order, kind)
             else:
                 index = build_index(relation, index_order, kind)
@@ -118,6 +131,8 @@ class GenericJoin:
             )
         # Permutation taking an order-aligned row to the query's schema.
         self._output_perm = tuple(rank[a] for a in query.attributes)
+        # Per-depth residual filter (None = unfiltered level).
+        self._filters = per_position_filters(filters, order, query.attributes)
 
     def iter_join(self) -> Iterator[Row]:
         """Stream the join's rows (query attribute order, no repeats).
@@ -158,7 +173,10 @@ class GenericJoin:
         )
         base = indexes[smallest]
         others = [i for i in participants if i != smallest]
+        level_filter = self._filters[depth]
         for value, child in base.items(nodes[smallest]):
+            if level_filter is not None and not level_filter(value):
+                continue
             advanced = None
             ok = True
             for i in others:

@@ -22,12 +22,13 @@ result rows via :meth:`LeapfrogTriejoin.iter_join`.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
+from repro.core.filters import per_position_filters
 from repro.core.query import JoinQuery
 from repro.errors import QueryError
 from repro.relations.database import Database
-from repro.relations.relation import Relation, Row
+from repro.relations.relation import Relation, Row, Value
 from repro.relations.sorted_index import SortedArrayIndex, SortedTrieIterator
 
 __all__ = [
@@ -51,6 +52,11 @@ class LeapfrogTriejoin:
         5.2's ahead-of-time indexing).  When omitted, indexes are built
         privately — and re-sorted on every construction, so supply a
         database for repeated queries.
+    filters:
+        Optional mapping of attribute name to a single-value predicate
+        (the query layer's residual selections).  A key surviving the
+        leapfrog intersection is tested against its level's filter
+        before recursing, pruning the subtree without seeking into it.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class LeapfrogTriejoin:
         query: JoinQuery,
         attribute_order: Sequence[str] | None = None,
         database: Database | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
     ) -> None:
         self.query = query
         order = (
@@ -82,7 +89,10 @@ class LeapfrogTriejoin:
             index_order = tuple(
                 sorted(relation.attributes, key=rank.__getitem__)
             )
-            if database is not None:
+            # Cache only for the exact catalogued object (identity):
+            # same-named ad-hoc relations (e.g. pushdown sections) build
+            # privately instead of being served the full index.
+            if database is not None and database.is_catalogued(relation):
                 index = database.index(eid, index_order, SortedArrayIndex.kind)
             else:
                 index = SortedArrayIndex(relation, index_order)
@@ -91,6 +101,8 @@ class LeapfrogTriejoin:
             for attribute in index_order:
                 self._participants[rank[attribute]].append(position)
         self._output_perm = tuple(rank[a] for a in query.attributes)
+        # Per-depth residual filter (None = unfiltered level).
+        self._filters = per_position_filters(filters, order, query.attributes)
 
     def iter_join(self) -> Iterator[Row]:
         """Stream the join's rows (query attribute order, no repeats).
@@ -128,9 +140,12 @@ class LeapfrogTriejoin:
             )
         for it in iterators:
             it.open()
+        level_filter = self._filters[depth]
         try:
             if not any(it.at_end for it in iterators):
                 for value in self._leapfrog(iterators):
+                    if level_filter is not None and not level_filter(value):
+                        continue
                     prefix.append(value)
                     yield from self._level(depth + 1, levels, prefix)
                     prefix.pop()

@@ -146,7 +146,12 @@ class NPRRJoin:
         self._edge_ranks: dict[str, tuple[int, ...]] = {}
         for eid in query.edge_ids:
             order = self.tree.relation_order(eid)
-            if database is not None:
+            # Cache only for the exact catalogued object (identity):
+            # same-named ad-hoc relations (e.g. pushdown sections) build
+            # privately instead of being served the full index.
+            if database is not None and database.is_catalogued(
+                query.relation(eid)
+            ):
                 trie = database.trie(eid, order)
             else:
                 trie = TrieIndex(query.relation(eid), order)

@@ -15,13 +15,22 @@ factory with a uniform keyword signature; it is the single source of
 truth consumed by :data:`repro.api.ALGORITHMS` and the CLI's
 ``--algorithm`` choices, so adding an algorithm here surfaces it
 everywhere at once.
+
+**Residual filters.**  The query layer (:mod:`repro.query`) pushes
+single-attribute selection predicates down to the executors.  The
+attribute-at-a-time executors in :data:`NATIVE_FILTERS` evaluate them at
+the level that binds the attribute, pruning subtrees; the blocking
+specialists (``lw``, ``arity2``, ``nprr``) are wrapped in
+:class:`RowFilterExecutor`, which applies the same predicates to emitted
+rows — identical semantics, no early pruning.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.arity_two import ArityTwoJoin
+from repro.core.filters import per_position_filters
 from repro.core.generic_join import GenericJoin
 from repro.core.leapfrog import LeapfrogTriejoin
 from repro.core.lw import LWJoin
@@ -30,12 +39,55 @@ from repro.core.query import JoinQuery
 from repro.errors import QueryError
 from repro.hypergraph.covers import FractionalCover
 from repro.relations.database import DEFAULT_BACKEND, Database
+from repro.relations.relation import Relation, Row, Value
 
 __all__ = [
     "EXECUTORS",
+    "NATIVE_FILTERS",
+    "RowFilterExecutor",
     "algorithm_names",
     "build_executor",
 ]
+
+#: Filter predicates as the query layer hands them down: one
+#: single-value test per filtered attribute.
+Filters = Mapping[str, Callable[[Value], bool]]
+
+
+class RowFilterExecutor:
+    """Adapts residual filters onto an executor without native support.
+
+    Wraps any executor conforming to the streaming protocol; rows whose
+    filtered attributes fail their predicates are dropped from the
+    stream.  Used for the blocking specialists, whose internal search
+    structure (QP-trees, LW partitioning, arity-2 decomposition) has no
+    single global per-attribute level to hook.
+    """
+
+    def __init__(self, inner, query: JoinQuery, filters: Filters) -> None:
+        self._inner = inner
+        self.query = query
+        slots = per_position_filters(
+            filters, query.attributes, query.attributes
+        )
+        self._checks = tuple(
+            (position, predicate)
+            for position, predicate in enumerate(slots)
+            if predicate is not None
+        )
+
+    def iter_join(self):
+        checks = self._checks
+        for row in self._inner.iter_join():
+            if all(predicate(row[i]) for i, predicate in checks):
+                yield row
+
+    def execute(self, name: str = "J") -> Relation:
+        return Relation(name, self.query.attributes, self.iter_join())
+
+    def __getattr__(self, attribute: str):
+        # Observability passthrough (e.g. NPRRJoin.stats in benchmarks).
+        return getattr(self._inner, attribute)
 
 
 def _make_nprr(
@@ -45,6 +97,7 @@ def _make_nprr(
     attribute_order: Sequence[str] | None,
     backend: str,
     database: Database | None,
+    filters: Filters | None,
 ) -> NPRRJoin:
     # Algorithm 2's order comes from its query-plan tree; an explicit
     # attribute order does not apply, and the hash trie's O(1) (ST2)
@@ -59,6 +112,7 @@ def _make_lw(
     attribute_order: Sequence[str] | None,
     backend: str,
     database: Database | None,
+    filters: Filters | None,
 ) -> LWJoin:
     return LWJoin(query)
 
@@ -70,6 +124,7 @@ def _make_generic(
     attribute_order: Sequence[str] | None,
     backend: str | Mapping[str, str],
     database: Database | None,
+    filters: Filters | None,
 ) -> GenericJoin:
     # ``backend`` may be a per-relation mapping (the statistics-driven
     # planner emits one when skew or cached indexes argue for mixing
@@ -79,6 +134,7 @@ def _make_generic(
         attribute_order=attribute_order,
         database=database,
         backend=backend or DEFAULT_BACKEND,
+        filters=filters,
     )
 
 
@@ -89,9 +145,13 @@ def _make_leapfrog(
     attribute_order: Sequence[str] | None,
     backend: str,
     database: Database | None,
+    filters: Filters | None,
 ) -> LeapfrogTriejoin:
     return LeapfrogTriejoin(
-        query, attribute_order=attribute_order, database=database
+        query,
+        attribute_order=attribute_order,
+        database=database,
+        filters=filters,
     )
 
 
@@ -102,6 +162,7 @@ def _make_arity_two(
     attribute_order: Sequence[str] | None,
     backend: str,
     database: Database | None,
+    filters: Filters | None,
 ) -> ArityTwoJoin:
     return ArityTwoJoin(query, cover=cover)
 
@@ -116,6 +177,11 @@ EXECUTORS = {
     "leapfrog": _make_leapfrog,
     "arity2": _make_arity_two,
 }
+
+#: Algorithms whose executors evaluate residual filters *at the level
+#: binding the attribute* (pruning subtrees).  Everything else is
+#: wrapped in :class:`RowFilterExecutor` when filters are present.
+NATIVE_FILTERS = frozenset({"generic", "leapfrog"})
 
 
 def algorithm_names(include_auto: bool = True) -> tuple[str, ...]:
@@ -132,12 +198,15 @@ def build_executor(
     attribute_order: Sequence[str] | None = None,
     backend: str | Mapping[str, str] = DEFAULT_BACKEND,
     database: Database | None = None,
+    filters: Filters | None = None,
 ):
     """Instantiate the executor for a *resolved* algorithm name.
 
     ``algorithm`` must be a concrete name (``"auto"`` is resolved by the
     planner, not here).  Raises :class:`~repro.errors.QueryError` for an
-    unknown name before touching any relation data.
+    unknown name before touching any relation data.  ``filters`` attach
+    the query layer's residual predicates — natively for the algorithms
+    in :data:`NATIVE_FILTERS`, via :class:`RowFilterExecutor` otherwise.
     """
     try:
         factory = EXECUTORS[algorithm]
@@ -146,10 +215,15 @@ def build_executor(
             f"unknown algorithm {algorithm!r}; "
             f"choose one of {algorithm_names()}"
         ) from None
-    return factory(
+    native = filters if algorithm in NATIVE_FILTERS else None
+    executor = factory(
         query,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
+        filters=native,
     )
+    if filters and algorithm not in NATIVE_FILTERS:
+        executor = RowFilterExecutor(executor, query, filters)
+    return executor

@@ -271,13 +271,20 @@ def _shard_queries(
 @dataclass(frozen=True)
 class _ShardTask:
     """A picklable unit of shard work: the restricted query plus the
-    execution choices the parent already resolved."""
+    execution choices the parent already resolved.
+
+    ``filters`` are the query layer's residual predicates; they pickle
+    when their payloads do (:class:`~repro.query.predicates.ValueIn`
+    always does, a lambda-backed callback does not — the driver then
+    falls back to thread mode exactly as for unpicklable values).
+    """
 
     query: JoinQuery
     algorithm: str
     cover: FractionalCover | None
     attribute_order: tuple[str, ...] | None
     backend: str | None
+    filters: tuple[tuple[str, object], ...] | None = None
 
 
 def _shard_rows(task: _ShardTask) -> Iterator[Row]:
@@ -298,7 +305,8 @@ def _shard_rows(task: _ShardTask) -> Iterator[Row]:
         attribute_order=task.attribute_order,
         backend=task.backend,
     )
-    return plan.iter_rows()
+    filters = dict(task.filters) if task.filters else None
+    return plan.iter_rows(filters=filters)
 
 
 def _run_shard(task: _ShardTask) -> list[Row]:
@@ -320,6 +328,7 @@ def iter_shard_rows(
     cover: FractionalCover | None = None,
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
+    filters=None,
 ) -> Iterator[Row]:
     """Stream a single shard of ``query`` in-process.
 
@@ -335,6 +344,7 @@ def iter_shard_rows(
             tuple(attribute_order) if attribute_order is not None else None
         ),
         backend=backend,
+        filters=tuple(filters.items()) if filters else None,
     )
     return _shard_rows(task)
 
@@ -437,6 +447,8 @@ def shard_join(
     mode: str = "auto",
     workers: int | None = None,
     database=None,
+    filters=None,
+    context=None,
 ) -> Iterator[Row]:
     """Run a join sharded on the planner's first attribute; union streams.
 
@@ -464,10 +476,27 @@ def shard_join(
         statistics cache the *parent* plan consults (``shards="auto"``
         heavy-hitter sizing, attribute order).  Shard workers still
         build indexes from their restricted relations.
+    filters:
+        Residual per-attribute predicates (the query layer's pushdown);
+        shipped to every shard worker and applied inside each shard's
+        executor.
+    context:
+        An :class:`~repro.query.context.ExecutionContext` replacing the
+        individual option keywords wholesale (``shards`` of ``None`` in
+        a context means ``"auto"`` here, matching this function's
+        historical default).
 
     All validation (unknown algorithm, incompatible backend, bad shard
     count or mode) happens *before* this returns an iterator.
     """
+    if context is not None:
+        # Only the fields this driver consumes directly; the planner
+        # reads the rest from the context itself (no re-explosion).
+        cover = context.cover
+        attribute_order = context.attribute_order
+        backend = context.backend
+        mode = context.mode
+        workers = context.workers
     if mode not in SHARD_MODES:
         raise PlanError(
             f"unknown shard mode {mode!r}; choose one of {SHARD_MODES}"
@@ -475,18 +504,27 @@ def shard_join(
     if workers is not None:
         require_positive_int(workers, "workers")
     query = _as_query(relations)
-    plan = plan_join(
-        query,
-        algorithm,
-        cover=cover,
-        attribute_order=attribute_order,
-        backend=backend,
-        shards=shards if shards is not None else "auto",
-        database=database,
-    )
+    if context is not None:
+        plan = plan_join(
+            query,
+            context=context.replace(
+                shards=context.shards if context.shards is not None else "auto"
+            ),
+        )
+    else:
+        plan = plan_join(
+            query,
+            algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+            shards=shards if shards is not None else "auto",
+            database=database,
+        )
     specs = plan_shards(query, plan.shards, plan.attribute_order[0])
     if not specs:
         return iter(())
+    task_filters = tuple(filters.items()) if filters else None
     tasks = [
         _ShardTask(
             query=restricted,
@@ -498,6 +536,7 @@ def shard_join(
                 else None
             ),
             backend=backend,
+            filters=task_filters,
         )
         for restricted in _shard_queries(query, specs)
     ]
@@ -553,7 +592,10 @@ def aiter_join(
 
     Planning — and therefore all argument validation — happens *now*,
     in this synchronous call, not at first ``anext()``: a bad request
-    raises here, matching ``join`` / ``iter_join``.
+    raises here, matching ``join`` / ``iter_join``.  (Context- and
+    filter-carrying async consumption lives in the query layer —
+    ``Q(...).astream()`` — which post-processes rows this function
+    never sees; this entry point stays the bare async adapter.)
     """
     if shards is not None:
         rows = shard_join(

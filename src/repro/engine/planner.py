@@ -48,7 +48,7 @@ command are thin wrappers over this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
 import os
 
@@ -59,12 +59,13 @@ from repro.engine.executors import algorithm_names, build_executor
 from repro.errors import PlanError, QueryError, require_positive_int
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
-from repro.relations.database import Database
-from repro.relations.relation import Relation, Row
+from repro.relations.database import DEFAULT_BACKEND, INDEX_BACKENDS, Database
+from repro.relations.relation import Relation, Row, Value
 from repro.relations.sorted_index import SortedArrayIndex
 from repro.relations.trie import TrieIndex
 from repro.stats.provider import (
     PlanStatistics,
+    StatsConfig,
     StatsProvider,
     default_provider,
 )
@@ -151,6 +152,21 @@ class JoinPlan:
     #: the algorithm derives its own order and no sharding was asked
     #: for).  See :class:`~repro.stats.provider.PlanStatistics`.
     statistics: PlanStatistics | None = None
+    #: Equality-bound attributes the query layer *eliminated* from this
+    #: plan, as ``(attribute, value)`` pairs: each attribute's level was
+    #: removed by sectioning the relations that contain it (Remark 5.2's
+    #: ahead-of-time evaluation of a constant binding), so
+    #: :attr:`query` is the *residual* query and
+    #: :attr:`attribute_order` never mentions these attributes.
+    bound: tuple[tuple[str, Value], ...] = ()
+    #: Residual selection predicates pushed into the executors, as
+    #: ``(attribute, description)`` pairs — the rendering half; the
+    #: callables themselves travel via the ``filters`` argument of
+    #: :meth:`executor` so plans stay comparable and picklable.
+    filtered: tuple[tuple[str, str], ...] = ()
+    #: Output projection the query layer will stream over this plan's
+    #: rows, or ``None`` for the full schema.
+    selected: tuple[str, ...] | None = None
     # Lazily computed AGM bound cache (None until first access), so the
     # cover LP is not solved on join() calls that never inspect the plan.
     _bound: float | None = field(default=None, repr=False, compare=False)
@@ -169,8 +185,18 @@ class JoinPlan:
             object.__setattr__(self, "_bound", bound)
         return self._bound
 
-    def executor(self, database: Database | None = None):
-        """Build (but do not run) this plan's executor."""
+    def executor(
+        self,
+        database: Database | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
+    ):
+        """Build (but do not run) this plan's executor.
+
+        ``filters`` are the query layer's residual predicates (the
+        callables matching :attr:`filtered`); they hook the level that
+        binds each attribute for the attribute-at-a-time executors and
+        filter emitted rows for the blocking specialists.
+        """
         backend: str | dict[str, str] = self.backend
         if self.relation_backends is not None:
             backend = dict(self.relation_backends)
@@ -181,27 +207,36 @@ class JoinPlan:
             attribute_order=self.attribute_order,
             backend=backend,
             database=database,
+            filters=filters,
         )
 
     def execute(
-        self, name: str = "J", database: Database | None = None
+        self,
+        name: str = "J",
+        database: Database | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
     ) -> Relation:
         """Run the plan and materialize the join result."""
-        return self.executor(database).execute(name)
+        return self.executor(database, filters=filters).execute(name)
 
-    def iter_rows(self, database: Database | None = None) -> Iterator[Row]:
+    def iter_rows(
+        self,
+        database: Database | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
+    ) -> Iterator[Row]:
         """Run the plan, streaming rows in the query's attribute order.
 
         Serial execution regardless of :attr:`shards` — the parallel
         drivers in :mod:`repro.engine.parallel` consume the plan's shard
         fields; this method is the per-worker (and per-shard) primitive.
         """
-        return self.executor(database).iter_join()
+        return self.executor(database, filters=filters).iter_join()
 
     def iter_batches(
         self,
         database: Database | None = None,
         batch_size: int | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
     ) -> Iterator[list[Row]]:
         """Run the plan, streaming rows in fixed-size batches.
 
@@ -214,7 +249,66 @@ class JoinPlan:
         size = batch_size if batch_size is not None else self.batch_size
         if size is None:
             size = DEFAULT_BATCH_SIZE
-        return batches(self.iter_rows(database=database), size)
+        return batches(self.iter_rows(database=database, filters=filters), size)
+
+    def index_requirements(self) -> tuple[tuple[str, tuple[str, ...], str], ...]:
+        """The ``(relation name, index order, backend kind)`` triples this
+        plan's executor will request when built.
+
+        The contract behind :meth:`Database.warm
+        <repro.relations.database.Database.warm>`: pre-building exactly
+        these indexes through the catalog's cache makes a later
+        execution of this plan hit on every index lookup.  Algorithms
+        that build no per-order indexes (``lw``, ``arity2``) return an
+        empty tuple.
+
+        This mirrors how each executor resolves its indexes —
+        GenericJoin's per-relation kinds (``DEFAULT_BACKEND``
+        fallback), Leapfrog's sorted arrays, NPRR's QP-tree relation
+        orders.  Any change to an executor's resolution must land here
+        too, or warmed runs silently miss the cache;
+        ``tests/query/test_warm.py`` asserts the zero-miss contract per
+        algorithm (including the mixed per-relation path) to catch
+        drift.
+        """
+        rank = {a: i for i, a in enumerate(self.attribute_order)}
+        per_relation = (
+            dict(self.relation_backends)
+            if self.relation_backends is not None
+            else None
+        )
+        if self.algorithm in ("generic", "leapfrog"):
+            kind_default = (
+                SortedArrayIndex.kind
+                if self.algorithm == "leapfrog"
+                else (
+                    self.backend
+                    if self.backend in INDEX_BACKENDS
+                    else DEFAULT_BACKEND
+                )
+            )
+            triples = []
+            for eid in self.query.edge_ids:
+                relation = self.query.relation(eid)
+                order = tuple(
+                    sorted(relation.attributes, key=rank.__getitem__)
+                )
+                kind = (
+                    per_relation.get(eid, DEFAULT_BACKEND)
+                    if per_relation is not None
+                    else kind_default
+                )
+                triples.append((eid, order, kind))
+            return tuple(triples)
+        if self.algorithm == "nprr":
+            from repro.core.qptree import QPTree
+
+            tree = QPTree(self.query.hypergraph)
+            return tuple(
+                (eid, tuple(tree.relation_order(eid)), TrieIndex.kind)
+                for eid in self.query.edge_ids
+            )
+        return ()
 
     def describe(self, show_stats: bool = False) -> str:
         """A human-readable rendering (the CLI ``explain`` output).
@@ -237,6 +331,25 @@ class JoinPlan:
             f"query: {self.query!r}",
             f"algorithm: {self.algorithm}",
             f"attribute order: {', '.join(self.attribute_order)}",
+        ]
+        if self.bound:
+            lines.append(
+                "bound attributes: "
+                + ", ".join(f"{a}={v!r}" for a, v in self.bound)
+                + " (levels eliminated by sectioning)"
+            )
+        if self.filtered:
+            lines.append(
+                "residual filters: "
+                + "; ".join(description for _a, description in self.filtered)
+            )
+        if self.selected is not None:
+            lines.append(
+                "select: "
+                + (", ".join(self.selected) if self.selected else "(none)")
+                + " (streamed projection)"
+            )
+        lines += [
             f"index backend: {backend}",
             f"shards: {self.shards}",
             "batch size: "
@@ -662,6 +775,7 @@ def plan_join(
     batch_size: int | str | None = None,
     database: Database | None = None,
     stats: StatsProvider | None = None,
+    context=None,
 ) -> JoinPlan:
     """Produce a :class:`JoinPlan` for ``query``.
 
@@ -681,9 +795,33 @@ def plan_join(
     over the same catalog reuse profiles, samples, and selectivities
     instead of rescanning the data.  ``stats`` overrides the provider
     outright — pass ``StatsProvider(config=StatsConfig(sample_size=0))``
-    to disable sampling and fall back to the min-distinct heuristic, or
-    a provider with a different seed for reproducible experiments.
+    to disable sampling and fall back to the min-distinct heuristic, a
+    provider with a different seed for reproducible experiments, or a
+    bare :class:`~repro.stats.provider.StatsConfig` (wrapped here).
+
+    ``context`` — an :class:`~repro.query.context.ExecutionContext` —
+    replaces the individual option keywords wholesale: when given, the
+    planner reads ``algorithm``, ``cover``, ``attribute_order``,
+    ``backend``, ``shards``, ``batch_size``, ``database``, and ``stats``
+    from it and ignores the corresponding parameters.  This is how the
+    query layer (and anything else carrying a context) calls the planner
+    without re-spelling the option list.
     """
+    if context is not None:
+        algorithm = context.algorithm
+        cover = context.cover
+        attribute_order = context.attribute_order
+        backend = context.backend
+        shards = context.shards
+        batch_size = context.batch_size
+        database = context.database
+        stats = context.stats
+    if isinstance(stats, StatsConfig):
+        stats = (
+            database.stats(stats)
+            if database is not None
+            else StatsProvider(config=stats)
+        )
     if algorithm not in algorithm_names():
         raise QueryError(
             f"unknown algorithm {algorithm!r}; "

@@ -1,0 +1,40 @@
+"""The composable query layer: fluent builder, context, prepared queries.
+
+The public face of the engine for anything richer than a bare natural
+join.  Three objects:
+
+* :func:`~repro.query.builder.Q` /
+  :class:`~repro.query.builder.QueryBuilder` — an immutable fluent
+  builder: ``Q(r, s, t).where(A=1).where_in("B", {2, 3}).select("A",
+  "C")``.  Equality clauses are pushed into the plan (the bound
+  attribute's level is eliminated by relation sectioning); membership
+  and predicate clauses run as per-level filter hooks inside the
+  executors; projections stream with dedup, never materializing the
+  full join.
+* :class:`~repro.query.context.ExecutionContext` — the single carrier
+  of execution options (database, stats, algorithm, backend, shards,
+  batch size, parallel mode) consumed by the planner, the executors,
+  the parallel drivers, and the CLI alike.
+* :class:`~repro.query.prepared.PreparedQuery` — a frozen plan with
+  pre-built indexes for repeated execution and ``bind()`` parameter
+  rebinding (the prepared-statement contract; pairs with
+  ``Database.warm``).
+
+The legacy ``repro.api`` entry points (``join``, ``iter_join``, ...)
+are thin wrappers over this package.
+"""
+
+from repro.query.builder import Q, QueryBuilder
+from repro.query.context import ExecutionContext
+from repro.query.predicates import Callback, ResidualPredicate, ValueIn
+from repro.query.prepared import PreparedQuery
+
+__all__ = [
+    "Callback",
+    "ExecutionContext",
+    "PreparedQuery",
+    "Q",
+    "QueryBuilder",
+    "ResidualPredicate",
+    "ValueIn",
+]

@@ -1,0 +1,591 @@
+"""The fluent query builder: selections and projections over the engine.
+
+The paper's algorithms answer *full* conjunctive queries; every realistic
+workload wraps them in selections (``sigma``) and projections (``pi``)
+— Section 2's operators, which :class:`~repro.relations.relation.
+Relation` has always implemented but the engine never saw.  This module
+closes that gap with an immutable builder::
+
+    from repro import Q
+
+    rows = (
+        Q(r, s, t)
+        .where(A=1)               # equality: pushed into the plan
+        .where_in("B", {2, 3})    # membership: per-level filter hook
+        .select("B", "C")         # projection: streamed + deduplicated
+        .stream()
+    )
+
+Three pushdown mechanisms, in decreasing strength:
+
+* **Equality** (:meth:`QueryBuilder.where`) *eliminates the attribute's
+  level entirely*: every relation containing the attribute is replaced
+  by its ``t_S``-section (Section 2's ``R[t_S]``) at plan time, so the
+  engine joins a smaller *residual* query over fewer attributes — the
+  ahead-of-time evaluation Remark 5.2 gets from indexing in advance.  A
+  relation whose attributes are all bound degenerates to a membership
+  *guard*: it contributes no residual constraint, but an empty section
+  proves the whole result empty before anything runs.  Because each
+  shrunken relation still embeds in the original, the AGM bound of the
+  residual query is at most the original bound — pushdown never
+  worsens the worst case.
+* **Membership and predicates** (:meth:`QueryBuilder.where_in`,
+  :meth:`QueryBuilder.filter`) become *residual filters*: single-
+  attribute tests the executors evaluate at the level that binds the
+  attribute (pruning whole subtrees in Generic Join / Leapfrog) or, for
+  the blocking specialists, against emitted rows.
+* **Projection** (:meth:`QueryBuilder.select`) streams over the result:
+  rows are projected and deduplicated on the fly with memory
+  proportional to the *projected* output, never materializing the full
+  join.
+
+Execution options ride in an :class:`~repro.query.context.
+ExecutionContext` (:meth:`QueryBuilder.using` / :meth:`QueryBuilder.on`)
+— one object instead of the six-keyword lists `repro.api` used to copy
+between entry points.  ``prepare()`` freezes the plan and its indexes
+into a :class:`~repro.query.prepared.PreparedQuery` for repeated
+execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.core.query import JoinQuery
+from repro.engine import parallel as _parallel
+from repro.engine.planner import NO_BACKEND, JoinPlan, plan_join
+from repro.errors import QueryError, require_positive_int
+from repro.query.context import ExecutionContext
+from repro.query.predicates import (
+    Callback,
+    ResidualPredicate,
+    ValueIn,
+    combine,
+)
+from repro.relations.relation import Relation, Row, Value
+
+__all__ = ["Q", "QueryBuilder"]
+
+
+def _as_query(
+    relations: tuple,
+) -> JoinQuery:
+    """Normalize ``Q``'s argument spellings into one ``JoinQuery``."""
+    if len(relations) == 1:
+        only = relations[0]
+        if isinstance(only, JoinQuery):
+            return only
+        if not isinstance(only, Relation) and isinstance(only, Iterable):
+            return JoinQuery(list(only))
+    return JoinQuery(list(relations))
+
+
+@dataclass(frozen=True)
+class _Compiled:
+    """Everything one execution of a builder needs, precomputed."""
+
+    #: False when a guard already proved the result empty.
+    satisfiable: bool
+    #: The residual query the engine will run, or ``None`` when every
+    #: relation degenerated to a guard (all attributes bound).
+    residual: JoinQuery | None
+    #: Residual predicate per *unbound* filtered attribute.
+    filters: dict[str, ResidualPredicate]
+    #: ``(attribute, value)`` pairs, in the query's attribute order.
+    bound: tuple[tuple[str, Value], ...]
+    #: Maps a residual row to a full-schema row (``None`` = identity).
+    merge: Callable[[Row], Row] | None
+    #: The full output schema (the original query's attributes).
+    output_attributes: tuple[str, ...]
+
+
+def drain_async(batched: Iterator[list[Row]]):
+    """Adapt a batch iterator into an async row iterator.
+
+    The blocking ``next()`` runs on worker threads via
+    ``asyncio.to_thread``; the event loop receives rows one batch at a
+    time.  Shared by :meth:`QueryBuilder.astream` and
+    :meth:`~repro.query.prepared.PreparedQuery.astream`.
+    """
+
+    async def _astream():
+        import asyncio
+
+        while True:
+            batch = await asyncio.to_thread(next, batched, None)
+            if batch is None:
+                return
+            for row in batch:
+                yield row
+
+    return _astream()
+
+
+def Q(*relations, context: ExecutionContext | None = None) -> "QueryBuilder":
+    """Start a fluent query: ``Q(r, s, t)`` (or ``Q([r, s, t])`` /
+    ``Q(join_query)``).
+
+    Returns an immutable :class:`QueryBuilder`; every fluent method
+    derives a new builder, so partially-built queries can be shared and
+    extended without aliasing surprises.
+    """
+    return QueryBuilder(_as_query(relations), context=context)
+
+
+class QueryBuilder:
+    """An immutable conjunctive query with selections and a projection.
+
+    Holds *what* to compute: the join query, equality bindings, residual
+    predicates, and the output projection.  *How* to compute it lives in
+    the attached :class:`~repro.query.context.ExecutionContext`.  Every
+    fluent method returns a new builder; instances are safe to share,
+    reuse, and prepare.
+    """
+
+    __slots__ = (
+        "query",
+        "context",
+        "bindings",
+        "predicates",
+        "selected",
+        "_compiled_cache",
+    )
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        context: ExecutionContext | None = None,
+        bindings: tuple[tuple[str, Value], ...] = (),
+        predicates: tuple[ResidualPredicate, ...] = (),
+        selected: tuple[str, ...] | None = None,
+    ) -> None:
+        object.__setattr__(self, "query", query)
+        object.__setattr__(
+            self,
+            "context",
+            context if context is not None else ExecutionContext(),
+        )
+        object.__setattr__(self, "bindings", bindings)
+        object.__setattr__(self, "predicates", predicates)
+        object.__setattr__(self, "selected", selected)
+        object.__setattr__(self, "_compiled_cache", None)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("QueryBuilder instances are immutable")
+
+    def _derive(self, **changes) -> "QueryBuilder":
+        kwargs = {
+            "query": self.query,
+            "context": self.context,
+            "bindings": self.bindings,
+            "predicates": self.predicates,
+            "selected": self.selected,
+        }
+        kwargs.update(changes)
+        return QueryBuilder(**kwargs)
+
+    def _require_attribute(self, attribute: str, what: str) -> None:
+        if attribute not in self.query.attributes:
+            raise QueryError(
+                f"{what} names unknown attribute {attribute!r}; the "
+                f"query's attributes are {self.query.attributes!r}"
+            )
+
+    # -- the fluent surface -------------------------------------------------
+
+    def where(self, **equalities: Value) -> "QueryBuilder":
+        """Bind attributes to constants: ``where(A=1, B=2)``.
+
+        Equality clauses are *pushed into the plan*: each bound
+        attribute's level is eliminated by sectioning the relations
+        that contain it, so the engine never enumerates candidates for
+        it.  Binding the same attribute twice to the same value is a
+        no-op; to a different value, an error (the contradiction is
+        almost certainly a bug at the call site).
+        """
+        current = dict(self.bindings)
+        for attribute, value in equalities.items():
+            self._require_attribute(attribute, "where() clause")
+            if attribute in current and current[attribute] != value:
+                raise QueryError(
+                    f"attribute {attribute!r} is already bound to "
+                    f"{current[attribute]!r}; binding it to {value!r} too "
+                    "would make every result row impossible (use "
+                    "where_in() for a disjunction, or bind() on a "
+                    "prepared query to rebind)"
+                )
+            current[attribute] = value
+        ordered = tuple(
+            (a, current[a]) for a in self.query.attributes if a in current
+        )
+        return self._derive(bindings=ordered)
+
+    def where_in(
+        self, attribute: str, values: Iterable[Value]
+    ) -> "QueryBuilder":
+        """Keep rows whose ``attribute`` lies in ``values``.
+
+        Runs as a residual filter at the attribute's level (the engine
+        prunes non-members before recursing below them); an empty value
+        set makes the result empty.
+        """
+        self._require_attribute(attribute, "where_in() clause")
+        return self._derive(
+            predicates=self.predicates + (ValueIn(attribute, values),)
+        )
+
+    def filter(
+        self,
+        attribute: str,
+        predicate: Callable[[Value], bool],
+        label: str | None = None,
+    ) -> "QueryBuilder":
+        """Keep rows where ``predicate(value of attribute)`` holds.
+
+        The predicate runs as a residual per-level filter, like
+        :meth:`where_in`; ``label`` names it in ``explain`` output.
+        Lambdas are fine for serial/thread execution; for process-pool
+        sharding the predicate must pickle (the driver otherwise falls
+        back to threads automatically).
+        """
+        self._require_attribute(attribute, "filter() clause")
+        if isinstance(predicate, ResidualPredicate):
+            if predicate.attribute != attribute:
+                raise QueryError(
+                    f"predicate is attached to {predicate.attribute!r}, "
+                    f"not {attribute!r}"
+                )
+            clause = predicate
+        else:
+            clause = Callback(attribute, predicate, label)
+        return self._derive(predicates=self.predicates + (clause,))
+
+    def select(self, *attributes: str) -> "QueryBuilder":
+        """Project the output onto ``attributes`` (in the given order).
+
+        The projection is *streamed*: rows are projected and
+        deduplicated as the join produces them, so memory is bounded by
+        the projected result, not the full join.  ``select()`` with no
+        arguments is the Boolean projection — the result holds one
+        empty tuple when the (filtered) join is non-empty, none
+        otherwise.
+        """
+        seen: set[str] = set()
+        for attribute in attributes:
+            self._require_attribute(attribute, "select() clause")
+            if attribute in seen:
+                raise QueryError(
+                    f"select() names attribute {attribute!r} twice"
+                )
+            seen.add(attribute)
+        return self._derive(selected=tuple(attributes))
+
+    def using(
+        self, context: ExecutionContext | None = None, **options
+    ) -> "QueryBuilder":
+        """Attach execution options: a whole :class:`ExecutionContext`,
+        or keyword updates to the current one (``using(shards=4,
+        mode="thread")``)."""
+        if context is not None:
+            if options:
+                raise QueryError(
+                    "pass either a context or keyword options, not both"
+                )
+            return self._derive(context=context)
+        return self._derive(context=self.context.replace(**options))
+
+    def on(self, database) -> "QueryBuilder":
+        """Sugar for ``using(database=db)`` — run against a catalog's
+        cached indexes and statistics."""
+        return self.using(database=database)
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile(self) -> _Compiled:
+        """Section the query by its bindings; assemble filters and the
+        output row merger.
+
+        Memoized: the builder is immutable and relations are
+        value-immutable, so sectioning is computed once per builder —
+        ``prepare()``, ``plan()``, and repeated ``stream()`` calls all
+        share one set of section objects.
+        """
+        if self._compiled_cache is not None:
+            return self._compiled_cache
+        compiled = self._compile_uncached()
+        object.__setattr__(self, "_compiled_cache", compiled)
+        return compiled
+
+    def _compile_uncached(self) -> _Compiled:
+        bindings = dict(self.bindings)
+        out_attrs = self.query.attributes
+        bound = self.bindings
+
+        # Predicates over bound attributes are decided now, once.
+        by_attr: dict[str, list[ResidualPredicate]] = {}
+        for predicate in self.predicates:
+            attribute = predicate.attribute
+            if attribute in bindings:
+                if not predicate(bindings[attribute]):
+                    return _Compiled(
+                        False, None, {}, bound, None, out_attrs
+                    )
+            else:
+                by_attr.setdefault(attribute, []).append(predicate)
+        filters = {
+            attribute: combine(attribute, parts)
+            for attribute, parts in by_attr.items()
+        }
+
+        # Section every relation containing a bound attribute.
+        kept: list[Relation] = []
+        for eid in self.query.edge_ids:
+            relation = self.query.relation(eid)
+            here = {
+                a: v for a, v in bindings.items() if a in relation.attribute_set
+            }
+            if not here:
+                kept.append(relation)
+                continue
+            section = relation.section(here).with_name(relation.name)
+            if not section.attributes:
+                # Fully bound: a pure membership guard (Section 2's
+                # R[t_S] over S = attrs(R) is {()} or {}).
+                if section.is_empty():
+                    return _Compiled(
+                        False, None, filters, bound, None, out_attrs
+                    )
+                continue
+            kept.append(section)
+        if not kept:
+            return _Compiled(True, None, filters, bound, None, out_attrs)
+        residual = JoinQuery(kept)
+
+        merge: Callable[[Row], Row] | None = None
+        if bindings:
+            positions = {a: i for i, a in enumerate(residual.attributes)}
+            slots = tuple(
+                (True, bindings[a]) if a in bindings else (False, positions[a])
+                for a in out_attrs
+            )
+
+            def merge(row: Row, _slots=slots) -> Row:
+                return tuple(
+                    payload if is_const else row[payload]
+                    for is_const, payload in _slots
+                )
+
+        return _Compiled(True, residual, filters, bound, merge, out_attrs)
+
+    def _residual_context(self) -> ExecutionContext:
+        """The context the residual query is planned with: a caller-fixed
+        attribute order loses its bound (eliminated) attributes."""
+        ctx = self.context
+        if ctx.attribute_order is not None and self.bindings:
+            bound_attrs = {a for a, _v in self.bindings}
+            stripped = tuple(
+                a for a in ctx.attribute_order if a not in bound_attrs
+            )
+            ctx = ctx.replace(attribute_order=stripped)
+        return ctx
+
+    def _execution_database(self):
+        """The catalog handed to *executors*.
+
+        Always the context's database: executors consult it per
+        relation and only for the exact catalogued object (identity),
+        so sections created by equality pushdown build private indexes
+        while untouched relations in the same residual query still hit
+        the shared cache.
+        """
+        return self.context.database
+
+    def _guard_plan(self, compiled: _Compiled) -> JoinPlan:
+        """The degenerate plan when no residual query remains."""
+        if compiled.satisfiable:
+            reasons = [
+                "every attribute is bound: the join reduces to per-relation "
+                "membership guards; no executor runs"
+            ]
+        else:
+            reasons = [
+                "unsatisfiable: a bound tuple is absent from some relation "
+                "(or a residual filter rejects a bound value); the result "
+                "is empty and no executor runs"
+            ]
+        return JoinPlan(
+            query=self.query,
+            algorithm="none",
+            attribute_order=(),
+            backend=NO_BACKEND,
+            reasons=tuple(reasons),
+            bound=compiled.bound,
+            filtered=self._filter_descriptions(),
+            selected=self.selected,
+        )
+
+    def _filter_descriptions(self) -> tuple[tuple[str, str], ...]:
+        return tuple(
+            (predicate.attribute, predicate.describe())
+            for predicate in self.predicates
+        )
+
+    def plan(self) -> JoinPlan:
+        """Plan this query without running it (``repro.explain`` for the
+        builder): the residual query's :class:`JoinPlan` with the bound
+        attributes, residual filters, and projection recorded on it."""
+        compiled = self._compile()
+        if compiled.residual is None:
+            # Covers both degenerate outcomes: all attributes bound
+            # (guards only) and early-proven unsatisfiability.
+            return self._guard_plan(compiled)
+        plan = plan_join(compiled.residual, context=self._residual_context())
+        return _dc_replace(
+            plan,
+            bound=compiled.bound,
+            filtered=self._filter_descriptions(),
+            selected=self.selected,
+        )
+
+    explain = plan
+
+    def describe(self) -> str:
+        """``plan().describe()`` — the CLI ``explain`` rendering."""
+        return self.plan().describe()
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def output_attributes(self) -> tuple[str, ...]:
+        """The schema of the rows this query yields."""
+        if self.selected is not None:
+            return self.selected
+        return self.query.attributes
+
+    def _project(self, rows: Iterator[Row]) -> Iterator[Row]:
+        """Stream the projection: project each full row, emit first
+        sightings only.  Memory is O(distinct projected rows)."""
+        full = self.query.attributes
+        if self.selected is None:
+            return rows
+        if set(self.selected) == set(full):
+            # A permutation of the full schema: rows stay distinct.
+            indices = tuple(full.index(a) for a in self.selected)
+            return (tuple(row[i] for i in indices) for row in rows)
+        indices = tuple(full.index(a) for a in self.selected)
+
+        def dedup() -> Iterator[Row]:
+            seen: set[Row] = set()
+            for row in rows:
+                key = tuple(row[i] for i in indices)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+        return dedup()
+
+    def _full_rows(
+        self, compiled: _Compiled, plan: JoinPlan | None = None
+    ) -> Iterator[Row]:
+        """Stream full-schema rows (bound values merged back in).
+
+        ``plan`` lets a caller that already planned the residual query
+        (``batches()`` resolving ``"auto"``) avoid planning it twice.
+        """
+        if not compiled.satisfiable:
+            return iter(())
+        if compiled.residual is None:
+            constants = dict(compiled.bound)
+            return iter(
+                (tuple(constants[a] for a in compiled.output_attributes),)
+            )
+        ctx = self._residual_context()
+        if ctx.parallel:
+            rows: Iterator[Row] = _parallel.shard_join(
+                compiled.residual, context=ctx, filters=compiled.filters
+            )
+        else:
+            if plan is None:
+                plan = plan_join(compiled.residual, context=ctx)
+            rows = plan.iter_rows(
+                database=self._execution_database(),
+                filters=compiled.filters,
+            )
+        if compiled.merge is not None:
+            rows = map(compiled.merge, rows)
+        return rows
+
+    def stream(self) -> Iterator[Row]:
+        """Stream result rows (schema: :attr:`output_attributes`).
+
+        Planning — and all validation — happens in this call, not at
+        first ``next()``.  With ``context.shards`` set, rows come from
+        the sharded parallel driver; otherwise from the serial engine.
+        """
+        return self._project(self._full_rows(self._compile()))
+
+    def run(self, name: str = "J") -> Relation:
+        """Execute and materialize the result as a :class:`Relation`."""
+        return Relation(name, self.output_attributes, self.stream())
+
+    def count(self) -> int:
+        """Number of result rows (streamed; nothing is materialized)."""
+        return sum(1 for _row in self.stream())
+
+    def batches(self, size: int | None = None) -> Iterator[list[Row]]:
+        """Stream the result in fixed-size row batches.
+
+        ``size`` defaults to the context's ``batch_size`` (``"auto"``
+        resolves from the residual query's AGM estimate in serial mode)
+        and finally to :data:`~repro.engine.parallel.DEFAULT_BATCH_SIZE`.
+        """
+        compiled = self._compile()
+        ctx = self.context
+        plan = None
+        if compiled.residual is not None and not ctx.parallel:
+            plan = plan_join(
+                compiled.residual, context=self._residual_context()
+            )
+        resolved = size
+        if resolved is None and ctx.batch_size is not None:
+            if ctx.batch_size == "auto":
+                resolved = plan.batch_size if plan is not None else None
+            else:
+                resolved = require_positive_int(
+                    ctx.batch_size, "batch_size", " or 'auto'"
+                )
+        if resolved is None:
+            resolved = _parallel.DEFAULT_BATCH_SIZE
+        return _parallel.batches(
+            self._project(self._full_rows(compiled, plan)), resolved
+        )
+
+    def astream(self, batch_size: int | None = None):
+        """Async iteration for event-loop servers (``async for row in
+        q.astream()``): the blocking stream runs on worker threads and
+        rows reach the loop ``batch_size`` at a time (resolved exactly
+        as :meth:`batches` resolves it, including ``"auto"``).
+        Planning and validation happen in this synchronous call."""
+        return drain_async(self.batches(batch_size))
+
+    def prepare(self) -> "PreparedQuery":
+        """Freeze this query into a :class:`~repro.query.prepared.
+        PreparedQuery`: the plan is fixed and every index it needs is
+        built now (through the context database's bounded cache when the
+        relations are catalogued), so repeated ``run()`` / ``stream()``
+        calls perform zero planning and zero index builds."""
+        from repro.query.prepared import PreparedQuery
+
+        return PreparedQuery(self)
+
+    def __repr__(self) -> str:
+        parts = [repr(self.query)]
+        if self.bindings:
+            parts.append(
+                "where " + ", ".join(f"{a}={v!r}" for a, v in self.bindings)
+            )
+        parts.extend(p.describe() for p in self.predicates)
+        if self.selected is not None:
+            parts.append("select " + (", ".join(self.selected) or "()"))
+        return f"Q<{'; '.join(parts)}>"

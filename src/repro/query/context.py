@@ -1,0 +1,103 @@
+"""ExecutionContext: the single carrier of execution options.
+
+Before this object existed, every entry point in :mod:`repro.api` (and
+the CLI, and :mod:`repro.engine.parallel`) re-declared the same keyword
+list — ``algorithm``, ``cover``, ``attribute_order``, ``backend``,
+``database``, ``shards``, ``batch_size``, stats configuration — and the
+lists drifted apart with every PR.  :class:`ExecutionContext` replaces
+that kwargs plumbing with one immutable value object: the fluent builder
+(:mod:`repro.query.builder`) carries one, the planner unpacks one
+(``plan_join(query, context=ctx)``), the parallel drivers accept one,
+and the legacy ``repro.api`` functions construct one from their frozen
+keyword signatures.
+
+A context answers *how* to execute — it says nothing about *what* to
+compute (relations, predicates, projections live on the builder).  It is
+frozen and hashable so it can key caches, and :meth:`replace` derives
+variants without mutation::
+
+    ctx = ExecutionContext(database=db, shards="auto")
+    serial = ctx.replace(shards=None)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.hypergraph.covers import FractionalCover
+from repro.relations.database import Database
+
+__all__ = ["ExecutionContext"]
+
+#: Shard execution modes a context accepts (mirrors
+#: :data:`repro.engine.parallel.SHARD_MODES`; duplicated as a literal so
+#: this module stays import-light and cycle-free under the engine).
+_MODES = ("auto", "process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Every execution option the engine consumes, in one frozen object.
+
+    Fields mirror the planner's and parallel drivers' parameters; the
+    defaults reproduce the behavior of calling ``repro.join`` with no
+    keywords.  ``None`` consistently means "the engine decides" (or, for
+    ``shards``/``batch_size``, "stay serial / row-at-a-time").
+    """
+
+    #: Catalog supplying cached indexes and statistics (Remark 5.2's
+    #: ahead-of-time indexing); ``None`` plans and runs standalone.
+    database: Database | None = None
+    #: A :class:`~repro.stats.provider.StatsProvider` (or a
+    #: :class:`~repro.stats.provider.StatsConfig`, which the planner
+    #: wraps) pinning how plan statistics are gathered.
+    stats: object | None = None
+    #: Algorithm name or ``"auto"`` (the planner's shape dispatch).
+    algorithm: str = "auto"
+    #: Optional fractional cover for the cover-driven algorithms.
+    cover: FractionalCover | None = None
+    #: Optional global attribute order (order-sensitive algorithms only).
+    attribute_order: tuple[str, ...] | None = None
+    #: Index backend kind, or ``None`` for the planner's choice.
+    backend: str | None = None
+    #: Shard count: positive int, ``"auto"``, or ``None`` for serial.
+    shards: int | str | None = None
+    #: Rows per batch: positive int, ``"auto"``, or ``None`` for
+    #: row-at-a-time delivery.
+    batch_size: int | str | None = None
+    #: Shard execution mode (``"auto"``/``"process"``/``"thread"``/
+    #: ``"serial"``); consulted only when :attr:`shards` is set.
+    mode: str = "auto"
+    #: Worker-pool width for sharded modes; ``None`` = one per shard.
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attribute_order is not None:
+            object.__setattr__(
+                self, "attribute_order", tuple(self.attribute_order)
+            )
+        if self.mode not in _MODES:
+            raise PlanError(
+                f"unknown shard mode {self.mode!r}; choose one of {_MODES}"
+            )
+
+    def replace(self, **changes) -> "ExecutionContext":
+        """A copy of this context with ``changes`` applied (the fluent
+        builder's ``using(...)`` delegates here)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def parallel(self) -> bool:
+        """True when execution will route through the sharded driver."""
+        return self.shards is not None
+
+    def describe(self) -> str:
+        """One line per non-default option (for logs and ``explain``)."""
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value!r}")
+        return "ExecutionContext(" + ", ".join(parts) + ")"

@@ -1,0 +1,162 @@
+"""Residual predicates: the selection clauses the engine cannot eliminate.
+
+An *equality* clause (``where(A=1)``) is pushed all the way into the
+plan — the bound attribute's level disappears from the search via
+relation sectioning (see :mod:`repro.query.builder`).  Everything else —
+set membership (``where_in``), arbitrary per-attribute callables
+(``filter``) — stays a *residual predicate*: a single-attribute test the
+executors evaluate **at the level that binds the attribute**, pruning
+whole subtrees before any deeper intersection work happens (for the
+attribute-at-a-time executors) or filtering emitted rows (for the
+blocking specialists).
+
+Predicates are small declarative objects, not bare lambdas, for two
+reasons: they render themselves in ``JoinPlan.describe()`` / the CLI's
+``explain``, and :class:`ValueIn` pickles, so membership pushdown
+survives the trip to process-pool shard workers
+(:mod:`repro.engine.parallel`).  A :class:`Callback` wrapping a lambda
+does not pickle — the sharded driver then falls back to thread mode,
+exactly as it does for unpicklable values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import QueryError
+from repro.relations.relation import Value
+
+__all__ = ["Callback", "ResidualPredicate", "ValueIn", "combine"]
+
+
+class ResidualPredicate:
+    """One single-attribute test, attached to attribute :attr:`attribute`.
+
+    Subclasses implement ``__call__(value) -> bool`` and
+    ``describe() -> str``; instances are immutable value objects.
+    """
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str) -> None:
+        object.__setattr__(self, "attribute", attribute)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} instances are immutable"
+        )
+
+    def __call__(self, value: Value) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class ValueIn(ResidualPredicate):
+    """Set membership: ``attribute in values`` (the ``where_in`` clause).
+
+    The value set is frozen at construction; the rendered description is
+    sorted by ``repr`` so ``describe()`` — and therefore ``explain``
+    output and golden tests — is deterministic regardless of insertion
+    order.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, attribute: str, values: Iterable[Value]) -> None:
+        super().__init__(attribute)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def __call__(self, value: Value) -> bool:
+        return value in self.values
+
+    def __reduce__(self):
+        return (ValueIn, (self.attribute, self.values))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueIn):
+            return NotImplemented
+        return (self.attribute, self.values) == (other.attribute, other.values)
+
+    def __hash__(self) -> int:
+        return hash((ValueIn, self.attribute, self.values))
+
+    def describe(self) -> str:
+        inner = ", ".join(sorted((repr(v) for v in self.values)))
+        return f"{self.attribute} in {{{inner}}}"
+
+
+class Callback(ResidualPredicate):
+    """An arbitrary per-attribute test: ``predicate(value) -> bool``.
+
+    ``label`` names the predicate in ``explain`` output (defaults to the
+    callable's ``__name__``); the callable itself is opaque to the
+    planner, which therefore cannot push it below the attribute's level.
+    """
+
+    __slots__ = ("predicate", "label")
+
+    def __init__(
+        self,
+        attribute: str,
+        predicate: Callable[[Value], bool],
+        label: str | None = None,
+    ) -> None:
+        if not callable(predicate):
+            raise QueryError(
+                f"filter predicate for {attribute!r} is not callable: "
+                f"{predicate!r}"
+            )
+        super().__init__(attribute)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(
+            self,
+            "label",
+            label
+            if label is not None
+            else getattr(predicate, "__name__", "<predicate>"),
+        )
+
+    def __call__(self, value: Value) -> bool:
+        return bool(self.predicate(value))
+
+    def __reduce__(self):
+        return (Callback, (self.attribute, self.predicate, self.label))
+
+    def describe(self) -> str:
+        return f"{self.attribute} satisfies {self.label}"
+
+
+class _And(ResidualPredicate):
+    """Conjunction of several predicates on the same attribute."""
+
+    __slots__ = ("parts",)
+
+    def __init__(
+        self, attribute: str, parts: tuple[ResidualPredicate, ...]
+    ) -> None:
+        super().__init__(attribute)
+        object.__setattr__(self, "parts", parts)
+
+    def __call__(self, value: Value) -> bool:
+        return all(part(value) for part in self.parts)
+
+    def __reduce__(self):
+        return (_And, (self.attribute, self.parts))
+
+    def describe(self) -> str:
+        return " and ".join(part.describe() for part in self.parts)
+
+
+def combine(
+    attribute: str, predicates: Iterable[ResidualPredicate]
+) -> ResidualPredicate:
+    """Conjunction of every predicate attached to one attribute."""
+    parts = tuple(predicates)
+    if len(parts) == 1:
+        return parts[0]
+    return _And(attribute, parts)

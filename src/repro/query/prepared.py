@@ -1,0 +1,204 @@
+"""Prepared queries: plan once, index once, run many times.
+
+The ROADMAP's "cross-query warmup hints" item, realized at the query
+level: :meth:`QueryBuilder.prepare` (or ``Database.prepare``) freezes a
+builder into a :class:`PreparedQuery` whose
+
+* **plan** is computed exactly once (algorithm, attribute order,
+  backend, pushed bindings — everything ``explain`` shows), and
+* **indexes** are built exactly once, at prepare time — through the
+  context database's bounded GreedyDual cache when the relations are
+  catalogued (so other queries share them), privately otherwise.
+
+Each ``run()`` / ``stream()`` then re-drives the same executor: zero
+planning, zero index builds — on a warm catalog, ``Database.
+cache_info()`` shows no new misses across any number of runs.
+
+:meth:`PreparedQuery.bind` rebinds the equality parameters (``where``
+values) *without re-planning*: the residual query has the same shape for
+any parameter values, so the frozen algorithm / order / backend carry
+over and only the sections (and their private indexes) are rebuilt —
+the classical prepared-statement contract.
+
+Sharded execution (a context with ``shards`` set) cannot reuse one
+in-process executor — shard workers build their own restricted indexes
+— so a parallel prepared query delegates each run to the sharded
+driver; the frozen *plan* is still reused for ``describe()`` and shard
+sizing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import replace as _dc_replace
+
+from repro.engine import parallel as _parallel
+from repro.engine.planner import JoinPlan
+from repro.errors import QueryError
+from repro.query.builder import QueryBuilder, drain_async
+from repro.relations.relation import Relation, Row, Value
+
+__all__ = ["PreparedQuery"]
+
+
+class PreparedQuery:
+    """A frozen, pre-indexed query ready for repeated execution.
+
+    Build via :meth:`QueryBuilder.prepare` or ``Database.prepare`` —
+    the constructor is internal.  Instances are immutable; :meth:`bind`
+    derives a new prepared query sharing the frozen plan decisions.
+    """
+
+    __slots__ = ("_builder", "_compiled", "_plan", "_executor")
+
+    def __init__(
+        self, builder: QueryBuilder, _reuse_plan: JoinPlan | None = None
+    ) -> None:
+        compiled = builder._compile()
+        if _reuse_plan is None:
+            plan = builder.plan()
+        elif compiled.residual is None:
+            plan = builder._guard_plan(compiled)
+        elif _reuse_plan.algorithm == "none":
+            # The original prepare was degenerate (a guard proved it
+            # empty before planning), so there is no real plan to
+            # reuse; the rebound values resurrected a residual query —
+            # plan it now.
+            plan = builder.plan()
+        else:
+            # Rebinding: same residual shape, new parameter values — the
+            # frozen algorithm / order / backend stay valid, only the
+            # data (and the lazily cached AGM bound) changed.
+            plan = _dc_replace(
+                _reuse_plan,
+                query=compiled.residual,
+                bound=compiled.bound,
+                _bound=None,
+            )
+        executor = None
+        if (
+            compiled.satisfiable
+            and compiled.residual is not None
+            and not builder.context.parallel
+        ):
+            executor = plan.executor(
+                database=builder._execution_database(),
+                filters=compiled.filters,
+            )
+        object.__setattr__(self, "_builder", builder)
+        object.__setattr__(self, "_compiled", compiled)
+        object.__setattr__(self, "_plan", plan)
+        object.__setattr__(self, "_executor", executor)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("PreparedQuery instances are immutable")
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def plan(self) -> JoinPlan:
+        """The frozen :class:`~repro.engine.planner.JoinPlan`."""
+        return self._plan
+
+    @property
+    def query(self) -> QueryBuilder:
+        """The builder this prepared query froze."""
+        return self._builder
+
+    @property
+    def output_attributes(self) -> tuple[str, ...]:
+        """The schema of the rows :meth:`stream` yields."""
+        return self._builder.output_attributes
+
+    def describe(self) -> str:
+        """The frozen plan's ``explain`` rendering."""
+        return self._plan.describe()
+
+    # -- execution ----------------------------------------------------------
+
+    def stream(self) -> Iterator[Row]:
+        """Stream result rows from the pre-built executor.
+
+        No planning and no index builds happen here — every run walks
+        the indexes frozen at prepare time.  (With a parallel context,
+        runs delegate to the sharded driver instead; see the module
+        docstring.)
+        """
+        compiled = self._compiled
+        if not compiled.satisfiable:
+            return iter(())
+        if compiled.residual is None:
+            constants = dict(compiled.bound)
+            rows: Iterator[Row] = iter(
+                (tuple(constants[a] for a in compiled.output_attributes),)
+            )
+            return self._builder._project(rows)
+        if self._executor is None:
+            return self._builder.stream()  # parallel context: shard per run
+        rows = self._executor.iter_join()
+        if compiled.merge is not None:
+            rows = map(compiled.merge, rows)
+        return self._builder._project(rows)
+
+    def run(self, name: str = "J") -> Relation:
+        """Execute and materialize the result as a :class:`Relation`."""
+        return Relation(name, self.output_attributes, self.stream())
+
+    def count(self) -> int:
+        """Number of result rows (streamed)."""
+        return sum(1 for _row in self.stream())
+
+    def batches(self, size: int | None = None) -> Iterator[list[Row]]:
+        """Stream the result in fixed-size row batches."""
+        resolved = size
+        if resolved is None and isinstance(
+            self._builder.context.batch_size, int
+        ):
+            resolved = self._builder.context.batch_size
+        if resolved is None and self._plan.batch_size is not None:
+            resolved = self._plan.batch_size
+        if resolved is None:
+            resolved = _parallel.DEFAULT_BATCH_SIZE
+        return _parallel.batches(self.stream(), resolved)
+
+    def astream(self, batch_size: int | None = None):
+        """Async iteration over the prepared executor (see
+        :meth:`QueryBuilder.astream`)."""
+        return drain_async(self.batches(batch_size))
+
+    # -- rebinding ----------------------------------------------------------
+
+    def bind(self, **values: Value) -> "PreparedQuery":
+        """A new prepared query with equality parameters rebound.
+
+        Every keyword must name an attribute the original ``where``
+        clauses bound — the residual query then has the *same shape*
+        (same attributes, same relations), so the frozen plan is reused
+        verbatim and only the relation sections (plus their private
+        indexes) are rebuilt.  No statistics are rescanned and no order
+        descent runs.
+        """
+        current = dict(self._builder.bindings)
+        for attribute, value in values.items():
+            if attribute not in current:
+                raise QueryError(
+                    f"bind() can only rebind prepared parameters; "
+                    f"{attribute!r} is not among the bound attributes "
+                    f"{tuple(current)!r}"
+                )
+            current[attribute] = value
+        rebound = QueryBuilder(
+            self._builder.query,
+            context=self._builder.context,
+            bindings=tuple(
+                (a, current[a])
+                for a in self._builder.query.attributes
+                if a in current
+            ),
+            predicates=self._builder.predicates,
+            selected=self._builder.selected,
+        )
+        return PreparedQuery(rebound, _reuse_plan=self._plan)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self._builder!r}, plan={self._plan.algorithm})"

@@ -4,6 +4,7 @@ from repro.relations.database import (
     DEFAULT_BACKEND,
     INDEX_BACKENDS,
     Database,
+    WarmReport,
     build_index,
 )
 from repro.relations.relation import Relation, Row, Value, union_all
@@ -21,6 +22,7 @@ __all__ = [
     "TrieIndex",
     "TrieNode",
     "Value",
+    "WarmReport",
     "build_index",
     "union_all",
 ]

@@ -79,6 +79,40 @@ DEFAULT_STATS_CACHE_BUDGET = 4096
 
 
 @dataclass(frozen=True)
+class WarmReport:
+    """What :meth:`Database.warm` built, reused, and declined.
+
+    ``warmed`` and ``skipped`` itemize ``(relation, index order, kind)``
+    triples — ``skipped`` entries carry a fourth element naming the
+    reason (already cached, not catalogued, budget exhausted).
+    ``statistics_cached`` counts the statistics payloads the warmup's
+    planning passes added to the stats cache.
+    """
+
+    warmed: tuple[tuple[str, tuple[str, ...], str], ...]
+    skipped: tuple[tuple[str, tuple[str, ...], str, str], ...]
+    #: Indexes actually built (== ``len(warmed)``; kept explicit so the
+    #: report reads as a build counter in logs).
+    index_builds: int
+    #: Statistics-cache entries added while planning the workload.
+    statistics_cached: int
+
+    def describe(self) -> str:
+        """A human-readable rendering of the warmup outcome."""
+        lines = [
+            f"warmed {self.index_builds} index(es), "
+            f"{self.statistics_cached} statistics entr(ies):"
+        ]
+        for name, order, kind in self.warmed:
+            lines.append(f"  + {name} [{', '.join(order)}] ({kind})")
+        for name, order, kind, reason in self.skipped:
+            lines.append(
+                f"  - {name} [{', '.join(order)}] ({kind}): {reason}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of the index cache (:meth:`Database.cache_info`)."""
 
@@ -233,6 +267,104 @@ class Database:
             provider = StatsProvider(database=self, config=key)
             self._stats_providers[key] = provider
         return provider
+
+    # -- query layer ---------------------------------------------------------
+
+    def prepare(self, query):
+        """Freeze ``query`` into a :class:`~repro.query.prepared.
+        PreparedQuery` bound to this catalog.
+
+        ``query`` may be a fluent builder (``Q(...)``), a
+        :class:`~repro.core.query.JoinQuery`, or a sequence of
+        relations; whatever context it carries, its database is set to
+        this catalog so the frozen plan's indexes are built through (and
+        shared via) the bounded index cache.
+        """
+        return self._as_builder(query).prepare()
+
+    def warm(self, queries, budget: int | None = None) -> WarmReport:
+        """Pre-build the indexes and statistics a workload will need.
+
+        ``queries`` is an iterable of fluent builders, join queries, or
+        relation sequences.  Each is *planned* against this catalog —
+        which alone warms the statistics cache (profiles, samples,
+        selectivities) — and every ``(relation, order, kind)`` index the
+        plan's executor would request is built through :meth:`index`,
+        so later executions hit on every lookup (Remark 5.2's indexing
+        in advance, across a whole workload).
+
+        ``budget`` caps the number of index *builds*; independent of
+        it, warming always respects the GreedyDual cache budget — once
+        the cache is full, further builds are skipped rather than
+        evicting earlier warmup work.  Requirements over relations not
+        catalogued here (ad-hoc objects, or sections created by
+        equality pushdown) are skipped: their indexes cannot outlive
+        the query.  Returns a :class:`WarmReport`.
+        """
+        if budget is not None and (
+            not isinstance(budget, int)
+            or isinstance(budget, bool)
+            or budget < 0
+        ):
+            raise DatabaseError(
+                f"warm budget must be a non-negative int or None, "
+                f"got {budget!r}"
+            )
+        warmed: list[tuple[str, tuple[str, ...], str]] = []
+        skipped: list[tuple[str, tuple[str, ...], str, str]] = []
+        stats_before = self.cached_stats_count()
+        builds = 0
+        # Only *catalogued* requirements dedup by (name, order, kind):
+        # an ad-hoc relation sharing a catalogued name must not swallow
+        # a later genuine requirement for the catalog's relation.
+        seen: set[tuple[str, tuple[str, ...], str]] = set()
+        seen_uncatalogued: set[tuple[str, tuple[str, ...], str]] = set()
+        for item in queries:
+            plan = self._as_builder(item).plan()
+            for triple in plan.index_requirements():
+                name, order, kind = triple
+                if not self.is_catalogued(plan.query.relation(name)):
+                    if triple not in seen_uncatalogued:
+                        seen_uncatalogued.add(triple)
+                        skipped.append(
+                            (*triple, "not catalogued (ad-hoc or sectioned)")
+                        )
+                    continue
+                if triple in seen:
+                    continue
+                seen.add(triple)
+                if self.has_cached_index(name, order, kind):
+                    skipped.append((*triple, "already cached"))
+                    continue
+                if budget is not None and builds >= budget:
+                    skipped.append((*triple, "warm budget exhausted"))
+                    continue
+                if len(self._index_cache) >= self._index_cache_budget:
+                    skipped.append(
+                        (
+                            *triple,
+                            "index cache at budget (would evict warmup)",
+                        )
+                    )
+                    continue
+                self.index(name, order, kind)
+                builds += 1
+                warmed.append(triple)
+        return WarmReport(
+            warmed=tuple(warmed),
+            skipped=tuple(skipped),
+            index_builds=builds,
+            statistics_cached=self.cached_stats_count() - stats_before,
+        )
+
+    def _as_builder(self, query):
+        """Normalize prepare()/warm() arguments to a builder on this db."""
+        # Imported here: repro.query imports the engine, which imports
+        # this module.
+        from repro.query.builder import Q, QueryBuilder
+
+        builder = query if isinstance(query, QueryBuilder) else Q(query)
+        return builder.using(database=self)
 
     def stats_cache_get(self, name: str, key: tuple) -> object | None:
         """A cached statistics payload for relation ``name``, or None."""

@@ -1,0 +1,191 @@
+"""PreparedQuery: plan-once/run-many, zero warm builds, rebinding."""
+
+import pickle
+
+import pytest
+
+from repro.api import join
+from repro.errors import QueryError
+from repro.query.builder import Q
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.workloads import generators, queries
+
+
+def instance(seed=21):
+    return generators.random_instance(queries.triangle(), 80, 9, seed=seed)
+
+
+def catalogued(seed=21):
+    query = instance(seed)
+    db = Database(query.relations.values())
+    return db, Q(db["R"], db["S"], db["T"]).on(db)
+
+
+class TestPreparedExecution:
+    def test_run_matches_unprepared(self):
+        query = instance()
+        prepared = Q(query).using(algorithm="generic").prepare()
+        assert sorted(prepared.stream()) == sorted(join(query).tuples)
+
+    def test_repeated_runs_agree(self):
+        _db, builder = catalogued()
+        prepared = builder.using(algorithm="generic").prepare()
+        first = sorted(prepared.stream())
+        assert all(sorted(prepared.stream()) == first for _ in range(3))
+
+    def test_zero_index_builds_after_prepare(self):
+        db, builder = catalogued()
+        prepared = builder.using(algorithm="generic").prepare()
+        before = db.cache_info()
+        for _ in range(5):
+            list(prepared.stream())
+        after = db.cache_info()
+        assert after.misses == before.misses
+        assert after.hits == before.hits  # executor holds its indexes
+
+    def test_zero_index_builds_on_warm_database(self):
+        # The acceptance criterion: warm the catalog, then prepare+run
+        # without a single index build.
+        db, builder = catalogued()
+        builder = builder.using(algorithm="generic")
+        db.warm([builder])
+        before = db.cache_info()
+        prepared = db.prepare(builder)
+        rows = sorted(prepared.run("J").tuples)
+        after = db.cache_info()
+        assert after.misses == before.misses, "a warm run built an index"
+        assert rows == sorted(join(builder.query).tuples)
+
+    def test_prepared_with_pushdown(self):
+        query = instance()
+        full = join(query)
+        value = sorted(full.tuples)[0][0]
+        prepared = (
+            Q(query).where(A=value).select("B", "C").prepare()
+        )
+        expected = sorted(
+            full.select_equals("A", value).project(("B", "C")).tuples
+        )
+        assert sorted(prepared.stream()) == expected
+        assert prepared.output_attributes == ("B", "C")
+
+    def test_prepared_batches_and_count(self):
+        query = instance()
+        prepared = Q(query).prepare()
+        total = prepared.count()
+        assert total == len(join(query))
+        assert sum(len(b) for b in prepared.batches(16)) == total
+
+    def test_prepared_async(self):
+        import asyncio
+
+        query = instance()
+        prepared = Q(query).prepare()
+
+        async def collect():
+            return [row async for row in prepared.astream(batch_size=8)]
+
+        assert sorted(asyncio.run(collect())) == sorted(join(query).tuples)
+
+    def test_prepared_parallel_context_delegates(self):
+        query = instance()
+        prepared = Q(query).using(shards=2, mode="thread").prepare()
+        assert sorted(prepared.stream()) == sorted(join(query).tuples)
+
+    def test_immutable(self):
+        prepared = Q(instance()).prepare()
+        with pytest.raises(AttributeError):
+            prepared.plan = None
+
+
+class TestBind:
+    def test_bind_rebinds_without_replanning(self):
+        query = instance()
+        full = join(query)
+        values = sorted({row[0] for row in full.tuples})
+        prepared = Q(query).using(algorithm="generic").where(A=values[0]).prepare()
+        rebound = prepared.bind(A=values[1])
+        assert prepared.plan.attribute_order == rebound.plan.attribute_order
+        assert prepared.plan.algorithm == rebound.plan.algorithm
+        assert rebound.plan.bound == (("A", values[1]),)
+        assert sorted(rebound.stream()) == sorted(
+            full.select_equals("A", values[1]).tuples
+        )
+        # The original prepared query is untouched.
+        assert sorted(prepared.stream()) == sorted(
+            full.select_equals("A", values[0]).tuples
+        )
+
+    def test_bind_unknown_parameter_rejected(self):
+        prepared = Q(instance()).where(A=0).prepare()
+        with pytest.raises(QueryError, match="bind"):
+            prepared.bind(B=1)
+
+    def test_bind_loop_over_parameters(self):
+        # The prepared-statement workload: one plan, many parameters.
+        query = instance()
+        full = join(query)
+        prepared = Q(query).where(A=0).select("C").prepare()
+        for value in sorted({row[0] for row in full.tuples})[:4]:
+            expected = sorted(
+                full.select_equals("A", value).project(("C",)).tuples
+            )
+            assert sorted(prepared.bind(A=value).stream()) == expected
+
+    def test_bind_resurrects_degenerate_prepared_query(self):
+        # Prepared while provably empty (a residual filter rejects the
+        # bound value, so no plan was ever made); rebinding to a
+        # satisfying value must plan fresh instead of reusing the
+        # degenerate guard plan.
+        r = Relation("R", ("A", "B"), [(0, 1), (1, 2)])
+        s = Relation("S", ("B", "C"), [(1, 5), (2, 6)])
+        prepared = (
+            Q(r, s).where(A=0).where_in("A", {1}).prepare()
+        )
+        assert list(prepared.stream()) == []
+        resurrected = prepared.bind(A=1)
+        assert resurrected.plan.algorithm != "none"
+        assert sorted(resurrected.stream()) == [(1, 2, 6)]
+
+    def test_bind_statistics_not_rescanned(self):
+        db, builder = catalogued()
+        prepared = builder.using(algorithm="generic").where(A=1).prepare()
+        cached = db.cached_stats_count()
+        prepared.bind(A=2)
+        assert db.cached_stats_count() == cached
+
+
+class TestDescribe:
+    def test_describe_shows_bound_parameters(self):
+        prepared = Q(instance()).where(A=3).prepare()
+        assert "bound attributes: A=3" in prepared.describe()
+
+    def test_plans_are_picklable(self):
+        prepared = Q(instance()).where(A=3).prepare()
+        clone = pickle.loads(pickle.dumps(prepared.plan))
+        assert clone.bound == prepared.plan.bound
+
+
+class TestDatabasePrepare:
+    def test_accepts_relation_sequence(self):
+        query = instance()
+        db = Database(query.relations.values())
+        prepared = db.prepare([db["R"], db["S"], db["T"]])
+        assert sorted(prepared.stream()) == sorted(join(query).tuples)
+
+    def test_overrides_builder_database(self):
+        query = instance()
+        db = Database(query.relations.values())
+        other = Database()
+        builder = Q(db["R"], db["S"], db["T"]).on(other)
+        prepared = db.prepare(builder)
+        assert prepared.query.context.database is db
+
+
+def test_prepared_on_degenerate_all_bound():
+    r = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+    prepared = Q(r).where(A=1, B=2).prepare()
+    assert list(prepared.stream()) == [(1, 2)]
+    missing = prepared.bind(A=3, B=2)
+    assert list(missing.stream()) == []

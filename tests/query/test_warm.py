@@ -1,0 +1,204 @@
+"""Database.warm: budget-aware cross-query index and statistics warmup."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.query.builder import Q
+from repro.relations.database import Database, WarmReport
+from repro.relations.relation import Relation
+from repro.workloads import generators, queries
+
+
+def catalog(seed=31):
+    query = generators.random_instance(queries.triangle(), 60, 8, seed=seed)
+    return Database(query.relations.values())
+
+
+def generic_builder(db):
+    return Q(db["R"], db["S"], db["T"]).using(algorithm="generic").on(db)
+
+
+class TestWarmReport:
+    def test_warm_builds_required_indexes(self):
+        db = catalog()
+        report = db.warm([generic_builder(db)])
+        assert isinstance(report, WarmReport)
+        assert report.index_builds == len(report.warmed) == 3
+        assert {name for name, _o, _k in report.warmed} == {"R", "S", "T"}
+        assert db.cached_index_count() == 3
+
+    def test_warm_then_execute_hits_every_lookup(self):
+        db = catalog()
+        builder = generic_builder(db)
+        db.warm([builder])
+        before = db.cache_info()
+        list(builder.stream())
+        after = db.cache_info()
+        assert after.misses == before.misses
+        assert after.hits == before.hits + 3
+
+    def test_second_warm_reports_already_cached(self):
+        db = catalog()
+        db.warm([generic_builder(db)])
+        report = db.warm([generic_builder(db)])
+        assert report.index_builds == 0
+        assert all(reason == "already cached" for *_t, reason in report.skipped)
+
+    def test_statistics_warmed_by_planning(self):
+        db = catalog()
+        report = db.warm([generic_builder(db)])
+        assert report.statistics_cached > 0
+        assert db.cached_stats_count() == report.statistics_cached
+
+    def test_mixed_workload_deduplicates_requirements(self):
+        db = catalog()
+        report = db.warm(
+            [generic_builder(db), generic_builder(db).where_in("C", {1})]
+        )
+        # The same (relation, order, kind) triples appear once.
+        assert len(report.warmed) == len(set(report.warmed))
+
+    def test_leapfrog_and_nprr_requirements(self):
+        db = catalog()
+        report = db.warm(
+            [
+                Q(db["R"], db["S"]).using(algorithm="leapfrog").on(db),
+                Q(db["R"], db["T"]).using(algorithm="nprr").on(db),
+            ]
+        )
+        kinds = {kind for _n, _o, kind in report.warmed}
+        assert kinds == {"sorted", "trie"}
+
+    def test_mixed_relation_backends_warm_to_zero_misses(self):
+        # Force a "mixed" plan by pre-caching a sorted index for R in
+        # the order the planner will choose: cached-index availability
+        # then pins R to "sorted" while the others stay on the trie, and
+        # warm must reproduce exactly those (order, kind) triples.
+        db = catalog()
+        builder = generic_builder(db)
+        first = builder.plan()
+        rank = {a: i for i, a in enumerate(first.attribute_order)}
+        r_order = tuple(sorted(db["R"].attributes, key=rank.__getitem__))
+        db.index("R", r_order, "sorted")
+        plan = builder.plan()
+        assert plan.backend == "mixed"
+        report = db.warm([builder])
+        before = db.cache_info()
+        list(builder.stream())
+        after = db.cache_info()
+        assert after.misses == before.misses, (
+            "warm missed a mixed-plan requirement: "
+            f"{report.describe()}"
+        )
+
+    def test_no_index_algorithms_warm_nothing(self):
+        db = catalog()
+        report = db.warm([Q(db["R"], db["S"], db["T"]).using(algorithm="lw")])
+        assert report.warmed == ()
+        assert report.index_builds == 0
+
+    def test_describe_renders(self):
+        db = catalog()
+        text = db.warm([generic_builder(db)]).describe()
+        assert "warmed 3 index(es)" in text
+        assert "+ R [" in text
+
+
+class TestWarmBudgets:
+    def test_explicit_budget_caps_builds(self):
+        db = catalog()
+        report = db.warm([generic_builder(db)], budget=1)
+        assert report.index_builds == 1
+        assert sum(
+            1
+            for *_t, reason in report.skipped
+            if reason == "warm budget exhausted"
+        ) == 2
+
+    def test_budget_zero_builds_nothing(self):
+        db = catalog()
+        report = db.warm([generic_builder(db)], budget=0)
+        assert report.index_builds == 0
+        assert db.cached_index_count() == 0
+
+    def test_invalid_budget_rejected(self):
+        db = catalog()
+        with pytest.raises(DatabaseError):
+            db.warm([], budget=-1)
+        with pytest.raises(DatabaseError):
+            db.warm([], budget="lots")
+
+    def test_cache_budget_respected_without_eviction(self):
+        # A tiny index cache: warming stops instead of evicting what it
+        # just built (GreedyDual budget awareness).
+        query = generators.random_instance(
+            queries.triangle(), 40, 6, seed=33
+        )
+        db = Database(query.relations.values(), index_cache_budget=2)
+        report = db.warm([generic_builder(db)])
+        assert report.index_builds == 2
+        assert db.cache_info().evictions == 0
+        assert any(
+            "index cache at budget" in reason
+            for *_t, reason in report.skipped
+        )
+
+
+class TestWarmSkips:
+    def test_ad_hoc_relations_skipped(self):
+        db = catalog()
+        stranger = Relation("X", ("A", "B"), [(1, 2)])
+        report = db.warm(
+            [Q(stranger, db["S"]).using(algorithm="generic").on(db)]
+        )
+        assert any(
+            name == "X" and "not catalogued" in reason
+            for name, _o, _k, reason in report.skipped
+        )
+
+    def test_sectioned_relations_skipped_untouched_warmed(self):
+        # Equality pushdown sections R and T (they contain A): their
+        # indexes cannot be cached under catalog names.  S does not
+        # contain A, stays catalogued, and is worth warming — a later
+        # bound run serves S straight from the cache.
+        db = catalog()
+        builder = generic_builder(db).where(A=1)
+        report = db.warm([builder])
+        assert [name for name, _o, _k in report.warmed] == ["S"]
+        assert sorted(
+            name
+            for name, _o, _k, reason in report.skipped
+            if "not catalogued" in reason
+        ) == ["R", "T"]
+        before = db.cache_info()
+        list(builder.stream())
+        after = db.cache_info()
+        assert after.misses == before.misses
+        assert after.hits == before.hits + 1
+
+    def test_ad_hoc_namesake_does_not_poison_catalogued_warming(self):
+        # An ad-hoc relation named like a catalogued one, earlier in the
+        # workload, must not swallow the catalogued relation's warmup.
+        db = catalog()
+        stranger = Relation("R", ("A", "B"), [(1, 2)])
+        report = db.warm(
+            [
+                Q(stranger, db["S"], db["T"]).using(algorithm="generic"),
+                generic_builder(db),
+            ]
+        )
+        assert ("R" in {name for name, _o, _k in report.warmed})
+        builder = generic_builder(db)
+        before = db.cache_info()
+        list(builder.stream())
+        after = db.cache_info()
+        assert after.misses == before.misses  # fully warmed
+
+    def test_accepts_plain_join_queries_and_sequences(self):
+        db = catalog()
+        query = generators.random_instance(
+            queries.triangle(), 60, 8, seed=31
+        )
+        report = db.warm([[db["R"], db["S"]]])
+        assert isinstance(report, WarmReport)
+        del query

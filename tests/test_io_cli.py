@@ -301,3 +301,151 @@ total order: B, A, C
         assert lines[0] == "A,B,C"
         assert sorted(lines[1:]) == ["0,1,5", "1,2,6", "2,0,7"]
         assert capsys.readouterr().out == f"3 tuples -> {out_path}\n"
+
+
+class TestCLIQueryLayer:
+    """The query-layer clauses: --where / --where-in / --select."""
+
+    def test_where_filters_rows(self, triangle_files, capsys):
+        assert main(["join", *triangle_files, "--where", "A=0"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines == ["A,B,C", "0,1,5"]
+
+    def test_where_select_projects(self, triangle_files, capsys):
+        assert main(
+            ["join", *triangle_files, "--where", "A=0", "--select", "B,C"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["B,C", "1,5"]
+
+    def test_where_in_keeps_members(self, triangle_files, capsys):
+        assert main(
+            ["join", *triangle_files, "--where-in", "C=5,6"]
+        ) == 0
+        lines = [
+            line for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "1,2,6"]
+
+    def test_where_composes_with_stream_and_shards(
+        self, triangle_files, capsys
+    ):
+        assert main(
+            ["join", *triangle_files, "--where-in", "C=5,7",
+             "--stream", "--shards", "2"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["0,1,5", "2,0,7"]
+
+    def test_select_header_in_output_file(
+        self, triangle_files, tmp_path, capsys
+    ):
+        out_path = tmp_path / "projected.csv"
+        assert main(
+            ["join", *triangle_files, "--select", "C,A",
+             "--stream", "-o", str(out_path)]
+        ) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines[0] == "C,A"
+        assert sorted(lines[1:]) == ["5,0", "6,1", "7,2"]
+
+    def test_string_values_coerce_like_csv(self, tmp_path, capsys):
+        (tmp_path / "R.csv").write_text("A,B\nx,1\ny,2\n")
+        (tmp_path / "S.csv").write_text("B,C\n1,5\n2,6\n")
+        files = [str(tmp_path / "R.csv"), str(tmp_path / "S.csv")]
+        assert main(["join", *files, "--where", "A=x"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["A,B,C", "x,1,5"]
+
+    def test_mixed_column_values_stay_strings(self, tmp_path, capsys):
+        # Column A holds '1' and 'x' -> the loader types the whole
+        # column as strings; --where A=1 must compare as the string
+        # '1' (matching the loaded data), not the int 1.
+        (tmp_path / "R.csv").write_text("A,B\n1,7\nx,8\n")
+        (tmp_path / "S.csv").write_text("B,C\n7,5\n8,6\n")
+        files = [str(tmp_path / "R.csv"), str(tmp_path / "S.csv")]
+        assert main(["join", *files, "--where", "A=1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["A,B,C", "1,7,5"]
+
+    def test_mixed_column_where_in_stays_strings(self, tmp_path, capsys):
+        (tmp_path / "R.csv").write_text("A,B\n1,7\nx,8\n")
+        (tmp_path / "S.csv").write_text("B,C\n7,5\n8,6\n")
+        files = [str(tmp_path / "R.csv"), str(tmp_path / "S.csv")]
+        assert main(["join", *files, "--where-in", "A=1,x"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "A,B,C"
+        assert sorted(lines[1:]) == ["1,7,5", "x,8,6"]
+
+    def test_malformed_where_is_usage_error(self, triangle_files):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", *triangle_files, "--where", "A"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_where_attribute_is_clean_error(
+        self, triangle_files, capsys
+    ):
+        # A typo'd attribute exits 2 with a message — no traceback.
+        assert main(["join", *triangle_files, "--where", "Z=1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Z" in err
+
+    def test_conflicting_where_is_clean_error(self, triangle_files, capsys):
+        assert main(
+            ["join", *triangle_files, "--where", "A=0", "--where", "A=1"]
+        ) == 2
+        assert "already bound" in capsys.readouterr().err
+
+    def test_malformed_where_in_is_usage_error(self, triangle_files):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", *triangle_files, "--where-in", "B="])
+        assert excinfo.value.code == 2
+
+    EXPLAIN_WHERE_GOLDEN = """\
+query: JoinQuery(R(B) * S(B,C) * T(C))
+algorithm: arity2
+attribute order: B, C
+bound attributes: A=0 (levels eliminated by sectioning)
+residual filters: B in {1, 2}
+select: C (streamed projection)
+index backend: none
+shards: 1
+batch size: row-at-a-time
+estimated output (AGM bound): 1.000 tuples
+relation sizes: R=1, S=3, T=1
+fractional cover: x[R]=1, x[S]=0, x[T]=1
+decisions:
+  - every relation has arity <= 2: Theorem 7.3's decomposition (arity2) has O(m) query complexity
+  - arity2 derives its own order; keeping query order
+  - arity2 builds no per-order indexes
+"""
+
+    def test_explain_where_golden_plan_block(self, triangle_files, capsys):
+        assert main(
+            ["explain", *triangle_files, "--where", "A=0",
+             "--where-in", "B=1,2", "--select", "C"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.split("\n\n")[0] + "\n" == self.EXPLAIN_WHERE_GOLDEN
+
+    def test_explain_all_bound_guard_plan(self, triangle_files, capsys):
+        assert main(
+            ["explain", *triangle_files, "--where", "A=0",
+             "--where", "B=1", "--where", "C=5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: none" in out
+        assert "bound attributes: A=0, B=1, C=5" in out
+        assert "membership guards" in out
+
+    def test_explain_unmodified_without_clauses(self, triangle_files, capsys):
+        # The pushdown lines only appear when clauses are given — the
+        # legacy golden output (TestCLIGoldenOutput) stays byte-exact.
+        assert main(["explain", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "bound attributes:" not in out
+        assert "residual filters:" not in out
+        assert "select:" not in out

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_query_api.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_query_api.py [benchmarks/BENCH_query_api.json]
+
+Validates the structure ``benchmarks/bench_query_api.py`` promises —
+the pushdown heavy/light records, the prepared-execution record, parity
+flags, and the zero-index-builds contract of prepared runs — so
+downstream consumers (dashboards, the README numbers) can rely on it.
+Exits non-zero with a message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+PUSHDOWN_KEYS = {
+    "value": object,
+    "rows": int,
+    "pushdown_seconds": (int, float),
+    "postfilter_seconds": (int, float),
+    "speedup": (int, float),
+    "parity": bool,
+}
+
+PREPARED_KEYS = {
+    "repeats": int,
+    "cold_seconds_total": (int, float),
+    "cold_seconds_per_run": (int, float),
+    "prepare_seconds": (int, float),
+    "warm_seconds_total": (int, float),
+    "warm_seconds_per_run": (int, float),
+    "amortized_speedup": (int, float),
+    "index_builds_during_runs": int,
+    "cache_hits_during_runs": int,
+    "parity": bool,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_query_api.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_record(path: str, record: object, keys: dict) -> None:
+    if not isinstance(record, dict):
+        fail(f"{path} is not an object")
+    for key, expected in keys.items():
+        if key not in record:
+            fail(f"{path} missing {key!r}")
+        if expected is not object and not isinstance(record[key], expected):
+            fail(f"{path}.{key} has type {type(record[key]).__name__}")
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in ("host", "definitions", "scale", "sizes", "pushdown",
+                "prepared"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    for kind in ("heavy", "light"):
+        if kind not in data["pushdown"]:
+            fail(f"pushdown missing {kind!r}")
+        check_record(f"pushdown.{kind}", data["pushdown"][kind], PUSHDOWN_KEYS)
+        if data["pushdown"][kind]["parity"] is not True:
+            fail(f"pushdown.{kind}.parity is not true")
+    check_record("prepared", data["prepared"], PREPARED_KEYS)
+    if data["prepared"]["parity"] is not True:
+        fail("prepared.parity is not true")
+    if data["prepared"]["index_builds_during_runs"] != 0:
+        fail(
+            "prepared.index_builds_during_runs is "
+            f"{data['prepared']['index_builds_during_runs']}, expected 0 "
+            "(prepared runs must never build indexes)"
+        )
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[1] if len(argv) > 1 else "benchmarks/BENCH_query_api.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -75,6 +75,12 @@ from repro.errors import (
     ReproError,
     SchemaError,
 )
+from repro.feedback import (
+    ExecutionTelemetry,
+    FeedbackConfig,
+    ObservedLevel,
+    ShardObservation,
+)
 from repro.hypergraph import (
     FractionalCover,
     Hypergraph,
@@ -117,6 +123,8 @@ __all__ = [
     "Database",
     "DatabaseError",
     "ExecutionContext",
+    "ExecutionTelemetry",
+    "FeedbackConfig",
     "FractionalCover",
     "FunctionalDependency",
     "FunctionalDependencyError",
@@ -129,6 +137,7 @@ __all__ = [
     "LeapfrogTriejoin",
     "LinearProgramError",
     "NPRRJoin",
+    "ObservedLevel",
     "PlanError",
     "PlanStatistics",
     "PreparedQuery",
@@ -140,6 +149,7 @@ __all__ = [
     "RelaxedJoin",
     "ReproError",
     "SchemaError",
+    "ShardObservation",
     "SortedArrayIndex",
     "StatsConfig",
     "StatsProvider",

@@ -7,6 +7,7 @@ Usage::
     python -m repro join R.csv S.csv T.csv --shards 4 --batch 500
     python -m repro join R.csv S.csv T.csv --where A=1 --where-in B=2,3 \\
         --select A,C
+    python -m repro join R.csv S.csv T.csv --feedback
     python -m repro bound R.csv S.csv T.csv
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
     python -m repro explain R.csv S.csv T.csv --where A=1
@@ -31,7 +32,19 @@ Usage::
                 ``--select`` are given) and the query-plan tree and
                 total order Algorithm 2 would use; with ``--stats``, also
                 the statistics that justified each decision (distinct
-                counts, sampled selectivities, heavy hitters)
+                counts, sampled selectivities, heavy hitters); with
+                ``--feedback``, plan from recorded execution telemetry
+                when observations exist (``--stats`` then renders the
+                observed-vs-sampled comparison)
+
+``join --feedback`` records per-level execution telemetry as the join
+runs and re-plans repeated executions of the same query from the
+*observed* statistics (cardinality feedback); with ``--shards`` it also
+records per-shard wall times and splits shards that ran hot on the next
+attribute the next time around (online re-sharding).  Observations live
+in the in-process statistics provider, so the flag pays off within one
+process (servers, notebooks, the test harness) — a fresh process starts
+unobserved.
 
 Each CSV needs a header row of attribute names; the file stem is the
 relation name.  ``--where`` / ``--where-in`` values are typed the way
@@ -52,6 +65,7 @@ from repro.core.query import JoinQuery
 from repro.engine.backends import backend_kinds
 from repro.hypergraph.agm import agm_bound, optimal_fractional_cover
 from repro.hypergraph.duality import optimal_vertex_packing, packing_lower_bound
+from repro.feedback.config import FeedbackConfig
 from repro.io import load_database_csv, save_relation_csv
 from repro.query.builder import Q, QueryBuilder
 
@@ -98,6 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="write output rows in batches of N (implies --stream delivery)",
     )
+    join_cmd.add_argument(
+        "--feedback",
+        action="store_true",
+        help="record execution telemetry and re-plan repeated queries "
+        "from observed statistics (cardinality feedback + online "
+        "re-sharding)",
+    )
     _add_query_options(join_cmd)
     join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
@@ -129,6 +150,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the statistics that justified each decision "
         "(distinct counts, sampled selectivities, heavy hitters)",
+    )
+    explain_cmd.add_argument(
+        "--feedback",
+        action="store_true",
+        help="plan from recorded execution telemetry when observations "
+        "exist (combine with --stats for the observed-vs-sampled table)",
     )
     _add_query_options(explain_cmd)
 
@@ -225,6 +252,8 @@ def _build_query(args: argparse.Namespace) -> QueryBuilder:
     """Assemble the fluent builder every query command drives."""
     query = _load_query(args.files)
     builder = Q(query).using(algorithm=args.algorithm, backend=args.backend)
+    if getattr(args, "feedback", False):
+        builder = builder.using(feedback=FeedbackConfig())
     for attribute, value in args.where:
         builder = builder.where(
             **{attribute: _coerce(query, attribute, value)}

@@ -40,6 +40,7 @@ from repro.engine import parallel as _parallel
 from repro.engine.executors import algorithm_names
 from repro.engine.planner import JoinPlan
 from repro.errors import QueryError
+from repro.feedback.config import FeedbackConfig
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
 from repro.query.builder import Q
@@ -69,6 +70,7 @@ def join(
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
     database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
 ) -> Relation:
     """Compute the natural join of ``relations``, worst-case optimally.
 
@@ -94,6 +96,11 @@ def join(
     database:
         Optional catalog whose index cache should be used (Remark 5.2's
         ahead-of-time indexing) — repeated queries then skip index builds.
+    feedback:
+        Optional :class:`~repro.feedback.config.FeedbackConfig` enabling
+        the runtime feedback loop: this run records per-level execution
+        telemetry, and repeated runs of the same query re-plan from the
+        observed statistics instead of the sampled estimates.
     """
     _check_algorithm(algorithm)
     context = ExecutionContext(
@@ -102,6 +109,7 @@ def join(
         attribute_order=attribute_order,
         backend=backend,
         database=database,
+        feedback=feedback,
     )
     return Q(relations, context=context).run(name)
 
@@ -113,6 +121,7 @@ def iter_join(
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
     database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
 ) -> Iterator[Row]:
     """Stream the natural join of ``relations`` row by row.
 
@@ -122,6 +131,9 @@ def iter_join(
     never materialize the output, so the first rows arrive while the
     search is still running and consumers may stop early; the blocking
     specialists (``lw``, ``arity2``) compute internally and then stream.
+    With ``feedback`` set, a fully consumed stream records its
+    telemetry and later runs re-plan from it (abandoning the stream
+    early records nothing).
     """
     _check_algorithm(algorithm)
     context = ExecutionContext(
@@ -130,6 +142,7 @@ def iter_join(
         attribute_order=attribute_order,
         backend=backend,
         database=database,
+        feedback=feedback,
     )
     return Q(relations, context=context).stream()
 
@@ -142,6 +155,7 @@ def join_batched(
     attribute_order: Sequence[str] | None = None,
     backend: str | None = None,
     database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
 ) -> Iterator[list[Row]]:
     """Stream the natural join in fixed-size row batches.
 
@@ -165,6 +179,7 @@ def join_batched(
         backend=backend,
         batch_size=batch_size,
         database=database,
+        feedback=feedback,
     )
     return Q(relations, context=context).batches()
 
@@ -179,6 +194,7 @@ def shard_join(
     mode: str = "auto",
     workers: int | None = None,
     database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
 ) -> Iterator[Row]:
     """Stream the natural join, sharded on the planner's first attribute.
 
@@ -191,7 +207,10 @@ def shard_join(
     int, ``"auto"`` (sized from heavy-hitter mass and CPU count, so hot
     values land in their own shard), or ``None`` (same as ``"auto"``).
     ``database`` lets the parent plan reuse the catalog's cached
-    statistics.  See :mod:`repro.engine.parallel`.
+    statistics.  With ``feedback`` set, every shard's wall time is
+    recorded and shards that ran hot are re-partitioned on the next
+    attribute on the following run (the online "Skew Strikes Back"
+    split).  See :mod:`repro.engine.parallel`.
     """
     _check_algorithm(algorithm)
     context = ExecutionContext(
@@ -203,6 +222,7 @@ def shard_join(
         mode=mode,
         workers=workers,
         database=database,
+        feedback=feedback,
     )
     return Q(relations, context=context).stream()
 
@@ -216,6 +236,7 @@ def aiter_join(
     shards: int | str | None = None,
     batch_size: int = _parallel.DEFAULT_BATCH_SIZE,
     database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
 ) -> AsyncIterator[Row]:
     """Async variant of :func:`iter_join` for event-loop servers.
 
@@ -238,6 +259,7 @@ def aiter_join(
         backend=backend,
         shards=shards,
         database=database,
+        feedback=feedback,
     )
     return Q(relations, context=context).astream(batch_size=batch_size)
 
@@ -250,6 +272,7 @@ def explain(
     backend: str | None = None,
     database: Database | None = None,
     stats=None,
+    feedback: FeedbackConfig | None = None,
 ) -> JoinPlan:
     """Plan the join without running it.
 

@@ -61,6 +61,12 @@ class GenericJoin:
         the level that binds its attribute, *before* recursing — a value
         failing its filter prunes the whole subtree, so the search never
         pays for completions the selection would discard.
+    telemetry:
+        Optional :class:`~repro.feedback.telemetry.TelemetryProbe` whose
+        ``order`` matches this executor's.  When attached, the search
+        runs an instrumented twin of :meth:`_search` that counts
+        partials, candidates, and matches per level; when ``None`` (the
+        default) the uninstrumented path runs — zero added cost.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class GenericJoin:
         database: Database | None = None,
         backend: str | Mapping[str, str] = DEFAULT_BACKEND,
         filters: Mapping[str, Callable[[Value], bool]] | None = None,
+        telemetry=None,
     ) -> None:
         self.query = query
         order = (
@@ -133,6 +140,12 @@ class GenericJoin:
         self._output_perm = tuple(rank[a] for a in query.attributes)
         # Per-depth residual filter (None = unfiltered level).
         self._filters = per_position_filters(filters, order, query.attributes)
+        if telemetry is not None and tuple(telemetry.order) != order:
+            raise QueryError(
+                f"telemetry probe order {telemetry.order!r} does not match "
+                f"the executor's attribute order {order!r}"
+            )
+        self.telemetry = telemetry
 
     def iter_join(self) -> Iterator[Row]:
         """Stream the join's rows (query attribute order, no repeats).
@@ -143,7 +156,10 @@ class GenericJoin:
         """
         perm = self._output_perm
         nodes = [index.root for index in self._indexes]
-        for row in self._search(0, nodes, []):
+        search = (
+            self._search if self.telemetry is None else self._search_observed
+        )
+        for row in search(0, nodes, []):
             yield tuple(row[i] for i in perm)
 
     def execute(self, name: str = "J") -> Relation:
@@ -194,6 +210,62 @@ class GenericJoin:
             advanced[smallest] = child
             prefix.append(value)
             yield from self._search(depth + 1, advanced, prefix)
+            prefix.pop()
+
+    def _search_observed(
+        self,
+        depth: int,
+        nodes: list[object],
+        prefix: list[object],
+    ) -> Iterator[Row]:
+        """:meth:`_search` with telemetry counters.
+
+        A deliberate twin rather than a flag inside :meth:`_search`: the
+        uninstrumented search loop is the engine's hottest path, and
+        "zero-cost when disabled" means zero — not one branch per
+        candidate value.  Any change to :meth:`_search` must land here
+        too; ``tests/feedback/test_telemetry.py`` asserts the two paths
+        yield identical rows.
+        """
+        probe = self.telemetry
+        if depth == len(self.order):
+            yield tuple(prefix)
+            return
+        probe.partials[depth] += 1
+        participants = self._participants[depth]
+        if not participants:
+            raise QueryError(
+                f"attribute {self.order[depth]!r} is in no relation"
+            )
+        indexes = self._indexes
+        smallest = min(
+            participants, key=lambda i: indexes[i].fanout_hint(nodes[i])
+        )
+        base = indexes[smallest]
+        others = [i for i in participants if i != smallest]
+        level_filter = self._filters[depth]
+        for value, child in base.items(nodes[smallest]):
+            probe.candidates[depth] += 1
+            if level_filter is not None and not level_filter(value):
+                continue
+            advanced = None
+            ok = True
+            for i in others:
+                nxt = indexes[i].child(nodes[i], value)
+                if nxt is None:
+                    ok = False
+                    break
+                if advanced is None:
+                    advanced = list(nodes)
+                advanced[i] = nxt
+            if not ok:
+                continue
+            probe.matches[depth] += 1
+            if advanced is None:
+                advanced = list(nodes)
+            advanced[smallest] = child
+            prefix.append(value)
+            yield from self._search_observed(depth + 1, advanced, prefix)
             prefix.pop()
 
 

@@ -57,6 +57,14 @@ class LeapfrogTriejoin:
         (the query layer's residual selections).  A key surviving the
         leapfrog intersection is tested against its level's filter
         before recursing, pruning the subtree without seeking into it.
+    telemetry:
+        Optional :class:`~repro.feedback.telemetry.TelemetryProbe`
+        matching this executor's order.  Instrumented runs count
+        partials, candidates, and matches per level; a candidate here is
+        a key the leapfrog intersection *emitted* (values the seeks
+        skipped were never enumerated), so unfiltered levels observe
+        ``candidates == matches`` and fan-out is the informative
+        number.  ``None`` (default) keeps the uninstrumented path.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class LeapfrogTriejoin:
         attribute_order: Sequence[str] | None = None,
         database: Database | None = None,
         filters: Mapping[str, Callable[[Value], bool]] | None = None,
+        telemetry=None,
     ) -> None:
         self.query = query
         order = (
@@ -103,6 +112,12 @@ class LeapfrogTriejoin:
         self._output_perm = tuple(rank[a] for a in query.attributes)
         # Per-depth residual filter (None = unfiltered level).
         self._filters = per_position_filters(filters, order, query.attributes)
+        if telemetry is not None and tuple(telemetry.order) != order:
+            raise QueryError(
+                f"telemetry probe order {telemetry.order!r} does not match "
+                f"the executor's attribute order {order!r}"
+            )
+        self.telemetry = telemetry
 
     def iter_join(self) -> Iterator[Row]:
         """Stream the join's rows (query attribute order, no repeats).
@@ -117,7 +132,10 @@ class LeapfrogTriejoin:
         levels = [
             [cursors[i] for i in ids] for ids in self._participants
         ]
-        yield from self._level(0, levels, [])
+        if self.telemetry is None:
+            yield from self._level(0, levels, [])
+        else:
+            yield from self._level_observed(0, levels, [])
 
     def execute(self, name: str = "J") -> Relation:
         """Run the triejoin; returns the join in query attribute order."""
@@ -148,6 +166,47 @@ class LeapfrogTriejoin:
                         continue
                     prefix.append(value)
                     yield from self._level(depth + 1, levels, prefix)
+                    prefix.pop()
+        finally:
+            for it in iterators:
+                it.up()
+
+    def _level_observed(
+        self,
+        depth: int,
+        levels: list[list[SortedTrieIterator]],
+        prefix: list[object],
+    ) -> Iterator[Row]:
+        """:meth:`_level` with telemetry counters.
+
+        A deliberate twin of :meth:`_level` (same reasoning as
+        ``GenericJoin._search_observed``: the disabled path must stay
+        branch-free).  Any change to :meth:`_level` must land here too;
+        the telemetry tests assert row parity between the paths.
+        """
+        probe = self.telemetry
+        if depth == len(self.order):
+            perm = self._output_perm
+            yield tuple(prefix[i] for i in perm)
+            return
+        probe.partials[depth] += 1
+        iterators = levels[depth]
+        if not iterators:
+            raise QueryError(
+                f"attribute {self.order[depth]!r} is in no relation"
+            )
+        for it in iterators:
+            it.open()
+        level_filter = self._filters[depth]
+        try:
+            if not any(it.at_end for it in iterators):
+                for value in self._leapfrog(iterators):
+                    probe.candidates[depth] += 1
+                    if level_filter is not None and not level_filter(value):
+                        continue
+                    probe.matches[depth] += 1
+                    prefix.append(value)
+                    yield from self._level_observed(depth + 1, levels, prefix)
                     prefix.pop()
         finally:
             for it in iterators:

@@ -43,6 +43,7 @@ from repro.engine.planner import (
     JoinPlan,
     attribute_statistics,
     plan_attribute_order,
+    plan_attribute_order_feedback,
     plan_attribute_order_sampled,
     plan_join,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "build_index",
     "iter_shard_rows",
     "plan_attribute_order",
+    "plan_attribute_order_feedback",
     "plan_attribute_order_sampled",
     "plan_join",
     "plan_shards",

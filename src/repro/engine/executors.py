@@ -44,6 +44,7 @@ from repro.relations.relation import Relation, Row, Value
 __all__ = [
     "EXECUTORS",
     "NATIVE_FILTERS",
+    "NATIVE_TELEMETRY",
     "RowFilterExecutor",
     "algorithm_names",
     "build_executor",
@@ -98,6 +99,7 @@ def _make_nprr(
     backend: str,
     database: Database | None,
     filters: Filters | None,
+    telemetry=None,
 ) -> NPRRJoin:
     # Algorithm 2's order comes from its query-plan tree; an explicit
     # attribute order does not apply, and the hash trie's O(1) (ST2)
@@ -113,6 +115,7 @@ def _make_lw(
     backend: str,
     database: Database | None,
     filters: Filters | None,
+    telemetry=None,
 ) -> LWJoin:
     return LWJoin(query)
 
@@ -125,6 +128,7 @@ def _make_generic(
     backend: str | Mapping[str, str],
     database: Database | None,
     filters: Filters | None,
+    telemetry=None,
 ) -> GenericJoin:
     # ``backend`` may be a per-relation mapping (the statistics-driven
     # planner emits one when skew or cached indexes argue for mixing
@@ -135,6 +139,7 @@ def _make_generic(
         database=database,
         backend=backend or DEFAULT_BACKEND,
         filters=filters,
+        telemetry=telemetry,
     )
 
 
@@ -146,12 +151,14 @@ def _make_leapfrog(
     backend: str,
     database: Database | None,
     filters: Filters | None,
+    telemetry=None,
 ) -> LeapfrogTriejoin:
     return LeapfrogTriejoin(
         query,
         attribute_order=attribute_order,
         database=database,
         filters=filters,
+        telemetry=telemetry,
     )
 
 
@@ -163,6 +170,7 @@ def _make_arity_two(
     backend: str,
     database: Database | None,
     filters: Filters | None,
+    telemetry=None,
 ) -> ArityTwoJoin:
     return ArityTwoJoin(query, cover=cover)
 
@@ -183,6 +191,13 @@ EXECUTORS = {
 #: wrapped in :class:`RowFilterExecutor` when filters are present.
 NATIVE_FILTERS = frozenset({"generic", "leapfrog"})
 
+#: Algorithms whose executors accept a per-level
+#: :class:`~repro.feedback.telemetry.TelemetryProbe`.  The blocking
+#: specialists have no global per-attribute levels to count, so the
+#: feedback loop records nothing for them (their executions are still
+#: parity-identical with feedback enabled).
+NATIVE_TELEMETRY = frozenset({"generic", "leapfrog"})
+
 
 def algorithm_names(include_auto: bool = True) -> tuple[str, ...]:
     """Public algorithm names, optionally with the planner's ``"auto"``."""
@@ -199,6 +214,7 @@ def build_executor(
     backend: str | Mapping[str, str] = DEFAULT_BACKEND,
     database: Database | None = None,
     filters: Filters | None = None,
+    telemetry=None,
 ):
     """Instantiate the executor for a *resolved* algorithm name.
 
@@ -207,6 +223,8 @@ def build_executor(
     unknown name before touching any relation data.  ``filters`` attach
     the query layer's residual predicates — natively for the algorithms
     in :data:`NATIVE_FILTERS`, via :class:`RowFilterExecutor` otherwise.
+    ``telemetry`` attaches a per-level probe to the algorithms in
+    :data:`NATIVE_TELEMETRY` and is ignored for the rest.
     """
     try:
         factory = EXECUTORS[algorithm]
@@ -223,6 +241,7 @@ def build_executor(
         backend=backend,
         database=database,
         filters=native,
+        telemetry=telemetry if algorithm in NATIVE_TELEMETRY else None,
     )
     if filters and algorithm not in NATIVE_FILTERS:
         executor = RowFilterExecutor(executor, query, filters)

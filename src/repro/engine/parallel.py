@@ -50,6 +50,7 @@ import itertools
 import pickle
 import queue as queue_module
 import threading
+import time
 from collections import Counter
 from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
 from dataclasses import dataclass
@@ -57,8 +58,11 @@ from dataclasses import dataclass
 from repro.core.query import JoinQuery
 from repro.engine.planner import plan_join
 from repro.errors import PlanError, require_positive_int
+from repro.feedback.resharding import ShardPlanEntry, expand_shards
+from repro.feedback.telemetry import ShardObservation, feedback_scope
 from repro.hypergraph.covers import FractionalCover
 from repro.relations.relation import Relation, Row, Value
+from repro.stats.provider import resolve_provider
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -321,6 +325,18 @@ def _run_shard_pickled(payload: bytes) -> list[Row]:
     return _run_shard(pickle.loads(payload))
 
 
+def _run_shard_pickled_timed(
+    indexed: tuple[int, bytes],
+) -> tuple[int, list[Row], float]:
+    """Measured process-pool entry point for feedback runs: results come
+    back tagged with the shard index (``imap_unordered`` loses order)
+    and the shard's wall time as seen by the worker."""
+    index, payload = indexed
+    started = time.perf_counter()
+    rows = _run_shard(pickle.loads(payload))
+    return index, rows, time.perf_counter() - started
+
+
 def iter_shard_rows(
     query: JoinQuery,
     spec: ShardSpec,
@@ -349,21 +365,53 @@ def iter_shard_rows(
     return _shard_rows(task)
 
 
-def _iter_serial(tasks: list[_ShardTask]) -> Iterator[Row]:
-    for task in tasks:
-        yield from _shard_rows(task)
+def _iter_serial(
+    tasks: list[_ShardTask],
+    times: dict[int, tuple[float, int]] | None = None,
+) -> Iterator[Row]:
+    if times is None:
+        for task in tasks:
+            yield from _shard_rows(task)
+        return
+    # Measured runs stay streaming: the clock spans start-to-exhaustion
+    # (like the thread workers, whose emits block on a slow consumer),
+    # so downstream cost shows up uniformly per row across shards and
+    # relative hot-shard comparisons stay meaningful.
+    for index, task in enumerate(tasks):
+        started = time.perf_counter()
+        count = 0
+        for row in _shard_rows(task):
+            count += 1
+            yield row
+        times[index] = (time.perf_counter() - started, count)
 
 
-def _iter_process(payloads: list[bytes], workers: int) -> Iterator[Row]:
+def _iter_process(
+    payloads: list[bytes],
+    workers: int,
+    times: dict[int, tuple[float, int]] | None = None,
+) -> Iterator[Row]:
     import multiprocessing
 
     context = multiprocessing.get_context()
     with context.Pool(processes=workers) as pool:
-        for rows in pool.imap_unordered(_run_shard_pickled, payloads):
+        if times is None:
+            for rows in pool.imap_unordered(_run_shard_pickled, payloads):
+                yield from rows
+            return
+        indexed = list(enumerate(payloads))
+        for index, rows, seconds in pool.imap_unordered(
+            _run_shard_pickled_timed, indexed
+        ):
+            times[index] = (seconds, len(rows))
             yield from rows
 
 
-def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
+def _iter_thread(
+    tasks: list[_ShardTask],
+    workers: int,
+    times: dict[int, tuple[float, int]] | None = None,
+) -> Iterator[Row]:
     """Row-streaming union over worker threads.
 
     Each worker streams its shard into a bounded queue in small chunks;
@@ -376,8 +424,8 @@ def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
     """
     sink: queue_module.Queue = queue_module.Queue(maxsize=max(4, workers * 4))
     todo: queue_module.SimpleQueue = queue_module.SimpleQueue()
-    for task in tasks:
-        todo.put(task)
+    for indexed_task in enumerate(tasks):
+        todo.put(indexed_task)
     stop = threading.Event()
 
     def emit(item: tuple[str, object]) -> bool:
@@ -393,14 +441,17 @@ def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
     def run() -> None:
         while not stop.is_set():
             try:
-                task = todo.get_nowait()
+                index, task = todo.get_nowait()
             except queue_module.Empty:
                 return
             try:
+                started = time.perf_counter()
+                count = 0
                 chunk: list[Row] = []
                 for row in _shard_rows(task):
                     if stop.is_set():
                         return
+                    count += 1
                     chunk.append(row)
                     if len(chunk) >= _THREAD_CHUNK:
                         if not emit(("rows", chunk)):
@@ -408,7 +459,8 @@ def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
                         chunk = []
                 if chunk and not emit(("rows", chunk)):
                     return
-                if not emit(("done", None)):
+                seconds = time.perf_counter() - started
+                if not emit(("done", (index, seconds, count))):
                     return
             except BaseException as error:  # propagated to the consumer
                 emit(("error", error))
@@ -431,6 +483,9 @@ def _iter_thread(tasks: list[_ShardTask], workers: int) -> Iterator[Row]:
                 yield from payload
             elif kind == "done":
                 finished += 1
+                if times is not None:
+                    index, seconds, count = payload
+                    times[index] = (seconds, count)
             else:
                 raise payload
     finally:
@@ -521,9 +576,45 @@ def shard_join(
             shards=shards if shards is not None else "auto",
             database=database,
         )
-    specs = plan_shards(query, plan.shards, plan.attribute_order[0])
+    attribute = plan.attribute_order[0]
+    specs = plan_shards(query, plan.shards, attribute)
     if not specs:
         return iter(())
+
+    # The feedback re-split path: shards this query's earlier runs
+    # measured as hot (wall time above the configured multiple of their
+    # sibling median) are re-partitioned on the next attribute of the
+    # plan's order and their sub-shards dispatched in their place — the
+    # online "Skew Strikes Back" split.  Without recorded observations
+    # the expansion is exactly the static plan.
+    feedback = context.feedback if context is not None else None
+    provider = None
+    entries = None
+    scope = ()
+    if feedback is not None:
+        scope = feedback_scope(filters)
+        provider = resolve_provider(
+            context.database if context is not None else database,
+            context.stats if context is not None else None,
+        )
+        restricted_queries = _shard_queries(query, specs)
+        entries = [
+            ShardPlanEntry(
+                key=((attribute, spec.values),),
+                query=restricted,
+                weight=spec.weight,
+            )
+            for spec, restricted in zip(specs, restricted_queries)
+        ]
+        observed = provider.observed_shards(query, scope)
+        if observed:
+            entries = expand_shards(
+                entries, plan.attribute_order, observed, feedback
+            )
+        task_queries = [entry.query for entry in entries]
+    else:
+        task_queries = _shard_queries(query, specs)
+
     task_filters = tuple(filters.items()) if filters else None
     tasks = [
         _ShardTask(
@@ -538,31 +629,76 @@ def shard_join(
             backend=backend,
             filters=task_filters,
         )
-        for restricted in _shard_queries(query, specs)
+        for restricted in task_queries
     ]
-    if mode == "serial" or len(tasks) == 1:
-        return _iter_serial(tasks)
-    # Serialize each task once, up front: every task must pickle (shards
-    # partition the *values*, so one unpicklable value poisons only the
-    # shard it landed in — sampling one task would crash the pool
-    # mid-iteration), and the resulting bytes are what the workers get,
-    # so the dataset is never pickled a second time by the pool.
-    payloads: list[bytes] | None = None
-    if mode in ("auto", "process"):
-        try:
-            payloads = [
-                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
-                for task in tasks
-            ]
-        except Exception:
-            if mode == "process":
-                raise  # explicitly requested: surface the real error now
-    if mode == "auto":
-        mode = "process" if payloads is not None else "thread"
-    pool_width = min(workers or len(tasks), len(tasks))
-    if mode == "process":
-        return _iter_process(payloads, pool_width)
-    return _iter_thread(tasks, pool_width)
+    times: dict[int, tuple[float, int]] | None = (
+        {} if feedback is not None else None
+    )
+
+    def dispatch() -> Iterator[Row]:
+        if mode == "serial" or len(tasks) == 1:
+            return _iter_serial(tasks, times)
+        # Serialize each task once, up front: every task must pickle
+        # (shards partition the *values*, so one unpicklable value
+        # poisons only the shard it landed in — sampling one task would
+        # crash the pool mid-iteration), and the resulting bytes are
+        # what the workers get, so the dataset is never pickled a
+        # second time by the pool.
+        payloads: list[bytes] | None = None
+        resolved = mode
+        if resolved in ("auto", "process"):
+            try:
+                payloads = [
+                    pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                    for task in tasks
+                ]
+            except Exception:
+                if resolved == "process":
+                    raise  # explicitly requested: surface the error now
+        if resolved == "auto":
+            resolved = "process" if payloads is not None else "thread"
+        pool_width = min(workers or len(tasks), len(tasks))
+        if resolved == "process":
+            return _iter_process(payloads, pool_width, times)
+        return _iter_thread(tasks, pool_width, times)
+
+    stream = dispatch()
+    if feedback is None:
+        return stream
+    return _recorded_shard_stream(
+        stream, times, entries, provider, query, scope
+    )
+
+
+def _recorded_shard_stream(
+    stream: Iterator[Row],
+    times: dict[int, tuple[float, int]],
+    entries: list[ShardPlanEntry],
+    provider,
+    query: JoinQuery,
+    scope: tuple,
+) -> Iterator[Row]:
+    """Drain a sharded run, then record its per-shard observations.
+
+    Recording happens only when every shard reported a time — an
+    early-terminated consumer leaves ``times`` incomplete, and partial
+    timings must not drive next-run split decisions.
+    """
+    yield from stream
+    if len(times) == len(entries):
+        provider.record_shards(
+            query,
+            [
+                ShardObservation(
+                    key=entries[index].key,
+                    seconds=seconds,
+                    rows=count,
+                    weight=entries[index].weight,
+                )
+                for index, (seconds, count) in sorted(times.items())
+            ],
+            scope,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -68,12 +68,14 @@ from repro.stats.provider import (
     StatsConfig,
     StatsProvider,
     default_provider,
+    resolve_provider,
 )
 
 __all__ = [
     "JoinPlan",
     "attribute_statistics",
     "plan_attribute_order",
+    "plan_attribute_order_feedback",
     "plan_attribute_order_sampled",
     "plan_join",
 ]
@@ -189,13 +191,17 @@ class JoinPlan:
         self,
         database: Database | None = None,
         filters: Mapping[str, Callable[[Value], bool]] | None = None,
+        telemetry=None,
     ):
         """Build (but do not run) this plan's executor.
 
         ``filters`` are the query layer's residual predicates (the
         callables matching :attr:`filtered`); they hook the level that
         binds each attribute for the attribute-at-a-time executors and
-        filter emitted rows for the blocking specialists.
+        filter emitted rows for the blocking specialists.  ``telemetry``
+        attaches a :class:`~repro.feedback.telemetry.TelemetryProbe` to
+        executors that support per-level counting (see
+        :data:`~repro.engine.executors.NATIVE_TELEMETRY`).
         """
         backend: str | dict[str, str] = self.backend
         if self.relation_backends is not None:
@@ -208,6 +214,7 @@ class JoinPlan:
             backend=backend,
             database=database,
             filters=filters,
+            telemetry=telemetry,
         )
 
     def execute(
@@ -432,6 +439,119 @@ def plan_attribute_order(
     return tuple(order)
 
 
+def _prefix_clamp(
+    relations: Mapping[str, Relation],
+    sub_bounds: Mapping[frozenset, float],
+    bound_attrs: set[str],
+    attribute: str,
+    estimate: float,
+) -> float:
+    """Clamp a partial-result estimate by the hard upper bounds that hold
+    whenever the relations fully covered by ``prefix + attribute`` span
+    exactly its attributes: the covered relations' sizes and the AGM
+    sub-bound of the covered sub-query.  Shared by the sampled and the
+    feedback order descents."""
+    prefix_attrs = bound_attrs | {attribute}
+    covered = frozenset(
+        eid
+        for eid, relation in relations.items()
+        if relation.attribute_set <= prefix_attrs
+    )
+    covered_attrs: set[str] = set()
+    for eid in covered:
+        covered_attrs |= relations[eid].attribute_set
+    if covered and covered_attrs == prefix_attrs:
+        # The partial tuples over prefix_attrs project INTO every
+        # covered relation, so these clamps are true upper bounds.
+        estimate = min(
+            estimate, min(float(len(relations[eid])) for eid in covered)
+        )
+        if covered in sub_bounds:
+            estimate = min(estimate, sub_bounds[covered])
+    return estimate
+
+
+def _subquery_bounds(query: JoinQuery) -> dict[frozenset, float]:
+    """AGM sub-bounds for the order descents (skipped for very wide
+    queries — ``subquery_estimates`` enumerates relation subsets)."""
+    if len(query.edge_ids) > MAX_SUBQUERY_RELATIONS:
+        return {}
+    return {
+        subset: estimate.bound
+        for subset, estimate in subquery_estimates(query).items()
+    }
+
+
+class _DescentState:
+    """The evolving state of one greedy order descent, exposed to the
+    per-variant estimate callbacks (shared by the sampled and feedback
+    descents so their loop mechanics cannot drift apart)."""
+
+    __slots__ = ("order", "bound_attrs", "touched", "partial", "rels_with")
+
+    def __init__(self, rels_with: dict[str, list[str]]) -> None:
+        self.order: list[str] = []
+        self.bound_attrs: set[str] = set()
+        self.touched: set[str] = set()  # edge ids with a bound attribute
+        self.partial = 1.0
+        self.rels_with = rels_with
+
+
+def _greedy_descent(
+    query: JoinQuery,
+    scores: dict[str, int],
+    estimate_for,
+    on_chosen=None,
+) -> tuple[tuple[str, ...], tuple[tuple[str, float], ...]]:
+    """The shared greedy, connectivity-respecting order descent.
+
+    At each step the attribute minimizing ``estimate_for(attribute,
+    state)`` among the frontier candidates is appended (ties fall back
+    to the distinct-count score, then first appearance).  The estimate
+    semantics live entirely in the callback — sampled selectivities for
+    the statistics planner, observed telemetry for the feedback planner
+    — so the loop mechanics (frontier bookkeeping, tie-breaking,
+    partial-size threading) exist exactly once.  ``on_chosen`` fires
+    after each selection, before the state advances (for per-step
+    evidence recording).
+    """
+    appearance = {a: i for i, a in enumerate(query.attributes)}
+    rels_with: dict[str, list[str]] = {a: [] for a in query.attributes}
+    neighbors: dict[str, set[str]] = {a: set() for a in query.attributes}
+    for eid, relation in query.relations.items():
+        for a in relation.attributes:
+            rels_with[a].append(eid)
+            neighbors[a].update(relation.attributes)
+
+    state = _DescentState(rels_with)
+    estimates: list[tuple[str, float]] = []
+    remaining = set(query.attributes)
+    frontier: set[str] = set()
+    while remaining:
+        candidates = frontier & remaining
+        if not candidates:
+            candidates = remaining  # new connected component (or start)
+        chosen = min(
+            candidates,
+            key=lambda a: (
+                estimate_for(a, state),
+                scores[a],
+                appearance[a],
+            ),
+        )
+        chosen_estimate = estimate_for(chosen, state)
+        if on_chosen is not None:
+            on_chosen(chosen, state)
+        state.order.append(chosen)
+        estimates.append((chosen, chosen_estimate))
+        state.partial = max(chosen_estimate, 1.0)
+        state.bound_attrs.add(chosen)
+        remaining.discard(chosen)
+        frontier |= neighbors[chosen]
+        state.touched.update(rels_with[chosen])
+    return tuple(state.order), tuple(estimates)
+
+
 def plan_attribute_order_sampled(
     query: JoinQuery, stats: StatsProvider
 ) -> tuple[
@@ -470,37 +590,16 @@ def plan_attribute_order_sampled(
     the plan.
     """
     scores = stats.attribute_scores(query)
-    appearance = {a: i for i, a in enumerate(query.attributes)}
     relations = query.relations
-    rels_with: dict[str, list[str]] = {a: [] for a in query.attributes}
-    neighbors: dict[str, set[str]] = {a: set() for a in query.attributes}
-    for eid, relation in relations.items():
-        for a in relation.attributes:
-            rels_with[a].append(eid)
-            neighbors[a].update(relation.attributes)
-
-    sub_bounds: dict[frozenset[str], float] = {}
-    if len(query.edge_ids) <= MAX_SUBQUERY_RELATIONS:
-        sub_bounds = {
-            subset: estimate.bound
-            for subset, estimate in subquery_estimates(query).items()
-        }
-
-    order: list[str] = []
-    estimates: list[tuple[str, float]] = []
+    sub_bounds = _subquery_bounds(query)
     consulted: dict[tuple[str, str], float] = {}
-    bound_attrs: set[str] = set()
-    touched: set[str] = set()  # edge ids containing a bound attribute
-    remaining = set(query.attributes)
-    frontier: set[str] = set()
-    partial = 1.0
 
-    def estimate_for(attribute: str) -> float:
+    def sampled_estimate(attribute: str, state: _DescentState) -> float:
         shrink = 1.0
-        containing = rels_with[attribute]
+        containing = state.rels_with[attribute]
         for eid in containing:
             source = relations[eid]
-            for fid in touched.union(containing):
+            for fid in state.touched.union(containing):
                 if fid == eid:
                     continue
                 target = relations[fid]
@@ -509,43 +608,111 @@ def plan_attribute_order_sampled(
                 selectivity = stats.selectivity(source, target)
                 consulted[(eid, fid)] = selectivity
                 shrink = min(shrink, selectivity)
-        estimate = partial * scores[attribute] * shrink
-        prefix_attrs = bound_attrs | {attribute}
-        covered = frozenset(
-            eid
-            for eid, relation in relations.items()
-            if relation.attribute_set <= prefix_attrs
+        estimate = state.partial * scores[attribute] * shrink
+        return _prefix_clamp(
+            relations, sub_bounds, state.bound_attrs, attribute, estimate
         )
-        covered_attrs: set[str] = set()
-        for eid in covered:
-            covered_attrs |= relations[eid].attribute_set
-        if covered and covered_attrs == prefix_attrs:
-            # The partial tuples over prefix_attrs project INTO every
-            # covered relation, so these clamps are true upper bounds.
-            estimate = min(
-                estimate, min(float(len(relations[eid])) for eid in covered)
-            )
-            if covered in sub_bounds:
-                estimate = min(estimate, sub_bounds[covered])
-        return estimate
 
-    while remaining:
-        candidates = frontier & remaining
-        if not candidates:
-            candidates = remaining  # new connected component (or start)
-        chosen = min(
-            candidates,
-            key=lambda a: (estimate_for(a), scores[a], appearance[a]),
+    order, estimates = _greedy_descent(query, scores, sampled_estimate)
+    return order, scores, estimates, consulted
+
+
+def plan_attribute_order_feedback(
+    query: JoinQuery,
+    stats: StatsProvider,
+    observed: Mapping[str, object],
+) -> tuple[
+    tuple[str, ...],
+    dict[str, int],
+    tuple[tuple[str, float], ...],
+    tuple[tuple[str, float], ...],
+    dict[tuple[str, str], float],
+]:
+    """Greedy order descent on *observed* execution statistics.
+
+    The same stepwise objective as :func:`plan_attribute_order_sampled`
+    — minimize the estimated partial-result size after binding each
+    candidate — but where a recorded observation exists for an
+    attribute it takes precedence over the sampled machinery (the
+    classical optimizer feedback loop):
+
+    * when the descent's current prefix equals the prefix the attribute
+      was observed under, the estimate is ``partial * observed fan-out``
+      — the measured per-prefix expansion, applied verbatim (this is
+      what keeps a *confirmed-good* order stable across runs);
+    * otherwise ``partial * min_distinct * observed selectivity`` — the
+      level's measured pruning power, portable across positions.  A
+      level observed with selectivity ~1 pruned nothing, however small
+      its distinct count: exactly the decoy the min-distinct heuristic
+      falls for and samples can misjudge.
+
+    Attributes without observations fall back to the sampled estimate
+    (or the min-distinct score when sampling is disabled), and every
+    estimate is clamped by the same covered-relation and AGM sub-bound
+    caps as the sampled descent.
+
+    Returns ``(order, distinct_scores, per-step estimates, per-step
+    baseline estimates, selectivities consulted)`` — the baseline is
+    what the non-feedback formula would have estimated for each chosen
+    attribute, so ``explain --feedback`` can show observed vs sampled
+    side by side.
+    """
+    scores = stats.attribute_scores(query)
+    relations = query.relations
+    sampling = stats.config.sampling
+    sub_bounds = _subquery_bounds(query)
+    baselines: list[tuple[str, float]] = []
+    consulted: dict[tuple[str, str], float] = {}
+
+    def sampled_shrink(attribute: str, state: _DescentState) -> float:
+        if not sampling:
+            return 1.0
+        shrink = 1.0
+        containing = state.rels_with[attribute]
+        for eid in containing:
+            source = relations[eid]
+            for fid in state.touched.union(containing):
+                if fid == eid:
+                    continue
+                target = relations[fid]
+                if not (source.attribute_set & target.attribute_set):
+                    continue
+                selectivity = stats.selectivity(source, target)
+                consulted[(eid, fid)] = selectivity
+                shrink = min(shrink, selectivity)
+        return shrink
+
+    def baseline_for(attribute: str, state: _DescentState) -> float:
+        estimate = (
+            state.partial
+            * scores[attribute]
+            * sampled_shrink(attribute, state)
         )
-        chosen_estimate = estimate_for(chosen)
-        order.append(chosen)
-        estimates.append((chosen, chosen_estimate))
-        partial = max(chosen_estimate, 1.0)
-        bound_attrs.add(chosen)
-        remaining.discard(chosen)
-        frontier |= neighbors[chosen]
-        touched.update(rels_with[chosen])
-    return tuple(order), scores, tuple(estimates), consulted
+        return _prefix_clamp(
+            relations, sub_bounds, state.bound_attrs, attribute, estimate
+        )
+
+    def estimate_for(attribute: str, state: _DescentState) -> float:
+        level = observed.get(attribute)
+        if level is None:
+            return baseline_for(attribute, state)
+        if tuple(state.order) == level.prefix:
+            # The descent has reproduced the recorded prefix: the
+            # measured per-prefix fan-out applies verbatim.
+            estimate = state.partial * level.fanout
+        else:
+            estimate = state.partial * scores[attribute] * level.selectivity
+        return _prefix_clamp(
+            relations, sub_bounds, state.bound_attrs, attribute, estimate
+        )
+
+    def record_baseline(attribute: str, state: _DescentState) -> None:
+        baselines.append((attribute, baseline_for(attribute, state)))
+
+    order, estimates = _greedy_descent(
+        query, scores, estimate_for, on_chosen=record_baseline
+    )
+    return order, scores, estimates, tuple(baselines), consulted
 
 
 def _choose_algorithm(
@@ -775,6 +942,8 @@ def plan_join(
     batch_size: int | str | None = None,
     database: Database | None = None,
     stats: StatsProvider | None = None,
+    feedback=None,
+    feedback_scope: tuple = (),
     context=None,
 ) -> JoinPlan:
     """Produce a :class:`JoinPlan` for ``query``.
@@ -799,13 +968,24 @@ def plan_join(
     provider with a different seed for reproducible experiments, or a
     bare :class:`~repro.stats.provider.StatsConfig` (wrapped here).
 
+    ``feedback`` — a :class:`~repro.feedback.config.FeedbackConfig` —
+    switches on observed-statistics precedence: when the provider holds
+    recorded execution telemetry for this query (a previous run under
+    feedback), the attribute order comes from
+    :func:`plan_attribute_order_feedback` and the plan's statistics
+    ``source`` reads ``"feedback"``.  Without recorded observations the
+    flag only leaves a note in ``reasons``.  ``feedback_scope`` keys the
+    observation lookup — the query layer passes its residual-filter
+    signature so filtered and unfiltered executions of the same
+    relations never share telemetry (their cardinalities differ).
+
     ``context`` — an :class:`~repro.query.context.ExecutionContext` —
     replaces the individual option keywords wholesale: when given, the
     planner reads ``algorithm``, ``cover``, ``attribute_order``,
-    ``backend``, ``shards``, ``batch_size``, ``database``, and ``stats``
-    from it and ignores the corresponding parameters.  This is how the
-    query layer (and anything else carrying a context) calls the planner
-    without re-spelling the option list.
+    ``backend``, ``shards``, ``batch_size``, ``database``, ``stats``,
+    and ``feedback`` from it and ignores the corresponding parameters.
+    This is how the query layer (and anything else carrying a context)
+    calls the planner without re-spelling the option list.
     """
     if context is not None:
         algorithm = context.algorithm
@@ -816,12 +996,7 @@ def plan_join(
         batch_size = context.batch_size
         database = context.database
         stats = context.stats
-    if isinstance(stats, StatsConfig):
-        stats = (
-            database.stats(stats)
-            if database is not None
-            else StatsProvider(config=stats)
-        )
+        feedback = context.feedback
     if algorithm not in algorithm_names():
         raise QueryError(
             f"unknown algorithm {algorithm!r}; "
@@ -829,14 +1004,10 @@ def plan_join(
         )
     if backend is not None:
         validate_backend(backend)
-    if stats is not None:
-        provider = stats
-    elif database is not None:
-        provider = database.stats()
-    else:
-        # The shared default: identity-keyed and bounded, so repeated
-        # ad-hoc plans over the same relation objects never rescan.
-        provider = default_provider()
+    # One shared resolution rule (with the feedback recorders): StatsConfig
+    # wrapped, explicit provider as-is, else the database's, else the
+    # bounded process-wide default so repeated ad-hoc plans never rescan.
+    provider = resolve_provider(database, stats)
     reasons: list[str] = []
     if algorithm == "auto":
         algorithm = _choose_algorithm(
@@ -872,12 +1043,102 @@ def plan_join(
     record: dict = {}
     used_stats = False
 
+    source_override: str | None = None
     if attribute_order is not None:
         order = tuple(attribute_order)
         reasons.append(f"attribute order fixed by caller: {', '.join(order)}")
     elif order_sensitive:
         used_stats = True
-        if provider.config.sampling:
+        observed = {}
+        best_telemetry = None
+        if feedback is not None:
+            best_telemetry = provider.observed_telemetry(
+                query, feedback_scope
+            )
+            if best_telemetry is not None:
+                observed = {
+                    level.attribute: level
+                    for level in best_telemetry.levels
+                }
+        if observed:
+            # Observed statistics take precedence over sampled ones:
+            # the classical optimizer feedback loop.
+            source_override = "feedback"
+            order, scores, estimates, baselines, consulted = (
+                plan_attribute_order_feedback(query, provider, observed)
+            )
+            # Explore-or-pin: a proposed order we have already measured
+            # as no better — or whose estimated work does not promise a
+            # real improvement over the best *measured* order — is not
+            # worth running.  Greedy re-estimation from a good run's
+            # telemetry can produce plausible-but-worse proposals; the
+            # measured history is the ground truth that stops the loop
+            # from oscillating on them.
+            best_order = best_telemetry.attribute_order
+            best_work = best_telemetry.total_candidates
+            if order != best_order:
+                history = provider.observed_history(query, feedback_scope)
+                tried = history.get(order)
+                proposed_work = sum(estimate for _a, estimate in estimates)
+                if tried is not None:
+                    keep = tried.total_candidates >= best_work
+                    why = (
+                        f"already measured at {tried.total_candidates} "
+                        f"candidate(s) vs {best_work}"
+                    )
+                else:
+                    margin = feedback.explore_margin
+                    keep = proposed_work >= margin * best_work
+                    why = (
+                        f"estimated work ~{proposed_work:.3g} does not "
+                        f"promise improvement over measured {best_work} "
+                        f"(explore margin {margin})"
+                    )
+                if keep:
+                    reasons.append(
+                        "feedback: keeping best measured order "
+                        f"{', '.join(best_order)}; proposed "
+                        f"{', '.join(order)} {why}"
+                    )
+                    order = best_order
+                    # The pinned order's estimates are its measured
+                    # per-level match counts — exact, so repeated runs
+                    # observe no divergence and the loop stays quiet.
+                    estimates = tuple(
+                        (level.attribute, float(level.matches))
+                        for level in best_telemetry.levels
+                    )
+                    baselines = ()
+                else:
+                    reasons.append(
+                        "attribute order by observed-feedback descent: "
+                        + ", ".join(
+                            f"{a}(~{est:.3g})" for a, est in estimates
+                        )
+                    )
+            else:
+                reasons.append(
+                    "attribute order by observed-feedback descent: "
+                    + ", ".join(f"{a}(~{est:.3g})" for a, est in estimates)
+                )
+            record["order_estimates"] = estimates
+            record["baseline_estimates"] = baselines
+            record["observed_levels"] = tuple(
+                (
+                    level.attribute,
+                    level.position,
+                    level.partials,
+                    level.candidates,
+                    level.matches,
+                )
+                for level in best_telemetry.levels
+            )
+            if consulted:
+                record["selectivities"] = tuple(
+                    (src, dst, sel)
+                    for (src, dst), sel in sorted(consulted.items())
+                )
+        elif provider.config.sampling:
             order, scores, estimates, consulted = (
                 plan_attribute_order_sampled(query, provider)
             )
@@ -896,6 +1157,11 @@ def plan_join(
             reasons.append(
                 "attribute order by ascending distinct-count: "
                 + ", ".join(f"{a}({scores[a]})" for a in order)
+            )
+        if feedback is not None and not observed:
+            reasons.append(
+                "feedback requested but no observations recorded for this "
+                "query yet; planning from estimates"
             )
         record["distinct_counts"] = tuple(
             (a, scores[a]) for a in order
@@ -941,7 +1207,11 @@ def plan_join(
     if used_stats:
         statistics = PlanStatistics(
             source=(
-                "sampled" if provider.config.sampling else "heuristic"
+                source_override
+                if source_override is not None
+                else "sampled"
+                if provider.config.sampling
+                else "heuristic"
             ),
             seed=provider.config.seed,
             sample_size=provider.config.sample_size,

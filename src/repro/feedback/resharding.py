@@ -1,0 +1,133 @@
+"""Online re-sharding: split the shards that ran hot.
+
+``shards="auto"`` sizes the shard count from *predicted* skew (heavy-
+hitter mass); this module closes the loop with *measured* skew.  The
+sharded driver records each shard's wall time as a
+:class:`~repro.feedback.telemetry.ShardObservation`; on the next run of
+the same query, :func:`expand_shards` compares every planned shard
+against its recorded siblings and re-partitions the hot ones — wall
+time above ``split_threshold`` times the sibling median — on the *next*
+attribute of the plan's order, dispatching the sub-shards in the parent
+shard's place.  Splits recurse: a sub-shard that itself runs hot is
+split on the attribute after that, one level deeper per run, bounded by
+``max_split_depth`` and the order's length.
+
+This is the online half of the "Skew Strikes Back" split (the ROADMAP's
+"online re-sharding" item): the offline half guesses where the heavy
+values are; this half *measures* where the time went, and the next run
+carves exactly there.  Correctness is inherited from first-attribute
+sharding — a sub-shard restricts the parent shard's relations to a
+value group of one more attribute, so sub-shards partition the parent's
+output slice exactly as the parent partitions the whole join's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from collections.abc import Mapping, Sequence
+
+from repro.core.query import JoinQuery
+from repro.feedback.config import FeedbackConfig
+from repro.feedback.telemetry import ShardKey, ShardObservation
+
+__all__ = ["ShardPlanEntry", "expand_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlanEntry:
+    """One dispatchable shard after feedback expansion.
+
+    ``key`` chains the ``(attribute, value group)`` restrictions that
+    produced the shard (length 1 for an unsplit top-level shard);
+    ``query`` is the correspondingly restricted join query and
+    ``weight`` the LPT work estimate of the final restriction.
+    """
+
+    key: ShardKey
+    query: JoinQuery
+    weight: int
+
+
+def _hot(
+    observation: ShardObservation,
+    observed: Mapping[ShardKey, ShardObservation],
+    config: FeedbackConfig,
+) -> bool:
+    """Did this shard run hot relative to its recorded siblings?
+
+    Siblings are the *other* observations at the same depth under the
+    same parent key — the shard is compared against the median of its
+    peers, not of a pool including itself (with two shards, a
+    pool-inclusive median would let a shard twice its sibling's time
+    sit below any threshold above 4/3).  A shard with no recorded
+    siblings is never hot: there is no distribution to stand out from.
+    """
+    key = observation.key
+    siblings = [
+        entry.seconds
+        for entry_key, entry in observed.items()
+        if len(entry_key) == len(key)
+        and entry_key[:-1] == key[:-1]
+        and entry_key != key
+    ]
+    if not siblings:
+        return False
+    if observation.seconds < config.min_split_seconds:
+        return False
+    return observation.seconds > config.split_threshold * median(siblings)
+
+
+def expand_shards(
+    entries: Sequence[ShardPlanEntry],
+    order: Sequence[str],
+    observed: Mapping[ShardKey, ShardObservation],
+    config: FeedbackConfig,
+) -> list[ShardPlanEntry]:
+    """Replace recorded-hot shards with sub-shards on the next attribute.
+
+    ``entries`` are the statically planned top-level shards; ``order``
+    is the plan's attribute order (a shard at depth ``d`` splits on
+    ``order[d]``).  Shards without an observation — first run, or the
+    shard layout changed — pass through untouched, so the expansion is
+    exactly the static plan until something has been measured.  The
+    result is deterministic for a fixed observation store.
+    """
+    from repro.engine.parallel import _shard_queries, plan_shards
+
+    result: list[ShardPlanEntry] = []
+    stack = list(reversed(entries))
+    while stack:
+        entry = stack.pop()
+        depth = len(entry.key)
+        observation = observed.get(entry.key)
+        if (
+            observation is None
+            or depth - 1 >= config.max_split_depth
+            or depth >= len(order)
+            or not _hot(observation, observed, config)
+        ):
+            result.append(entry)
+            continue
+        attribute = order[depth]
+        sub_specs = plan_shards(entry.query, config.split_factor, attribute)
+        if len(sub_specs) < 2:
+            # The next attribute has too few candidate values under this
+            # shard to partition; the split would be a rename.
+            result.append(entry)
+            continue
+        sub_queries = _shard_queries(entry.query, sub_specs)
+        # Sub-entries go back on the stack: one that *also* has a hot
+        # observation (recorded by a previous split run) splits again,
+        # one attribute deeper.
+        for spec, sub_query in zip(
+            reversed(sub_specs), reversed(sub_queries)
+        ):
+            stack.append(
+                ShardPlanEntry(
+                    key=entry.key + ((attribute, spec.values),),
+                    query=sub_query,
+                    weight=spec.weight,
+                )
+            )
+    return result

@@ -54,9 +54,12 @@ from dataclasses import dataclass, replace as _dc_replace
 
 from repro.core.query import JoinQuery
 from repro.engine import parallel as _parallel
+from repro.engine.executors import NATIVE_TELEMETRY
 from repro.engine.planner import NO_BACKEND, JoinPlan, plan_join
 from repro.errors import QueryError, require_positive_int
+from repro.feedback.telemetry import TelemetryProbe, feedback_scope
 from repro.query.context import ExecutionContext
+from repro.stats.provider import resolve_provider
 from repro.query.predicates import (
     Callback,
     ResidualPredicate,
@@ -98,6 +101,28 @@ class _Compiled:
     merge: Callable[[Row], Row] | None
     #: The full output schema (the original query's attributes).
     output_attributes: tuple[str, ...]
+
+
+def recorded_rows(
+    rows: Iterator[Row], probe, provider, query, scope: tuple = ()
+) -> Iterator[Row]:
+    """Stream ``rows``, then feed the probe's counters back.
+
+    The observation is recorded only when the stream is exhausted
+    *naturally* — a consumer that stops early closed the generator, and
+    its undercounted telemetry must not reach the planner.  Shared by
+    the builder's serial path and :class:`~repro.query.prepared.
+    PreparedQuery` runs.
+    """
+    from time import perf_counter
+
+    started = perf_counter()
+    count = 0
+    for row in rows:
+        count += 1
+        yield row
+    telemetry = probe.snapshot(count, perf_counter() - started, complete=True)
+    provider.record_levels(query, telemetry, scope)
 
 
 def drain_async(batched: Iterator[list[Row]]):
@@ -440,7 +465,11 @@ class QueryBuilder:
             # Covers both degenerate outcomes: all attributes bound
             # (guards only) and early-proven unsatisfiability.
             return self._guard_plan(compiled)
-        plan = plan_join(compiled.residual, context=self._residual_context())
+        plan = plan_join(
+            compiled.residual,
+            context=self._residual_context(),
+            feedback_scope=feedback_scope(compiled.filters),
+        )
         return _dc_replace(
             plan,
             bound=compiled.bound,
@@ -507,11 +536,31 @@ class QueryBuilder:
             )
         else:
             if plan is None:
-                plan = plan_join(compiled.residual, context=ctx)
-            rows = plan.iter_rows(
+                plan = plan_join(
+                    compiled.residual,
+                    context=ctx,
+                    feedback_scope=feedback_scope(compiled.filters),
+                )
+            probe = None
+            if (
+                ctx.feedback is not None
+                and plan.algorithm in NATIVE_TELEMETRY
+            ):
+                probe = TelemetryProbe(plan.attribute_order)
+            executor = plan.executor(
                 database=self._execution_database(),
                 filters=compiled.filters,
+                telemetry=probe,
             )
+            rows = executor.iter_join()
+            if probe is not None:
+                rows = recorded_rows(
+                    rows,
+                    probe,
+                    resolve_provider(ctx.database, ctx.stats),
+                    plan.query,
+                    feedback_scope(compiled.filters),
+                )
         if compiled.merge is not None:
             rows = map(compiled.merge, rows)
         return rows
@@ -545,7 +594,9 @@ class QueryBuilder:
         plan = None
         if compiled.residual is not None and not ctx.parallel:
             plan = plan_join(
-                compiled.residual, context=self._residual_context()
+                compiled.residual,
+                context=self._residual_context(),
+                feedback_scope=feedback_scope(compiled.filters),
             )
         resolved = size
         if resolved is None and ctx.batch_size is not None:

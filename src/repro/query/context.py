@@ -26,6 +26,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import PlanError
+from repro.feedback.config import FeedbackConfig
 from repro.hypergraph.covers import FractionalCover
 from repro.relations.database import Database
 
@@ -72,6 +73,14 @@ class ExecutionContext:
     mode: str = "auto"
     #: Worker-pool width for sharded modes; ``None`` = one per shard.
     workers: int | None = None
+    #: A :class:`~repro.feedback.config.FeedbackConfig` switching on the
+    #: runtime feedback loop — executions record per-level and per-shard
+    #: telemetry into the statistics provider, the planner prefers
+    #: observed over sampled statistics, shards that ran hot are split
+    #: on the next run, and prepared queries re-plan on divergence.
+    #: ``None`` (the default) disables all of it: no probes are built
+    #: and the executors run their uninstrumented paths.
+    feedback: FeedbackConfig | None = None
 
     def __post_init__(self) -> None:
         if self.attribute_order is not None:
@@ -81,6 +90,17 @@ class ExecutionContext:
         if self.mode not in _MODES:
             raise PlanError(
                 f"unknown shard mode {self.mode!r}; choose one of {_MODES}"
+            )
+        if self.feedback is True:
+            # ``feedback=True`` is a natural spelling; normalize it to
+            # the default config instead of rejecting it.
+            object.__setattr__(self, "feedback", FeedbackConfig())
+        if self.feedback is not None and not isinstance(
+            self.feedback, FeedbackConfig
+        ):
+            raise PlanError(
+                f"feedback must be a FeedbackConfig (or True/None), "
+                f"got {self.feedback!r}"
             )
 
     def replace(self, **changes) -> "ExecutionContext":

@@ -33,10 +33,17 @@ from collections.abc import Iterator
 from dataclasses import replace as _dc_replace
 
 from repro.engine import parallel as _parallel
+from repro.engine.executors import NATIVE_TELEMETRY
 from repro.engine.planner import JoinPlan
 from repro.errors import QueryError
+from repro.feedback.telemetry import (
+    TelemetryProbe,
+    estimate_divergence,
+    feedback_scope,
+)
 from repro.query.builder import QueryBuilder, drain_async
 from repro.relations.relation import Relation, Row, Value
+from repro.stats.provider import resolve_provider
 
 __all__ = ["PreparedQuery"]
 
@@ -49,7 +56,14 @@ class PreparedQuery:
     derives a new prepared query sharing the frozen plan decisions.
     """
 
-    __slots__ = ("_builder", "_compiled", "_plan", "_executor")
+    __slots__ = (
+        "_builder",
+        "_compiled",
+        "_plan",
+        "_executor",
+        "_probe",
+        "_replans",
+    )
 
     def __init__(
         self, builder: QueryBuilder, _reuse_plan: JoinPlan | None = None
@@ -76,19 +90,28 @@ class PreparedQuery:
                 _bound=None,
             )
         executor = None
+        probe = None
         if (
             compiled.satisfiable
             and compiled.residual is not None
             and not builder.context.parallel
         ):
+            if (
+                builder.context.feedback is not None
+                and plan.algorithm in NATIVE_TELEMETRY
+            ):
+                probe = TelemetryProbe(plan.attribute_order)
             executor = plan.executor(
                 database=builder._execution_database(),
                 filters=compiled.filters,
+                telemetry=probe,
             )
         object.__setattr__(self, "_builder", builder)
         object.__setattr__(self, "_compiled", compiled)
         object.__setattr__(self, "_plan", plan)
         object.__setattr__(self, "_executor", executor)
+        object.__setattr__(self, "_probe", probe)
+        object.__setattr__(self, "_replans", 0)
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("PreparedQuery instances are immutable")
@@ -109,6 +132,19 @@ class PreparedQuery:
     def output_attributes(self) -> tuple[str, ...]:
         """The schema of the rows :meth:`stream` yields."""
         return self._builder.output_attributes
+
+    @property
+    def replans(self) -> int:
+        """How many times runtime feedback re-planned this query.
+
+        Always 0 without a feedback context.  A re-plan happens after a
+        completed run whose observed per-level cardinalities diverged
+        from the frozen plan's estimates by more than the configured
+        ``replan_tolerance`` *and* the observation-informed planner then
+        chose a different plan; the refreshed plan (and its executor)
+        replace the frozen ones for subsequent runs.
+        """
+        return self._replans
 
     def describe(self) -> str:
         """The frozen plan's ``explain`` rendering."""
@@ -135,10 +171,101 @@ class PreparedQuery:
             return self._builder._project(rows)
         if self._executor is None:
             return self._builder.stream()  # parallel context: shard per run
-        rows = self._executor.iter_join()
+        if self._probe is not None:
+            rows = self._observed_rows()
+        else:
+            rows = self._executor.iter_join()
         if compiled.merge is not None:
             rows = map(compiled.merge, rows)
         return self._builder._project(rows)
+
+    def _observed_rows(self) -> Iterator[Row]:
+        """One measured run of the prepared executor.
+
+        On natural exhaustion the telemetry is recorded into the
+        context's statistics provider and checked against the frozen
+        plan's estimates; past the tolerance, the query re-plans with
+        the fresh observations (see :attr:`replans`).  The probe is
+        shared across runs (reset here), so concurrent streams of one
+        prepared query must not overlap under feedback.
+        """
+        from time import perf_counter
+
+        probe = self._probe
+        probe.reset()
+        started = perf_counter()
+        count = 0
+        for row in self._executor.iter_join():
+            count += 1
+            yield row
+        telemetry = probe.snapshot(
+            count, perf_counter() - started, complete=True
+        )
+        context = self._builder.context
+        provider = resolve_provider(context.database, context.stats)
+        provider.record_levels(
+            self._plan.query,
+            telemetry,
+            feedback_scope(self._compiled.filters),
+        )
+        self._maybe_replan(telemetry)
+
+    def _level_estimates(self) -> tuple[tuple[str, float], ...]:
+        """The frozen plan's per-level partial-size estimates.
+
+        Sampled and feedback plans carry them directly; heuristic plans
+        imply them — the min-distinct descent's implicit model is that
+        each level fans out by at most its distinct score, so the
+        running product of scores is the estimate the observed counts
+        are held against.
+        """
+        statistics = self._plan.statistics
+        if statistics is None:
+            return ()
+        if statistics.order_estimates:
+            return statistics.order_estimates
+        derived: list[tuple[str, float]] = []
+        cumulative = 1.0
+        for attribute, score in statistics.distinct_counts:
+            cumulative *= max(score, 1)
+            derived.append((attribute, cumulative))
+        return tuple(derived)
+
+    def _maybe_replan(self, telemetry) -> None:
+        estimates = self._level_estimates()
+        if not estimates:
+            return
+        tolerance = self._builder.context.feedback.replan_tolerance
+        if estimate_divergence(estimates, telemetry) <= tolerance:
+            return
+        plan = self._builder.plan()
+        if (
+            plan.algorithm == self._plan.algorithm
+            and plan.attribute_order == self._plan.attribute_order
+            and plan.backend == self._plan.backend
+            and plan.relation_backends == self._plan.relation_backends
+        ):
+            if plan.statistics != self._plan.statistics:
+                # Same execution strategy, fresher evidence (e.g. the
+                # pinned order's estimates are now the measured counts):
+                # adopt the plan, keep the executor — repeated runs then
+                # observe no divergence and stop re-planning.
+                object.__setattr__(self, "_plan", plan)
+            return
+        # Anything execution-relevant changed — order, algorithm, or a
+        # backend choice flipped by the fresh evidence: rebuild.
+        probe = None
+        if plan.algorithm in NATIVE_TELEMETRY:
+            probe = TelemetryProbe(plan.attribute_order)
+        executor = plan.executor(
+            database=self._builder._execution_database(),
+            filters=self._compiled.filters,
+            telemetry=probe,
+        )
+        object.__setattr__(self, "_plan", plan)
+        object.__setattr__(self, "_executor", executor)
+        object.__setattr__(self, "_probe", probe)
+        object.__setattr__(self, "_replans", self._replans + 1)
 
     def run(self, name: str = "J") -> Relation:
         """Execute and materialize the result as a :class:`Relation`."""

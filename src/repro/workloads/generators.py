@@ -120,6 +120,7 @@ def zipf_trap_triangle(
     match_fraction: float = 0.05,
     decoy_domain: int = 8,
     exponent: float = 1.1,
+    c_domain: int | None = None,
 ) -> JoinQuery:
     """A triangle where the min-distinct heuristic starts at the wrong
     attribute — the workload the statistics benchmark is built on.
@@ -134,21 +135,84 @@ def zipf_trap_triangle(
     at depth one.  Sampled conditional selectivities see exactly this
     (``P(match in T | tuple of R) ~= match_fraction``); distinct counts
     cannot.
+
+    ``c_domain`` (default: ``nodes``) shrinks ``C``'s domain
+    independently.  With ``c_domain`` between ``decoy_domain`` and the
+    matched ``A`` count, ``C`` becomes a *second* decoy: the
+    min-distinct heuristic then defers the payoff ``A`` to the very
+    last level (order ``B, C, A``), where the pruning it would have
+    done at depth one is paid as dead-end enumeration at depth three —
+    the amplified trap the runtime-feedback benchmark measures.
     """
     rng = random.Random(seed)
     weights = [1.0 / (v + 1) ** exponent for v in range(decoy_domain)]
     decoys = list(range(decoy_domain))
     matched = max(1, int(nodes * match_fraction))
+    c_values = nodes if c_domain is None else c_domain
     r_rows = {
         (rng.randrange(nodes), rng.choices(decoys, weights=weights)[0])
         for _ in range(size)
     }
     s_rows = {
-        (rng.choices(decoys, weights=weights)[0], rng.randrange(nodes))
+        (rng.choices(decoys, weights=weights)[0], rng.randrange(c_values))
         for _ in range(size)
     }
     t_rows = {
-        (rng.randrange(matched), rng.randrange(nodes)) for _ in range(size)
+        (rng.randrange(matched), rng.randrange(c_values)) for _ in range(size)
+    }
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), r_rows),
+            Relation("S", ("B", "C"), s_rows),
+            Relation("T", ("A", "C"), t_rows),
+        ]
+    )
+
+
+def hub_triangle(
+    light_domain: int = 300,
+    b_domain: int = 500,
+    c_domain: int = 12000,
+    r_size: int = 3000,
+    s_size: int = 8000,
+    t_size: int = 24000,
+    r_hub: float = 0.8,
+    t_hub: float = 0.92,
+    seed: int = 0,
+) -> JoinQuery:
+    """A triangle with one extreme hub value — the online-re-sharding
+    workload (Zipf skew taken to its limit).
+
+    Value ``0`` of attribute ``A`` carries ``r_hub`` of ``R``'s and
+    ``t_hub`` of ``T``'s probability mass; the remaining mass spreads
+    over ``light_domain - 1`` light values.  First-attribute sharding
+    can give the hub its own shard (the offline heavy-hitter split) but
+    can never subdivide it — a single value is atomic under value
+    partitioning — so the hub shard's deep work (``R[0] ⋈ S ⋈ T[0]``,
+    fanning through ``b_domain × c_domain``) dominates the critical
+    path however many shards are planned.  Splitting the hub shard on
+    the *next* attribute of the order is the only remedy, and because
+    ``S`` and ``T`` contain that attribute, the split also halves their
+    per-shard index builds.  That is precisely what the runtime
+    feedback loop's recursive hot-shard split does — this generator
+    exists to measure it.
+    """
+    rng = random.Random(seed)
+
+    def a_value(hub_mass: float) -> int:
+        if rng.random() < hub_mass:
+            return 0
+        return rng.randrange(1, light_domain)
+
+    r_rows = {
+        (a_value(r_hub), rng.randrange(b_domain)) for _ in range(r_size)
+    }
+    s_rows = {
+        (rng.randrange(b_domain), rng.randrange(c_domain))
+        for _ in range(s_size)
+    }
+    t_rows = {
+        (a_value(t_hub), rng.randrange(c_domain)) for _ in range(t_size)
     }
     return JoinQuery(
         [

@@ -1,0 +1,205 @@
+"""Telemetry counters: parity with the uninstrumented paths, and the
+counter invariants that make the feedback loop's arithmetic sound."""
+
+import pytest
+
+from repro.core.generic_join import GenericJoin
+from repro.core.leapfrog import LeapfrogTriejoin
+from repro.errors import QueryError
+from repro.feedback.telemetry import (
+    ExecutionTelemetry,
+    ObservedLevel,
+    TelemetryProbe,
+    estimate_divergence,
+)
+from repro.workloads import generators
+
+
+@pytest.fixture(scope="module")
+def trap():
+    return generators.zipf_trap_triangle(
+        120, 500, seed=7, match_fraction=0.05, decoy_domain=8
+    )
+
+
+ORDERS = [("A", "B", "C"), ("B", "C", "A"), ("C", "A", "B")]
+
+
+class TestProbeParity:
+    """The instrumented search twins must yield exactly the plain rows."""
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_generic_rows_identical(self, trap, order):
+        plain = list(GenericJoin(trap, attribute_order=order).iter_join())
+        probe = TelemetryProbe(order)
+        observed = list(
+            GenericJoin(
+                trap, attribute_order=order, telemetry=probe
+            ).iter_join()
+        )
+        assert observed == plain
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_leapfrog_rows_identical(self, trap, order):
+        plain = list(
+            LeapfrogTriejoin(trap, attribute_order=order).iter_join()
+        )
+        probe = TelemetryProbe(order)
+        observed = list(
+            LeapfrogTriejoin(
+                trap, attribute_order=order, telemetry=probe
+            ).iter_join()
+        )
+        assert observed == plain
+
+    def test_generic_with_filters(self, trap):
+        filters = {"B": lambda v: v != 0}
+        order = ("B", "A", "C")
+        plain = list(
+            GenericJoin(
+                trap, attribute_order=order, filters=filters
+            ).iter_join()
+        )
+        probe = TelemetryProbe(order)
+        observed = list(
+            GenericJoin(
+                trap,
+                attribute_order=order,
+                filters=filters,
+                telemetry=probe,
+            ).iter_join()
+        )
+        assert observed == plain
+        # The filter rejects candidates before they become matches.
+        assert probe.candidates[0] > probe.matches[0]
+
+
+class TestCounterInvariants:
+    def _run(self, trap, cls, order):
+        probe = TelemetryProbe(order)
+        rows = list(
+            cls(trap, attribute_order=order, telemetry=probe).iter_join()
+        )
+        return probe, rows
+
+    @pytest.mark.parametrize("cls", [GenericJoin, LeapfrogTriejoin])
+    def test_chain_invariants(self, trap, cls):
+        order = ("B", "C", "A")
+        probe, rows = self._run(trap, cls, order)
+        # The root is entered exactly once; each level's matches are the
+        # next level's partials; the last level's matches are the rows.
+        assert probe.partials[0] == 1
+        for depth in range(1, len(order)):
+            assert probe.partials[depth] == probe.matches[depth - 1]
+        assert probe.matches[-1] == len(rows)
+        for depth in range(len(order)):
+            assert probe.candidates[depth] >= probe.matches[depth]
+
+    def test_generic_sees_dead_ends(self, trap):
+        # The trap's payoff attribute prunes hard when bound last: the
+        # hash-probe executor enumerates candidates that fail.
+        probe, _rows = self._run(trap, GenericJoin, ("B", "C", "A"))
+        assert probe.candidates[2] > probe.matches[2]
+
+    def test_reset_zeroes_counters(self, trap):
+        order = ("A", "B", "C")
+        probe = TelemetryProbe(order)
+        executor = GenericJoin(trap, attribute_order=order, telemetry=probe)
+        first = list(executor.iter_join())
+        after_first = list(probe.candidates)
+        probe.reset()
+        assert probe.candidates == [0, 0, 0]
+        second = list(executor.iter_join())
+        assert second == first
+        assert list(probe.candidates) == after_first
+
+    def test_order_mismatch_rejected(self, trap):
+        probe = TelemetryProbe(("A", "B", "C"))
+        with pytest.raises(QueryError, match="telemetry probe order"):
+            GenericJoin(
+                trap, attribute_order=("B", "A", "C"), telemetry=probe
+            )
+        with pytest.raises(QueryError, match="telemetry probe order"):
+            LeapfrogTriejoin(
+                trap, attribute_order=("B", "A", "C"), telemetry=probe
+            )
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        probe = TelemetryProbe(("A", "B"))
+        probe.partials[0] = 1
+        probe.candidates[0] = 10
+        probe.matches[0] = 4
+        probe.partials[1] = 4
+        probe.candidates[1] = 8
+        probe.matches[1] = 8
+        telemetry = probe.snapshot(rows=8, seconds=0.5, complete=True)
+        assert telemetry.attribute_order == ("A", "B")
+        assert telemetry.rows == 8
+        assert telemetry.complete
+        a = telemetry.level("A")
+        assert a.prefix == ()
+        assert a.selectivity == pytest.approx(0.4)
+        assert a.fanout == pytest.approx(4.0)
+        b = telemetry.level("B")
+        assert b.prefix == ("A",)
+        assert b.selectivity == pytest.approx(1.0)
+        assert b.fanout == pytest.approx(2.0)
+        assert telemetry.level("Z") is None
+        assert telemetry.total_candidates == 18
+
+    def test_degenerate_level_ratios(self):
+        level = ObservedLevel(
+            attribute="A",
+            position=0,
+            prefix=(),
+            partials=0,
+            candidates=0,
+            matches=0,
+        )
+        assert level.selectivity == 1.0
+        assert level.fanout == 0.0
+
+
+class TestEstimateDivergence:
+    def _telemetry(self, matches_by_attr):
+        levels = tuple(
+            ObservedLevel(
+                attribute=attr,
+                position=i,
+                prefix=tuple(matches_by_attr)[:i],
+                partials=1,
+                candidates=max(matches, 1),
+                matches=matches,
+            )
+            for i, (attr, matches) in enumerate(matches_by_attr.items())
+        )
+        return ExecutionTelemetry(
+            attribute_order=tuple(matches_by_attr),
+            levels=levels,
+            rows=0,
+            seconds=0.0,
+            complete=True,
+        )
+
+    def test_exact_estimates_diverge_by_one(self):
+        telemetry = self._telemetry({"A": 10, "B": 100})
+        assert estimate_divergence(
+            (("A", 10.0), ("B", 100.0)), telemetry
+        ) == pytest.approx(1.0)
+
+    def test_both_directions_count(self):
+        telemetry = self._telemetry({"A": 10})
+        assert estimate_divergence(
+            (("A", 100.0),), telemetry
+        ) == pytest.approx(10.0)
+        assert estimate_divergence((("A", 1.0),), telemetry) == pytest.approx(
+            10.0
+        )
+
+    def test_unobserved_levels_skipped(self):
+        telemetry = self._telemetry({"A": 10})
+        assert estimate_divergence(
+            (("A", 10.0), ("Z", 1e9)), telemetry
+        ) == pytest.approx(1.0)

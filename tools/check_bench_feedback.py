@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_feedback.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_feedback.py [benchmarks/BENCH_feedback.json]
+
+Validates the structure ``benchmarks/bench_feedback.py`` promises —
+both workloads, the run records, the ratio metrics, the parity and
+self-correction flags — so downstream consumers (the regression gate,
+dashboards, the README numbers) can rely on it.  Exits non-zero with a
+message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RUN_KEYS = {
+    "order": list,
+    "source": str,
+    "candidates": int,
+    "seconds": (int, float),
+}
+
+TRAP_KEYS = {
+    "sizes": dict,
+    "rows": int,
+    "first": dict,
+    "second": dict,
+    "order_changed": bool,
+    "work_ratio": (int, float),
+    "sampled_reference_order": list,
+    "parity": bool,
+}
+
+HOTSHARD_KEYS = {
+    "sizes": dict,
+    "rows": int,
+    "shards_first": int,
+    "shard_seconds_first": list,
+    "critical_path_first": (int, float),
+    "splits": int,
+    "shard_seconds_second": list,
+    "critical_path_second": (int, float),
+    "critical_path_ratio": (int, float),
+    "wall_seconds": list,
+    "parity": bool,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_feedback.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_keys(path: str, entry: object, keys: dict) -> None:
+    if not isinstance(entry, dict):
+        fail(f"{path} is not an object")
+    for key, expected in keys.items():
+        if key not in entry:
+            fail(f"{path} missing {key!r}")
+        if not isinstance(entry[key], expected):
+            fail(f"{path}.{key} has type {type(entry[key]).__name__}")
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in ("host", "definitions", "scale", "workloads"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    workloads = data["workloads"]
+    if "trap_selfcorrect" not in workloads:
+        fail("missing workload 'trap_selfcorrect'")
+    if "zipf_hotshard" not in workloads:
+        fail("missing workload 'zipf_hotshard'")
+
+    trap = workloads["trap_selfcorrect"]
+    check_keys("trap_selfcorrect", trap, TRAP_KEYS)
+    check_keys("trap_selfcorrect.first", trap["first"], RUN_KEYS)
+    check_keys("trap_selfcorrect.second", trap["second"], RUN_KEYS)
+    if trap["parity"] is not True:
+        fail("trap_selfcorrect.parity is not true")
+    if trap["order_changed"] is not True:
+        fail("trap_selfcorrect.order_changed is not true")
+    if trap["second"]["source"] != "feedback":
+        fail("trap_selfcorrect.second.source is not 'feedback'")
+    if trap["work_ratio"] <= 1.0:
+        fail(f"trap_selfcorrect.work_ratio {trap['work_ratio']} <= 1.0")
+
+    hot = workloads["zipf_hotshard"]
+    check_keys("zipf_hotshard", hot, HOTSHARD_KEYS)
+    if hot["parity"] is not True:
+        fail("zipf_hotshard.parity is not true")
+    if hot["splits"] < 1:
+        fail("zipf_hotshard.splits < 1: no hot shard was split")
+    if hot["critical_path_ratio"] <= 1.0:
+        fail(
+            f"zipf_hotshard.critical_path_ratio "
+            f"{hot['critical_path_ratio']} <= 1.0"
+        )
+    if len(hot["shard_seconds_first"]) != hot["shards_first"]:
+        fail(
+            "zipf_hotshard.shard_seconds_first length does not match "
+            "shards_first"
+        )
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[1] if len(argv) > 1 else "benchmarks/BENCH_feedback.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

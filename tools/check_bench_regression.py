@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare smoke runs against baselines.
+
+Usage::
+
+    python tools/check_bench_regression.py                 # gate all
+    python tools/check_bench_regression.py BENCH_stats.json
+    python tools/check_bench_regression.py --tolerance 0.3
+    python tools/check_bench_regression.py --update        # re-baseline
+
+Each smoke ``benchmarks/BENCH_*.json`` is compared against the
+committed baseline of the same name under ``benchmarks/baselines/``.
+Only **ratio metrics** (speedups, work ratios — dimensionless, largely
+host-independent) and exact determinism flags are gated, never raw wall
+times: CI hosts differ in clock speed, but "the stats plan is 3x faster
+than the heuristic plan" should survive a host change.
+
+A ``ratio`` metric passes when ``current >= tolerance * baseline`` —
+the tolerance (default ``--tolerance``, overridable per metric in
+:data:`METRICS`) absorbs host-to-host variance; regressions blowing
+through it fail the gate with a message naming metric, values, and
+floor.  An ``exact`` metric must equal its baseline verbatim (parity
+flags, build counts, self-correction booleans).
+
+``--update`` copies the current files over the baselines — the
+intentional-change workflow, mirroring ``check_api_surface.py``: the
+baseline diff then shows up in code review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+#: file -> tuple of (dotted metric path, kind, tolerance or None).
+#: ``kind`` is ``"ratio"`` (current >= tolerance * baseline) or
+#: ``"exact"`` (current == baseline).  A ``None`` tolerance uses the
+#: command-line default; metrics sensitive to host CPU count get looser
+#: explicit tolerances, deterministic count-based metrics tighter ones.
+METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
+    "BENCH_engine.json": (
+        ("workloads.triangle.cache.generic.speedup", "ratio", 0.25),
+        ("workloads.lw4.cache.generic.speedup", "ratio", 0.25),
+    ),
+    "BENCH_parallel.json": (
+        (
+            "workloads.skewed.sharding.by_shard_count.4.speedup",
+            "ratio",
+            0.25,
+        ),
+        (
+            "workloads.clique.sharding.by_shard_count.4.speedup",
+            "ratio",
+            0.25,
+        ),
+    ),
+    "BENCH_stats.json": (
+        ("workloads.zipf_triangle.speedup", "ratio", 0.25),
+        ("workloads.trap_triangle.speedup", "ratio", 0.25),
+        ("workloads.clique.speedup", "ratio", 0.25),
+        ("workloads.zipf_triangle.parity", "exact", None),
+        ("workloads.trap_triangle.parity", "exact", None),
+        ("workloads.clique.parity", "exact", None),
+    ),
+    "BENCH_query_api.json": (
+        ("pushdown.heavy.speedup", "ratio", 0.4),
+        ("pushdown.light.speedup", "ratio", 0.4),
+        ("prepared.index_builds_during_runs", "exact", None),
+    ),
+    "BENCH_feedback.json": (
+        # Candidate counts are deterministic for fixed seeds: tight.
+        ("workloads.trap_selfcorrect.work_ratio", "ratio", 0.6),
+        ("workloads.trap_selfcorrect.order_changed", "exact", None),
+        ("workloads.trap_selfcorrect.parity", "exact", None),
+        # Split counts and per-shard times vary with host speed: loose.
+        ("workloads.zipf_hotshard.splits", "ratio", 0.5),
+        ("workloads.zipf_hotshard.critical_path_ratio", "ratio", 0.4),
+        ("workloads.zipf_hotshard.parity", "exact", None),
+    ),
+}
+
+
+def lookup(data: object, path: str):
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return node
+
+
+def check_file(
+    name: str,
+    current_dir: pathlib.Path,
+    baseline_dir: pathlib.Path,
+    default_tolerance: float,
+) -> list[str]:
+    problems: list[str] = []
+    current_path = current_dir / name
+    baseline_path = baseline_dir / name
+    if not current_path.exists():
+        return [f"{name}: current result missing ({current_path})"]
+    if not baseline_path.exists():
+        return [f"{name}: committed baseline missing ({baseline_path})"]
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    for path, kind, tolerance in METRICS[name]:
+        try:
+            observed = lookup(current, path)
+        except KeyError:
+            problems.append(f"{name}: {path} missing from current run")
+            continue
+        try:
+            expected = lookup(baseline, path)
+        except KeyError:
+            problems.append(f"{name}: {path} missing from baseline")
+            continue
+        if kind == "exact":
+            if observed != expected:
+                problems.append(
+                    f"{name}: {path} = {observed!r}, baseline "
+                    f"{expected!r} (exact match required)"
+                )
+            continue
+        factor = tolerance if tolerance is not None else default_tolerance
+        floor = factor * float(expected)
+        if float(observed) < floor:
+            problems.append(
+                f"{name}: {path} = {float(observed):.3f} below floor "
+                f"{floor:.3f} ({factor} x baseline {float(expected):.3f})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="benchmark JSON names to gate (default: every file in the "
+        "metric manifest)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="default fraction of the baseline a ratio metric must "
+        "retain (per-metric overrides in the manifest win)",
+    )
+    parser.add_argument(
+        "--current",
+        default=str(BENCH_DIR),
+        help="directory holding the freshly generated results",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(BASELINE_DIR),
+        help="directory holding the committed baselines",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current results over the baselines instead of gating",
+    )
+    args = parser.parse_args(argv)
+    names = args.files or sorted(METRICS)
+    unknown = [name for name in names if name not in METRICS]
+    if unknown:
+        print(
+            f"no gated metrics defined for {unknown}; "
+            f"choose from {sorted(METRICS)}",
+            file=sys.stderr,
+        )
+        return 2
+    current_dir = pathlib.Path(args.current)
+    baseline_dir = pathlib.Path(args.baselines)
+
+    if args.update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            source = current_dir / name
+            if not source.exists():
+                print(f"cannot re-baseline {name}: {source} missing",
+                      file=sys.stderr)
+                return 2
+            shutil.copyfile(source, baseline_dir / name)
+            print(f"baseline updated: {baseline_dir / name}")
+        return 0
+
+    problems: list[str] = []
+    for name in names:
+        problems.extend(
+            check_file(name, current_dir, baseline_dir, args.tolerance)
+        )
+    if problems:
+        print("benchmark regression gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    gated = sum(len(METRICS[name]) for name in names)
+    print(
+        f"benchmark regression gate ok: {gated} metric(s) across "
+        f"{len(names)} file(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

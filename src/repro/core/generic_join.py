@@ -48,8 +48,8 @@ class GenericJoin:
     database:
         Optional catalog supplying cached indexes.
     backend:
-        Index backend kind (``"trie"`` or ``"sorted"``, see
-        :data:`repro.relations.database.INDEX_BACKENDS`), or a mapping
+        Index backend kind (``"trie"``, ``"sorted"``, or ``"compact"``,
+        see :data:`repro.relations.database.INDEX_BACKENDS`), or a mapping
         of relation name to kind for a **per-relation** choice (the
         statistics-driven planner emits these for skewed inputs);
         relations absent from the mapping use the default backend.

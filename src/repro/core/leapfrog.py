@@ -13,11 +13,14 @@ The sorted representation lives in
 :class:`~repro.relations.sorted_index.SortedArrayIndex` (the engine's
 ``"sorted"`` backend) and is obtained through the
 :class:`~repro.relations.database.Database` index cache when a catalog is
-supplied — repeated queries over the same relations never re-sort.  Each
-run creates fresh :class:`~repro.relations.sorted_index.SortedTrieIterator`
-cursors that *share* the cached arrays; :class:`LeapfrogTriejoin`
-coordinates one leapfrog intersection per attribute level and streams
-result rows via :meth:`LeapfrogTriejoin.iter_join`.
+supplied — repeated queries over the same relations never re-sort.  The
+packed ``"compact"`` backend (:mod:`repro.engine.compact`) is accepted as
+an alternative layout: it exposes the same ``open/up/key/next/seek``
+cursor protocol over contiguous ``array('q')`` level runs, turning many
+seeks into radix arithmetic.  Each run creates fresh cursors that *share*
+the cached arrays; :class:`LeapfrogTriejoin` coordinates one leapfrog
+intersection per attribute level and streams result rows via
+:meth:`LeapfrogTriejoin.iter_join`.
 """
 
 from __future__ import annotations
@@ -32,10 +35,15 @@ from repro.relations.relation import Relation, Row, Value
 from repro.relations.sorted_index import SortedArrayIndex, SortedTrieIterator
 
 __all__ = [
+    "CURSOR_BACKENDS",
     "LeapfrogTriejoin",
     "SortedTrieIterator",
     "leapfrog_join",
 ]
+
+#: Index kinds exposing the ``open/up/key/next/seek`` cursor protocol —
+#: the layouts Leapfrog Triejoin can run over.
+CURSOR_BACKENDS = ("sorted", "compact")
 
 
 class LeapfrogTriejoin:
@@ -52,6 +60,12 @@ class LeapfrogTriejoin:
         5.2's ahead-of-time indexing).  When omitted, indexes are built
         privately — and re-sorted on every construction, so supply a
         database for repeated queries.
+    backend:
+        Index layout to run over: ``"sorted"`` (default; per-row tuple
+        arrays) or ``"compact"`` (packed per-level ``array('q')`` runs
+        with radix/galloping seeks).  Both expose the cursor protocol
+        the leapfrog intersection needs; any other kind raises
+        :class:`~repro.errors.QueryError`.
     filters:
         Optional mapping of attribute name to a single-value predicate
         (the query layer's residual selections).  A key surviving the
@@ -74,8 +88,15 @@ class LeapfrogTriejoin:
         database: Database | None = None,
         filters: Mapping[str, Callable[[Value], bool]] | None = None,
         telemetry=None,
+        backend: str = SortedArrayIndex.kind,
     ) -> None:
         self.query = query
+        if backend not in CURSOR_BACKENDS:
+            raise QueryError(
+                f"leapfrog needs a cursor-capable backend; got {backend!r}"
+                f" (supported: {CURSOR_BACKENDS})"
+            )
+        self.backend = backend
         order = (
             tuple(attribute_order)
             if attribute_order is not None
@@ -90,7 +111,16 @@ class LeapfrogTriejoin:
             )
         self.order = order
         rank = {a: i for i, a in enumerate(order)}
-        self._indexes: list[SortedArrayIndex] = []
+        if backend == SortedArrayIndex.kind:
+            index_type = SortedArrayIndex
+        else:
+            # Lazy: repro.core must not import repro.engine at module
+            # load (executors would re-enter this module mid-init), but
+            # by construction time the engine package is initialized.
+            from repro.engine.compact import CompactArrayIndex
+
+            index_type = CompactArrayIndex
+        self._indexes: list = []
         # Per depth: positions (into _indexes) of participating relations.
         self._participants: list[list[int]] = [[] for _ in order]
         for eid in query.edge_ids:
@@ -102,9 +132,9 @@ class LeapfrogTriejoin:
             # same-named ad-hoc relations (e.g. pushdown sections) build
             # privately instead of being served the full index.
             if database is not None and database.is_catalogued(relation):
-                index = database.index(eid, index_order, SortedArrayIndex.kind)
+                index = database.index(eid, index_order, backend)
             else:
-                index = SortedArrayIndex(relation, index_order)
+                index = index_type(relation, index_order)
             position = len(self._indexes)
             self._indexes.append(index)
             for attribute in index_order:
@@ -241,6 +271,9 @@ def leapfrog_join(
     attribute_order: Sequence[str] | None = None,
     name: str = "J",
     database: Database | None = None,
+    backend: str = SortedArrayIndex.kind,
 ) -> Relation:
     """One-shot convenience wrapper for Leapfrog Triejoin."""
-    return LeapfrogTriejoin(query, attribute_order, database).execute(name)
+    return LeapfrogTriejoin(
+        query, attribute_order, database, backend=backend
+    ).execute(name)

@@ -6,7 +6,7 @@ per-relation indexes — the search-tree properties (ST1) prefix walking,
 :class:`IndexBackend` captures that contract as a structural protocol so
 executors are written once and run over any conforming storage layout.
 
-Two implementations ship with the engine, both cached uniformly by
+Three implementations ship with the engine, all cached uniformly by
 :class:`~repro.relations.database.Database` under (kind, relation, order)
 keys:
 
@@ -22,9 +22,24 @@ keys:
     (Fekete et al.).  Lookups pay a log factor (footnote 3 of the paper)
     but the array sorts once, caches cheaply, and hands out the
     ``open/up/next/seek`` cursors the leapfrog intersection needs.
+``"compact"``
+    :class:`~repro.engine.compact.CompactArrayIndex` — each trie level
+    packed into one contiguous ``array('q')`` value run plus child-offset
+    arrays (a CSR trie, no per-node objects).  Probes gallop from the
+    last hit or, on dense integer runs, radix-index directly; leapfrog
+    cursors work too.  The leanest resident footprint (8 bytes per
+    distinct prefix per level, measured exactly by ``nbytes()``).
 
-Executors that only navigate (Generic Join) accept either backend; the
-planner (:mod:`repro.engine.planner`) picks per algorithm.
+Executors that only navigate (Generic Join) accept any backend; the
+planner (:mod:`repro.engine.planner`) picks per algorithm and — for
+Generic Join — per relation, from skew and density statistics.
+
+Registration note: ``CompactArrayIndex`` lives in the engine layer (it
+is the engine's performance backend, not a relations primitive), so it
+is registered into :data:`INDEX_BACKENDS` here rather than in
+:mod:`repro.relations.database` — importing this module (which any
+``import repro`` does) makes ``"compact"`` available everywhere,
+including :func:`build_index` and the ``Database`` cache.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from typing import Any, Protocol, runtime_checkable
 
+from repro.engine.compact import CompactArrayIndex, CompactTrieIterator
 from repro.errors import DatabaseError
 from repro.relations.database import (
     DEFAULT_BACKEND,
@@ -45,6 +61,8 @@ from repro.relations.trie import TrieIndex
 __all__ = [
     "DEFAULT_BACKEND",
     "INDEX_BACKENDS",
+    "CompactArrayIndex",
+    "CompactTrieIterator",
     "IndexBackend",
     "SortedArrayIndex",
     "SortedTrieIterator",
@@ -53,6 +71,11 @@ __all__ = [
     "build_index",
     "validate_backend",
 ]
+
+# The compact backend registers here (see the module docstring): the
+# registry dict itself lives in repro.relations.database, and this
+# mutation is visible to build_index and every Database instance.
+INDEX_BACKENDS.setdefault(CompactArrayIndex.kind, CompactArrayIndex)
 
 
 @runtime_checkable

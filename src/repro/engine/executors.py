@@ -32,7 +32,7 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.core.arity_two import ArityTwoJoin
 from repro.core.filters import per_position_filters
 from repro.core.generic_join import GenericJoin
-from repro.core.leapfrog import LeapfrogTriejoin
+from repro.core.leapfrog import CURSOR_BACKENDS, LeapfrogTriejoin
 from repro.core.lw import LWJoin
 from repro.core.nprr import NPRRJoin
 from repro.core.query import JoinQuery
@@ -40,6 +40,7 @@ from repro.errors import QueryError
 from repro.hypergraph.covers import FractionalCover
 from repro.relations.database import DEFAULT_BACKEND, Database
 from repro.relations.relation import Relation, Row, Value
+from repro.relations.sorted_index import SortedArrayIndex
 
 __all__ = [
     "EXECUTORS",
@@ -153,12 +154,21 @@ def _make_leapfrog(
     filters: Filters | None,
     telemetry=None,
 ) -> LeapfrogTriejoin:
+    # Leapfrog runs over any cursor-capable layout; non-cursor kinds
+    # (the planner's "trie"/"mixed" labels) fall back to its native
+    # sorted arrays.
+    kind = (
+        backend
+        if isinstance(backend, str) and backend in CURSOR_BACKENDS
+        else SortedArrayIndex.kind
+    )
     return LeapfrogTriejoin(
         query,
         attribute_order=attribute_order,
         database=database,
         filters=filters,
         telemetry=telemetry,
+        backend=kind,
     )
 
 

@@ -23,10 +23,12 @@ The product is an inspectable :class:`JoinPlan`:
   to the classical ascending-distinct-count heuristic.  Either way the
   chosen prefix stays connected so early levels prune;
 * **backend** — ``"sorted"`` flat arrays for leapfrog (its native
-  layout); for Generic Join a **per-relation** choice driven by cached-
-  index availability in the ``Database`` and each relation's skew
-  profile (heavy first levels get O(1) hash-trie probes), hash tries
-  otherwise (O(1) probes, precomputed (ST2) counts);
+  layout; callers may fix ``"compact"`` for packed runs with radix
+  seeks); for Generic Join a **per-relation** choice driven by cached-
+  index availability in the ``Database`` and each relation's profile:
+  heavy first levels get O(1) hash-trie probes, dense integer or large
+  low-skew first levels get the ``"compact"`` packed flat arrays, hash
+  tries otherwise (O(1) probes, precomputed (ST2) counts);
 * **shards** — ``shards="auto"`` sizes the shard count from input size,
   CPU count, *and* the first attribute's heavy-hitter mass, so hot
   values ("Skew Strikes Back"'s heavy side) land in their own shard;
@@ -55,6 +57,7 @@ import os
 from repro.core.estimates import subquery_estimates
 from repro.core.query import JoinQuery
 from repro.engine.backends import validate_backend
+from repro.engine.compact import CompactArrayIndex
 from repro.engine.executors import algorithm_names, build_executor
 from repro.errors import PlanError, QueryError, require_positive_int
 from repro.hypergraph.agm import best_agm_bound
@@ -85,10 +88,13 @@ __all__ = [
 ORDER_SENSITIVE = ("generic", "leapfrog")
 
 #: Index-backend kinds each algorithm can actually run on.  Algorithms
-#: absent here (lw, arity2) build no per-order indexes at all.
+#: absent here (lw, arity2) build no per-order indexes at all.  Leapfrog
+#: needs an ``open/up/next/seek`` cursor, which the sorted and compact
+#: backends provide; NPRR's per-tuple case analysis needs the trie's
+#: O(1) precomputed counts.
 BACKEND_CHOICES = {
-    "generic": ("trie", "sorted"),
-    "leapfrog": ("sorted",),
+    "generic": ("trie", "sorted", "compact"),
+    "leapfrog": ("sorted", "compact"),
     "nprr": ("trie",),
 }
 
@@ -111,11 +117,27 @@ MIN_AUTO_BATCH, MAX_AUTO_BATCH = 64, 4096
 MAX_SUBQUERY_RELATIONS = 6
 
 #: Relations at or above this size with a low-skew first index level get
-#: the ``"sorted"`` backend when no cached index exists: one
+#: a flat-array backend (``"compact"``) when no cached index exists: one
 #: ``O(N log N)`` sort builds cheaper (and far leaner in memory) than N
 #: per-tuple dict-chain inserts, and without heavy values the log-factor
 #: probes are not concentrated on hot paths.
-LARGE_SORTED_RELATION = 32768
+LARGE_FLAT_RELATION = 32768
+
+#: Backwards-compatible alias for the pre-compact name of the flat-array
+#: size threshold.
+LARGE_SORTED_RELATION = LARGE_FLAT_RELATION
+
+#: Relations whose first index level is all-integer and at least this
+#: dense (``distinct / span``) get the ``"compact"`` backend: most of its
+#: value runs are dense or near-dense, so seeks resolve by radix
+#: arithmetic or a short interpolated gallop instead of hash probes.
+#: Matches ``1 / repro.engine.compact.DENSITY_THRESHOLD``.
+DENSE_FIRST_LEVEL = 0.25
+
+#: The density rule only fires at or above this relation size — tiny
+#: relations are nearly always "dense" by accident, and the trie's O(1)
+#: probes win outright when everything fits in cache anyway.
+DENSE_COMPACT_RELATION = 2048
 
 
 @dataclass(frozen=True)
@@ -285,15 +307,18 @@ class JoinPlan:
             else None
         )
         if self.algorithm in ("generic", "leapfrog"):
-            kind_default = (
-                SortedArrayIndex.kind
-                if self.algorithm == "leapfrog"
-                else (
+            if self.algorithm == "leapfrog":
+                kind_default = (
+                    self.backend
+                    if self.backend in BACKEND_CHOICES["leapfrog"]
+                    else SortedArrayIndex.kind
+                )
+            else:
+                kind_default = (
                     self.backend
                     if self.backend in INDEX_BACKENDS
                     else DEFAULT_BACKEND
                 )
-            )
             triples = []
             for eid in self.query.edge_ids:
                 relation = self.query.relation(eid)
@@ -771,12 +796,17 @@ def _relation_backends(
     2. **Skew** — a heavy first index level (heavy-hitter mass at or
        above the provider's threshold) gets the hash trie: the hot
        values are probed over and over, and the trie answers in O(1)
-       where the sorted array pays a log factor per probe.
-    3. **Size** — large low-skew relations
-       (>= :data:`LARGE_SORTED_RELATION` tuples) get the sorted flat
+       where the flat backends pay a log factor per probe.
+    3. **Density** — all-integer first levels at least
+       :data:`DENSE_FIRST_LEVEL` dense on relations of at least
+       :data:`DENSE_COMPACT_RELATION` tuples get the compact backend:
+       its radix/interpolated seeks need no hashing at all, and packed
+       arrays are a fraction of the trie's per-node dict weight.
+    4. **Size** — large low-skew relations
+       (>= :data:`LARGE_FLAT_RELATION` tuples) get the compact flat
        array: one sort builds cheaper and leaner than per-tuple dict
        chains, and without hot values the log-factor probes stay spread.
-    4. Default: the hash trie.
+    5. Default: the hash trie.
 
     Returns ``(backend label, per-relation pairs or None)`` — the pairs
     are ``None`` when every relation landed on the trie default, so
@@ -789,7 +819,11 @@ def _relation_backends(
         index_order = tuple(sorted(relation.attributes, key=rank.__getitem__))
         cached = None
         if database is not None and database.is_catalogued(relation):
-            for kind in (TrieIndex.kind, SortedArrayIndex.kind):
+            for kind in (
+                TrieIndex.kind,
+                SortedArrayIndex.kind,
+                CompactArrayIndex.kind,
+            ):
                 if database.has_cached_index(eid, index_order, kind):
                     cached = kind
                     break
@@ -804,11 +838,20 @@ def _relation_backends(
                 f"{eid}: trie ({profile.heavy_count} heavy value(s) carry "
                 f"{profile.heavy_mass:.0%} of first level)"
             )
-        elif len(relation) >= LARGE_SORTED_RELATION:
-            choices[eid] = SortedArrayIndex.kind
+        elif (
+            len(relation) >= DENSE_COMPACT_RELATION
+            and profile.density >= DENSE_FIRST_LEVEL
+        ):
+            choices[eid] = CompactArrayIndex.kind
             notes.append(
-                f"{eid}: sorted ({len(relation)} low-skew tuples: one sort "
-                "beats per-tuple trie inserts)"
+                f"{eid}: compact ({profile.density:.0%}-dense integer "
+                "first level: radix seeks beat hash probes)"
+            )
+        elif len(relation) >= LARGE_FLAT_RELATION:
+            choices[eid] = CompactArrayIndex.kind
+            notes.append(
+                f"{eid}: compact ({len(relation)} low-skew tuples: packed "
+                "arrays build and probe leaner than per-tuple trie inserts)"
             )
         else:
             choices[eid] = TrieIndex.kind
@@ -820,7 +863,7 @@ def _relation_backends(
         return TrieIndex.kind, None
     pairs = tuple(sorted(choices.items()))
     reasons.append(
-        "per-relation backends from skew and cached indexes: "
+        "per-relation backends from skew, density, and cached indexes: "
         + "; ".join(notes)
     )
     if len(kinds) == 1:

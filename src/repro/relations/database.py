@@ -8,15 +8,20 @@ provides that binding along with:
 * a uniform cache of index-backend objects keyed by (backend kind,
   relation, attribute order) — Remark 5.2's "index in advance" option: the
   first query that needs an order pays the build, later queries reuse it.
-  Both backends of :mod:`repro.engine.backends` are cached here: the
-  hash-dict :class:`~repro.relations.trie.TrieIndex` and the sorted
+  Every backend of :mod:`repro.engine.backends` is cached here: the
+  hash-dict :class:`~repro.relations.trie.TrieIndex`, the sorted
   flat-array :class:`~repro.relations.sorted_index.SortedArrayIndex` that
-  Leapfrog Triejoin consumes.  The cache is **bounded**: above a
-  configurable entry budget, entries are evicted GreedyDual-style —
-  least-recently-used first, with expensive builds (a long trie
-  construction) surviving longer than cheap ones (a small sort), so the
-  cache keeps what is costly to recreate.  :meth:`Database.cache_info`
-  exposes occupancy and hit/miss/eviction counters.
+  Leapfrog Triejoin consumes, and the packed-run
+  :class:`~repro.engine.compact.CompactArrayIndex`.  The cache is
+  **bounded**: above a configurable entry budget (and, optionally, a
+  byte budget), entries are evicted GreedyDual-Size-style —
+  least-recently-used first, weighted by *build cost per resident byte*
+  (each backend's ``nbytes()`` measure: exact ``buffer_info`` bytes for
+  compact's packed arrays, container estimates for the others), so an
+  expensive build survives a cheap one of equal recency and a **lean
+  index survives a bloated one of equal build cost** — compact indexes
+  are cheap to keep.  :meth:`Database.cache_info` exposes occupancy,
+  hit/miss/eviction counters, and resident bytes per backend.
 * a statistics cache serving the planner's
   :class:`~repro.stats.provider.StatsProvider`: relation profiles,
   samples, and sampled selectivities keyed by relation identity,
@@ -28,7 +33,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Iterator, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
 from repro.errors import DatabaseError
 from repro.relations.relation import Relation
@@ -40,11 +45,30 @@ _now = time.perf_counter
 
 #: Registered index-backend constructors, keyed by their ``kind`` string.
 #: :mod:`repro.engine.backends` re-exports this as the engine's backend
-#: registry; both classes satisfy the ``IndexBackend`` protocol.
+#: registry; every class satisfies the ``IndexBackend`` protocol.  The
+#: engine-layer ``"compact"`` backend registers itself here when
+#: :mod:`repro.engine.backends` is imported (which any ``import repro``
+#: does) — this module cannot import it without a cycle.
 INDEX_BACKENDS = {
     TrieIndex.kind: TrieIndex,
     SortedArrayIndex.kind: SortedArrayIndex,
 }
+
+
+def _index_nbytes(index: object) -> int:
+    """Measured resident bytes of an index, 0 when unmeasurable.
+
+    Every shipped backend implements ``nbytes()`` (exact for compact's
+    packed arrays, estimates for trie/sorted); foreign backends without
+    one are charged as size 1 by the cache, i.e. cost-only GreedyDual.
+    """
+    measure = getattr(index, "nbytes", None)
+    if measure is None:
+        return 0
+    try:
+        return int(measure())
+    except Exception:
+        return 0
 
 #: Backend used when callers do not ask for one.
 DEFAULT_BACKEND = TrieIndex.kind
@@ -70,6 +94,14 @@ def build_index(
 #: exists to bound long-lived servers that touch many (relation, order)
 #: pairs, not to churn a working set.
 DEFAULT_INDEX_CACHE_BUDGET = 256
+
+#: GreedyDual-Size charge normalization: an entry's eviction weight is
+#: ``build seconds per this many resident bytes``.  Only *relative*
+#: weights matter to the eviction order; the reference merely keeps the
+#: numbers in a human-readable range (charge ~= cost for a 64 KiB
+#: index).  Unmeasurable indexes (nbytes 0) are charged as one
+#: reference unit, i.e. plain cost-only GreedyDual.
+_BYTE_REFERENCE = 65536.0
 
 #: Default statistics-cache entry budget.  Statistics payloads include
 #: O(N) projection sets, so this cache is bounded for the same
@@ -128,18 +160,36 @@ class CacheInfo:
     evictions: int
     #: Summed build cost (seconds) of the resident entries.
     build_seconds: float
+    #: Measured resident bytes of all cached indexes (each backend's
+    #: ``nbytes()``: exact buffer bytes for compact, estimates for
+    #: trie/sorted).
+    bytes_total: int = 0
+    #: Resident bytes broken down by backend kind, e.g.
+    #: ``{"trie": 81920, "compact": 9616}``.  Kinds with no resident
+    #: entry are absent.
+    bytes_by_backend: dict = dataclass_field(default_factory=dict)
+    #: Optional byte ceiling (``None`` = entries-only budgeting).
+    byte_budget: int | None = None
 
 
 class _CacheEntry:
     """One cached index plus the bookkeeping eviction needs."""
 
-    __slots__ = ("index", "cost", "priority", "serial")
+    __slots__ = ("index", "cost", "nbytes", "charge", "priority", "serial")
 
     def __init__(
-        self, index: object, cost: float, priority: float, serial: int
+        self,
+        index: object,
+        cost: float,
+        nbytes: int,
+        charge: float,
+        priority: float,
+        serial: int,
     ) -> None:
         self.index = index
-        self.cost = cost
+        self.cost = cost  # build seconds (cache_info's build_seconds)
+        self.nbytes = nbytes  # measured resident bytes (0 = unknown)
+        self.charge = charge  # GreedyDual-Size weight: cost per byte
         self.priority = priority
         self.serial = serial  # monotone access counter: LRU tie-break
 
@@ -148,10 +198,17 @@ class Database:
     """A mutable catalog of immutable relations.
 
     ``index_cache_budget`` bounds the number of cached indexes; above
-    it, entries are evicted by the GreedyDual rule (priority =
-    eviction-clock-at-last-use + build cost), i.e. least-recently-used
-    weighted so that expensive builds survive cheap ones of equal
-    recency.
+    it, entries are evicted by the GreedyDual-Size rule (priority =
+    eviction-clock-at-last-use + build cost per resident byte), i.e.
+    least-recently-used weighted so that, at equal recency, expensive
+    builds survive cheap ones and lean indexes survive bloated ones.
+    ``index_cache_byte_budget`` optionally adds a **measured-byte**
+    ceiling on top of the entry count: when the resident indexes'
+    summed ``nbytes()`` would exceed it, minimum-priority entries are
+    evicted first (the entry-count proxy remains as a backstop for
+    backends that cannot measure themselves).  A single index larger
+    than the whole byte budget is still cached — evicting everything
+    and thrashing on rebuilds would be strictly worse.
     """
 
     def __init__(
@@ -159,10 +216,16 @@ class Database:
         relations: Iterable[Relation] = (),
         index_cache_budget: int = DEFAULT_INDEX_CACHE_BUDGET,
         stats_cache_budget: int = DEFAULT_STATS_CACHE_BUDGET,
+        index_cache_byte_budget: int | None = None,
     ) -> None:
         if index_cache_budget < 1:
             raise DatabaseError(
                 f"index_cache_budget must be >= 1, got {index_cache_budget}"
+            )
+        if index_cache_byte_budget is not None and index_cache_byte_budget < 1:
+            raise DatabaseError(
+                f"index_cache_byte_budget must be >= 1 or None, "
+                f"got {index_cache_byte_budget}"
             )
         if stats_cache_budget < 1:
             raise DatabaseError(
@@ -174,6 +237,8 @@ class Database:
             tuple[str, str, tuple[str, ...]], _CacheEntry
         ] = {}
         self._index_cache_budget = index_cache_budget
+        self._index_cache_byte_budget = index_cache_byte_budget
+        self._cache_bytes = 0  # summed nbytes of resident entries
         self._cache_clock = 0.0  # GreedyDual inflation clock
         self._cache_serial = 0  # monotone access counter
         self._cache_hits = 0
@@ -339,7 +404,10 @@ class Database:
                 if budget is not None and builds >= budget:
                     skipped.append((*triple, "warm budget exhausted"))
                     continue
-                if len(self._index_cache) >= self._index_cache_budget:
+                if len(self._index_cache) >= self._index_cache_budget or (
+                    self._index_cache_byte_budget is not None
+                    and self._cache_bytes >= self._index_cache_byte_budget
+                ):
                     skipped.append(
                         (
                             *triple,
@@ -406,28 +474,47 @@ class Database:
         self._cache_serial += 1
         if entry is not None:
             self._cache_hits += 1
-            # Refresh recency: GreedyDual re-arms the entry's priority at
-            # the current clock plus its (re)build cost.
-            entry.priority = self._cache_clock + entry.cost
+            # Refresh recency: GreedyDual-Size re-arms the entry's
+            # priority at the current clock plus its per-byte charge.
+            entry.priority = self._cache_clock + entry.charge
             entry.serial = self._cache_serial
             return entry.index
         self._cache_misses += 1
         started = _now()
         index = build_index(self[name], order, kind)
         cost = max(_now() - started, 0.0)
-        while len(self._index_cache) >= self._index_cache_budget:
+        nbytes = _index_nbytes(index)
+        # GreedyDual-Size: charge = build cost / resident size, so the
+        # cache prefers keeping what is expensive to rebuild *per byte
+        # it occupies* — a compact index (small nbytes) earns a higher
+        # charge than a trie of equal build cost and survives longer.
+        charge = cost * _BYTE_REFERENCE / nbytes if nbytes > 0 else cost
+        while self._index_cache and (
+            len(self._index_cache) >= self._index_cache_budget
+            or (
+                self._index_cache_byte_budget is not None
+                and self._cache_bytes + nbytes
+                > self._index_cache_byte_budget
+            )
+        ):
             self._evict_one()
         self._index_cache[key] = _CacheEntry(
-            index, cost, self._cache_clock + cost, self._cache_serial
+            index,
+            cost,
+            nbytes,
+            charge,
+            self._cache_clock + charge,
+            self._cache_serial,
         )
+        self._cache_bytes += nbytes
         return index
 
     def _evict_one(self) -> None:
-        """Evict the minimum-priority entry (GreedyDual).
+        """Evict the minimum-priority entry (GreedyDual-Size).
 
         The clock advances to the victim's priority, so entries that sat
-        unused accrue relative "age" while a recently touched or
-        expensive entry stays ahead of the clock.  Equal priorities fall
+        unused accrue relative "age" while a recently touched, expensive,
+        or lean entry stays ahead of the clock.  Equal priorities fall
         back to plain LRU via the access serial.
         """
         victim_key = min(
@@ -437,7 +524,9 @@ class Database:
                 self._index_cache[k].serial,
             ),
         )
-        self._cache_clock = self._index_cache[victim_key].priority
+        victim = self._index_cache[victim_key]
+        self._cache_clock = victim.priority
+        self._cache_bytes -= victim.nbytes
         del self._index_cache[victim_key]
         self._cache_evictions += 1
 
@@ -450,6 +539,9 @@ class Database:
 
     def cache_info(self) -> CacheInfo:
         """A :class:`CacheInfo` snapshot of the index cache."""
+        by_backend: dict[str, int] = {}
+        for (kind, _name, _order), entry in self._index_cache.items():
+            by_backend[kind] = by_backend.get(kind, 0) + entry.nbytes
         return CacheInfo(
             entries=len(self._index_cache),
             budget=self._index_cache_budget,
@@ -459,6 +551,9 @@ class Database:
             build_seconds=sum(
                 entry.cost for entry in self._index_cache.values()
             ),
+            bytes_total=self._cache_bytes,
+            bytes_by_backend=by_backend,
+            byte_budget=self._index_cache_byte_budget,
         )
 
     def trie(self, name: str, attribute_order: Iterable[str]) -> TrieIndex:
@@ -470,6 +565,12 @@ class Database:
     ) -> SortedArrayIndex:
         """A sorted flat-array index over relation ``name``."""
         return self.index(name, attribute_order, SortedArrayIndex.kind)
+
+    def compact_index(self, name: str, attribute_order: Iterable[str]):
+        """A packed flat-level index over relation ``name`` (the
+        ``"compact"`` backend, :class:`~repro.engine.compact.
+        CompactArrayIndex`)."""
+        return self.index(name, attribute_order, "compact")
 
     def cached_trie_count(self) -> int:
         """Number of hash-tries currently cached (observability for tests)."""
@@ -492,6 +593,7 @@ class Database:
         """
         stale = [key for key in self._index_cache if key[1] == name]
         for key in stale:
+            self._cache_bytes -= self._index_cache[key].nbytes
             del self._index_cache[key]
         stale_stats = [
             entry_key

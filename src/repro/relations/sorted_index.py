@@ -27,6 +27,8 @@ Two classes:
 
 from __future__ import annotations
 
+import sys
+
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
@@ -299,16 +301,29 @@ class SortedArrayIndex:
         return self.count(node, 1)
 
     def fanout_hint(self, node: RangeNode | None) -> int:
-        """O(1) upper bound on :meth:`fanout`: the row-range width.
+        """O(1) upper bound on :meth:`fanout`, no children materialized.
 
         Counting distinct keys exactly costs one gallop per key; for
-        smallest-first ranking the range width is a good-enough proxy
-        and keeps per-node selection O(1) like the hash trie's.
+        smallest-first ranking two array endpoint reads suffice: the
+        row-range width bounds the distinct count from above, and for
+        integer columns so does the value span ``last - first + 1``
+        (distinct sorted integers in ``[first, last]`` cannot outnumber
+        the interval).  The tighter of the two is still an upper bound,
+        but no longer over-counts long duplicate runs over narrow
+        domains — the case the planner's order descent hits in a loop.
         """
         if node is None:
             return 0
-        lo, hi, _depth = node
-        return hi - lo
+        lo, hi, depth = node
+        width = hi - lo
+        if width > 1 and depth < self.arity:
+            first = self.rows[lo][depth]
+            last = self.rows[hi - 1][depth]
+            if isinstance(first, int) and isinstance(last, int):
+                span = last - first + 1
+                if span < width:
+                    return span
+        return width
 
     def paths(self, node: RangeNode | None, depth: int) -> Iterator[Row]:
         """(ST3) yield every distinct length-``depth`` tuple below ``node``.
@@ -333,6 +348,19 @@ class SortedArrayIndex:
     def tuples(self) -> Iterator[Row]:
         """All indexed tuples, in index attribute order (sorted)."""
         return iter(self.rows)
+
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the sorted row array.
+
+        The list container plus one tuple object per row (rows share an
+        arity, so the first row's size stands for all).  Value objects
+        are excluded — they are shared with the source relation — which
+        keeps the figure comparable with the other backends' measures.
+        """
+        total = sys.getsizeof(self.rows)
+        if self.rows:
+            total += len(self.rows) * sys.getsizeof(self.rows[0])
+        return total
 
     def to_relation(self, name: str | None = None) -> Relation:
         """Materialize the index back into a :class:`Relation`."""

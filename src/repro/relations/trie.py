@@ -25,6 +25,14 @@ from collections.abc import Iterable, Iterator
 from repro.errors import SchemaError
 from repro.relations.relation import Relation, Row, Value
 
+#: Approximate bytes per TrieNode: the slotted object (~56) plus its
+#: counts list header and entries (~64+).  CPython 3.10-3.12, 64-bit.
+_NODE_BYTES = 120
+
+#: Approximate bytes per parent->child edge: one dict entry amortized
+#: over CPython's dict growth policy plus the key reference.
+_EDGE_BYTES = 104
+
 
 class TrieNode:
     """One node of a :class:`TrieIndex`.
@@ -214,6 +222,21 @@ class TrieIndex:
     def tuples(self) -> Iterator[Row]:
         """All indexed tuples, in trie attribute order."""
         return self.paths(self.root, self.arity)
+
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the trie structure.
+
+        Node and edge totals come from the root's precomputed counts
+        vector (``counts[d]`` = distinct paths at depth ``d``, so nodes
+        = ``1 + sum`` and edges = nodes - 1); the per-node and per-edge
+        constants approximate a slotted ``TrieNode`` plus its ``counts``
+        list and one small-dict entry.  An estimate — the dict-heavy
+        layout has no exact cheap measure — but consistently scaled, so
+        the cache's byte accounting ranks backends fairly.
+        """
+        nodes = 1 + sum(self.root.counts[1:])
+        edges = nodes - 1
+        return _NODE_BYTES * nodes + _EDGE_BYTES * edges
 
     def to_relation(self, name: str | None = None) -> Relation:
         """Materialize the trie back into a :class:`Relation`."""

@@ -69,6 +69,33 @@ class AttributeProfile:
     heavy_count: int
     #: Fraction of tuples carrying a heavy value (0.0 when none).
     heavy_mass: float
+    #: Smallest / largest value when **every** value is a plain integer
+    #: (bools count as their 0/1 selves); ``None`` for non-integer or
+    #: empty columns.  Together with ``distinct`` these give the value
+    #: span — what the planner's density rule and the compact backend's
+    #: radix fast path both reason about.
+    int_min: int | None = None
+    int_max: int | None = None
+
+    @property
+    def int_span(self) -> int:
+        """``max - min + 1`` for all-integer columns, else 0."""
+        if self.int_min is None or self.int_max is None:
+            return 0
+        return self.int_max - self.int_min + 1
+
+    @property
+    def density(self) -> float:
+        """``distinct / span`` for all-integer columns (0.0 otherwise).
+
+        1.0 means the distinct values are exactly a consecutive integer
+        interval — the compact backend's radix lookups apply everywhere;
+        values near 1.0 mean most runs are dense or near-dense.
+        """
+        span = self.int_span
+        if span <= 0:
+            return 0.0
+        return self.distinct / span
 
     @property
     def max_frequency(self) -> int:
@@ -147,6 +174,12 @@ def profile_relation(
             counter.items(), key=lambda item: (-item[1], repr(item[0]))
         )
         heavy = [count for _value, count in ranked if count >= threshold]
+        int_min = int_max = None
+        if counter and all(
+            isinstance(value, int) for value in counter
+        ):
+            int_min = int(min(counter))
+            int_max = int(max(counter))
         profiles.append(
             AttributeProfile(
                 attribute=attribute,
@@ -156,6 +189,8 @@ def profile_relation(
                 heavy_threshold=threshold,
                 heavy_count=len(heavy),
                 heavy_mass=(sum(heavy) / total) if total else 0.0,
+                int_min=int_min,
+                int_max=int_max,
             )
         )
     return RelationProfile(

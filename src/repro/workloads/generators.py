@@ -113,6 +113,44 @@ def random_hypergraph(
     return Hypergraph(vertices, {eid: tuple(sorted(e)) for eid, e in edges.items()})
 
 
+def dense_triangle(
+    nodes: int,
+    degree: int = 4,
+    seed: int = 0,
+) -> JoinQuery:
+    """A triangle instance over a *dense* consecutive-integer domain.
+
+    Every vertex id in ``[0, nodes)`` appears in every column of every
+    edge relation: each node gets one deterministic "ring" out-edge
+    (guaranteeing full coverage of both columns) plus ``degree - 1``
+    random extras.  First index levels are therefore exact integer
+    intervals — density 1.0, the regime where the compact backend's
+    radix seeks replace hashing and galloping outright.  This is the
+    dense-domain workload of the compact benchmark
+    (``benchmarks/bench_compact.py``).
+    """
+    if nodes < 2 or degree < 1:
+        raise QueryError("dense_triangle needs nodes >= 2 and degree >= 1")
+    rng = random.Random(seed)
+
+    def edge_rows(shift: int) -> set[tuple[int, int]]:
+        rows = set()
+        for u in range(nodes):
+            rows.add((u, (u + shift) % nodes))
+            rows.add(((u + shift) % nodes, u))
+            for _ in range(degree - 1):
+                rows.add((u, rng.randrange(nodes)))
+        return rows
+
+    return JoinQuery(
+        [
+            Relation("R", ("A", "B"), edge_rows(1)),
+            Relation("S", ("B", "C"), edge_rows(2)),
+            Relation("T", ("A", "C"), edge_rows(3)),
+        ]
+    )
+
+
 def zipf_trap_triangle(
     nodes: int,
     size: int,

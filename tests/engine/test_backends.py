@@ -1,4 +1,4 @@
-"""Backend parity: both index implementations honor the same protocol."""
+"""Backend parity: all index implementations honor the same protocol."""
 
 import random
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.engine.backends import (
     INDEX_BACKENDS,
+    CompactArrayIndex,
     IndexBackend,
     backend_kinds,
     build_index,
@@ -32,11 +33,12 @@ def relation(request):
 
 class TestProtocol:
     def test_registry(self):
-        assert set(backend_kinds()) == {"trie", "sorted"}
+        assert set(backend_kinds()) == {"trie", "sorted", "compact"}
         assert INDEX_BACKENDS["trie"] is TrieIndex
         assert INDEX_BACKENDS["sorted"] is SortedArrayIndex
+        assert INDEX_BACKENDS["compact"] is CompactArrayIndex
 
-    @pytest.mark.parametrize("kind", ["trie", "sorted"])
+    @pytest.mark.parametrize("kind", ["trie", "sorted", "compact"])
     def test_instances_satisfy_protocol(self, kind):
         rel = Relation("R", ("A", "B"), [(1, 2)])
         index = build_index(rel, ("A", "B"), kind)
@@ -50,7 +52,7 @@ class TestProtocol:
         with pytest.raises(DatabaseError):
             validate_backend("quantum")
 
-    @pytest.mark.parametrize("kind", ["trie", "sorted"])
+    @pytest.mark.parametrize("kind", ["trie", "sorted", "compact"])
     def test_bad_order_rejected(self, kind):
         rel = Relation("R", ("A", "B"), [(1, 2)])
         with pytest.raises(SchemaError):
@@ -169,6 +171,14 @@ class TestDatabaseIndexCache:
         db.add(Relation("R", ("A", "B"), [(9, 9)]), replace=True)
         assert db.cached_index_count() == 0
         assert len(db.sorted_index("R", ("A", "B"))) == 1
+
+    def test_compact_cached_and_measured(self, db):
+        index = db.compact_index("R", ("A", "B"))
+        assert isinstance(index, CompactArrayIndex)
+        assert db.index("R", ("A", "B"), "compact") is index
+        info = db.cache_info()
+        assert info.bytes_by_backend["compact"] == index.nbytes() > 0
+        assert info.bytes_total == sum(info.bytes_by_backend.values())
 
     def test_unknown_kind_rejected(self, db):
         with pytest.raises(DatabaseError):

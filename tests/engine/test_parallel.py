@@ -314,6 +314,67 @@ class TestShardJoinParity:
             )
 
 
+class TestCompactBackendParallel:
+    """``backend="compact"`` matches default rows in every exec mode."""
+
+    @pytest.mark.parametrize("algorithm", ["generic", "leapfrog"])
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_sharded_modes(self, triangle_query, algorithm, mode):
+        expected = set(iter_join(triangle_query, algorithm=algorithm))
+        sharded = set(
+            shard_join(
+                triangle_query,
+                shards=2,
+                algorithm=algorithm,
+                backend="compact",
+                mode=mode,
+            )
+        )
+        assert sharded == expected
+
+    @pytest.mark.parametrize("algorithm", ["generic", "leapfrog"])
+    def test_batched(self, triangle_query, algorithm):
+        flat = {
+            row
+            for batch in join_batched(
+                triangle_query,
+                algorithm=algorithm,
+                backend="compact",
+                batch_size=2,
+            )
+            for row in batch
+        }
+        assert flat == set(iter_join(triangle_query, algorithm=algorithm))
+
+    @pytest.mark.parametrize("algorithm", ["generic", "leapfrog"])
+    def test_async(self, triangle_query, algorithm):
+        async def collect():
+            stream = aiter_join(
+                triangle_query, algorithm=algorithm, backend="compact"
+            )
+            return {row async for row in stream}
+
+        assert asyncio.run(collect()) == set(
+            iter_join(triangle_query, algorithm=algorithm)
+        )
+
+    def test_workload_parity(self):
+        for query in _workload_queries():
+            expected = set(iter_join(query, algorithm="generic"))
+            assert expected == set(
+                iter_join(query, algorithm="generic", backend="compact")
+            )
+            assert expected == set(
+                shard_join(
+                    query,
+                    shards=3,
+                    algorithm="leapfrog",
+                    backend="compact",
+                    mode="serial",
+                )
+            )
+
+
 class TestIterShardRows:
     def test_streams_one_shard(self, triangle_query):
         specs = plan_shards(triangle_query, 3, "A")

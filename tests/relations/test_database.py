@@ -195,6 +195,72 @@ class TestCacheBudget:
         assert not db.has_cached_index("R", ("A", "B"), "sorted")
 
 
+class TestCacheByteBudget:
+    """Measured-bytes accounting and the optional byte budget."""
+
+    def make_db(self, byte_budget=None):
+        return Database(
+            [
+                Relation(
+                    "R", ("A", "B"), [(i, i + 1) for i in range(200)]
+                ),
+                Relation("S", ("B", "C"), [(i, i) for i in range(200)]),
+                Relation(
+                    "T", ("A", "C"), [(i, 2 * i) for i in range(200)]
+                ),
+            ],
+            index_cache_byte_budget=byte_budget,
+        )
+
+    def test_byte_budget_must_be_positive(self):
+        with pytest.raises(DatabaseError):
+            Database(index_cache_byte_budget=0)
+
+    def test_bytes_tracked_per_backend(self):
+        db = self.make_db()
+        trie = db.trie("R", ("A", "B"))
+        compact = db.compact_index("S", ("B", "C"))
+        flat = db.sorted_index("T", ("A", "C"))
+        info = db.cache_info()
+        assert info.bytes_by_backend == {
+            "trie": trie.nbytes(),
+            "compact": compact.nbytes(),
+            "sorted": flat.nbytes(),
+        }
+        assert info.bytes_total == sum(info.bytes_by_backend.values())
+        assert info.byte_budget is None
+
+    def test_eviction_respects_byte_budget(self):
+        probe = self.make_db()
+        one = probe.compact_index("R", ("A", "B")).nbytes()
+        db = self.make_db(byte_budget=2 * one + one // 2)
+        for name, order in (
+            ("R", ("A", "B")),
+            ("S", ("B", "C")),
+            ("T", ("A", "C")),
+        ):
+            db.compact_index(name, order)
+        info = db.cache_info()
+        assert info.entries == 2
+        assert info.bytes_total <= info.byte_budget
+        assert info.evictions >= 1
+
+    def test_single_oversized_index_still_cached(self):
+        db = self.make_db(byte_budget=1)
+        index = db.compact_index("R", ("A", "B"))
+        assert db.compact_index("R", ("A", "B")) is index
+        assert db.cache_info().entries == 1
+
+    def test_release_returns_bytes(self):
+        db = self.make_db()
+        db.compact_index("R", ("A", "B"))
+        assert db.cache_info().bytes_total > 0
+        db.add(
+            Relation("R", ("A", "B"), [(9, 9)]), replace=True
+        )
+        assert db.cache_info().bytes_total == 0
+
+
 class TestStatsCacheBudget:
     def test_bounded_fifo(self):
         db = Database(stats_cache_budget=2)

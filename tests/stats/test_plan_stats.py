@@ -152,19 +152,64 @@ class TestPerRelationBackends:
         assert plan.backend == "trie"
         assert plan.relation_backends is None
 
-    def test_large_low_skew_relation_gets_sorted(self):
+    def test_dense_first_level_gets_compact(self):
         import repro.engine.planner as planner_module
 
+        # R's first index level (B = i % 977) is a full integer interval:
+        # density 1.0, well past the DENSE_FIRST_LEVEL cut.
         big = Relation(
             "R", ("A", "B"), [(i, i % 977) for i in range(40000)]
         )
         small = Relation("S", ("B", "C"), [(i % 977, i) for i in range(500)])
         q = JoinQuery([big, small])
-        assert len(big) >= planner_module.LARGE_SORTED_RELATION
+        assert len(big) >= planner_module.DENSE_COMPACT_RELATION
         plan = plan_join(q, "generic")
         assert plan.backend == "mixed"
-        assert ("R", "sorted") in plan.relation_backends
+        assert ("R", "compact") in plan.relation_backends
         assert ("S", "trie") in plan.relation_backends
+        assert any("dense integer" in r for r in plan.reasons)
+
+    def test_large_low_skew_relation_gets_compact(self):
+        import repro.engine.planner as planner_module
+
+        # B = (i % 977) * 5 leaves gaps: 977 distinct over a span of
+        # 4881 (~20% dense), below the density rule — so only the
+        # large-low-skew rule can pick compact here.
+        big = Relation(
+            "R", ("A", "B"), [(i, (i % 977) * 5) for i in range(40000)]
+        )
+        small = Relation(
+            "S", ("B", "C"), [((i % 977) * 5, i) for i in range(500)]
+        )
+        q = JoinQuery([big, small])
+        assert len(big) >= planner_module.LARGE_FLAT_RELATION
+        assert planner_module.LARGE_SORTED_RELATION == (
+            planner_module.LARGE_FLAT_RELATION
+        )
+        plan = plan_join(q, "generic")
+        assert plan.backend == "mixed"
+        assert ("R", "compact") in plan.relation_backends
+        assert ("S", "trie") in plan.relation_backends
+        assert any("low-skew tuples" in r for r in plan.reasons)
+
+    def test_cached_compact_index_is_reused(self):
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 0)]),
+                Relation("S", ("B", "C"), [(1, 5), (2, 6), (0, 7)]),
+                Relation("T", ("A", "C"), [(0, 5), (1, 6), (2, 7)]),
+            ]
+        )
+        q = JoinQuery.from_database(db, ["R", "S", "T"])
+        base = plan_join(q, "generic", database=db)
+        rank = {a: i for i, a in enumerate(base.attribute_order)}
+        r_order = tuple(sorted(db["R"].attributes, key=rank.__getitem__))
+        db.compact_index("R", r_order)
+        plan = plan_join(q, "generic", database=db)
+        assert plan.backend == "mixed"
+        assert ("R", "compact") in plan.relation_backends
+        assert any("cached compact index" in r for r in plan.reasons)
+        assert plan.execute(database=db).equivalent(naive_join(q))
 
     def test_caller_fixed_backend_wins(self):
         plan = plan_join(triangle_query(), "generic", backend="sorted")

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_compact.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_compact.py [benchmarks/BENCH_compact.json]
+
+Validates the structure ``benchmarks/bench_compact.py`` promises —
+per-workload probe counts, memory ratios, wall seconds, parity flags —
+and re-checks the acceptance floor: the dense workload's Generic Join
+probe ratio (sorted probes / compact probes) must be at least the
+recorded ``dense_probe_floor``.  Only deterministic counts and ratios
+are asserted, never wall times.  Exits non-zero with a message naming
+the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REQUIRED_WORKLOADS = ("dense", "zipf", "trap", "hub")
+
+PARITY_FLAGS = (
+    "generic_compact",
+    "leapfrog_compact",
+    "leapfrog_sorted",
+    "nprr",
+    "lw",
+    "arity2",
+    "sharded_compact",
+    "batched_compact",
+    "async_compact",
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_compact.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_probes(workload: str, probes: object) -> None:
+    if not isinstance(probes, dict):
+        fail(f"workloads.{workload}.probes is not an object")
+    for algorithm in ("generic", "leapfrog"):
+        entry = probes.get(algorithm)
+        if not isinstance(entry, dict):
+            fail(f"workloads.{workload}.probes.{algorithm} missing")
+        for key in ("sorted", "compact"):
+            if not isinstance(entry.get(key), int) or entry[key] <= 0:
+                fail(
+                    f"workloads.{workload}.probes.{algorithm}.{key} "
+                    "is not a positive count"
+                )
+        if not isinstance(entry.get("ratio"), (int, float)):
+            fail(f"workloads.{workload}.probes.{algorithm}.ratio missing")
+        if entry.get("rows_match") is not True:
+            fail(
+                f"workloads.{workload}.probes.{algorithm}: "
+                "sorted and compact rows diverged"
+            )
+
+
+def check_memory(workload: str, memory: object) -> None:
+    if not isinstance(memory, dict):
+        fail(f"workloads.{workload}.memory is not an object")
+    nbytes = memory.get("nbytes")
+    if not isinstance(nbytes, dict):
+        fail(f"workloads.{workload}.memory.nbytes missing")
+    for kind in ("trie", "sorted", "compact"):
+        if not isinstance(nbytes.get(kind), int) or nbytes[kind] <= 0:
+            fail(f"workloads.{workload}.memory.nbytes.{kind} invalid")
+    for key in ("compact_vs_trie", "compact_vs_sorted"):
+        if not isinstance(memory.get(key), (int, float)):
+            fail(f"workloads.{workload}.memory.{key} missing")
+    if memory["compact_vs_trie"] <= 1.0:
+        fail(
+            f"workloads.{workload}: compact is not smaller than the trie "
+            f"(ratio {memory['compact_vs_trie']})"
+        )
+    pickled = memory.get("pickle_bytes")
+    if not isinstance(pickled, dict):
+        fail(f"workloads.{workload}.memory.pickle_bytes missing")
+    for kind in ("sorted", "compact"):
+        if not isinstance(pickled.get(kind), int) or pickled[kind] <= 0:
+            fail(f"workloads.{workload}.memory.pickle_bytes.{kind} invalid")
+
+
+def check_wall(workload: str, wall: object) -> None:
+    # Presence and type only: wall seconds are never compared.
+    if not isinstance(wall, dict):
+        fail(f"workloads.{workload}.wall is not an object")
+    for algorithm, kinds in (
+        ("generic", ("trie", "sorted", "compact")),
+        ("leapfrog", ("sorted", "compact")),
+    ):
+        entry = wall.get(algorithm)
+        if not isinstance(entry, dict):
+            fail(f"workloads.{workload}.wall.{algorithm} missing")
+        for kind in kinds:
+            seconds = entry.get(f"{kind}_seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                fail(
+                    f"workloads.{workload}.wall.{algorithm}."
+                    f"{kind}_seconds invalid"
+                )
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in (
+        "scale",
+        "dense_probe_floor",
+        "dense_probe_ratio",
+        "workloads",
+    ):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    for name in REQUIRED_WORKLOADS:
+        if name not in data["workloads"]:
+            fail(f"missing workload {name!r}")
+        entry = data["workloads"][name]
+        for key in ("sizes", "probes", "memory", "wall", "parity"):
+            if key not in entry:
+                fail(f"workloads.{name} missing {key!r}")
+        check_probes(name, entry["probes"])
+        check_memory(name, entry["memory"])
+        check_wall(name, entry["wall"])
+        parity = entry["parity"]
+        if not isinstance(parity, dict):
+            fail(f"workloads.{name}.parity is not an object")
+        for flag in PARITY_FLAGS:
+            if parity.get(flag) is not True:
+                fail(f"workloads.{name}.parity.{flag} is not true")
+        if not isinstance(parity.get("rows"), int):
+            fail(f"workloads.{name}.parity.rows missing")
+    ratio = data["dense_probe_ratio"]
+    floor = data["dense_probe_floor"]
+    if not isinstance(ratio, (int, float)) or ratio < floor:
+        fail(
+            f"dense probe ratio {ratio!r} is below the acceptance floor "
+            f"{floor!r}"
+        )
+
+
+def main(argv: list[str]) -> int:
+    default = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks"
+        / "BENCH_compact.json"
+    )
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    if not path.exists():
+        fail(f"{path} does not exist (run benchmarks/bench_compact.py)")
+    check(json.loads(path.read_text()))
+    print(f"BENCH_compact.json schema ok ({path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

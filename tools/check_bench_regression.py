@@ -83,6 +83,25 @@ METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
         ("workloads.zipf_hotshard.critical_path_ratio", "ratio", 0.4),
         ("workloads.zipf_hotshard.parity", "exact", None),
     ),
+    "BENCH_compact.json": (
+        # Probe counts are deterministic for fixed seeds and memory is
+        # measured from the arrays themselves: tight tolerances.  Wall
+        # seconds are deliberately absent.
+        ("dense_probe_ratio", "ratio", 0.9),
+        ("workloads.dense.probes.generic.ratio", "ratio", 0.9),
+        ("workloads.zipf.probes.generic.ratio", "ratio", 0.9),
+        ("workloads.trap.probes.generic.ratio", "ratio", 0.9),
+        ("workloads.hub.probes.generic.ratio", "ratio", 0.9),
+        ("workloads.dense.probes.leapfrog.ratio", "ratio", 0.9),
+        ("workloads.dense.memory.compact_vs_trie", "ratio", 0.7),
+        ("workloads.dense.memory.compact_vs_sorted", "ratio", 0.7),
+        ("workloads.dense.probes.generic.rows_match", "exact", None),
+        ("workloads.dense.probes.leapfrog.rows_match", "exact", None),
+        ("workloads.dense.parity.generic_compact", "exact", None),
+        ("workloads.dense.parity.leapfrog_compact", "exact", None),
+        ("workloads.dense.parity.sharded_compact", "exact", None),
+        ("workloads.hub.parity.generic_compact", "exact", None),
+    ),
 }
 
 

@@ -23,16 +23,31 @@ Quickstart::
 
     # Selections and projections, pushed into the plan:
     print(Q(r, s, t).where(A=0).select("C").run())
+
+    # Aggregates fold into the search (no enumeration), and sample()
+    # draws uniform rows by AGM-weighted rejection:
+    print(Q(r, s, t).count())
+    print(Q(r, s, t).group_by("A").count())
+    print(Q(r, s, t).sample(1, seed=7))
 """
 
+from repro.aggregate import (
+    Count,
+    GroupBy,
+    Max,
+    Min,
+    Sum,
+)
 from repro.api import (
     ALGORITHMS,
     aiter_join,
+    count_join,
     explain,
     iter_join,
     join,
     join_batched,
     output_bound,
+    sample_join,
     shard_join,
 )
 from repro.core import (
@@ -94,6 +109,7 @@ from repro.hypergraph import (
 )
 from repro.query import (
     ExecutionContext,
+    GroupedQuery,
     PreparedQuery,
     Q,
     QueryBuilder,
@@ -119,6 +135,7 @@ __all__ = [
     "Atom",
     "ConjunctiveQuery",
     "Const",
+    "Count",
     "CoverError",
     "Database",
     "DatabaseError",
@@ -129,6 +146,8 @@ __all__ = [
     "FunctionalDependency",
     "FunctionalDependencyError",
     "GenericJoin",
+    "GroupBy",
+    "GroupedQuery",
     "Hypergraph",
     "IndexBackend",
     "JoinPlan",
@@ -136,6 +155,8 @@ __all__ = [
     "LWJoin",
     "LeapfrogTriejoin",
     "LinearProgramError",
+    "Max",
+    "Min",
     "NPRRJoin",
     "ObservedLevel",
     "PlanError",
@@ -153,6 +174,7 @@ __all__ = [
     "SortedArrayIndex",
     "StatsConfig",
     "StatsProvider",
+    "Sum",
     "TrieIndex",
     "Var",
     "WarmReport",
@@ -160,6 +182,7 @@ __all__ = [
     "aiter_join",
     "arity_two_join",
     "best_agm_bound",
+    "count_join",
     "explain",
     "fd_aware_bound",
     "fd_aware_join",
@@ -176,6 +199,7 @@ __all__ = [
     "plan_attribute_order",
     "plan_join",
     "relaxed_join",
+    "sample_join",
     "shard_join",
     "tighten_cover",
     "triangle_join",

@@ -8,6 +8,8 @@ Usage::
     python -m repro join R.csv S.csv T.csv --where A=1 --where-in B=2,3 \\
         --select A,C
     python -m repro join R.csv S.csv T.csv --feedback
+    python -m repro join R.csv S.csv T.csv --count
+    python -m repro join R.csv S.csv T.csv --sample 5 --seed 7
     python -m repro bound R.csv S.csv T.csv
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
     python -m repro explain R.csv S.csv T.csv --where A=1
@@ -23,7 +25,13 @@ Usage::
                 attribute's level is eliminated), ``--where-in B=2,3``
                 keeps rows whose value is in the set (a per-level filter
                 inside the executors), and ``--select A,C`` projects the
-                streamed output (deduplicated on the fly)
+                streamed output (deduplicated on the fly).  ``--count``
+                prints only the number of result rows — folded into the
+                join's level loops, never enumerating the result (with
+                ``--shards`` the workers return partial counts) — and
+                ``--sample K`` prints K distinct uniform result rows
+                drawn by AGM-weighted rejection (``--seed S`` makes the
+                draw deterministic)
 * ``bound``   — print the AGM output bound, the optimal fractional cover,
                 and the dual packing certificate
 * ``explain`` — print the engine's join plan (algorithm, attribute order,
@@ -118,6 +126,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record execution telemetry and re-plan repeated queries "
         "from observed statistics (cardinality feedback + online "
         "re-sharding)",
+    )
+    join_cmd.add_argument(
+        "--count",
+        action="store_true",
+        help="print the number of result rows instead of the rows; the "
+        "count is folded into the join's level loops (no enumeration), "
+        "and with --shards K the workers return partial counts",
+    )
+    join_cmd.add_argument(
+        "--sample",
+        type=_batch_size,
+        default=None,
+        metavar="K",
+        help="print K distinct uniform result rows instead of the full "
+        "result, drawn by AGM-weighted rejection without materializing "
+        "the join (deterministic with --seed)",
+    )
+    join_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="random seed for --sample (fixed seed, fixed sample)",
     )
     _add_query_options(join_cmd)
     join_cmd.add_argument(
@@ -305,7 +336,27 @@ def _load_query(files: list[str]) -> JoinQuery:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
+    if args.count and args.sample is not None:
+        raise QueryError("--count and --sample are mutually exclusive")
+    if (args.count or args.sample is not None) and (
+        args.stream or args.batch is not None
+    ):
+        raise QueryError(
+            "--count/--sample replace the output; they do not combine "
+            "with --stream or --batch"
+        )
     builder = _build_query(args)  # QueryError -> usage error via main()
+    if args.count:
+        if args.shards is not None:
+            builder = builder.using(shards=args.shards)
+        print(builder.count())
+        return 0
+    if args.sample is not None:
+        rows = builder.sample(args.sample, seed=args.seed)
+        print(",".join(builder.output_attributes))
+        for row in rows:
+            print(",".join(str(v) for v in row))
+        return 0
     if args.stream or args.shards is not None or args.batch is not None:
         return _stream_join(builder, args)
     result = builder.run()

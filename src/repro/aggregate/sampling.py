@@ -1,0 +1,303 @@
+"""Uniform sampling of join results by AGM-weighted descent.
+
+Draws uniform random rows of ``join_e R_e`` *without enumerating it*,
+following the rejection scheme of Capelli–Irwin–Salvati ("A Simple
+Algorithm for Worst-Case Optimal Join and Sampling", PAPERS.md), which
+runs the same level descent as Generic Join but replaces the loop over
+candidates with a single weighted coin:
+
+Fix an optimal fractional edge cover ``x`` (the AGM machinery of
+Ngo–Porat–Ré–Rudra already computes it).  Give every partial assignment
+(search node) the weight::
+
+    w(prefix) = prod_e count_e(node_e, remaining_e) ** x_e
+
+— each relation's count of distinct completions of its part of the
+prefix, raised to its cover weight.  ``w(root)`` is exactly the AGM
+bound and ``w(full row) = 1``.  The query decomposition lemma (Hölder,
+the same inequality that powers the AGM bound) gives, at every level::
+
+    sum_v w(prefix + v)  <=  w(prefix)
+
+so drawing ``r`` uniform in ``[0, w(prefix))`` and walking the
+candidates subtracting their masses either lands inside some child —
+descend — or falls into the slack — **reject** the trial.  A trial that
+survives all levels reaches a full join row with probability exactly
+``w(row)/w(root) = 1/AGM``, independent of the row: accepted rows are
+uniform.  The expected number of trials per sample is ``AGM/|J|``.
+
+Practicalities:
+
+* ``sample(k)`` draws **without replacement** (accepted duplicates are
+  rejected and retried), returning ``min(k, |J|)`` rows.
+* Residual filters participate as dead mass: a trial whose chosen value
+  fails its level's filter is rejected, so surviving rows stay uniform
+  over the *filtered* join.
+* When trials stall (tiny or empty joins — ``|J| << AGM``), the sampler
+  falls back once to exact enumeration over the same indexes and draws
+  the sample directly; the fallback costs one worst-case-optimal join,
+  which the stall itself proves is cheap relative to further rejection.
+* The sampler is **algorithm independent**: it owns its descent, so the
+  query layer can surface it unchanged no matter which enumeration
+  algorithm the plan would have picked, over any index backend that
+  implements ``items``/``child``/``count``/``fanout_hint``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.filters import per_position_filters
+from repro.core.query import JoinQuery
+from repro.hypergraph.agm import best_agm_bound
+from repro.relations.database import (
+    DEFAULT_BACKEND,
+    INDEX_BACKENDS,
+    Database,
+    build_index,
+)
+from repro.relations.relation import Row, Value
+
+__all__ = ["JoinSampler", "reservoir_sample", "sample_query"]
+
+#: Consecutive rejected (or duplicate) trials before the sampler gives
+#: up on rejection and enumerates exactly.  High enough that joins with
+#: acceptance rate >= ~2% essentially never fall back, low enough that
+#: empty joins stop quickly.
+STALL_LIMIT = 512
+
+
+class JoinSampler:
+    """Uniform join-row sampler over per-relation trie-style indexes.
+
+    Parameters mirror the enumeration executors: an optional catalog
+    for cached indexes, a backend kind (anything unknown — including
+    per-relation mappings and ``None`` — falls back to the default
+    backend, whose counts are O(1)), and residual filters.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        *,
+        backend: str | None = None,
+        database: Database | None = None,
+        filters: Mapping[str, Callable[[Value], bool]] | None = None,
+    ) -> None:
+        self.query = query
+        order = query.attributes
+        self.order = order
+        kind = backend if backend in INDEX_BACKENDS else DEFAULT_BACKEND
+        self.backend = kind
+        rank = {a: i for i, a in enumerate(order)}
+        self._indexes = []
+        self._arity: list[int] = []
+        for eid in query.edge_ids:
+            relation = query.relation(eid)
+            index_order = tuple(
+                sorted(relation.attributes, key=rank.__getitem__)
+            )
+            if database is not None and database.is_catalogued(relation):
+                index = database.index(eid, index_order, kind)
+            else:
+                index = build_index(relation, index_order, kind)
+            self._indexes.append(index)
+            self._arity.append(len(index_order))
+        self._participants: list[list[int]] = [
+            [
+                i
+                for i, eid in enumerate(query.edge_ids)
+                if attribute in query.relation(eid).attribute_set
+            ]
+            for attribute in order
+        ]
+        self._filters = per_position_filters(filters, order, order)
+        cover, self.agm = best_agm_bound(query.hypergraph, query.sizes())
+        self._weights = [
+            float(cover.get(eid)) for eid in query.edge_ids
+        ]
+
+    # -- one rejection trial -------------------------------------------------
+
+    def _trial(self, rng: random.Random) -> Row | None:
+        """One AGM-weighted descent; a full row or None (rejected)."""
+        indexes = self._indexes
+        weights = self._weights
+        nodes = [index.root for index in indexes]
+        remaining = list(self._arity)
+        weight = 1.0
+        for i, index in enumerate(indexes):
+            count = index.count(nodes[i], remaining[i])
+            if count == 0:
+                return None  # an empty relation: the join is empty
+            weight *= count ** weights[i]
+        prefix: list[Value] = []
+        for depth in range(len(self.order)):
+            level = self._participants[depth]
+            # Non-participants keep their node; their factors are shared
+            # by every candidate's mass at this level.
+            shared = 1.0
+            for i in range(len(indexes)):
+                if i not in level:
+                    shared *= (
+                        indexes[i].count(nodes[i], remaining[i])
+                        ** weights[i]
+                    )
+            smallest = min(
+                level, key=lambda i: indexes[i].fanout_hint(nodes[i])
+            )
+            base = indexes[smallest]
+            draw = rng.random() * weight
+            chosen = None
+            for value, base_child in base.items(nodes[smallest]):
+                mass = shared
+                children = {}
+                dead = False
+                for i in level:
+                    child = (
+                        base_child
+                        if i == smallest
+                        else indexes[i].child(nodes[i], value)
+                    )
+                    if child is None:
+                        dead = True
+                        break
+                    count = indexes[i].count(child, remaining[i] - 1)
+                    if count == 0:
+                        dead = True
+                        break
+                    children[i] = child
+                    mass *= count ** weights[i]
+                if dead:
+                    continue
+                draw -= mass
+                if draw < 0.0:
+                    chosen = (value, children, mass)
+                    break
+            if chosen is None:
+                return None  # the draw fell into the Hölder slack
+            value, children, weight = chosen
+            level_filter = self._filters[depth]
+            if level_filter is not None and not level_filter(value):
+                return None  # dead mass: keeps filtered rows uniform
+            for i, child in children.items():
+                nodes[i] = child
+                remaining[i] -= 1
+            prefix.append(value)
+        return tuple(prefix)
+
+    # -- exact enumeration fallback ------------------------------------------
+
+    def _enumerate(self) -> list[Row]:
+        """All join rows via plain smallest-first descent (the fallback)."""
+        indexes = self._indexes
+        participants = self._participants
+        filters = self._filters
+        total = len(self.order)
+        rows: list[Row] = []
+
+        def descend(depth: int, nodes: list, prefix: list) -> None:
+            if depth == total:
+                rows.append(tuple(prefix))
+                return
+            level = participants[depth]
+            smallest = min(
+                level, key=lambda i: indexes[i].fanout_hint(nodes[i])
+            )
+            base = indexes[smallest]
+            others = [i for i in level if i != smallest]
+            level_filter = filters[depth]
+            for value, child in base.items(nodes[smallest]):
+                if level_filter is not None and not level_filter(value):
+                    continue
+                advanced = None
+                ok = True
+                for i in others:
+                    nxt = indexes[i].child(nodes[i], value)
+                    if nxt is None:
+                        ok = False
+                        break
+                    if advanced is None:
+                        advanced = list(nodes)
+                    advanced[i] = nxt
+                if not ok:
+                    continue
+                if advanced is None:
+                    advanced = list(nodes)
+                advanced[smallest] = child
+                prefix.append(value)
+                descend(depth + 1, advanced, prefix)
+                prefix.pop()
+
+        descend(0, [index.root for index in indexes], [])
+        return rows
+
+    # -- public surface --------------------------------------------------------
+
+    def sample(self, k: int, rng: random.Random) -> list[Row]:
+        """``min(k, |J|)`` distinct uniform rows, in acceptance order."""
+        if k <= 0:
+            return []
+        found: list[Row] = []
+        seen: set[Row] = set()
+        stall = 0
+        while len(found) < k:
+            row = self._trial(rng)
+            if row is not None and row not in seen:
+                seen.add(row)
+                found.append(row)
+                stall = 0
+                continue
+            stall += 1
+            if stall >= STALL_LIMIT:
+                # Exact fallback: enumerate once, draw directly.  The
+                # draw ignores rows found so far — rng.sample is already
+                # uniform without replacement over the whole result.
+                rows = sorted(set(self._enumerate()))
+                if len(rows) <= k:
+                    return rows
+                return rng.sample(rows, k)
+        return found
+
+
+def sample_query(
+    query: JoinQuery,
+    k: int,
+    seed: int | None = None,
+    *,
+    backend: str | None = None,
+    database: Database | None = None,
+    filters: Mapping[str, Callable[[Value], bool]] | None = None,
+) -> list[Row]:
+    """Draw ``min(k, |J|)`` uniform join rows (query attribute order).
+
+    Deterministic for a fixed ``seed`` (trials consume the
+    ``random.Random(seed)`` stream in a fixed order).
+    """
+    sampler = JoinSampler(
+        query, backend=backend, database=database, filters=filters
+    )
+    return sampler.sample(k, random.Random(seed))
+
+
+def reservoir_sample(rows, k: int, seed: int | None = None) -> list:
+    """``min(k, n)`` uniform rows from any finite stream (Algorithm R).
+
+    The query layer's fallback when AGM-weighted descent does not apply
+    (projected/deduplicated output): one pass, O(k) memory, exact
+    uniformity over whatever the stream yields, deterministic for a
+    fixed ``seed``.
+    """
+    if k <= 0:
+        return []
+    rng = random.Random(seed)
+    reservoir: list = []
+    for i, row in enumerate(rows):
+        if i < k:
+            reservoir.append(row)
+            continue
+        j = rng.randrange(i + 1)
+        if j < k:
+            reservoir[j] = row
+    return reservoir

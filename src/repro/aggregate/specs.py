@@ -1,0 +1,292 @@
+"""Aggregate specifications: what to compute from a join, declaratively.
+
+An :class:`AggregateSpec` describes *what* the caller wants (a count, a
+sum over one attribute, a grouped bundle of both) independently of *how*
+the engine produces it — folded into the level loops of a worst-case
+optimal search (:mod:`repro.aggregate.fold`), replayed over a
+materialized row stream, or merged from per-shard partial states in the
+parallel driver.  That split is the whole design: every execution path
+reduces to the same four-operation protocol, so the oracle tests can
+assert exact equality between a brute-force fold and the pruned one.
+
+The protocol (all methods pure; specs and states are picklable so they
+can ship to shard workers and come back):
+
+``needs``
+    Attribute names whose *values* the spec reads.  The fold layer uses
+    this to compute the pruning cutoff — levels below the deepest needed
+    attribute contribute only their completion **count**, never their
+    values, so whole subtrees collapse to one multiplication.
+``multiplicity_sensitive``
+    ``False`` when only the *existence* of completions matters (min/max:
+    a prefix with 5 completions contributes its values once).  ``True``
+    when the number of completions scales the contribution (count, sum,
+    grouped counts).
+``start() / add(state, values, multiplicity) / merge(a, b) / finish(state)``
+    The fold calls ``add`` once per surviving prefix at the cutoff depth
+    with ``values`` aligned to ``needs`` and ``multiplicity`` equal to
+    the number of join rows completing that prefix; ``merge`` combines
+    partial states (shard workers return states, the parent merges);
+    ``finish`` turns the final state into the user-facing result.
+
+Empty-join conventions follow Python, not SQL: ``count() == 0``,
+``sum() == 0`` (like ``sum([])``), ``min()/max() is None``, group-by is
+an empty dict, ``sample`` is an empty list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Mapping
+
+from repro.errors import QueryError
+
+__all__ = [
+    "AggregateSpec",
+    "Count",
+    "GroupBy",
+    "Max",
+    "Min",
+    "Sum",
+    "as_spec",
+]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """Base class fixing the fold protocol (see module docstring)."""
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        """Attribute names whose values the spec reads (may be empty)."""
+        return ()
+
+    @property
+    def multiplicity_sensitive(self) -> bool:
+        """Whether the number of completions scales the contribution."""
+        return True
+
+    def start(self):
+        raise NotImplementedError
+
+    def add(self, state, values: tuple, multiplicity: int):
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        raise NotImplementedError
+
+    def finish(self, state):
+        return state
+
+
+@dataclass(frozen=True)
+class Count(AggregateSpec):
+    """``COUNT(*)``: the number of rows in the join result."""
+
+    def start(self) -> int:
+        return 0
+
+    def add(self, state: int, values: tuple, multiplicity: int) -> int:
+        return state + multiplicity
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+
+@dataclass(frozen=True)
+class Sum(AggregateSpec):
+    """``SUM(attribute)`` over the join rows (0 on an empty join)."""
+
+    attribute: str
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    def start(self) -> int:
+        return 0
+
+    def add(self, state, values: tuple, multiplicity: int):
+        return state + values[0] * multiplicity
+
+    def merge(self, left, right):
+        return left + right
+
+
+@dataclass(frozen=True)
+class Min(AggregateSpec):
+    """``MIN(attribute)`` over the join rows (None on an empty join)."""
+
+    attribute: str
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    @property
+    def multiplicity_sensitive(self) -> bool:
+        return False
+
+    def start(self):
+        return None
+
+    def add(self, state, values: tuple, multiplicity: int):
+        value = values[0]
+        return value if state is None or value < state else state
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left < right else right
+
+
+@dataclass(frozen=True)
+class Max(AggregateSpec):
+    """``MAX(attribute)`` over the join rows (None on an empty join)."""
+
+    attribute: str
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    @property
+    def multiplicity_sensitive(self) -> bool:
+        return False
+
+    def start(self):
+        return None
+
+    def add(self, state, values: tuple, multiplicity: int):
+        value = values[0]
+        return value if state is None or value > state else state
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left > right else right
+
+
+@dataclass(frozen=True)
+class GroupBy(AggregateSpec):
+    """Grouped aggregates: one inner-spec bundle per distinct key tuple.
+
+    The state is ``{key tuple: (inner state, ...)}``; ``finish`` maps it
+    to ``{key tuple: {name: value}}``.  Keys are always tuples, even for
+    a single grouping attribute.
+    """
+
+    keys: tuple[str, ...]
+    aggregates: tuple[tuple[str, AggregateSpec], ...] = field(
+        default_factory=tuple
+    )
+
+    @cached_property
+    def needs(self) -> tuple[str, ...]:
+        needed = list(self.keys)
+        for _name, spec in self.aggregates:
+            for attribute in spec.needs:
+                if attribute not in needed:
+                    needed.append(attribute)
+        return tuple(needed)
+
+    @property
+    def multiplicity_sensitive(self) -> bool:
+        return any(
+            spec.multiplicity_sensitive for _name, spec in self.aggregates
+        )
+
+    @cached_property
+    def _inner_positions(self) -> tuple[tuple[int, ...], ...]:
+        # Positions of each inner spec's needs inside this spec's values.
+        order = {attribute: i for i, attribute in enumerate(self.needs)}
+        return tuple(
+            tuple(order[a] for a in spec.needs)
+            for _name, spec in self.aggregates
+        )
+
+    def start(self) -> dict:
+        return {}
+
+    def add(self, state: dict, values: tuple, multiplicity: int) -> dict:
+        key = values[: len(self.keys)]
+        states = state.get(key)
+        if states is None:
+            states = tuple(spec.start() for _n, spec in self.aggregates)
+        positions = self._inner_positions
+        state[key] = tuple(
+            spec.add(
+                inner,
+                tuple(values[p] for p in positions[i]),
+                multiplicity,
+            )
+            for i, ((_n, spec), inner) in enumerate(
+                zip(self.aggregates, states)
+            )
+        )
+        return state
+
+    def merge(self, left: dict, right: dict) -> dict:
+        merged = dict(left)
+        for key, states in right.items():
+            mine = merged.get(key)
+            if mine is None:
+                merged[key] = states
+            else:
+                merged[key] = tuple(
+                    spec.merge(a, b)
+                    for (_n, spec), a, b in zip(
+                        self.aggregates, mine, states
+                    )
+                )
+        return merged
+
+    def finish(self, state: dict) -> dict:
+        return {
+            key: {
+                name: spec.finish(inner)
+                for (name, spec), inner in zip(self.aggregates, states)
+            }
+            for key, states in sorted(state.items())
+        }
+
+
+#: Shorthand names accepted by :func:`as_spec` for single-attribute
+#: aggregates: ``("sum", "A")`` and friends.
+_SHORTHAND = {"sum": Sum, "min": Min, "max": Max}
+
+
+def as_spec(value) -> AggregateSpec:
+    """Normalize a user-supplied aggregate description into a spec.
+
+    Accepts a spec instance, the string ``"count"``, or a
+    ``(kind, attribute)`` pair with kind in ``sum``/``min``/``max``.
+    """
+    if isinstance(value, AggregateSpec):
+        return value
+    if value == "count":
+        return Count()
+    if (
+        isinstance(value, (tuple, list))
+        and len(value) == 2
+        and value[0] in _SHORTHAND
+    ):
+        return _SHORTHAND[value[0]](value[1])
+    raise QueryError(
+        f"unknown aggregate {value!r}; pass a spec (Count(), Sum('A'), "
+        "Min('A'), Max('A')), the string 'count', or a ('sum'|'min'|'max',"
+        " attribute) pair"
+    )
+
+
+def grouped(keys, aggregates: Mapping[str, object]) -> GroupBy:
+    """Build a :class:`GroupBy` from a keys sequence and name→spec map."""
+    return GroupBy(
+        tuple(keys),
+        tuple((name, as_spec(value)) for name, value in aggregates.items()),
+    )

@@ -264,6 +264,90 @@ def aiter_join(
     return Q(relations, context=context).astream(batch_size=batch_size)
 
 
+def count_join(
+    relations: Sequence[Relation] | JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    shards: int | str | None = None,
+    mode: str = "auto",
+    workers: int | None = None,
+    database: Database | None = None,
+    feedback: FeedbackConfig | None = None,
+) -> int:
+    """Count the join's rows *without enumerating them* when possible.
+
+    Exactly ``sum(1 for _ in iter_join(...))``, but for the level-loop
+    algorithms (``generic``, ``leapfrog``) the count is folded into the
+    search itself: once the remaining levels factor into independent
+    per-relation completions, the whole subtree contributes the product
+    of its completion counts in O(1) instead of being walked (see
+    :mod:`repro.aggregate.fold`).  With ``shards`` set, shard workers
+    compute partial counts and only the integers travel back.  With
+    ``feedback`` set, counting runs over the recorded row stream so the
+    feedback store keeps learning from aggregate-only workloads.
+
+    >>> from repro import Relation
+    >>> r = Relation("R", ("A", "B"), [(i, j) for i in range(4) for j in range(4)])
+    >>> s = Relation("S", ("B", "C"), [(i, j) for i in range(4) for j in range(4)])
+    >>> count_join([r, s])
+    64
+    """
+    _check_algorithm(algorithm)
+    context = ExecutionContext(
+        algorithm=algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        shards=shards,
+        mode=mode,
+        workers=workers,
+        database=database,
+        feedback=feedback,
+    )
+    return Q(relations, context=context).count()
+
+
+def sample_join(
+    relations: Sequence[Relation] | JoinQuery,
+    k: int,
+    seed: int | None = None,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    database: Database | None = None,
+) -> list[Row]:
+    """Draw ``min(k, |J|)`` distinct uniform join rows, never
+    materializing the join.
+
+    Rows are drawn by AGM-weighted rejection descent
+    (:mod:`repro.aggregate.sampling`): each trial walks one root-to-leaf
+    path of the same search tree the enumeration algorithms explore,
+    accepting full rows with probability exactly ``1/AGM`` each — so
+    accepted rows are uniform over the join, at an expected cost of
+    ``AGM/|J|`` descents per row.  Deterministic for a fixed ``seed``.
+    ``algorithm`` only participates in validation — the sampler owns its
+    descent — and ``backend`` picks the index layout it walks.
+
+    >>> from repro import Relation
+    >>> r = Relation("R", ("A", "B"), [(i, i) for i in range(100)])
+    >>> s = Relation("S", ("B", "C"), [(i, i) for i in range(100)])
+    >>> sample_join([r, s], 3, seed=11)
+    [(15, 15, 15), (57, 57, 57), (31, 31, 31)]
+    """
+    _check_algorithm(algorithm)
+    context = ExecutionContext(
+        algorithm=algorithm,
+        cover=cover,
+        attribute_order=attribute_order,
+        backend=backend,
+        database=database,
+    )
+    return Q(relations, context=context).sample(k, seed)
+
+
 def explain(
     relations: Sequence[Relation] | JoinQuery,
     algorithm: str = "auto",

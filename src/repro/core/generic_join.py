@@ -166,6 +166,21 @@ class GenericJoin:
         """Run Generic Join; returns the join in query attribute order."""
         return Relation(name, self.query.attributes, self.iter_join())
 
+    def fold(self, folder):
+        """Fold an aggregate through the level loops, skipping rows.
+
+        Runs the same smallest-first descent as :meth:`_search`, but
+        feeds each surviving prefix to ``folder`` instead of yielding
+        rows, and collapses suffixes where every remaining level has a
+        single unfiltered participant into one factorized count — see
+        :func:`repro.aggregate.fold.fold_executor`.  Returns the folder.
+        """
+        # Lazy: repro.core must not import repro.aggregate at module
+        # load (the aggregate package reaches back into repro.core).
+        from repro.aggregate.fold import fold_executor
+
+        return fold_executor(self, folder)
+
     def _search(
         self,
         depth: int,

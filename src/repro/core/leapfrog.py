@@ -171,6 +171,22 @@ class LeapfrogTriejoin:
         """Run the triejoin; returns the join in query attribute order."""
         return Relation(name, self.query.attributes, self.iter_join())
 
+    def fold(self, folder):
+        """Fold an aggregate through the level loops, skipping rows.
+
+        The sorted and compact layouts implement the full node protocol
+        (``items``/``child``/``count``/``fanout_hint``) alongside their
+        cursor protocol, so the shared folding descent of
+        :func:`repro.aggregate.fold.fold_executor` runs directly over
+        this executor's indexes: seeks become range bisections, and
+        prunable suffixes collapse to factorized counts instead of
+        being leapfrogged through.  Returns the folder.
+        """
+        # Lazy for the same reason as the compact-backend import above.
+        from repro.aggregate.fold import fold_executor
+
+        return fold_executor(self, folder)
+
     def _level(
         self,
         depth: int,

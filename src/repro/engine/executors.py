@@ -45,6 +45,7 @@ from repro.relations.sorted_index import SortedArrayIndex
 __all__ = [
     "EXECUTORS",
     "NATIVE_FILTERS",
+    "NATIVE_FOLD",
     "NATIVE_TELEMETRY",
     "RowFilterExecutor",
     "algorithm_names",
@@ -207,6 +208,12 @@ NATIVE_FILTERS = frozenset({"generic", "leapfrog"})
 #: feedback loop records nothing for them (their executions are still
 #: parity-identical with feedback enabled).
 NATIVE_TELEMETRY = frozenset({"generic", "leapfrog"})
+
+#: Algorithms whose executors expose ``fold(folder)`` — aggregation
+#: pushed into the level loops with factorized subtree pruning (see
+#: :mod:`repro.aggregate.fold`).  Aggregates over the rest fold the
+#: executor's row stream instead (same results, enumeration cost).
+NATIVE_FOLD = frozenset({"generic", "leapfrog"})
 
 
 def algorithm_names(include_auto: bool = True) -> tuple[str, ...]:

@@ -55,7 +55,9 @@ from collections import Counter
 from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
+from repro.aggregate.fold import Folder, fold_state
 from repro.core.query import JoinQuery
+from repro.engine.executors import NATIVE_FOLD
 from repro.engine.planner import plan_join
 from repro.errors import PlanError, require_positive_int
 from repro.feedback.resharding import ShardPlanEntry, expand_shards
@@ -72,6 +74,7 @@ __all__ = [
     "batches",
     "iter_shard_rows",
     "plan_shards",
+    "shard_fold",
     "shard_join",
     "shard_query",
 ]
@@ -699,6 +702,165 @@ def _recorded_shard_stream(
             ],
             scope,
         )
+
+
+# ---------------------------------------------------------------------------
+# Sharded aggregation
+# ---------------------------------------------------------------------------
+
+
+def _shard_fold_state(task: _ShardTask, spec):
+    """Fold one shard into a partial aggregate state (worker primitive).
+
+    Same skip/plan discipline as :func:`_shard_rows`; algorithms in
+    :data:`~repro.engine.executors.NATIVE_FOLD` push the fold into their
+    level loops, the rest fold their row stream.  Returns the *raw*
+    state (not ``spec.finish``) so the parent can merge across shards.
+    """
+    if any(len(rel) == 0 for rel in task.query.relations.values()):
+        return spec.start()
+    plan = plan_join(
+        task.query,
+        task.algorithm,
+        cover=task.cover,
+        attribute_order=task.attribute_order,
+        backend=task.backend,
+    )
+    filters = dict(task.filters) if task.filters else None
+    if plan.algorithm in NATIVE_FOLD:
+        executor = plan.executor(filters=filters)
+        folder = Folder(spec, plan.attribute_order)
+        executor.fold(folder)
+        return folder.state
+    return fold_state(
+        plan.iter_rows(filters=filters), spec, task.query.attributes
+    )
+
+
+def _run_shard_fold_pickled(payload: bytes):
+    """Process-pool entry point for sharded folds: ``(task, spec)`` was
+    pickled together while probing picklability, so the spec rides the
+    same bytes as the shard it aggregates."""
+    task, spec = pickle.loads(payload)
+    return _shard_fold_state(task, spec)
+
+
+def shard_fold(
+    relations: Sequence[Relation] | JoinQuery,
+    spec,
+    shards: int | str | None = None,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    mode: str = "auto",
+    workers: int | None = None,
+    database=None,
+    filters=None,
+    context=None,
+):
+    """Aggregate a sharded join without materializing it anywhere.
+
+    Plans and partitions exactly like :func:`shard_join`, but each
+    worker folds its shard into a partial
+    :class:`~repro.aggregate.specs.AggregateSpec` state and ships only
+    that state back; the parent merges the partials with ``spec.merge``
+    and returns the merged *raw* state (callers apply ``spec.finish``).
+    States are plain picklable values (ints, tuples, dicts), so process
+    mode pays per-shard pickling for the inputs only — never for rows.
+
+    Shards partition the output disjointly and every spec's ``merge``
+    is associative and commutative over disjoint parts, so the merged
+    state equals the serial fold's state regardless of mode or shard
+    completion order.
+
+    Feedback telemetry is *not* recorded here — per-shard row counts
+    are exactly what the fold avoids computing; the query layer routes
+    feedback-enabled aggregates through the recorded row stream instead.
+    """
+    if context is not None:
+        cover = context.cover
+        attribute_order = context.attribute_order
+        backend = context.backend
+        mode = context.mode
+        workers = context.workers
+    if mode not in SHARD_MODES:
+        raise PlanError(
+            f"unknown shard mode {mode!r}; choose one of {SHARD_MODES}"
+        )
+    if workers is not None:
+        require_positive_int(workers, "workers")
+    query = _as_query(relations)
+    if context is not None:
+        plan = plan_join(
+            query,
+            context=context.replace(
+                shards=context.shards if context.shards is not None else "auto"
+            ),
+        )
+    else:
+        plan = plan_join(
+            query,
+            algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+            shards=shards if shards is not None else "auto",
+            database=database,
+        )
+    attribute = plan.attribute_order[0]
+    specs = plan_shards(query, plan.shards, attribute)
+    state = spec.start()
+    if not specs:
+        return state
+    task_filters = tuple(filters.items()) if filters else None
+    tasks = [
+        _ShardTask(
+            query=restricted,
+            algorithm=plan.algorithm,
+            cover=cover,
+            attribute_order=(
+                tuple(attribute_order)
+                if attribute_order is not None
+                else None
+            ),
+            backend=backend,
+            filters=task_filters,
+        )
+        for restricted in _shard_queries(query, specs)
+    ]
+    resolved = "serial" if len(tasks) == 1 else mode
+    payloads: list[bytes] | None = None
+    if resolved in ("auto", "process"):
+        try:
+            payloads = [
+                pickle.dumps((task, spec), protocol=pickle.HIGHEST_PROTOCOL)
+                for task in tasks
+            ]
+        except Exception:
+            if resolved == "process":
+                raise  # explicitly requested: surface the error now
+        if resolved == "auto":
+            resolved = "process" if payloads is not None else "thread"
+    pool_width = min(workers or len(tasks), len(tasks))
+    if resolved == "serial":
+        partials = [_shard_fold_state(task, spec) for task in tasks]
+    elif resolved == "process":
+        import multiprocessing
+
+        pool_context = multiprocessing.get_context()
+        with pool_context.Pool(processes=pool_width) as pool:
+            partials = pool.map(_run_shard_fold_pickled, payloads)
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=pool_width) as pool:
+            partials = list(
+                pool.map(lambda task: _shard_fold_state(task, spec), tasks)
+            )
+    for partial in partials:
+        state = spec.merge(state, partial)
+    return state
 
 
 # ---------------------------------------------------------------------------

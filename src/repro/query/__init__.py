@@ -24,7 +24,7 @@ The legacy ``repro.api`` entry points (``join``, ``iter_join``, ...)
 are thin wrappers over this package.
 """
 
-from repro.query.builder import Q, QueryBuilder
+from repro.query.builder import GroupedQuery, Q, QueryBuilder
 from repro.query.context import ExecutionContext
 from repro.query.predicates import Callback, ResidualPredicate, ValueIn
 from repro.query.prepared import PreparedQuery
@@ -32,6 +32,7 @@ from repro.query.prepared import PreparedQuery
 __all__ = [
     "Callback",
     "ExecutionContext",
+    "GroupedQuery",
     "PreparedQuery",
     "Q",
     "QueryBuilder",

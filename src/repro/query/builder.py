@@ -52,9 +52,19 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, replace as _dc_replace
 
+from repro.aggregate.fold import Folder, fold_rows
+from repro.aggregate.sampling import reservoir_sample, sample_query
+from repro.aggregate.specs import (
+    AggregateSpec,
+    Count,
+    Max,
+    Min,
+    Sum,
+    grouped,
+)
 from repro.core.query import JoinQuery
 from repro.engine import parallel as _parallel
-from repro.engine.executors import NATIVE_TELEMETRY
+from repro.engine.executors import NATIVE_FOLD, NATIVE_TELEMETRY
 from repro.engine.planner import NO_BACKEND, JoinPlan, plan_join
 from repro.errors import QueryError, require_positive_int
 from repro.feedback.telemetry import TelemetryProbe, feedback_scope
@@ -578,9 +588,149 @@ class QueryBuilder:
         """Execute and materialize the result as a :class:`Relation`."""
         return Relation(name, self.output_attributes, self.stream())
 
+    # -- aggregation & sampling ----------------------------------------------
+
+    def _aggregate(self, spec: AggregateSpec, mode: str):
+        """Run one aggregate spec over this query's result.
+
+        Dispatch, in order of preference:
+
+        1. **Folded** into the level loops of a native executor
+           (:data:`~repro.engine.executors.NATIVE_FOLD`) — no rows are
+           materialized and prunable subtrees contribute factorized
+           counts in O(1).  Requires: no projection, no feedback loop,
+           serial execution, and no aggregate input read from a bound
+           (constant) attribute.
+        2. **Sharded**: per-shard partial states computed by the
+           parallel driver's workers and merged by the spec's picklable
+           combiner (``context.shards`` set, same conditions otherwise).
+        3. **Streamed**: fold the ordinary (projected, merged, possibly
+           telemetry-recorded) row stream — the universal fallback,
+           exact for every algorithm and option combination.  With the
+           feedback loop enabled this path is chosen *deliberately*:
+           the observed stream records full per-level telemetry, so
+           aggregate executions keep feeding the feedback store the
+           same cardinalities enumeration would.
+        """
+        missing = [
+            a for a in spec.needs if a not in self.output_attributes
+        ]
+        if missing:
+            raise QueryError(
+                f"aggregate reads attributes {missing!r} that are not in "
+                f"the output schema {self.output_attributes!r}"
+            )
+        compiled = self._compile()
+        if not compiled.satisfiable:
+            return spec.finish(spec.start())
+        if compiled.residual is None:
+            # Fully bound: at most one constants row survives the guards.
+            return fold_rows(self.stream(), spec, self.output_attributes)
+        ctx = self._residual_context()
+        bound_attrs = {a for a, _v in compiled.bound}
+        foldable = (
+            self.selected is None
+            and ctx.feedback is None
+            and not (set(spec.needs) & bound_attrs)
+        )
+        if ctx.parallel:
+            if foldable:
+                state = _parallel.shard_fold(
+                    compiled.residual,
+                    spec,
+                    context=ctx,
+                    filters=compiled.filters,
+                )
+                return spec.finish(state)
+            return fold_rows(self.stream(), spec, self.output_attributes)
+        if foldable:
+            plan = plan_join(
+                compiled.residual,
+                context=ctx,
+                feedback_scope=feedback_scope(compiled.filters),
+            )
+            if plan.algorithm in NATIVE_FOLD:
+                plan = _dc_replace(plan, aggregate=mode)
+                executor = plan.executor(
+                    database=self._execution_database(),
+                    filters=compiled.filters,
+                )
+                folder = Folder(spec, plan.attribute_order)
+                executor.fold(folder)
+                return folder.result()
+            # Blocking specialists have no level loops to fold into;
+            # stream their rows (still nothing is materialized at once).
+            return fold_rows(
+                self._full_rows(compiled, plan), spec, self.query.attributes
+            )
+        return fold_rows(self.stream(), spec, self.output_attributes)
+
     def count(self) -> int:
-        """Number of result rows (streamed; nothing is materialized)."""
-        return sum(1 for _row in self.stream())
+        """Number of result rows — *without* enumerating them when the
+        plan allows: the count is folded into the join's level loops and
+        prunable subtrees are counted in O(1) (see
+        :mod:`repro.aggregate.fold`).  Exactly
+        ``sum(1 for _ in self.stream())``, at a fraction of the work."""
+        return self._aggregate(Count(), "count")
+
+    def sum(self, attribute: str):
+        """Sum of ``attribute`` over the result rows (0 when empty)."""
+        return self._aggregate(Sum(attribute), "sum")
+
+    def min(self, attribute: str):
+        """Minimum of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Min(attribute), "min")
+
+    def max(self, attribute: str):
+        """Maximum of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Max(attribute), "max")
+
+    def group_by(self, *attributes: str) -> "GroupedQuery":
+        """Group the result by ``attributes``; finish with
+        :meth:`GroupedQuery.agg` (or :meth:`GroupedQuery.count`).
+
+        Grouping attributes must be in the output schema.  Keys in the
+        returned mapping are always tuples, even for a single grouping
+        attribute."""
+        if not attributes:
+            raise QueryError("group_by needs at least one attribute")
+        for attribute in attributes:
+            self._require_attribute(attribute, "group_by")
+        return GroupedQuery(self, tuple(attributes))
+
+    def sample(self, k: int, seed: int | None = None) -> list[Row]:
+        """``min(k, count)`` distinct uniform result rows, never
+        materializing the result: rows are drawn by AGM-weighted
+        rejection descent (:mod:`repro.aggregate.sampling`), uniform
+        over the filtered join.  Deterministic for a fixed ``seed``.
+
+        With a projection (``select``), uniformity is over the distinct
+        projected rows, drawn by seeded reservoir sampling over the
+        deduplicated stream.  With ``context.shards`` set the sampler
+        still runs serially — a shard-local sample is not a uniform
+        global one, and the descent touches far less than one shard's
+        enumeration anyway."""
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise QueryError(
+                f"sample size must be a non-negative int, got {k!r}"
+            )
+        compiled = self._compile()
+        if k == 0 or not compiled.satisfiable:
+            return []
+        if compiled.residual is None or self.selected is not None:
+            return reservoir_sample(self.stream(), k, seed)
+        ctx = self._residual_context()
+        rows = sample_query(
+            compiled.residual,
+            k,
+            seed,
+            backend=ctx.backend,
+            database=self._execution_database(),
+            filters=compiled.filters,
+        )
+        if compiled.merge is not None:
+            rows = [compiled.merge(row) for row in rows]
+        return rows
 
     def batches(self, size: int | None = None) -> Iterator[list[Row]]:
         """Stream the result in fixed-size row batches.
@@ -640,3 +790,49 @@ class QueryBuilder:
         if self.selected is not None:
             parts.append("select " + (", ".join(self.selected) or "()"))
         return f"Q<{'; '.join(parts)}>"
+
+
+class GroupedQuery:
+    """A query grouped by key attributes, awaiting its aggregates.
+
+    Returned by :meth:`QueryBuilder.group_by`; terminal methods run the
+    query.  Immutable and reusable like the builder itself.
+    """
+
+    __slots__ = ("_builder", "_keys")
+
+    def __init__(
+        self, builder: QueryBuilder, keys: tuple[str, ...]
+    ) -> None:
+        object.__setattr__(self, "_builder", builder)
+        object.__setattr__(self, "_keys", keys)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("GroupedQuery instances are immutable")
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """The grouping attributes, in grouping order."""
+        return self._keys
+
+    def agg(self, **aggregates) -> dict:
+        """Run the grouped aggregates: ``{key tuple: {name: value}}``.
+
+        Each keyword names an output column; values are aggregate specs
+        (:class:`~repro.aggregate.specs.Count` and friends), the string
+        ``"count"``, or ``(kind, attribute)`` shorthand pairs with kind
+        in ``sum``/``min``/``max``.  Keys come out sorted.
+        """
+        if not aggregates:
+            raise QueryError("agg() needs at least one named aggregate")
+        spec = grouped(self._keys, aggregates)
+        return self._builder._aggregate(spec, "group_by")
+
+    def count(self) -> dict:
+        """Rows per group: ``{key tuple: count}`` (keys sorted)."""
+        spec = grouped(self._keys, {"count": Count()})
+        result = self._builder._aggregate(spec, "group_by")
+        return {key: values["count"] for key, values in result.items()}
+
+    def __repr__(self) -> str:
+        return f"{self._builder!r}.group_by({', '.join(self._keys)})"

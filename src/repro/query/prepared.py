@@ -32,8 +32,10 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import replace as _dc_replace
 
+from repro.aggregate.fold import Folder, fold_rows
+from repro.aggregate.specs import Count, Max, Min, Sum
 from repro.engine import parallel as _parallel
-from repro.engine.executors import NATIVE_TELEMETRY
+from repro.engine.executors import NATIVE_FOLD, NATIVE_TELEMETRY
 from repro.engine.planner import JoinPlan
 from repro.errors import QueryError
 from repro.feedback.telemetry import (
@@ -41,7 +43,7 @@ from repro.feedback.telemetry import (
     estimate_divergence,
     feedback_scope,
 )
-from repro.query.builder import QueryBuilder, drain_async
+from repro.query.builder import GroupedQuery, QueryBuilder, drain_async
 from repro.relations.relation import Relation, Row, Value
 from repro.stats.provider import resolve_provider
 
@@ -271,9 +273,76 @@ class PreparedQuery:
         """Execute and materialize the result as a :class:`Relation`."""
         return Relation(name, self.output_attributes, self.stream())
 
+    # -- aggregation & sampling ----------------------------------------------
+
+    def _aggregate(self, spec, mode: str):
+        """One aggregate over the prepared query — no re-planning, ever.
+
+        The frozen executor's level loops fold the spec directly when
+        the plan is native (:data:`~repro.engine.executors.NATIVE_FOLD`),
+        reusing the indexes built at prepare time; rebinding via
+        :meth:`bind` keeps this path (the rebound prepared query carries
+        its own executor over the re-sectioned relations).  Projection,
+        feedback telemetry, or aggregate inputs outside the residual
+        order fall back to folding the prepared row stream; a parallel
+        context delegates to the builder (whose sharded driver merges
+        per-shard partial states).
+        """
+        missing = [a for a in spec.needs if a not in self.output_attributes]
+        if missing:
+            raise QueryError(
+                f"aggregate reads attributes {missing!r} that are not in "
+                f"the output schema {self.output_attributes!r}"
+            )
+        compiled = self._compiled
+        if not compiled.satisfiable:
+            return spec.finish(spec.start())
+        if self._executor is None and compiled.residual is not None:
+            return self._builder._aggregate(spec, mode)  # parallel context
+        if (
+            self._executor is not None
+            and self._probe is None
+            and self._builder.selected is None
+            and self._plan.algorithm in NATIVE_FOLD
+            and set(spec.needs) <= set(self._plan.attribute_order)
+        ):
+            folder = Folder(spec, self._plan.attribute_order)
+            self._executor.fold(folder)
+            return folder.result()
+        return fold_rows(self.stream(), spec, self.output_attributes)
+
     def count(self) -> int:
-        """Number of result rows (streamed)."""
-        return sum(1 for _row in self.stream())
+        """Number of result rows, folded into the frozen executor's
+        level loops when the plan allows (no enumeration; see
+        :meth:`QueryBuilder.count`), streamed otherwise."""
+        return self._aggregate(Count(), "count")
+
+    def sum(self, attribute: str):
+        """Sum of ``attribute`` over the result rows (0 when empty)."""
+        return self._aggregate(Sum(attribute), "sum")
+
+    def min(self, attribute: str):
+        """Minimum of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Min(attribute), "min")
+
+    def max(self, attribute: str):
+        """Maximum of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Max(attribute), "max")
+
+    def group_by(self, *attributes: str) -> GroupedQuery:
+        """Group the prepared result by ``attributes``; terminal methods
+        on the returned :class:`~repro.query.builder.GroupedQuery` run
+        against this prepared query (same no-re-planning contract as
+        :meth:`count`)."""
+        self._builder.group_by(*attributes)  # reuse the builder's checks
+        return GroupedQuery(self, tuple(attributes))
+
+    def sample(self, k: int, seed: int | None = None) -> list[Row]:
+        """``min(k, count)`` distinct uniform result rows (see
+        :meth:`QueryBuilder.sample`).  The sampler owns its descent and
+        builds trie indexes through the context database's cache, so
+        delegation costs no planning."""
+        return self._builder.sample(k, seed)
 
     def batches(self, size: int | None = None) -> Iterator[list[Row]]:
         """Stream the result in fixed-size row batches."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import sys
 
+from array import array
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
@@ -173,7 +174,7 @@ class SortedArrayIndex:
     leapfrog cursors consume directly.
     """
 
-    __slots__ = ("attributes", "rows", "_source_name")
+    __slots__ = ("attributes", "rows", "_source_name", "_distinct")
 
     #: Backend registry key (see :mod:`repro.engine.backends`).
     kind = "sorted"
@@ -193,6 +194,9 @@ class SortedArrayIndex:
         self.rows: list[Row] = sorted(
             tuple(row[i] for i in idx) for row in relation.tuples
         )
+        # Lazy per-column cumulative distinct-prefix tallies backing the
+        # exact O(1) fanout_hint; built on first use (see _distinct_runs).
+        self._distinct: list | None = None
 
     # -- basic protocol ----------------------------------------------------
 
@@ -298,32 +302,56 @@ class SortedArrayIndex:
 
     def fanout(self, node: RangeNode | None) -> int:
         """Number of distinct next-column values below ``node``."""
-        return self.count(node, 1)
+        return self.fanout_hint(node)
+
+    def _distinct_runs(self, column: int):
+        """Cumulative distinct-prefix tallies for ``column`` (lazy).
+
+        ``runs[r]`` is the zero-based ordinal of the run of equal
+        ``(column + 1)``-prefixes that row ``r`` belongs to; within any
+        node range the distinct next-column count is then
+        ``runs[hi - 1] - runs[lo] + 1`` (rows of a node share the
+        length-``column`` prefix, so run boundaries inside the range are
+        exactly the next-value changes).  One ``array('q')`` per column,
+        built on first use in a single pass over the rows.
+        """
+        if self._distinct is None:
+            self._distinct = [None] * len(self.attributes)
+        runs = self._distinct[column]
+        if runs is None:
+            plen = column + 1
+            runs = array("q", bytes(8 * len(self.rows)))
+            previous = None
+            tally = -1
+            for r, row in enumerate(self.rows):
+                key = row[:plen]
+                if key != previous:
+                    tally += 1
+                    previous = key
+                runs[r] = tally
+            self._distinct[column] = runs
+        return runs
 
     def fanout_hint(self, node: RangeNode | None) -> int:
-        """O(1) upper bound on :meth:`fanout`, no children materialized.
+        """O(1) **exact** fanout — identical to :meth:`fanout`.
 
-        Counting distinct keys exactly costs one gallop per key; for
-        smallest-first ranking two array endpoint reads suffice: the
-        row-range width bounds the distinct count from above, and for
-        integer columns so does the value span ``last - first + 1``
-        (distinct sorted integers in ``[first, last]`` cannot outnumber
-        the interval).  The tighter of the two is still an upper bound,
-        but no longer over-counts long duplicate runs over narrow
-        domains — the case the planner's order descent hits in a loop.
+        Hints used to be upper bounds (range width capped by the integer
+        endpoint span), which over-counted long duplicate runs and any
+        non-integer column.  Exactness matters beyond ranking quality
+        now: the aggregate fold prunes subtrees into counts, and its
+        smallest-first descent must agree bit-for-bit with the trie and
+        compact backends (both already exact) for cross-backend
+        telemetry and probe parity.  The first call per column pays one
+        O(N) pass to build the cumulative run tallies
+        (:meth:`_distinct_runs`); every call after is two array reads.
         """
         if node is None:
             return 0
         lo, hi, depth = node
-        width = hi - lo
-        if width > 1 and depth < self.arity:
-            first = self.rows[lo][depth]
-            last = self.rows[hi - 1][depth]
-            if isinstance(first, int) and isinstance(last, int):
-                span = last - first + 1
-                if span < width:
-                    return span
-        return width
+        if hi - lo <= 1 or depth >= self.arity:
+            return hi - lo if depth < self.arity else 0
+        runs = self._distinct_runs(depth)
+        return runs[hi - 1] - runs[lo] + 1
 
     def paths(self, node: RangeNode | None, depth: int) -> Iterator[Row]:
         """(ST3) yield every distinct length-``depth`` tuple below ``node``.
@@ -360,6 +388,10 @@ class SortedArrayIndex:
         total = sys.getsizeof(self.rows)
         if self.rows:
             total += len(self.rows) * sys.getsizeof(self.rows[0])
+        if self._distinct is not None:
+            for runs in self._distinct:
+                if runs is not None:
+                    total += sys.getsizeof(runs)
         return total
 
     def to_relation(self, name: str | None = None) -> Relation:

@@ -1,0 +1,105 @@
+"""Unit tests for the aggregate spec protocol (repro.aggregate.specs)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.aggregate.specs import (
+    Count,
+    GroupBy,
+    Max,
+    Min,
+    Sum,
+    as_spec,
+    grouped,
+)
+from repro.errors import QueryError
+
+
+def test_count_protocol():
+    spec = Count()
+    state = spec.start()
+    state = spec.add(state, (), 3)
+    state = spec.add(state, (), 1)
+    assert spec.finish(state) == 4
+    assert spec.merge(2, 5) == 7
+    assert spec.needs == ()
+    assert spec.multiplicity_sensitive
+
+
+def test_sum_scales_by_multiplicity():
+    spec = Sum("A")
+    state = spec.add(spec.start(), (10,), 3)
+    assert spec.finish(state) == 30
+    assert spec.needs == ("A",)
+
+
+def test_min_max_ignore_multiplicity_and_handle_empty():
+    low, high = Min("A"), Max("A")
+    assert not low.multiplicity_sensitive
+    assert not high.multiplicity_sensitive
+    assert low.finish(low.start()) is None
+    assert high.finish(high.start()) is None
+    state = low.add(low.start(), (5,), 100)
+    state = low.add(state, (3,), 1)
+    assert low.finish(state) == 3
+    assert low.merge(None, 7) == 7
+    assert high.merge(4, None) == 4
+    assert low.merge(2, 9) == 2
+    assert high.merge(2, 9) == 9
+
+
+def test_group_by_needs_dedups_keys_and_inner():
+    spec = grouped(("A", "B"), {"s": ("sum", "A"), "m": ("max", "C")})
+    assert spec.needs == ("A", "B", "C")
+    assert spec.multiplicity_sensitive
+
+
+def test_group_by_add_merge_finish_round_trip():
+    spec = grouped(("A",), {"n": "count", "s": ("sum", "B")})
+    left = spec.add(spec.start(), (1, 10), 2)
+    left = spec.add(left, (2, 5), 1)
+    right = spec.add(spec.start(), (1, 7), 1)
+    merged = spec.merge(left, right)
+    assert spec.finish(merged) == {
+        (1,): {"n": 3, "s": 27},
+        (2,): {"n": 1, "s": 5},
+    }
+    # Keys come out sorted even when inserted out of order.
+    assert list(spec.finish(merged)) == [(1,), (2,)]
+
+
+def test_group_by_min_only_is_multiplicity_insensitive():
+    spec = grouped(("A",), {"m": ("min", "B")})
+    assert not spec.multiplicity_sensitive
+
+
+def test_as_spec_accepts_all_shorthands():
+    assert as_spec("count") == Count()
+    assert as_spec(("sum", "A")) == Sum("A")
+    assert as_spec(["min", "B"]) == Min("B")
+    assert as_spec(("max", "C")) == Max("C")
+    spec = Sum("X")
+    assert as_spec(spec) is spec
+
+
+def test_as_spec_rejects_unknowns():
+    with pytest.raises(QueryError):
+        as_spec("median")
+    with pytest.raises(QueryError):
+        as_spec(("avg", "A"))
+    with pytest.raises(QueryError):
+        as_spec(42)
+
+
+def test_specs_and_states_pickle():
+    spec = grouped(("A",), {"n": "count", "s": ("sum", "B")})
+    # Prime the cached properties first — shard workers do the same.
+    _ = spec.needs, spec._inner_positions
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    state = spec.add(spec.start(), (1, 10), 2)
+    assert pickle.loads(pickle.dumps(state)) == state
+    assert isinstance(clone, GroupBy)

@@ -1,4 +1,11 @@
-"""Shared builders for the test suite."""
+"""Shared builders and the brute-force aggregate oracle for the test suite.
+
+The oracle functions compute every aggregate the query layer offers by
+plain Python over a *materialized* row list — no folds, no pruning, no
+specs — so tests can assert exact equality between the engine's
+``count()`` / ``sum()`` / ``group_by().agg()`` / ``sample()`` results
+and an implementation too simple to share a bug with them.
+"""
 
 from __future__ import annotations
 
@@ -34,3 +41,81 @@ def two_path_query() -> JoinQuery:
 def single_relation_query() -> JoinQuery:
     """A one-relation query (degenerate but legal)."""
     return JoinQuery([Relation("R", ("A", "B"), [(1, 2), (3, 4)])])
+
+
+# ---------------------------------------------------------------------------
+# The brute-force aggregate oracle
+# ---------------------------------------------------------------------------
+
+
+def oracle_count(rows) -> int:
+    """``COUNT(*)`` the dumb way: materialize and measure."""
+    return len(list(rows))
+
+
+def oracle_sum(rows, attributes, attribute):
+    """``SUM(attribute)``; 0 on an empty result (Python convention)."""
+    position = tuple(attributes).index(attribute)
+    return sum(row[position] for row in rows)
+
+
+def oracle_min(rows, attributes, attribute):
+    """``MIN(attribute)``; None on an empty result."""
+    position = tuple(attributes).index(attribute)
+    return min((row[position] for row in rows), default=None)
+
+
+def oracle_max(rows, attributes, attribute):
+    """``MAX(attribute)``; None on an empty result."""
+    position = tuple(attributes).index(attribute)
+    return max((row[position] for row in rows), default=None)
+
+
+def oracle_group_by(rows, attributes, keys, **aggregates):
+    """Grouped aggregates in the engine's output shape.
+
+    ``aggregates`` maps output names to ``"count"`` or ``(kind,
+    attribute)`` pairs with kind in ``sum`` / ``min`` / ``max`` —
+    the same shorthand :meth:`GroupedQuery.agg` accepts.  Returns
+    ``{key tuple: {name: value}}`` with keys sorted, matching
+    :meth:`repro.aggregate.specs.GroupBy.finish` exactly.
+    """
+    attributes = tuple(attributes)
+    key_positions = tuple(attributes.index(a) for a in keys)
+    groups: dict[tuple, list] = {}
+    for row in rows:
+        groups.setdefault(
+            tuple(row[p] for p in key_positions), []
+        ).append(row)
+    result = {}
+    for key in sorted(groups):
+        members = groups[key]
+        values = {}
+        for name, what in aggregates.items():
+            if what == "count":
+                values[name] = len(members)
+            else:
+                kind, attribute = what
+                position = attributes.index(attribute)
+                column = [row[position] for row in members]
+                if kind == "sum":
+                    values[name] = sum(column)
+                elif kind == "min":
+                    values[name] = min(column)
+                elif kind == "max":
+                    values[name] = max(column)
+                else:  # pragma: no cover - test-author error
+                    raise ValueError(f"unknown oracle aggregate {what!r}")
+        result[key] = values
+    return result
+
+
+def assert_valid_sample(sample, rows, k) -> None:
+    """A sample is valid iff: distinct rows, every one a result row, and
+    exactly ``min(k, |distinct result|)`` of them."""
+    universe = set(rows)
+    assert len(sample) == len(set(sample)), "sample has duplicate rows"
+    assert set(sample) <= universe, "sample contains non-result rows"
+    assert len(sample) == min(k, len(universe)), (
+        f"sample size {len(sample)} != min({k}, {len(universe)})"
+    )

@@ -1,0 +1,124 @@
+"""Cross-backend index parity: trie, sorted, and compact must agree.
+
+``fanout_hint`` drives two decisions that must not depend on the
+backend: which relation a level iterates (smallest-first) and which
+base relation the sampler streams candidates from.  Historically the
+sorted/compact hint was an *upper bound* (``hi - lo``, the row span)
+while the trie's was exact (distinct children), so duplicate-heavy
+relations made the backends disagree — same plan, different iteration
+choices, different probe counts.  These tests pin the fixed contract:
+the hint equals the exact number of distinct children at every node,
+bit-for-bit across backends, including duplicate-heavy and
+string-keyed relations; ``count`` and ``items`` parity ride along.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relations.database import INDEX_BACKENDS, build_index
+from repro.relations.relation import Relation
+
+BACKENDS = tuple(sorted(INDEX_BACKENDS))
+
+
+def _duplicate_heavy(seed=7, n=300):
+    # Tiny domains => long runs of equal prefixes, the case where a
+    # span-based hint overcounts hardest.
+    rng = random.Random(seed)
+    rows = sorted(
+        {
+            (rng.randrange(3), rng.randrange(4), rng.randrange(3))
+            for _ in range(n)
+        }
+    )
+    return Relation("D", ("A", "B", "C"), rows)
+
+
+def _string_keyed():
+    words = ("ant", "bee", "cat", "doe", "elk", "fox")
+    rows = sorted(
+        {
+            (words[i % 3], words[j % 6], words[(i * j) % 4])
+            for i in range(12)
+            for j in range(12)
+        }
+    )
+    return Relation("W", ("A", "B", "C"), rows)
+
+
+def _relations():
+    return [
+        _duplicate_heavy(),
+        _string_keyed(),
+        Relation("E", ("A", "B"), []),
+        Relation("One", ("A",), [(1,), (1,), (2,)]),
+    ]
+
+
+def _walk(indexes, nodes, depth, arity):
+    """Assert hint/count/items parity at this node, then recurse."""
+    hints = [index.fanout_hint(node) for index, node in zip(indexes, nodes)]
+    assert len(set(hints)) == 1, f"fanout_hint diverges at depth {depth}: {hints}"
+    for levels in range(arity - depth + 1):
+        counts = [
+            index.count(node, levels) for index, node in zip(indexes, nodes)
+        ]
+        assert len(set(counts)) == 1, (
+            f"count(node, {levels}) diverges at depth {depth}: {counts}"
+        )
+    if depth == arity:
+        return
+    # items() iteration *order* is backend-specific (the trie yields in
+    # insertion order); the value sets and everything computed from
+    # them must not be.
+    children = [
+        dict(index.items(node)) for index, node in zip(indexes, nodes)
+    ]
+    values = [set(mapping) for mapping in children]
+    assert all(v == values[0] for v in values), (
+        f"items() value sets diverge at depth {depth}"
+    )
+    assert hints[0] == len(values[0]), (
+        f"fanout_hint {hints[0]} != {len(values[0])} distinct children"
+    )
+    for value in sorted(values[0], key=repr):
+        _walk(
+            indexes,
+            [mapping[value] for mapping in children],
+            depth + 1,
+            arity,
+        )
+
+
+@pytest.mark.parametrize(
+    "relation", _relations(), ids=lambda r: r.name
+)
+def test_backends_agree_bit_for_bit(relation):
+    order = relation.attributes
+    indexes = [build_index(relation, order, kind) for kind in BACKENDS]
+    roots = [index.root for index in indexes]
+    _walk(indexes, roots, 0, len(order))
+
+
+def test_sorted_hint_exact_under_reordered_columns():
+    # A non-storage order forces the sorted index to re-sort; the lazy
+    # distinct-run tallies must be computed per index order, not per
+    # relation.
+    relation = _duplicate_heavy(seed=11)
+    for order in (("B", "A", "C"), ("C", "B", "A")):
+        indexes = [build_index(relation, order, kind) for kind in BACKENDS]
+        _walk(indexes, [i.root for i in indexes], 0, len(order))
+
+
+def test_hint_is_zero_on_none_and_leaf_nodes():
+    relation = _duplicate_heavy()
+    for kind in BACKENDS:
+        index = build_index(relation, relation.attributes, kind)
+        assert index.fanout_hint(None) == 0
+        node = index.root
+        for _depth in range(len(relation.attributes)):
+            _value, node = next(iter(index.items(node)))
+        assert index.fanout_hint(node) == 0, kind

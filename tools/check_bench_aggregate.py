@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_aggregate.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_aggregate.py [benchmarks/BENCH_aggregate.json]
+
+Validates the structure ``benchmarks/bench_aggregate.py`` promises —
+per-workload probe/work counts, wall speedups, sample cost, parity
+flags — and re-checks the acceptance floors: the zipf triangle's
+``count()`` wall speedup must be at least the recorded
+``count_speedup_floor`` and the chain's deterministic work ratio at
+least ``chain_work_floor``.  Raw wall seconds are type-checked, never
+compared.  Exits non-zero with a message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REQUIRED_WORKLOADS = ("zipf", "chain")
+
+PARITY_FLAGS = (
+    "generic_trie",
+    "generic_compact",
+    "leapfrog_sorted",
+    "nprr",
+    "sharded",
+    "grouped",
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_aggregate.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_probes(workload: str, probes: object) -> None:
+    if not isinstance(probes, dict):
+        fail(f"workloads.{workload}.probes is not an object")
+    for algorithm in ("generic", "leapfrog"):
+        entry = probes.get(algorithm)
+        if not isinstance(entry, dict):
+            fail(f"workloads.{workload}.probes.{algorithm} missing")
+        for key in ("rows", "enumerate", "fold", "fold_adds"):
+            if not isinstance(entry.get(key), int) or entry[key] <= 0:
+                fail(
+                    f"workloads.{workload}.probes.{algorithm}.{key} "
+                    "is not a positive count"
+                )
+        if entry["fold_adds"] >= entry["rows"]:
+            fail(
+                f"workloads.{workload}.probes.{algorithm}: the fold made "
+                f"{entry['fold_adds']} state updates for {entry['rows']} "
+                "rows — leaf counting/pruning never fired"
+            )
+        if not isinstance(entry.get("work_ratio"), (int, float)):
+            fail(
+                f"workloads.{workload}.probes.{algorithm}.work_ratio missing"
+            )
+        if entry.get("rows_match") is not True:
+            fail(
+                f"workloads.{workload}.probes.{algorithm}: "
+                "fold count diverged from enumeration"
+            )
+
+
+def check_wall(workload: str, wall: object) -> None:
+    if not isinstance(wall, dict):
+        fail(f"workloads.{workload}.wall is not an object")
+    for algorithm in ("generic", "leapfrog"):
+        entry = wall.get(algorithm)
+        if not isinstance(entry, dict):
+            fail(f"workloads.{workload}.wall.{algorithm} missing")
+        for key in ("enumerate_seconds", "count_seconds"):
+            seconds = entry.get(key)
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                fail(f"workloads.{workload}.wall.{algorithm}.{key} invalid")
+        if not isinstance(entry.get("count_speedup"), (int, float)):
+            fail(
+                f"workloads.{workload}.wall.{algorithm}.count_speedup "
+                "missing"
+            )
+
+
+def check_sample(workload: str, sample: object) -> None:
+    if not isinstance(sample, dict):
+        fail(f"workloads.{workload}.sample is not an object")
+    if not isinstance(sample.get("k"), int) or sample["k"] <= 0:
+        fail(f"workloads.{workload}.sample.k invalid")
+    for key in ("sample_seconds", "enumerate_seconds", "speedup"):
+        if not isinstance(sample.get(key), (int, float)):
+            fail(f"workloads.{workload}.sample.{key} missing")
+    if sample.get("valid") is not True:
+        fail(
+            f"workloads.{workload}.sample: drawn rows were not distinct "
+            "members of the result"
+        )
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in (
+        "scale",
+        "count_speedup_floor",
+        "chain_work_floor",
+        "count_speedup",
+        "chain_work_ratio",
+        "workloads",
+    ):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    for name in REQUIRED_WORKLOADS:
+        if name not in data["workloads"]:
+            fail(f"missing workload {name!r}")
+        entry = data["workloads"][name]
+        for key in ("sizes", "probes", "wall", "sample", "parity"):
+            if key not in entry:
+                fail(f"workloads.{name} missing {key!r}")
+        check_probes(name, entry["probes"])
+        check_wall(name, entry["wall"])
+        check_sample(name, entry["sample"])
+        parity = entry["parity"]
+        if not isinstance(parity, dict):
+            fail(f"workloads.{name}.parity is not an object")
+        for flag in PARITY_FLAGS:
+            if parity.get(flag) is not True:
+                fail(f"workloads.{name}.parity.{flag} is not true")
+        if not isinstance(parity.get("rows"), int):
+            fail(f"workloads.{name}.parity.rows missing")
+    speedup = data["count_speedup"]
+    floor = data["count_speedup_floor"]
+    if not isinstance(speedup, (int, float)) or speedup < floor:
+        fail(
+            f"zipf count speedup {speedup!r} is below the acceptance "
+            f"floor {floor!r}"
+        )
+    ratio = data["chain_work_ratio"]
+    floor = data["chain_work_floor"]
+    if not isinstance(ratio, (int, float)) or ratio < floor:
+        fail(
+            f"chain work ratio {ratio!r} is below the acceptance floor "
+            f"{floor!r}"
+        )
+
+
+def main(argv: list[str]) -> int:
+    default = (
+        pathlib.Path(__file__).parent.parent
+        / "benchmarks"
+        / "BENCH_aggregate.json"
+    )
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    if not path.exists():
+        fail(f"{path} does not exist (run benchmarks/bench_aggregate.py)")
+    check(json.loads(path.read_text()))
+    print(f"BENCH_aggregate.json schema ok ({path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -83,6 +83,22 @@ METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
         ("workloads.zipf_hotshard.critical_path_ratio", "ratio", 0.4),
         ("workloads.zipf_hotshard.parity", "exact", None),
     ),
+    "BENCH_aggregate.json": (
+        # The headline wall speedup is a same-host ratio but still
+        # timing-derived: loose.  Probe/add counts are deterministic for
+        # fixed seeds: tight.
+        ("count_speedup", "ratio", 0.25),
+        ("chain_work_ratio", "ratio", 0.9),
+        ("workloads.zipf.probes.generic.work_ratio", "ratio", 0.9),
+        ("workloads.chain.probes.generic.work_ratio", "ratio", 0.9),
+        ("workloads.chain.probes.leapfrog.work_ratio", "ratio", 0.9),
+        ("workloads.zipf.wall.generic.count_speedup", "ratio", 0.25),
+        ("workloads.zipf.probes.generic.rows_match", "exact", None),
+        ("workloads.chain.probes.generic.rows_match", "exact", None),
+        ("workloads.zipf.parity.sharded", "exact", None),
+        ("workloads.zipf.parity.grouped", "exact", None),
+        ("workloads.chain.parity.nprr", "exact", None),
+    ),
     "BENCH_compact.json": (
         # Probe counts are deterministic for fixed seeds and memory is
         # measured from the arrays themselves: tight tolerances.  Wall

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Randomized cross-check of the join engine against a brute-force oracle.
+
+Generates random small schemas and relations (seeded, so every failure
+is replayable), then checks for each instance that
+
+* ``iter_join`` under a randomly chosen algorithm/backend/shard config
+  yields exactly the oracle's row set,
+* ``count()`` equals the oracle's row count (the fold must agree with
+  enumeration even though it never enumerates), and
+* ``sample(k, seed=...)`` returns ``min(k, |J|)`` distinct oracle rows
+  and is deterministic for the seed,
+
+occasionally through a ``where``-binding and a ``where_in`` filter so
+the sectioned/filtered paths get fuzzed too.  The oracle is a
+backtracking nested-loop join over the raw tuples — no indexes, no
+planner, nothing shared with the engine under test.
+
+Usage::
+
+    python tools/fuzz_join.py --seconds 60          # CI smoke budget
+    python tools/fuzz_join.py --iterations 5000     # fixed-count run
+    python tools/fuzz_join.py --seconds 3600 --seed 1   # long local soak
+
+On a mismatch the harness prints the master seed, the iteration number,
+and the full instance, then exits 1: rerun with ``--seed S
+--iterations N`` (N = failing iteration + 1) to reproduce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.query import JoinQuery  # noqa: E402
+from repro.query.builder import Q  # noqa: E402
+from repro.relations.relation import Relation  # noqa: E402
+
+ATTRIBUTE_POOL = ("A", "B", "C", "D", "E")
+#: (algorithm, allowed backends) — only planner-valid combinations are
+#: fuzzed; invalid ones are rejected eagerly and tested elsewhere.
+CONFIGS = (
+    ("auto", (None, "trie", "sorted", "compact")),
+    ("generic", (None, "trie", "sorted", "compact")),
+    ("leapfrog", (None, "sorted", "compact")),
+    ("nprr", (None, "trie")),
+)
+
+
+def random_instance(rng: random.Random) -> list[Relation]:
+    """A random connected join query: 2-4 relations, arity 1-3, tiny
+    domains (so results stay small and duplicates/empty joins happen)."""
+    count = rng.randint(2, 4)
+    domain = rng.randint(2, 5)
+    relations = []
+    used: list[str] = []
+    for index in range(count):
+        arity = rng.randint(1, 3)
+        if used and rng.random() < 0.9:
+            # Overlap with an already-used attribute to stay connected.
+            first = rng.choice(used)
+            rest = [a for a in ATTRIBUTE_POOL if a != first]
+            attrs = (first, *rng.sample(rest, arity - 1))
+        else:
+            attrs = tuple(rng.sample(ATTRIBUTE_POOL, arity))
+        used.extend(a for a in attrs if a not in used)
+        rows = sorted(
+            {
+                tuple(rng.randrange(domain) for _ in attrs)
+                for _ in range(rng.randint(0, 15))
+            }
+        )
+        relations.append(Relation(f"R{index}", attrs, rows))
+    return relations
+
+
+def oracle_join(relations: list[Relation]) -> set[tuple]:
+    """Backtracking nested-loop join; rows in JoinQuery attribute order."""
+    attributes = JoinQuery(relations).attributes
+    assignments: list[dict] = [{}]
+    for relation in relations:
+        extended = []
+        for partial in assignments:
+            for row in relation.tuples:
+                candidate = dict(partial)
+                ok = True
+                for attribute, value in zip(relation.attributes, row):
+                    if candidate.get(attribute, value) != value:
+                        ok = False
+                        break
+                    candidate[attribute] = value
+                if ok:
+                    extended.append(candidate)
+        assignments = extended
+        if not assignments:
+            return set()
+    return {
+        tuple(assignment[a] for a in attributes)
+        for assignment in assignments
+    }
+
+
+def check_instance(rng: random.Random, relations: list[Relation]) -> None:
+    """One fuzz iteration; raises AssertionError on any disagreement."""
+    builder = Q(*relations)
+    expected = oracle_join(relations)
+    attributes = builder.output_attributes
+
+    # Optional clauses stress sectioning and the filtered sampler.
+    if expected and rng.random() < 0.3:
+        attribute = rng.choice(attributes)
+        position = attributes.index(attribute)
+        value = rng.choice(sorted({row[position] for row in expected}))
+        builder = builder.where(**{attribute: value})
+        expected = {row for row in expected if row[position] == value}
+    if rng.random() < 0.3:
+        attribute = rng.choice(attributes)
+        position = attributes.index(attribute)
+        keep = tuple(range(0, 5, 2))
+        builder = builder.where_in(attribute, keep)
+        expected = {row for row in expected if row[position] in keep}
+
+    algorithm, backends = rng.choice(CONFIGS)
+    options = {"algorithm": algorithm}
+    backend = rng.choice(backends)
+    if backend is not None:
+        options["backend"] = backend
+    if rng.random() < 0.2:
+        options.update(shards=rng.randint(2, 3), mode="serial")
+    builder = builder.using(**options)
+
+    streamed = list(builder.stream())
+    assert len(streamed) == len(set(streamed)), "duplicate streamed rows"
+    assert set(streamed) == expected, (
+        f"iter_join mismatch: {len(streamed)} streamed vs "
+        f"{len(expected)} expected under {options}"
+    )
+
+    counted = builder.count()
+    assert counted == len(expected), (
+        f"count() {counted} != oracle {len(expected)} under {options}"
+    )
+
+    k = rng.randint(0, 6)
+    seed = rng.randrange(1 << 16)
+    sample = builder.sample(k, seed=seed)
+    assert len(sample) == min(k, len(expected)), (
+        f"sample size {len(sample)} != min({k}, {len(expected)})"
+    )
+    assert len(sample) == len(set(sample)), "sample has duplicates"
+    assert set(sample) <= expected, "sample drew a non-result row"
+    assert builder.sample(k, seed=seed) == sample, "sample not seed-stable"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=60.0,
+        help="time budget (default 60, the CI smoke budget)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="run exactly N iterations instead of a time budget",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    started = time.monotonic()
+    iteration = 0
+    while True:
+        if args.iterations is not None:
+            if iteration >= args.iterations:
+                break
+        elif time.monotonic() - started >= args.seconds:
+            break
+        relations = random_instance(rng)
+        try:
+            check_instance(rng, relations)
+        except AssertionError as error:
+            print(f"FUZZ FAILURE at iteration {iteration}", file=sys.stderr)
+            print(f"  master seed: {args.seed}", file=sys.stderr)
+            for relation in relations:
+                print(
+                    f"  {relation.name}{relation.attributes}: "
+                    f"{sorted(relation.tuples)}",
+                    file=sys.stderr,
+                )
+            print(f"  {error}", file=sys.stderr)
+            print(
+                f"reproduce: python tools/fuzz_join.py --seed {args.seed} "
+                f"--iterations {iteration + 1}",
+                file=sys.stderr,
+            )
+            return 1
+        iteration += 1
+    elapsed = time.monotonic() - started
+    print(
+        f"fuzz_join: {iteration} instances checked in {elapsed:.1f}s "
+        f"(seed {args.seed}), no disagreements"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""Observability overhead benchmark: tracing + metrics must stay cheap.
+
+Emits ``benchmarks/BENCH_observe.json`` with three sections over the
+``zipf_trap_triangle`` workload (the statistics benchmark's staple):
+
+* ``overhead`` — the same full-drain join run untraced and run under a
+  ``Tracer`` *and* a ``MetricsRegistry`` together, interleaved
+  best-of-N both ways.  The headline metrics are ``overhead``
+  (traced / untraced wall, must stay <= the ``MAX_OVERHEAD`` budget of
+  1.05) and ``efficiency`` (untraced / traced — the direction the
+  floor-based regression gate understands: lower means tracing got
+  more expensive).  Spans are per *phase*, never per row, which is the
+  whole overhead argument.
+* ``worker_spans`` — a process-pool sharded run; asserts the workers'
+  shipped ``shard`` spans re-stitched *nested* under the parent's
+  ``execute`` span (the cross-process propagation contract).
+* ``explain_analyze`` — ``explain(analyze=True)`` on the same query;
+  asserts every level of the executed order carries observed counters
+  next to its estimate, and that the final level's matches equal the
+  result cardinality.
+
+The traced run's span tree is written alongside as
+``BENCH_observe_trace.json`` — the JSON artifact CI uploads with the
+smoke run.  The schema is pinned by ``tools/check_bench_observe.py``;
+``efficiency`` and the exact flags are gated against the committed
+baseline by ``tools/check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracing import Tracer
+from repro.query.builder import Q
+from repro.utils.timing import timed
+from repro.version import __version__
+from repro.workloads import generators
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_observe.json"
+TRACE_PATH = pathlib.Path(__file__).parent / "BENCH_observe_trace.json"
+
+ALGORITHM = "generic"
+
+#: The acceptance budget: a traced+metered run may cost at most 5% more
+#: wall time than an untraced one.
+MAX_OVERHEAD = 1.05
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _query(scale: int):
+    return generators.zipf_trap_triangle(
+        3000 * scale, 6000 * scale, seed=7
+    )
+
+
+def bench_overhead(scale: int, repeats: int) -> tuple[dict, Tracer]:
+    query = _query(scale)
+
+    def untraced_run():
+        return sum(
+            1 for _ in Q(query).using(algorithm=ALGORITHM).stream()
+        )
+
+    last_tracer = Tracer(name="bench-observe")
+
+    def traced_run():
+        nonlocal last_tracer
+        last_tracer = Tracer(name="bench-observe")
+        builder = Q(query).using(
+            algorithm=ALGORITHM,
+            tracer=last_tracer,
+            metrics=MetricsRegistry(),
+        )
+        return sum(1 for _ in builder.stream())
+
+    # Interleave the two variants so drift (thermal, cache warmup)
+    # lands on both equally; keep the minimum of each, the usual
+    # noise-robust micro-benchmark summary.
+    untraced_walls: list[float] = []
+    traced_walls: list[float] = []
+    untraced_rows = traced_rows = 0
+    for _ in range(max(1, repeats)):
+        measurement = timed(untraced_run)
+        untraced_rows = measurement.result
+        untraced_walls.append(measurement.seconds)
+        measurement = timed(traced_run)
+        traced_rows = measurement.result
+        traced_walls.append(measurement.seconds)
+
+    untraced_wall = min(untraced_walls)
+    traced_wall = min(traced_walls)
+    span_count = sum(1 for _ in last_tracer.walk())
+    return (
+        {
+            "sizes": _query(scale).sizes(),
+            "rows": untraced_rows,
+            "repeats": repeats,
+            "untraced_wall": untraced_wall,
+            "traced_wall": traced_wall,
+            "overhead": traced_wall / untraced_wall,
+            "efficiency": untraced_wall / traced_wall,
+            "max_overhead": MAX_OVERHEAD,
+            "spans_per_run": span_count,
+            "parity": untraced_rows == traced_rows,
+        },
+        last_tracer,
+    )
+
+
+def bench_worker_spans(scale: int) -> dict:
+    query = _query(scale)
+    tracer = Tracer(name="bench-observe-sharded")
+    rows = sum(
+        1
+        for _ in Q(query)
+        .using(
+            algorithm=ALGORITHM,
+            shards=2,
+            mode="process",
+            tracer=tracer,
+        )
+        .stream()
+    )
+    execute = tracer.find("execute")
+    shard_spans = (
+        [c for c in execute.children if c.name == "shard"]
+        if execute is not None
+        else []
+    )
+    return {
+        "rows": rows,
+        "mode": "process",
+        "shards": 2,
+        "shard_spans": len(shard_spans),
+        "worker_spans_nested": len(shard_spans) == 2,
+        "worker_rows_reported": all(
+            "rows" in span.meta for span in shard_spans
+        ),
+    }
+
+
+def bench_explain_analyze(scale: int) -> dict:
+    analysis = (
+        Q(_query(scale)).using(algorithm=ALGORITHM).explain(analyze=True)
+    )
+    observed_levels = sum(
+        1 for level in analysis.levels if level.matches is not None
+    )
+    estimated_levels = sum(
+        1 for level in analysis.levels if level.estimated is not None
+    )
+    return {
+        "rows": analysis.rows,
+        "attribute_order": list(analysis.plan.attribute_order),
+        "levels": len(analysis.levels),
+        "observed_levels": observed_levels,
+        "estimated_levels": estimated_levels,
+        "all_levels_observed": observed_levels == len(analysis.levels),
+        "final_level_matches_rows": (
+            analysis.levels[-1].matches == analysis.rows
+        ),
+        "miss_factors": [
+            round(level.miss_factor, 3)
+            for level in analysis.levels
+            if level.miss_factor is not None
+        ],
+    }
+
+
+def run(scale: int, repeats: int) -> tuple[dict, Tracer]:
+    overhead, tracer = bench_overhead(scale, repeats)
+    return (
+        {
+            "host": {"cpus": _cpus()},
+            "version": __version__,
+            "definitions": {
+                "overhead": "traced+metered wall / untraced wall on the "
+                "full-drain zipf_trap_triangle join, best-of-N "
+                "interleaved; the acceptance budget is max_overhead",
+                "efficiency": "untraced / traced wall — the same "
+                "measurement in the direction the floor-based "
+                "regression gate checks (falling efficiency = rising "
+                "overhead)",
+                "worker_spans": "process-pool sharded run: workers' "
+                "shipped shard spans must re-stitch nested under the "
+                "parent execute span",
+                "explain_analyze": "every level of the executed order "
+                "must carry observed counters beside its estimate",
+            },
+            "scale": scale,
+            "workloads": {
+                "overhead": overhead,
+                "worker_spans": bench_worker_spans(scale),
+                "explain_analyze": bench_explain_analyze(scale),
+            },
+        },
+        tracer,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized instances"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="interleaved repeats per variant (minimum wall is kept)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(RESULT_PATH), help="result JSON path"
+    )
+    parser.add_argument(
+        "--trace-output",
+        default=str(TRACE_PATH),
+        help="span-tree JSON artifact path (the CI upload)",
+    )
+    args = parser.parse_args(argv)
+    scale = 1 if args.smoke else 2
+    results, tracer = run(scale, args.repeats)
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    trace_path = pathlib.Path(args.trace_output)
+    trace_path.write_text(tracer.export_json() + "\n")
+    print(f"observe benchmark -> {path}")
+    print(f"trace artifact -> {trace_path}")
+
+    overhead = results["workloads"]["overhead"]
+    workers = results["workloads"]["worker_spans"]
+    analyze = results["workloads"]["explain_analyze"]
+    print(
+        f"  overhead: untraced {overhead['untraced_wall']:.3f}s, "
+        f"traced {overhead['traced_wall']:.3f}s -> "
+        f"{(overhead['overhead'] - 1) * 100:+.1f}% "
+        f"({overhead['spans_per_run']} spans/run, "
+        f"budget {(MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )
+    print(
+        f"  worker_spans: {workers['shard_spans']} shard span(s) nested "
+        f"under execute ({workers['mode']} mode)"
+    )
+    print(
+        f"  explain_analyze: {analyze['observed_levels']}/"
+        f"{analyze['levels']} levels observed, "
+        f"{analyze['rows']} row(s)"
+    )
+
+    failed = False
+    if not overhead["parity"]:
+        print("  PARITY FAILURE: traced run changed the result count")
+        failed = True
+    if overhead["overhead"] > MAX_OVERHEAD:
+        print(
+            f"  FAILURE: tracing overhead {overhead['overhead']:.3f} "
+            f"exceeds the {MAX_OVERHEAD} budget"
+        )
+        failed = True
+    if not workers["worker_spans_nested"]:
+        print("  FAILURE: worker shard spans did not nest under execute")
+        failed = True
+    if not analyze["all_levels_observed"]:
+        print("  FAILURE: explain analyze left levels unobserved")
+        failed = True
+    if not analyze["final_level_matches_rows"]:
+        print("  FAILURE: final-level matches != result cardinality")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,12 @@ from repro.feedback import (
     ObservedLevel,
     ShardObservation,
 )
+from repro.observe import (
+    MetricsRegistry,
+    Span,
+    SpanContext,
+    Tracer,
+)
 from repro.hypergraph import (
     FractionalCover,
     Hypergraph,
@@ -127,7 +133,10 @@ from repro.stats import (
     StatsProvider,
 )
 
-__version__ = "1.0.0"
+# ExplainAnalysis imports the query layer, so it must come after it (it
+# is deliberately not re-exported from repro.observe itself).
+from repro.observe.explain import ExplainAnalysis
+from repro.version import __version__
 
 __all__ = [
     "ALGORITHMS",
@@ -141,6 +150,7 @@ __all__ = [
     "DatabaseError",
     "ExecutionContext",
     "ExecutionTelemetry",
+    "ExplainAnalysis",
     "FeedbackConfig",
     "FractionalCover",
     "FunctionalDependency",
@@ -156,6 +166,7 @@ __all__ = [
     "LeapfrogTriejoin",
     "LinearProgramError",
     "Max",
+    "MetricsRegistry",
     "Min",
     "NPRRJoin",
     "ObservedLevel",
@@ -172,9 +183,12 @@ __all__ = [
     "SchemaError",
     "ShardObservation",
     "SortedArrayIndex",
+    "Span",
+    "SpanContext",
     "StatsConfig",
     "StatsProvider",
     "Sum",
+    "Tracer",
     "TrieIndex",
     "Var",
     "WarmReport",

@@ -10,9 +10,13 @@ Usage::
     python -m repro join R.csv S.csv T.csv --feedback
     python -m repro join R.csv S.csv T.csv --count
     python -m repro join R.csv S.csv T.csv --sample 5 --seed 7
+    python -m repro join R.csv S.csv T.csv --trace trace.json \\
+        --metrics metrics.prom
     python -m repro bound R.csv S.csv T.csv
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
     python -m repro explain R.csv S.csv T.csv --where A=1
+    python -m repro explain R.csv S.csv T.csv --analyze
+    python -m repro --version
 
 * ``join``    — compute the natural join (attributes join by column name);
                 with ``--stream``, rows are printed as the engine finds
@@ -43,7 +47,16 @@ Usage::
                 counts, sampled selectivities, heavy hitters); with
                 ``--feedback``, plan from recorded execution telemetry
                 when observations exist (``--stats`` then renders the
-                observed-vs-sampled comparison)
+                observed-vs-sampled comparison); with ``--analyze``,
+                *execute* the query and print per-level estimated vs
+                observed cardinalities beside the phase span timings
+                (``EXPLAIN ANALYZE``)
+
+``join --trace FILE`` records a span tree of the run (plan,
+stats-profile, index-build, execute / per-shard) and writes it as JSON;
+``join --metrics FILE`` writes the run's metrics registry in Prometheus
+text format.  Both headers carry the package version, as does
+``--version`` itself.
 
 ``join --feedback`` records per-level execution telemetry as the join
 runs and re-plans repeated executions of the same query from the
@@ -75,7 +88,10 @@ from repro.hypergraph.agm import agm_bound, optimal_fractional_cover
 from repro.hypergraph.duality import optimal_vertex_packing, packing_lower_bound
 from repro.feedback.config import FeedbackConfig
 from repro.io import load_database_csv, save_relation_csv
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracing import Tracer
 from repro.query.builder import Q, QueryBuilder
+from repro.version import __version__
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -83,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Worst-case optimal joins over CSV relations "
         "(Ngo-Porat-Re-Rudra, PODS 2012).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -150,6 +172,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="random seed for --sample (fixed seed, fixed sample)",
     )
+    join_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a span tree of the run (plan, stats-profile, "
+        "index-build, execute / per-shard) and write it as JSON",
+    )
+    join_cmd.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics registry in Prometheus text format",
+    )
     _add_query_options(join_cmd)
     join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
@@ -187,6 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="plan from recorded execution telemetry when observations "
         "exist (combine with --stats for the observed-vs-sampled table)",
+    )
+    explain_cmd.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and print per-level estimated vs observed "
+        "cardinalities beside the phase span timings (EXPLAIN ANALYZE)",
     )
     _add_query_options(explain_cmd)
 
@@ -346,6 +387,24 @@ def _cmd_join(args: argparse.Namespace) -> int:
             "with --stream or --batch"
         )
     builder = _build_query(args)  # QueryError -> usage error via main()
+    tracer = Tracer(name="join") if args.trace is not None else None
+    registry = MetricsRegistry() if args.metrics is not None else None
+    if tracer is not None or registry is not None:
+        builder = builder.using(tracer=tracer, metrics=registry)
+    status = _run_join(builder, args)
+    if tracer is not None:
+        with open(args.trace, "w", encoding="utf-8") as sink:
+            sink.write(tracer.export_json() + "\n")
+        print(f"trace -> {args.trace}", file=sys.stderr)
+    if registry is not None:
+        with open(args.metrics, "w", encoding="utf-8") as sink:
+            sink.write(registry.to_prometheus())
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
+    return status
+
+
+def _run_join(builder: QueryBuilder, args: argparse.Namespace) -> int:
+    """Dispatch one ``join`` invocation (count/sample/stream/materialize)."""
     if args.count:
         if args.shards is not None:
             builder = builder.using(shards=args.shards)
@@ -429,6 +488,10 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     builder = _build_query(args)
+    if args.analyze:
+        analysis = builder.explain(analyze=True)
+        print(analysis.describe(show_stats=args.stats))
+        return 0
     plan = builder.plan()
     print(plan.describe(show_stats=args.stats))
     print()

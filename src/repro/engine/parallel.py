@@ -63,6 +63,7 @@ from repro.errors import PlanError, require_positive_int
 from repro.feedback.resharding import ShardPlanEntry, expand_shards
 from repro.feedback.telemetry import ShardObservation, feedback_scope
 from repro.hypergraph.covers import FractionalCover
+from repro.observe.tracing import Span, SpanContext, Tracer
 from repro.relations.relation import Relation, Row, Value
 from repro.stats.provider import resolve_provider
 
@@ -340,6 +341,34 @@ def _run_shard_pickled_timed(
     return index, rows, time.perf_counter() - started
 
 
+def _run_shard_pickled_traced(
+    indexed: tuple[int, bytes, SpanContext],
+) -> tuple[int, list[Row], float, Span, SpanContext]:
+    """Traced process-pool entry point.
+
+    The worker builds its own local :class:`Tracer`, runs the shard
+    under an activated ``shard`` span (so the shard's plan and
+    index-build spans nest inside it), and ships the *finished* span —
+    plain picklable data — back alongside the parent's
+    :class:`SpanContext`, which it echoes untouched; the parent
+    validates the context's trace id and stitches the span under its
+    open ``execute`` span.
+    """
+    index, payload, span_context = indexed
+    local = Tracer(name=f"shard-{index}")
+    started = time.perf_counter()
+    with local.activate(), local.span("shard", shard=index) as span:
+        rows = _run_shard(pickle.loads(payload))
+        span.meta["rows"] = len(rows)
+    return (
+        index,
+        rows,
+        time.perf_counter() - started,
+        local.roots[0],
+        span_context,
+    )
+
+
 def iter_shard_rows(
     query: JoinQuery,
     spec: ShardSpec,
@@ -371,33 +400,61 @@ def iter_shard_rows(
 def _iter_serial(
     tasks: list[_ShardTask],
     times: dict[int, tuple[float, int]] | None = None,
+    tracer: Tracer | None = None,
 ) -> Iterator[Row]:
-    if times is None:
+    if times is None and tracer is None:
         for task in tasks:
             yield from _shard_rows(task)
         return
     # Measured runs stay streaming: the clock spans start-to-exhaustion
     # (like the thread workers, whose emits block on a slow consumer),
     # so downstream cost shows up uniformly per row across shards and
-    # relative hot-shard comparisons stay meaningful.
+    # relative hot-shard comparisons stay meaningful.  A traced run
+    # opens one ``shard`` span per task — activated, so the shard's
+    # plan and index-build spans nest inside it.
     for index, task in enumerate(tasks):
         started = time.perf_counter()
         count = 0
-        for row in _shard_rows(task):
-            count += 1
-            yield row
-        times[index] = (time.perf_counter() - started, count)
+        if tracer is None:
+            for row in _shard_rows(task):
+                count += 1
+                yield row
+        else:
+            with tracer.span("shard", shard=index) as span:
+                with tracer.activate():
+                    rows = _shard_rows(task)
+                for row in rows:
+                    count += 1
+                    yield row
+                span.meta["rows"] = count
+        if times is not None:
+            times[index] = (time.perf_counter() - started, count)
 
 
 def _iter_process(
     payloads: list[bytes],
     workers: int,
     times: dict[int, tuple[float, int]] | None = None,
+    tracer: Tracer | None = None,
+    span_context: SpanContext | None = None,
 ) -> Iterator[Row]:
     import multiprocessing
 
     context = multiprocessing.get_context()
     with context.Pool(processes=workers) as pool:
+        if tracer is not None:
+            traced = [
+                (index, payload, span_context)
+                for index, payload in enumerate(payloads)
+            ]
+            for index, rows, seconds, span, echoed in pool.imap_unordered(
+                _run_shard_pickled_traced, traced
+            ):
+                if times is not None:
+                    times[index] = (seconds, len(rows))
+                tracer.attach(span, echoed)
+                yield from rows
+            return
         if times is None:
             for rows in pool.imap_unordered(_run_shard_pickled, payloads):
                 yield from rows
@@ -414,6 +471,7 @@ def _iter_thread(
     tasks: list[_ShardTask],
     workers: int,
     times: dict[int, tuple[float, int]] | None = None,
+    tracer: Tracer | None = None,
 ) -> Iterator[Row]:
     """Row-streaming union over worker threads.
 
@@ -486,9 +544,24 @@ def _iter_thread(
                 yield from payload
             elif kind == "done":
                 finished += 1
-                if times is not None:
+                if times is not None or tracer is not None:
                     index, seconds, count = payload
-                    times[index] = (seconds, count)
+                    if times is not None:
+                        times[index] = (seconds, count)
+                    if tracer is not None:
+                        # Worker threads share the process but not the
+                        # tracer (it is single-driver by design): the
+                        # parent synthesizes the shard span from the
+                        # worker's completion report.  CPU time is
+                        # unknown per thread; wall is the worker's own
+                        # start-to-exhaustion clock.
+                        tracer.attach(
+                            Span(
+                                name="shard",
+                                meta={"shard": index, "rows": count},
+                                wall=seconds,
+                            )
+                        )
             else:
                 raise payload
     finally:
@@ -562,13 +635,19 @@ def shard_join(
     if workers is not None:
         require_positive_int(workers, "workers")
     query = _as_query(relations)
+    tracer = context.tracer if context is not None else None
+    metrics = context.metrics if context is not None else None
     if context is not None:
-        plan = plan_join(
-            query,
-            context=context.replace(
-                shards=context.shards if context.shards is not None else "auto"
-            ),
+        parent_context = context.replace(
+            shards=context.shards if context.shards is not None else "auto"
         )
+        if tracer is not None:
+            # The parent's planning phase (one plan for all shards);
+            # per-shard re-planning is traced inside each shard span.
+            with tracer.activate():
+                plan = plan_join(query, context=parent_context)
+        else:
+            plan = plan_join(query, context=parent_context)
     else:
         plan = plan_join(
             query,
@@ -635,12 +714,12 @@ def shard_join(
         for restricted in task_queries
     ]
     times: dict[int, tuple[float, int]] | None = (
-        {} if feedback is not None else None
+        {} if (feedback is not None or metrics is not None) else None
     )
 
     def dispatch() -> Iterator[Row]:
         if mode == "serial" or len(tasks) == 1:
-            return _iter_serial(tasks, times)
+            return _iter_serial(tasks, times, tracer)
         # Serialize each task once, up front: every task must pickle
         # (shards partition the *values*, so one unpicklable value
         # poisons only the shard it landed in — sampling one task would
@@ -662,15 +741,69 @@ def shard_join(
             resolved = "process" if payloads is not None else "thread"
         pool_width = min(workers or len(tasks), len(tasks))
         if resolved == "process":
-            return _iter_process(payloads, pool_width, times)
-        return _iter_thread(tasks, pool_width, times)
+            return _iter_process(
+                payloads,
+                pool_width,
+                times,
+                tracer,
+                tracer.context() if tracer is not None else None,
+            )
+        return _iter_thread(tasks, pool_width, times, tracer)
 
     stream = dispatch()
-    if feedback is None:
-        return stream
-    return _recorded_shard_stream(
-        stream, times, entries, provider, query, scope
-    )
+    if feedback is not None:
+        stream = _recorded_shard_stream(
+            stream, times, entries, provider, query, scope
+        )
+    if metrics is not None:
+        stream = _metered_shard_stream(
+            stream,
+            times,
+            metrics,
+            context.database if context is not None else database,
+        )
+    if tracer is not None:
+        # Outermost, so the per-shard spans (opened or attached while
+        # the inner streams drain) nest under this execute span.
+        stream = _traced_shard_stream(tracer, stream, len(tasks))
+    return stream
+
+
+def _traced_shard_stream(
+    tracer: Tracer, stream: Iterator[Row], shard_count: int
+) -> Iterator[Row]:
+    """Drive a sharded run inside its parent ``execute`` span."""
+    with tracer.span("execute", shards=shard_count) as span:
+        count = 0
+        for row in stream:
+            count += 1
+            yield row
+        span.meta["rows"] = count
+
+
+def _metered_shard_stream(
+    stream: Iterator[Row],
+    times: dict[int, tuple[float, int]],
+    metrics,
+    database,
+) -> Iterator[Row]:
+    """Drain a sharded run, then feed the metrics registry.
+
+    Recorded only on natural exhaustion (an early-terminated consumer
+    must not inflate the run counters); the shard-seconds histogram and
+    imbalance gauge come from the same ``times`` the feedback loop uses.
+    """
+    count = 0
+    for row in stream:
+        count += 1
+        yield row
+    metrics.record_rows(count)
+    if times:
+        metrics.record_shards(
+            seconds for seconds, _rows in times.values()
+        )
+    if database is not None:
+        metrics.record_cache(database.cache_info())
 
 
 def _recorded_shard_stream(

@@ -62,6 +62,7 @@ from repro.engine.executors import algorithm_names, build_executor
 from repro.errors import PlanError, QueryError, require_positive_int
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
+from repro.observe.tracing import maybe_span
 from repro.relations.database import DEFAULT_BACKEND, INDEX_BACKENDS, Database
 from repro.relations.relation import Relation, Row, Value
 from repro.relations.sorted_index import SortedArrayIndex
@@ -986,7 +987,7 @@ def _resolve_batch_size(
     return batch_size, None, None
 
 
-def plan_join(
+def _plan_join(
     query: JoinQuery,
     algorithm: str = "auto",
     cover: FractionalCover | None = None,
@@ -1118,9 +1119,10 @@ def plan_join(
             # Observed statistics take precedence over sampled ones:
             # the classical optimizer feedback loop.
             source_override = "feedback"
-            order, scores, estimates, baselines, consulted = (
-                plan_attribute_order_feedback(query, provider, observed)
-            )
+            with maybe_span("stats-profile", source="feedback"):
+                order, scores, estimates, baselines, consulted = (
+                    plan_attribute_order_feedback(query, provider, observed)
+                )
             # Explore-or-pin: a proposed order we have already measured
             # as no better — or whose estimated work does not promise a
             # real improvement over the best *measured* order — is not
@@ -1193,9 +1195,10 @@ def plan_join(
                     for (src, dst), sel in sorted(consulted.items())
                 )
         elif provider.config.sampling:
-            order, scores, estimates, consulted = (
-                plan_attribute_order_sampled(query, provider)
-            )
+            with maybe_span("stats-profile", source="sampled"):
+                order, scores, estimates, consulted = (
+                    plan_attribute_order_sampled(query, provider)
+                )
             record["order_estimates"] = estimates
             record["selectivities"] = tuple(
                 (src, dst, sel)
@@ -1298,3 +1301,47 @@ def plan_join(
         statistics=statistics,
         _bound=bound,
     )
+
+
+def plan_join(
+    query: JoinQuery,
+    algorithm: str = "auto",
+    cover: FractionalCover | None = None,
+    attribute_order: Sequence[str] | None = None,
+    backend: str | None = None,
+    shards: int | str | None = None,
+    batch_size: int | str | None = None,
+    database: Database | None = None,
+    stats: StatsProvider | None = None,
+    feedback=None,
+    feedback_scope: tuple = (),
+    context=None,
+) -> JoinPlan:
+    # The planning phase of any traced execution: one ambient span (one
+    # context-variable read when tracing is off) around the whole
+    # decision procedure, annotated with the resolved choices.
+    with maybe_span("plan") as span:
+        plan = _plan_join(
+            query,
+            algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+            shards=shards,
+            batch_size=batch_size,
+            database=database,
+            stats=stats,
+            feedback=feedback,
+            feedback_scope=feedback_scope,
+            context=context,
+        )
+        if span is not None:
+            span.meta.update(
+                algorithm=plan.algorithm,
+                order=",".join(plan.attribute_order),
+                backend=plan.backend,
+            )
+        return plan
+
+
+plan_join.__doc__ = _plan_join.__doc__

@@ -37,6 +37,7 @@ __all__ = [
     "TelemetryProbe",
     "estimate_divergence",
     "feedback_scope",
+    "level_estimates",
 ]
 
 
@@ -201,6 +202,29 @@ class ShardObservation:
     def depth(self) -> int:
         """How many split levels produced this shard (1 = top level)."""
         return len(self.key)
+
+
+def level_estimates(statistics) -> tuple[tuple[str, float], ...]:
+    """A plan's per-level partial-size estimates, explicit or implied.
+
+    Sampled and feedback plans carry ``order_estimates`` directly;
+    heuristic plans imply them — the min-distinct descent's implicit
+    model is that each level fans out by at most its distinct score, so
+    the running product of scores is the estimate observed counts are
+    held against.  Shared by the prepared query's re-plan trigger and
+    ``EXPLAIN ANALYZE``'s estimated-vs-observed table; accepts ``None``
+    (no statistics recorded) and returns ``()``.
+    """
+    if statistics is None:
+        return ()
+    if statistics.order_estimates:
+        return statistics.order_estimates
+    derived: list[tuple[str, float]] = []
+    cumulative = 1.0
+    for attribute, score in statistics.distinct_counts:
+        cumulative *= max(score, 1)
+        derived.append((attribute, cumulative))
+    return tuple(derived)
 
 
 def estimate_divergence(

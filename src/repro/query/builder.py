@@ -50,6 +50,7 @@ execution.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Iterator, Sequence
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, replace as _dc_replace
 
 from repro.aggregate.fold import Folder, fold_rows
@@ -114,15 +115,33 @@ class _Compiled:
 
 
 def recorded_rows(
-    rows: Iterator[Row], probe, provider, query, scope: tuple = ()
+    rows: Iterator[Row],
+    probe,
+    provider,
+    query,
+    scope: tuple = (),
+    metrics=None,
+    database=None,
 ) -> Iterator[Row]:
-    """Stream ``rows``, then feed the probe's counters back.
+    """Stream ``rows``, then feed the run's measurements back.
 
-    The observation is recorded only when the stream is exhausted
-    *naturally* — a consumer that stops early closed the generator, and
-    its undercounted telemetry must not reach the planner.  Shared by
-    the builder's serial path and :class:`~repro.query.prepared.
-    PreparedQuery` runs.
+    Everything is recorded only when the stream is exhausted *naturally*
+    — a consumer that stops early closed the generator, and its
+    undercounted telemetry must not reach the planner (or inflate the
+    metrics registry's run counters).  Three sinks, each optional:
+
+    * ``probe``/``provider`` — the feedback loop: the probe's per-level
+      counters are snapshotted and recorded into the statistics provider
+      (the pre-observability behavior, unchanged);
+    * ``metrics`` — a :class:`~repro.observe.metrics.MetricsRegistry`:
+      fed the probe's snapshot when one exists, the bare row count
+      otherwise (no instrumentation twin is ever built for metrics
+      alone);
+    * ``database`` — with ``metrics``, its ``cache_info()`` counters are
+      mirrored into the registry after the run.
+
+    Shared by the builder's serial path and :class:`~repro.query.
+    prepared.PreparedQuery` runs.
     """
     from time import perf_counter
 
@@ -131,8 +150,36 @@ def recorded_rows(
     for row in rows:
         count += 1
         yield row
-    telemetry = probe.snapshot(count, perf_counter() - started, complete=True)
-    provider.record_levels(query, telemetry, scope)
+    telemetry = None
+    if probe is not None:
+        telemetry = probe.snapshot(
+            count, perf_counter() - started, complete=True
+        )
+        if provider is not None:
+            provider.record_levels(query, telemetry, scope)
+    if metrics is not None:
+        if telemetry is not None:
+            metrics.record_run(telemetry)
+        else:
+            metrics.record_rows(count)
+        if database is not None:
+            metrics.record_cache(database.cache_info())
+
+
+def traced_rows(tracer, rows: Iterator[Row], **meta) -> Iterator[Row]:
+    """Stream ``rows`` inside an ``execute`` span of ``tracer``.
+
+    The span covers first ``next()`` to exhaustion (or early close) and
+    records the row count on natural exhaustion.  Must wrap the
+    *outermost* row stream so recording/metrics wrappers fall inside the
+    measured window.
+    """
+    with tracer.span("execute", **meta) as span:
+        count = 0
+        for row in rows:
+            count += 1
+            yield row
+        span.meta["rows"] = count
 
 
 def drain_async(batched: Iterator[list[Row]]):
@@ -487,7 +534,21 @@ class QueryBuilder:
             selected=self.selected,
         )
 
-    explain = plan
+    def explain(self, analyze: bool = False):
+        """The plan (``explain``), or a measured run (``EXPLAIN
+        ANALYZE``).
+
+        ``explain()`` is :meth:`plan` — nothing executes.
+        ``explain(analyze=True)`` executes the query completely (rows
+        are counted, never materialized) under a tracer and returns an
+        :class:`~repro.observe.explain.ExplainAnalysis`: per-level
+        estimated vs observed cardinalities beside the span timings.
+        """
+        if not analyze:
+            return self.plan()
+        from repro.observe.explain import analyze_query
+
+        return analyze_query(self)
 
     def describe(self) -> str:
         """``plan().describe()`` — the CLI ``explain`` rendering."""
@@ -544,35 +605,54 @@ class QueryBuilder:
             rows: Iterator[Row] = _parallel.shard_join(
                 compiled.residual, context=ctx, filters=compiled.filters
             )
-        else:
-            if plan is None:
+            # The sharded driver opens its own execute span (the
+            # per-shard spans nest under it) and feeds the metrics
+            # registry itself — no wrapping here.
+            if compiled.merge is not None:
+                rows = map(compiled.merge, rows)
+            return rows
+        tracer = ctx.tracer
+        # Planning and index builds are synchronous phases, so ambient
+        # activation is safe here; the streaming execute span below uses
+        # the tracer directly (a generator must not own a context-var).
+        if plan is None:
+            with tracer.activate() if tracer else _nullcontext():
                 plan = plan_join(
                     compiled.residual,
                     context=ctx,
                     feedback_scope=feedback_scope(compiled.filters),
                 )
-            probe = None
-            if (
-                ctx.feedback is not None
-                and plan.algorithm in NATIVE_TELEMETRY
-            ):
-                probe = TelemetryProbe(plan.attribute_order)
+        probe = None
+        if (
+            ctx.feedback is not None
+            and plan.algorithm in NATIVE_TELEMETRY
+        ):
+            probe = TelemetryProbe(plan.attribute_order)
+        with tracer.activate() if tracer else _nullcontext():
             executor = plan.executor(
                 database=self._execution_database(),
                 filters=compiled.filters,
                 telemetry=probe,
             )
-            rows = executor.iter_join()
-            if probe is not None:
-                rows = recorded_rows(
-                    rows,
-                    probe,
-                    resolve_provider(ctx.database, ctx.stats),
-                    plan.query,
-                    feedback_scope(compiled.filters),
-                )
+        rows = executor.iter_join()
+        if probe is not None or ctx.metrics is not None:
+            rows = recorded_rows(
+                rows,
+                probe,
+                (
+                    resolve_provider(ctx.database, ctx.stats)
+                    if probe is not None
+                    else None
+                ),
+                plan.query,
+                feedback_scope(compiled.filters),
+                metrics=ctx.metrics,
+                database=ctx.database,
+            )
         if compiled.merge is not None:
             rows = map(compiled.merge, rows)
+        if tracer is not None:
+            rows = traced_rows(tracer, rows, algorithm=plan.algorithm)
         return rows
 
     def stream(self) -> Iterator[Row]:
@@ -591,6 +671,18 @@ class QueryBuilder:
     # -- aggregation & sampling ----------------------------------------------
 
     def _aggregate(self, spec: AggregateSpec, mode: str):
+        """Dispatch one aggregate, under a ``fold`` span when traced.
+
+        The span wraps whichever strategy :meth:`_aggregate_impl` picks,
+        so a streamed fallback's ``execute`` span nests inside it.
+        """
+        tracer = self.context.tracer
+        if tracer is None:
+            return self._aggregate_impl(spec, mode)
+        with tracer.span("fold", aggregate=mode):
+            return self._aggregate_impl(spec, mode)
+
+    def _aggregate_impl(self, spec: AggregateSpec, mode: str):
         """Run one aggregate spec over this query's result.
 
         Dispatch, in order of preference:
@@ -720,14 +812,18 @@ class QueryBuilder:
         if compiled.residual is None or self.selected is not None:
             return reservoir_sample(self.stream(), k, seed)
         ctx = self._residual_context()
-        rows = sample_query(
-            compiled.residual,
-            k,
-            seed,
-            backend=ctx.backend,
-            database=self._execution_database(),
-            filters=compiled.filters,
-        )
+        tracer = ctx.tracer
+        with (
+            tracer.span("sample", k=k) if tracer else _nullcontext()
+        ), (tracer.activate() if tracer else _nullcontext()):
+            rows = sample_query(
+                compiled.residual,
+                k,
+                seed,
+                backend=ctx.backend,
+                database=self._execution_database(),
+                filters=compiled.filters,
+            )
         if compiled.merge is not None:
             rows = [compiled.merge(row) for row in rows]
         return rows

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from repro.errors import PlanError
 from repro.feedback.config import FeedbackConfig
 from repro.hypergraph.covers import FractionalCover
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracing import Tracer
 from repro.relations.database import Database
 
 __all__ = ["ExecutionContext"]
@@ -81,6 +83,15 @@ class ExecutionContext:
     #: ``None`` (the default) disables all of it: no probes are built
     #: and the executors run their uninstrumented paths.
     feedback: FeedbackConfig | None = None
+    #: A :class:`~repro.observe.tracing.Tracer` collecting nested timed
+    #: spans for every execution under this context (plan,
+    #: stats-profile, index-build, execute / per-shard, fold, sample,
+    #: replan).  ``None`` (the default): no spans, zero overhead.
+    tracer: Tracer | None = None
+    #: A :class:`~repro.observe.metrics.MetricsRegistry` that measured
+    #: executions feed (rows, probes, cache counters, shard imbalance,
+    #: replans).  ``None`` (the default): nothing is recorded.
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.attribute_order is not None:
@@ -101,6 +112,23 @@ class ExecutionContext:
             raise PlanError(
                 f"feedback must be a FeedbackConfig (or True/None), "
                 f"got {self.feedback!r}"
+            )
+        if self.tracer is True:
+            # ``tracer=True`` is a natural spelling, like feedback.
+            object.__setattr__(self, "tracer", Tracer())
+        if self.tracer is not None and not isinstance(self.tracer, Tracer):
+            raise PlanError(
+                f"tracer must be a repro.Tracer (or True/None), "
+                f"got {self.tracer!r}"
+            )
+        if self.metrics is True:
+            object.__setattr__(self, "metrics", MetricsRegistry())
+        if self.metrics is not None and not isinstance(
+            self.metrics, MetricsRegistry
+        ):
+            raise PlanError(
+                f"metrics must be a repro.MetricsRegistry (or True/None), "
+                f"got {self.metrics!r}"
             )
 
     def replace(self, **changes) -> "ExecutionContext":

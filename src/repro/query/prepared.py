@@ -42,6 +42,7 @@ from repro.feedback.telemetry import (
     TelemetryProbe,
     estimate_divergence,
     feedback_scope,
+    level_estimates,
 )
 from repro.query.builder import GroupedQuery, QueryBuilder, drain_async
 from repro.relations.relation import Relation, Row, Value
@@ -210,36 +211,36 @@ class PreparedQuery:
             telemetry,
             feedback_scope(self._compiled.filters),
         )
+        if context.metrics is not None:
+            context.metrics.record_run(telemetry)
+            if context.database is not None:
+                context.metrics.record_cache(context.database.cache_info())
         self._maybe_replan(telemetry)
 
     def _level_estimates(self) -> tuple[tuple[str, float], ...]:
-        """The frozen plan's per-level partial-size estimates.
-
-        Sampled and feedback plans carry them directly; heuristic plans
-        imply them — the min-distinct descent's implicit model is that
-        each level fans out by at most its distinct score, so the
-        running product of scores is the estimate the observed counts
-        are held against.
-        """
-        statistics = self._plan.statistics
-        if statistics is None:
-            return ()
-        if statistics.order_estimates:
-            return statistics.order_estimates
-        derived: list[tuple[str, float]] = []
-        cumulative = 1.0
-        for attribute, score in statistics.distinct_counts:
-            cumulative *= max(score, 1)
-            derived.append((attribute, cumulative))
-        return tuple(derived)
+        """The frozen plan's per-level partial-size estimates (see
+        :func:`~repro.feedback.telemetry.level_estimates` — shared with
+        ``EXPLAIN ANALYZE``'s estimated-vs-observed table)."""
+        return level_estimates(self._plan.statistics)
 
     def _maybe_replan(self, telemetry) -> None:
         estimates = self._level_estimates()
         if not estimates:
             return
-        tolerance = self._builder.context.feedback.replan_tolerance
+        context = self._builder.context
+        tolerance = context.feedback.replan_tolerance
         if estimate_divergence(estimates, telemetry) <= tolerance:
             return
+        tracer = context.tracer
+        if tracer is None:
+            self._replan()
+            return
+        with tracer.span("replan") as span, tracer.activate():
+            before = self._replans
+            self._replan()
+            span.meta["rebuilt"] = self._replans > before
+
+    def _replan(self) -> None:
         plan = self._builder.plan()
         if (
             plan.algorithm == self._plan.algorithm
@@ -268,6 +269,9 @@ class PreparedQuery:
         object.__setattr__(self, "_executor", executor)
         object.__setattr__(self, "_probe", probe)
         object.__setattr__(self, "_replans", self._replans + 1)
+        metrics = self._builder.context.metrics
+        if metrics is not None:
+            metrics.record_replan()
 
     def run(self, name: str = "J") -> Relation:
         """Execute and materialize the result as a :class:`Relation`."""

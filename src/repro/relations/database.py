@@ -36,6 +36,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.errors import DatabaseError
+from repro.observe.tracing import maybe_span
 from repro.relations.relation import Relation
 from repro.relations.sorted_index import SortedArrayIndex
 from repro.relations.trie import TrieIndex
@@ -79,7 +80,13 @@ def build_index(
     attribute_order: Iterable[str],
     kind: str = DEFAULT_BACKEND,
 ):
-    """Construct an uncached index of backend ``kind`` over ``relation``."""
+    """Construct an uncached index of backend ``kind`` over ``relation``.
+
+    Every index construction in the engine funnels through here (the
+    catalog's cache-miss path and the executors' private builds alike),
+    so this is where a traced run records its ``index-build`` spans —
+    one ambient no-op when no tracer is active.
+    """
     try:
         backend = INDEX_BACKENDS[kind]
     except KeyError:
@@ -87,7 +94,11 @@ def build_index(
             f"unknown index backend {kind!r}; "
             f"choose one of {tuple(INDEX_BACKENDS)}"
         ) from None
-    return backend(relation, tuple(attribute_order))
+    order = tuple(attribute_order)
+    with maybe_span(
+        "index-build", relation=relation.name, kind=kind, order=",".join(order)
+    ):
+        return backend(relation, order)
 
 
 #: Default index-cache entry budget.  Deliberately generous — eviction

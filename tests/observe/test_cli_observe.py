@@ -1,0 +1,114 @@
+"""CLI surfaces of the observability layer: ``--version``,
+``explain --analyze``, and the ``join --trace`` / ``--metrics`` exports."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.observe.metrics import METRICS_FORMAT
+from repro.observe.tracing import TRACE_FORMAT
+from repro.version import __version__
+
+
+@pytest.fixture
+def triangle_files(tmp_path):
+    (tmp_path / "R.csv").write_text("A,B\n0,1\n1,2\n2,0\n")
+    (tmp_path / "S.csv").write_text("B,C\n1,5\n2,6\n0,7\n")
+    (tmp_path / "T.csv").write_text("A,C\n0,5\n1,6\n2,7\n")
+    return [str(tmp_path / f"{n}.csv") for n in ("R", "S", "T")]
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_package_attribute_matches(self):
+        import repro
+
+        assert repro.__version__ == __version__
+
+
+class TestExplainAnalyze:
+    def test_analyze_renders_levels_and_spans(self, triangle_files, capsys):
+        code = main(
+            ["explain", *triangle_files, "--analyze",
+             "--algorithm", "generic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE: 3 row(s)" in out
+        assert "estimated" in out and "observed" in out
+        assert "span timings:" in out
+        assert "execute:" in out
+
+    def test_analyze_with_stats(self, triangle_files, capsys):
+        assert (
+            main(
+                ["explain", *triangle_files, "--analyze", "--stats",
+                 "--algorithm", "generic"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+
+    def test_plain_explain_unchanged(self, triangle_files, capsys):
+        assert main(["explain", *triangle_files]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" not in out
+        assert "query-plan tree" in out
+
+
+class TestJoinExports:
+    def test_trace_export(self, triangle_files, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(["join", *triangle_files, "--trace", str(trace_path)])
+        assert code == 0
+        assert "0,1,5" in capsys.readouterr().out
+        record = json.loads(trace_path.read_text())
+        assert record["format"] == TRACE_FORMAT
+        assert record["version"] == __version__
+        names = {span["name"] for span in record["spans"]}
+        assert "execute" in names
+
+    def test_metrics_export(self, triangle_files, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["join", *triangle_files, "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert text.startswith(f"# repro {__version__} ({METRICS_FORMAT})")
+        assert f'repro_build_info{{version="{__version__}"}} 1' in text
+        assert "repro_rows_emitted_total 3" in text
+
+    def test_sharded_trace_nests_shard_spans(
+        self, triangle_files, tmp_path
+    ):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["join", *triangle_files, "--shards", "2",
+             "--trace", str(trace_path)]
+        )
+        assert code == 0
+        record = json.loads(trace_path.read_text())
+        execute = next(
+            span for span in record["spans"] if span["name"] == "execute"
+        )
+        shard_spans = [
+            child
+            for child in execute.get("children", ())
+            if child["name"] == "shard"
+        ]
+        assert len(shard_spans) == 2
+
+    def test_untraced_join_writes_nothing(
+        self, triangle_files, tmp_path, capsys
+    ):
+        assert main(["join", *triangle_files]) == 0
+        assert list(tmp_path.glob("*.json")) == []
+        assert list(tmp_path.glob("*.prom")) == []

@@ -1,0 +1,164 @@
+"""Unit tests for the tracing layer: spans, nesting, ambient
+activation, worker re-stitching, and exports."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.observe.tracing import (
+    TRACE_FORMAT,
+    Span,
+    SpanContext,
+    Tracer,
+    current_tracer,
+    maybe_span,
+)
+from repro.version import __version__
+
+
+class TestSpanRecording:
+    def test_span_times_and_meta(self):
+        tracer = Tracer()
+        with tracer.span("plan", algorithm="generic") as span:
+            assert span.wall is None  # open span: not yet timed
+        assert span.wall is not None and span.wall >= 0
+        assert span.cpu is not None and span.cpu >= 0
+        assert span.meta == {"algorithm": "generic"}
+        assert tracer.roots == [span]
+
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            with tracer.span("shard", shard=0):
+                pass
+            with tracer.span("shard", shard=1):
+                pass
+        (execute,) = tracer.roots
+        assert [c.name for c in execute.children] == ["shard", "shard"]
+        assert [c.meta["shard"] for c in execute.children] == [0, 1]
+
+    def test_late_meta_via_yielded_span(self):
+        tracer = Tracer()
+        with tracer.span("execute") as span:
+            span.meta["rows"] = 42
+        assert tracer.roots[0].meta["rows"] == 42
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("execute"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].wall is not None
+        # The stack unwound: the next span is a sibling, not a child.
+        with tracer.span("plan"):
+            pass
+        assert [s.name for s in tracer.roots] == ["execute", "plan"]
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            with tracer.span("shard", shard=3):
+                pass
+        assert [s.name for s in tracer.walk()] == ["execute", "shard"]
+        assert tracer.find("shard").meta["shard"] == 3
+        assert tracer.find("nope") is None
+
+
+class TestAmbientActivation:
+    def test_maybe_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        with maybe_span("plan") as span:
+            assert span is None
+
+    def test_maybe_span_records_into_active_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+            with maybe_span("index-build", relation="R") as span:
+                assert span is not None
+        assert current_tracer() is None
+        assert tracer.roots[0].meta["relation"] == "R"
+
+    def test_activation_restores_previous(self):
+        outer, inner = Tracer(), Tracer()
+        with outer.activate():
+            with inner.activate():
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_ambient_spans_nest_under_explicit_ones(self):
+        tracer = Tracer()
+        with tracer.activate(), tracer.span("plan"):
+            with maybe_span("stats-profile"):
+                pass
+        assert tracer.roots[0].children[0].name == "stats-profile"
+
+
+class TestWorkerRestitching:
+    def test_spans_round_trip_pickle(self):
+        span = Span(name="shard", meta={"shard": 2, "rows": 7}, wall=0.5)
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone == span
+
+    def test_attach_nests_under_open_span(self):
+        tracer = Tracer()
+        shipped = Span(name="shard", meta={"shard": 0}, wall=0.1)
+        with tracer.span("execute"):
+            tracer.attach(shipped, tracer.context())
+        assert tracer.roots[0].children == [shipped]
+
+    def test_attach_drops_foreign_trace(self):
+        ours, theirs = Tracer(), Tracer()
+        shipped = Span(name="shard", wall=0.1)
+        with ours.span("execute"):
+            ours.attach(shipped, theirs.context())
+        assert ours.roots[0].children == []
+
+    def test_attach_without_context_is_trusted(self):
+        tracer = Tracer()
+        shipped = Span(name="shard", wall=0.1)
+        tracer.attach(shipped)
+        assert tracer.roots == [shipped]
+
+    def test_context_carries_open_path(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            context = tracer.context()
+        assert context == SpanContext(
+            trace_id=tracer.trace_id, path=("execute",)
+        )
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_trace_ids_are_unique(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+
+class TestExport:
+    def test_to_dict_header(self):
+        tracer = Tracer(name="t")
+        with tracer.span("execute") as span:
+            span.meta["rows"] = 1
+        record = tracer.to_dict()
+        assert record["format"] == TRACE_FORMAT
+        assert record["version"] == __version__
+        assert record["trace"] == "t"
+        assert record["spans"][0]["name"] == "execute"
+        assert record["spans"][0]["meta"] == {"rows": 1}
+        assert record["spans"][0]["wall_seconds"] == span.wall
+
+    def test_export_json_parses(self):
+        tracer = Tracer()
+        with tracer.span("plan"):
+            pass
+        assert json.loads(tracer.export_json())["format"] == TRACE_FORMAT
+
+    def test_render_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            with tracer.span("shard", shard=0):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines[0].startswith("execute:")
+        assert lines[1].startswith("  shard:")
+        assert "[shard=0]" in lines[1]

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_observe.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_observe.py [benchmarks/BENCH_observe.json]
+
+Validates the structure ``benchmarks/bench_observe.py`` promises — the
+overhead measurement with its budget, the worker-span nesting flags,
+the EXPLAIN ANALYZE coverage flags — so downstream consumers (the
+regression gate, the CI artifact upload, the README numbers) can rely
+on it.  Exits non-zero with a message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+OVERHEAD_KEYS = {
+    "sizes": dict,
+    "rows": int,
+    "repeats": int,
+    "untraced_wall": (int, float),
+    "traced_wall": (int, float),
+    "overhead": (int, float),
+    "efficiency": (int, float),
+    "max_overhead": (int, float),
+    "spans_per_run": int,
+    "parity": bool,
+}
+
+WORKER_KEYS = {
+    "rows": int,
+    "mode": str,
+    "shards": int,
+    "shard_spans": int,
+    "worker_spans_nested": bool,
+    "worker_rows_reported": bool,
+}
+
+ANALYZE_KEYS = {
+    "rows": int,
+    "attribute_order": list,
+    "levels": int,
+    "observed_levels": int,
+    "estimated_levels": int,
+    "all_levels_observed": bool,
+    "final_level_matches_rows": bool,
+    "miss_factors": list,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_observe.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_keys(path: str, entry: object, keys: dict) -> None:
+    if not isinstance(entry, dict):
+        fail(f"{path} is not an object")
+    for key, expected in keys.items():
+        if key not in entry:
+            fail(f"{path} missing {key!r}")
+        if not isinstance(entry[key], expected):
+            fail(f"{path}.{key} has type {type(entry[key]).__name__}")
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in ("host", "version", "definitions", "scale", "workloads"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    workloads = data["workloads"]
+    for name in ("overhead", "worker_spans", "explain_analyze"):
+        if name not in workloads:
+            fail(f"missing workload {name!r}")
+
+    overhead = workloads["overhead"]
+    check_keys("overhead", overhead, OVERHEAD_KEYS)
+    if overhead["parity"] is not True:
+        fail("overhead.parity is not true")
+    if overhead["overhead"] > overhead["max_overhead"]:
+        fail(
+            f"overhead.overhead {overhead['overhead']} exceeds the "
+            f"{overhead['max_overhead']} budget"
+        )
+    if overhead["efficiency"] <= 0:
+        fail("overhead.efficiency is not positive")
+    if overhead["spans_per_run"] < 2:
+        fail("overhead.spans_per_run < 2: the traced run recorded "
+             "no phase spans")
+
+    workers = workloads["worker_spans"]
+    check_keys("worker_spans", workers, WORKER_KEYS)
+    if workers["worker_spans_nested"] is not True:
+        fail("worker_spans.worker_spans_nested is not true")
+    if workers["worker_rows_reported"] is not True:
+        fail("worker_spans.worker_rows_reported is not true")
+    if workers["shard_spans"] != workers["shards"]:
+        fail(
+            f"worker_spans.shard_spans {workers['shard_spans']} != "
+            f"shards {workers['shards']}"
+        )
+
+    analyze = workloads["explain_analyze"]
+    check_keys("explain_analyze", analyze, ANALYZE_KEYS)
+    if analyze["all_levels_observed"] is not True:
+        fail("explain_analyze.all_levels_observed is not true")
+    if analyze["final_level_matches_rows"] is not True:
+        fail("explain_analyze.final_level_matches_rows is not true")
+    if analyze["levels"] != len(analyze["attribute_order"]):
+        fail(
+            "explain_analyze.levels does not match the attribute order "
+            "length"
+        )
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[1] if len(argv) > 1 else "benchmarks/BENCH_observe.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

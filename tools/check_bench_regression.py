@@ -118,6 +118,22 @@ METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
         ("workloads.dense.parity.sharded_compact", "exact", None),
         ("workloads.hub.parity.generic_compact", "exact", None),
     ),
+    "BENCH_observe.json": (
+        # efficiency = untraced / traced wall: falling efficiency means
+        # rising tracing overhead.  Loose — both sides are wall times on
+        # a tiny smoke instance (the bench's own 5% budget is the hard
+        # gate; this floor catches order-of-magnitude drift).
+        ("workloads.overhead.efficiency", "ratio", 0.7),
+        ("workloads.overhead.parity", "exact", None),
+        ("workloads.worker_spans.worker_spans_nested", "exact", None),
+        ("workloads.worker_spans.worker_rows_reported", "exact", None),
+        ("workloads.explain_analyze.all_levels_observed", "exact", None),
+        (
+            "workloads.explain_analyze.final_level_matches_rows",
+            "exact",
+            None,
+        ),
+    ),
 }
 
 

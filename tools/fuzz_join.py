@@ -21,10 +21,15 @@ Usage::
     python tools/fuzz_join.py --seconds 60          # CI smoke budget
     python tools/fuzz_join.py --iterations 5000     # fixed-count run
     python tools/fuzz_join.py --seconds 3600 --seed 1   # long local soak
+    python tools/fuzz_join.py --replay 2964779349   # one failing instance
 
-On a mismatch the harness prints the master seed, the iteration number,
-and the full instance, then exits 1: rerun with ``--seed S
---iterations N`` (N = failing iteration + 1) to reproduce.
+Every iteration draws its own 32-bit seed from the master stream and
+runs entirely off a fresh RNG for that seed, so each instance replays
+*alone* — no need to re-run the thousands of iterations before it.  On
+any disagreement (or an engine crash: every exception is caught, not
+just assertion failures) the harness prints the failing iteration seed,
+the full instance, the error, and the minimal one-instance repro
+command ``python tools/fuzz_join.py --replay SEED``, then exits 1.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import os
 import random
 import sys
 import time
+import traceback
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -159,6 +165,38 @@ def check_instance(rng: random.Random, relations: list[Relation]) -> None:
     assert builder.sample(k, seed=seed) == sample, "sample not seed-stable"
 
 
+def run_one(iter_seed: int) -> None:
+    """One fuzz instance, fully determined by its own seed.
+
+    Instance generation and the check's random choices both come from a
+    fresh RNG seeded with ``iter_seed``, so a failure replays alone —
+    independent of where in a long run it was found.
+    """
+    rng = random.Random(iter_seed)
+    relations = random_instance(rng)
+    try:
+        check_instance(rng, relations)
+    except Exception as error:
+        # Any exception — an oracle mismatch (AssertionError) or an
+        # engine crash — is a finding; report it the same way.
+        print(f"FUZZ FAILURE (iteration seed {iter_seed})", file=sys.stderr)
+        for relation in relations:
+            print(
+                f"  {relation.name}{relation.attributes}: "
+                f"{sorted(relation.tuples)}",
+                file=sys.stderr,
+            )
+        if isinstance(error, AssertionError):
+            print(f"  {error}", file=sys.stderr)
+        else:
+            traceback.print_exc()
+        print(
+            f"reproduce: python tools/fuzz_join.py --replay {iter_seed}",
+            file=sys.stderr,
+        )
+        raise
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -176,9 +214,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed (default 0)"
     )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="replay exactly one instance by its iteration seed "
+        "(printed on failure) and exit",
+    )
     args = parser.parse_args(argv)
 
-    rng = random.Random(args.seed)
+    if args.replay is not None:
+        try:
+            run_one(args.replay)
+        except Exception:
+            return 1
+        print(f"fuzz_join: seed {args.replay} passes")
+        return 0
+
+    master = random.Random(args.seed)
     started = time.monotonic()
     iteration = 0
     while True:
@@ -187,22 +241,13 @@ def main(argv: list[str] | None = None) -> int:
                 break
         elif time.monotonic() - started >= args.seconds:
             break
-        relations = random_instance(rng)
+        iter_seed = master.randrange(1 << 32)
         try:
-            check_instance(rng, relations)
-        except AssertionError as error:
-            print(f"FUZZ FAILURE at iteration {iteration}", file=sys.stderr)
-            print(f"  master seed: {args.seed}", file=sys.stderr)
-            for relation in relations:
-                print(
-                    f"  {relation.name}{relation.attributes}: "
-                    f"{sorted(relation.tuples)}",
-                    file=sys.stderr,
-                )
-            print(f"  {error}", file=sys.stderr)
+            run_one(iter_seed)
+        except Exception:
             print(
-                f"reproduce: python tools/fuzz_join.py --seed {args.seed} "
-                f"--iterations {iteration + 1}",
+                f"  found at iteration {iteration} of master seed "
+                f"{args.seed}",
                 file=sys.stderr,
             )
             return 1

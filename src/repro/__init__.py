@@ -32,7 +32,9 @@ Quickstart::
 """
 
 from repro.aggregate import (
+    Avg,
     Count,
+    CountDistinct,
     GroupBy,
     Max,
     Min,
@@ -81,10 +83,13 @@ from repro.engine import (
     plan_join,
 )
 from repro.errors import (
+    CompileError,
     CoverError,
     DatabaseError,
     FunctionalDependencyError,
+    LangError,
     LinearProgramError,
+    ParseError,
     PlanError,
     QueryError,
     ReproError,
@@ -113,12 +118,27 @@ from repro.hypergraph import (
     verify_bt,
     verify_lw,
 )
+from repro.lang import (
+    CompiledQuery,
+    QueryResult,
+    compile_query,
+    normalize,
+    parse,
+)
 from repro.query import (
     ExecutionContext,
     GroupedQuery,
     PreparedQuery,
     Q,
     QueryBuilder,
+)
+from repro.server import (
+    AdmissionController,
+    AdmissionRejected,
+    JoinServer,
+    PreparedCache,
+    ServerClient,
+    ServerError,
 )
 from repro.relations import (
     Database,
@@ -140,11 +160,17 @@ from repro.version import __version__
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionController",
+    "AdmissionRejected",
     "ArityTwoJoin",
     "Atom",
+    "Avg",
+    "CompileError",
+    "CompiledQuery",
     "ConjunctiveQuery",
     "Const",
     "Count",
+    "CountDistinct",
     "CoverError",
     "Database",
     "DatabaseError",
@@ -162,7 +188,9 @@ __all__ = [
     "IndexBackend",
     "JoinPlan",
     "JoinQuery",
+    "JoinServer",
     "LWJoin",
+    "LangError",
     "LeapfrogTriejoin",
     "LinearProgramError",
     "Max",
@@ -170,17 +198,22 @@ __all__ = [
     "Min",
     "NPRRJoin",
     "ObservedLevel",
+    "ParseError",
     "PlanError",
     "PlanStatistics",
+    "PreparedCache",
     "PreparedQuery",
     "Q",
     "QPTree",
     "QueryBuilder",
     "QueryError",
+    "QueryResult",
     "Relation",
     "RelaxedJoin",
     "ReproError",
     "SchemaError",
+    "ServerClient",
+    "ServerError",
     "ShardObservation",
     "SortedArrayIndex",
     "Span",
@@ -196,6 +229,7 @@ __all__ = [
     "aiter_join",
     "arity_two_join",
     "best_agm_bound",
+    "compile_query",
     "count_join",
     "explain",
     "fd_aware_bound",
@@ -207,9 +241,11 @@ __all__ = [
     "leapfrog_join",
     "lw_hypergraph",
     "lw_join",
+    "normalize",
     "nprr_join",
     "optimal_fractional_cover",
     "output_bound",
+    "parse",
     "plan_attribute_order",
     "plan_join",
     "relaxed_join",

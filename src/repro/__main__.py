@@ -16,6 +16,8 @@ Usage::
     python -m repro explain R.csv S.csv T.csv [--algorithm leapfrog]
     python -m repro explain R.csv S.csv T.csv --where A=1
     python -m repro explain R.csv S.csv T.csv --analyze
+    python -m repro repl R.csv S.csv T.csv
+    python -m repro serve R.csv S.csv T.csv --port 7712 --row-budget 1000000
     python -m repro --version
 
 * ``join``    — compute the natural join (attributes join by column name);
@@ -51,6 +53,17 @@ Usage::
                 *execute* the query and print per-level estimated vs
                 observed cardinalities beside the phase span timings
                 (``EXPLAIN ANALYZE``)
+* ``repl``    — interactive query shell over the loaded relations: the
+                SQL-flavored language of :mod:`repro.lang` (joins,
+                where/in, aggregates, group by, sample, explain), with
+                caret diagnostics and ``\\timing``-style meta-commands
+* ``serve``   — long-lived asyncio server speaking newline-delimited
+                JSON over TCP: concurrent clients multiplexed over
+                worker threads, a prepared-query cache keyed by
+                normalized statement text, and AGM admission control
+                (``--row-budget N`` rejects enumeration queries whose
+                fractional-cover output bound exceeds N before running
+                them; ``--queue-budget N`` serializes heavy queries)
 
 ``join --trace FILE`` records a span tree of the run (plan,
 stats-profile, index-build, execute / per-shard) and writes it as JSON;
@@ -230,6 +243,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "cardinalities beside the phase span timings (EXPLAIN ANALYZE)",
     )
     _add_query_options(explain_cmd)
+
+    repl_cmd = commands.add_parser(
+        "repl",
+        help="interactive query shell over CSV-loaded relations",
+    )
+    repl_cmd.add_argument(
+        "files", nargs="+", help="CSV files, one relation each"
+    )
+    repl_cmd.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="join algorithm for every statement (default: auto)",
+    )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="long-lived NDJSON-over-TCP query server with AGM "
+        "admission control",
+    )
+    serve_cmd.add_argument(
+        "files", nargs="+", help="CSV files, one relation each"
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=7712,
+        help="TCP port (0 picks a free one; default: 7712)",
+    )
+    serve_cmd.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="auto",
+        help="join algorithm for every statement (default: auto)",
+    )
+    serve_cmd.add_argument(
+        "--row-budget",
+        type=float,
+        default=None,
+        metavar="N",
+        help="reject enumeration queries whose AGM output bound exceeds "
+        "N rows (aggregates and samples stay admitted; default: no limit)",
+    )
+    serve_cmd.add_argument(
+        "--queue-budget",
+        type=float,
+        default=None,
+        metavar="N",
+        help="serialize queries whose AGM bound exceeds N rows (one "
+        "heavy query at a time; default: no queueing)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrent",
+        type=_batch_size,
+        default=32,
+        metavar="K",
+        help="concurrent query ceiling across all clients (default: 32)",
+    )
+    serve_cmd.add_argument(
+        "--cache-capacity",
+        type=_batch_size,
+        default=128,
+        metavar="K",
+        help="prepared-query cache entries, LRU-evicted (default: 128)",
+    )
+    serve_cmd.add_argument(
+        "--batch",
+        type=_batch_size,
+        default=None,
+        metavar="N",
+        help="rows per streamed response line (default: "
+        "the server default)",
+    )
 
     return parser
 
@@ -501,12 +590,69 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.lang.repl import Repl
+    from repro.query.context import ExecutionContext
+    from repro.relations.database import Database
+
+    database = Database(load_database_csv(args.files))
+    context = ExecutionContext(algorithm=args.algorithm)
+    return Repl(database, context=context).run()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.query.context import ExecutionContext
+    from repro.relations.database import Database
+    from repro.server.admission import AdmissionController
+    from repro.server.cache import PreparedCache
+    from repro.server.service import DEFAULT_BATCH_ROWS, JoinServer
+
+    database = Database(load_database_csv(args.files))
+    server = JoinServer(
+        database,
+        host=args.host,
+        port=args.port,
+        admission=AdmissionController(
+            row_budget=args.row_budget,
+            queue_budget=args.queue_budget,
+            max_concurrent=args.max_concurrent,
+        ),
+        cache=PreparedCache(capacity=args.cache_capacity),
+        context=ExecutionContext(algorithm=args.algorithm),
+        batch_rows=args.batch or DEFAULT_BATCH_ROWS,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        budget = (
+            f"row budget {args.row_budget:g}"
+            if args.row_budget is not None
+            else "no row budget"
+        )
+        print(
+            f"repro server listening on {host}:{port} "
+            f"({len(database)} relation(s), {budget})",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "join": _cmd_join,
         "bound": _cmd_bound,
         "explain": _cmd_explain,
+        "repl": _cmd_repl,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -18,7 +18,9 @@ from repro.aggregate.sampling import (
 )
 from repro.aggregate.specs import (
     AggregateSpec,
+    Avg,
     Count,
+    CountDistinct,
     GroupBy,
     Max,
     Min,
@@ -29,7 +31,9 @@ from repro.aggregate.specs import (
 
 __all__ = [
     "AggregateSpec",
+    "Avg",
     "Count",
+    "CountDistinct",
     "Folder",
     "GroupBy",
     "JoinSampler",

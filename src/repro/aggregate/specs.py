@@ -44,7 +44,9 @@ from repro.errors import QueryError
 
 __all__ = [
     "AggregateSpec",
+    "Avg",
     "Count",
+    "CountDistinct",
     "GroupBy",
     "Max",
     "Min",
@@ -112,6 +114,70 @@ class Sum(AggregateSpec):
 
     def merge(self, left, right):
         return left + right
+
+
+@dataclass(frozen=True)
+class Avg(AggregateSpec):
+    """``AVG(attribute)`` over the join rows (None on an empty join).
+
+    The state is a ``(sum, count)`` pair — both associative — so the
+    mean folds exactly under sharded merges: workers never compute a
+    partial mean, only partial sums and counts.
+    """
+
+    attribute: str
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    def start(self) -> tuple:
+        return (0, 0)
+
+    def add(self, state: tuple, values: tuple, multiplicity: int) -> tuple:
+        return (state[0] + values[0] * multiplicity, state[1] + multiplicity)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finish(self, state: tuple):
+        total, count = state
+        return total / count if count else None
+
+
+@dataclass(frozen=True)
+class CountDistinct(AggregateSpec):
+    """``COUNT(DISTINCT attribute)`` over the join rows (0 when empty).
+
+    Multiplicity-insensitive like :class:`Min`/:class:`Max`: a prefix
+    with 5 completions contributes its value once, so the fold's
+    factorized pruning below the attribute's level stays exact.  The
+    state is the set of seen values (mutated in place, like
+    :class:`GroupBy`'s dict); ``merge`` unions shard states.
+    """
+
+    attribute: str
+
+    @property
+    def needs(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    @property
+    def multiplicity_sensitive(self) -> bool:
+        return False
+
+    def start(self) -> set:
+        return set()
+
+    def add(self, state: set, values: tuple, multiplicity: int) -> set:
+        state.add(values[0])
+        return state
+
+    def merge(self, left: set, right: set) -> set:
+        return left | right
+
+    def finish(self, state: set) -> int:
+        return len(state)
 
 
 @dataclass(frozen=True)
@@ -258,14 +324,21 @@ class GroupBy(AggregateSpec):
 
 #: Shorthand names accepted by :func:`as_spec` for single-attribute
 #: aggregates: ``("sum", "A")`` and friends.
-_SHORTHAND = {"sum": Sum, "min": Min, "max": Max}
+_SHORTHAND = {
+    "sum": Sum,
+    "min": Min,
+    "max": Max,
+    "avg": Avg,
+    "count_distinct": CountDistinct,
+}
 
 
 def as_spec(value) -> AggregateSpec:
     """Normalize a user-supplied aggregate description into a spec.
 
     Accepts a spec instance, the string ``"count"``, or a
-    ``(kind, attribute)`` pair with kind in ``sum``/``min``/``max``.
+    ``(kind, attribute)`` pair with kind in
+    ``sum``/``min``/``max``/``avg``/``count_distinct``.
     """
     if isinstance(value, AggregateSpec):
         return value
@@ -279,8 +352,9 @@ def as_spec(value) -> AggregateSpec:
         return _SHORTHAND[value[0]](value[1])
     raise QueryError(
         f"unknown aggregate {value!r}; pass a spec (Count(), Sum('A'), "
-        "Min('A'), Max('A')), the string 'count', or a ('sum'|'min'|'max',"
-        " attribute) pair"
+        "Min('A'), Max('A'), Avg('A'), CountDistinct('A')), the string "
+        "'count', or a ('sum'|'min'|'max'|'avg'|'count_distinct', "
+        "attribute) pair"
     )
 
 

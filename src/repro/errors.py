@@ -62,6 +62,72 @@ def require_positive_int(value: object, what: str, extra: str = "") -> int:
     return value
 
 
+class LangError(ReproError):
+    """Base class for query-language front-end errors.
+
+    Deliberately *not* a :class:`QueryError`: text-level failures
+    (bad syntax, unknown relation names) are a different kind of wrong
+    than a malformed :class:`~repro.core.query.JoinQuery`, and servers
+    map the two to different typed payloads.  Instances carry the
+    source text and a 1-based ``line`` / ``column`` (plus the token
+    ``length``) so callers can render caret diagnostics.
+    """
+
+    kind = "language"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "",
+        line: int = 1,
+        column: int = 1,
+        length: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.source = source
+        self.line = line
+        self.column = column
+        self.length = max(1, length)
+
+    def caret_diagnostic(self) -> str:
+        """The error with the offending source line and a caret under
+        the offending token::
+
+            parse error at line 1, column 8: expected FROM
+              select from R
+                     ^
+        """
+        header = (
+            f"{self.kind} error at line {self.line}, "
+            f"column {self.column}: {self.message}"
+        )
+        lines = self.source.splitlines()
+        if not self.source or self.line > len(lines):
+            return header
+        source_line = lines[self.line - 1]
+        marker = " " * (self.column - 1) + "^" * min(
+            self.length, max(1, len(source_line) - self.column + 1)
+        )
+        return f"{header}\n  {source_line}\n  {marker}"
+
+
+class ParseError(LangError):
+    """The query text is not a sentence of the grammar (bad token,
+    unexpected keyword, unterminated string, missing clause)."""
+
+    kind = "parse"
+
+
+class CompileError(LangError):
+    """The query text parsed but cannot be compiled against the catalog
+    (unknown relation or attribute, aggregate misuse, bad sample size).
+    """
+
+    kind = "compile"
+
+
 class CoverError(ReproError):
     """A fractional edge cover is invalid for its hypergraph.
 

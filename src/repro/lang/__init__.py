@@ -1,0 +1,65 @@
+"""The query-language front-end: text -> tokens -> AST -> ``Q`` builder.
+
+A deliberately small SQL-flavored language over catalogued relations::
+
+    select A, C from R, S, T where A = 1 and B in (2, 3);
+    select count(*), avg(B) from R, S;
+    select A, count(distinct C) from R, S group by A;
+    select * from R, S sample 5 seed 7;
+    explain analyze select * from R, S, T;
+
+The pipeline is classic and hand-written — :mod:`repro.lang.lexer`
+produces position-carrying tokens, :mod:`repro.lang.parser` is a
+recursive-descent parser over them building the typed AST of
+:mod:`repro.lang.nodes`, and :mod:`repro.lang.compiler` lowers the AST
+onto the existing :class:`~repro.query.builder.Q` fluent builder, so
+every statement executes through exactly the code paths the Python API
+exercises (same planner, same folds, same sampler).  Parse and compile
+errors carry source positions and render caret diagnostics
+(:class:`~repro.errors.ParseError` / :class:`~repro.errors.CompileError`).
+
+:func:`normalize` canonicalizes statement text token-by-token; servers
+use it as the prepared-query cache key so ``SELECT * FROM R;`` and
+``select  *  from R ;`` share one plan and one set of indexes.
+"""
+
+from repro.errors import CompileError, LangError, ParseError
+from repro.lang.compiler import CompiledQuery, QueryResult, compile_query
+from repro.lang.lexer import Token, tokenize
+from repro.lang.nodes import (
+    Aggregate,
+    Column,
+    Condition,
+    Equals,
+    InSet,
+    RelationRef,
+    SelectItem,
+    Star,
+    Statement,
+)
+from repro.lang.parser import normalize, parse, parse_statements
+from repro.lang.repl import Repl
+
+__all__ = [
+    "Aggregate",
+    "Column",
+    "CompileError",
+    "CompiledQuery",
+    "Condition",
+    "Equals",
+    "InSet",
+    "LangError",
+    "ParseError",
+    "QueryResult",
+    "RelationRef",
+    "Repl",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "Token",
+    "compile_query",
+    "normalize",
+    "parse",
+    "parse_statements",
+    "tokenize",
+]

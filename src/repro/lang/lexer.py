@@ -1,0 +1,182 @@
+"""Hand-written lexer: query text to position-carrying tokens.
+
+Keywords are case-insensitive and reserved; identifiers (relation and
+attribute names) are case-sensitive, matching the Python API where
+``Relation("R", ...)`` and an attribute ``"a"`` differ from ``"A"``.
+Literals are integers and SQL-style single-quoted strings (``''``
+escapes a quote).  ``--`` starts a comment running to end of line.
+
+Every token records its 1-based line and column plus the raw lexeme, so
+the parser and compiler can raise :class:`~repro.errors.ParseError` /
+:class:`~repro.errors.CompileError` with caret diagnostics pointing at
+the exact offending characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]
+
+#: Reserved words (lowercased).  An identifier spelled like one of
+#: these, in any case, lexes as a keyword token.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "group",
+        "by",
+        "sample",
+        "seed",
+        "in",
+        "explain",
+        "analyze",
+        "distinct",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "count_distinct",
+    }
+)
+
+#: Single-character punctuation tokens.
+_PUNCT = frozenset("*,()=;-")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position.
+
+    ``type`` is ``"keyword"`` (``value`` lowercased), ``"ident"``,
+    ``"int"`` (``value`` is the ``int``), ``"string"`` (``value`` is the
+    unescaped text), ``"punct"`` (``value`` is the character), or
+    ``"eof"``.  ``text`` is the raw lexeme as written; ``line`` /
+    ``column`` are 1-based.
+    """
+
+    type: str
+    value: object
+    text: str
+    line: int
+    column: int
+
+    @property
+    def length(self) -> int:
+        return max(1, len(self.text))
+
+    def describe(self) -> str:
+        """How the token reads in an error message."""
+        if self.type == "eof":
+            return "end of input"
+        return repr(self.text)
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_part(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into a token list ending with an ``eof`` token.
+
+    Raises :class:`~repro.errors.ParseError` (with position) on an
+    unexpected character or an unterminated string literal.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        char = source[i]
+        if char == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if char.isspace():
+            i += 1
+            column += 1
+            continue
+        if char == "-" and source[i + 1 : i + 2] == "-":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_column = line, column
+        if _is_ident_start(char):
+            j = i
+            while j < n and _is_ident_part(source[j]):
+                j += 1
+            text = source[i:j]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                token = Token(
+                    "keyword", lowered, text, start_line, start_column
+                )
+            else:
+                token = Token("ident", text, text, start_line, start_column)
+            tokens.append(token)
+            column += j - i
+            i = j
+            continue
+        if char.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            tokens.append(
+                Token("int", int(text), text, start_line, start_column)
+            )
+            column += j - i
+            i = j
+            continue
+        if char == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n or source[j] == "\n":
+                    raise ParseError(
+                        "unterminated string literal",
+                        source=source,
+                        line=start_line,
+                        column=start_column,
+                        length=j - i,
+                    )
+                if source[j] == "'":
+                    if source[j + 1 : j + 2] == "'":  # '' escapes '
+                        parts.append("'")
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                parts.append(source[j])
+                j += 1
+            text = source[i:j]
+            tokens.append(
+                Token(
+                    "string", "".join(parts), text, start_line, start_column
+                )
+            )
+            column += j - i
+            i = j
+            continue
+        if char in _PUNCT:
+            tokens.append(Token("punct", char, char, start_line, start_column))
+            i += 1
+            column += 1
+            continue
+        raise ParseError(
+            f"unexpected character {char!r}",
+            source=source,
+            line=start_line,
+            column=start_column,
+        )
+    tokens.append(Token("eof", None, "", line, column))
+    return tokens

@@ -1,0 +1,146 @@
+"""Typed AST for the query language.
+
+Every node records the 1-based ``line`` / ``column`` of the token that
+introduced it (plus a ``length`` in characters), so the compiler can
+point caret diagnostics at the exact clause that failed — an unknown
+relation name underlines that name, not the whole statement.
+
+The AST is deliberately close to the grammar: one :class:`Statement`
+per ``;``-terminated sentence, holding the select list (a
+:class:`Star` or :class:`Column` / :class:`Aggregate` items), the
+:class:`RelationRef` list, ``where`` conditions (:class:`Equals` /
+:class:`InSet`), optional ``group by`` keys, and the optional
+``sample`` clause.  Lowering onto the ``Q`` builder lives in
+:mod:`repro.lang.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Aggregate",
+    "Column",
+    "Condition",
+    "Equals",
+    "InSet",
+    "Node",
+    "RelationRef",
+    "SelectItem",
+    "Star",
+    "Statement",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base node: a source position for diagnostics.
+
+    Positions are metadata, not structure — two nodes parsed from
+    differently-spelled but equivalent text compare equal (this is what
+    makes ``parse(normalize(text)) == parse(text)`` hold).
+    """
+
+    line: int = field(compare=False)
+    column: int = field(compare=False)
+    length: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """``select *`` — the full output schema, no projection."""
+
+
+@dataclass(frozen=True)
+class Column(Node):
+    """A plain attribute in the select list (or a group-by key)."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """An aggregate call: ``count(*)``, ``sum(B)``, ``count(distinct C)``.
+
+    ``func`` is one of ``count`` / ``sum`` / ``min`` / ``max`` / ``avg``
+    / ``count_distinct``; ``argument`` is the attribute name (``None``
+    only for ``count(*)``).
+    """
+
+    func: str = "count"
+    argument: str | None = None
+
+    @property
+    def label(self) -> str:
+        """The output column label, e.g. ``count(*)`` or ``avg(B)``."""
+        if self.func == "count" and self.argument is None:
+            return "count(*)"
+        if self.func == "count_distinct":
+            return f"count(distinct {self.argument})"
+        return f"{self.func}({self.argument})"
+
+
+#: A select-list item is a plain column or an aggregate call.
+SelectItem = Column | Aggregate
+
+
+@dataclass(frozen=True)
+class RelationRef(Node):
+    """A relation named in the ``from`` clause."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Equals(Node):
+    """``attribute = literal`` — equality pushed into the plan."""
+
+    attribute: str = ""
+    value: object = None
+
+
+@dataclass(frozen=True)
+class InSet(Node):
+    """``attribute in (v1, v2, ...)`` — a per-level membership filter."""
+
+    attribute: str = ""
+    values: tuple = ()
+
+
+#: A where-clause condition.
+Condition = Equals | InSet
+
+
+@dataclass(frozen=True)
+class Statement(Node):
+    """One parsed statement (the grammar's ``statement`` production)."""
+
+    select: tuple[SelectItem, ...] | Star = ()
+    relations: tuple[RelationRef, ...] = ()
+    conditions: tuple[Condition, ...] = ()
+    group_by: tuple[Column, ...] = ()
+    sample: int | None = None
+    sample_seed: int | None = None
+    explain: bool = False
+    analyze: bool = False
+    #: The normalized statement text (set by the parser); the cache key.
+    normalized: str = field(default="", compare=False)
+    #: The original source text (set by the parser), so compile errors
+    #: can point carets at the characters the user actually typed.
+    source: str = field(default="", compare=False)
+
+    @property
+    def aggregates(self) -> tuple[Aggregate, ...]:
+        if isinstance(self.select, Star):
+            return ()
+        return tuple(
+            item for item in self.select if isinstance(item, Aggregate)
+        )
+
+    @property
+    def plain_columns(self) -> tuple[Column, ...]:
+        if isinstance(self.select, Star):
+            return ()
+        return tuple(
+            item for item in self.select if isinstance(item, Column)
+        )

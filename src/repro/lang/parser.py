@@ -1,0 +1,407 @@
+"""Recursive-descent parser: tokens to the typed AST.
+
+The grammar (keywords case-insensitive, identifiers case-sensitive,
+statements ``;``-terminated — the final ``;`` may be omitted for the
+last statement of an input)::
+
+    statement   := [EXPLAIN [ANALYZE]] SELECT select_list
+                   FROM ident (',' ident)*
+                   [WHERE cond (AND cond)*]
+                   [GROUP BY ident (',' ident)*]
+                   [SAMPLE int [SEED int]]
+    select_list := '*' | item (',' item)*
+    item        := ident
+                 | COUNT '(' ('*' | DISTINCT ident) ')'
+                 | COUNT_DISTINCT '(' ident ')'
+                 | (SUM | MIN | MAX | AVG) '(' ident ')'
+    cond        := ident '=' literal
+                 | ident IN '(' literal (',' literal)* ')'
+    literal     := ['-'] int | string
+
+Structural rules the parser enforces (so they fail with a position,
+before any catalog is consulted): ``*`` cannot mix with other select
+items, and ``sample``'s count is a literal integer.  Semantic rules —
+unknown names, aggregate/``group by`` interplay — live in
+:mod:`repro.lang.compiler`.
+
+:func:`normalize` re-serializes the token stream one statement at a
+time (keywords lowercased, single spacing, no trailing ``;``), giving
+the canonical text servers key their prepared-query caches on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.nodes import (
+    Aggregate,
+    Column,
+    Condition,
+    Equals,
+    InSet,
+    RelationRef,
+    SelectItem,
+    Star,
+    Statement,
+)
+
+__all__ = ["Parser", "normalize", "parse", "parse_statements"]
+
+_AGG_FUNCS = ("count", "sum", "min", "max", "avg", "count_distinct")
+
+
+class Parser:
+    """One pass over a token list; builds :class:`Statement` nodes."""
+
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token if token is not None else self.current
+        return ParseError(
+            message,
+            source=self.source,
+            line=token.line,
+            column=token.column,
+            length=token.length,
+        )
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.current
+        return token.type == "keyword" and token.value in words
+
+    def at_punct(self, char: str) -> bool:
+        token = self.current
+        return token.type == "punct" and token.value == char
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            raise self.error(
+                f"expected {word.upper()}, got {self.current.describe()}"
+            )
+        return self.advance()
+
+    def expect_punct(self, char: str) -> Token:
+        if not self.at_punct(char):
+            raise self.error(
+                f"expected {char!r}, got {self.current.describe()}"
+            )
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        token = self.current
+        if token.type != "ident":
+            if token.type == "keyword":
+                raise self.error(
+                    f"expected {what}, got reserved word {token.text!r}"
+                )
+            raise self.error(f"expected {what}, got {token.describe()}")
+        return self.advance()
+
+    # -- productions ---------------------------------------------------------
+
+    def parse_statements(self) -> list[Statement]:
+        statements = []
+        while self.current.type != "eof":
+            if self.at_punct(";"):  # empty statement: skip
+                self.advance()
+                continue
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        start = self.position
+        first = self.current
+        explain = analyze = False
+        if self.at_keyword("explain"):
+            explain = True
+            self.advance()
+            if self.at_keyword("analyze"):
+                analyze = True
+                self.advance()
+        self.expect_keyword("select")
+        select = self.parse_select_list()
+        self.expect_keyword("from")
+        relations = self.parse_relation_list()
+        conditions: tuple[Condition, ...] = ()
+        if self.at_keyword("where"):
+            self.advance()
+            conditions = self.parse_conditions()
+        group_by: tuple[Column, ...] = ()
+        if self.at_keyword("group"):
+            self.advance()
+            self.expect_keyword("by")
+            group_by = self.parse_group_keys()
+        sample = sample_seed = None
+        if self.at_keyword("sample"):
+            self.advance()
+            sample_token = self.advance()
+            if sample_token.type != "int":
+                raise self.error(
+                    "expected a literal row count after SAMPLE, got "
+                    f"{sample_token.describe()}",
+                    sample_token,
+                )
+            sample = sample_token.value
+            if self.at_keyword("seed"):
+                self.advance()
+                seed_token = self.advance()
+                if seed_token.type != "int":
+                    raise self.error(
+                        "expected a literal integer after SEED, got "
+                        f"{seed_token.describe()}",
+                        seed_token,
+                    )
+                sample_seed = seed_token.value
+        if self.at_punct(";"):
+            self.advance()
+        elif self.current.type != "eof":
+            raise self.error(
+                f"expected ';' or end of input, got {self.current.describe()}"
+            )
+        end = self.position
+        return Statement(
+            line=first.line,
+            column=first.column,
+            length=first.length,
+            select=select,
+            relations=relations,
+            conditions=conditions,
+            group_by=group_by,
+            sample=sample,
+            sample_seed=sample_seed,
+            explain=explain,
+            analyze=analyze,
+            normalized=_render(self.tokens[start:end]),
+            source=self.source,
+        )
+
+    def parse_select_list(self) -> tuple[SelectItem, ...] | Star:
+        if self.at_punct("*"):
+            token = self.advance()
+            if self.at_punct(","):
+                raise self.error(
+                    "'*' selects everything; it cannot mix with other "
+                    "select items"
+                )
+            return Star(token.line, token.column, token.length)
+        items: list[SelectItem] = [self.parse_select_item()]
+        while self.at_punct(","):
+            self.advance()
+            items.append(self.parse_select_item())
+        return tuple(items)
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.current
+        if token.type == "keyword" and token.value in _AGG_FUNCS:
+            return self.parse_aggregate()
+        if token.type == "punct" and token.value == "*":
+            raise self.error(
+                "'*' selects everything; it cannot mix with other "
+                "select items"
+            )
+        name = self.expect_ident("an attribute name")
+        return Column(name.line, name.column, name.length, name.value)
+
+    def parse_aggregate(self) -> Aggregate:
+        func_token = self.advance()
+        func = func_token.value
+        self.expect_punct("(")
+        argument: str | None = None
+        if func == "count":
+            if self.at_punct("*"):
+                self.advance()
+            elif self.at_keyword("distinct"):
+                self.advance()
+                argument = self.expect_ident("an attribute name").value
+                func = "count_distinct"
+            else:
+                raise self.error(
+                    "expected '*' or DISTINCT inside COUNT(...), got "
+                    f"{self.current.describe()}"
+                )
+        else:
+            argument = self.expect_ident("an attribute name").value
+        self.expect_punct(")")
+        return Aggregate(
+            func_token.line,
+            func_token.column,
+            func_token.length,
+            func,
+            argument,
+        )
+
+    def parse_relation_list(self) -> tuple[RelationRef, ...]:
+        refs = [self.parse_relation_ref()]
+        while self.at_punct(","):
+            self.advance()
+            refs.append(self.parse_relation_ref())
+        return tuple(refs)
+
+    def parse_relation_ref(self) -> RelationRef:
+        name = self.expect_ident("a relation name")
+        return RelationRef(name.line, name.column, name.length, name.value)
+
+    def parse_conditions(self) -> tuple[Condition, ...]:
+        conditions = [self.parse_condition()]
+        while self.at_keyword("and"):
+            self.advance()
+            conditions.append(self.parse_condition())
+        return tuple(conditions)
+
+    def parse_condition(self) -> Condition:
+        attribute = self.expect_ident("an attribute name")
+        if self.at_punct("="):
+            self.advance()
+            value = self.parse_literal()
+            return Equals(
+                attribute.line,
+                attribute.column,
+                attribute.length,
+                attribute.value,
+                value,
+            )
+        if self.at_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            values = [self.parse_literal()]
+            while self.at_punct(","):
+                self.advance()
+                values.append(self.parse_literal())
+            self.expect_punct(")")
+            return InSet(
+                attribute.line,
+                attribute.column,
+                attribute.length,
+                attribute.value,
+                tuple(values),
+            )
+        raise self.error(
+            f"expected '=' or IN after {attribute.text!r}, got "
+            f"{self.current.describe()}"
+        )
+
+    def parse_literal(self):
+        token = self.current
+        if token.type == "punct" and token.value == "-":
+            self.advance()
+            number = self.advance()
+            if number.type != "int":
+                raise self.error(
+                    f"expected an integer after '-', got {number.describe()}",
+                    number,
+                )
+            return -number.value
+        if token.type in ("int", "string"):
+            return self.advance().value
+        raise self.error(
+            "expected a literal (integer or 'string'), got "
+            f"{token.describe()}"
+        )
+
+    def parse_group_keys(self) -> tuple[Column, ...]:
+        keys = [self.expect_ident("a grouping attribute")]
+        while self.at_punct(","):
+            self.advance()
+            keys.append(self.expect_ident("a grouping attribute"))
+        return tuple(
+            Column(t.line, t.column, t.length, t.value) for t in keys
+        )
+
+
+#: Punctuation that binds tightly to its neighbours when re-rendering.
+_NO_SPACE_BEFORE = frozenset({",", ")", ";"})
+_NO_SPACE_AFTER = frozenset({"(", "-"})
+
+
+def _render(tokens: list[Token]) -> str:
+    """Canonical single-line text for a token slice.
+
+    Keywords lowercased, identifiers verbatim, literals re-serialized,
+    single spaces except around grouping punctuation, trailing ``;``
+    dropped — whitespace, case, and comment differences normalize away
+    while distinct queries stay distinct.
+    """
+    parts: list[str] = []
+    previous: Token | None = None
+    for token in tokens:
+        if token.type == "eof" or (
+            token.type == "punct" and token.value == ";"
+        ):
+            continue
+        if token.type == "keyword":
+            text = token.value
+        elif token.type == "string":
+            text = "'" + str(token.value).replace("'", "''") + "'"
+        elif token.type == "int":
+            text = str(token.value)
+        else:
+            text = token.text
+        if previous is not None and not (
+            (token.type == "punct" and token.value in _NO_SPACE_BEFORE)
+            or (
+                previous.type == "punct"
+                and previous.value in _NO_SPACE_AFTER
+            )
+            or (
+                # Aggregate calls render tight: count(*), avg(B).
+                token.type == "punct"
+                and token.value == "("
+                and previous.type == "keyword"
+                and previous.value in _AGG_FUNCS
+            )
+        ):
+            parts.append(" ")
+        parts.append(text)
+        previous = token
+    return "".join(parts)
+
+
+def parse_statements(source: str) -> list[Statement]:
+    """Parse ``source`` into a list of statements (may be empty)."""
+    return Parser(tokenize(source), source).parse_statements()
+
+
+def parse(source: str) -> Statement:
+    """Parse exactly one statement (trailing ``;`` optional).
+
+    Raises :class:`~repro.errors.ParseError` when ``source`` holds no
+    statement or more than one.
+    """
+    statements = parse_statements(source)
+    if not statements:
+        raise ParseError("no statement in input", source=source)
+    if len(statements) > 1:
+        second = statements[1]
+        raise ParseError(
+            "expected one statement, found "
+            f"{len(statements)} (split on ';' and parse each)",
+            source=source,
+            line=second.line,
+            column=second.column,
+            length=second.length,
+        )
+    return statements[0]
+
+
+def normalize(source: str) -> str:
+    """The canonical text of one statement — the server's cache key.
+
+    >>> normalize("SELECT  *\\n FROM R ;")
+    'select * from R'
+    """
+    return parse(source).normalized

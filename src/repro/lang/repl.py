@@ -1,0 +1,229 @@
+"""The interactive shell: ``python -m repro repl R.csv S.csv ...``.
+
+A line-oriented read-eval-print loop over a catalog of CSV-loaded
+relations.  Statements end with ``;`` and may span lines (the prompt
+switches to a continuation marker until the statement completes);
+results render as psql-style tables with a ``(N rows)`` trailer; parse
+and compile errors print caret diagnostics and never kill the session.
+
+Meta-commands (backslash-prefixed, like psql):
+
+``\\d``
+    List the catalogued relations with arity and row counts.
+``\\timing``
+    Toggle per-statement wall-time reporting (``Time: 1.234 ms``).
+``\\help``
+    Grammar and meta-command summary.
+``\\q``
+    Quit (end-of-input quits too).
+
+The loop is I/O-parameterized (any text streams), so golden tests
+drive it with ``StringIO`` exactly as a terminal would.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.errors import LangError, QueryError
+from repro.lang.compiler import QueryResult, compile_query
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_statements
+from repro.query.context import ExecutionContext
+from repro.relations.database import Database
+
+__all__ = ["Repl", "render_table"]
+
+_HELP = """\
+Statements (end with ';'; keywords are case-insensitive):
+  select A, C from R, S where A = 1 and B in (2, 3);
+  select count(*), avg(B) from R, S;
+  select A, count(distinct C) from R, S group by A;
+  select * from R, S sample 5 seed 7;
+  explain [analyze] select * from R, S;
+Meta-commands:
+  \\d        list relations        \\timing   toggle timing
+  \\help     this help             \\q        quit
+"""
+
+
+def render_table(columns, rows) -> str:
+    """psql-style table text: centered-ish header, aligned cells,
+    ``(N rows)`` trailer.
+
+    >>> print(render_table(("A", "B"), [(1, 10), (2, 200)]))
+     A | B
+    ---+-----
+     1 | 10
+     2 | 200
+    (2 rows)
+    """
+    columns = tuple(str(c) for c in columns)
+    cells = [tuple("" if v is None else str(v) for v in row) for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [
+        (" " + " | ".join(c.ljust(w) for c, w in zip(columns, widths))).rstrip()
+    ]
+    lines.append("+".join("-" * (w + 2) for w in widths))
+    for row in cells:
+        lines.append(
+            (" " + " | ".join(v.ljust(w) for v, w in zip(row, widths))).rstrip()
+        )
+    trailer = "(1 row)" if len(cells) == 1 else f"({len(cells)} rows)"
+    lines.append(trailer)
+    return "\n".join(lines)
+
+
+def _complete(buffer: str) -> bool:
+    """Whether ``buffer`` ends with a statement terminator (tokenizing
+    so a ``;`` inside a string literal does not count).  A buffer that
+    does not yet tokenize (unterminated string mid-entry) is simply
+    incomplete."""
+    try:
+        tokens = tokenize(buffer)
+    except LangError:
+        return False
+    meaningful = [t for t in tokens if t.type != "eof"]
+    return bool(meaningful) and (
+        meaningful[-1].type == "punct" and meaningful[-1].value == ";"
+    )
+
+
+class Repl:
+    """The loop object: a catalog plus I/O streams and settings."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        input_stream: TextIO | None = None,
+        output_stream: TextIO | None = None,
+        context: ExecutionContext | None = None,
+        interactive: bool | None = None,
+    ) -> None:
+        self.database = database
+        self.input = input_stream if input_stream is not None else sys.stdin
+        self.output = (
+            output_stream if output_stream is not None else sys.stdout
+        )
+        self.context = context
+        self.timing = False
+        # Prompts print only on a terminal; piped input (tests, scripts)
+        # sees clean output.
+        self.interactive = (
+            interactive
+            if interactive is not None
+            else getattr(self.input, "isatty", lambda: False)()
+        )
+
+    # -- output helpers ------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.output)
+
+    def prompt(self, continuation: bool) -> None:
+        if self.interactive:
+            marker = "   ...> " if continuation else "repro> "
+            self.output.write(marker)
+            self.output.flush()
+
+    # -- meta-commands -------------------------------------------------------
+
+    def meta(self, command: str) -> bool:
+        """Run one backslash command; False means quit."""
+        word = command.split()[0]
+        if word == "\\q":
+            return False
+        if word == "\\d":
+            if not len(self.database):
+                self.write("(no relations)")
+                return True
+            rows = [
+                (
+                    relation.name,
+                    ", ".join(relation.attributes),
+                    len(relation),
+                )
+                for relation in self.database
+            ]
+            self.write(render_table(("name", "attributes", "rows"), rows))
+            return True
+        if word == "\\timing":
+            self.timing = not self.timing
+            self.write(
+                f"Timing is {'on' if self.timing else 'off'}."
+            )
+            return True
+        if word == "\\help":
+            self.output.write(_HELP)
+            return True
+        self.write(f"unknown meta-command {word} (try \\help)")
+        return True
+
+    # -- statements ----------------------------------------------------------
+
+    def execute(self, text: str) -> None:
+        """Parse, compile, and run every statement in ``text``."""
+        try:
+            statements = parse_statements(text)
+        except LangError as error:
+            self.write(error.caret_diagnostic())
+            return
+        for statement in statements:
+            started = time.perf_counter()
+            try:
+                compiled = compile_query(
+                    statement, self.database, self.context
+                )
+                result = compiled.run()
+            except LangError as error:
+                self.write(error.caret_diagnostic())
+                continue
+            except QueryError as error:
+                self.write(f"query error: {error}")
+                continue
+            self.show(result)
+            if self.timing:
+                elapsed = (time.perf_counter() - started) * 1000.0
+                self.write(f"Time: {elapsed:.3f} ms")
+
+    def show(self, result: QueryResult) -> None:
+        if result.text is not None:
+            self.write(result.text)
+            return
+        self.write(render_table(result.columns, result.rows))
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self) -> int:
+        """Read until end-of-input or ``\\q``; returns an exit status."""
+        if self.interactive:
+            self.write(
+                f"repro repl — {len(self.database)} relation(s) "
+                "catalogued; \\help for help, \\q to quit."
+            )
+        buffer = ""
+        self.prompt(continuation=False)
+        for line in self.input:
+            stripped = line.strip()
+            if stripped.startswith("\\"):
+                # Meta-commands run even mid-statement (psql behavior);
+                # the statement buffer survives them.
+                if not self.meta(stripped):
+                    return 0
+                self.prompt(continuation=bool(buffer.strip()))
+                continue
+            buffer += line
+            if _complete(buffer):
+                self.execute(buffer)
+                buffer = ""
+            self.prompt(continuation=bool(buffer.strip()))
+        if buffer.strip():
+            # A trailing statement without ';' still runs at EOF.
+            self.execute(buffer)
+        return 0

@@ -57,7 +57,9 @@ from repro.aggregate.fold import Folder, fold_rows
 from repro.aggregate.sampling import reservoir_sample, sample_query
 from repro.aggregate.specs import (
     AggregateSpec,
+    Avg,
     Count,
+    CountDistinct,
     Max,
     Min,
     Sum,
@@ -776,6 +778,16 @@ class QueryBuilder:
     def max(self, attribute: str):
         """Maximum of ``attribute`` over the result (None when empty)."""
         return self._aggregate(Max(attribute), "max")
+
+    def avg(self, attribute: str):
+        """Mean of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Avg(attribute), "avg")
+
+    def count_distinct(self, attribute: str) -> int:
+        """Number of distinct ``attribute`` values in the result (0 when
+        empty).  Multiplicity-insensitive, so subtrees below the
+        attribute's level are pruned without counting completions."""
+        return self._aggregate(CountDistinct(attribute), "count_distinct")
 
     def group_by(self, *attributes: str) -> "GroupedQuery":
         """Group the result by ``attributes``; finish with

@@ -33,7 +33,7 @@ from collections.abc import Iterator
 from dataclasses import replace as _dc_replace
 
 from repro.aggregate.fold import Folder, fold_rows
-from repro.aggregate.specs import Count, Max, Min, Sum
+from repro.aggregate.specs import Avg, Count, CountDistinct, Max, Min, Sum
 from repro.engine import parallel as _parallel
 from repro.engine.executors import NATIVE_FOLD, NATIVE_TELEMETRY
 from repro.engine.planner import JoinPlan
@@ -332,6 +332,15 @@ class PreparedQuery:
     def max(self, attribute: str):
         """Maximum of ``attribute`` over the result (None when empty)."""
         return self._aggregate(Max(attribute), "max")
+
+    def avg(self, attribute: str):
+        """Mean of ``attribute`` over the result (None when empty)."""
+        return self._aggregate(Avg(attribute), "avg")
+
+    def count_distinct(self, attribute: str) -> int:
+        """Number of distinct ``attribute`` values in the result (0 when
+        empty), same no-re-planning contract as :meth:`count`."""
+        return self._aggregate(CountDistinct(attribute), "count_distinct")
 
     def group_by(self, *attributes: str) -> GroupedQuery:
         """Group the prepared result by ``attributes``; terminal methods

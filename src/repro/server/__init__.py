@@ -1,0 +1,39 @@
+"""The always-on query service: asyncio TCP server + AGM admission.
+
+The subsystem that turns the library into something serving traffic:
+:class:`~repro.server.service.JoinServer` speaks newline-delimited
+JSON over TCP (:mod:`repro.server.protocol`), multiplexes concurrent
+clients over worker-thread execution with batch backpressure, caches
+prepared queries by normalized statement text
+(:mod:`repro.server.cache`), and — the paper's gift — refuses or
+queues queries whose AGM output bound exceeds a configured row budget
+*before* running them (:mod:`repro.server.admission`).
+:class:`~repro.server.client.ServerClient` is the blocking client for
+tests, scripts, and docs.
+"""
+
+from repro.server.admission import AdmissionController, AdmissionDecision
+from repro.server.cache import CacheEntry, PreparedCache, PreparedCacheInfo
+from repro.server.client import QueryOutcome, ServerClient, ServerError
+from repro.server.protocol import (
+    AdmissionRejected,
+    ProtocolError,
+    error_payload,
+)
+from repro.server.service import DEFAULT_BATCH_ROWS, JoinServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "CacheEntry",
+    "DEFAULT_BATCH_ROWS",
+    "JoinServer",
+    "PreparedCache",
+    "PreparedCacheInfo",
+    "ProtocolError",
+    "QueryOutcome",
+    "ServerClient",
+    "ServerError",
+    "error_payload",
+]

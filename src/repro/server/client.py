@@ -1,0 +1,161 @@
+"""A small synchronous client for the NDJSON server.
+
+For tests, scripts, and docs — anything that wants to talk to
+``python -m repro serve`` without writing asyncio.  One socket, one
+request in flight at a time (the *server* multiplexes across
+connections; a client wanting concurrency opens more connections or
+more :class:`ServerClient` instances).
+
+>>> # doctest-style sketch (the server must be running):
+>>> # with ServerClient(host, port) as client:
+>>> #     outcome = client.query("select * from R, S;")
+>>> #     outcome.columns, outcome.rows
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["QueryOutcome", "ServerClient", "ServerError"]
+
+
+class ServerError(ReproError):
+    """The server answered a typed error payload.
+
+    ``payload`` is the full error object (``type``, ``message``, and
+    type-specific fields: ``line``/``column``/``caret`` for language
+    errors, ``bound``/``budget`` for admission rejections).
+    """
+
+    def __init__(self, payload: dict) -> None:
+        kind = payload.get("type", "unknown")
+        message = payload.get("message", "")
+        super().__init__(f"[{kind}] {message}")
+        self.payload = payload
+        self.kind = kind
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one statement returned."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    final: dict = field(default_factory=dict)
+
+    @property
+    def cached(self) -> bool:
+        return bool(self.final.get("cached"))
+
+    @property
+    def bound(self) -> float | None:
+        return self.final.get("bound")
+
+    @property
+    def text(self) -> str | None:
+        return self.final.get("text")
+
+
+class ServerClient:
+    """A blocking NDJSON client; usable as a context manager."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, op: str, **fields) -> tuple[list[dict], dict]:
+        """Send one request; returns ``(batch_messages, final)``.
+
+        Raises :class:`ServerError` when the final line carries
+        ``ok: false``, and :class:`ConnectionError` when the server
+        hangs up mid-response.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"id": request_id, "op": op, **fields}
+        self._socket.sendall(
+            (json.dumps(message) + "\n").encode("utf-8")
+        )
+        batches: list[dict] = []
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection mid-response"
+                )
+            response = json.loads(line.decode("utf-8"))
+            if response.get("id") not in (request_id, None):
+                continue  # a stale line from an aborted request
+            if response.get("final"):
+                if not response.get("ok"):
+                    raise ServerError(response.get("error", {}))
+                return batches, response
+            batches.append(response)
+
+    # -- sugar ---------------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        batch: int | None = None,
+        trace: bool = False,
+    ) -> QueryOutcome:
+        """Execute one statement and collect every row."""
+        fields: dict = {"q": text}
+        if batch is not None:
+            fields["batch"] = batch
+        if trace:
+            fields["trace"] = True
+        batches, final = self.request("query", **fields)
+        rows = [
+            tuple(row)
+            for message in batches
+            for row in message.get("rows", ())
+        ]
+        rows.extend(tuple(row) for row in final.get("rows", ()))
+        return QueryOutcome(
+            columns=tuple(final.get("columns", ())),
+            rows=rows,
+            final=final,
+        )
+
+    def explain(self, text: str) -> str:
+        """The plan description for a statement."""
+        _batches, final = self.request("explain", q=text)
+        return final.get("text", "")
+
+    def ping(self) -> dict:
+        _batches, final = self.request("ping")
+        return final
+
+    def stats(self) -> dict:
+        _batches, final = self.request("stats")
+        return final
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text format."""
+        _batches, final = self.request("metrics")
+        return final.get("text", "")

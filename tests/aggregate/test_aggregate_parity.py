@@ -18,7 +18,9 @@ import pytest
 from repro.query.builder import Q, drain_async
 from repro.relations.relation import Relation
 from tests.helpers import (
+    oracle_avg,
     oracle_count,
+    oracle_count_distinct,
     oracle_group_by,
     oracle_max,
     oracle_min,
@@ -62,10 +64,25 @@ def _assert_aggregates_match(builder):
     assert builder.sum("B") == oracle_sum(rows, attrs, "B")
     assert builder.min("C") == oracle_min(rows, attrs, "C")
     assert builder.max("C") == oracle_max(rows, attrs, "C")
+    assert builder.avg("B") == oracle_avg(rows, attrs, "B")
+    assert builder.count_distinct("C") == oracle_count_distinct(
+        rows, attrs, "C"
+    )
     assert builder.group_by("A").agg(
-        n="count", s=("sum", "C"), lo=("min", "B")
+        n="count",
+        s=("sum", "C"),
+        lo=("min", "B"),
+        mean=("avg", "C"),
+        uniq=("count_distinct", "B"),
     ) == oracle_group_by(
-        rows, attrs, ("A",), n="count", s=("sum", "C"), lo=("min", "B")
+        rows,
+        attrs,
+        ("A",),
+        n="count",
+        s=("sum", "C"),
+        lo=("min", "B"),
+        mean=("avg", "C"),
+        uniq=("count_distinct", "B"),
     )
     assert builder.group_by("A", "B").count() == {
         key: values["n"]

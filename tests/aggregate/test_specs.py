@@ -7,7 +7,9 @@ import pickle
 import pytest
 
 from repro.aggregate.specs import (
+    Avg,
     Count,
+    CountDistinct,
     GroupBy,
     Max,
     Min,
@@ -76,11 +78,38 @@ def test_group_by_min_only_is_multiplicity_insensitive():
     assert not spec.multiplicity_sensitive
 
 
+def test_avg_state_is_sum_count_pair():
+    spec = Avg("A")
+    assert spec.needs == ("A",)
+    assert spec.multiplicity_sensitive
+    assert spec.finish(spec.start()) is None
+    state = spec.add(spec.start(), (10,), 3)
+    state = spec.add(state, (2,), 1)
+    assert state == (32, 4)
+    assert spec.finish(state) == 8.0
+    # Merging partial states never averages averages.
+    assert spec.finish(spec.merge((30, 3), (2, 1))) == 8.0
+
+
+def test_count_distinct_ignores_multiplicity():
+    spec = CountDistinct("A")
+    assert spec.needs == ("A",)
+    assert not spec.multiplicity_sensitive
+    assert spec.finish(spec.start()) == 0
+    state = spec.add(spec.start(), (5,), 100)
+    state = spec.add(state, (5,), 1)
+    state = spec.add(state, (9,), 2)
+    assert spec.finish(state) == 2
+    assert spec.finish(spec.merge({1, 2}, {2, 3})) == 3
+
+
 def test_as_spec_accepts_all_shorthands():
     assert as_spec("count") == Count()
     assert as_spec(("sum", "A")) == Sum("A")
     assert as_spec(["min", "B"]) == Min("B")
     assert as_spec(("max", "C")) == Max("C")
+    assert as_spec(("avg", "A")) == Avg("A")
+    assert as_spec(("count_distinct", "B")) == CountDistinct("B")
     spec = Sum("X")
     assert as_spec(spec) is spec
 
@@ -89,7 +118,7 @@ def test_as_spec_rejects_unknowns():
     with pytest.raises(QueryError):
         as_spec("median")
     with pytest.raises(QueryError):
-        as_spec(("avg", "A"))
+        as_spec(("median", "A"))
     with pytest.raises(QueryError):
         as_spec(42)
 

@@ -71,12 +71,26 @@ def oracle_max(rows, attributes, attribute):
     return max((row[position] for row in rows), default=None)
 
 
+def oracle_avg(rows, attributes, attribute):
+    """``AVG(attribute)``; None on an empty result."""
+    position = tuple(attributes).index(attribute)
+    column = [row[position] for row in rows]
+    return sum(column) / len(column) if column else None
+
+
+def oracle_count_distinct(rows, attributes, attribute) -> int:
+    """``COUNT(DISTINCT attribute)``; 0 on an empty result."""
+    position = tuple(attributes).index(attribute)
+    return len({row[position] for row in rows})
+
+
 def oracle_group_by(rows, attributes, keys, **aggregates):
     """Grouped aggregates in the engine's output shape.
 
     ``aggregates`` maps output names to ``"count"`` or ``(kind,
-    attribute)`` pairs with kind in ``sum`` / ``min`` / ``max`` —
-    the same shorthand :meth:`GroupedQuery.agg` accepts.  Returns
+    attribute)`` pairs with kind in ``sum`` / ``min`` / ``max`` /
+    ``avg`` / ``count_distinct`` — the same shorthand
+    :meth:`GroupedQuery.agg` accepts.  Returns
     ``{key tuple: {name: value}}`` with keys sorted, matching
     :meth:`repro.aggregate.specs.GroupBy.finish` exactly.
     """
@@ -104,6 +118,10 @@ def oracle_group_by(rows, attributes, keys, **aggregates):
                     values[name] = min(column)
                 elif kind == "max":
                     values[name] = max(column)
+                elif kind == "avg":
+                    values[name] = sum(column) / len(column)
+                elif kind == "count_distinct":
+                    values[name] = len(set(column))
                 else:  # pragma: no cover - test-author error
                     raise ValueError(f"unknown oracle aggregate {what!r}")
         result[key] = values

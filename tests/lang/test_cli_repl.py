@@ -1,0 +1,73 @@
+"""The ``repl`` subcommand: a scripted session over CSV files."""
+
+import io
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def triangle_files(tmp_path):
+    (tmp_path / "R.csv").write_text("A,B\n0,1\n1,2\n2,0\n")
+    (tmp_path / "S.csv").write_text("B,C\n1,5\n2,6\n0,7\n")
+    (tmp_path / "T.csv").write_text("A,C\n0,5\n1,6\n2,7\n")
+    return [str(tmp_path / f"{n}.csv") for n in ("R", "S", "T")]
+
+
+def run_repl(monkeypatch, files, script, extra_args=()):
+    monkeypatch.setattr("sys.stdin", io.StringIO(script))
+    return main(["repl", *files, *extra_args])
+
+
+class TestReplCommand:
+    def test_golden_session(self, triangle_files, monkeypatch, capsys):
+        status = run_repl(
+            monkeypatch,
+            triangle_files,
+            "select * from R, S, T;\n",
+        )
+        assert status == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == " A | B | C"
+        assert lines[1] == "---+---+---"
+        assert sorted(lines[2:5]) == [
+            " 0 | 1 | 5",
+            " 1 | 2 | 6",
+            " 2 | 0 | 7",
+        ]
+        assert lines[5] == "(3 rows)"
+
+    def test_describe_and_aggregate(self, triangle_files, monkeypatch,
+                                    capsys):
+        status = run_repl(
+            monkeypatch,
+            triangle_files,
+            "\\d\nselect count(*), avg(C) from R, S, T;\n",
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert " R    | A, B       | 3" in out
+        assert "count(*) | avg(C)" in out
+        assert " 3        | 6.0" in out
+
+    def test_algorithm_flag_reaches_the_plan(self, triangle_files,
+                                             monkeypatch, capsys):
+        status = run_repl(
+            monkeypatch,
+            triangle_files,
+            "explain select * from R, S, T;\n",
+            extra_args=["--algorithm", "leapfrog"],
+        )
+        assert status == 0
+        assert "leapfrog" in capsys.readouterr().out
+
+    def test_errors_do_not_exit_nonzero(self, triangle_files,
+                                        monkeypatch, capsys):
+        status = run_repl(
+            monkeypatch, triangle_files, "select * from Missing;\n"
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "unknown relation 'Missing'" in out
+        assert "^" in out

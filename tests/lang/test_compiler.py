@@ -1,0 +1,192 @@
+"""The compiler: statements lower onto the exact ``Q`` chain a Python
+caller would write, and semantic errors carry caret positions."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import compile_query, parse
+from repro.query.builder import Q
+from repro.query.context import ExecutionContext
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+
+
+@pytest.fixture()
+def database():
+    r = Relation("R", ("A", "B"), [(i, i % 3) for i in range(9)])
+    s = Relation("S", ("B", "C"), [(i % 3, i) for i in range(9)])
+    t = Relation("T", ("A", "C"), [(i, i) for i in range(9)])
+    return Database([r, s, t])
+
+
+def relations(database, *names):
+    return [database[name] for name in names]
+
+
+class TestLowering:
+    def test_rows_match_builder_stream(self, database):
+        compiled = compile_query("select * from R, S, T;", database)
+        assert compiled.kind == "rows"
+        expected = list(
+            Q(*relations(database, "R", "S", "T")).on(database).stream()
+        )
+        assert sorted(compiled.run().rows) == sorted(expected)
+        assert compiled.columns == ("A", "B", "C")
+
+    def test_where_and_projection(self, database):
+        compiled = compile_query(
+            "select C from R, S where A = 1 and B in (0, 1);", database
+        )
+        oracle = (
+            Q(*relations(database, "R", "S"))
+            .where(A=1)
+            .where_in("B", (0, 1))
+            .select("C")
+            .on(database)
+        )
+        assert sorted(compiled.run().rows) == sorted(oracle.stream())
+        assert compiled.columns == ("C",)
+
+    def test_aggregates_one_row(self, database):
+        compiled = compile_query(
+            "select count(*), sum(C), min(C), max(C), avg(C), "
+            "count(distinct B) from R, S;",
+            database,
+        )
+        assert compiled.kind == "aggregate"
+        oracle = Q(*relations(database, "R", "S")).on(database)
+        assert compiled.run().rows == [(
+            oracle.count(),
+            oracle.sum("C"),
+            oracle.min("C"),
+            oracle.max("C"),
+            oracle.avg("C"),
+            oracle.count_distinct("B"),
+        )]
+        assert compiled.columns[-1] == "count(distinct B)"
+
+    def test_group_by_rows(self, database):
+        compiled = compile_query(
+            "select B, count(*), avg(C) from R, S group by B;", database
+        )
+        assert compiled.kind == "group"
+        assert compiled.columns == ("B", "count(*)", "avg(C)")
+        grouped = (
+            Q(*relations(database, "R", "S"))
+            .on(database)
+            .group_by("B")
+            .agg(n="count", mean=("avg", "C"))
+        )
+        expected = set()
+        for key, values in grouped.items():
+            key = key if isinstance(key, tuple) else (key,)
+            expected.add((*key, values["n"], values["mean"]))
+        assert set(compiled.run().rows) == expected
+
+    def test_group_key_missing_from_select_is_appended(self, database):
+        compiled = compile_query(
+            "select count(*) from R, S group by B;", database
+        )
+        assert compiled.columns == ("B", "count(*)")
+
+    def test_sample_is_seed_stable(self, database):
+        compiled = compile_query(
+            "select * from R, S sample 3 seed 11;", database
+        )
+        assert compiled.kind == "sample"
+        oracle = Q(*relations(database, "R", "S")).on(database)
+        assert compiled.run().rows == oracle.sample(3, seed=11)
+
+    def test_explain_returns_plan_text(self, database):
+        compiled = compile_query("explain select * from R, S;", database)
+        assert compiled.kind == "explain"
+        result = compiled.run()
+        assert result.rows == []
+        assert "R" in result.text and "S" in result.text
+
+    def test_explain_analyze_measures(self, database):
+        compiled = compile_query(
+            "explain analyze select * from R, S;", database
+        )
+        assert compiled.kind == "explain_analyze"
+        assert compiled.run().text
+
+    def test_context_options_flow_through(self, database):
+        context = ExecutionContext(algorithm="leapfrog")
+        compiled = compile_query("select * from R, S;", database, context)
+        assert compiled.builder.context.algorithm == "leapfrog"
+        assert compiled.builder.context.database is database
+
+    def test_run_against_prepared_query(self, database):
+        compiled = compile_query("select * from R, S;", database)
+        prepared = compiled.builder.prepare()
+        assert sorted(compiled.run(prepared).rows) == sorted(
+            compiled.run().rows
+        )
+
+    def test_normalized_is_the_cache_key(self, database):
+        compiled = compile_query("SELECT  * FROM R , S ;", database)
+        assert compiled.normalized == "select * from R, S"
+
+
+class TestCompileErrors:
+    def test_unknown_relation_names_catalog(self, database):
+        with pytest.raises(CompileError) as info:
+            compile_query("select * from R, Z;", database)
+        error = info.value
+        assert "unknown relation 'Z'" in str(error)
+        assert "R, S, T" in str(error)
+        assert error.column == 18
+        assert "^" in error.caret_diagnostic()
+
+    def test_duplicate_relation(self, database):
+        with pytest.raises(CompileError, match="named twice"):
+            compile_query("select * from R, R;", database)
+
+    def test_unknown_attribute_in_where(self, database):
+        with pytest.raises(CompileError) as info:
+            compile_query("select * from R where Z = 1;", database)
+        assert "unknown attribute 'Z'" in str(info.value)
+        assert "A, B" in str(info.value)
+
+    def test_unknown_attribute_in_select(self, database):
+        with pytest.raises(CompileError, match="SELECT names unknown"):
+            compile_query("select Z from R;", database)
+
+    def test_plain_column_with_aggregate_needs_group_by(self, database):
+        with pytest.raises(CompileError) as info:
+            compile_query("select A, count(*) from R;", database)
+        assert "requires GROUP BY" in str(info.value)
+        assert info.value.column == 8  # points at A, not at count(*)
+
+    def test_grouped_column_must_be_a_key(self, database):
+        with pytest.raises(CompileError, match="neither aggregated nor"):
+            compile_query(
+                "select A, count(*) from R, S group by B;", database
+            )
+
+    def test_group_by_without_aggregate(self, database):
+        with pytest.raises(CompileError, match="at least one aggregate"):
+            compile_query("select A from R group by A;", database)
+
+    def test_sample_rejects_aggregates_and_group_by(self, database):
+        with pytest.raises(CompileError, match="SAMPLE does not combine"):
+            compile_query("select count(*) from R sample 2;", database)
+        with pytest.raises(CompileError, match="SAMPLE does not combine"):
+            compile_query(
+                "select B, count(*) from R group by B sample 2;", database
+            )
+
+    def test_sample_needs_positive_count(self, database):
+        with pytest.raises(CompileError, match="positive row count"):
+            compile_query("select * from R sample 0;", database)
+
+    def test_caret_points_at_original_spelling(self, database):
+        # The diagnostic renders against the text as typed, not the
+        # normalized form — columns must line up with the user's input.
+        with pytest.raises(CompileError) as info:
+            compile_query("SELECT  *  FROM  Nope;", database)
+        diagnostic = info.value.caret_diagnostic()
+        lines = diagnostic.splitlines()
+        assert lines[1] == "  SELECT  *  FROM  Nope;"
+        assert lines[2] == "                   ^^^^"

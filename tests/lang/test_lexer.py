@@ -1,0 +1,90 @@
+"""The lexer: token types, positions, literals, comments, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import KEYWORDS, Token, tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_stream_ends_with_eof(self):
+        tokens = tokenize("select *")
+        assert tokens[-1].type == "eof"
+        assert types("") == ["eof"]
+
+    def test_keywords_lex_case_insensitively(self):
+        for spelling in ("select", "SELECT", "Select", "sElEcT"):
+            (token, _eof) = tokenize(spelling)
+            assert token.type == "keyword"
+            assert token.value == "select"
+            assert token.text == spelling
+
+    def test_identifiers_stay_case_sensitive(self):
+        upper, lower, _eof = tokenize("Edges edges")
+        assert upper.type == lower.type == "ident"
+        assert upper.value == "Edges"
+        assert lower.value == "edges"
+
+    def test_every_keyword_is_reserved(self):
+        for word in KEYWORDS:
+            (token, _eof) = tokenize(word.upper())
+            assert token.type == "keyword", word
+
+    def test_integers_carry_int_values(self):
+        (token, _eof) = tokenize("042")
+        assert token.type == "int"
+        assert token.value == 42
+        assert token.text == "042"
+
+    def test_strings_unescape_doubled_quotes(self):
+        (token, _eof) = tokenize("'it''s'")
+        assert token.type == "string"
+        assert token.value == "it's"
+
+    def test_comments_vanish(self):
+        assert types("select -- the rest\n*") == ["keyword", "punct", "eof"]
+
+    def test_punctuation(self):
+        tokens = tokenize("*,()=;-")
+        assert [t.value for t in tokens[:-1]] == list("*,()=;-")
+
+
+class TestPositions:
+    def test_columns_are_one_based(self):
+        first, second, _eof = tokenize("ab cd")
+        assert (first.line, first.column) == (1, 1)
+        assert (second.line, second.column) == (1, 4)
+
+    def test_newlines_advance_lines(self):
+        tokens = tokenize("select\n  R")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_length_is_lexeme_length(self):
+        (token, eof) = tokenize("'ab''cd'")
+        assert token.length == len("'ab''cd'")
+        assert eof.length == 1  # never zero, so carets always render
+
+
+class TestErrors:
+    def test_unexpected_character_points_at_itself(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("select @")
+        assert info.value.column == 8
+        assert "@" in str(info.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("select 'oops")
+
+    def test_string_cannot_span_lines(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("select 'a\nb'")
+
+    def test_describe_reads_naturally(self):
+        assert tokenize("")[0].describe() == "end of input"
+        assert tokenize("R")[0].describe() == "'R'"
+        assert Token("int", 7, "7", 1, 1).describe() == "'7'"

@@ -1,0 +1,165 @@
+"""The parser: AST shapes, normalization, and caret-positioned errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.nodes import Aggregate, Column, Equals, InSet, Star
+from repro.lang.parser import normalize, parse, parse_statements
+
+
+class TestShapes:
+    def test_star_select(self):
+        statement = parse("select * from R, S;")
+        assert isinstance(statement.select, Star)
+        assert [r.name for r in statement.relations] == ["R", "S"]
+
+    def test_projection(self):
+        statement = parse("select A, C from R;")
+        assert [c.name for c in statement.select] == ["A", "C"]
+        assert all(isinstance(c, Column) for c in statement.select)
+
+    def test_conditions(self):
+        statement = parse(
+            "select * from R where A = 1 and B in (2, 3) and C = 'x';"
+        )
+        eq, inset, string_eq = statement.conditions
+        assert isinstance(eq, Equals) and eq.value == 1
+        assert isinstance(inset, InSet) and inset.values == (2, 3)
+        assert string_eq.value == "x"
+
+    def test_negative_literals(self):
+        statement = parse("select * from R where A = -5 and B in (-1, 0);")
+        assert statement.conditions[0].value == -5
+        assert statement.conditions[1].values == (-1, 0)
+
+    def test_aggregates(self):
+        statement = parse(
+            "select count(*), sum(A), avg(B), count(distinct C), "
+            "count_distinct(D) from R;"
+        )
+        funcs = [a.func for a in statement.select]
+        assert funcs == ["count", "sum", "avg", "count_distinct",
+                         "count_distinct"]
+        labels = [a.label for a in statement.select]
+        assert labels[0] == "count(*)"
+        assert labels[3] == "count(distinct C)"
+        assert all(isinstance(a, Aggregate) for a in statement.select)
+
+    def test_group_by(self):
+        statement = parse("select A, count(*) from R group by A;")
+        assert [k.name for k in statement.group_by] == ["A"]
+
+    def test_sample_with_seed(self):
+        statement = parse("select * from R sample 5 seed 7;")
+        assert statement.sample == 5
+        assert statement.sample_seed == 7
+
+    def test_explain_flags(self):
+        assert parse("explain select * from R").explain is True
+        analyzed = parse("explain analyze select * from R")
+        assert analyzed.explain and analyzed.analyze
+
+    def test_multiple_statements_and_empty_ones(self):
+        statements = parse_statements(
+            "; select * from R; ; select * from S"
+        )
+        assert len(statements) == 2
+
+    def test_parse_rejects_multiple_statements(self):
+        with pytest.raises(ParseError, match="one statement"):
+            parse("select * from R; select * from S;")
+        with pytest.raises(ParseError, match="no statement"):
+            parse("  -- only a comment\n")
+
+    def test_positions_do_not_affect_equality(self):
+        assert parse("select * from R") == parse("SELECT\n  *\nFROM R ;")
+
+
+class TestNormalize:
+    def test_case_and_whitespace_collapse(self):
+        canonical = normalize("select * from R where A = 1")
+        assert canonical == "select * from R where A = 1"
+        assert normalize("SELECT  *\n FROM R\tWHERE A=1 ;") == canonical
+        assert normalize("select * -- comment\n from R where A = 1") == (
+            canonical
+        )
+
+    def test_identifier_case_is_preserved(self):
+        assert normalize("select * from r") != normalize("select * from R")
+
+    def test_literals_reserialize(self):
+        assert normalize("select * from R where A = 007") == (
+            "select * from R where A = 7"
+        )
+        assert normalize("select * from R where A = 'it''s'") == (
+            "select * from R where A = 'it''s'"
+        )
+
+    def test_punctuation_spacing(self):
+        assert normalize("select count( * ),sum( A )from R,S") == (
+            "select count(*), sum(A) from R, S"
+        )
+
+    def test_idempotent(self):
+        texts = [
+            "select A, count(distinct B) from R, S group by A;",
+            "explain analyze select * from R where B in (1, -2);",
+            "select * from R sample 3 seed 9",
+        ]
+        for text in texts:
+            canonical = normalize(text)
+            assert normalize(canonical) == canonical
+            assert parse(canonical) == parse(text)
+
+
+class TestDiagnostics:
+    """Parse errors carry exact positions and render caret diagnostics."""
+
+    def test_reserved_word_as_relation(self):
+        with pytest.raises(ParseError) as info:
+            parse("select * from from;")
+        error = info.value
+        assert error.line == 1
+        assert error.column == 15
+        assert error.length == 4
+        diagnostic = error.caret_diagnostic()
+        assert diagnostic.splitlines() == [
+            "parse error at line 1, column 15: expected a relation name, "
+            "got reserved word 'from'",
+            "  select * from from;",
+            "                ^^^^",
+        ]
+
+    def test_caret_on_later_line(self):
+        with pytest.raises(ParseError) as info:
+            parse("select *\nfrom R\nwhere A ** 1;")
+        diagnostic = info.value.caret_diagnostic()
+        assert diagnostic.splitlines() == [
+            "parse error at line 3, column 9: expected '=' or IN after "
+            "'A', got '*'",
+            "  where A ** 1;",
+            "          ^",
+        ]
+
+    def test_star_cannot_mix(self):
+        with pytest.raises(ParseError, match="cannot mix"):
+            parse("select *, A from R;")
+        with pytest.raises(ParseError, match="cannot mix"):
+            parse("select A, * from R;")
+
+    def test_count_needs_star_or_distinct(self):
+        with pytest.raises(ParseError, match="'\\*' or DISTINCT"):
+            parse("select count(A) from R;")
+
+    def test_sample_count_must_be_literal(self):
+        with pytest.raises(ParseError, match="literal row count"):
+            parse("select * from R sample A;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="expected ';'"):
+            parse("select * from R nonsense")
+
+    def test_eof_errors_render_a_caret(self):
+        with pytest.raises(ParseError) as info:
+            parse("select * from")
+        assert "^" in info.value.caret_diagnostic()

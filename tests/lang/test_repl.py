@@ -1,0 +1,148 @@
+"""The REPL: golden sessions over StringIO — tables, meta-commands,
+multi-line statements, and caret recovery without session death."""
+
+import io
+
+import pytest
+
+from repro.lang.repl import Repl, render_table
+from repro.query.context import ExecutionContext
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+
+
+@pytest.fixture()
+def database():
+    r = Relation("R", ("A", "B"), [(0, 1), (1, 2), (2, 2)])
+    s = Relation("S", ("B", "C"), [(1, 10), (2, 20)])
+    return Database([r, s])
+
+
+def run_session(database, text, **kwargs):
+    output = io.StringIO()
+    repl = Repl(
+        database,
+        input_stream=io.StringIO(text),
+        output_stream=output,
+        **kwargs,
+    )
+    status = repl.run()
+    return status, output.getvalue()
+
+
+class TestRenderTable:
+    def test_golden_alignment(self):
+        assert render_table(("A", "BB"), [(1, 10), (200, 2)]) == (
+            " A   | BB\n"
+            "-----+----\n"
+            " 1   | 10\n"
+            " 200 | 2\n"
+            "(2 rows)"
+        )
+
+    def test_separator_aligns_for_three_columns(self):
+        text = render_table(("a", "bb", "c"), [(1, 2, 3)])
+        header, separator, *_ = text.splitlines()
+        assert [i for i, ch in enumerate(header) if ch == "|"] == [
+            i for i, ch in enumerate(separator) if ch == "+"
+        ]
+
+    def test_singular_trailer_and_none_cells(self):
+        text = render_table(("x",), [(None,)])
+        assert text.endswith("(1 row)")
+        assert " \n" not in text + "\n"  # None renders empty, no padding
+
+
+class TestSessions:
+    def test_golden_query_session(self, database):
+        status, output = run_session(
+            database, "select A, C from R, S where A = 0;\n"
+        )
+        assert status == 0
+        assert output == (
+            " A | C\n"
+            "---+----\n"
+            " 0 | 10\n"
+            "(1 row)\n"
+        )
+
+    def test_multi_line_statement(self, database):
+        _, output = run_session(
+            database, "select count(*)\nfrom R, S\n;\n"
+        )
+        assert "count(*)" in output
+        assert "(1 row)" in output
+
+    def test_trailing_statement_runs_at_eof(self, database):
+        _, output = run_session(database, "select count(*) from R")
+        assert "(1 row)" in output
+
+    def test_describe_lists_relations(self, database):
+        _, output = run_session(database, "\\d\n")
+        assert output == (
+            " name | attributes | rows\n"
+            "------+------------+------\n"
+            " R    | A, B       | 3\n"
+            " S    | B, C       | 2\n"
+            "(2 rows)\n"
+        )
+
+    def test_timing_toggle(self, database):
+        _, output = run_session(
+            database, "\\timing\nselect count(*) from R;\n"
+        )
+        assert "Timing is on." in output
+        assert "Time: " in output and " ms" in output
+
+    def test_meta_commands_work_mid_statement(self, database):
+        _, output = run_session(
+            database, "select count(*)\n\\timing\nfrom R;\n"
+        )
+        assert "Timing is on." in output
+        assert "(1 row)" in output  # the buffered statement still ran
+
+    def test_quit_stops_reading(self, database):
+        status, output = run_session(
+            database, "\\q\nselect nonsense;\n"
+        )
+        assert status == 0
+        assert output == ""
+
+    def test_parse_error_recovers(self, database):
+        _, output = run_session(
+            database,
+            "select * from from;\nselect count(*) from R;\n",
+        )
+        assert "parse error at line 1, column 15" in output
+        assert "^^^^" in output
+        assert "(1 row)" in output  # the session survived
+
+    def test_compile_error_recovers(self, database):
+        _, output = run_session(
+            database, "select * from Zed;\nselect count(*) from R;\n"
+        )
+        assert "compile error" in output
+        assert "unknown relation 'Zed'" in output
+        assert "(1 row)" in output
+
+    def test_help_and_unknown_meta(self, database):
+        _, output = run_session(database, "\\help\n\\frobnicate\n")
+        assert "Meta-commands:" in output
+        assert "unknown meta-command \\frobnicate" in output
+
+    def test_interactive_mode_prompts(self, database):
+        _, output = run_session(
+            database,
+            "select count(*)\nfrom R;\n",
+            interactive=True,
+        )
+        assert "repro> " in output
+        assert "   ...> " in output
+
+    def test_context_algorithm_applies(self, database):
+        _, output = run_session(
+            database,
+            "explain select * from R, S;\n",
+            context=ExecutionContext(algorithm="leapfrog"),
+        )
+        assert "leapfrog" in output

@@ -1,0 +1,70 @@
+"""Shared plumbing: a live server on a background event loop."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.server import JoinServer
+
+
+class LiveServer:
+    """One started :class:`JoinServer` plus its loop thread."""
+
+    def __init__(self, server: JoinServer) -> None:
+        self.server = server
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=10), "server failed to start"
+        self.host, self.port = server.address
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    def submit(self, coroutine):
+        """Run a coroutine on the server's loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self.submit(self.server.stop(drain=drain)).result(timeout=timeout)
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture()
+def live_server():
+    """A factory: ``live_server(JoinServer(...))`` starts it and owns
+    teardown (stop + loop shutdown), however many servers a test makes."""
+    running: list[LiveServer] = []
+
+    def start(server: JoinServer) -> LiveServer:
+        live = LiveServer(server)
+        running.append(live)
+        return live
+
+    yield start
+    for live in running:
+        try:
+            live.stop()
+        except Exception:
+            pass
+        live.close()
+
+
+@pytest.fixture()
+def database():
+    r = Relation("R", ("A", "B"), [(i, i % 5) for i in range(40)])
+    s = Relation("S", ("B", "C"), [(i % 5, i) for i in range(40)])
+    t = Relation("T", ("A", "C"), [(i, i) for i in range(40)])
+    return Database([r, s, t])

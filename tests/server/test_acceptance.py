@@ -1,0 +1,78 @@
+"""The PR's acceptance criterion, end to end: the same statement text,
+entered through the REPL and through the server, returns rows identical
+to the equivalent ``Q(...)`` call — across algorithms and execution
+modes."""
+
+import io
+import re
+
+import pytest
+
+from repro.lang.repl import Repl
+from repro.query.builder import Q
+from repro.query.context import ExecutionContext
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.server import JoinServer, ServerClient
+
+TEXT = "select * from R, S, T where A in (0, 1, 2, 3, 4, 5);"
+
+
+@pytest.fixture()
+def database():
+    r = Relation("R", ("A", "B"), [(i, i % 4) for i in range(24)])
+    s = Relation("S", ("B", "C"), [(i % 4, i % 7) for i in range(24)])
+    t = Relation("T", ("A", "C"), [(i, i % 7) for i in range(24)])
+    return Database([r, s, t])
+
+
+def builder_rows(database, context):
+    relations = [database[name] for name in ("R", "S", "T")]
+    builder = (
+        Q(*relations, context=context.replace(database=database))
+        .where_in("A", (0, 1, 2, 3, 4, 5))
+    )
+    return sorted(builder.stream())
+
+
+def repl_rows(database, context):
+    output = io.StringIO()
+    Repl(
+        database,
+        input_stream=io.StringIO(TEXT + "\n"),
+        output_stream=output,
+        context=context,
+    ).run()
+    lines = output.getvalue().splitlines()
+    rows = []
+    for line in lines[2:]:  # header, separator, rows..., trailer
+        if re.fullmatch(r"\(\d+ rows?\)", line):
+            break
+        rows.append(tuple(int(cell) for cell in line.split("|")))
+    return sorted(rows)
+
+
+CONFIGS = [
+    pytest.param(algorithm, mode, id=f"{algorithm}-{mode}")
+    for algorithm in ("generic", "leapfrog")
+    for mode in ("serial", "sharded")
+]
+
+
+@pytest.mark.parametrize("algorithm, mode", CONFIGS)
+def test_repl_and_server_match_builder(
+    live_server, database, algorithm, mode
+):
+    context = ExecutionContext(algorithm=algorithm)
+    if mode == "sharded":
+        context = context.replace(shards=3, mode="serial")
+    expected = builder_rows(database, context)
+    assert expected  # a vacuous pass would prove nothing
+
+    assert repl_rows(database, context) == expected
+
+    live = live_server(JoinServer(database, context=context))
+    with ServerClient(live.host, live.port) as client:
+        outcome = client.query(TEXT, batch=7)
+    assert sorted(outcome.rows) == expected
+    assert list(outcome.final["columns"]) == ["A", "B", "C"]

@@ -1,0 +1,113 @@
+"""Admission control: reject, queue, exempt — driven by the AGM bound."""
+
+import asyncio
+
+import pytest
+
+from repro.server import AdmissionController, AdmissionRejected
+
+
+class TestDecide:
+    def test_enumeration_over_budget_rejects(self):
+        controller = AdmissionController(row_budget=100.0)
+        with pytest.raises(AdmissionRejected) as info:
+            controller.decide("rows", 250.0)
+        error = info.value
+        assert error.bound == 250.0
+        assert error.budget == 100.0
+        assert "250.0" in str(error) and "100.0" in str(error)
+        assert "AGM" in str(error)
+        assert controller.rejected == 1
+
+    def test_under_budget_admits(self):
+        controller = AdmissionController(row_budget=100.0)
+        decision = controller.decide("rows", 99.0)
+        assert decision.admitted and not decision.queued
+
+    def test_no_budget_admits_everything(self):
+        controller = AdmissionController()
+        assert controller.decide("rows", 1e18).admitted
+
+    def test_aggregates_exempt_by_default(self):
+        controller = AdmissionController(row_budget=10.0)
+        for kind in ("aggregate", "group", "sample", "explain",
+                     "explain_analyze"):
+            assert controller.decide(kind, 1e6).admitted, kind
+
+    def test_exemption_can_be_disabled(self):
+        controller = AdmissionController(
+            row_budget=10.0, exempt_aggregates=False
+        )
+        with pytest.raises(AdmissionRejected):
+            controller.decide("aggregate", 1e6)
+
+    def test_queue_budget_marks_heavy(self):
+        controller = AdmissionController(
+            row_budget=1000.0, queue_budget=100.0
+        )
+        assert controller.decide("rows", 50.0).queued is False
+        decision = controller.decide("rows", 500.0)
+        assert decision.queued is True
+        assert decision.reason == "queued-heavy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="row_budget"):
+            AdmissionController(row_budget=0)
+        with pytest.raises(ValueError, match="queue_budget"):
+            AdmissionController(queue_budget=-1)
+        with pytest.raises(ValueError, match="max_concurrent"):
+            AdmissionController(max_concurrent=0)
+
+
+class TestAdmit:
+    def test_admit_counts_and_releases(self):
+        controller = AdmissionController(max_concurrent=2)
+
+        async def scenario():
+            async with controller.admit("rows", 5.0) as decision:
+                assert decision.admitted
+            # The slot released: two more concurrent holds fit.
+            async with controller.admit("rows", 5.0):
+                async with controller.admit("rows", 5.0):
+                    pass
+
+        asyncio.run(scenario())
+        assert controller.admitted == 3
+
+    def test_heavy_queries_serialize(self):
+        controller = AdmissionController(queue_budget=10.0)
+        order = []
+
+        async def heavy(tag, delay):
+            async with controller.admit("rows", 100.0):
+                order.append(("start", tag))
+                await asyncio.sleep(delay)
+                order.append(("end", tag))
+
+        async def scenario():
+            await asyncio.gather(heavy("a", 0.02), heavy("b", 0.0))
+
+        asyncio.run(scenario())
+        # One heavy query at a time: no interleaving of start/end.
+        assert order in (
+            [("start", "a"), ("end", "a"), ("start", "b"), ("end", "b")],
+            [("start", "b"), ("end", "b"), ("start", "a"), ("end", "a")],
+        )
+        assert controller.queued == 2
+
+    def test_light_queries_run_concurrently(self):
+        controller = AdmissionController(queue_budget=1000.0)
+        running = {"now": 0, "peak": 0}
+
+        async def light():
+            async with controller.admit("rows", 5.0):
+                running["now"] += 1
+                running["peak"] = max(running["peak"], running["now"])
+                await asyncio.sleep(0.01)
+                running["now"] -= 1
+
+        async def scenario():
+            await asyncio.gather(light(), light(), light())
+
+        asyncio.run(scenario())
+        assert running["peak"] == 3

@@ -1,0 +1,75 @@
+"""The prepared-query cache: LRU behavior and frozen-plan reuse."""
+
+import pytest
+
+from repro.lang import compile_query
+from repro.query.prepared import PreparedQuery
+from repro.relations.database import Database
+from repro.relations.relation import Relation
+from repro.server import CacheEntry, PreparedCache
+
+
+@pytest.fixture()
+def database():
+    r = Relation("R", ("A", "B"), [(i, i % 3) for i in range(6)])
+    s = Relation("S", ("B", "C"), [(i % 3, i) for i in range(6)])
+    return Database([r, s])
+
+
+def entry_for(database, text):
+    return CacheEntry(compile_query(text, database))
+
+
+class TestCacheEntry:
+    def test_entry_freezes_plan_and_bound(self, database):
+        entry = entry_for(database, "select * from R, S;")
+        assert isinstance(entry.prepared, PreparedQuery)
+        assert entry.bound > 0
+        assert entry.compiled.kind == "rows"
+
+    def test_prepared_runs_without_new_index_builds(self, database):
+        entry = entry_for(database, "select * from R, S;")
+        first = sorted(entry.prepared.stream())
+        misses = database.cache_info().misses
+        assert sorted(entry.prepared.stream()) == first
+        assert database.cache_info().misses == misses
+
+
+class TestLRU:
+    def test_miss_then_hit(self, database):
+        cache = PreparedCache(capacity=4)
+        assert cache.get("select * from R, S") is None
+        entry = entry_for(database, "select * from R, S;")
+        cache.put("select * from R, S", entry)
+        assert cache.get("select * from R, S") is entry
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.entries) == (1, 1, 1)
+
+    def test_eviction_drops_least_recent(self, database):
+        cache = PreparedCache(capacity=2)
+        entries = {}
+        for name in ("R", "S"):
+            text = f"select * from {name}"
+            entries[name] = entry_for(database, text + ";")
+            cache.put(text, entries[name])
+        cache.get("select * from R")  # refresh R; S is now LRU
+        cache.put(
+            "select * from R, S",
+            entry_for(database, "select * from R, S;"),
+        )
+        assert "select * from S" not in cache
+        assert "select * from R" in cache
+        assert cache.cache_info().evictions == 1
+
+    def test_reput_refreshes_instead_of_evicting(self, database):
+        cache = PreparedCache(capacity=2)
+        entry = entry_for(database, "select * from R;")
+        cache.put("select * from R", entry)
+        cache.put("select * from R", entry)
+        info = cache.cache_info()
+        assert info.entries == 1
+        assert info.evictions == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PreparedCache(capacity=0)

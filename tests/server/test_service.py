@@ -1,0 +1,307 @@
+"""Server integration: concurrency, the prepared cache, admission, and
+graceful shutdown — over real sockets."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.query.builder import Q
+from repro.server import (
+    AdmissionController,
+    JoinServer,
+    PreparedCache,
+    ServerClient,
+    ServerError,
+)
+
+
+def triangle_rows(database):
+    relations = [database[name] for name in ("R", "S", "T")]
+    return sorted(Q(*relations).on(database).stream())
+
+
+class TestQueries:
+    def test_rows_parity_with_builder(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            outcome = client.query("select * from R, S, T;")
+        assert sorted(outcome.rows) == triangle_rows(database)
+        assert outcome.final["kind"] == "rows"
+        assert outcome.final["columns"] == ["A", "B", "C"]
+        assert outcome.final["rows_total"] == len(outcome.rows)
+
+    def test_small_batches_stream_multiple_lines(self, live_server,
+                                                 database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            batches, final = client.request(
+                "query", q="select * from R, S, T;", batch=4
+            )
+        assert len(batches) >= 2  # 40 rows at 4 per line
+        assert all(len(b["rows"]) <= 4 for b in batches)
+        assert final["rows_total"] == 40
+
+    def test_aggregates_answer_inline(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            outcome = client.query(
+                "select count(*), avg(B), count(distinct C) from R, S, T;"
+            )
+        relations = [database[name] for name in ("R", "S", "T")]
+        oracle = Q(*relations).on(database)
+        assert outcome.rows == [(
+            oracle.count(), oracle.avg("B"), oracle.count_distinct("C")
+        )]
+
+    def test_explain_op_returns_plan_text(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            text = client.explain("select * from R, S, T;")
+        assert "R" in text and "S" in text and "T" in text
+
+    def test_trace_round_trips(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            outcome = client.query(
+                "select count(*) from R;", trace=True
+            )
+        spans = outcome.final["trace"]["spans"]
+        assert spans[0]["name"] == "request"
+        child_names = [c["name"] for c in spans[0]["children"]]
+        assert "parse" in child_names and "execute" in child_names
+
+
+class TestPreparedCache:
+    def test_repeated_normalized_text_hits_with_zero_index_builds(
+        self, live_server, database
+    ):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            first = client.query("select * from R, S, T;")
+            assert first.cached is False
+            misses_before = database.cache_info().misses
+            # Different spelling, same normalized text.
+            second = client.query("SELECT  *  FROM R , S , T")
+            third = client.query(
+                "select * -- comment\n from R, S, T;"
+            )
+            stats = client.stats()
+        assert second.cached is True
+        assert third.cached is True
+        assert sorted(second.rows) == sorted(first.rows)
+        # The hit reused the frozen plan: not one new index build.
+        assert database.cache_info().misses == misses_before
+        assert stats["prepared_cache"]["hits"] == 2
+        assert stats["prepared_cache"]["entries"] == 1
+
+    def test_normalized_text_is_reported(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            outcome = client.query("SELECT  * FROM R ;")
+        assert outcome.final["normalized"] == "select * from R"
+
+    def test_failed_compiles_do_not_poison_the_cache(
+        self, live_server, database
+    ):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            with pytest.raises(ServerError):
+                client.query("select * from Missing;")
+            stats = client.stats()
+        assert stats["prepared_cache"]["entries"] == 0
+
+
+class TestAdmission:
+    def test_over_budget_rejection_names_bound_and_budget(
+        self, live_server, database
+    ):
+        live = live_server(
+            JoinServer(
+                database,
+                admission=AdmissionController(row_budget=2.0),
+            )
+        )
+        with ServerClient(live.host, live.port) as client:
+            with pytest.raises(ServerError) as info:
+                client.query("select * from R, S, T;")
+            stats = client.stats()
+        error = info.value
+        assert error.kind == "admission"
+        assert error.payload["budget"] == 2.0
+        assert error.payload["bound"] > 2.0
+        assert "bound" in error.payload["message"]
+        assert "row budget" in error.payload["message"]
+        assert stats["admission"]["rejected"] == 1
+
+    def test_rejection_happens_before_any_index_build(
+        self, live_server, database
+    ):
+        live = live_server(
+            JoinServer(
+                database,
+                admission=AdmissionController(row_budget=2.0),
+            )
+        )
+        with ServerClient(live.host, live.port) as client:
+            with pytest.raises(ServerError):
+                client.query("select * from R, S, T;")
+        info = database.cache_info()
+        assert info.misses == 0  # zero index builds for a rejected query
+
+    def test_aggregates_pass_the_same_budget(self, live_server, database):
+        live = live_server(
+            JoinServer(
+                database,
+                admission=AdmissionController(row_budget=2.0),
+            )
+        )
+        with ServerClient(live.host, live.port) as client:
+            outcome = client.query("select count(*) from R, S, T;")
+        assert outcome.rows[0][0] == 40
+
+
+class TestProtocolOverTheWire:
+    def test_ping_stats_metrics(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            assert client.ping()["pong"] is True
+            client.query("select count(*) from R;")
+            stats = client.stats()
+            metrics = client.metrics()
+        assert stats["relations"] == {"R": 40, "S": 40, "T": 40}
+        assert "repro_server_requests_total" in metrics
+        assert "repro_server_request_seconds" in metrics
+
+    def test_malformed_json_answers_typed_error(self, live_server,
+                                                database):
+        live = live_server(JoinServer(database))
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as raw:
+            raw.sendall(b"this is not json\n")
+            line = raw.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "protocol"
+
+    def test_bad_batch_field(self, live_server, database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            with pytest.raises(ServerError) as info:
+                client.request("query", q="select * from R;", batch=0)
+        assert info.value.kind == "protocol"
+
+    def test_errors_never_kill_the_connection(self, live_server,
+                                              database):
+        live = live_server(JoinServer(database))
+        with ServerClient(live.host, live.port) as client:
+            for bad in ("selec *;", "select * from Zed;"):
+                with pytest.raises(ServerError):
+                    client.query(bad)
+            outcome = client.query("select count(*) from R;")
+        assert outcome.rows
+
+
+class TestConcurrency:
+    def test_concurrent_clients_multiplex(self, live_server, database):
+        live = live_server(JoinServer(database))
+        expected = triangle_rows(database)
+        results: dict[int, bool] = {}
+
+        def worker(index: int) -> None:
+            with ServerClient(live.host, live.port) as client:
+                outcome = client.query("select * from R, S, T;", batch=8)
+                results[index] = sorted(outcome.rows) == expected
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 8
+        assert all(results.values())
+
+    def test_one_connection_pipelines_requests(self, live_server,
+                                               database):
+        live = live_server(JoinServer(database))
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as raw:
+            for i in (1, 2, 3):
+                raw.sendall(
+                    json.dumps(
+                        {"id": i, "op": "query",
+                         "q": "select count(*) from R;"}
+                    ).encode() + b"\n"
+                )
+            reader = raw.makefile("rb")
+            finals = {}
+            while len(finals) < 3:
+                response = json.loads(reader.readline())
+                if response.get("final"):
+                    finals[response["id"]] = response
+        assert set(finals) == {1, 2, 3}
+        assert all(f["ok"] for f in finals.values())
+
+
+class TestShutdown:
+    def test_drain_finishes_in_flight_queries(self, live_server,
+                                              database):
+        live = live_server(JoinServer(database))
+        with socket.create_connection(
+            (live.host, live.port), timeout=30
+        ) as raw:
+            raw.sendall(
+                json.dumps(
+                    {"id": 1, "op": "query",
+                     "q": "select * from R, S, T;", "batch": 1}
+                ).encode() + b"\n"
+            )
+            reader = raw.makefile("rb")
+            first = json.loads(reader.readline())  # one batch in flight
+            assert first.get("rows")
+            # Stop with drain while the stream is mid-flight.
+            stopper = live.submit(live.server.stop(drain=True))
+            rows = list(first["rows"])
+            final = None
+            while final is None:
+                response = json.loads(reader.readline())
+                if response.get("final"):
+                    final = response
+                else:
+                    rows.extend(response["rows"])
+            stopper.result(timeout=30)
+        # Every row arrived and the final line flushed before teardown.
+        assert final["ok"] is True
+        assert sorted(tuple(r) for r in rows) == triangle_rows(database)
+        assert final["rows_total"] == len(rows)
+
+    def test_new_requests_during_drain_get_shutdown_error(
+        self, live_server, database
+    ):
+        live = live_server(JoinServer(database))
+
+        async def enter_drain():
+            # What stop() does first; the connection stays up so the
+            # refusal itself is observable.
+            live.server._draining = True
+
+        with socket.create_connection(
+            (live.host, live.port), timeout=30
+        ) as raw:
+            reader = raw.makefile("rb")
+            live.submit(enter_drain()).result(timeout=5)
+            raw.sendall(b'{"id": 9, "op": "ping"}\n')
+            response = json.loads(reader.readline())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "shutdown"
+
+    def test_listener_closes_after_stop(self, live_server, database):
+        live = live_server(JoinServer(database))
+        live.stop()
+        with pytest.raises(OSError):
+            socket.create_connection((live.host, live.port), timeout=2)

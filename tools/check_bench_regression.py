@@ -134,6 +134,24 @@ METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
             None,
         ),
     ),
+    "BENCH_server.json": (
+        # All three headline numbers are wall-time ratios over loopback
+        # sockets on a tiny smoke instance: loose floors (the bench's
+        # own >= 1.0 sanity checks are the hard gates).  The boolean
+        # flags are the deterministic contract: exact.
+        ("workloads.cache.hit_speedup", "ratio", 0.25),
+        ("workloads.admission.rejection_speedup", "ratio", 0.25),
+        ("workloads.throughput.concurrent_vs_serial", "ratio", 0.4),
+        ("workloads.cache.zero_index_builds_on_hit", "exact", None),
+        ("workloads.cache.one_answer", "exact", None),
+        ("workloads.admission.all_rejected", "exact", None),
+        (
+            "workloads.admission.rejected_without_index_builds",
+            "exact",
+            None,
+        ),
+        ("workloads.throughput.parity", "exact", None),
+    ),
 }
 
 

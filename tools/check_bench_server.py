@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_server.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_server.py [benchmarks/BENCH_server.json]
+
+Validates the structure ``benchmarks/bench_server.py`` promises — the
+prepared-cache cold/warm measurement, the admission rejection-cost
+measurement, the concurrent-throughput measurement, and every parity
+flag — so downstream consumers (the regression gate, the CI artifact
+upload, the README numbers) can rely on it.  Exits non-zero with a
+message naming the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+CACHE_KEYS = {
+    "requests": int,
+    "cold_seconds_per_request": (int, float),
+    "warm_seconds_per_request": (int, float),
+    "hit_speedup": (int, float),
+    "zero_index_builds_on_hit": bool,
+    "one_answer": bool,
+    "cache_hits": int,
+}
+
+ADMISSION_KEYS = {
+    "requests": int,
+    "rows": int,
+    "bound": (int, float),
+    "execute_seconds": (int, float),
+    "reject_seconds_per_request": (int, float),
+    "rejection_speedup": (int, float),
+    "all_rejected": bool,
+    "rejected_without_index_builds": bool,
+}
+
+THROUGHPUT_KEYS = {
+    "clients": int,
+    "requests_per_client": int,
+    "rows_per_request": int,
+    "serial_qps": (int, float),
+    "concurrent_qps": (int, float),
+    "concurrent_vs_serial": (int, float),
+    "parity": bool,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_server.json schema violation: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def check_keys(path: str, entry: object, keys: dict) -> None:
+    if not isinstance(entry, dict):
+        fail(f"{path} is not an object")
+    for key, expected in keys.items():
+        if key not in entry:
+            fail(f"{path} missing {key!r}")
+        if not isinstance(entry[key], expected):
+            fail(f"{path}.{key} has type {type(entry[key]).__name__}")
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in ("host", "version", "definitions", "scale", "workloads"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    for metric in (
+        "hit_speedup", "rejection_speedup", "concurrent_vs_serial"
+    ):
+        if metric not in data["definitions"]:
+            fail(f"definitions missing {metric!r}")
+    workloads = data["workloads"]
+    if not isinstance(workloads, dict):
+        fail("workloads is not an object")
+    for name in ("cache", "admission", "throughput"):
+        if name not in workloads:
+            fail(f"workloads missing {name!r}")
+    check_keys("workloads.cache", workloads["cache"], CACHE_KEYS)
+    check_keys(
+        "workloads.admission", workloads["admission"], ADMISSION_KEYS
+    )
+    check_keys(
+        "workloads.throughput", workloads["throughput"], THROUGHPUT_KEYS
+    )
+
+    cache = workloads["cache"]
+    if cache["hit_speedup"] < 1.0:
+        fail(
+            f"cache.hit_speedup {cache['hit_speedup']} < 1.0 — the "
+            "prepared cache lost to cold planning"
+        )
+    for flag in ("zero_index_builds_on_hit", "one_answer"):
+        if cache[flag] is not True:
+            fail(f"cache.{flag} is not true")
+
+    admission = workloads["admission"]
+    if admission["rejection_speedup"] < 1.0:
+        fail(
+            f"admission.rejection_speedup "
+            f"{admission['rejection_speedup']} < 1.0 — refusing cost "
+            "more than executing"
+        )
+    for flag in ("all_rejected", "rejected_without_index_builds"):
+        if admission[flag] is not True:
+            fail(f"admission.{flag} is not true")
+
+    if workloads["throughput"]["parity"] is not True:
+        fail("throughput.parity is not true")
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[0] if argv else "benchmarks/BENCH_server.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist — run benchmarks/bench_server.py")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,15 +10,17 @@ baselines the paper compares against and two successor WCOJ algorithms
 
 Quickstart::
 
-    from repro import Q, Relation, explain, iter_join, join, output_bound
+    from repro import Q, Relation, execute, explain, output_bound
 
     r = Relation("R", ("A", "B"), [(0, 1), (1, 2)])
     s = Relation("S", ("B", "C"), [(1, 5), (2, 6)])
     t = Relation("T", ("A", "C"), [(0, 5), (1, 6)])
-    print(join([r, s, t]))          # worst-case optimal triangle join
-    print(output_bound([r, s, t]))  # the AGM bound 2^(3/2)
-    for row in iter_join([r, s, t]):
+    stream = execute([r, s, t])     # worst-case optimal triangle join
+    for row in stream:
         print(row)                  # streamed, no materialization
+    print(stream.relation("J"))     # ... or materialized
+    print(stream.count())           # ... or folded, no enumeration
+    print(output_bound([r, s, t]))  # the AGM bound 2^(3/2)
     print(explain([r, s, t]).describe())  # the engine's join plan
 
     # Selections and projections, pushed into the plan:
@@ -44,6 +46,7 @@ from repro.api import (
     ALGORITHMS,
     aiter_join,
     count_join,
+    execute,
     explain,
     iter_join,
     join,
@@ -51,6 +54,15 @@ from repro.api import (
     output_bound,
     sample_join,
     shard_join,
+)
+from repro.distributed import (
+    DispatchScheduler,
+    LocalPoolScheduler,
+    LoopbackTransport,
+    Scheduler,
+    ShardWorker,
+    SocketTransport,
+    WorkerServer,
 )
 from repro.core import (
     ArityTwoJoin,
@@ -86,6 +98,7 @@ from repro.errors import (
     CompileError,
     CoverError,
     DatabaseError,
+    DistributedError,
     FunctionalDependencyError,
     LangError,
     LinearProgramError,
@@ -131,6 +144,9 @@ from repro.query import (
     PreparedQuery,
     Q,
     QueryBuilder,
+    ResultStream,
+    ShardSpec,
+    StealPolicy,
 )
 from repro.server import (
     AdmissionController,
@@ -174,6 +190,8 @@ __all__ = [
     "CoverError",
     "Database",
     "DatabaseError",
+    "DispatchScheduler",
+    "DistributedError",
     "ExecutionContext",
     "ExecutionTelemetry",
     "ExplainAnalysis",
@@ -193,6 +211,8 @@ __all__ = [
     "LangError",
     "LeapfrogTriejoin",
     "LinearProgramError",
+    "LocalPoolScheduler",
+    "LoopbackTransport",
     "Max",
     "MetricsRegistry",
     "Min",
@@ -211,26 +231,34 @@ __all__ = [
     "Relation",
     "RelaxedJoin",
     "ReproError",
+    "ResultStream",
+    "Scheduler",
     "SchemaError",
     "ServerClient",
     "ServerError",
     "ShardObservation",
+    "ShardSpec",
+    "ShardWorker",
+    "SocketTransport",
     "SortedArrayIndex",
     "Span",
     "SpanContext",
     "StatsConfig",
     "StatsProvider",
+    "StealPolicy",
     "Sum",
     "Tracer",
     "TrieIndex",
     "Var",
     "WarmReport",
+    "WorkerServer",
     "agm_bound",
     "aiter_join",
     "arity_two_join",
     "best_agm_bound",
     "compile_query",
     "count_join",
+    "execute",
     "explain",
     "fd_aware_bound",
     "fd_aware_join",

@@ -5,6 +5,8 @@ Usage::
     python -m repro join R.csv S.csv T.csv [--algorithm nprr] [-o out.csv]
     python -m repro join R.csv S.csv T.csv --stream
     python -m repro join R.csv S.csv T.csv --shards 4 --batch 500
+    python -m repro join R.csv S.csv T.csv --workers 127.0.0.1:7102,127.0.0.1:7103 \\
+        --steal --predictive
     python -m repro join R.csv S.csv T.csv --where A=1 --where-in B=2,3 \\
         --select A,C
     python -m repro join R.csv S.csv T.csv --feedback
@@ -18,6 +20,7 @@ Usage::
     python -m repro explain R.csv S.csv T.csv --analyze
     python -m repro repl R.csv S.csv T.csv
     python -m repro serve R.csv S.csv T.csv --port 7712 --row-budget 1000000
+    python -m repro worker --port 7102
     python -m repro --version
 
 * ``join``    — compute the natural join (attributes join by column name);
@@ -37,7 +40,11 @@ Usage::
                 ``--shards`` the workers return partial counts) — and
                 ``--sample K`` prints K distinct uniform result rows
                 drawn by AGM-weighted rejection (``--seed S`` makes the
-                draw deterministic)
+                draw deterministic).  ``--workers host:port,...``
+                dispatches the shards to a fleet of ``worker``
+                processes instead of the local pool; ``--steal``
+                enables within-run work stealing and ``--predictive``
+                pre-splits hub-heavy shards at plan time
 * ``bound``   — print the AGM output bound, the optimal fractional cover,
                 and the dual packing certificate
 * ``explain`` — print the engine's join plan (algorithm, attribute order,
@@ -64,6 +71,12 @@ Usage::
                 (``--row-budget N`` rejects enumeration queries whose
                 fractional-cover output bound exceeds N before running
                 them; ``--queue-budget N`` serializes heavy queries)
+* ``worker``  — shard worker for distributed execution: serves pickled
+                shard tasks over the length-prefixed frame protocol of
+                :mod:`repro.distributed` until interrupted; point
+                ``join --workers`` (or a
+                :class:`~repro.distributed.DispatchScheduler`) at a
+                fleet of these
 
 ``join --trace FILE`` records a span tree of the run (plan,
 stats-profile, index-build, execute / per-shard) and writes it as JSON;
@@ -156,6 +169,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write output rows in batches of N (implies --stream delivery)",
     )
     join_cmd.add_argument(
+        "--workers",
+        type=_worker_addresses,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="dispatch shards to this fleet of 'python -m repro worker' "
+        "servers instead of the local pool (implies --shards auto "
+        "unless --shards is given)",
+    )
+    join_cmd.add_argument(
+        "--steal",
+        action="store_true",
+        help="within-run work stealing: shards a rate model over "
+        "completed-shard timings flags as hot are sub-split at claim "
+        "time so idle workers steal them",
+    )
+    join_cmd.add_argument(
+        "--predictive",
+        action="store_true",
+        help="pre-split shards holding heavy-hitter values at plan time "
+        "(closes the one-slow-run gap of --feedback re-sharding)",
+    )
+    join_cmd.add_argument(
         "--feedback",
         action="store_true",
         help="record execution telemetry and re-plan repeated queries "
@@ -201,6 +236,20 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_query_options(join_cmd)
     join_cmd.add_argument(
         "-o", "--output", help="write the result CSV here (default: stdout)"
+    )
+
+    worker_cmd = commands.add_parser(
+        "worker",
+        help="shard worker server for distributed join execution",
+    )
+    worker_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    worker_cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: an ephemeral port, printed at startup)",
     )
 
     bound_cmd = commands.add_parser(
@@ -461,6 +510,49 @@ def _batch_size(text: str) -> int:
     return size
 
 
+def _worker_addresses(text: str) -> list[tuple[str, int]]:
+    """argparse type for ``--workers``: comma-separated host:port pairs."""
+    addresses = []
+    for part in text.split(","):
+        host, sep, port_text = part.strip().rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = 0
+        if not sep or not host or not 0 < port < 65536:
+            raise argparse.ArgumentTypeError(
+                f"expected HOST:PORT[,HOST:PORT...], got {part!r}"
+            )
+        addresses.append((host, port))
+    return addresses
+
+
+def _sharding(builder: QueryBuilder, args: argparse.Namespace) -> QueryBuilder:
+    """Attach the sharding spec (and the fleet, with ``--workers``)."""
+    if (
+        args.shards is None
+        and args.workers is None
+        and not args.steal
+        and not args.predictive
+    ):
+        return builder
+    from repro.query.shards import ShardSpec
+
+    spec = ShardSpec(
+        args.shards if args.shards is not None else "auto",
+        predictive=args.predictive,
+        steal=args.steal or None,
+    )
+    if args.workers is None:
+        return builder.using(shards=spec)
+    from repro.distributed import DispatchScheduler, SocketTransport
+
+    fleet = DispatchScheduler(
+        [SocketTransport(host, port) for host, port in args.workers]
+    )
+    return builder.using(shards=spec, scheduler=fleet)
+
+
 def _load_query(files: list[str]) -> JoinQuery:
     return JoinQuery(load_database_csv(files))
 
@@ -494,9 +586,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 def _run_join(builder: QueryBuilder, args: argparse.Namespace) -> int:
     """Dispatch one ``join`` invocation (count/sample/stream/materialize)."""
+    builder = _sharding(builder, args)
     if args.count:
-        if args.shards is not None:
-            builder = builder.using(shards=args.shards)
         print(builder.count())
         return 0
     if args.sample is not None:
@@ -505,7 +596,7 @@ def _run_join(builder: QueryBuilder, args: argparse.Namespace) -> int:
         for row in rows:
             print(",".join(str(v) for v in row))
         return 0
-    if args.stream or args.shards is not None or args.batch is not None:
+    if args.stream or builder.context.parallel or args.batch is not None:
         return _stream_join(builder, args)
     result = builder.run()
     if args.output:
@@ -525,8 +616,6 @@ def _stream_join(builder: QueryBuilder, args: argparse.Namespace) -> int:
     groups rows into fixed-size batches and writes each batch with a
     single call, so per-row write overhead is amortized.
     """
-    if args.shards is not None:
-        builder = builder.using(shards=args.shards)
     rows = builder.stream()
     header = ",".join(builder.output_attributes)
 
@@ -645,6 +734,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.worker import WorkerServer
+
+    server = WorkerServer(host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro worker listening on {host}:{port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -653,6 +757,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "repl": _cmd_repl,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
     }
     try:
         return handlers[args.command](args)

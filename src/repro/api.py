@@ -1,29 +1,38 @@
-"""The front door: one function to join relations with any algorithm.
+"""The front door: one ``execute()`` for every consumption style.
 
->>> from repro import Relation, join
+>>> from repro import Relation, execute
 >>> r = Relation("R", ("A", "B"), [(1, 2), (2, 3)])
 >>> s = Relation("S", ("B", "C"), [(2, 9), (3, 7)])
 >>> t = Relation("T", ("A", "C"), [(1, 9), (2, 7)])
->>> sorted(join([r, s, t]).tuples)
+>>> sorted(execute([r, s, t]))
 [(1, 2, 9), (2, 3, 7)]
 
-Every function here is a thin wrapper over the composable query layer
-(:mod:`repro.query`): each constructs an
-:class:`~repro.query.context.ExecutionContext` from its (frozen)
-keyword signature and delegates to the fluent builder
-:func:`~repro.query.builder.Q` — which in turn drives the engine
-(:mod:`repro.engine`): the planner resolves ``"auto"`` to a concrete
-algorithm, picks an attribute order and an index backend, and the
-executor registry runs the plan.  Use :func:`iter_join` to stream rows
-without materializing the result, :func:`explain` to inspect the plan
-without running it, and the parallel entry points to scale consumption:
-:func:`join_batched` (fixed-size row batches), :func:`shard_join`
-(first-attribute sharding across workers), and :func:`aiter_join`
-(async iteration for event-loop servers).  For selections, projections,
-and prepared queries, use the builder directly::
+:func:`execute` takes the *what* (relations, a
+:class:`~repro.core.query.JoinQuery`, or a fluent
+:func:`~repro.query.builder.Q` builder) and the *how* (an
+:class:`~repro.query.context.ExecutionContext`, or keyword updates to
+one) and returns a :class:`~repro.query.result.ResultStream` whose
+views cover every consumption style: iterate it, materialize it
+(``.relation()``), batch it (``.batches()``), drive it from an event
+loop (``.astream()``), or fold it without enumeration (``.count()``,
+``.fold(spec)``).  Execution options — algorithm, backend, sharding
+(:class:`~repro.query.shards.ShardSpec`), a distributed
+:class:`~repro.distributed.DispatchScheduler` — live on the context,
+declared once instead of re-spelled per entry point::
 
-    from repro import Q
-    Q(r, s, t).where(B=2).select("A", "C").run()
+    from repro import ExecutionContext, ShardSpec, execute
+
+    ctx = ExecutionContext(shards=ShardSpec("auto", steal=True))
+    for row in execute([r, s, t], context=ctx):
+        ...
+
+The pre-``execute`` entry points (:func:`join`, :func:`join_batched`,
+:func:`shard_join`, :func:`aiter_join`) remain as signature-frozen
+shims — each is one ``execute`` call — and emit
+:class:`DeprecationWarning`; :func:`iter_join` stays first-class (it
+*is* the streaming seam the paper's algorithms share), as do
+:func:`count_join`, :func:`sample_join`, :func:`explain`, and
+:func:`output_bound`.
 
 Every entry point validates its arguments when *called* — an
 incompatible algorithm/backend/order combination raises
@@ -33,6 +42,7 @@ at first ``next()``.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import AsyncIterator, Iterator, Sequence
 
 from repro.core.query import JoinQuery
@@ -43,12 +53,13 @@ from repro.errors import QueryError
 from repro.feedback.config import FeedbackConfig
 from repro.hypergraph.agm import best_agm_bound
 from repro.hypergraph.covers import FractionalCover
-from repro.query.builder import Q
+from repro.query.builder import Q, QueryBuilder
 from repro.query.context import ExecutionContext
+from repro.query.result import ResultStream
 from repro.relations.database import Database
 from repro.relations.relation import Relation, Row
 
-#: Algorithms selectable by name in :func:`join`.  Derived from the
+#: Algorithms selectable by name in :func:`execute`.  Derived from the
 #: engine's executor registry — the single source of truth shared with
 #: the CLI's ``--algorithm`` choices.
 ALGORITHMS = algorithm_names()
@@ -62,6 +73,69 @@ def _check_algorithm(algorithm: str) -> None:
         )
 
 
+def _deprecated(name: str, hint: str) -> None:
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {hint}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def execute(
+    query: Sequence[Relation] | JoinQuery | QueryBuilder,
+    context: ExecutionContext | None = None,
+    **options,
+) -> ResultStream:
+    """Execute a join query; return a multi-view
+    :class:`~repro.query.result.ResultStream`.
+
+    Parameters
+    ----------
+    query:
+        The relations to join, an existing :class:`JoinQuery`, or a
+        fluent builder (whose selections/projections are kept — only
+        the execution options are overlaid).
+    context:
+        An :class:`~repro.query.context.ExecutionContext` carrying
+        every execution option: algorithm, cover, attribute order,
+        backend, database, sharding (:class:`~repro.query.shards.
+        ShardSpec`), scheduler, feedback, tracer, metrics.
+    **options:
+        Alternatively, keyword updates applied to the query's current
+        context (``execute(q, shards=ShardSpec(4), mode="thread")``).
+        Mutually exclusive with ``context``.
+
+    Nothing runs until a view of the returned stream is consumed; each
+    view starts a fresh execution.  Algorithm validation happens now.
+
+    >>> from repro import Relation
+    >>> r = Relation("R", ("A", "B"), [(i, i + 1) for i in range(4)])
+    >>> s = Relation("S", ("B", "C"), [(i + 1, i) for i in range(4)])
+    >>> execute([r, s]).count()
+    4
+    """
+    # Validate the algorithm name before touching the query at all, so
+    # ``execute(bad_query, algorithm="bogus")`` reports the bad name.
+    if context is not None:
+        if options:
+            raise QueryError(
+                "pass either a context or keyword options, not both"
+            )
+        _check_algorithm(context.algorithm)
+    elif "algorithm" in options:
+        _check_algorithm(options["algorithm"])
+    if isinstance(query, QueryBuilder):
+        builder = query
+    else:
+        builder = Q(query)
+    if context is not None:
+        builder = builder.using(context)
+    elif options:
+        builder = builder.using(**options)
+    _check_algorithm(builder.context.algorithm)
+    return ResultStream(builder)
+
+
 def join(
     relations: Sequence[Relation] | JoinQuery,
     algorithm: str = "auto",
@@ -73,6 +147,10 @@ def join(
     feedback: FeedbackConfig | None = None,
 ) -> Relation:
     """Compute the natural join of ``relations``, worst-case optimally.
+
+    .. deprecated:: this release
+        Use ``execute(relations, ...).relation(name)`` — same plan,
+        same result, options declared once on the context.
 
     Parameters
     ----------
@@ -102,16 +180,16 @@ def join(
         telemetry, and repeated runs of the same query re-plan from the
         observed statistics instead of the sampled estimates.
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    _deprecated("join", "execute(relations, ...).relation(name)")
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
         feedback=feedback,
-    )
-    return Q(relations, context=context).run(name)
+    ).relation(name)
 
 
 def iter_join(
@@ -126,25 +204,26 @@ def iter_join(
     """Stream the natural join of ``relations`` row by row.
 
     Yields tuples aligned with the query's attribute order (the schema
-    :func:`join` would return) as soon as each is found.  The
-    attribute-at-a-time executors (``nprr``, ``generic``, ``leapfrog``)
-    never materialize the output, so the first rows arrive while the
-    search is still running and consumers may stop early; the blocking
-    specialists (``lw``, ``arity2``) compute internally and then stream.
-    With ``feedback`` set, a fully consumed stream records its
-    telemetry and later runs re-plan from it (abandoning the stream
-    early records nothing).
+    ``execute(...).relation()`` would carry) as soon as each is found.
+    The attribute-at-a-time executors (``nprr``, ``generic``,
+    ``leapfrog``) never materialize the output, so the first rows
+    arrive while the search is still running and consumers may stop
+    early; the blocking specialists (``lw``, ``arity2``) compute
+    internally and then stream.  With ``feedback`` set, a fully
+    consumed stream records its telemetry and later runs re-plan from
+    it (abandoning the stream early records nothing).
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
-        algorithm=algorithm,
-        cover=cover,
-        attribute_order=attribute_order,
-        backend=backend,
-        database=database,
-        feedback=feedback,
+    return iter(
+        execute(
+            relations,
+            algorithm=algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+            database=database,
+            feedback=feedback,
+        )
     )
-    return Q(relations, context=context).stream()
 
 
 def join_batched(
@@ -159,20 +238,27 @@ def join_batched(
 ) -> Iterator[list[Row]]:
     """Stream the natural join in fixed-size row batches.
 
+    .. deprecated:: this release
+        Use ``execute(relations, ...).batches(size)``.
+
     Exactly :func:`iter_join`, delivered as lists of ``batch_size`` rows
     (the last batch may be shorter; no empty batch is yielded), so
     per-row overhead — function calls, syscalls, network frames — is
     paid once per batch.  ``batch_size`` may be ``"auto"`` to let the
     planner size batches from the AGM output estimate.
 
+    >>> import warnings
     >>> from repro import Relation
     >>> r = Relation("R", ("A", "B"), [(i, i + 1) for i in range(5)])
     >>> s = Relation("S", ("B", "C"), [(i + 1, i) for i in range(5)])
-    >>> [len(batch) for batch in join_batched([r, s], batch_size=2)]
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     [len(batch) for batch in join_batched([r, s], batch_size=2)]
     [2, 2, 1]
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    _deprecated("join_batched", "execute(relations, ...).batches(size)")
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
@@ -180,8 +266,7 @@ def join_batched(
         batch_size=batch_size,
         database=database,
         feedback=feedback,
-    )
-    return Q(relations, context=context).batches()
+    ).batches()
 
 
 def shard_join(
@@ -198,6 +283,11 @@ def shard_join(
 ) -> Iterator[Row]:
     """Stream the natural join, sharded on the planner's first attribute.
 
+    .. deprecated:: this release
+        Use ``execute(relations, shards=ShardSpec(n))`` (or a context
+        carrying the spec — and, for a remote fleet, a
+        ``DispatchScheduler``) and iterate the stream.
+
     The first attribute's candidate values are partitioned into
     ``shards`` work-balanced groups and the whole engine runs once per
     shard — on a process pool by default (``mode="auto"`` falls back to
@@ -212,19 +302,24 @@ def shard_join(
     attribute on the following run (the online "Skew Strikes Back"
     split).  See :mod:`repro.engine.parallel`.
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
-        algorithm=algorithm,
-        cover=cover,
-        attribute_order=attribute_order,
-        backend=backend,
-        shards=shards if shards is not None else "auto",
-        mode=mode,
-        workers=workers,
-        database=database,
-        feedback=feedback,
+    _deprecated(
+        "shard_join",
+        "execute(relations, shards=ShardSpec(n)) and iterate the stream",
     )
-    return Q(relations, context=context).stream()
+    return iter(
+        execute(
+            relations,
+            algorithm=algorithm,
+            cover=cover,
+            attribute_order=attribute_order,
+            backend=backend,
+            shards=shards if shards is not None else "auto",
+            mode=mode,
+            workers=workers,
+            database=database,
+            feedback=feedback,
+        )
+    )
 
 
 def aiter_join(
@@ -240,6 +335,9 @@ def aiter_join(
 ) -> AsyncIterator[Row]:
     """Async variant of :func:`iter_join` for event-loop servers.
 
+    .. deprecated:: this release
+        Use ``execute(relations, ...).astream(batch_size)``.
+
     Returns an async iterator: the blocking join generator runs on
     worker threads (``asyncio.to_thread``) and rows reach the loop
     ``batch_size`` at a time, so the loop never blocks on the search for
@@ -251,8 +349,9 @@ def aiter_join(
         async for row in aiter_join([r, s, t]):
             await websocket.send(render(row))
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    _deprecated("aiter_join", "execute(relations, ...).astream(batch_size)")
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
@@ -260,8 +359,7 @@ def aiter_join(
         shards=shards,
         database=database,
         feedback=feedback,
-    )
-    return Q(relations, context=context).astream(batch_size=batch_size)
+    ).astream(batch_size=batch_size)
 
 
 def count_join(
@@ -294,8 +392,8 @@ def count_join(
     >>> count_join([r, s])
     64
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
@@ -305,8 +403,7 @@ def count_join(
         workers=workers,
         database=database,
         feedback=feedback,
-    )
-    return Q(relations, context=context).count()
+    ).count()
 
 
 def sample_join(
@@ -337,15 +434,14 @@ def sample_join(
     >>> sample_join([r, s], 3, seed=11)
     [(15, 15, 15), (57, 57, 57), (31, 31, 31)]
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
-    )
-    return Q(relations, context=context).sample(k, seed)
+    ).sample(k, seed)
 
 
 def explain(
@@ -369,16 +465,15 @@ def explain(
     ``stats`` pins a :class:`~repro.stats.provider.StatsProvider` (e.g.
     sampling disabled, or a fixed seed).
     """
-    _check_algorithm(algorithm)
-    context = ExecutionContext(
+    return execute(
+        relations,
         algorithm=algorithm,
         cover=cover,
         attribute_order=attribute_order,
         backend=backend,
         database=database,
         stats=stats,
-    )
-    return Q(relations, context=context).plan()
+    ).plan()
 
 
 def output_bound(

@@ -1,0 +1,186 @@
+"""Work stealing: split hot shards before and during a run.
+
+Two layers, both reusing the feedback loop's split mechanics
+(:mod:`repro.feedback.resharding`): a shard's key grows one
+``(attribute, value group)`` link per split, sub-shards partition the
+parent's output slice exactly, and observations recorded for sub-keys
+feed the same store the across-run expansion reads.
+
+**Predictive pre-splitting** (:func:`predictive_presplit`) runs at
+first-plan time.  The across-run loop needs one slow run before it
+carves up a hub shard; prediction closes that gap using statistics that
+exist *before* any run: a top-level shard whose value group contains a
+heavy-hitter value (frequency at or above the profile's
+``heavy_threshold`` — the "Skew Strikes Back" sqrt(N) cut) in any
+participant relation is split on the next attribute of the plan's
+order immediately.  A planned-weight outlier (a shard LPT could not
+balance because one value dominates) is split by the same rule even
+when the heavy value hides below the profile's ``top`` table.
+
+**Within-run stealing** (:class:`RateModel`, used by the dispatcher)
+handles what prediction misses.  The model fits seconds-per-unit-weight
+over the shards *this run* has completed; when idle capacity exists and
+a pending shard's predicted time stands ``hot_factor`` above the median
+completed time, the claiming driver splits it at claim time — the
+parent never runs, the sub-shards enter the queue, idle workers steal
+them.  Claim order is lightest-first when stealing is on, so the model
+warms on cheap shards while the likely stragglers wait where they can
+still be split.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.feedback.resharding import ShardPlanEntry
+
+__all__ = ["RateModel", "predictive_presplit"]
+
+#: Sub-shards per predictive split (matches the feedback loop's
+#: default ``split_factor``).
+PRESPLIT_FACTOR = 4
+
+#: A shard is a planned-weight outlier when its LPT weight exceeds
+#: this multiple of the median planned weight.
+WEIGHT_OUTLIER = 4.0
+
+
+class RateModel:
+    """Seconds-per-weight over this run's completed shards.
+
+    Deliberately tiny: one pooled rate (total seconds / total planned
+    weight), plus the completed-time distribution for the hotness
+    threshold.  Per-shard noise washes out quickly, and the model only
+    has to rank *pending* shards against *completed* ones — not
+    forecast absolute times.  Not thread-safe; the dispatcher mutates
+    it under its board lock.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.weight = 0
+        self.completed: list[float] = []
+
+    def observe(self, seconds: float, weight: int) -> None:
+        self.seconds += seconds
+        self.weight += max(weight, 1)
+        self.completed.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.completed)
+
+    def predict(self, weight: int) -> float:
+        """Predicted wall seconds for a shard of planned ``weight``."""
+        if not self.weight:
+            return 0.0
+        return (self.seconds / self.weight) * max(weight, 1)
+
+    def hot(self, weight: int, policy) -> bool:
+        """Is a pending shard of ``weight`` predicted to straggle?
+
+        ``policy`` is a :class:`~repro.query.shards.StealPolicy`
+        (duck-typed).  Requires ``min_completed`` observations — with
+        fewer, the rate is one shard's noise — and compares the
+        prediction against the median completed time, mirroring the
+        across-run hot test in :mod:`repro.feedback.resharding`.
+        """
+        if self.count < policy.min_completed:
+            return False
+        return self.predict(weight) > policy.hot_factor * median(
+            self.completed
+        )
+
+
+def split_entry(
+    entry: ShardPlanEntry, order, factor: int
+) -> list[ShardPlanEntry]:
+    """Split one entry on the next attribute of the plan's order.
+
+    Returns the sub-entries (keys extended by one link), or ``[entry]``
+    unchanged when the entry is at maximum depth for the order or the
+    next attribute has too few candidate values to partition — the same
+    give-up conditions as the across-run expansion.
+    """
+    # Deferred: parallel.py lazily imports this module from inside
+    # shard_join, so at module-import time the engine may not be ready.
+    from repro.engine.parallel import _shard_queries, plan_shards
+
+    depth = len(entry.key)
+    if depth >= len(order):
+        return [entry]
+    attribute = order[depth]
+    sub_specs = plan_shards(entry.query, factor, attribute)
+    if len(sub_specs) < 2:
+        return [entry]
+    sub_queries = _shard_queries(entry.query, sub_specs)
+    return [
+        ShardPlanEntry(
+            key=entry.key + ((attribute, spec.values),),
+            query=sub_query,
+            weight=spec.weight,
+        )
+        for spec, sub_query in zip(sub_specs, sub_queries)
+    ]
+
+
+def predictive_presplit(
+    entries, order, provider, factor: int = PRESPLIT_FACTOR
+) -> tuple[list[ShardPlanEntry], int]:
+    """Pre-split hub-heavy shards at first-plan time.
+
+    ``entries`` are the planned shards (after any feedback expansion),
+    ``order`` the plan's attribute order, ``provider`` a
+    :class:`~repro.stats.provider.StatsProvider` whose cached relation
+    profiles supply the heavy values.  Returns ``(new entries, number
+    of parents split)``; with no heavy values and no weight outliers
+    the entries pass through untouched, so switching ``predictive=True``
+    on is free for balanced data.
+
+    Only top-level (depth-1) entries are candidates: deeper keys came
+    from feedback or an earlier split and already isolate a hot region.
+    """
+    weights = [entry.weight for entry in entries]
+    weight_cut = WEIGHT_OUTLIER * median(weights) if weights else 0.0
+    result: list[ShardPlanEntry] = []
+    splits = 0
+    for entry in entries:
+        if len(entry.key) != 1:
+            result.append(entry)
+            continue
+        attribute, values = entry.key[0]
+        if entry.weight > weight_cut or _holds_heavy_value(
+            entry, attribute, values, provider
+        ):
+            sub_entries = split_entry(entry, order, factor)
+            if len(sub_entries) > 1:
+                splits += 1
+            result.extend(sub_entries)
+        else:
+            result.append(entry)
+    return result, splits
+
+
+def _holds_heavy_value(
+    entry: ShardPlanEntry, attribute: str, values, provider
+) -> bool:
+    """Does any participant relation show a heavy value in this group?
+
+    Profiles are taken over the entry's *restricted* relations (what
+    the provider caches per relation identity): a hub value dominates
+    its own shard's slice even harder than the full relation, so
+    restriction never hides a heavy hitter from this test.  The
+    ``top`` table bounds how many heavy values are visible; the weight
+    cut in :func:`predictive_presplit` backstops anything below it.
+    """
+    for rel in entry.query.relations.values():
+        if attribute not in rel.attribute_set or len(rel) == 0:
+            continue
+        try:
+            profile = provider.profile(rel).attribute(attribute)
+        except KeyError:  # pragma: no cover - schema and query agree
+            continue
+        for value, count in profile.top:
+            if count >= profile.heavy_threshold and value in values:
+                return True
+    return False

@@ -1,0 +1,123 @@
+"""Transports: how the dispatcher reaches a worker.
+
+A transport is a connection *factory* — ``connect()`` yields a fresh
+:class:`Channel` (framed, bidirectional, owned by one driver thread).
+Two implementations ship:
+
+* :class:`SocketTransport` — TCP to a ``python -m repro worker``
+  process, possibly on another machine;
+* :class:`LoopbackTransport` — an in-process worker on the other end
+  of a ``socketpair``, byte-for-byte the same protocol with zero
+  network.  The tests and the distributed benchmark run real fleets
+  this way, and a failure-injection double only has to wrap the
+  channel it returns.
+
+``connect()`` may be called repeatedly: the dispatcher reconnects
+through the same transport after a worker death, so a transport is the
+durable name of a worker *slot*, not of one connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.distributed.wire import recv_frame, send_frame
+
+__all__ = ["Channel", "LoopbackTransport", "SocketTransport"]
+
+
+class Channel:
+    """One framed connection (a socket plus its buffered reader)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def send(self, header: dict, payload: bytes = b"") -> None:
+        send_frame(self._sock, header, payload)
+
+    def recv(self) -> tuple[dict, bytes]:
+        return recv_frame(self._reader)
+
+    def settimeout(self, seconds: float | None) -> None:
+        """Bound every subsequent send/recv (``socket.timeout`` on
+        expiry — the dispatcher maps it to a transient worker death)."""
+        self._sock.settimeout(seconds)
+
+    def close(self) -> None:
+        """Best-effort teardown; safe to call twice.  The shutdown
+        wakes a peer blocked in ``recv`` immediately instead of leaving
+        it to notice on its next write."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class SocketTransport:
+    """TCP transport to one remote worker (``host:port``)."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def connect(self) -> Channel:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP address families (rare) just skip the hint
+        return Channel(sock)
+
+    def __repr__(self) -> str:
+        return f"SocketTransport({self.host!r}, {self.port})"
+
+
+class LoopbackTransport:
+    """An in-process worker fleet slot for tests and benchmarks.
+
+    Every ``connect()`` builds a ``socketpair`` and serves the far end
+    on a fresh daemon thread running a real
+    :class:`~repro.distributed.worker.ShardWorker` — the full wire
+    protocol with no network and no extra processes.  Reconnection
+    after an (injected) worker death therefore works exactly like TCP:
+    the next ``connect()`` is a new worker on the same slot.
+    """
+
+    def __init__(self, worker=None) -> None:
+        # Deferred import: worker.py imports the engine; keeping this
+        # module import-light lets transports load before the engine.
+        if worker is None:
+            from repro.distributed.worker import ShardWorker
+
+            worker = ShardWorker()
+        self.worker = worker
+
+    def connect(self) -> Channel:
+        parent, child = socket.socketpair()
+        serve = threading.Thread(
+            target=self._serve, args=(child,), daemon=True
+        )
+        serve.start()
+        return Channel(parent)
+
+    def _serve(self, sock: socket.socket) -> None:
+        channel = Channel(sock)
+        try:
+            self.worker.serve_connection(channel)
+        finally:
+            channel.close()
+
+    def __repr__(self) -> str:
+        return "LoopbackTransport()"

@@ -31,7 +31,8 @@ from repro.engine.executors import EXECUTORS, algorithm_names, build_executor
 from repro.engine.parallel import (
     DEFAULT_BATCH_SIZE,
     SHARD_MODES,
-    ShardSpec,
+    ShardJob,
+    ShardSlice,
     aiter_join,
     batches,
     iter_shard_rows,
@@ -56,7 +57,8 @@ __all__ = [
     "IndexBackend",
     "JoinPlan",
     "SHARD_MODES",
-    "ShardSpec",
+    "ShardJob",
+    "ShardSlice",
     "aiter_join",
     "algorithm_names",
     "attribute_statistics",

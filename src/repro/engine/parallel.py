@@ -53,7 +53,7 @@ import threading
 import time
 from collections import Counter
 from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.aggregate.fold import Folder, fold_state
 from repro.core.query import JoinQuery
@@ -70,7 +70,8 @@ from repro.stats.provider import resolve_provider
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "SHARD_MODES",
-    "ShardSpec",
+    "ShardJob",
+    "ShardSlice",
     "aiter_join",
     "batches",
     "iter_shard_rows",
@@ -141,7 +142,7 @@ def _batches(rows: Iterator[Row], size: int) -> Iterator[list[Row]]:
 
 
 @dataclass(frozen=True)
-class ShardSpec:
+class ShardSlice:
     """One shard: a set of values of the sharded attribute, plus the
     planner's work estimate used to balance the partition.
 
@@ -158,7 +159,7 @@ class ShardSpec:
 
 def plan_shards(
     query: JoinQuery, shards: int, attribute: str | None = None
-) -> tuple[ShardSpec, ...]:
+) -> tuple[ShardSlice, ...]:
     """Partition an attribute's candidate values into balanced shards.
 
     The candidate set is the *intersection* of the value sets that the
@@ -216,13 +217,13 @@ def plan_shards(
         values.append(value)
         bins[index] = (values, weight + weights[value])
     return tuple(
-        ShardSpec(attribute, frozenset(values), weight)
+        ShardSlice(attribute, frozenset(values), weight)
         for values, weight in bins
         if values
     )
 
 
-def shard_query(query: JoinQuery, spec: ShardSpec) -> JoinQuery:
+def shard_query(query: JoinQuery, spec: ShardSlice) -> JoinQuery:
     """Restrict ``query`` to one shard's slice of the data.
 
     Every relation containing the sharded attribute keeps only the
@@ -235,7 +236,7 @@ def shard_query(query: JoinQuery, spec: ShardSpec) -> JoinQuery:
 
 
 def _shard_queries(
-    query: JoinQuery, specs: Sequence[ShardSpec]
+    query: JoinQuery, specs: Sequence[ShardSlice]
 ) -> list[JoinQuery]:
     """Build every shard's restricted query in one pass over the data.
 
@@ -371,7 +372,7 @@ def _run_shard_pickled_traced(
 
 def iter_shard_rows(
     query: JoinQuery,
-    spec: ShardSpec,
+    spec: ShardSlice,
     algorithm: str = "generic",
     cover: FractionalCover | None = None,
     attribute_order: Sequence[str] | None = None,
@@ -568,6 +569,103 @@ def _iter_thread(
         stop.set()
 
 
+@dataclass
+class ShardJob:
+    """One sharded execution, packaged for a scheduler.
+
+    The driver functions (:func:`shard_join` / :func:`shard_fold`) plan
+    the query, partition it into :class:`ShardPlanEntry` items, and hand
+    a job to whatever implements the ``Scheduler`` protocol —
+    :func:`_dispatch_local_join` (today's in-process pools) when the
+    context carries no scheduler, or a
+    :class:`~repro.distributed.DispatchScheduler` promoting the same
+    shards to a remote worker fleet.
+
+    Mutable by design: a scheduler that re-splits shards mid-run
+    (work stealing) writes the *final* entry list back into
+    ``entries[:]`` and their timings into ``times`` on completion, so
+    the feedback/metrics wrappers downstream observe exactly what ran.
+    """
+
+    query: JoinQuery
+    #: The planned shards; ``entries[i].key`` is the feedback key.
+    entries: list[ShardPlanEntry]
+    algorithm: str
+    cover: FractionalCover | None
+    attribute_order: tuple[str, ...] | None
+    backend: str | None
+    filters: tuple[tuple[str, object], ...] | None
+    #: The plan's full attribute order — stealing splits a shard on the
+    #: next attribute after its key's deepest one, exactly like the
+    #: across-run ``expand_shards``.
+    order: tuple[str, ...]
+    mode: str = "auto"
+    workers: int | None = None
+    #: Shard index -> (seconds, rows); ``None`` disables timing.
+    times: dict[int, tuple[float, int]] | None = None
+    tracer: Tracer | None = None
+    #: A :class:`~repro.query.shards.StealPolicy` (duck-typed; this
+    #: module never imports the query layer) or ``None``.
+    steal: object | None = None
+    #: Scheduler-reported run counters (presplits, steals, retries...).
+    stats: dict = field(default_factory=dict)
+
+    def task_for(self, entry: ShardPlanEntry) -> _ShardTask:
+        """The picklable worker task for one planned entry."""
+        return _ShardTask(
+            query=entry.query,
+            algorithm=self.algorithm,
+            cover=self.cover,
+            attribute_order=self.attribute_order,
+            backend=self.backend,
+            filters=self.filters,
+        )
+
+    def tasks(self) -> list[_ShardTask]:
+        return [self.task_for(entry) for entry in self.entries]
+
+
+def _dispatch_local_join(job: ShardJob) -> Iterator[Row]:
+    """Run a join job on the local pools (the default scheduler path).
+
+    This is the dispatch logic :func:`shard_join` always had, factored
+    out so :class:`~repro.distributed.LocalPoolScheduler` can expose the
+    identical behavior behind the ``Scheduler`` protocol.
+    """
+    tasks = job.tasks()
+    if job.mode == "serial" or len(tasks) == 1:
+        return _iter_serial(tasks, job.times, job.tracer)
+    # Serialize each task once, up front: every task must pickle
+    # (shards partition the *values*, so one unpicklable value
+    # poisons only the shard it landed in — sampling one task would
+    # crash the pool mid-iteration), and the resulting bytes are
+    # what the workers get, so the dataset is never pickled a
+    # second time by the pool.
+    payloads: list[bytes] | None = None
+    resolved = job.mode
+    if resolved in ("auto", "process"):
+        try:
+            payloads = [
+                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                for task in tasks
+            ]
+        except Exception:
+            if resolved == "process":
+                raise  # explicitly requested: surface the error now
+    if resolved == "auto":
+        resolved = "process" if payloads is not None else "thread"
+    pool_width = min(job.workers or len(tasks), len(tasks))
+    if resolved == "process":
+        return _iter_process(
+            payloads,
+            pool_width,
+            job.times,
+            job.tracer,
+            job.tracer.context() if job.tracer is not None else None,
+        )
+    return _iter_thread(tasks, pool_width, job.times, job.tracer)
+
+
 def shard_join(
     relations: Sequence[Relation] | JoinQuery,
     shards: int | str | None = None,
@@ -663,6 +761,14 @@ def shard_join(
     if not specs:
         return iter(())
 
+    # Options the distributed layer consumes ride on the ShardSpec the
+    # context normalized; read duck-typed — this engine module never
+    # imports the query layer (see the planner for the same rule).
+    spec_obj = context.shards if context is not None else None
+    predictive = bool(getattr(spec_obj, "predictive", False))
+    steal = getattr(spec_obj, "steal", None)
+    scheduler = context.scheduler if context is not None else None
+
     # The feedback re-split path: shards this query's earlier runs
     # measured as hot (wall time above the configured multiple of their
     # sibling median) are re-partitioned on the next attribute of the
@@ -671,101 +777,93 @@ def shard_join(
     # the expansion is exactly the static plan.
     feedback = context.feedback if context is not None else None
     provider = None
-    entries = None
     scope = ()
-    if feedback is not None:
+    if feedback is not None or predictive:
         scope = feedback_scope(filters)
         provider = resolve_provider(
             context.database if context is not None else database,
             context.stats if context is not None else None,
         )
-        restricted_queries = _shard_queries(query, specs)
-        entries = [
-            ShardPlanEntry(
-                key=((attribute, spec.values),),
-                query=restricted,
-                weight=spec.weight,
-            )
-            for spec, restricted in zip(specs, restricted_queries)
-        ]
+    restricted_queries = _shard_queries(query, specs)
+    entries = [
+        ShardPlanEntry(
+            key=((attribute, spec.values),),
+            query=restricted,
+            weight=spec.weight,
+        )
+        for spec, restricted in zip(specs, restricted_queries)
+    ]
+    if feedback is not None:
         observed = provider.observed_shards(query, scope)
         if observed:
             entries = expand_shards(
                 entries, plan.attribute_order, observed, feedback
             )
-        task_queries = [entry.query for entry in entries]
-    else:
-        task_queries = _shard_queries(query, specs)
+    presplits = 0
+    if predictive:
+        # Predictive pre-split: shards whose value group holds a
+        # heavy-hitter value are split one attribute deeper at
+        # first-plan time — run one of a hub-heavy query behaves the
+        # way run two used to after feedback.  Lazy import: the
+        # distributed package imports this module.
+        from repro.distributed.stealing import predictive_presplit
+
+        entries, presplits = predictive_presplit(
+            entries, plan.attribute_order, provider
+        )
 
     task_filters = tuple(filters.items()) if filters else None
-    tasks = [
-        _ShardTask(
-            query=restricted,
-            algorithm=plan.algorithm,
-            cover=cover,
-            attribute_order=(
-                tuple(attribute_order)
-                if attribute_order is not None
-                else None
-            ),
-            backend=backend,
-            filters=task_filters,
-        )
-        for restricted in task_queries
-    ]
     times: dict[int, tuple[float, int]] | None = (
-        {} if (feedback is not None or metrics is not None) else None
+        {}
+        if (
+            feedback is not None
+            or metrics is not None
+            or scheduler is not None
+        )
+        else None
     )
+    job = ShardJob(
+        query=query,
+        entries=entries,
+        algorithm=plan.algorithm,
+        cover=cover,
+        attribute_order=(
+            tuple(attribute_order) if attribute_order is not None else None
+        ),
+        backend=backend,
+        filters=task_filters,
+        order=plan.attribute_order,
+        mode=mode,
+        workers=workers,
+        times=times,
+        tracer=tracer,
+        steal=steal,
+    )
+    if presplits:
+        job.stats["presplits"] = presplits
 
-    def dispatch() -> Iterator[Row]:
-        if mode == "serial" or len(tasks) == 1:
-            return _iter_serial(tasks, times, tracer)
-        # Serialize each task once, up front: every task must pickle
-        # (shards partition the *values*, so one unpicklable value
-        # poisons only the shard it landed in — sampling one task would
-        # crash the pool mid-iteration), and the resulting bytes are
-        # what the workers get, so the dataset is never pickled a
-        # second time by the pool.
-        payloads: list[bytes] | None = None
-        resolved = mode
-        if resolved in ("auto", "process"):
-            try:
-                payloads = [
-                    pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
-                    for task in tasks
-                ]
-            except Exception:
-                if resolved == "process":
-                    raise  # explicitly requested: surface the error now
-        if resolved == "auto":
-            resolved = "process" if payloads is not None else "thread"
-        pool_width = min(workers or len(tasks), len(tasks))
-        if resolved == "process":
-            return _iter_process(
-                payloads,
-                pool_width,
-                times,
-                tracer,
-                tracer.context() if tracer is not None else None,
-            )
-        return _iter_thread(tasks, pool_width, times, tracer)
-
-    stream = dispatch()
+    if scheduler is not None:
+        stream = scheduler.run_join(job)
+    else:
+        stream = _dispatch_local_join(job)
     if feedback is not None:
+        # ``job.entries``/``job.times``, not the locals: a stealing
+        # scheduler rewrites both to what actually ran before the
+        # wrapper records them.
         stream = _recorded_shard_stream(
-            stream, times, entries, provider, query, scope
+            stream, job.times, job.entries, provider, query, scope
         )
     if metrics is not None:
         stream = _metered_shard_stream(
             stream,
-            times,
+            job.times,
             metrics,
             context.database if context is not None else database,
         )
     if tracer is not None:
         # Outermost, so the per-shard spans (opened or attached while
         # the inner streams drain) nest under this execute span.
-        stream = _traced_shard_stream(tracer, stream, len(tasks))
+        stream = _traced_shard_stream(tracer, stream, len(entries))
     return stream
 
 
@@ -946,23 +1044,67 @@ def shard_fold(
     state = spec.start()
     if not specs:
         return state
-    task_filters = tuple(filters.items()) if filters else None
-    tasks = [
-        _ShardTask(
+    spec_obj = context.shards if context is not None else None
+    predictive = bool(getattr(spec_obj, "predictive", False))
+    steal = getattr(spec_obj, "steal", None)
+    scheduler = context.scheduler if context is not None else None
+    restricted_queries = _shard_queries(query, specs)
+    entries = [
+        ShardPlanEntry(
+            key=((attribute, shard.values),),
             query=restricted,
-            algorithm=plan.algorithm,
-            cover=cover,
-            attribute_order=(
-                tuple(attribute_order)
-                if attribute_order is not None
-                else None
-            ),
-            backend=backend,
-            filters=task_filters,
+            weight=shard.weight,
         )
-        for restricted in _shard_queries(query, specs)
+        for shard, restricted in zip(specs, restricted_queries)
     ]
-    resolved = "serial" if len(tasks) == 1 else mode
+    presplits = 0
+    if predictive:
+        from repro.distributed.stealing import predictive_presplit
+
+        provider = resolve_provider(
+            context.database if context is not None else database,
+            context.stats if context is not None else None,
+        )
+        entries, presplits = predictive_presplit(
+            entries, plan.attribute_order, provider
+        )
+    task_filters = tuple(filters.items()) if filters else None
+    job = ShardJob(
+        query=query,
+        entries=entries,
+        algorithm=plan.algorithm,
+        cover=cover,
+        attribute_order=(
+            tuple(attribute_order) if attribute_order is not None else None
+        ),
+        backend=backend,
+        filters=task_filters,
+        order=plan.attribute_order,
+        mode=mode,
+        workers=workers,
+        times={} if scheduler is not None else None,
+        steal=steal,
+    )
+    if presplits:
+        job.stats["presplits"] = presplits
+    if scheduler is not None:
+        partials = scheduler.run_fold(job, spec)
+    else:
+        partials = _dispatch_local_fold(job, spec)
+    for partial in partials:
+        state = spec.merge(state, partial)
+    return state
+
+
+def _dispatch_local_fold(job: ShardJob, spec) -> list:
+    """Fold a job's shards on the local pools; return the partial states.
+
+    The partials come back in no particular order — every spec's
+    ``merge`` is associative and commutative over disjoint parts, so the
+    caller's fold over them is order-insensitive.
+    """
+    tasks = job.tasks()
+    resolved = "serial" if len(tasks) == 1 else job.mode
     payloads: list[bytes] | None = None
     if resolved in ("auto", "process"):
         try:
@@ -975,25 +1117,21 @@ def shard_fold(
                 raise  # explicitly requested: surface the error now
         if resolved == "auto":
             resolved = "process" if payloads is not None else "thread"
-    pool_width = min(workers or len(tasks), len(tasks))
+    pool_width = min(job.workers or len(tasks), len(tasks))
     if resolved == "serial":
-        partials = [_shard_fold_state(task, spec) for task in tasks]
-    elif resolved == "process":
+        return [_shard_fold_state(task, spec) for task in tasks]
+    if resolved == "process":
         import multiprocessing
 
         pool_context = multiprocessing.get_context()
         with pool_context.Pool(processes=pool_width) as pool:
-            partials = pool.map(_run_shard_fold_pickled, payloads)
-    else:
-        from concurrent.futures import ThreadPoolExecutor
+            return pool.map(_run_shard_fold_pickled, payloads)
+    from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=pool_width) as pool:
-            partials = list(
-                pool.map(lambda task: _shard_fold_state(task, spec), tasks)
-            )
-    for partial in partials:
-        state = spec.merge(state, partial)
-    return state
+    with ThreadPoolExecutor(max_workers=pool_width) as pool:
+        return list(
+            pool.map(lambda task: _shard_fold_state(task, spec), tasks)
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1052,6 +1052,16 @@ def _plan_join(
         database = context.database
         stats = context.stats
         feedback = context.feedback
+    # ``shards`` may arrive as a ShardSpec (the context normalizes every
+    # spelling to one); the planner consumes only its count — and its
+    # batch_size, when the caller left the plain one unset.  Duck-typed
+    # (not isinstance) so this engine-layer module never imports the
+    # query layer.
+    if hasattr(shards, "count") and not isinstance(shards, (int, str)):
+        spec_batch = getattr(shards, "batch_size", None)
+        if batch_size is None and spec_batch is not None:
+            batch_size = spec_batch
+        shards = shards.count
     if algorithm not in algorithm_names():
         raise QueryError(
             f"unknown algorithm {algorithm!r}; "

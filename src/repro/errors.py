@@ -128,6 +128,17 @@ class CompileError(LangError):
     kind = "compile"
 
 
+class DistributedError(ReproError):
+    """A distributed execution could not complete.
+
+    Raised by the shard dispatcher when a shard exhausts its retry
+    budget, when every worker channel has died with shards still
+    pending, or when a worker reports a permanent (typed) failure.
+    Transient worker deaths below the retry budget are handled silently
+    — the shard is re-dispatched and the stream proceeds.
+    """
+
+
 class CoverError(ReproError):
     """A fractional edge cover is invalid for its hypergraph.
 

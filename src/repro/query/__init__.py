@@ -28,6 +28,8 @@ from repro.query.builder import GroupedQuery, Q, QueryBuilder
 from repro.query.context import ExecutionContext
 from repro.query.predicates import Callback, ResidualPredicate, ValueIn
 from repro.query.prepared import PreparedQuery
+from repro.query.result import ResultStream
+from repro.query.shards import ShardSpec, StealPolicy
 
 __all__ = [
     "Callback",
@@ -37,5 +39,8 @@ __all__ = [
     "Q",
     "QueryBuilder",
     "ResidualPredicate",
+    "ResultStream",
+    "ShardSpec",
+    "StealPolicy",
     "ValueIn",
 ]

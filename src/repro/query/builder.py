@@ -844,7 +844,8 @@ class QueryBuilder:
         """Stream the result in fixed-size row batches.
 
         ``size`` defaults to the context's ``batch_size`` (``"auto"``
-        resolves from the residual query's AGM estimate in serial mode)
+        resolves from the residual query's AGM estimate in serial mode),
+        then to the context's ``ShardSpec.batch_size`` when one is set,
         and finally to :data:`~repro.engine.parallel.DEFAULT_BATCH_SIZE`.
         """
         compiled = self._compile()
@@ -863,6 +864,14 @@ class QueryBuilder:
             else:
                 resolved = require_positive_int(
                     ctx.batch_size, "batch_size", " or 'auto'"
+                )
+        spec_batch = getattr(ctx.shards, "batch_size", None)
+        if resolved is None and spec_batch is not None:
+            if spec_batch == "auto":
+                resolved = plan.batch_size if plan is not None else None
+            else:
+                resolved = require_positive_int(
+                    spec_batch, "batch_size", " or 'auto'"
                 )
         if resolved is None:
             resolved = _parallel.DEFAULT_BATCH_SIZE

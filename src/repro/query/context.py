@@ -30,6 +30,7 @@ from repro.feedback.config import FeedbackConfig
 from repro.hypergraph.covers import FractionalCover
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracing import Tracer
+from repro.query.shards import ShardSpec
 from repro.relations.database import Database
 
 __all__ = ["ExecutionContext"]
@@ -65,8 +66,11 @@ class ExecutionContext:
     attribute_order: tuple[str, ...] | None = None
     #: Index backend kind, or ``None`` for the planner's choice.
     backend: str | None = None
-    #: Shard count: positive int, ``"auto"``, or ``None`` for serial.
-    shards: int | str | None = None
+    #: How to shard: a :class:`~repro.query.shards.ShardSpec`, or
+    #: ``None`` for serial execution.  Bare positive ints and ``"auto"``
+    #: are the deprecated spellings, auto-coerced to a plain spec
+    #: (``ShardSpec.coerce``) so no caller breaks.
+    shards: ShardSpec | int | str | None = None
     #: Rows per batch: positive int, ``"auto"``, or ``None`` for
     #: row-at-a-time delivery.
     batch_size: int | str | None = None
@@ -92,11 +96,28 @@ class ExecutionContext:
     #: executions feed (rows, probes, cache counters, shard imbalance,
     #: replans).  ``None`` (the default): nothing is recorded.
     metrics: MetricsRegistry | None = None
+    #: The scheduler sharded execution dispatches through — anything
+    #: implementing the :class:`~repro.distributed.Scheduler` protocol
+    #: (``run_join(job)`` / ``run_fold(job, spec)``).  ``None`` (the
+    #: default) uses the local pool, exactly as before this field
+    #: existed; a :class:`~repro.distributed.DispatchScheduler` promotes
+    #: the same query to a remote worker fleet.
+    scheduler: object | None = None
 
     def __post_init__(self) -> None:
         if self.attribute_order is not None:
             object.__setattr__(
                 self, "attribute_order", tuple(self.attribute_order)
+            )
+        # Normalize every accepted shards= spelling into a ShardSpec (or
+        # None) once, here, so the planner and drivers see one type.
+        object.__setattr__(self, "shards", ShardSpec.coerce(self.shards))
+        if self.scheduler is not None and not hasattr(
+            self.scheduler, "run_join"
+        ):
+            raise PlanError(
+                f"scheduler must implement the Scheduler protocol "
+                f"(run_join/run_fold), got {self.scheduler!r}"
             )
         if self.mode not in _MODES:
             raise PlanError(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -61,22 +62,60 @@ class QueryOutcome:
 
 
 class ServerClient:
-    """A blocking NDJSON client; usable as a context manager."""
+    """A blocking NDJSON client; usable as a context manager.
+
+    The connection is reused across requests (opened lazily on the
+    first one) instead of dialed fresh every time.  ``idle_timeout``
+    bounds reuse: a connection that has sat idle longer is closed and
+    redialed before the next request rather than trusted — servers and
+    middleboxes drop quiet connections, and a half-dead socket would
+    otherwise surface as a mid-response hangup.  A send on a connection
+    the server closed while it was idle is retried once on a fresh one.
+    """
 
     def __init__(
-        self, host: str, port: int, timeout: float | None = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        idle_timeout: float | None = 60.0,
     ) -> None:
         self.host = host
         self.port = port
-        self._socket = socket.create_connection((host, port), timeout)
-        self._reader = self._socket.makefile("rb")
+        self.timeout = timeout
+        self.idle_timeout = idle_timeout
+        self._socket: socket.socket | None = None
+        self._reader = None
+        self._last_used = 0.0
         self._next_id = 0
 
+    @property
+    def connected(self) -> bool:
+        """Is a (believed-live) connection currently held open?"""
+        return self._socket is not None
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), self.timeout
+        )
+        self._reader = self._socket.makefile("rb")
+        self._last_used = time.monotonic()
+
+    def _ensure_connection(self) -> None:
+        if self._socket is not None and self.idle_timeout is not None:
+            if time.monotonic() - self._last_used > self.idle_timeout:
+                self.close()
+        if self._socket is None:
+            self._connect()
+
     def close(self) -> None:
+        if self._socket is None:
+            return
         try:
             self._reader.close()
         finally:
-            self._socket.close()
+            sock, self._socket, self._reader = self._socket, None, None
+            sock.close()
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -95,10 +134,30 @@ class ServerClient:
         """
         self._next_id += 1
         request_id = self._next_id
-        message = {"id": request_id, "op": op, **fields}
-        self._socket.sendall(
-            (json.dumps(message) + "\n").encode("utf-8")
-        )
+        line = (
+            json.dumps({"id": request_id, "op": op, **fields}) + "\n"
+        ).encode("utf-8")
+        self._ensure_connection()
+        try:
+            self._socket.sendall(line)
+            return self._read_response(request_id)
+        except TimeoutError:
+            # A slow server is not a dead connection; re-sending would
+            # double-execute against a live one.  Drop the socket (a
+            # late response would desynchronize the stream) and report.
+            self.close()
+            raise
+        except (ConnectionError, OSError):
+            # The server (or an idle-connection reaper) closed the
+            # socket under us.  Nothing was committed server-side for
+            # this request id, so one retry on a fresh connection is
+            # safe; a failure there is a real outage and propagates.
+            self.close()
+            self._connect()
+            self._socket.sendall(line)
+            return self._read_response(request_id)
+
+    def _read_response(self, request_id: int) -> tuple[list[dict], dict]:
         batches: list[dict] = []
         while True:
             line = self._reader.readline()
@@ -110,6 +169,7 @@ class ServerClient:
             if response.get("id") not in (request_id, None):
                 continue  # a stale line from an aborted request
             if response.get("final"):
+                self._last_used = time.monotonic()
                 if not response.get("ok"):
                     raise ServerError(response.get("error", {}))
                 return batches, response

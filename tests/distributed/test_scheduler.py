@@ -1,0 +1,242 @@
+"""Dispatch to a loopback fleet: parity, stealing, telemetry flow-back.
+
+The acceptance gate for the fabric: a loopback fleet must yield *row-set
+identical* results to serial ``iter_join`` across algorithms and index
+backends, stealing and pre-splitting must only rearrange shard
+boundaries (never rows), and worker observations must land in the same
+tracer / feedback store a local run feeds.
+"""
+
+import pytest
+
+from repro import Q, execute
+from repro.api import iter_join
+from repro.distributed import (
+    DispatchScheduler,
+    LocalPoolScheduler,
+    LoopbackTransport,
+    Scheduler,
+)
+from repro.errors import DistributedError, PlanError
+from repro.feedback.config import FeedbackConfig
+from repro.observe.tracing import Tracer
+from repro.query.context import ExecutionContext
+from repro.query.shards import ShardSpec, StealPolicy
+from repro.stats.provider import StatsProvider
+from repro.workloads import generators, queries
+from tests.helpers import triangle_query
+
+
+def hub_query():
+    return generators.hub_triangle(
+        light_domain=20,
+        b_domain=30,
+        c_domain=100,
+        r_size=150,
+        s_size=250,
+        t_size=500,
+        seed=5,
+    )
+
+
+def fleet(n=2, **kwargs):
+    return DispatchScheduler(
+        [LoopbackTransport() for _ in range(n)], **kwargs
+    )
+
+
+class TestLoopbackParity:
+    @pytest.mark.parametrize(
+        "algorithm,backend",
+        [
+            ("generic", "trie"),
+            ("generic", "compact"),
+            ("leapfrog", "sorted"),
+            ("leapfrog", "compact"),
+        ],
+    )
+    def test_rows_identical_to_serial(self, algorithm, backend):
+        query = generators.random_instance(
+            queries.triangle(), 250, 25, seed=11, skew=1.0
+        )
+        serial = sorted(
+            iter_join(query, algorithm=algorithm, backend=backend)
+        )
+        context = ExecutionContext(
+            algorithm=algorithm,
+            backend=backend,
+            shards=ShardSpec(4),
+            scheduler=fleet(),
+        )
+        assert sorted(execute(query, context=context)) == serial
+
+    def test_count_folds_through_the_fleet(self):
+        query = hub_query()
+        expected = len(list(iter_join(query, algorithm="generic")))
+        context = ExecutionContext(
+            algorithm="generic", shards=ShardSpec(4), scheduler=fleet()
+        )
+        assert execute(query, context=context).count() == expected
+
+    def test_empty_result_completes_cleanly(self):
+        query = triangle_query(r_rows=((9, 9),), s_rows=((1, 1),))
+        context = ExecutionContext(
+            algorithm="generic", shards=ShardSpec(2), scheduler=fleet()
+        )
+        assert execute(query, context=context).rows() == []
+
+    def test_early_termination_drains_the_fleet(self):
+        query = hub_query()
+        scheduler = fleet()
+        context = ExecutionContext(
+            algorithm="generic", shards=ShardSpec(4), scheduler=scheduler
+        )
+        stream = iter(execute(query, context=context))
+        next(stream)
+        stream.close()  # consumer walks away mid-run
+        # The board stops; a fresh run on the same scheduler still works.
+        serial = sorted(iter_join(query, algorithm="generic"))
+        assert sorted(execute(query, context=context)) == serial
+
+
+class TestLocalPoolScheduler:
+    def test_protocol_conformance(self):
+        assert isinstance(LocalPoolScheduler(), Scheduler)
+        assert isinstance(DispatchScheduler([LoopbackTransport()]), Scheduler)
+
+    def test_parity_with_default_path(self):
+        query = triangle_query()
+        serial = sorted(iter_join(query, algorithm="generic"))
+        context = ExecutionContext(
+            algorithm="generic",
+            shards=ShardSpec(2),
+            scheduler=LocalPoolScheduler(mode="serial"),
+        )
+        assert sorted(execute(query, context=context)) == serial
+
+    def test_workers_validated(self):
+        with pytest.raises(PlanError):
+            LocalPoolScheduler(workers=0)
+
+    def test_context_rejects_non_schedulers(self):
+        with pytest.raises(PlanError):
+            ExecutionContext(scheduler=object())
+
+
+class TestStealing:
+    def test_within_run_stealing_splits_the_straggler(self):
+        query = hub_query()
+        serial = sorted(iter_join(query, algorithm="generic"))
+        policy = StealPolicy(hot_factor=0.01, min_completed=1)
+        scheduler = fleet()
+        context = ExecutionContext(
+            algorithm="generic",
+            shards=ShardSpec(6, steal=policy),
+            scheduler=scheduler,
+        )
+        assert sorted(execute(query, context=context)) == serial
+        assert scheduler.last_run["steals"] >= 1
+        # Stealing rearranged shard boundaries, never the output:
+        assert scheduler.last_run["shards"] >= 6
+
+    def test_predictive_presplit_carves_hub_shards(self):
+        query = hub_query()
+        serial = sorted(iter_join(query, algorithm="generic"))
+        scheduler = fleet()
+        context = ExecutionContext(
+            algorithm="generic",
+            shards=ShardSpec(4, predictive=True),
+            scheduler=scheduler,
+        )
+        assert sorted(execute(query, context=context)) == serial
+        assert scheduler.last_run["presplits"] >= 1
+        assert scheduler.last_run["shards"] > 4
+
+    def test_scheduler_steal_override(self):
+        query = hub_query()
+        scheduler = fleet(
+            steal=StealPolicy(hot_factor=0.01, min_completed=1)
+        )
+        context = ExecutionContext(
+            algorithm="generic", shards=ShardSpec(6), scheduler=scheduler
+        )
+        serial = sorted(iter_join(query, algorithm="generic"))
+        assert sorted(execute(query, context=context)) == serial
+        assert scheduler.last_run["steals"] >= 1
+
+    def test_stats_accumulate_across_runs(self):
+        query = triangle_query()
+        scheduler = fleet()
+        context = ExecutionContext(
+            algorithm="generic", shards=ShardSpec(2), scheduler=scheduler
+        )
+        execute(query, context=context).rows()
+        execute(query, context=context).rows()
+        assert scheduler.stats["runs"] == 2
+        assert scheduler.stats["shards"] >= 2
+
+
+class TestTelemetryFlowBack:
+    def test_worker_spans_stitch_into_the_parent_tracer(self):
+        query = triangle_query()
+        tracer = Tracer()
+        context = ExecutionContext(
+            algorithm="generic",
+            shards=ShardSpec(2),
+            scheduler=fleet(),
+            tracer=tracer,
+        )
+        execute(query, context=context).rows()
+
+        def spans(roots):
+            for span in roots:
+                yield span
+                yield from spans(span.children)
+
+        remote = [
+            s for s in spans(tracer.roots) if s.meta.get("remote") is True
+        ]
+        assert remote
+        assert all(s.name == "shard" for s in remote)
+
+    def test_shard_observations_reach_the_feedback_store(self):
+        query = hub_query()
+        provider = StatsProvider()
+        context = ExecutionContext(
+            algorithm="generic",
+            shards=ShardSpec(3),
+            scheduler=fleet(),
+            stats=provider,
+            feedback=FeedbackConfig(),
+        )
+        serial = sorted(iter_join(query, algorithm="generic"))
+        assert sorted(execute(query, context=context)) == serial
+        observed = provider.observed_shards(query)
+        assert observed
+        assert all(obs.seconds >= 0.0 for obs in observed.values())
+        # And the second (possibly re-planned) run still agrees.
+        assert sorted(execute(query, context=context)) == serial
+
+
+class TestValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(DistributedError):
+            DispatchScheduler([])
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(DistributedError):
+            DispatchScheduler([LoopbackTransport()], max_retries=-1)
+
+    def test_shard_spec_validation(self):
+        with pytest.raises(PlanError):
+            ShardSpec(0)
+        with pytest.raises(PlanError):
+            ShardSpec("sideways")
+        with pytest.raises(PlanError):
+            StealPolicy(split_factor=1)
+        with pytest.raises(PlanError):
+            StealPolicy(hot_factor=0.0)
+        assert ShardSpec.coerce(4) == ShardSpec(4)
+        assert ShardSpec.coerce(None) is None
+        spec = ShardSpec(2, steal=True)
+        assert spec.steal == StealPolicy()

@@ -1,0 +1,76 @@
+"""Framing: length-prefixed JSON-header + binary-payload frames."""
+
+import socket
+
+import pytest
+
+from repro.distributed.wire import ConnectionClosed, recv_frame, send_frame
+from repro.errors import DistributedError
+
+
+def _pair():
+    left, right = socket.socketpair()
+    return left, right, right.makefile("rb")
+
+
+class TestFrames:
+    def test_header_only_roundtrip(self):
+        left, right, reader = _pair()
+        try:
+            send_frame(left, {"op": "ping", "id": 7})
+            header, payload = recv_frame(reader)
+            assert header == {"op": "ping", "id": 7}
+            assert payload == b""
+        finally:
+            left.close(), right.close(), reader.close()
+
+    def test_payload_roundtrip(self):
+        left, right, reader = _pair()
+        try:
+            body = bytes(range(256)) * 10
+            send_frame(left, {"op": "rows", "id": 1}, body)
+            header, payload = recv_frame(reader)
+            assert header["len"] == len(body)
+            assert payload == body
+        finally:
+            left.close(), right.close(), reader.close()
+
+    def test_frames_keep_order(self):
+        left, right, reader = _pair()
+        try:
+            for index in range(5):
+                send_frame(left, {"id": index}, b"x" * index)
+            for index in range(5):
+                header, payload = recv_frame(reader)
+                assert header["id"] == index
+                assert payload == b"x" * index
+        finally:
+            left.close(), right.close(), reader.close()
+
+    def test_eof_is_connection_closed(self):
+        left, right, reader = _pair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                recv_frame(reader)
+        finally:
+            right.close(), reader.close()
+
+    def test_truncated_payload_is_connection_closed(self):
+        left, right, reader = _pair()
+        try:
+            left.sendall(b'{"op":"rows","len":100}\n' + b"short")
+            left.close()
+            with pytest.raises(ConnectionClosed):
+                recv_frame(reader)
+        finally:
+            right.close(), reader.close()
+
+    def test_malformed_header_is_distributed_error(self):
+        left, right, reader = _pair()
+        try:
+            left.sendall(b"this is not json\n")
+            with pytest.raises(DistributedError):
+                recv_frame(reader)
+        finally:
+            left.close(), right.close(), reader.close()

@@ -1,0 +1,179 @@
+"""The worker protocol: ping, task streaming, fold, errors, shutdown."""
+
+import pickle
+
+import pytest
+
+from repro.distributed.transport import Channel, LoopbackTransport
+from repro.distributed.wire import ConnectionClosed
+from repro.distributed.worker import WorkerServer
+from repro.engine.parallel import ShardJob, plan_shards, _shard_queries
+from repro.engine.planner import plan_join
+from tests.helpers import triangle_query
+
+
+def _job(query, shards=2):
+    """Plan a query and package its shards exactly as shard_join does."""
+    plan = plan_join(query, algorithm="generic", shards=shards)
+    specs = plan_shards(query, plan.shards, plan.attribute_order[0])
+    from repro.feedback.resharding import ShardPlanEntry
+
+    entries = [
+        ShardPlanEntry(
+            key=((plan.attribute_order[0], spec.values),),
+            query=restricted,
+            weight=spec.weight,
+        )
+        for spec, restricted in zip(specs, _shard_queries(query, specs))
+    ]
+    return ShardJob(
+        query=query,
+        entries=entries,
+        algorithm="generic",
+        cover=None,
+        attribute_order=plan.attribute_order,
+        backend=None,
+        filters=None,
+        order=plan.attribute_order,
+    )
+
+
+def _run_task(channel, rid, task, trace=False):
+    """Drive one task op; return (rows, done_header, span_payload)."""
+    header = {"op": "task", "id": rid}
+    if trace:
+        header["trace"] = True
+    channel.send(header, pickle.dumps(task))
+    rows, span = [], b""
+    while True:
+        reply, payload = channel.recv()
+        assert reply["id"] == rid
+        if reply["op"] == "rows":
+            rows.extend(pickle.loads(payload))
+        elif reply["op"] == "done":
+            return rows, reply, payload
+        else:
+            raise AssertionError(f"unexpected frame {reply!r}")
+
+
+class TestShardWorker:
+    def test_ping_pong(self):
+        channel = LoopbackTransport().connect()
+        try:
+            channel.send({"op": "ping", "id": 3})
+            header, _payload = channel.recv()
+            assert header == {"op": "pong", "id": 3}
+        finally:
+            channel.close()
+
+    def test_task_streams_rows_and_reports_timing(self):
+        query = triangle_query()
+        job = _job(query)
+        serial = set()
+        channel = LoopbackTransport().connect()
+        try:
+            for rid, task in enumerate(job.tasks(), start=1):
+                rows, done, _span = _run_task(channel, rid, task)
+                assert done["count"] == len(rows)
+                assert done["seconds"] >= 0.0
+                serial.update(rows)
+        finally:
+            channel.close()
+        from repro.api import iter_join
+
+        assert serial == set(iter_join(query, algorithm="generic"))
+
+    def test_traced_task_ships_its_span_home(self):
+        job = _job(triangle_query())
+        channel = LoopbackTransport().connect()
+        try:
+            _rows, done, span_bytes = _run_task(
+                channel, 9, job.tasks()[0], trace=True
+            )
+            assert done.get("span") is True
+            span = pickle.loads(span_bytes)
+            assert span.name == "shard"
+            assert span.meta["remote"] is True
+            assert span.meta["rows"] == done["count"]
+        finally:
+            channel.close()
+
+    def test_fold_returns_pickled_state(self):
+        from repro.aggregate.specs import Count
+
+        job = _job(triangle_query(), shards=1)
+        channel = LoopbackTransport().connect()
+        try:
+            channel.send(
+                {"op": "fold", "id": 4},
+                pickle.dumps((job.tasks()[0], Count())),
+            )
+            header, payload = channel.recv()
+            assert header["op"] == "state"
+            assert header["id"] == 4
+            assert pickle.loads(payload) is not None
+        finally:
+            channel.close()
+
+    def test_corrupt_task_is_a_typed_error_not_a_crash(self):
+        channel = LoopbackTransport().connect()
+        try:
+            channel.send({"op": "task", "id": 5}, b"not a pickle")
+            header, _payload = channel.recv()
+            assert header["op"] == "error"
+            assert header["id"] == 5
+            assert header["error"]["type"]
+            # The connection survives a failed task.
+            channel.send({"op": "ping", "id": 6})
+            assert channel.recv()[0]["op"] == "pong"
+        finally:
+            channel.close()
+
+    def test_unknown_op_is_a_protocol_error(self):
+        channel = LoopbackTransport().connect()
+        try:
+            channel.send({"op": "warp", "id": 7})
+            header, _payload = channel.recv()
+            assert header["op"] == "error"
+            assert header["error"]["type"] == "protocol"
+        finally:
+            channel.close()
+
+    def test_shutdown_says_bye_and_stops(self):
+        transport = LoopbackTransport()
+        channel = transport.connect()
+        try:
+            channel.send({"op": "shutdown"})
+            assert channel.recv()[0]["op"] == "bye"
+            assert transport.worker.stopped.is_set()
+        finally:
+            channel.close()
+
+
+class TestWorkerServer:
+    def test_tcp_roundtrip_and_stop(self):
+        import socket
+        import threading
+
+        server = WorkerServer(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.address
+        channel = Channel(socket.create_connection((host, port), timeout=5))
+        try:
+            channel.send({"op": "ping", "id": 1})
+            assert channel.recv()[0]["op"] == "pong"
+            job = _job(triangle_query(), shards=1)
+            rows, done, _span = _run_task(channel, 2, job.tasks()[0])
+            assert done["count"] == len(rows)
+        finally:
+            channel.close()
+            server.stop()
+            thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_bind_failure_is_distributed_error(self):
+        from repro.errors import DistributedError
+
+        with pytest.raises(DistributedError):
+            WorkerServer(host="203.0.113.1", port=1)  # TEST-NET, unroutable

@@ -12,7 +12,7 @@ from repro.core.generic_join import GenericJoin
 from repro.core.query import JoinQuery
 from repro.engine import parallel
 from repro.engine.parallel import (
-    ShardSpec,
+    ShardSlice,
     batches,
     iter_shard_rows,
     plan_shards,
@@ -139,7 +139,7 @@ class TestPlanShards:
 
 class TestShardQuery:
     def test_restricts_only_participants(self, triangle_query):
-        spec = ShardSpec("A", frozenset({0}), 1)
+        spec = ShardSlice("A", frozenset({0}), 1)
         restricted = shard_query(triangle_query, spec)
         assert set(restricted.relation("R").tuples) == {(0, 1)}
         assert set(restricted.relation("T").tuples) == {(0, 5)}
@@ -147,7 +147,7 @@ class TestShardQuery:
         assert restricted.relation("S") is triangle_query.relation("S")
 
     def test_same_hypergraph(self, triangle_query):
-        spec = ShardSpec("A", frozenset({0, 1}), 1)
+        spec = ShardSlice("A", frozenset({0, 1}), 1)
         restricted = shard_query(triangle_query, spec)
         assert restricted.attributes == triangle_query.attributes
         assert restricted.edge_ids == triangle_query.edge_ids

@@ -14,6 +14,7 @@ from repro.engine.planner import plan_join
 from repro.errors import PlanError, QueryError
 from repro.query.builder import Q
 from repro.query.context import ExecutionContext
+from repro.query.shards import ShardSpec
 from repro.relations.database import Database
 from repro.stats import StatsConfig
 
@@ -31,8 +32,13 @@ class TestContextObject:
     def test_replace_derives_without_mutation(self):
         base = ExecutionContext(shards="auto")
         serial = base.replace(shards=None)
-        assert base.shards == "auto"
+        assert base.shards == ShardSpec("auto")
         assert serial.shards is None
+
+    def test_bare_shards_coerced_to_spec(self):
+        assert ExecutionContext(shards=4).shards == ShardSpec(4)
+        spec = ShardSpec(4, predictive=True)
+        assert ExecutionContext(shards=spec).shards is spec
 
     def test_frozen(self):
         with pytest.raises(AttributeError):
@@ -48,7 +54,7 @@ class TestContextObject:
     def test_describe_lists_non_defaults(self):
         text = ExecutionContext(algorithm="generic", shards=4).describe()
         assert "algorithm='generic'" in text
-        assert "shards=4" in text
+        assert "shards=ShardSpec(4)" in text
         assert "batch_size" not in text
 
 

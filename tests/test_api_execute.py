@@ -1,0 +1,152 @@
+"""The ExecutionContext-first API: execute(), ResultStream, shims.
+
+Two contracts:
+
+* ``execute(query, context=...)`` is the one entry point; every
+  consumption style is a view on its :class:`ResultStream`, and views
+  agree with each other and with the legacy functions.
+* The legacy mode-specific entry points are *frozen*: same signatures,
+  same results, plus a :class:`DeprecationWarning` — and nothing else.
+"""
+
+import asyncio
+import inspect
+import warnings
+
+import pytest
+
+from repro import ExecutionContext, Q, ResultStream, ShardSpec, execute
+from repro.api import (
+    aiter_join,
+    count_join,
+    iter_join,
+    join,
+    join_batched,
+    sample_join,
+    shard_join,
+)
+from repro.errors import QueryError
+from tests.helpers import triangle_query
+
+QUERY = triangle_query(
+    r_rows=tuple((i % 5, j) for i in range(10) for j in range(4)),
+    s_rows=tuple((j, k) for j in range(4) for k in range(6)),
+    t_rows=tuple((a, k) for a in range(5) for k in range(6)),
+)
+SERIAL = sorted(iter_join(QUERY))
+
+
+class TestExecute:
+    def test_returns_a_result_stream(self):
+        stream = execute(QUERY)
+        assert isinstance(stream, ResultStream)
+        assert stream.attributes == ("A", "B", "C")
+
+    def test_views_agree(self):
+        stream = execute(QUERY)
+        assert sorted(stream) == SERIAL
+        assert sorted(stream.rows()) == SERIAL
+        assert sorted(stream.relation("J").tuples) == SERIAL
+        batched = [row for batch in stream.batches(7) for row in batch]
+        assert sorted(batched) == SERIAL
+        assert stream.count() == len(SERIAL)
+        assert len(stream.sample(3, seed=2)) == 3
+        assert stream.plan().algorithm in ("generic", "leapfrog", "lw",
+                                           "nprr", "arity2")
+
+    def test_async_view(self):
+        async def drain():
+            return [row async for row in execute(QUERY).astream(16)]
+
+        assert sorted(asyncio.run(drain())) == SERIAL
+
+    def test_accepts_builders_and_keeps_their_clauses(self):
+        q = Q(QUERY).where(A=1).select("A", "C")
+        expected = sorted(q.stream())
+        assert sorted(execute(q)) == expected
+
+    def test_context_and_options_are_exclusive(self):
+        with pytest.raises(QueryError):
+            execute(QUERY, context=ExecutionContext(), mode="serial")
+
+    def test_options_overlay_the_context(self):
+        stream = execute(QUERY, shards=ShardSpec(2), mode="serial")
+        assert stream.builder.context.shards == ShardSpec(2)
+        assert sorted(stream) == SERIAL
+
+    def test_bad_algorithm_rejected_before_query_construction(self):
+        with pytest.raises(QueryError):
+            execute(None, algorithm="quantum")
+        with pytest.raises(QueryError):
+            execute(None, context=ExecutionContext(algorithm="quantum"))
+
+    def test_shard_spec_batch_size_feeds_batches(self):
+        stream = execute(
+            QUERY, shards=ShardSpec(2, batch_size=13), mode="serial"
+        )
+        sizes = [len(batch) for batch in stream.batches()]
+        assert all(size == 13 for size in sizes[:-1])
+        assert sorted(r for b in stream.batches() for r in b) == SERIAL
+
+    def test_result_stream_is_immutable_and_reusable(self):
+        stream = execute(QUERY)
+        with pytest.raises(AttributeError):
+            stream.builder = None
+        assert sorted(stream) == SERIAL
+        assert sorted(stream) == SERIAL  # fresh execution, same rows
+
+
+class TestDeprecatedShims:
+    def test_each_shim_warns_and_agrees(self):
+        with pytest.warns(DeprecationWarning, match="repro.join"):
+            materialized = join(QUERY)
+        assert sorted(materialized.tuples) == SERIAL
+
+        with pytest.warns(DeprecationWarning, match="join_batched"):
+            batched = join_batched(QUERY, batch_size=8)
+        assert sorted(r for b in batched for r in b) == SERIAL
+
+        with pytest.warns(DeprecationWarning, match="shard_join"):
+            sharded = shard_join(QUERY, shards=2, mode="serial")
+        assert sorted(sharded) == SERIAL
+
+        with pytest.warns(DeprecationWarning, match="aiter_join"):
+            stream = aiter_join(QUERY)
+
+        async def drain():
+            return [row async for row in stream]
+
+        assert sorted(asyncio.run(drain())) == SERIAL
+
+    def test_streaming_and_aggregate_entry_points_stay_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert sorted(iter_join(QUERY)) == SERIAL
+            assert count_join(QUERY) == len(SERIAL)
+            assert len(sample_join(QUERY, 2, seed=1)) == 2
+            assert sorted(execute(QUERY)) == SERIAL
+
+    def test_shim_signatures_are_frozen(self):
+        """The deprecation must not change any callable's shape."""
+        frozen = {
+            join: (
+                "relations", "algorithm", "cover", "name",
+                "attribute_order", "backend", "database", "feedback",
+            ),
+            join_batched: (
+                "relations", "batch_size", "algorithm", "cover",
+                "attribute_order", "backend", "database", "feedback",
+            ),
+            shard_join: (
+                "relations", "shards", "algorithm", "cover",
+                "attribute_order", "backend", "mode", "workers",
+                "database", "feedback",
+            ),
+            aiter_join: (
+                "relations", "algorithm", "cover", "attribute_order",
+                "backend", "shards", "batch_size", "database", "feedback",
+            ),
+        }
+        for function, parameters in frozen.items():
+            found = tuple(inspect.signature(function).parameters)
+            assert found == parameters, function.__name__

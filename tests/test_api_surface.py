@@ -35,6 +35,21 @@ def test_live_surface_matches_snapshot():
     assert not problems, "\n".join(problems)
 
 
+def test_frozen_shims_match_their_table():
+    # The deprecated entry points have no --update path: the tool's
+    # FROZEN_SHIMS table must match the live package verbatim.
+    tool = _load_tool()
+    assert tool.check_frozen_shims() == []
+
+
+def test_frozen_shim_drift_is_reported():
+    tool = _load_tool()
+    tool.FROZEN_SHIMS = dict(tool.FROZEN_SHIMS, join="(relations)")
+    problems = tool.check_frozen_shims()
+    assert len(problems) == 1
+    assert "repro.join" in problems[0]
+
+
 def test_diff_reports_changes():
     tool = _load_tool()
     live = tool.current_surface()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Assert the BENCH_distributed.json schema (CI smoke gate).
+
+Usage: python tools/check_bench_distributed.py [benchmarks/BENCH_distributed.json]
+
+Validates the structure ``benchmarks/bench_distributed.py`` promises —
+the three fleet configurations (no-steal, steal, predictive), their
+board summaries, the critical-path and work ratios, and the parity
+flags — so downstream consumers (the regression gate, dashboards, the
+README numbers) can rely on it.  Exits non-zero with a message naming
+the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+FLEET_KEYS = {
+    "wall_seconds": (int, float),
+    "rows": int,
+    "parity": bool,
+    "shards_run": int,
+    "steals": int,
+    "retries": int,
+    "presplits": int,
+    "shard_seconds": (int, float),
+    "max_shard_seconds": (int, float),
+}
+
+STEAL_KEYS = dict(
+    FLEET_KEYS,
+    steal_triggered=bool,
+    critical_path_ratio=(int, float),
+    work_ratio=(int, float),
+)
+
+PREDICTIVE_KEYS = dict(
+    FLEET_KEYS,
+    presplit_triggered=bool,
+    critical_path_ratio=(int, float),
+)
+
+LOCAL_KEYS = {
+    "wall_seconds": (int, float),
+    "parity": bool,
+    "fleet_wall_ratio": (int, float),
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(
+        f"BENCH_distributed.json schema violation: {message}",
+        file=sys.stderr,
+    )
+    raise SystemExit(1)
+
+
+def check_keys(path: str, entry: object, keys: dict) -> None:
+    if not isinstance(entry, dict):
+        fail(f"{path} is not an object")
+    for key, expected in keys.items():
+        if key not in entry:
+            fail(f"{path} missing {key!r}")
+        if not isinstance(entry[key], expected):
+            fail(f"{path}.{key} has type {type(entry[key]).__name__}")
+
+
+def check(data: object) -> None:
+    if not isinstance(data, dict):
+        fail("top level is not an object")
+    for key in (
+        "host",
+        "definitions",
+        "scale",
+        "shards",
+        "fleet_slots",
+        "workloads",
+    ):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if "cpus" not in data["host"]:
+        fail("host.cpus missing")
+    if "hub_triangle" not in data["workloads"]:
+        fail("missing workload 'hub_triangle'")
+
+    hub = data["workloads"]["hub_triangle"]
+    for key in ("sizes", "serial_seconds", "serial_rows"):
+        if key not in hub:
+            fail(f"hub_triangle missing {key!r}")
+    check_keys("hub_triangle.no_steal", hub.get("no_steal"), FLEET_KEYS)
+    check_keys("hub_triangle.steal", hub.get("steal"), STEAL_KEYS)
+    check_keys(
+        "hub_triangle.predictive", hub.get("predictive"), PREDICTIVE_KEYS
+    )
+    check_keys("hub_triangle.local_pool", hub.get("local_pool"), LOCAL_KEYS)
+
+    steal = hub["steal"]
+    predictive = hub["predictive"]
+    for name in ("no_steal", "steal", "predictive", "local_pool"):
+        if hub[name]["parity"] is not True:
+            fail(f"hub_triangle.{name}.parity is not true")
+    if steal["steal_triggered"] is not True:
+        fail("hub_triangle.steal.steal_triggered is not true")
+    if steal["steals"] < 1:
+        fail("hub_triangle.steal.steals < 1: no shard was stolen")
+    if steal["shards_run"] <= hub["no_steal"]["shards_run"]:
+        fail(
+            "hub_triangle.steal.shards_run did not grow: stealing "
+            "should split shards"
+        )
+    if predictive["presplit_triggered"] is not True:
+        fail("hub_triangle.predictive.presplit_triggered is not true")
+    if predictive["presplits"] < 1:
+        fail("hub_triangle.predictive.presplits < 1: hub never pre-split")
+    if steal["critical_path_ratio"] <= 1.0:
+        fail(
+            f"hub_triangle.steal.critical_path_ratio "
+            f"{steal['critical_path_ratio']} <= 1.0: stealing did not "
+            f"shorten the hub shard's pole"
+        )
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(
+        argv[1] if len(argv) > 1 else "benchmarks/BENCH_distributed.json"
+    )
+    if not path.exists():
+        fail(f"{path} does not exist")
+    check(json.loads(path.read_text()))
+    print(f"{path}: schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

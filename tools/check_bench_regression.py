@@ -152,6 +152,24 @@ METRICS: dict[str, tuple[tuple[str, str, float | None], ...]] = {
         ),
         ("workloads.throughput.parity", "exact", None),
     ),
+    "BENCH_distributed.json": (
+        # Critical-path and work ratios divide worker-reported shard
+        # times on a tiny smoke hub: loose floors (the bench's own
+        # parity / steal-triggered checks are the hard gates).  The
+        # boolean flags are the deterministic contract: exact.
+        ("workloads.hub_triangle.steal.critical_path_ratio", "ratio", 0.25),
+        ("workloads.hub_triangle.steal.work_ratio", "ratio", 0.4),
+        ("workloads.hub_triangle.no_steal.parity", "exact", None),
+        ("workloads.hub_triangle.steal.parity", "exact", None),
+        ("workloads.hub_triangle.predictive.parity", "exact", None),
+        ("workloads.hub_triangle.local_pool.parity", "exact", None),
+        ("workloads.hub_triangle.steal.steal_triggered", "exact", None),
+        (
+            "workloads.hub_triangle.predictive.presplit_triggered",
+            "exact",
+            None,
+        ),
+    ),
 }
 
 
